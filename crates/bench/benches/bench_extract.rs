@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for Sinew's query-time extraction path
+//! (Appendix B's mechanism): virtual-column extraction vs physical-column
+//! access, through the full UDF machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sinew_core::{AnalyzerPolicy, Sinew};
+use sinew_nobench::{generate, NoBenchConfig};
+use std::hint::black_box;
+
+const N: u64 = 2_000;
+
+fn build(materialize: bool) -> Sinew {
+    let sinew = Sinew::in_memory();
+    sinew.create_collection("nobench").unwrap();
+    sinew.load_docs("nobench", &generate(N, &NoBenchConfig::default())).unwrap();
+    if materialize {
+        let policy = AnalyzerPolicy {
+            density_threshold: 0.5,
+            cardinality_threshold: 100,
+            sample_rows: 10_000,
+        };
+        sinew.run_analyzer("nobench", &policy).unwrap();
+        sinew.materialize_until_clean("nobench").unwrap();
+        sinew.db().analyze("nobench").unwrap();
+    }
+    sinew
+}
+
+fn bench_virtual_vs_physical(c: &mut Criterion) {
+    let virt = build(false);
+    let phys = build(true);
+
+    let mut g = c.benchmark_group("projection_scan");
+    g.sample_size(20);
+    g.bench_function("virtual_column", |b| {
+        b.iter(|| black_box(virt.query("SELECT str1 FROM nobench").unwrap().rows.len()))
+    });
+    g.bench_function("physical_column", |b| {
+        b.iter(|| black_box(phys.query("SELECT str1 FROM nobench").unwrap().rows.len()))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("nested_key_scan");
+    g.sample_size(20);
+    g.bench_function("virtual_dotted", |b| {
+        b.iter(|| {
+            black_box(
+                virt.query(r#"SELECT "nested_obj.str" FROM nobench"#).unwrap().rows.len(),
+            )
+        })
+    });
+    g.bench_function("physical_dotted", |b| {
+        b.iter(|| {
+            black_box(
+                phys.query(r#"SELECT "nested_obj.str" FROM nobench"#).unwrap().rows.len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_rewrite_overhead(c: &mut Criterion) {
+    let virt = build(false);
+    let mut g = c.benchmark_group("rewriter");
+    g.bench_function("rewrite_only", |b| {
+        b.iter(|| {
+            black_box(
+                virt.rewrite("SELECT str1, num FROM nobench WHERE sparse_110 = 'x'").unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_virtual_vs_physical, bench_rewrite_overhead);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the three serialization formats
+//! (Appendix A's mechanism at micro scale): encode, decode, and single-key
+//! extraction on one NoBench-shaped document.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sinew_serial::{avro, pbuf, sinew as sformat, Doc, SType, SValue, WriterSchema};
+use std::hint::black_box;
+
+fn sample_doc(n_attrs: u32) -> (Doc, WriterSchema) {
+    let mut attrs = Vec::new();
+    let mut fields = Vec::new();
+    for i in 0..n_attrs {
+        let v = match i % 4 {
+            0 => SValue::Int(i as i64 * 31),
+            1 => SValue::Text(format!("value-{i}-abcdefgh")),
+            2 => SValue::Bool(i % 8 == 2),
+            _ => SValue::Float(i as f64 * 0.5),
+        };
+        fields.push((i, v.stype()));
+        attrs.push((i, v));
+    }
+    (Doc::new(attrs), WriterSchema::new(fields))
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let (doc, schema) = sample_doc(20);
+    let s_bytes = sformat::encode(&doc);
+    let p_bytes = pbuf::encode(&doc);
+    let a_bytes = avro::encode(&doc, &schema);
+
+    let mut g = c.benchmark_group("encode_20_attrs");
+    g.bench_function("sinew", |b| b.iter(|| sformat::encode(black_box(&doc))));
+    g.bench_function("pbuf", |b| b.iter(|| pbuf::encode(black_box(&doc))));
+    g.bench_function("avro", |b| b.iter(|| avro::encode(black_box(&doc), &schema)));
+    g.finish();
+
+    let mut g = c.benchmark_group("decode_20_attrs");
+    g.bench_function("sinew", |b| {
+        b.iter(|| sformat::decode(black_box(&s_bytes), &schema).unwrap())
+    });
+    g.bench_function("pbuf", |b| b.iter(|| pbuf::decode(black_box(&p_bytes), &schema).unwrap()));
+    g.bench_function("avro", |b| b.iter(|| avro::decode(black_box(&a_bytes), &schema).unwrap()));
+    g.finish();
+
+    // extraction of the LAST attribute — worst case for sequential formats,
+    // log(n) for Sinew's binary search
+    let last = 19u32;
+    let ty = schema.type_of(last).unwrap();
+    let mut g = c.benchmark_group("extract_last_of_20");
+    g.bench_function("sinew", |b| {
+        b.iter(|| sformat::extract(black_box(&s_bytes), last, ty).unwrap())
+    });
+    g.bench_function("pbuf", |b| {
+        b.iter(|| pbuf::extract(black_box(&p_bytes), last, ty).unwrap())
+    });
+    g.bench_function("avro", |b| {
+        b.iter(|| avro::extract(black_box(&a_bytes), &schema, last).unwrap())
+    });
+    g.finish();
+}
+
+/// The Appendix A mechanism: the extraction gap between random-access and
+/// sequential formats grows with attribute count.
+fn bench_extraction_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extract_last_by_width");
+    for n in [10u32, 50, 200] {
+        let (doc, schema) = sample_doc(n);
+        let s_bytes = sformat::encode(&doc);
+        let p_bytes = pbuf::encode(&doc);
+        let last = n - 1;
+        let ty = schema.type_of(last).unwrap();
+        g.bench_function(format!("sinew_{n}"), |b| {
+            b.iter(|| sformat::extract(black_box(&s_bytes), last, ty).unwrap())
+        });
+        g.bench_function(format!("pbuf_{n}"), |b| {
+            b.iter(|| pbuf::extract(black_box(&p_bytes), last, ty).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_formats, bench_extraction_scaling);
+criterion_main!(benches);

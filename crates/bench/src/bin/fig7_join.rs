@@ -1,0 +1,66 @@
+//! **Figure 7** — NoBench Q11, the join.
+//!
+//! Paper shape: "Sinew is again the fastest of the SQL options. However
+//! ... MongoDB lags far behind each of the other three systems and is an
+//! order of magnitude slower than Sinew" — Mongo has no native join and
+//! runs user code with explicit intermediate collections; at the larger
+//! scale both MongoDB and EAV run out of intermediate space (DNF).
+
+use sinew_bench::{ms, time_avg, HarnessConfig, TablePrinter};
+use sinew_nobench::queries::{EavSut, MongoSut, PgJsonSut, SinewSut, SystemUnderTest};
+use sinew_nobench::{generate, NoBenchConfig, QueryParams};
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let scales: Vec<(&str, u64)> = if cfg.run_large {
+        vec![("small", cfg.small_docs), ("large", cfg.large_docs)]
+    } else {
+        vec![("small", cfg.small_docs)]
+    };
+
+    for (scale, n) in scales {
+        println!("\n=== Figure 7 — NoBench Q11 (join), {scale} scale, {n} records ===\n");
+        let gen_cfg = NoBenchConfig::default();
+        let docs = generate(n, &gen_cfg);
+        let params = QueryParams::derive(&docs, &gen_cfg);
+
+        let mut mongo = MongoSut::new();
+        // at the large scale Mongo's scratch space runs out (paper: "the
+        // query required so much intermediate storage that it could not
+        // complete"); the cap models the paper's exhausted disk
+        if scale == "large" {
+            mongo.join_scratch_limit = 4 * 1024 * 1024;
+        }
+        let eav = EavSut::in_memory();
+        if scale == "large" {
+            eav.store.db().set_exec_limits(sinew_rdbms::ExecLimits {
+                max_intermediate_rows: 2_000_000,
+            });
+        }
+        let mut suts: Vec<Box<dyn SystemUnderTest>> = vec![
+            Box::new(mongo),
+            Box::new(SinewSut::in_memory()),
+            Box::new(eav),
+            Box::new(PgJsonSut::in_memory()),
+        ];
+        for sut in &mut suts {
+            sut.load(&docs).unwrap_or_else(|e| panic!("{} load: {e}", sut.name()));
+        }
+
+        let t = TablePrinter::new(&["System", "Q11 (ms)", "rows"], &[10, 12, 8]);
+        for sut in &suts {
+            match sut.run_query(11, &params) {
+                Ok(rows) => {
+                    let avg = time_avg(cfg.reps, || {
+                        sut.run_query(11, &params).unwrap();
+                    });
+                    t.row(&[sut.name().to_string(), ms(avg), rows.to_string()]);
+                }
+                Err(_) => {
+                    t.row(&[sut.name().to_string(), "DNF".to_string(), "-".to_string()]);
+                }
+            }
+        }
+        println!("\nShape checks: Sinew fastest; MongoDB slowest / DNF at scale.");
+    }
+}

@@ -1,0 +1,80 @@
+//! **Appendix B, Table 5** — the execution overhead of virtual columns vs
+//! physical columns, isolated from plan effects.
+//!
+//! Paper values (10M tweets):
+//!
+//! ```text
+//! Query                                        Virtual   Physical
+//! SELECT "user.id" FROM tweets                  14.40     13.57   (+6%)
+//! SELECT * ... WHERE "user.lang" = 'en'         63.59     63.37   (<1%)
+//! SELECT * ... ORDER BY "user.friends_count"    74.59     73.55   (~1.4%)
+//! ```
+//!
+//! Shape claim: "our object serialization introduces very little execution
+//! overhead ... less than a 5% reduction in performance", and the relative
+//! overhead *shrinks* as fixed query costs grow (projection worst,
+//! selection/sort better).
+
+use sinew_bench::{ms, time_avg, HarnessConfig, TablePrinter};
+use sinew_core::{AnalyzerPolicy, Sinew};
+use sinew_nobench::twitter::{tweets, TwitterConfig};
+
+const QUERIES: [(&str, &str); 3] = [
+    ("projection", r#"SELECT "user.id" FROM tweets"#),
+    ("selection", r#"SELECT id_str, retweet_count FROM tweets WHERE "user.lang" = 'en'"#),
+    (
+        "order by",
+        r#"SELECT id_str FROM tweets ORDER BY "user.friends_count" DESC LIMIT 100"#,
+    ),
+];
+
+fn build(materialize: bool, n: u64) -> Sinew {
+    let sinew = Sinew::in_memory();
+    sinew.create_collection("tweets").unwrap();
+    sinew.load_docs("tweets", &tweets(n, &TwitterConfig::default())).unwrap();
+    if materialize {
+        let policy = AnalyzerPolicy {
+            density_threshold: 0.5,
+            cardinality_threshold: 1,
+            sample_rows: 50_000,
+        };
+        sinew.run_analyzer("tweets", &policy).unwrap();
+        sinew.materialize_until_clean("tweets").unwrap();
+        sinew.db().analyze("tweets").unwrap();
+    }
+    sinew
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let n = cfg.small_docs;
+    println!("\n=== Appendix B Table 5 — virtual vs physical columns, {n} tweets ===\n");
+
+    let virt = build(false, n);
+    let phys = build(true, n);
+
+    let t = TablePrinter::new(
+        &["Query", "Virtual (ms)", "Physical (ms)", "Overhead"],
+        &[12, 14, 14, 10],
+    );
+    for (name, sql) in QUERIES {
+        // correctness first
+        let rv = virt.query(sql).unwrap().rows.len();
+        let rp = phys.query(sql).unwrap().rows.len();
+        assert_eq!(rv, rp, "{name} row mismatch");
+        let tv = time_avg(cfg.reps, || {
+            virt.query(sql).unwrap();
+        });
+        let tp = time_avg(cfg.reps, || {
+            phys.query(sql).unwrap();
+        });
+        let overhead = (tv.as_secs_f64() / tp.as_secs_f64() - 1.0) * 100.0;
+        t.row(&[name.to_string(), ms(tv), ms(tp), format!("{overhead:+.1}%")]);
+    }
+    println!(
+        "\nShape checks: virtual-column overhead small; largest for the \
+         bare projection, smaller once other query costs dominate. \
+         (The paper reports <5%; our extraction consults the catalog \
+         dictionary per row, so a few extra percent are expected.)"
+    );
+}

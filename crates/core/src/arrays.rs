@@ -1,0 +1,213 @@
+//! Alternative array storage (paper §4.2).
+//!
+//! By default Sinew stores arrays inside the reservoir and materializes
+//! them as the RDBMS array datatype. "Alternatively, if the array is
+//! intended to be an unordered collection or if it comprises a list of
+//! nested objects, the user can specify that the array elements be stored
+//! in a separate table as tuples of the form (parent object id, index,
+//! element). Maintaining a separate table not only decreases the complexity
+//! of cataloging, but also ensures that Sinew maintains aggregate
+//! statistics on the collection of array elements rather than segmenting
+//! those statistics by position in the array."
+//!
+//! [`enable_element_table`] opts one array key of a collection into that
+//! mapping: existing and future elements are mirrored into
+//! `<table>__elems_<n>` with columns `(parent, idx, str_val, num_val,
+//! bool_val)`, queryable with plain SQL (`JOIN ... ON parent = t._rowid`)
+//! and kept fresh by the loader. The reservoir copy remains authoritative
+//! for `SELECT` of the whole array; the element table exists for
+//! element-level predicates, joins, and statistics.
+
+use crate::catalog::Catalog;
+use crate::types::{decode_array, ArrayElem, AttrType};
+use crate::Sinew;
+use sinew_rdbms::{ColType, Database, Datum, DbError, DbResult};
+
+/// Name of the element side-table for an array key.
+pub fn element_table_name(table: &str, key: &str) -> String {
+    // keys can contain dots; keep the name SQL-friendly
+    format!("{table}__elems_{}", key.replace('.', "_"))
+}
+
+/// Create (if needed) and backfill the element table for one array key.
+/// Returns the number of element rows written.
+pub fn enable_element_table(sinew: &Sinew, table: &str, key: &str) -> DbResult<u64> {
+    let db = sinew.db();
+    let cat = sinew.catalog();
+    if cat.lookup(key, AttrType::Array).is_none() {
+        return Err(DbError::NotFound(format!("array attribute {key} in {table}")));
+    }
+    let side = element_table_name(table, key);
+    if !db.table_names().contains(&side) {
+        db.create_table(
+            &side,
+            vec![
+                ("parent".into(), ColType::Int),
+                ("idx".into(), ColType::Int),
+                ("str_val".into(), ColType::Text),
+                ("num_val".into(), ColType::Float),
+                ("bool_val".into(), ColType::Bool),
+            ],
+        )?;
+    } else {
+        db.execute(&format!("DELETE FROM {side}"))?;
+    }
+    let written = backfill(db, cat, table, key, &side, 0)?;
+    sinew.register_element_table(table, key);
+    db.analyze(&side)?;
+    Ok(written)
+}
+
+/// Mirror array elements of rows `from_rowid..` into the side table.
+pub(crate) fn backfill(
+    db: &Database,
+    cat: &Catalog,
+    table: &str,
+    key: &str,
+    side: &str,
+    from_rowid: u64,
+) -> DbResult<u64> {
+    let Some(attr) = cat.lookup(key, AttrType::Array) else {
+        return Ok(0);
+    };
+    let mut rows: Vec<Vec<Datum>> = Vec::new();
+    let high = db.high_water(table)?;
+    for rowid in from_rowid..high {
+        let Some(row) = db.get_row(table, rowid)? else { continue };
+        // the reservoir is the first (and possibly only) bytea column named
+        // data; find it by schema
+        let schema = db.schema(table)?;
+        let Some(data_idx) = schema
+            .live_columns()
+            .position(|(_, c)| c.name == "data")
+        else {
+            break;
+        };
+        let Datum::Bytea(bytes) = &row[data_idx] else { continue };
+        let value = crate::extract::extract_attr(cat, bytes, key, attr)?;
+        let Some(Datum::Array(items)) = value else {
+            // the attribute may be materialized as a physical array column
+            let col_state = cat
+                .states_for_name(table, key)
+                .into_iter()
+                .find(|(_, ty, st)| *ty == AttrType::Array && st.materialized);
+            if let Some((_, _, st)) = col_state {
+                if let Some(i) = schema.live_columns().position(|(_, c)| c.name == st.column_name)
+                {
+                    if let Datum::Array(items) = &row[i] {
+                        push_elements(&mut rows, rowid, items);
+                    }
+                }
+            }
+            continue;
+        };
+        push_elements(&mut rows, rowid, &items);
+    }
+    let n = rows.len() as u64;
+    if !rows.is_empty() {
+        db.insert_rows(side, &rows)?;
+    }
+    Ok(n)
+}
+
+fn push_elements(rows: &mut Vec<Vec<Datum>>, parent: u64, items: &[Datum]) {
+    for (idx, item) in items.iter().enumerate() {
+        let (s, n, b) = match item {
+            Datum::Text(s) => (Datum::Text(s.clone()), Datum::Null, Datum::Null),
+            Datum::Int(i) => (Datum::Null, Datum::Float(*i as f64), Datum::Null),
+            Datum::Float(f) => (Datum::Null, Datum::Float(*f), Datum::Null),
+            Datum::Bool(v) => (Datum::Null, Datum::Null, Datum::Bool(*v)),
+            // nested docs/arrays fall back to their text rendering
+            other => (Datum::Text(other.display_text()), Datum::Null, Datum::Null),
+        };
+        rows.push(vec![Datum::Int(parent as i64), Datum::Int(idx as i64), s, n, b]);
+    }
+}
+
+/// Decode array bytes into datums (shared helper).
+pub fn elements_of(bytes: &[u8]) -> Option<Vec<ArrayElem>> {
+    decode_array(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sinew;
+
+    fn sinew_with_arrays() -> Sinew {
+        let s = Sinew::in_memory();
+        s.create_collection("t").unwrap();
+        s.load_jsonl(
+            "t",
+            r#"
+            {"id": 1, "tags": ["red", "blue"], "n": 10}
+            {"id": 2, "tags": ["blue", "green", "red"], "n": 20}
+            {"id": 3, "n": 30}
+            "#,
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn backfill_and_query_via_join() {
+        let s = sinew_with_arrays();
+        let written = enable_element_table(&s, "t", "tags").unwrap();
+        assert_eq!(written, 5);
+        // element-level predicate as a plain SQL join
+        let r = s
+            .query(
+                "SELECT t.id FROM t, t__elems_tags e \
+                 WHERE e.parent = t._rowid AND e.str_val = 'green'",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Datum::Int(2));
+        // aggregate statistics over the element collection (§4.2's point)
+        let r = s
+            .query("SELECT str_val, COUNT(*) FROM t__elems_tags GROUP BY str_val")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn loader_keeps_element_table_fresh() {
+        let s = sinew_with_arrays();
+        enable_element_table(&s, "t", "tags").unwrap();
+        s.load_jsonl("t", r#"{"id": 4, "tags": ["green"]}"#).unwrap();
+        let r = s
+            .query(
+                "SELECT COUNT(*) FROM t, t__elems_tags e \
+                 WHERE e.parent = t._rowid AND e.str_val = 'green'",
+            )
+            .unwrap();
+        assert_eq!(r.rows[0][0], Datum::Int(2));
+        // index positions preserved
+        let r = s
+            .query("SELECT idx FROM t__elems_tags WHERE parent = 3")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Int(0)]]);
+    }
+
+    #[test]
+    fn numeric_and_mixed_arrays() {
+        let s = Sinew::in_memory();
+        s.create_collection("m").unwrap();
+        s.load_jsonl("m", r#"{"xs": [1, 2.5, true, "s"]}"#).unwrap();
+        enable_element_table(&s, "m", "xs").unwrap();
+        let r = s
+            .query("SELECT COUNT(*) FROM m__elems_xs WHERE num_val IS NOT NULL")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Datum::Int(2));
+        let r = s
+            .query("SELECT COUNT(*) FROM m__elems_xs WHERE bool_val IS NOT NULL")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Datum::Int(1));
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let s = sinew_with_arrays();
+        assert!(enable_element_table(&s, "t", "nope").is_err());
+    }
+}

@@ -1,0 +1,395 @@
+//! The Sinew catalog (paper §3.1.2, Figure 4).
+//!
+//! Two parts, exactly as the paper divides them:
+//!
+//! 1. a **global attribute dictionary** — `(id, key_name, key_type)` triples
+//!    across all relations, serving as "the dictionary that maps every
+//!    attribute to an ID, thereby providing a compact key representation
+//!    ... inside the storage layer";
+//! 2. **per-table column state** — occurrence count, physical/virtual flag,
+//!    and the dirty flag driving the materializer.
+//!
+//! Both parts are mirrored into ordinary RDBMS tables
+//! (`_sinew_attributes` and `_sinew_cols_<table>`) so they are themselves
+//! queryable through SQL, with a write-through in-memory cache for the hot
+//! lookup paths (serialization and extraction).
+
+use crate::types::AttrType;
+use parking_lot::RwLock;
+use sinew_rdbms::{ColType, Database, Datum, DbError, DbResult};
+use std::collections::HashMap;
+
+pub type AttrId = u32;
+
+/// Per-table state of one attribute (Figure 4b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnState {
+    /// Number of loaded documents containing this attribute.
+    pub count: u64,
+    /// Is the attribute stored as a physical column?
+    pub materialized: bool,
+    /// Values may be split between the physical column and the reservoir.
+    pub dirty: bool,
+    /// Name of the physical column in the RDBMS (differs from the key name
+    /// when the key collides with reserved names or a multi-typed sibling).
+    pub column_name: String,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// id → (name, type)
+    by_id: HashMap<AttrId, (String, AttrType)>,
+    /// name → (id, type) for every registered type of that key. Keyed by
+    /// borrowable `String` so the hot extraction path never allocates.
+    by_name: HashMap<String, Vec<(AttrId, AttrType)>>,
+    next_id: AttrId,
+    /// table → attr id → state
+    tables: HashMap<String, HashMap<AttrId, ColumnState>>,
+}
+
+/// The catalog.
+#[derive(Default)]
+pub struct Catalog {
+    inner: RwLock<Inner>,
+}
+
+pub const ATTR_TABLE: &str = "_sinew_attributes";
+
+pub fn cols_table(table: &str) -> String {
+    format!("_sinew_cols_{table}")
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Create the dictionary mirror table if needed.
+    pub fn bootstrap(&self, db: &Database) -> DbResult<()> {
+        if !db.table_names().contains(&ATTR_TABLE.to_string()) {
+            db.create_table(
+                ATTR_TABLE,
+                vec![
+                    ("_id".into(), ColType::Int),
+                    ("key_name".into(), ColType::Text),
+                    ("key_type".into(), ColType::Text),
+                ],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Register the per-table mirror for a new collection.
+    pub fn register_table(&self, db: &Database, table: &str) -> DbResult<()> {
+        let mirror = cols_table(table);
+        if !db.table_names().contains(&mirror) {
+            db.create_table(
+                &mirror,
+                vec![
+                    ("_id".into(), ColType::Int),
+                    ("count".into(), ColType::Int),
+                    ("materialized".into(), ColType::Bool),
+                    ("dirty".into(), ColType::Bool),
+                    ("column_name".into(), ColType::Text),
+                ],
+            )?;
+        }
+        self.inner.write().tables.entry(table.to_string()).or_default();
+        Ok(())
+    }
+
+    /// Look up or create the attribute id for (name, type); new attributes
+    /// are appended to the dictionary mirror. "The cost of adding a new
+    /// attribute to the schema is just the cost to insert the new attribute
+    /// into the catalog" (§3.2.1).
+    pub fn intern(&self, db: &Database, name: &str, ty: AttrType) -> DbResult<AttrId> {
+        {
+            let inner = self.inner.read();
+            if let Some(entries) = inner.by_name.get(name) {
+                if let Some((id, _)) = entries.iter().find(|(_, t)| *t == ty) {
+                    return Ok(*id);
+                }
+            }
+        }
+        let mut inner = self.inner.write();
+        if let Some(entries) = inner.by_name.get(name) {
+            if let Some((id, _)) = entries.iter().find(|(_, t)| *t == ty) {
+                return Ok(*id);
+            }
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.by_id.insert(id, (name.to_string(), ty));
+        inner.by_name.entry(name.to_string()).or_default().push((id, ty));
+        drop(inner);
+        db.insert_rows(
+            ATTR_TABLE,
+            &[vec![
+                Datum::Int(id as i64),
+                Datum::Text(name.to_string()),
+                Datum::Text(ty.name().to_string()),
+            ]],
+        )?;
+        Ok(id)
+    }
+
+    /// Fast lookup without creating. Allocation-free: this sits on the
+    /// per-row extraction path.
+    pub fn lookup(&self, name: &str, ty: AttrType) -> Option<AttrId> {
+        self.inner
+            .read()
+            .by_name
+            .get(name)
+            .and_then(|entries| entries.iter().find(|(_, t)| *t == ty).map(|(id, _)| *id))
+    }
+
+    /// All attribute ids registered under a key name (one per type seen).
+    pub fn ids_for_name(&self, name: &str) -> Vec<(AttrId, AttrType)> {
+        self.inner.read().by_name.get(name).cloned().unwrap_or_default()
+    }
+
+    pub fn attr_info(&self, id: AttrId) -> Option<(String, AttrType)> {
+        self.inner.read().by_id.get(&id).cloned()
+    }
+
+    /// Record one more occurrence of an attribute in a table (in-memory;
+    /// call [`Catalog::sync_table`] after a batch to refresh the mirror).
+    pub fn bump_count(&self, table: &str, id: AttrId, by: u64) {
+        self.bump_counts(table, &[(id, by)]);
+    }
+
+    /// Batched count update: one write-lock acquisition for a whole load
+    /// batch (the loader calls this once per `load_docs`).
+    pub fn bump_counts(&self, table: &str, deltas: &[(AttrId, u64)]) {
+        let mut inner = self.inner.write();
+        for &(id, by) in deltas {
+            let (name, ty) = inner.by_id.get(&id).cloned().expect("attr interned");
+            // Compute the physical column name up front (stable per attr).
+            let column_name = physical_column_name(&name, ty, &inner.by_name[&name]);
+            let states = inner.tables.entry(table.to_string()).or_default();
+            let st = states.entry(id).or_insert_with(|| ColumnState {
+                count: 0,
+                materialized: false,
+                dirty: false,
+                column_name,
+            });
+            st.count += by;
+        }
+    }
+
+    /// All attribute state for one table, sorted by attribute id — the
+    /// logical universal-relation schema of that table.
+    pub fn table_state(&self, table: &str) -> Vec<(AttrId, ColumnState)> {
+        let inner = self.inner.read();
+        let mut out: Vec<(AttrId, ColumnState)> = inner
+            .tables
+            .get(table)
+            .map(|m| m.iter().map(|(id, st)| (*id, st.clone())).collect())
+            .unwrap_or_default();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    pub fn column_state(&self, table: &str, id: AttrId) -> Option<ColumnState> {
+        self.inner.read().tables.get(table)?.get(&id).cloned()
+    }
+
+    /// State lookup by key name: all (id, type, state) entries for a name.
+    pub fn states_for_name(&self, table: &str, name: &str) -> Vec<(AttrId, AttrType, ColumnState)> {
+        let inner = self.inner.read();
+        let Some(entries) = inner.by_name.get(name) else { return Vec::new() };
+        let Some(states) = inner.tables.get(table) else { return Vec::new() };
+        entries
+            .iter()
+            .filter_map(|(id, ty)| states.get(id).map(|st| (*id, *ty, st.clone())))
+            .collect()
+    }
+
+    /// Set materialization/dirty flags (the analyzer and materializer call
+    /// this; the mirror refresh happens in `sync_table`).
+    pub fn set_flags(
+        &self,
+        table: &str,
+        id: AttrId,
+        materialized: bool,
+        dirty: bool,
+    ) -> DbResult<()> {
+        let mut inner = self.inner.write();
+        let st = inner
+            .tables
+            .get_mut(table)
+            .and_then(|m| m.get_mut(&id))
+            .ok_or_else(|| DbError::NotFound(format!("attr {id} in {table}")))?;
+        st.materialized = materialized;
+        st.dirty = dirty;
+        Ok(())
+    }
+
+    /// Mark every *materialized* attribute that just received reservoir
+    /// data as dirty (loader postlude, §3.2.1).
+    pub fn mark_loaded_dirty(&self, table: &str, touched: &[AttrId]) {
+        let mut inner = self.inner.write();
+        if let Some(states) = inner.tables.get_mut(table) {
+            for id in touched {
+                if let Some(st) = states.get_mut(id) {
+                    if st.materialized {
+                        st.dirty = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Any dirty columns in a table? (the materializer's poll).
+    pub fn dirty_attrs(&self, table: &str) -> Vec<AttrId> {
+        let inner = self.inner.read();
+        inner
+            .tables
+            .get(table)
+            .map(|m| {
+                let mut v: Vec<AttrId> =
+                    m.iter().filter(|(_, st)| st.dirty).map(|(id, _)| *id).collect();
+                v.sort_unstable();
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// Rewrite the per-table mirror from the cache (batched write-through).
+    pub fn sync_table(&self, db: &Database, table: &str) -> DbResult<()> {
+        let rows: Vec<Vec<Datum>> = self
+            .table_state(table)
+            .into_iter()
+            .map(|(id, st)| {
+                vec![
+                    Datum::Int(id as i64),
+                    Datum::Int(st.count as i64),
+                    Datum::Bool(st.materialized),
+                    Datum::Bool(st.dirty),
+                    Datum::Text(st.column_name),
+                ]
+            })
+            .collect();
+        let mirror = cols_table(table);
+        db.execute(&format!("DELETE FROM \"{mirror}\""))?;
+        if !rows.is_empty() {
+            db.insert_rows(&mirror, &rows)?;
+        }
+        Ok(())
+    }
+
+    pub fn attribute_count(&self) -> usize {
+        self.inner.read().by_id.len()
+    }
+
+    /// Is this table a registered Sinew collection (vs a raw RDBMS table)?
+    pub fn is_collection(&self, table: &str) -> bool {
+        self.inner.read().tables.contains_key(table)
+    }
+}
+
+/// Physical column name for an attribute. Key names are used directly
+/// unless they collide with the reservoir/rowid names or with a sibling of
+/// another type (multi-typed keys get a type suffix).
+fn physical_column_name(name: &str, ty: AttrType, siblings: &[(AttrId, AttrType)]) -> String {
+    let base = if name == "data" || name == "_rowid" || name.starts_with("_sinew") {
+        format!("k_{name}")
+    } else {
+        name.to_string()
+    };
+    if siblings.len() > 1 {
+        format!("{base}\u{1}{}", ty.name())
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinew_rdbms::Database;
+
+    fn setup() -> (Database, Catalog) {
+        let db = Database::in_memory();
+        let cat = Catalog::new();
+        cat.bootstrap(&db).unwrap();
+        cat.register_table(&db, "t").unwrap();
+        (db, cat)
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_type_sensitive() {
+        let (db, cat) = setup();
+        let a = cat.intern(&db, "hits", AttrType::Int).unwrap();
+        let b = cat.intern(&db, "hits", AttrType::Int).unwrap();
+        let c = cat.intern(&db, "hits", AttrType::Text).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(cat.ids_for_name("hits").len(), 2);
+        assert_eq!(cat.attr_info(a), Some(("hits".to_string(), AttrType::Int)));
+        // mirror table got both rows
+        let r = db.execute("SELECT COUNT(*) FROM _sinew_attributes").unwrap();
+        assert_eq!(r.scalar(), Some(&Datum::Int(2)));
+    }
+
+    #[test]
+    fn counts_and_flags() {
+        let (db, cat) = setup();
+        let id = cat.intern(&db, "url", AttrType::Text).unwrap();
+        cat.bump_count("t", id, 3);
+        cat.bump_count("t", id, 2);
+        let st = cat.column_state("t", id).unwrap();
+        assert_eq!(st.count, 5);
+        assert!(!st.materialized);
+        cat.set_flags("t", id, true, true).unwrap();
+        assert_eq!(cat.dirty_attrs("t"), vec![id]);
+        cat.set_flags("t", id, true, false).unwrap();
+        assert!(cat.dirty_attrs("t").is_empty());
+    }
+
+    #[test]
+    fn mark_loaded_dirty_only_affects_materialized() {
+        let (db, cat) = setup();
+        let a = cat.intern(&db, "a", AttrType::Int).unwrap();
+        let b = cat.intern(&db, "b", AttrType::Int).unwrap();
+        cat.bump_count("t", a, 1);
+        cat.bump_count("t", b, 1);
+        cat.set_flags("t", a, true, false).unwrap();
+        cat.mark_loaded_dirty("t", &[a, b]);
+        assert_eq!(cat.dirty_attrs("t"), vec![a]);
+    }
+
+    #[test]
+    fn sync_table_mirror_matches_cache() {
+        let (db, cat) = setup();
+        let id = cat.intern(&db, "x", AttrType::Float).unwrap();
+        cat.bump_count("t", id, 7);
+        cat.sync_table(&db, "t").unwrap();
+        let r = db
+            .execute("SELECT count, materialized FROM _sinew_cols_t WHERE _id = 0")
+            .unwrap();
+        assert_eq!(r.rows[0], vec![Datum::Int(7), Datum::Bool(false)]);
+        // re-sync after a change
+        cat.bump_count("t", id, 1);
+        cat.sync_table(&db, "t").unwrap();
+        let r = db.execute("SELECT count FROM _sinew_cols_t").unwrap();
+        assert_eq!(r.scalar(), Some(&Datum::Int(8)));
+    }
+
+    #[test]
+    fn column_name_collisions_resolved() {
+        let (db, cat) = setup();
+        let d = cat.intern(&db, "data", AttrType::Text).unwrap();
+        cat.bump_count("t", d, 1);
+        assert_eq!(cat.column_state("t", d).unwrap().column_name, "k_data");
+        // multi-typed key: both names get a type suffix
+        let i = cat.intern(&db, "dyn", AttrType::Int).unwrap();
+        let s = cat.intern(&db, "dyn", AttrType::Text).unwrap();
+        cat.bump_count("t", i, 1);
+        cat.bump_count("t", s, 1);
+        let ni = cat.column_state("t", i).unwrap().column_name;
+        let ns = cat.column_state("t", s).unwrap().column_name;
+        assert_ne!(ni, ns);
+        assert!(ni.starts_with("dyn"));
+    }
+}

@@ -1,0 +1,388 @@
+//! # sinew-core
+//!
+//! **Sinew: A SQL System for Multi-Structured Data** (Tahara, Diamond,
+//! Abadi — SIGMOD 2014): a layer above an unmodified RDBMS that lets users
+//! issue standard SQL over schemaless JSON-like data.
+//!
+//! The user sees a *universal relation*: one logical column per distinct
+//! (dot-flattened) key in the loaded data. Physically, every document lives
+//! serialized in a single `data` BYTEA column — the **column reservoir** —
+//! and a background pipeline promotes hot attributes to real columns:
+//!
+//! * the [loader](loader) serializes documents (paper §3.2.1, §4.1) and
+//!   registers attributes in the [catalog](catalog) (§3.1.2);
+//! * the [schema analyzer](analyzer) periodically picks attributes to
+//!   materialize or demote (§3.1.3);
+//! * the [column materializer](materializer) moves values between the
+//!   reservoir and physical columns, incrementally, one atomic row update
+//!   at a time (§3.1.4);
+//! * the [query rewriter](rewriter) turns logical SQL into physical SQL —
+//!   virtual columns become `extract_key_*` UDF calls, dirty columns become
+//!   `COALESCE(col, extract_key_*(data, ...))` (§3.2.2);
+//! * an optional [inverted text index](https://docs.rs/sinew-index)
+//!   accelerates predicates and powers `matches(keys, query)` (§4.3).
+//!
+//! ```
+//! use sinew_core::Sinew;
+//! let sinew = Sinew::in_memory();
+//! sinew.create_collection("webrequests").unwrap();
+//! sinew.load_jsonl("webrequests", r#"
+//!     {"url": "www.sample-site.com", "hits": 22, "avg_site_visit": 128.5, "country": "pl"}
+//!     {"url": "www.sample-site2.com", "hits": 15, "ip": "123.45.67.89", "owner": "John P. Smith"}
+//! "#).unwrap();
+//! let r = sinew.query("SELECT url FROM webrequests WHERE hits > 20").unwrap();
+//! assert_eq!(r.rows[0][0].display_text(), "www.sample-site.com");
+//! ```
+
+pub mod analyzer;
+pub mod arrays;
+pub mod background;
+pub mod catalog;
+pub mod extract;
+pub mod loader;
+pub mod materializer;
+pub mod rewriter;
+pub mod types;
+mod udfs;
+
+pub use analyzer::{AnalyzerDecision, AnalyzerPolicy};
+pub use background::{BackgroundConfig, BackgroundMaterializer};
+pub use catalog::{AttrId, Catalog, ColumnState};
+pub use loader::LoadReport;
+pub use materializer::{MaterializerReport, StepBudget};
+pub use types::AttrType;
+
+use parking_lot::{Mutex, RwLock};
+use sinew_index::TextIndex;
+use sinew_json::Value;
+use sinew_rdbms::{ColType, Database, Datum, DbError, DbResult, QueryResult};
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One logical column of the universal-relation view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalColumn {
+    pub name: String,
+    pub ty: AttrType,
+    pub count: u64,
+    pub materialized: bool,
+    pub dirty: bool,
+}
+
+/// The Sinew system: an RDBMS plus the schema-free layer above it.
+pub struct Sinew {
+    db: Arc<Database>,
+    catalog: Arc<Catalog>,
+    /// Loader ⟷ materializer mutual exclusion (the catalog latch of
+    /// §3.1.4: "The materializer and loader are not allowed to run
+    /// concurrently (which we implement via a latch in the catalog)").
+    load_latch: Arc<Mutex<()>>,
+    /// Optional per-collection text indexes (§4.3).
+    indexes: RwLock<HashMap<String, Arc<TextIndex>>>,
+    /// Row-id sets produced by rewrite-time text-index searches, consumed
+    /// by the `__sinew_rowid_set` UDF.
+    rowid_sets: Arc<RwLock<HashMap<String, Arc<HashSet<i64>>>>>,
+    /// Resumable materializer cursors per (table, attribute).
+    cursors: Mutex<HashMap<(String, AttrId), u64>>,
+    set_counter: Mutex<u64>,
+    /// Array keys mirrored into element side-tables (paper §4.2), with the
+    /// high-water row id already backfilled.
+    element_tables: Mutex<HashMap<(String, String), u64>>,
+}
+
+impl Sinew {
+    /// In-memory Sinew (tests, examples).
+    pub fn in_memory() -> Sinew {
+        Sinew::with_db(Database::in_memory())
+    }
+
+    /// File-backed Sinew with a bounded buffer pool and optional simulated
+    /// I/O latency (see DESIGN.md on the I/O-bound regime).
+    pub fn open(path: &Path, pool_pages: usize, io_delay: Option<Duration>) -> DbResult<Sinew> {
+        Ok(Sinew::with_db(Database::open(path, pool_pages, io_delay)?))
+    }
+
+    pub fn with_db(db: Database) -> Sinew {
+        let db = Arc::new(db);
+        let catalog = Arc::new(Catalog::new());
+        catalog.bootstrap(&db).expect("catalog bootstrap");
+        let rowid_sets: Arc<RwLock<HashMap<String, Arc<HashSet<i64>>>>> =
+            Arc::new(RwLock::new(HashMap::new()));
+        udfs::install(&db, &catalog, &rowid_sets);
+        Sinew {
+            db,
+            catalog,
+            load_latch: Arc::new(Mutex::new(())),
+            indexes: RwLock::new(HashMap::new()),
+            rowid_sets,
+            cursors: Mutex::new(HashMap::new()),
+            set_counter: Mutex::new(0),
+            element_tables: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying RDBMS (benchmarks and tests reach through here).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    // ---- collections ----
+
+    /// Create a collection: one RDBMS table holding only the column
+    /// reservoir, plus its catalog mirror.
+    pub fn create_collection(&self, name: &str) -> DbResult<()> {
+        if name.starts_with("_sinew") {
+            return Err(DbError::Schema("collection names starting with _sinew are reserved".into()));
+        }
+        self.db.create_table(name, vec![("data".into(), ColType::Bytea)])?;
+        self.catalog.register_table(&self.db, name)
+    }
+
+    /// Registered Sinew collections (raw RDBMS tables are excluded — the
+    /// rewriter leaves those untouched, which is how Sinew "interacts
+    /// transparently with structured data already stored in the RDBMS",
+    /// paper §7).
+    pub fn collections(&self) -> Vec<String> {
+        self.db
+            .table_names()
+            .into_iter()
+            .filter(|t| self.catalog.is_collection(t))
+            .collect()
+    }
+
+    /// The logical (universal-relation) schema of a collection: one column
+    /// per registered attribute, orderd by attribute id.
+    pub fn logical_schema(&self, table: &str) -> Vec<LogicalColumn> {
+        self.catalog
+            .table_state(table)
+            .into_iter()
+            .filter_map(|(id, st)| {
+                let (name, ty) = self.catalog.attr_info(id)?;
+                Some(LogicalColumn {
+                    name,
+                    ty,
+                    count: st.count,
+                    materialized: st.materialized,
+                    dirty: st.dirty,
+                })
+            })
+            .collect()
+    }
+
+    // ---- loading ----
+
+    /// Bulk-load newline-delimited JSON.
+    pub fn load_jsonl(&self, table: &str, input: &str) -> DbResult<LoadReport> {
+        let _latch = self.load_latch.lock();
+        let report = loader::load_jsonl(&self.db, &self.catalog, table, input)?;
+        self.index_new_rows(table)?;
+        self.refresh_element_tables(table)?;
+        Ok(report)
+    }
+
+    /// Bulk-load parsed documents.
+    pub fn load_docs(&self, table: &str, docs: &[Value]) -> DbResult<LoadReport> {
+        let _latch = self.load_latch.lock();
+        let report = loader::load_docs(&self.db, &self.catalog, table, docs)?;
+        self.index_new_rows(table)?;
+        self.refresh_element_tables(table)?;
+        Ok(report)
+    }
+
+    /// Opt an array key into the separate element-table mapping (§4.2).
+    pub fn enable_element_table(&self, table: &str, key: &str) -> DbResult<u64> {
+        arrays::enable_element_table(self, table, key)
+    }
+
+    pub(crate) fn register_element_table(&self, table: &str, key: &str) {
+        let high = self.db.high_water(table).unwrap_or(0);
+        self.element_tables
+            .lock()
+            .insert((table.to_string(), key.to_string()), high);
+    }
+
+    fn refresh_element_tables(&self, table: &str) -> DbResult<()> {
+        let keys: Vec<(String, u64)> = self
+            .element_tables
+            .lock()
+            .iter()
+            .filter(|((t, _), _)| t == table)
+            .map(|((_, k), hw)| (k.clone(), *hw))
+            .collect();
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let new_high = self.db.high_water(table)?;
+        for (key, from) in keys {
+            let side = arrays::element_table_name(table, &key);
+            arrays::backfill(&self.db, &self.catalog, table, &key, &side, from)?;
+            self.element_tables
+                .lock()
+                .insert((table.to_string(), key.clone()), new_high);
+        }
+        Ok(())
+    }
+
+    // ---- text index (§4.3) ----
+
+    /// Enable the inverted text index for a collection; existing rows are
+    /// indexed immediately, subsequent loads incrementally.
+    pub fn enable_text_index(&self, table: &str) -> DbResult<()> {
+        let idx = Arc::new(TextIndex::new());
+        self.indexes.write().insert(table.to_string(), idx);
+        self.reindex_all(table)
+    }
+
+    pub fn text_index(&self, table: &str) -> Option<Arc<TextIndex>> {
+        self.indexes.read().get(table).cloned()
+    }
+
+    fn reindex_all(&self, table: &str) -> DbResult<()> {
+        let Some(idx) = self.text_index(table) else { return Ok(()) };
+        let cat = &self.catalog;
+        self.db.scan_rows(table, &mut |rowid, row| {
+            if let Some(Datum::Bytea(bytes)) = row.first() {
+                index_doc(cat, &idx, rowid as i64 as u64, bytes, "");
+            }
+            Ok(true)
+        })
+    }
+
+    fn index_new_rows(&self, table: &str) -> DbResult<()> {
+        // Incremental path: re-walk only rows not yet indexed would need a
+        // high-water mark; for simplicity we rebuild when an index exists.
+        // (Loads are batched, so this is amortized; documented limitation.)
+        if self.indexes.read().contains_key(table) {
+            self.reindex_all(table)?;
+        }
+        Ok(())
+    }
+
+    /// Register a row-id set for `__sinew_rowid_set` and return its handle.
+    pub(crate) fn register_rowid_set(&self, rows: HashSet<i64>) -> String {
+        let mut n = self.set_counter.lock();
+        *n += 1;
+        let handle = format!("h{}", *n);
+        self.rowid_sets.write().insert(handle.clone(), Arc::new(rows));
+        handle
+    }
+
+    // ---- queries ----
+
+    /// Execute logical SQL: rewrite against the catalog, then run on the
+    /// RDBMS. This is the paper's end-to-end query path.
+    pub fn query(&self, sql: &str) -> DbResult<QueryResult> {
+        let stmt =
+            sinew_sql::parse_statement(sql).map_err(|e| DbError::Parse(e.to_string()))?;
+        let rewritten = rewriter::rewrite_statement(self, &stmt)?;
+        self.db.execute_statement(&rewritten)
+    }
+
+    /// Rewrite only — returns the physical SQL text (for inspection, tests,
+    /// and the paper's §3.2.2 examples).
+    pub fn rewrite(&self, sql: &str) -> DbResult<String> {
+        let stmt =
+            sinew_sql::parse_statement(sql).map_err(|e| DbError::Parse(e.to_string()))?;
+        Ok(rewriter::rewrite_statement(self, &stmt)?.to_string())
+    }
+
+    /// EXPLAIN the rewritten query.
+    pub fn explain(&self, sql: &str) -> DbResult<String> {
+        let stmt =
+            sinew_sql::parse_statement(sql).map_err(|e| DbError::Parse(e.to_string()))?;
+        let rewritten = rewriter::rewrite_statement(self, &stmt)?;
+        let explained = sinew_sql::Statement::Explain(Box::new(rewritten));
+        let r = self.db.execute_statement(&explained)?;
+        Ok(r.rows.iter().map(|row| row[0].display_text()).collect::<Vec<_>>().join("\n"))
+    }
+
+    // ---- analyzer + materializer ----
+
+    /// Run the schema analyzer over one collection (paper §3.1.3): marks
+    /// columns for (de)materialization and creates physical columns.
+    pub fn run_analyzer(&self, table: &str, policy: &AnalyzerPolicy) -> DbResult<Vec<AnalyzerDecision>> {
+        analyzer::run(self, table, policy)
+    }
+
+    /// One bounded materializer step (paper §3.1.4). Returns what moved.
+    pub fn materialize_step(&self, table: &str, budget: StepBudget) -> DbResult<MaterializerReport> {
+        materializer::run_step(self, table, budget)
+    }
+
+    /// Drive the materializer until no dirty columns remain.
+    pub fn materialize_until_clean(&self, table: &str) -> DbResult<MaterializerReport> {
+        materializer::run_until_clean(self, table)
+    }
+
+    pub(crate) fn load_latch(&self) -> &Mutex<()> {
+        &self.load_latch
+    }
+
+    pub(crate) fn cursors(&self) -> &Mutex<HashMap<(String, AttrId), u64>> {
+        &self.cursors
+    }
+}
+
+/// Feed one document's scalar leaves into the text index, faceted by
+/// attribute name (recursing through nested objects).
+fn index_doc(cat: &Catalog, idx: &TextIndex, rowid: u64, bytes: &[u8], _prefix: &str) {
+    let Ok(pairs) = sinew_serial::sinew::iter_raw(bytes) else { return };
+    for (id, raw) in pairs {
+        let Some((name, ty)) = cat.attr_info(id) else { continue };
+        match ty {
+            AttrType::Text => {
+                if let Ok(sinew_serial::SValue::Text(s)) =
+                    sinew_serial::sinew::decode_value(raw, sinew_serial::SType::Text)
+                {
+                    idx.add_text(&name, rowid, &s);
+                }
+            }
+            AttrType::Int => {
+                if let Ok(sinew_serial::SValue::Int(i)) =
+                    sinew_serial::sinew::decode_value(raw, sinew_serial::SType::Int)
+                {
+                    idx.add_number(&name, rowid, i as f64);
+                }
+            }
+            AttrType::Float => {
+                if let Ok(sinew_serial::SValue::Float(f)) =
+                    sinew_serial::sinew::decode_value(raw, sinew_serial::SType::Float)
+                {
+                    idx.add_number(&name, rowid, f);
+                }
+            }
+            AttrType::Bool => {}
+            AttrType::Object => index_doc(cat, idx, rowid, raw, &name),
+            AttrType::Array => {
+                if let Some(elems) = types::decode_array(raw) {
+                    index_array(cat, idx, rowid, &name, &elems);
+                }
+            }
+        }
+    }
+}
+
+fn index_array(
+    cat: &Catalog,
+    idx: &TextIndex,
+    rowid: u64,
+    field: &str,
+    elems: &[types::ArrayElem],
+) {
+    for e in elems {
+        match e {
+            types::ArrayElem::Text(s) => idx.add_text(field, rowid, s),
+            types::ArrayElem::Int(i) => idx.add_number(field, rowid, *i as f64),
+            types::ArrayElem::Float(f) => idx.add_number(field, rowid, *f),
+            types::ArrayElem::Doc(b) => index_doc(cat, idx, rowid, b, field),
+            types::ArrayElem::Array(inner) => index_array(cat, idx, rowid, field, inner),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The loader (paper §3.2.1): document → reservoir serialization plus
+//! catalog registration.
+//!
+//! "A bulk load is completed in two steps, serialization and insertion."
+//! Serialization walks each (validated) document, inferring each value's
+//! type, interning `(key, type)` attributes into the global dictionary, and
+//! producing the custom binary format of §4.1. Insertion appends rows with
+//! **all data in the column reservoir**, "regardless of the current schema
+//! of the underlying physical relation" — materialized columns whose data
+//! just landed in the reservoir are simply marked dirty, and the column
+//! materializer moves the values later. This keeps the loader entirely
+//! ignorant of the physical schema (the modularity argument of §3.2.1).
+//!
+//! Nested objects serialize as *nested documents* stored under their
+//! parent key; nested keys are registered (and addressable) under dotted
+//! full names (`user.id`). Arrays serialize tag-encoded (§4.2's default
+//! "RDBMS array datatype" mapping applies on materialization); object
+//! elements of arrays are nested documents whose keys are rooted at the
+//! array's path.
+
+use crate::catalog::{AttrId, Catalog};
+use crate::types::{encode_array, ArrayElem, AttrType};
+use sinew_json::Value;
+use sinew_rdbms::{Database, DbError, DbResult};
+use sinew_serial::{sinew as sformat, Doc, SValue};
+
+/// Serialize one JSON document into reservoir bytes; returns the attribute
+/// ids present (for catalog counting and dirty marking). The id list
+/// contains *every* registered attribute the document touches, including
+/// nested dotted leaves.
+pub fn serialize_doc(
+    db: &Database,
+    cat: &Catalog,
+    doc: &Value,
+) -> DbResult<(Vec<u8>, Vec<AttrId>)> {
+    let Value::Object(pairs) = doc else {
+        return Err(DbError::Schema("document root must be a JSON object".into()));
+    };
+    let mut touched = Vec::new();
+    let bytes = serialize_object(db, cat, pairs, "", &mut touched)?;
+    Ok((bytes, touched))
+}
+
+fn serialize_object(
+    db: &Database,
+    cat: &Catalog,
+    pairs: &[(String, Value)],
+    prefix: &str,
+    touched: &mut Vec<AttrId>,
+) -> DbResult<Vec<u8>> {
+    let mut attrs: Vec<(u32, SValue)> = Vec::with_capacity(pairs.len());
+    for (k, v) in pairs {
+        let full = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+        let Some(ty) = AttrType::of_value(v) else {
+            continue; // JSON null: key carries no typed value
+        };
+        let id = cat.intern(db, &full, ty)?;
+        let sval = match v {
+            Value::Bool(b) => SValue::Bool(*b),
+            Value::Int(i) => SValue::Int(*i),
+            Value::Float(f) => SValue::Float(*f),
+            Value::Str(s) => SValue::Text(s.clone()),
+            Value::Object(inner) => {
+                SValue::Bytes(serialize_object(db, cat, inner, &full, touched)?)
+            }
+            Value::Array(items) => {
+                SValue::Bytes(serialize_array(db, cat, items, &full, touched)?)
+            }
+            Value::Null => unreachable!(),
+        };
+        // Duplicate keys in one document: last wins (JSON semantics).
+        if let Some(existing) = attrs.iter_mut().find(|(i, _)| *i == id) {
+            existing.1 = sval;
+        } else {
+            attrs.push((id, sval));
+            touched.push(id);
+        }
+    }
+    Ok(sformat::encode(&Doc::new(attrs)))
+}
+
+fn serialize_array(
+    db: &Database,
+    cat: &Catalog,
+    items: &[Value],
+    path: &str,
+    touched: &mut Vec<AttrId>,
+) -> DbResult<Vec<u8>> {
+    let mut elems = Vec::with_capacity(items.len());
+    for item in items {
+        elems.push(match item {
+            Value::Null => ArrayElem::Null,
+            Value::Bool(b) => ArrayElem::Bool(*b),
+            Value::Int(i) => ArrayElem::Int(*i),
+            Value::Float(f) => ArrayElem::Float(*f),
+            Value::Str(s) => ArrayElem::Text(s.clone()),
+            Value::Object(inner) => {
+                ArrayElem::Doc(serialize_object(db, cat, inner, path, touched)?)
+            }
+            Value::Array(nested) => {
+                let bytes = serialize_array(db, cat, nested, path, touched)?;
+                // store pre-encoded nested arrays as raw element lists
+                let decoded = crate::types::decode_array(&bytes)
+                    .expect("just-encoded array decodes");
+                ArrayElem::Array(decoded)
+            }
+        });
+    }
+    Ok(encode_array(&elems))
+}
+
+/// Load outcome of a batch.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReport {
+    pub documents: u64,
+    /// Attributes newly registered during this load.
+    pub new_attributes: u64,
+}
+
+/// Bulk-load parsed documents into a collection's reservoir.
+pub fn load_docs(
+    db: &Database,
+    cat: &Catalog,
+    table: &str,
+    docs: &[Value],
+) -> DbResult<LoadReport> {
+    let attrs_before = cat.attribute_count() as u64;
+    let mut rows = Vec::with_capacity(docs.len());
+    let mut counts: std::collections::HashMap<AttrId, u64> = std::collections::HashMap::new();
+    for doc in docs {
+        let (bytes, touched) = serialize_doc(db, cat, doc)?;
+        rows.push(vec![sinew_rdbms::Datum::Bytea(bytes)]);
+        for id in touched {
+            *counts.entry(id).or_insert(0) += 1;
+        }
+    }
+    // one write-locked catalog pass per batch, not one per (doc, attr)
+    let deltas: Vec<(AttrId, u64)> = counts.iter().map(|(id, n)| (*id, *n)).collect();
+    cat.bump_counts(table, &deltas);
+    db.insert_rows_cols(table, &["data"], &rows)?;
+    let mut all_touched: Vec<AttrId> = counts.into_keys().collect();
+    all_touched.sort_unstable();
+    // Materialized columns that just received reservoir data become dirty.
+    cat.mark_loaded_dirty(table, &all_touched);
+    cat.sync_table(db, table)?;
+    Ok(LoadReport {
+        documents: docs.len() as u64,
+        new_attributes: cat.attribute_count() as u64 - attrs_before,
+    })
+}
+
+/// Parse newline-delimited JSON and load it; syntax errors abort with the
+/// offending line number (the loader "parses each document to ensure that
+/// its syntax is valid").
+pub fn load_jsonl(db: &Database, cat: &Catalog, table: &str, input: &str) -> DbResult<LoadReport> {
+    let docs = sinew_json::parse_many(input)
+        .map_err(|(line, e)| DbError::Parse(format!("line {line}: {e}")))?;
+    load_docs(db, cat, table, &docs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinew_json::parse;
+    use sinew_rdbms::{ColType, Datum};
+    use sinew_serial::SType;
+
+    fn setup() -> (Database, Catalog) {
+        let db = Database::in_memory();
+        let cat = Catalog::new();
+        cat.bootstrap(&db).unwrap();
+        db.create_table("t", vec![("data".into(), ColType::Bytea)]).unwrap();
+        cat.register_table(&db, "t").unwrap();
+        (db, cat)
+    }
+
+    #[test]
+    fn flat_document_roundtrips_through_reservoir() {
+        let (db, cat) = setup();
+        let doc = parse(r#"{"url": "example.com", "hits": 22, "ratio": 0.5, "ok": true}"#).unwrap();
+        load_docs(&db, &cat, "t", &[doc]).unwrap();
+        let row = db.get_row("t", 0).unwrap().unwrap();
+        let Datum::Bytea(bytes) = &row[0] else { panic!() };
+        let id = cat.lookup("hits", AttrType::Int).unwrap();
+        assert_eq!(
+            sformat::extract(bytes, id, SType::Int).unwrap(),
+            Some(SValue::Int(22))
+        );
+        let id = cat.lookup("url", AttrType::Text).unwrap();
+        assert_eq!(
+            sformat::extract(bytes, id, SType::Text).unwrap(),
+            Some(SValue::Text("example.com".into()))
+        );
+    }
+
+    #[test]
+    fn nested_objects_register_dotted_names() {
+        let (db, cat) = setup();
+        let doc = parse(r#"{"user": {"id": 7, "geo": {"lat": 1.5}}}"#).unwrap();
+        load_docs(&db, &cat, "t", &[doc]).unwrap();
+        assert!(cat.lookup("user", AttrType::Object).is_some());
+        assert!(cat.lookup("user.id", AttrType::Int).is_some());
+        assert!(cat.lookup("user.geo", AttrType::Object).is_some());
+        assert!(cat.lookup("user.geo.lat", AttrType::Float).is_some());
+        // nested doc physically contains the dotted attr
+        let row = db.get_row("t", 0).unwrap().unwrap();
+        let Datum::Bytea(bytes) = &row[0] else { panic!() };
+        let user_id_attr = cat.lookup("user", AttrType::Object).unwrap();
+        let nested = sformat::extract(bytes, user_id_attr, SType::Bytes).unwrap().unwrap();
+        let SValue::Bytes(nested_bytes) = nested else { panic!() };
+        let leaf = cat.lookup("user.id", AttrType::Int).unwrap();
+        assert_eq!(
+            sformat::extract(&nested_bytes, leaf, SType::Int).unwrap(),
+            Some(SValue::Int(7))
+        );
+    }
+
+    #[test]
+    fn multi_typed_keys_get_two_attributes() {
+        let (db, cat) = setup();
+        let docs = vec![
+            parse(r#"{"dyn1": 5}"#).unwrap(),
+            parse(r#"{"dyn1": "five"}"#).unwrap(),
+        ];
+        load_docs(&db, &cat, "t", &docs).unwrap();
+        assert_eq!(cat.ids_for_name("dyn1").len(), 2);
+    }
+
+    #[test]
+    fn counts_accumulate_per_table() {
+        let (db, cat) = setup();
+        let docs: Vec<Value> = (0..5)
+            .map(|i| parse(&format!(r#"{{"always": 1, "rare": {i}}}"#)).unwrap())
+            .collect();
+        let docs2 = vec![parse(r#"{"always": 9}"#).unwrap()];
+        load_docs(&db, &cat, "t", &docs).unwrap();
+        load_docs(&db, &cat, "t", &docs2).unwrap();
+        let id = cat.lookup("always", AttrType::Int).unwrap();
+        assert_eq!(cat.column_state("t", id).unwrap().count, 6);
+        let id = cat.lookup("rare", AttrType::Int).unwrap();
+        assert_eq!(cat.column_state("t", id).unwrap().count, 5);
+    }
+
+    #[test]
+    fn null_values_register_nothing() {
+        let (db, cat) = setup();
+        load_docs(&db, &cat, "t", &[parse(r#"{"gone": null, "there": 1}"#).unwrap()]).unwrap();
+        assert!(cat.ids_for_name("gone").is_empty());
+        assert_eq!(cat.ids_for_name("there").len(), 1);
+    }
+
+    #[test]
+    fn jsonl_load_reports_bad_line() {
+        let (db, cat) = setup();
+        let err = load_jsonl(&db, &cat, "t", "{\"a\":1}\nnot json\n").unwrap_err();
+        assert!(matches!(err, DbError::Parse(m) if m.contains("line 1")));
+        // nothing inserted on failure
+        assert_eq!(db.row_count("t").unwrap(), 0);
+        let ok = load_jsonl(&db, &cat, "t", "{\"a\":1}\n{\"a\":2}\n").unwrap();
+        assert_eq!(ok.documents, 2);
+        assert_eq!(db.row_count("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn arrays_serialize_with_object_elements() {
+        let (db, cat) = setup();
+        let doc = parse(r#"{"tags": [1, "x", {"name": "n1"}, [2, 3]]}"#).unwrap();
+        load_docs(&db, &cat, "t", &[doc]).unwrap();
+        assert!(cat.lookup("tags", AttrType::Array).is_some());
+        assert!(cat.lookup("tags.name", AttrType::Text).is_some());
+        let row = db.get_row("t", 0).unwrap().unwrap();
+        let Datum::Bytea(bytes) = &row[0] else { panic!() };
+        let id = cat.lookup("tags", AttrType::Array).unwrap();
+        let SValue::Bytes(arr) =
+            sformat::extract(bytes, id, SType::Bytes).unwrap().unwrap()
+        else {
+            panic!()
+        };
+        let elems = crate::types::decode_array(&arr).unwrap();
+        assert_eq!(elems.len(), 4);
+        assert_eq!(elems[0], ArrayElem::Int(1));
+        assert!(matches!(&elems[2], ArrayElem::Doc(_)));
+        assert!(matches!(&elems[3], ArrayElem::Array(a) if a.len() == 2));
+    }
+
+    #[test]
+    fn non_object_root_rejected() {
+        let (db, cat) = setup();
+        let err = load_docs(&db, &cat, "t", &[parse("[1,2]").unwrap()]).unwrap_err();
+        assert!(matches!(err, DbError::Schema(_)));
+    }
+}

@@ -1,0 +1,167 @@
+//! The column materializer (paper §3.1.4).
+//!
+//! Moves attribute values between the column reservoir and physical
+//! columns, in whichever direction the catalog's flags dictate:
+//!
+//! * **incremental** — each call processes at most a bounded number of
+//!   rows, so the materializer "can stop when other queries are running and
+//!   pick up where it left off" (per-attribute cursors survive between
+//!   steps);
+//! * **row-atomic** — each row's move is one atomic `update_row` (physical
+//!   column set and reservoir slot cleared together); the column stays
+//!   *dirty* until a full pass completes, and the rewriter keeps emitting
+//!   `COALESCE` for it;
+//! * **latched against the loader** — a step and a bulk load never
+//!   interleave (the paper's catalog latch).
+
+use crate::extract;
+use crate::Sinew;
+use sinew_rdbms::{Datum, DbResult};
+
+/// How much work one step may do.
+#[derive(Debug, Clone, Copy)]
+pub struct StepBudget {
+    /// Maximum rows examined in this step.
+    pub rows: u64,
+}
+
+impl Default for StepBudget {
+    fn default() -> Self {
+        StepBudget { rows: 10_000 }
+    }
+}
+
+/// What a materializer invocation did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MaterializerReport {
+    /// Row values moved (reservoir → column or back).
+    pub values_moved: u64,
+    /// Rows examined.
+    pub rows_scanned: u64,
+    /// Columns whose dirty bit was cleared during this invocation.
+    pub columns_cleaned: Vec<String>,
+}
+
+/// One bounded step: picks the lowest-id dirty attribute and advances it.
+pub fn run_step(sinew: &Sinew, table: &str, budget: StepBudget) -> DbResult<MaterializerReport> {
+    let _latch = sinew.load_latch().lock();
+    step_locked(sinew, table, budget)
+}
+
+/// Loop steps until no dirty columns remain.
+pub fn run_until_clean(sinew: &Sinew, table: &str) -> DbResult<MaterializerReport> {
+    let mut total = MaterializerReport::default();
+    loop {
+        let _latch = sinew.load_latch().lock();
+        if sinew.catalog().dirty_attrs(table).is_empty() {
+            return Ok(total);
+        }
+        let r = step_locked(sinew, table, StepBudget::default())?;
+        total.values_moved += r.values_moved;
+        total.rows_scanned += r.rows_scanned;
+        total.columns_cleaned.extend(r.columns_cleaned);
+    }
+}
+
+fn step_locked(sinew: &Sinew, table: &str, budget: StepBudget) -> DbResult<MaterializerReport> {
+    let cat = sinew.catalog();
+    let db = sinew.db();
+    let mut report = MaterializerReport::default();
+
+    let dirty = cat.dirty_attrs(table);
+    let Some(&attr) = dirty.first() else { return Ok(report) };
+    let st = cat
+        .column_state(table, attr)
+        .expect("dirty attribute has state");
+    let (name, _ty) = cat.attr_info(attr).expect("attr registered");
+    let materializing = st.materialized;
+
+    let schema = db.schema(table)?;
+    let live_names: Vec<String> = schema.live_columns().map(|(_, c)| c.name.clone()).collect();
+    let data_idx = live_names.iter().position(|n| n == "data").expect("reservoir column");
+    let col_idx = live_names.iter().position(|n| *n == st.column_name);
+    // Dotted attributes may live inside a materialized parent object's
+    // column rather than the reservoir.
+    let source = extract::attr_source(cat, table, &name);
+    let parent_idx = source
+        .parent_column
+        .as_ref()
+        .and_then(|c| live_names.iter().position(|n| n == c));
+
+    let high_water = db.high_water(table)?;
+    let mut cursor = *sinew
+        .cursors()
+        .lock()
+        .get(&(table.to_string(), attr))
+        .unwrap_or(&0);
+
+    let mut examined = 0u64;
+    while cursor < high_water && examined < budget.rows {
+        let rowid = cursor;
+        cursor += 1;
+        examined += 1;
+        let Some(row) = db.get_row(table, rowid)? else { continue };
+        // Owner document: the materialized parent's column when it holds a
+        // value for this row, else the reservoir.
+        let (owner_name, owner_skip, bytes) = match parent_idx {
+            Some(i) if !row[i].is_null() => {
+                let Datum::Bytea(b) = &row[i] else { continue };
+                (source.parent_column.as_deref().unwrap(), source.skip, b)
+            }
+            _ => {
+                let Datum::Bytea(b) = &row[data_idx] else { continue };
+                ("data", 0usize, b)
+            }
+        };
+        if materializing {
+            // owner document → physical column
+            let Some(value) = extract::extract_attr(cat, bytes, &name, attr)? else {
+                continue;
+            };
+            let cleaned = extract::remove_attr(cat, bytes, &name, owner_skip, attr)?;
+            let col_is_null = col_idx.map(|i| row[i].is_null()).unwrap_or(true);
+            if col_is_null {
+                db.update_row(
+                    table,
+                    rowid,
+                    &[(&st.column_name, value), (owner_name, Datum::Bytea(cleaned))],
+                )?;
+            } else {
+                // the column was already set (e.g. by an UPDATE that ran
+                // while dirty): the owner's copy is stale — drop it only
+                db.update_row(table, rowid, &[(owner_name, Datum::Bytea(cleaned))])?;
+            }
+            report.values_moved += 1;
+        } else {
+            // physical column → owner document (dematerialization)
+            let Some(i) = col_idx else { continue };
+            if row[i].is_null() {
+                continue;
+            }
+            let restored = extract::set_attr(cat, bytes, &name, owner_skip, attr, &row[i])?;
+            db.update_row(
+                table,
+                rowid,
+                &[(&st.column_name, Datum::Null), (owner_name, Datum::Bytea(restored))],
+            )?;
+            report.values_moved += 1;
+        }
+    }
+    report.rows_scanned = examined;
+
+    if cursor >= high_water {
+        // Full pass complete: the column is clean. (The latch guarantees no
+        // load slipped new rows in during this step.)
+        cat.set_flags(table, attr, materializing, false)?;
+        if !materializing {
+            // dematerialized columns disappear from the physical schema
+            db.drop_column(table, &st.column_name)?;
+        }
+        cat.sync_table(db, table)?;
+        sinew.cursors().lock().remove(&(table.to_string(), attr));
+        report.columns_cleaned.push(name);
+    } else {
+        sinew.cursors().lock().insert((table.to_string(), attr), cursor);
+    }
+    Ok(report)
+}

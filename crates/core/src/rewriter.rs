@@ -1,0 +1,552 @@
+//! The query rewriter (paper §3.2.2).
+//!
+//! Queries arrive against the logical universal relation; this module
+//! rewrites them to match the physical schema:
+//!
+//! * references to **physical** columns pass through untouched;
+//! * references to **virtual** columns become extraction-UDF calls —
+//!   `owner` → `extract_key_txt(data, 'owner')`;
+//! * references to **dirty** columns (partially materialized) become
+//!   `COALESCE(col, extract_key_txt(data, 'owner'))`;
+//! * `SELECT *` expands to the full logical schema (one column per unique
+//!   key name);
+//! * `matches(keys, query)` runs the text index at rewrite time and
+//!   becomes a row-id membership test (§4.3);
+//! * `UPDATE` assignments to virtual columns become reservoir edits via
+//!   `set_key`.
+//!
+//! The extraction **type** "is determined dynamically by the query rewriter
+//! based on type constraints present in the semantics of the original
+//! query": comparisons against string literals extract text, numeric
+//! contexts extract numbers, `LIKE` implies text, aggregates imply numeric,
+//! and "in the common case where the expected type of an attribute cannot
+//! be determined from the query semantics ... the function will simply
+//! return the value downcast to a string type" — unless the catalog knows
+//! the key under exactly one type, in which case that type is used.
+
+use crate::catalog::ColumnState;
+use crate::types::AttrType;
+use crate::Sinew;
+use sinew_rdbms::{DbError, DbResult};
+use sinew_sql::{BinaryOp, Delete, Expr, Literal, Select, SelectItem, Statement, Update};
+use std::collections::HashSet;
+
+/// Extraction context established by the surrounding expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Hint {
+    None,
+    Bool,
+    Num,
+    Text,
+    Array,
+}
+
+struct Ctx<'a> {
+    sinew: &'a Sinew,
+    /// (binding, table, is_collection) in FROM order.
+    tables: Vec<(String, String, bool)>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Resolve a column reference to its collection, or `None` when the
+    /// reference targets a non-collection table (pass through).
+    fn collection_of(&self, qualifier: Option<&str>, name: &str) -> DbResult<Option<(String, String)>> {
+        if let Some(q) = qualifier {
+            let (binding, table, is_coll) = self
+                .tables
+                .iter()
+                .find(|(b, _, _)| b == q)
+                .ok_or_else(|| DbError::NotFound(format!("table {q}")))?;
+            return Ok(is_coll.then(|| (binding.clone(), table.clone())));
+        }
+        // Unqualified: prefer a collection that has the attribute
+        // registered; otherwise the first collection; otherwise raw.
+        let collections: Vec<&(String, String, bool)> =
+            self.tables.iter().filter(|(_, _, c)| *c).collect();
+        for (binding, table, _) in &collections {
+            if !self.sinew.catalog().states_for_name(table, name).is_empty() {
+                return Ok(Some((binding.clone(), table.clone())));
+            }
+        }
+        match collections.first() {
+            Some((binding, table, _)) if self.tables.len() == collections.len() => {
+                Ok(Some((binding.clone(), table.clone())))
+            }
+            // mixed FROM of raw + collection tables: leave unqualified
+            // unknown refs alone (the RDBMS binder will resolve or reject)
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Rewrite any statement against the Sinew catalog.
+pub fn rewrite_statement(sinew: &Sinew, stmt: &Statement) -> DbResult<Statement> {
+    match stmt {
+        Statement::Select(sel) => Ok(Statement::Select(rewrite_select(sinew, sel)?)),
+        Statement::Update(upd) => rewrite_update(sinew, upd),
+        Statement::Delete(del) => rewrite_delete(sinew, del),
+        Statement::Explain(inner) => Ok(Statement::Explain(Box::new(rewrite_statement(
+            sinew, inner,
+        )?))),
+        Statement::Insert(ins) if is_collection(sinew, &ins.table) => Err(DbError::Schema(
+            "INSERT into a Sinew collection is not supported; use the JSON loader".into(),
+        )),
+        other => Ok(other.clone()),
+    }
+}
+
+fn is_collection(sinew: &Sinew, table: &str) -> bool {
+    !table.starts_with("_sinew") && sinew.collections().iter().any(|t| t == table)
+}
+
+fn rewrite_select(sinew: &Sinew, sel: &Select) -> DbResult<Select> {
+    let mut tables = Vec::new();
+    for t in sel.from.iter().chain(sel.joins.iter().map(|j| &j.table)) {
+        let is_coll = is_collection(sinew, &t.table);
+        tables.push((t.binding().to_string(), t.table.clone(), is_coll));
+    }
+    let ctx = Ctx { sinew, tables };
+
+    let mut out = sel.clone();
+
+    // SELECT * expands to the logical universal-relation schema.
+    let mut items = Vec::new();
+    for item in &out.items {
+        match item {
+            SelectItem::Wildcard => {
+                let mut any = false;
+                for (binding, table, is_coll) in &ctx.tables {
+                    if !is_coll {
+                        continue;
+                    }
+                    any = true;
+                    for name in logical_names(sinew, table) {
+                        items.push(SelectItem::Expr {
+                            expr: Expr::Column {
+                                table: Some(binding.clone()),
+                                column: name.clone(),
+                            },
+                            alias: Some(name),
+                        });
+                    }
+                }
+                if !any {
+                    items.push(SelectItem::Wildcard); // raw tables only
+                }
+            }
+            other => items.push(other.clone()),
+        }
+    }
+    out.items = items;
+
+    for item in &mut out.items {
+        if let SelectItem::Expr { expr, alias } = item {
+            if alias.is_none() {
+                // keep the logical name as the output column name
+                if let Expr::Column { column, .. } = &expr {
+                    *alias = Some(column.clone());
+                }
+            }
+            rewrite_expr(&ctx, expr, Hint::None)?;
+        }
+    }
+    if let Some(f) = &mut out.filter {
+        rewrite_predicate(&ctx, f)?;
+    }
+    for j in &mut out.joins {
+        rewrite_predicate(&ctx, &mut j.on)?;
+    }
+    for g in &mut out.group_by {
+        rewrite_expr(&ctx, g, Hint::None)?;
+    }
+    if let Some(h) = &mut out.having {
+        rewrite_predicate(&ctx, h)?;
+    }
+    for o in &mut out.order_by {
+        rewrite_expr(&ctx, &mut o.expr, Hint::None)?;
+    }
+    Ok(out)
+}
+
+/// Logical column names of a collection: one per unique key name, ordered
+/// by first appearance (attribute id).
+fn logical_names(sinew: &Sinew, table: &str) -> Vec<String> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for col in sinew.logical_schema(table) {
+        if seen.insert(col.name.clone()) {
+            out.push(col.name);
+        }
+    }
+    out
+}
+
+/// Rewrite an expression appearing in predicate position: a bare column is
+/// a boolean test.
+fn rewrite_predicate(ctx: &Ctx<'_>, e: &mut Expr) -> DbResult<()> {
+    match e {
+        Expr::Column { .. } => rewrite_expr(ctx, e, Hint::Bool),
+        Expr::Binary { op: BinaryOp::And | BinaryOp::Or, left, right } => {
+            rewrite_predicate(ctx, left)?;
+            rewrite_predicate(ctx, right)
+        }
+        Expr::Unary { op: sinew_sql::UnaryOp::Not, expr } => rewrite_predicate(ctx, expr),
+        _ => rewrite_expr(ctx, e, Hint::None),
+    }
+}
+
+fn literal_hint(l: &Literal) -> Hint {
+    match l {
+        Literal::Null => Hint::None,
+        Literal::Bool(_) => Hint::Bool,
+        Literal::Int(_) | Literal::Float(_) => Hint::Num,
+        Literal::Str(_) => Hint::Text,
+    }
+}
+
+fn operand_hint(e: &Expr) -> Hint {
+    match e {
+        Expr::Literal(l) => literal_hint(l),
+        Expr::Cast { ty, .. } => match ty {
+            sinew_sql::TypeName::Bool => Hint::Bool,
+            sinew_sql::TypeName::Int | sinew_sql::TypeName::Float => Hint::Num,
+            sinew_sql::TypeName::Text => Hint::Text,
+            _ => Hint::None,
+        },
+        Expr::Binary { op: BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div, .. } => {
+            Hint::Num
+        }
+        Expr::Binary { op: BinaryOp::Concat, .. } => Hint::Text,
+        _ => Hint::None,
+    }
+}
+
+/// Hint for a column compared against another column (join keys): numeric
+/// when both sides are known-numeric, else text downcast. Raw (non-
+/// collection) columns consult the RDBMS schema instead of the catalog.
+fn column_vs_column_hint(ctx: &Ctx<'_>, a: &Expr, b: &Expr) -> DbResult<Hint> {
+    let numeric = |e: &Expr| -> DbResult<bool> {
+        let Expr::Column { table, column } = e else { return Ok(false) };
+        match ctx.collection_of(table.as_deref(), column)? {
+            Some((_, coll)) => {
+                let states = ctx.sinew.catalog().states_for_name(&coll, column);
+                Ok(!states.is_empty()
+                    && states
+                        .iter()
+                        .all(|(_, ty, _)| matches!(ty, AttrType::Int | AttrType::Float)))
+            }
+            None => {
+                // raw table: use the physical column type where resolvable
+                for (_, raw_table, is_coll) in &ctx.tables {
+                    if *is_coll {
+                        continue;
+                    }
+                    if let Some(q) = table {
+                        if ctx.tables.iter().any(|(b, t, _)| b == q && t != raw_table) {
+                            continue;
+                        }
+                    }
+                    if let Ok(schema) = ctx.sinew.db().schema(raw_table) {
+                        if let Some(col) = schema.column(column) {
+                            return Ok(matches!(
+                                col.ty,
+                                sinew_rdbms::ColType::Int | sinew_rdbms::ColType::Float
+                            ));
+                        }
+                    }
+                }
+                Ok(false)
+            }
+        }
+    };
+    Ok(if numeric(a)? && numeric(b)? { Hint::Num } else { Hint::Text })
+}
+
+fn rewrite_expr(ctx: &Ctx<'_>, e: &mut Expr, hint: Hint) -> DbResult<()> {
+    match e {
+        Expr::Column { table, column } => {
+            if let Some((binding, coll)) = ctx.collection_of(table.as_deref(), column)? {
+                *e = rewrite_column(ctx, &binding, &coll, column, hint)?;
+            }
+            Ok(())
+        }
+        Expr::Literal(_) => Ok(()),
+        Expr::Unary { expr, .. } => rewrite_expr(ctx, expr, hint),
+        Expr::Binary { op, left, right } => {
+            if op.is_comparison() {
+                let lh = operand_hint(right);
+                let rh = operand_hint(left);
+                let (lh, rh) = match (lh, rh) {
+                    (Hint::None, Hint::None)
+                        if matches!(**left, Expr::Column { .. })
+                            && matches!(**right, Expr::Column { .. }) =>
+                    {
+                        let h = column_vs_column_hint(ctx, left, right)?;
+                        (h, h)
+                    }
+                    other => other,
+                };
+                rewrite_expr(ctx, left, lh)?;
+                rewrite_expr(ctx, right, rh)
+            } else if matches!(op, BinaryOp::And | BinaryOp::Or) {
+                rewrite_predicate(ctx, left)?;
+                rewrite_predicate(ctx, right)
+            } else {
+                let h = if *op == BinaryOp::Concat { Hint::Text } else { Hint::Num };
+                rewrite_expr(ctx, left, h)?;
+                rewrite_expr(ctx, right, h)
+            }
+        }
+        Expr::IsNull { expr, .. } => rewrite_expr(ctx, expr, Hint::None),
+        Expr::Between { expr, low, high, .. } => {
+            let h = match (operand_hint(low), operand_hint(high)) {
+                (Hint::Text, _) | (_, Hint::Text) => Hint::Text,
+                _ => Hint::Num,
+            };
+            rewrite_expr(ctx, expr, h)?;
+            rewrite_expr(ctx, low, h)?;
+            rewrite_expr(ctx, high, h)
+        }
+        Expr::InList { expr, list, .. } => {
+            let h = list.first().map(operand_hint).unwrap_or(Hint::None);
+            rewrite_expr(ctx, expr, h)?;
+            for item in list {
+                rewrite_expr(ctx, item, h)?;
+            }
+            Ok(())
+        }
+        Expr::Like { expr, pattern, .. } => {
+            rewrite_expr(ctx, expr, Hint::Text)?;
+            rewrite_expr(ctx, pattern, Hint::Text)
+        }
+        Expr::Func { name, args, star, .. } => {
+            let lname = name.to_ascii_lowercase();
+            if lname == "matches" {
+                *e = rewrite_matches(ctx, args)?;
+                return Ok(());
+            }
+            if *star {
+                return Ok(());
+            }
+            let arg_hint = match lname.as_str() {
+                "sum" | "avg" | "min" | "max" | "abs" | "round" => Hint::Num,
+                "lower" | "upper" | "length" => Hint::Text,
+                "array_contains" | "array_length" | "array_get" => Hint::Array,
+                _ => Hint::None,
+            };
+            for (i, a) in args.iter_mut().enumerate() {
+                // only the first argument of array functions is the array
+                let h = if arg_hint == Hint::Array && i > 0 { Hint::None } else { arg_hint };
+                rewrite_expr(ctx, a, h)?;
+            }
+            Ok(())
+        }
+        Expr::Cast { expr, .. } => rewrite_expr(ctx, expr, Hint::None),
+    }
+}
+
+/// `matches(keys, query)` → run the text index now, register the row-id
+/// set, and emit `__sinew_rowid_set(t._rowid, 'handle')`.
+fn rewrite_matches(ctx: &Ctx<'_>, args: &[Expr]) -> DbResult<Expr> {
+    let [Expr::Literal(Literal::Str(keys)), Expr::Literal(Literal::Str(query))] = args else {
+        return Err(DbError::Eval(
+            "matches expects two string literals: (keys, query)".into(),
+        ));
+    };
+    let Some((binding, table, _)) = ctx.tables.iter().find(|(_, _, c)| *c) else {
+        return Err(DbError::Eval("matches requires a Sinew collection in FROM".into()));
+    };
+    let idx = ctx
+        .sinew
+        .text_index(table)
+        .ok_or_else(|| DbError::Eval(format!("no text index enabled on {table}")))?;
+    let fields: Vec<String> = if keys.trim() == "*" {
+        Vec::new()
+    } else {
+        keys.split(',').map(|k| k.trim().to_string()).collect()
+    };
+    let rows: std::collections::HashSet<i64> =
+        idx.search_str(&fields, query).into_iter().map(|r| r as i64).collect();
+    let handle = ctx.sinew.register_rowid_set(rows);
+    Ok(Expr::func(
+        "__sinew_rowid_set",
+        vec![Expr::qcol(binding, "_rowid"), Expr::lit_str(&handle)],
+    ))
+}
+
+/// Rewrite one column reference according to its catalog state.
+fn rewrite_column(
+    ctx: &Ctx<'_>,
+    binding: &str,
+    table: &str,
+    name: &str,
+    hint: Hint,
+) -> DbResult<Expr> {
+    // Direct physical-layer names pass through.
+    if name == "data" || name == "_rowid" {
+        return Ok(Expr::qcol(binding, name));
+    }
+    let states = ctx.sinew.catalog().states_for_name(table, name);
+
+    // Resolve the wanted types + extraction function from the hint.
+    let (wanted, extract_fn): (Vec<AttrType>, &str) = match hint {
+        Hint::Bool => (vec![AttrType::Bool], "extract_key_b"),
+        Hint::Num => (vec![AttrType::Int, AttrType::Float], "extract_key_num"),
+        Hint::Text => (vec![AttrType::Text], "extract_key_t"),
+        Hint::Array => (vec![AttrType::Array], "extract_key_arr"),
+        Hint::None => {
+            // unique registered type → typed extraction; else text downcast
+            match states.as_slice() {
+                [(_, ty, _)] => (
+                    vec![*ty],
+                    match ty {
+                        AttrType::Bool => "extract_key_b",
+                        AttrType::Int => "extract_key_i",
+                        AttrType::Float => "extract_key_f",
+                        AttrType::Text => "extract_key_t",
+                        AttrType::Object => "extract_key_obj",
+                        AttrType::Array => "extract_key_arr",
+                    },
+                ),
+                _ => (Vec::new(), "extract_key_txt"),
+            }
+        }
+    };
+
+    let relevant: Vec<&(crate::catalog::AttrId, AttrType, ColumnState)> = if wanted.is_empty() {
+        states.iter().collect() // AnyText: every typed variant
+    } else {
+        states.iter().filter(|(_, ty, _)| wanted.contains(ty)).collect()
+    };
+
+    // Extraction source: the reservoir, unless a materialized ancestor
+    // object holds this dotted path — then extract from its column (with a
+    // reservoir fallback while the ancestor is dirty).
+    let source = crate::extract::attr_source(ctx.sinew.catalog(), table, name);
+    let source_expr = match &source.parent_column {
+        None => Expr::qcol(binding, "data"),
+        Some(col) if !source.parent_dirty => Expr::qcol(binding, col),
+        Some(col) => Expr::func(
+            "coalesce",
+            vec![
+                Expr::qcol(binding, col),
+                Expr::func(
+                    "extract_key_obj",
+                    vec![
+                        Expr::qcol(binding, "data"),
+                        Expr::lit_str(source.parent_path.as_deref().unwrap_or("")),
+                    ],
+                ),
+            ],
+        ),
+    };
+
+    let mut parts: Vec<Expr> = Vec::new();
+    let mut needs_extract = relevant.is_empty();
+    for (_, ty, st) in &relevant {
+        if st.materialized {
+            let col = Expr::Column {
+                table: Some(binding.to_string()),
+                column: st.column_name.clone(),
+            };
+            // AnyText over a non-text physical column: downcast
+            let col = if wanted.is_empty() && *ty != AttrType::Text {
+                Expr::Cast { expr: Box::new(col), ty: sinew_sql::TypeName::Text }
+            } else {
+                col
+            };
+            parts.push(col);
+            if st.dirty {
+                needs_extract = true;
+            }
+        } else {
+            needs_extract = true;
+        }
+    }
+    if needs_extract {
+        parts.push(Expr::func(extract_fn, vec![source_expr, Expr::lit_str(name)]));
+    }
+    Ok(if parts.len() == 1 {
+        parts.pop().unwrap()
+    } else {
+        Expr::func("coalesce", parts)
+    })
+}
+
+fn rewrite_update(sinew: &Sinew, upd: &Update) -> DbResult<Statement> {
+    if !is_collection(sinew, &upd.table) {
+        return Ok(Statement::Update(upd.clone()));
+    }
+    let ctx = Ctx {
+        sinew,
+        tables: vec![(upd.table.clone(), upd.table.clone(), true)],
+    };
+    let mut assignments: Vec<(String, Expr)> = Vec::new();
+    // Document edits compose per owner column:
+    // data = set_key(set_key(data, ...), ...), parent = set_key(parent, ...)
+    let mut doc_exprs: std::collections::HashMap<String, Expr> = std::collections::HashMap::new();
+    for (col, value) in &upd.assignments {
+        let mut value = value.clone();
+        rewrite_expr(&ctx, &mut value, Hint::None)?;
+        let states = sinew.catalog().states_for_name(&upd.table, col);
+        let materialized: Vec<_> = states.iter().filter(|(_, _, st)| st.materialized).collect();
+        // Where does this key's document live? (reservoir or a
+        // materialized ancestor object's column)
+        let source = crate::extract::attr_source(sinew.catalog(), &upd.table, col);
+        let (owner, skip) = match (&source.parent_column, source.parent_dirty) {
+            (Some(c), false) => (c.clone(), source.skip),
+            // dirty ancestor: the value may still be in the reservoir;
+            // editing the reservoir keeps COALESCE-based reads correct
+            _ => ("data".to_string(), 0),
+        };
+        if materialized.is_empty() {
+            // virtual (or brand-new) key: edit the owner document
+            let base = doc_exprs.remove(&owner).unwrap_or_else(|| Expr::col(&owner));
+            let mut args = vec![base, Expr::lit_str(col), value];
+            if skip > 0 {
+                args.push(Expr::lit_int(skip as i64));
+            }
+            doc_exprs.insert(owner, Expr::func("set_key", args));
+        } else {
+            // physical column; if dirty, also clear the stale document copy
+            for (_, _, st) in &materialized {
+                assignments.push((st.column_name.clone(), value.clone()));
+                if st.dirty {
+                    let base =
+                        doc_exprs.remove(&owner).unwrap_or_else(|| Expr::col(&owner));
+                    let mut args = vec![base, Expr::lit_str(col)];
+                    if skip > 0 {
+                        args.push(Expr::lit_int(skip as i64));
+                    }
+                    doc_exprs.insert(owner.clone(), Expr::func("remove_key", args));
+                }
+            }
+        }
+    }
+    let mut owners: Vec<(String, Expr)> = doc_exprs.into_iter().collect();
+    owners.sort_by(|a, b| a.0.cmp(&b.0));
+    for (owner, e) in owners {
+        assignments.push((owner, e));
+    }
+    let mut filter = upd.filter.clone();
+    if let Some(f) = &mut filter {
+        rewrite_predicate(&ctx, f)?;
+    }
+    Ok(Statement::Update(Update { table: upd.table.clone(), assignments, filter }))
+}
+
+fn rewrite_delete(sinew: &Sinew, del: &Delete) -> DbResult<Statement> {
+    if !is_collection(sinew, &del.table) {
+        return Ok(Statement::Delete(del.clone()));
+    }
+    let ctx = Ctx {
+        sinew,
+        tables: vec![(del.table.clone(), del.table.clone(), true)],
+    };
+    let mut filter = del.filter.clone();
+    if let Some(f) = &mut filter {
+        rewrite_predicate(&ctx, f)?;
+    }
+    Ok(Statement::Delete(Delete { table: del.table.clone(), filter }))
+}
+

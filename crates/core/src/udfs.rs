@@ -1,0 +1,155 @@
+//! Registration of Sinew's user-defined functions in the RDBMS (paper §5:
+//! "The data serialization is implemented through a set of user-defined
+//! functions ... as well as functions to extract an individual value
+//! corresponding to a given key").
+//!
+//! Installed functions (all take the reservoir `data` as first argument):
+//!
+//! | SQL name            | returns | semantics |
+//! |---------------------|---------|-----------|
+//! | `extract_key_b/i/f` | typed   | NULL on absence or type mismatch |
+//! | `extract_key_num`   | int/float | numeric contexts (SUM, joins) |
+//! | `extract_key_t`     | text    | text-typed values only |
+//! | `extract_key_txt`   | text    | any type, downcast to text |
+//! | `extract_key_obj`   | bytea   | nested object (serialized) |
+//! | `extract_key_arr`   | array   | array as the RDBMS array datatype |
+//! | `exists_key`        | bool    | key present under any type |
+//! | `set_key`           | bytea   | reservoir with key set (UPDATEs) |
+//! | `remove_key`        | bytea   | reservoir with key removed |
+//! | `doc_to_json`       | text    | whole document back to JSON |
+//! | `__sinew_rowid_set` | bool    | rowid ∈ registered text-index result |
+
+use crate::catalog::Catalog;
+use crate::extract::{self, Want};
+use parking_lot::RwLock;
+use sinew_rdbms::{Database, Datum, DbError, DbResult};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Weak};
+
+/// Registry of ephemeral row-id sets produced by rewrite-time text-index
+/// searches.
+pub(crate) type RowIdSets = Arc<RwLock<HashMap<String, Arc<HashSet<i64>>>>>;
+
+pub(crate) fn install(db: &Arc<Database>, catalog: &Arc<Catalog>, rowid_sets: &RowIdSets) {
+    let extractor = |cat: Arc<Catalog>, want: Want| {
+        move |args: &[Datum]| -> DbResult<Datum> {
+            let (bytes, path) = two_args(args, "extract_key")?;
+            let Some(bytes) = bytes else { return Ok(Datum::Null) };
+            Ok(extract::extract_path(&cat, bytes, path, want))
+        }
+    };
+    for (name, want) in [
+        ("extract_key_b", Want::Bool),
+        ("extract_key_i", Want::Int),
+        ("extract_key_f", Want::Float),
+        ("extract_key_num", Want::Num),
+        ("extract_key_t", Want::Text),
+        ("extract_key_txt", Want::AnyText),
+        ("extract_key_obj", Want::Object),
+        ("extract_key_arr", Want::Array),
+    ] {
+        db.register_udf(name, Arc::new(extractor(catalog.clone(), want)));
+    }
+
+    let cat = catalog.clone();
+    db.register_udf(
+        "exists_key",
+        Arc::new(move |args: &[Datum]| -> DbResult<Datum> {
+            let (bytes, path) = two_args(args, "exists_key")?;
+            let Some(bytes) = bytes else { return Ok(Datum::Bool(false)) };
+            Ok(Datum::Bool(extract::exists_path(&cat, bytes, path)))
+        }),
+    );
+
+    // set_key needs the database to intern new attributes; a Weak pointer
+    // avoids the Database → registry → closure → Database cycle.
+    let cat = catalog.clone();
+    let weak_db: Weak<Database> = Arc::downgrade(db);
+    db.register_udf(
+        "set_key",
+        Arc::new(move |args: &[Datum]| -> DbResult<Datum> {
+            // (data, name, value [, skip]) — skip > 0 when `data` is a
+            // materialized parent object's column rather than the reservoir
+            let (data, path, value, skip) = match args {
+                [d, Datum::Text(p), v] => (d, p, v, 0usize),
+                [d, Datum::Text(p), v, Datum::Int(s)] => (d, p, v, *s as usize),
+                _ => return Err(DbError::Eval("set_key expects (data, name, value [, skip])".into())),
+            };
+            let bytes = match data {
+                Datum::Bytea(b) => b.as_slice(),
+                Datum::Null => &[],
+                other => {
+                    return Err(DbError::Eval(format!("set_key over non-bytea {other}")))
+                }
+            };
+            let base = if bytes.is_empty() {
+                sinew_serial::sinew::encode(&sinew_serial::Doc::default())
+            } else {
+                bytes.to_vec()
+            };
+            if value.is_null() {
+                return Ok(Datum::Bytea(extract::remove_path(&cat, &base, path, skip)?));
+            }
+            let db = weak_db
+                .upgrade()
+                .ok_or_else(|| DbError::Eval("database is shutting down".into()))?;
+            Ok(Datum::Bytea(extract::set_path(&db, &cat, &base, path, skip, value)?))
+        }),
+    );
+
+    let cat = catalog.clone();
+    db.register_udf(
+        "remove_key",
+        Arc::new(move |args: &[Datum]| -> DbResult<Datum> {
+            let (bytes, path, skip) = match args {
+                [Datum::Bytea(b), Datum::Text(p)] => (b.as_slice(), p, 0usize),
+                [Datum::Bytea(b), Datum::Text(p), Datum::Int(s)] => {
+                    (b.as_slice(), p, *s as usize)
+                }
+                [Datum::Null, Datum::Text(_)] | [Datum::Null, Datum::Text(_), _] => {
+                    return Ok(Datum::Null)
+                }
+                _ => return Err(DbError::Eval("remove_key expects (data, name [, skip])".into())),
+            };
+            Ok(Datum::Bytea(extract::remove_path(&cat, bytes, path, skip)?))
+        }),
+    );
+
+    let cat = catalog.clone();
+    db.register_udf(
+        "doc_to_json",
+        Arc::new(move |args: &[Datum]| -> DbResult<Datum> {
+            match args {
+                [Datum::Null] => Ok(Datum::Null),
+                [Datum::Bytea(bytes)] => {
+                    Ok(Datum::Text(extract::doc_to_value(&cat, bytes, "").to_json()))
+                }
+                _ => Err(DbError::Eval("doc_to_json expects (data)".into())),
+            }
+        }),
+    );
+
+    let sets = rowid_sets.clone();
+    db.register_udf(
+        "__sinew_rowid_set",
+        Arc::new(move |args: &[Datum]| -> DbResult<Datum> {
+            let [Datum::Int(rowid), Datum::Text(handle)] = args else {
+                return Err(DbError::Eval("__sinew_rowid_set expects (rowid, handle)".into()));
+            };
+            let set = sets
+                .read()
+                .get(handle)
+                .cloned()
+                .ok_or_else(|| DbError::Eval(format!("unknown rowid set {handle}")))?;
+            Ok(Datum::Bool(set.contains(rowid)))
+        }),
+    );
+}
+
+fn two_args<'a>(args: &'a [Datum], name: &str) -> DbResult<(Option<&'a [u8]>, &'a str)> {
+    match args {
+        [Datum::Bytea(bytes), Datum::Text(path)] => Ok((Some(bytes.as_slice()), path.as_str())),
+        [Datum::Null, Datum::Text(path)] => Ok((None, path.as_str())),
+        _ => Err(DbError::Eval(format!("{name} expects (data, key_name)"))),
+    }
+}

@@ -1,0 +1,341 @@
+//! # sinew-eav
+//!
+//! The Entity-Attribute-Value shredding baseline (paper §6.1):
+//!
+//! "Under this model, each object is flattened into sets of individual
+//! key-value pairs, with the object id added in front of each key value
+//! pair to produce a series of (object id, key, value) triples. ... a
+//! 5-column relation of object id, key name, and key value (with one
+//! column for each primitive type, string, numerical, and boolean)."
+//!
+//! A thin mapping layer translates attribute-level operations into SQL over
+//! the underlying quintuple table. The costs the paper observes fall out
+//! structurally:
+//!
+//! * ~20 tuples per document → the largest load time and on-disk footprint
+//!   of all four systems (Table 3);
+//! * every multi-key operation needs **self-joins on the object id**
+//!   (§6.3, §6.6);
+//! * large self-joins blow up intermediate space — Q8/Q9/Q11 "ran out of
+//!   disk space" (§6.4–§6.5); the RDBMS's resource governor reproduces
+//!   those DNFs.
+
+use sinew_json::Value;
+use sinew_rdbms::{ColType, Database, Datum, DbResult, QueryResult};
+use std::sync::Arc;
+
+/// One shredded triple (before storage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Triple {
+    pub oid: i64,
+    pub key: String,
+    pub value: Value,
+}
+
+/// Flatten one document into EAV triples: nested objects become dotted
+/// keys; arrays produce one triple per element (same key).
+pub fn shred(oid: i64, doc: &Value) -> Vec<Triple> {
+    let mut out = Vec::new();
+    if let Value::Object(pairs) = doc {
+        for (k, v) in pairs {
+            shred_value(oid, k, v, &mut out);
+        }
+    }
+    out
+}
+
+fn shred_value(oid: i64, key: &str, v: &Value, out: &mut Vec<Triple>) {
+    match v {
+        Value::Object(pairs) => {
+            for (k, child) in pairs {
+                shred_value(oid, &format!("{key}.{k}"), child, out);
+            }
+        }
+        Value::Array(items) => {
+            for item in items {
+                shred_value(oid, key, item, out);
+            }
+        }
+        Value::Null => {}
+        scalar => out.push(Triple { oid, key: key.to_string(), value: scalar.clone() }),
+    }
+}
+
+/// The EAV store: a quintuple table plus an object-id table (needed to
+/// produce rows for objects whose projected keys are absent).
+pub struct EavStore {
+    db: Arc<Database>,
+    table: String,
+    next_oid: std::sync::atomic::AtomicI64,
+}
+
+impl EavStore {
+    pub fn create(db: Arc<Database>, table: &str) -> DbResult<EavStore> {
+        db.create_table(
+            table,
+            vec![
+                ("oid".into(), ColType::Int),
+                ("key_name".into(), ColType::Text),
+                ("str_val".into(), ColType::Text),
+                ("num_val".into(), ColType::Float),
+                ("bool_val".into(), ColType::Bool),
+            ],
+        )?;
+        db.create_table(&format!("{table}_objects"), vec![("oid".into(), ColType::Int)])?;
+        Ok(EavStore { db, table: table.to_string(), next_oid: 0.into() })
+    }
+
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// Bulk load documents; returns (documents, triples) counts.
+    pub fn load(&self, docs: &[Value]) -> DbResult<(u64, u64)> {
+        let mut rows = Vec::new();
+        let mut oids = Vec::new();
+        for doc in docs {
+            let oid = self.next_oid.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            oids.push(vec![Datum::Int(oid)]);
+            for t in shred(oid, doc) {
+                let (s, n, b) = match &t.value {
+                    Value::Str(s) => (Datum::Text(s.clone()), Datum::Null, Datum::Null),
+                    Value::Int(i) => (Datum::Null, Datum::Float(*i as f64), Datum::Null),
+                    Value::Float(f) => (Datum::Null, Datum::Float(*f), Datum::Null),
+                    Value::Bool(b) => (Datum::Null, Datum::Null, Datum::Bool(*b)),
+                    _ => unreachable!("shred emits scalars only"),
+                };
+                rows.push(vec![Datum::Int(t.oid), Datum::Text(t.key), s, n, b]);
+            }
+        }
+        let triples = rows.len() as u64;
+        self.db.insert_rows(&self.table, &rows)?;
+        self.db.insert_rows(&format!("{}_objects", self.table), &oids)?;
+        Ok((docs.len() as u64, triples))
+    }
+
+    /// Projection of `paths` over all objects, with an optional filter on
+    /// one key — the mapping layer's LEFT-JOIN-per-projected-key SQL
+    /// (§6.3: "adds a join on top of the original projection operation in
+    /// order to reconstruct the objects").
+    /// Filters are expressed as (key, SQL predicate over the `f` binding).
+    pub fn project(
+        &self,
+        paths: &[&str],
+        filter: Option<(&str, &str)>,
+    ) -> DbResult<Vec<Vec<Datum>>> {
+        let t = &self.table;
+        let select: Vec<String> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, _)| format!("COALESCE(p{i}.str_val, CAST(p{i}.num_val AS text), CAST(p{i}.bool_val AS text))"))
+            .collect();
+        let mut sql = format!("SELECT {} FROM ", select.join(", "));
+        match filter {
+            Some((key, pred)) => {
+                sql.push_str(&format!(
+                    "{t} f",
+                ));
+                let mut join_sql = String::new();
+                for (i, p) in paths.iter().enumerate() {
+                    join_sql.push_str(&format!(
+                        " LEFT JOIN {t} p{i} ON f.oid = p{i}.oid AND p{i}.key_name = '{}'",
+                        p.replace('\'', "''")
+                    ));
+                }
+                sql.push_str(&join_sql);
+                sql.push_str(&format!(
+                    " WHERE f.key_name = '{}' AND ({pred})",
+                    key.replace('\'', "''")
+                ));
+            }
+            None => {
+                sql.push_str(&format!("{t}_objects base"));
+                for (i, p) in paths.iter().enumerate() {
+                    sql.push_str(&format!(
+                        " LEFT JOIN {t} p{i} ON base.oid = p{i}.oid AND p{i}.key_name = '{}'",
+                        p.replace('\'', "''")
+                    ));
+                }
+            }
+        }
+        Ok(self.db.execute(&sql)?.rows)
+    }
+
+    /// `SELECT DISTINCT <key>` — single key, no join needed.
+    pub fn distinct(&self, key: &str) -> DbResult<QueryResult> {
+        self.db.execute(&format!(
+            "SELECT DISTINCT COALESCE(str_val, CAST(num_val AS text), CAST(bool_val AS text)) \
+             FROM {} WHERE key_name = '{}'",
+            self.table,
+            key.replace('\'', "''")
+        ))
+    }
+
+    /// `SUM(<sum_key>) GROUP BY <group_key>` — one self-join.
+    pub fn group_sum(&self, group_key: &str, sum_key: &str) -> DbResult<QueryResult> {
+        let t = &self.table;
+        self.db.execute(&format!(
+            "SELECT g.str_val, SUM(s.num_val) FROM {t} g, {t} s \
+             WHERE g.oid = s.oid AND g.key_name = '{}' AND s.key_name = '{}' \
+             GROUP BY g.str_val",
+            group_key.replace('\'', "''"),
+            sum_key.replace('\'', "''")
+        ))
+    }
+
+    /// Equi-join between two keys across objects (NoBench Q11 shape):
+    /// a 4-way self-join — the query that exhausts disk in the paper.
+    pub fn join_on_keys(
+        &self,
+        left_key: &str,
+        right_key: &str,
+        project_key: &str,
+    ) -> DbResult<QueryResult> {
+        let t = &self.table;
+        self.db.execute(&format!(
+            "SELECT p.str_val, p.num_val FROM {t} a, {t} b, {t} p \
+             WHERE a.key_name = '{lk}' AND b.key_name = '{rk}' \
+             AND a.num_val = b.num_val AND p.oid = a.oid AND p.key_name = '{pk}'",
+            lk = left_key.replace('\'', "''"),
+            rk = right_key.replace('\'', "''"),
+            pk = project_key.replace('\'', "''"),
+        ))
+    }
+
+    /// The §6.6 random-update task: set `set_key`'s string value for all
+    /// objects where `where_key = where_val`.
+    pub fn update_where(
+        &self,
+        set_key: &str,
+        set_val: &str,
+        where_key: &str,
+        where_val: &str,
+    ) -> DbResult<u64> {
+        let t = &self.table;
+        let oids = self.db.execute(&format!(
+            "SELECT oid FROM {t} WHERE key_name = '{}' AND str_val = '{}'",
+            where_key.replace('\'', "''"),
+            where_val.replace('\'', "''")
+        ))?;
+        if oids.rows.is_empty() {
+            return Ok(0);
+        }
+        let id_list: Vec<String> = oids.rows.iter().map(|r| r[0].display_text()).collect();
+        let r = self.db.execute(&format!(
+            "UPDATE {t} SET str_val = '{}' WHERE key_name = '{}' AND oid IN ({})",
+            set_val.replace('\'', "''"),
+            set_key.replace('\'', "''"),
+            id_list.join(", ")
+        ))?;
+        Ok(r.affected)
+    }
+
+    pub fn size_bytes(&self) -> DbResult<u64> {
+        Ok(self.db.table_size_bytes(&self.table)?
+            + self.db.table_size_bytes(&format!("{}_objects", self.table))?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinew_json::parse;
+
+    fn store() -> EavStore {
+        let db = Arc::new(Database::in_memory());
+        let s = EavStore::create(db, "eav").unwrap();
+        s.load(&[
+            parse(r#"{"str1": "alpha", "num": 5, "ok": true, "user": {"id": 7}, "arr": [1, 2]}"#)
+                .unwrap(),
+            parse(r#"{"str1": "beta", "num": 9}"#).unwrap(),
+            parse(r#"{"num": 9, "sparse_1": "rare"}"#).unwrap(),
+        ])
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn shredding_counts_and_shapes() {
+        let doc = parse(r#"{"a": 1, "b": {"c": "x"}, "d": [true, false], "e": null}"#).unwrap();
+        let triples = shred(7, &doc);
+        assert_eq!(triples.len(), 4); // a, b.c, d×2; null dropped
+        assert!(triples.iter().any(|t| t.key == "b.c"));
+        assert_eq!(triples.iter().filter(|t| t.key == "d").count(), 2);
+    }
+
+    #[test]
+    fn projection_with_filter_self_joins() {
+        let s = store();
+        let rows = s.project(&["str1"], Some(("num", "f.num_val > 6"))).unwrap();
+        // num=9 matches two objects; one lacks str1 → NULL
+        assert_eq!(rows.len(), 2);
+        let texts: Vec<String> = rows.iter().map(|r| r[0].display_text()).collect();
+        assert!(texts.contains(&"beta".to_string()));
+        assert!(texts.contains(&"NULL".to_string()));
+    }
+
+    #[test]
+    fn projection_without_filter_covers_all_objects() {
+        let s = store();
+        let rows = s.project(&["str1", "num"], None).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn distinct_and_group_sum() {
+        let s = store();
+        let r = s.distinct("num").unwrap();
+        assert_eq!(r.rows.len(), 2); // 5 and 9
+        let r = s.group_sum("str1", "num").unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn update_task() {
+        let s = store();
+        let n = s.update_where("str1", "DUMMY", "sparse_1", "rare").unwrap();
+        // the matching object has no str1 triple → 0 rows updated (EAV
+        // cannot create attributes it never saw; documented limitation)
+        assert_eq!(n, 0);
+        let n = s.update_where("num", "X", "str1", "beta").unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn join_on_keys_works_at_small_scale() {
+        let db = Arc::new(Database::in_memory());
+        let s = EavStore::create(db, "eav").unwrap();
+        s.load(&[
+            parse(r#"{"nested_obj": {"num": 1}, "num": 2, "str1": "a"}"#).unwrap(),
+            parse(r#"{"nested_obj": {"num": 2}, "num": 3, "str1": "b"}"#).unwrap(),
+        ])
+        .unwrap();
+        let r = s.join_on_keys("nested_obj.num", "num", "str1").unwrap();
+        assert_eq!(r.rows.len(), 1); // nested 2 = num 2 (object a's num)
+    }
+
+    #[test]
+    fn resource_exhaustion_reproduces_dnf() {
+        let db = Arc::new(Database::in_memory());
+        db.set_exec_limits(sinew_rdbms::ExecLimits { max_intermediate_rows: 50 });
+        let s = EavStore::create(db, "eav").unwrap();
+        let docs: Vec<Value> =
+            (0..100).map(|_| parse(r#"{"nested_obj": {"num": 1}, "num": 1}"#).unwrap()).collect();
+        s.load(&docs).unwrap();
+        let err = s.join_on_keys("nested_obj.num", "num", "num").unwrap_err();
+        assert!(matches!(err, sinew_rdbms::DbError::ResourceExhausted(_)));
+    }
+
+    #[test]
+    fn eav_is_bigger_than_the_input() {
+        let s = store();
+        assert!(s.size_bytes().unwrap() > 0);
+        let r = s.db().execute("SELECT COUNT(*) FROM eav").unwrap();
+        // 3 docs → 6 (str1,num,ok,user.id,arr×2) + 2 + 2 = 10 triples
+        assert_eq!(r.scalar(), Some(&Datum::Int(10)));
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests for the EAV shredder: triple counts and reconstruction.
+
+use proptest::prelude::*;
+use sinew_eav::shred;
+use sinew_json::Value;
+
+fn arb_doc() -> impl Strategy<Value = Value> {
+    let scalar = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        "[a-z]{0,8}".prop_map(Value::Str),
+    ];
+    let nested = prop::collection::btree_map("[x-z]", scalar.clone(), 0..3)
+        .prop_map(|m| Value::Object(m.into_iter().collect()));
+    let arr = prop::collection::vec(scalar.clone(), 0..4).prop_map(Value::Array);
+    prop::collection::btree_map("[a-d]{1,3}", prop_oneof![scalar, nested, arr], 0..5)
+        .prop_map(|m| Value::Object(m.into_iter().collect()))
+}
+
+fn leaf_count(v: &Value) -> usize {
+    match v {
+        Value::Null => 0,
+        Value::Object(pairs) => pairs.iter().map(|(_, v)| leaf_count(v)).sum(),
+        Value::Array(items) => items.iter().map(leaf_count).sum(),
+        _ => 1,
+    }
+}
+
+proptest! {
+    #[test]
+    fn triple_count_equals_scalar_leaves(doc in arb_doc(), oid in 0i64..1000) {
+        let triples = shred(oid, &doc);
+        prop_assert_eq!(triples.len(), leaf_count(&doc));
+        for t in &triples {
+            prop_assert_eq!(t.oid, oid);
+            prop_assert!(matches!(
+                t.value,
+                Value::Bool(_) | Value::Int(_) | Value::Float(_) | Value::Str(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn keys_resolve_back_into_the_document(doc in arb_doc()) {
+        for t in shred(1, &doc) {
+            match doc.get_path(&t.key) {
+                Some(Value::Array(items)) => {
+                    prop_assert!(items.iter().any(|i| *i == t.value));
+                }
+                Some(other) => prop_assert_eq!(other, &t.value),
+                None => prop_assert!(false, "key {} missing", t.key),
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The small query language accepted by Sinew's `matches(keys, query)`
+//! function (paper §4.3):
+//!
+//! * bare terms — `fox hound` (implicit AND);
+//! * `OR` between terms;
+//! * trailing `*` — prefix match;
+//! * trailing `~` — fuzzy match (edit distance ≤ 1);
+//! * `[lo TO hi]` — numeric range.
+
+use crate::tokenize::tokenize;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    Term(String),
+    Prefix(String),
+    Fuzzy(String),
+    Range { lo: f64, hi: f64 },
+    And(Vec<Query>),
+    Or(Vec<Query>),
+}
+
+/// Parse a query string. Malformed ranges degrade to term queries; an
+/// empty string yields an AND of nothing (matches nothing).
+pub fn parse_query(input: &str) -> Query {
+    // Ranges first: [lo TO hi]
+    let trimmed = input.trim();
+    if let Some(range) = parse_range(trimmed) {
+        return range;
+    }
+    // Split on OR (case sensitive, word boundary via whitespace split).
+    let or_parts: Vec<&str> = split_or(trimmed);
+    if or_parts.len() > 1 {
+        return Query::Or(or_parts.into_iter().map(parse_query).collect());
+    }
+    // Implicit AND of word queries.
+    let mut parts = Vec::new();
+    for word in trimmed.split_whitespace() {
+        if let Some(range) = parse_range(word) {
+            parts.push(range);
+            continue;
+        }
+        if let Some(stem) = word.strip_suffix('*') {
+            let toks = tokenize(stem);
+            if let Some(t) = toks.into_iter().next() {
+                parts.push(Query::Prefix(t));
+            }
+            continue;
+        }
+        if let Some(stem) = word.strip_suffix('~') {
+            let toks = tokenize(stem);
+            if let Some(t) = toks.into_iter().next() {
+                parts.push(Query::Fuzzy(t));
+            }
+            continue;
+        }
+        for t in tokenize(word) {
+            parts.push(Query::Term(t));
+        }
+    }
+    if parts.len() == 1 {
+        parts.pop().unwrap()
+    } else {
+        Query::And(parts)
+    }
+}
+
+fn split_or(input: &str) -> Vec<&str> {
+    // split on standalone OR tokens
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i + 2 <= bytes.len() {
+        if &input[i..i + 2] == "OR"
+            && (i == 0 || bytes[i - 1].is_ascii_whitespace())
+            && (i + 2 == bytes.len() || bytes[i + 2].is_ascii_whitespace())
+        {
+            parts.push(input[start..i].trim());
+            start = i + 2;
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    parts.push(input[start..].trim());
+    parts.retain(|p| !p.is_empty());
+    if parts.is_empty() {
+        vec![input]
+    } else {
+        parts
+    }
+}
+
+fn parse_range(s: &str) -> Option<Query> {
+    let inner = s.strip_prefix('[')?.strip_suffix(']')?;
+    let (lo, hi) = inner.split_once(" TO ")?;
+    Some(Query::Range { lo: lo.trim().parse().ok()?, hi: hi.trim().parse().ok()? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_term() {
+        assert_eq!(parse_query("Fox"), Query::Term("fox".into()));
+    }
+
+    #[test]
+    fn implicit_and() {
+        assert_eq!(
+            parse_query("quick fox"),
+            Query::And(vec![Query::Term("quick".into()), Query::Term("fox".into())])
+        );
+    }
+
+    #[test]
+    fn or_splitting() {
+        assert_eq!(
+            parse_query("cat OR dog"),
+            Query::Or(vec![Query::Term("cat".into()), Query::Term("dog".into())])
+        );
+        // OR inside a word is not a separator
+        assert_eq!(parse_query("ORchid"), Query::Term("orchid".into()));
+    }
+
+    #[test]
+    fn prefix_fuzzy_range() {
+        assert_eq!(parse_query("qui*"), Query::Prefix("qui".into()));
+        assert_eq!(parse_query("quik~"), Query::Fuzzy("quik".into()));
+        assert_eq!(parse_query("[1.5 TO 20]"), Query::Range { lo: 1.5, hi: 20.0 });
+        // malformed range degrades to terms
+        assert_eq!(
+            parse_query("[1.5 TO"),
+            Query::And(vec![Query::Term("1".into()), Query::Term("5".into()), Query::Term("to".into())])
+        );
+    }
+
+    #[test]
+    fn empty_matches_nothing() {
+        assert_eq!(parse_query(""), Query::And(vec![]));
+    }
+}

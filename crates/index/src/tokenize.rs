@@ -1,0 +1,39 @@
+//! Tokenizer: lower-cased alphanumeric runs (Unicode-aware).
+
+/// Split text into lower-case tokens. Non-alphanumeric characters separate
+/// tokens; digits are kept (so base64-ish NoBench values remain findable).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_splitting() {
+        assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
+        assert_eq!(tokenize("a-b_c"), vec!["a", "b", "c"]);
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("   "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn digits_and_unicode() {
+        assert_eq!(tokenize("GBRDCMBQGA======"), vec!["gbrdcmbqga"]);
+        assert_eq!(tokenize("héllo wörld"), vec!["héllo", "wörld"]);
+        assert_eq!(tokenize("v1.2.3"), vec!["v1", "2", "3"]);
+    }
+}

@@ -1,0 +1,235 @@
+//! # sinew-json
+//!
+//! A from-scratch JSON substrate for the Sinew reproduction.
+//!
+//! Sinew's loader (paper §3.2.1) parses documents of key–value pairs before
+//! serializing them into the column reservoir. The paper assumes JSON input
+//! ("For ease of discussion we will assume that data is input to Sinew in
+//! JSON format", §3). This crate provides the document model every other
+//! crate consumes:
+//!
+//! * [`Value`] — the JSON value tree (objects preserve insertion order,
+//!   which keeps loader output and catalog registration deterministic).
+//! * [`parse`] — a recursive-descent parser with byte-precise error
+//!   positions.
+//! * [`Value::to_json`] / [`write_json`] — a writer producing canonical,
+//!   round-trippable text.
+//!
+//! No external JSON crate is used: the paper's baselines (e.g. the
+//! Postgres-JSON system) are *defined* by how they parse and re-parse JSON
+//! text, so owning the parser keeps those cost models honest.
+
+mod parse;
+mod write;
+
+pub use parse::{parse, parse_many, Error, ErrorKind};
+pub use write::write_json;
+
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Numbers are split into integer and floating-point variants because the
+/// Sinew catalog tracks attribute *types* (paper §3.1.2): `{"hits": 22}` and
+/// `{"hits": 2.5}` register two distinct attributes (`hits`:int vs
+/// `hits`:float), so the distinction must survive parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// An integral number (no decimal point or exponent, fits in `i64`).
+    Int(i64),
+    /// Any other JSON number.
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Key–value pairs in document order. Duplicate keys keep the last
+    /// occurrence (matching typical parser behaviour).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object; `None` for absent keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Follow a dot-delimited path (`"user.id"`), the naming scheme Sinew
+    /// exposes for nested keys (paper §3.1.1).
+    pub fn get_path(&self, path: &str) -> Option<&Value> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            cur = cur.get(seg)?;
+        }
+        Some(cur)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: integers widen to `f64`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Serialize to compact JSON text.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        write::write_value(&mut out, self);
+        out
+    }
+
+    /// Flatten nested objects into dot-delimited leaf paths, in document
+    /// order — exactly the flattening Sinew's logical view applies
+    /// (paper §3.1.1). Arrays and scalars are leaves; nested objects recurse.
+    /// The parent object itself is *also* emitted (the paper keeps nested
+    /// objects referenceable by their original key) when `emit_parents` is
+    /// true.
+    pub fn flatten(&self, emit_parents: bool) -> Vec<(String, &Value)> {
+        let mut out = Vec::new();
+        if let Value::Object(pairs) = self {
+            for (k, v) in pairs {
+                flatten_into(k, v, emit_parents, &mut out);
+            }
+        }
+        out
+    }
+}
+
+fn flatten_into<'a>(
+    prefix: &str,
+    v: &'a Value,
+    emit_parents: bool,
+    out: &mut Vec<(String, &'a Value)>,
+) {
+    match v {
+        Value::Object(pairs) => {
+            if emit_parents {
+                out.push((prefix.to_string(), v));
+            }
+            for (k, child) in pairs {
+                flatten_into(&format!("{prefix}.{k}"), child, emit_parents, out);
+            }
+        }
+        _ => out.push((prefix.to_string(), v)),
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+/// Build an object value from key–value pairs.
+pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_path() {
+        let v = parse(r#"{"user": {"id": 7, "name": "bo"}, "hits": 3}"#).unwrap();
+        assert_eq!(v.get("hits"), Some(&Value::Int(3)));
+        assert_eq!(v.get_path("user.id"), Some(&Value::Int(7)));
+        assert_eq!(v.get_path("user.missing"), None);
+        assert_eq!(v.get_path("hits.x"), None);
+    }
+
+    #[test]
+    fn duplicate_keys_keep_last() {
+        let v = parse(r#"{"a": 1, "a": 2}"#).unwrap();
+        assert_eq!(v.get("a"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn flatten_emits_dot_paths() {
+        let v = parse(r#"{"a": {"b": 1, "c": {"d": true}}, "e": [1,2]}"#).unwrap();
+        let flat = v.flatten(false);
+        let keys: Vec<&str> = flat.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["a.b", "a.c.d", "e"]);
+        let flat_p = v.flatten(true);
+        let keys_p: Vec<&str> = flat_p.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys_p, vec!["a", "a.b", "a.c", "a.c.d", "e"]);
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(4).as_float(), Some(4.0));
+        assert_eq!(Value::Float(4.5).as_float(), Some(4.5));
+        assert_eq!(Value::Float(4.5).as_int(), None);
+        assert_eq!(Value::Str("4".into()).as_float(), None);
+    }
+}

@@ -1,0 +1,405 @@
+//! Recursive-descent JSON parser.
+//!
+//! Strict RFC 8259 grammar with two deliberate properties:
+//!
+//! * integral numbers without `.`/`e` that fit in `i64` parse to
+//!   [`Value::Int`], everything else to [`Value::Float`] — the Sinew catalog
+//!   needs the distinction (see crate docs);
+//! * errors carry byte offsets, because the loader reports which document in
+//!   a bulk load was malformed (paper §3.2.1: "the loader parses each
+//!   document to ensure that its syntax is valid").
+
+use crate::Value;
+use std::fmt;
+
+/// Why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    UnexpectedEof,
+    UnexpectedChar(char),
+    TrailingData,
+    InvalidNumber,
+    InvalidEscape,
+    InvalidUnicode,
+    UnterminatedString,
+    DepthLimit,
+}
+
+/// A parse error with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    pub kind: ErrorKind,
+    pub offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {:?}", self.offset, self.kind)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Documents deeper than this are rejected rather than risking stack
+/// overflow on adversarial input.
+const MAX_DEPTH: usize = 128;
+
+/// Parse a complete JSON document. Trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err(ErrorKind::TrailingData));
+    }
+    Ok(v)
+}
+
+/// Parse newline-delimited JSON (one document per non-empty line), the bulk
+/// load input format. Returns the zero-based line index alongside any error.
+pub fn parse_many(input: &str) -> Result<Vec<Value>, (usize, Error)> {
+    let mut out = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        out.push(parse(t).map_err(|e| (i, e))?);
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, kind: ErrorKind) -> Error {
+        Error { kind, offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        match self.bump() {
+            Some(c) if c == b => Ok(()),
+            Some(c) => {
+                self.pos -= 1;
+                Err(self.err(ErrorKind::UnexpectedChar(c as char)))
+            }
+            None => Err(self.err(ErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(ErrorKind::DepthLimit));
+        }
+        match self.peek() {
+            None => Err(self.err(ErrorKind::UnexpectedEof)),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal(b"true", Value::Bool(true)),
+            Some(b'f') => self.literal(b"false", Value::Bool(false)),
+            Some(b'n') => self.literal(b"null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(ErrorKind::UnexpectedChar(c as char))),
+        }
+    }
+
+    fn literal(&mut self, word: &[u8], v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(ErrorKind::UnexpectedChar(self.peek().unwrap_or(0) as char)))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                Some(c) => {
+                    self.pos -= 1;
+                    return Err(self.err(ErrorKind::UnexpectedChar(c as char)));
+                }
+                None => return Err(self.err(ErrorKind::UnexpectedEof)),
+            }
+        }
+        self.depth -= 1;
+        Ok(Value::Object(pairs))
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                Some(c) => {
+                    self.pos -= 1;
+                    return Err(self.err(ErrorKind::UnexpectedChar(c as char)));
+                }
+                None => return Err(self.err(ErrorKind::UnexpectedEof)),
+            }
+        }
+        self.depth -= 1;
+        Ok(Value::Array(items))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err(ErrorKind::UnterminatedString)),
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'b') => s.push('\u{0008}'),
+                    Some(b'f') => s.push('\u{000C}'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let c = if (0xD800..0xDC00).contains(&hi) {
+                            // surrogate pair: require \uXXXX low surrogate
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err(ErrorKind::InvalidUnicode));
+                            }
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(self.err(ErrorKind::InvalidUnicode));
+                            }
+                            let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(code).ok_or_else(|| self.err(ErrorKind::InvalidUnicode))?
+                        } else if (0xDC00..0xE000).contains(&hi) {
+                            return Err(self.err(ErrorKind::InvalidUnicode));
+                        } else {
+                            char::from_u32(hi).ok_or_else(|| self.err(ErrorKind::InvalidUnicode))?
+                        };
+                        s.push(c);
+                    }
+                    _ => return Err(self.err(ErrorKind::InvalidEscape)),
+                },
+                Some(b) if b < 0x20 => return Err(self.err(ErrorKind::UnexpectedChar(b as char))),
+                Some(b) if b < 0x80 => s.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: the input is a &str, so the sequence
+                    // is valid; copy it through byte-faithfully.
+                    let len = utf8_len(b);
+                    let start = self.pos - 1;
+                    self.pos = start + len;
+                    s.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err(ErrorKind::UnexpectedEof))?;
+            let d = (b as char).to_digit(16).ok_or_else(|| self.err(ErrorKind::InvalidUnicode))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // int part
+        match self.bump() {
+            Some(b'0') => {}
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err(ErrorKind::InvalidNumber)),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ErrorKind::InvalidNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ErrorKind::InvalidNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err(ErrorKind::InvalidNumber))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("-17").unwrap(), Value::Int(-17));
+        assert_eq!(parse("4.5").unwrap(), Value::Float(4.5));
+        assert_eq!(parse("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(parse("-0.5E-1").unwrap(), Value::Float(-0.05));
+        assert_eq!(parse(r#""hi""#).unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn int_overflow_becomes_float() {
+        assert_eq!(
+            parse("99999999999999999999").unwrap(),
+            Value::Float(1e20)
+        );
+        assert_eq!(parse("9223372036854775807").unwrap(), Value::Int(i64::MAX));
+    }
+
+    #[test]
+    fn containers() {
+        let v = parse(r#" [1, [2, {"a": null}], "x"] "#).unwrap();
+        assert_eq!(
+            v,
+            Value::Array(vec![
+                Value::Int(1),
+                Value::Array(vec![
+                    Value::Int(2),
+                    Value::Object(vec![("a".into(), Value::Null)])
+                ]),
+                Value::Str("x".into()),
+            ])
+        );
+        assert_eq!(parse("{}").unwrap(), Value::Object(vec![]));
+        assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        assert_eq!(
+            parse(r#""a\n\t\"\\\/b""#).unwrap(),
+            Value::Str("a\n\t\"\\/b".into())
+        );
+        assert_eq!(parse(r#""A""#).unwrap(), Value::Str("A".into()));
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::Str("😀".into()));
+        assert_eq!(parse("\"héllo→\"").unwrap(), Value::Str("héllo→".into()));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = parse("{\"a\": }").unwrap_err();
+        assert_eq!(e.offset, 6);
+        assert!(parse("").is_err());
+        assert!(parse("tru").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1,}").is_err());
+        assert!(parse("01").is_err());
+        assert!(parse("1.").is_err());
+        assert!(parse("\"\\q\"").is_err());
+        assert!(parse("\"\\uD800x\"").is_err());
+        assert_eq!(parse("1 2").unwrap_err().kind, ErrorKind::TrailingData);
+    }
+
+    #[test]
+    fn depth_limit() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert_eq!(parse(&deep).unwrap_err().kind, ErrorKind::DepthLimit);
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn parse_many_reports_line() {
+        let input = "{\"a\":1}\n\n{\"b\":2}\nnot json\n";
+        let err = parse_many(input).unwrap_err();
+        assert_eq!(err.0, 3);
+        let ok = parse_many("{\"a\":1}\n{\"b\":2}\n").unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Compact JSON writer.
+//!
+//! Output round-trips through [`crate::parse`]: `parse(v.to_json()) == v`
+//! for every value this crate can represent (floats are written with enough
+//! precision to round-trip bit-exactly; non-finite floats, which JSON cannot
+//! express, are written as `null`).
+
+use crate::Value;
+use std::fmt::Write as _;
+
+/// Serialize a value into `out`.
+pub fn write_json(out: &mut String, v: &Value) {
+    write_value(out, v);
+}
+
+pub(crate) fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        // JSON has no NaN/Infinity; the loader never produces them, but the
+        // writer must not emit invalid text if a caller constructs one.
+        out.push_str("null");
+        return;
+    }
+    // `{}` on f64 prints the shortest representation that round-trips.
+    let s = format!("{f}");
+    out.push_str(&s);
+    // Ensure it re-parses as a float, not an int (e.g. 1e3 prints "1000").
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{obj, parse, Value};
+
+    #[test]
+    fn roundtrip_basics() {
+        for text in [
+            "null",
+            "true",
+            "-42",
+            "4.25",
+            r#""a\nb""#,
+            r#"{"k":[1,2.5,null,{"x":"y"}],"z":false}"#,
+        ] {
+            let v = parse(text).unwrap();
+            assert_eq!(parse(&v.to_json()).unwrap(), v, "roundtrip of {text}");
+        }
+    }
+
+    #[test]
+    fn float_never_reparses_as_int() {
+        let v = Value::Float(1000.0);
+        assert_eq!(v.to_json(), "1000.0");
+        assert_eq!(parse("1e3").unwrap().to_json(), "1000.0");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let v = Value::Str("\u{0001}x".into());
+        assert_eq!(v.to_json(), "\"\\u0001x\"");
+        assert_eq!(parse(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(Value::Float(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Float(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn object_builder() {
+        let v = obj(vec![("a", 1i64.into()), ("b", "x".into())]);
+        assert_eq!(v.to_json(), r#"{"a":1,"b":"x"}"#);
+    }
+}

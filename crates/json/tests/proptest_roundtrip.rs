@@ -1,0 +1,68 @@
+//! Property tests: every representable value round-trips through text, and
+//! the parser never panics on arbitrary input.
+
+use proptest::prelude::*;
+use sinew_json::{parse, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: JSON cannot express NaN/inf (writer maps them
+        // to null, which intentionally does not round-trip).
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Float),
+        ".*".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::vec(("[a-z]{1,8}", inner), 0..6).prop_map(|pairs| {
+                // Deduplicate keys: duplicate keys keep-last on parse, so
+                // they would not round-trip structurally.
+                let mut seen = std::collections::HashSet::new();
+                Value::Object(
+                    pairs
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            })
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(v in arb_value()) {
+        let text = v.to_json();
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_never_panics(s in ".*") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_variants(v in arb_value(), pre in "[ \t\n\r]{0,4}", post in "[ \t\n\r]{0,4}") {
+        let text = format!("{pre}{}{post}", v.to_json());
+        prop_assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn flatten_paths_resolve(v in arb_value()) {
+        // Every leaf path produced by flatten(false) must resolve via
+        // get_path back to a value — unless a key itself contains a dot,
+        // which splits the path. Restrict keys to [a-z]+ (the generator
+        // above guarantees this), so resolution always succeeds for objects.
+        if let Value::Object(_) = &v {
+            for (path, leaf) in v.flatten(false) {
+                prop_assert_eq!(v.get_path(&path), Some(leaf), "path {}", path);
+            }
+        }
+    }
+}

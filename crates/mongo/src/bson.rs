@@ -1,0 +1,253 @@
+//! A BSON-like binary document format (the MongoDB baseline's storage).
+//!
+//! Faithful to the properties the paper's results hinge on (§6.2–§6.3):
+//!
+//! * **key names are embedded in every document** (no dictionary), so BSON
+//!   "may in fact increase data size because it adds additional type
+//!   information into its serialization";
+//! * elements are **sequential**: extracting a key walks the element list
+//!   comparing key strings — "there is still a significant CPU cost to
+//!   extracting an individual key or set of keys from a BSON object";
+//! * checking **existence** of a key is cheaper than extracting it (the
+//!   walk can skip values without decoding them), which is why MongoDB
+//!   closes the gap on sparse-key projections (Q3/Q4).
+//!
+//! Layout: `[i32 total_len][elements...][0x00]`, each element
+//! `[type u8][key cstring][value]`. Type bytes follow real BSON where a
+//! match exists (0x01 double, 0x02 string, 0x03 doc, 0x04 array, 0x08
+//! bool, 0x0A null, 0x12 int64).
+
+use sinew_json::Value;
+
+pub const T_DOUBLE: u8 = 0x01;
+pub const T_STRING: u8 = 0x02;
+pub const T_DOC: u8 = 0x03;
+pub const T_ARRAY: u8 = 0x04;
+pub const T_BOOL: u8 = 0x08;
+pub const T_NULL: u8 = 0x0A;
+pub const T_INT64: u8 = 0x12;
+
+/// Serialize a JSON object to BSON bytes.
+pub fn encode(doc: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    match doc {
+        Value::Object(pairs) => encode_doc(&mut out, pairs),
+        other => {
+            // non-object roots wrap in a document under "value"
+            encode_doc(&mut out, &[("value".to_string(), other.clone())]);
+        }
+    }
+    out
+}
+
+fn encode_doc(out: &mut Vec<u8>, pairs: &[(String, Value)]) {
+    let start = out.len();
+    out.extend_from_slice(&0i32.to_le_bytes()); // patched below
+    for (k, v) in pairs {
+        encode_element(out, k, v);
+    }
+    out.push(0);
+    let len = (out.len() - start) as i32;
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+fn encode_element(out: &mut Vec<u8>, key: &str, v: &Value) {
+    let ty = match v {
+        Value::Null => T_NULL,
+        Value::Bool(_) => T_BOOL,
+        Value::Int(_) => T_INT64,
+        Value::Float(_) => T_DOUBLE,
+        Value::Str(_) => T_STRING,
+        Value::Object(_) => T_DOC,
+        Value::Array(_) => T_ARRAY,
+    };
+    out.push(ty);
+    out.extend_from_slice(key.as_bytes());
+    out.push(0);
+    match v {
+        Value::Null => {}
+        Value::Bool(b) => out.push(*b as u8),
+        Value::Int(i) => out.extend_from_slice(&i.to_le_bytes()),
+        Value::Float(f) => out.extend_from_slice(&f.to_le_bytes()),
+        Value::Str(s) => {
+            out.extend_from_slice(&((s.len() + 1) as i32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+            out.push(0);
+        }
+        Value::Object(pairs) => encode_doc(out, pairs),
+        Value::Array(items) => {
+            // BSON arrays are documents with numeric string keys
+            let pairs: Vec<(String, Value)> = items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| (i.to_string(), item.clone()))
+                .collect();
+            encode_doc(out, &pairs);
+        }
+    }
+}
+
+/// Walk elements of a document, calling `f(key, type, value_bytes)`;
+/// `f` returns `true` to continue. Returns `None` on corruption.
+pub fn walk<'a>(
+    bytes: &'a [u8],
+    f: &mut dyn FnMut(&'a [u8], u8, &'a [u8]) -> bool,
+) -> Option<()> {
+    let total = i32::from_le_bytes(bytes.get(0..4)?.try_into().ok()?) as usize;
+    if total > bytes.len() || total < 5 {
+        return None;
+    }
+    let mut pos = 4usize;
+    while pos < total - 1 {
+        let ty = bytes[pos];
+        pos += 1;
+        let key_start = pos;
+        while *bytes.get(pos)? != 0 {
+            pos += 1;
+        }
+        let key = &bytes[key_start..pos];
+        pos += 1;
+        let val_start = pos;
+        let val_len = value_len(ty, &bytes[pos..])?;
+        pos += val_len;
+        if pos > total {
+            return None;
+        }
+        if !f(key, ty, &bytes[val_start..val_start + val_len]) {
+            return Some(());
+        }
+    }
+    Some(())
+}
+
+fn value_len(ty: u8, rest: &[u8]) -> Option<usize> {
+    Some(match ty {
+        T_NULL => 0,
+        T_BOOL => 1,
+        T_INT64 | T_DOUBLE => 8,
+        T_STRING => 4 + i32::from_le_bytes(rest.get(0..4)?.try_into().ok()?) as usize,
+        T_DOC | T_ARRAY => i32::from_le_bytes(rest.get(0..4)?.try_into().ok()?) as usize,
+        _ => return None,
+    })
+}
+
+/// Extract a value by (possibly dotted) path; sequential scan per level.
+pub fn get<'a>(bytes: &'a [u8], path: &str) -> Option<(u8, &'a [u8])> {
+    let mut cur = bytes;
+    let mut segs = path.split('.').peekable();
+    while let Some(seg) = segs.next() {
+        let mut found: Option<(u8, &[u8])> = None;
+        walk(cur, &mut |key, ty, val| {
+            if key == seg.as_bytes() {
+                found = Some((ty, val));
+                false
+            } else {
+                true
+            }
+        })?;
+        let (ty, val) = found?;
+        if segs.peek().is_none() {
+            return Some((ty, val));
+        }
+        if ty != T_DOC {
+            return None;
+        }
+        cur = val;
+    }
+    None
+}
+
+/// Key-existence check: walks keys but never decodes values (the cheaper
+/// operation §6.3 credits MongoDB's sparse projections to).
+pub fn contains_key(bytes: &[u8], path: &str) -> bool {
+    get(bytes, path).is_some()
+}
+
+/// Decode a value slice into a JSON value.
+pub fn decode_value(ty: u8, val: &[u8]) -> Option<Value> {
+    Some(match ty {
+        T_NULL => Value::Null,
+        T_BOOL => Value::Bool(*val.first()? != 0),
+        T_INT64 => Value::Int(i64::from_le_bytes(val.try_into().ok()?)),
+        T_DOUBLE => Value::Float(f64::from_le_bytes(val.try_into().ok()?)),
+        T_STRING => {
+            let len = i32::from_le_bytes(val.get(0..4)?.try_into().ok()?) as usize;
+            Value::Str(std::str::from_utf8(val.get(4..4 + len - 1)?).ok()?.to_string())
+        }
+        T_DOC => decode_doc(val)?,
+        T_ARRAY => {
+            let Value::Object(pairs) = decode_doc(val)? else { return None };
+            Value::Array(pairs.into_iter().map(|(_, v)| v).collect())
+        }
+        _ => return None,
+    })
+}
+
+/// Decode a whole document.
+pub fn decode_doc(bytes: &[u8]) -> Option<Value> {
+    let mut pairs = Vec::new();
+    let mut ok = true;
+    walk(bytes, &mut |key, ty, val| {
+        match (std::str::from_utf8(key), decode_value(ty, val)) {
+            (Ok(k), Some(v)) => pairs.push((k.to_string(), v)),
+            _ => ok = false,
+        }
+        ok
+    })?;
+    ok.then_some(Value::Object(pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinew_json::parse;
+
+    #[test]
+    fn roundtrip() {
+        let doc = parse(
+            r#"{"a": 1, "b": "str", "c": true, "d": null, "e": 2.5,
+                "f": {"x": 1}, "g": [1, "two", {"h": 3}]}"#,
+        )
+        .unwrap();
+        let bytes = encode(&doc);
+        assert_eq!(decode_doc(&bytes).unwrap(), doc);
+    }
+
+    #[test]
+    fn get_by_path() {
+        let doc = parse(r#"{"user": {"id": 7, "geo": {"lat": 1.5}}, "n": 3}"#).unwrap();
+        let bytes = encode(&doc);
+        let (ty, val) = get(&bytes, "n").unwrap();
+        assert_eq!(decode_value(ty, val).unwrap(), Value::Int(3));
+        let (ty, val) = get(&bytes, "user.geo.lat").unwrap();
+        assert_eq!(decode_value(ty, val).unwrap(), Value::Float(1.5));
+        assert!(get(&bytes, "missing").is_none());
+        assert!(get(&bytes, "n.sub").is_none());
+        assert!(contains_key(&bytes, "user.id"));
+        assert!(!contains_key(&bytes, "user.zz"));
+    }
+
+    #[test]
+    fn key_names_cost_bytes() {
+        // the same value under a longer key name costs proportionally more
+        let small = encode(&parse(r#"{"k": 1}"#).unwrap());
+        let big = encode(&parse(r#"{"a_very_long_key_name_here": 1}"#).unwrap());
+        assert!(big.len() > small.len() + 20);
+    }
+
+    #[test]
+    fn corrupt_bytes_are_rejected() {
+        assert!(decode_doc(&[1, 2, 3]).is_none());
+        assert!(get(&[0, 0, 0, 0], "k").is_none());
+        let mut bytes = encode(&parse(r#"{"a": 1}"#).unwrap());
+        bytes.truncate(bytes.len() - 3);
+        assert!(decode_doc(&bytes).is_none());
+    }
+
+    #[test]
+    fn empty_document() {
+        let bytes = encode(&Value::Object(vec![]));
+        assert_eq!(bytes.len(), 5);
+        assert_eq!(decode_doc(&bytes).unwrap(), Value::Object(vec![]));
+    }
+}

@@ -1,0 +1,431 @@
+//! # sinew-mongo
+//!
+//! A MongoDB-like document store: the NoSQL baseline of the Sinew paper's
+//! evaluation (§6.1). Reproduces the behaviours §6 attributes to MongoDB:
+//!
+//! * documents stored as [BSON-like binary](bson) with embedded key names
+//!   (larger than Sinew's dictionary-encoded reservoir, §6.2);
+//! * predicate evaluation and projection by *sequential* BSON walks
+//!   (§6.3's per-key extraction CPU cost);
+//! * `BETWEEN`-style ranges evaluated by **precomputing the key once** and
+//!   comparing twice (§6.4: "MongoDB appears to precompute the value before
+//!   applying the comparison operators. This saves the cost of one
+//!   deserialization per record");
+//! * **no native join** — [`usercode_join`] runs the query as user code
+//!   with explicitly materialized intermediate collections, which burns
+//!   scratch space and can abort, reproducing Figure 7's DNF at scale;
+//! * no transactional overhead on updates (§6.6).
+
+pub mod bson;
+mod query;
+
+pub use query::{CmpOp, Filter};
+
+use parking_lot::RwLock;
+use sinew_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Error type for the document store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MongoError {
+    ScratchExhausted(String),
+    Corrupt(String),
+}
+
+impl std::fmt::Display for MongoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MongoError::ScratchExhausted(m) => write!(f, "out of scratch space: {m}"),
+            MongoError::Corrupt(m) => write!(f, "corrupt document: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MongoError {}
+
+/// A collection of BSON documents with sequential ids.
+#[derive(Default)]
+pub struct Collection {
+    docs: RwLock<Vec<Option<Vec<u8>>>>,
+    /// Bytes scanned counter (for bench reporting).
+    scanned: AtomicU64,
+}
+
+impl Collection {
+    pub fn new() -> Collection {
+        Collection::default()
+    }
+
+    pub fn insert(&self, doc: &Value) -> u64 {
+        let bytes = bson::encode(doc);
+        let mut docs = self.docs.write();
+        docs.push(Some(bytes));
+        (docs.len() - 1) as u64
+    }
+
+    pub fn insert_many(&self, docs: &[Value]) -> u64 {
+        let mut guard = self.docs.write();
+        for d in docs {
+            guard.push(Some(bson::encode(d)));
+        }
+        guard.len() as u64
+    }
+
+    pub fn len(&self) -> u64 {
+        self.docs.read().iter().filter(|d| d.is_some()).count() as u64
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total BSON bytes stored (the Table 3 size metric).
+    pub fn size_bytes(&self) -> u64 {
+        self.docs.read().iter().flatten().map(|d| d.len() as u64).sum()
+    }
+
+    pub fn bytes_scanned(&self) -> u64 {
+        self.scanned.load(Ordering::Relaxed)
+    }
+
+    /// Find matching documents and project the given dotted paths
+    /// (`None` entries in the output where a path is absent).
+    pub fn find_project(&self, filter: &Filter, paths: &[&str]) -> Vec<Vec<Option<Value>>> {
+        let docs = self.docs.read();
+        let mut out = Vec::new();
+        let mut scanned = 0u64;
+        for bytes in docs.iter().flatten() {
+            scanned += bytes.len() as u64;
+            if filter.matches(bytes) {
+                out.push(
+                    paths
+                        .iter()
+                        .map(|p| {
+                            bson::get(bytes, p).and_then(|(ty, val)| bson::decode_value(ty, val))
+                        })
+                        .collect(),
+                );
+            }
+        }
+        self.scanned.fetch_add(scanned, Ordering::Relaxed);
+        out
+    }
+
+    /// Count matching documents.
+    pub fn count(&self, filter: &Filter) -> u64 {
+        let docs = self.docs.read();
+        docs.iter().flatten().filter(|b| filter.matches(b)).count() as u64
+    }
+
+    /// Distinct values of a path over matching documents (the aggregation
+    /// primitive behind NoBench Q1-style DISTINCT).
+    pub fn distinct(&self, path: &str, filter: &Filter) -> Vec<Value> {
+        let docs = self.docs.read();
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for bytes in docs.iter().flatten() {
+            if !filter.matches(bytes) {
+                continue;
+            }
+            if let Some(v) = bson::get(bytes, path).and_then(|(t, b)| bson::decode_value(t, b)) {
+                if seen.insert(v.to_json()) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// `$group`-style aggregation: sum of `sum_path` grouped by
+    /// `group_path` (NULL group for documents missing the key).
+    pub fn group_sum(&self, group_path: &str, sum_path: &str) -> Vec<(Option<Value>, f64)> {
+        let docs = self.docs.read();
+        let mut groups: std::collections::HashMap<String, (Option<Value>, f64)> =
+            std::collections::HashMap::new();
+        for bytes in docs.iter().flatten() {
+            let key = bson::get(bytes, group_path).and_then(|(t, b)| bson::decode_value(t, b));
+            let add = bson::get(bytes, sum_path)
+                .and_then(|(t, b)| bson::decode_value(t, b))
+                .and_then(|v| v.as_float())
+                .unwrap_or(0.0);
+            let entry = groups
+                .entry(key.as_ref().map(Value::to_json).unwrap_or_default())
+                .or_insert((key, 0.0));
+            entry.1 += add;
+        }
+        groups.into_values().collect()
+    }
+
+    /// Update matching documents: set `path` to `value` (re-serializing
+    /// each, as Mongo does for growing documents). Returns count.
+    pub fn update_many(&self, filter: &Filter, path: &str, value: &Value) -> u64 {
+        let mut docs = self.docs.write();
+        let mut n = 0;
+        for slot in docs.iter_mut() {
+            let Some(bytes) = slot else { continue };
+            if !filter.matches(bytes) {
+                continue;
+            }
+            let Some(Value::Object(mut pairs)) = bson::decode_doc(bytes) else { continue };
+            match pairs.iter_mut().find(|(k, _)| k == path) {
+                Some(pair) => pair.1 = value.clone(),
+                None => pairs.push((path.to_string(), value.clone())),
+            }
+            *slot = Some(bson::encode(&Value::Object(pairs)));
+            n += 1;
+        }
+        n
+    }
+
+    /// Visit raw documents (the join helper needs them).
+    pub fn for_each_raw(&self, f: &mut dyn FnMut(u64, &[u8]) -> bool) {
+        let docs = self.docs.read();
+        for (i, bytes) in docs.iter().enumerate() {
+            if let Some(b) = bytes {
+                if !f(i as u64, b) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Result row of the user-code join: projected paths from both sides.
+pub type JoinRow = (Vec<Option<Value>>, Vec<Option<Value>>);
+
+/// The user-code join MongoDB forces (§6.5): build an explicit intermediate
+/// collection keyed on the left join key, then probe with the right side —
+/// "implemented in user code using a custom JavaScript extension combined
+/// with multiple explicitly defined intermediate collections. The execution
+/// is thus not only slow, but also uses a significant amount of disk."
+///
+/// `scratch_limit` bounds intermediate bytes; exceeding it aborts with
+/// [`MongoError::ScratchExhausted`], reproducing the Figure 7 DNF.
+pub fn usercode_join(
+    left: &Collection,
+    left_key: &str,
+    left_project: &[&str],
+    right: &Collection,
+    right_key: &str,
+    right_project: &[&str],
+    scratch_limit: u64,
+) -> Result<Vec<JoinRow>, MongoError> {
+    // The MongoDB 2.4 reduce-side-join idiom: map both collections into a
+    // tagged intermediate collection (paying a BSON round-trip per record),
+    // group it in user code, and emit matches into a *result* collection
+    // (another round-trip) that is finally read back. The intermediate
+    // materialization is exactly the "significant amount of disk" the
+    // paper's §6.5 complains about.
+    let intermediate = Collection::new();
+    let mut scratch = 0u64;
+    let mut emit = |side: i64,
+                    key: Value,
+                    proj: Vec<Option<Value>>|
+     -> Result<(), MongoError> {
+        let mut pairs = vec![
+            ("k".to_string(), key),
+            ("side".to_string(), Value::Int(side)),
+        ];
+        for (i, v) in proj.into_iter().enumerate() {
+            pairs.push((format!("p{i}"), v.unwrap_or(Value::Null)));
+        }
+        intermediate.insert(&Value::Object(pairs));
+        scratch = intermediate.size_bytes();
+        if scratch > scratch_limit {
+            return Err(MongoError::ScratchExhausted(format!(
+                "intermediate collection exceeded {scratch_limit} bytes"
+            )));
+        }
+        Ok(())
+    };
+    // map phase: left
+    let mut failure = None;
+    left.for_each_raw(&mut |_, bytes| {
+        let Some(key) = bson::get(bytes, left_key).and_then(|(t, b)| bson::decode_value(t, b))
+        else {
+            return true;
+        };
+        let proj: Vec<Option<Value>> = left_project
+            .iter()
+            .map(|p| bson::get(bytes, p).and_then(|(t, b)| bson::decode_value(t, b)))
+            .collect();
+        if let Err(e) = emit(0, key, proj) {
+            failure = Some(e);
+            return false;
+        }
+        true
+    });
+    if let Some(e) = failure.take() {
+        return Err(e);
+    }
+    // map phase: right
+    right.for_each_raw(&mut |_, bytes| {
+        let Some(key) = bson::get(bytes, right_key).and_then(|(t, b)| bson::decode_value(t, b))
+        else {
+            return true;
+        };
+        let proj: Vec<Option<Value>> = right_project
+            .iter()
+            .map(|p| bson::get(bytes, p).and_then(|(t, b)| bson::decode_value(t, b)))
+            .collect();
+        if let Err(e) = emit(1, key, proj) {
+            failure = Some(e);
+            return false;
+        }
+        true
+    });
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    // reduce phase: group the intermediate collection by key, re-decoding
+    // every intermediate document
+    type Sides = (Vec<Vec<Option<Value>>>, Vec<Vec<Option<Value>>>);
+    let mut groups: std::collections::HashMap<String, Sides> = std::collections::HashMap::new();
+    let read_proj = |bytes: &[u8], n: usize| -> Vec<Option<Value>> {
+        (0..n)
+            .map(|i| {
+                bson::get(bytes, &format!("p{i}"))
+                    .and_then(|(t, b)| bson::decode_value(t, b))
+                    .filter(|v| *v != Value::Null)
+            })
+            .collect()
+    };
+    intermediate.for_each_raw(&mut |_, bytes| {
+        let Some(key) = bson::get(bytes, "k").and_then(|(t, b)| bson::decode_value(t, b)) else {
+            return true;
+        };
+        let side = bson::get(bytes, "side")
+            .and_then(|(t, b)| bson::decode_value(t, b))
+            .and_then(|v| v.as_int());
+        let entry = groups.entry(key.to_json()).or_default();
+        match side {
+            Some(0) => entry.0.push(read_proj(bytes, left_project.len())),
+            Some(1) => entry.1.push(read_proj(bytes, right_project.len())),
+            _ => {}
+        }
+        true
+    });
+    // emit phase: write joined pairs to a result collection, then read it
+    let results = Collection::new();
+    for (_, (lefts, rights)) in groups {
+        for l in &lefts {
+            for r in &rights {
+                let mut pairs = Vec::new();
+                for (i, v) in l.iter().enumerate() {
+                    pairs.push((format!("l{i}"), v.clone().unwrap_or(Value::Null)));
+                }
+                for (i, v) in r.iter().enumerate() {
+                    pairs.push((format!("r{i}"), v.clone().unwrap_or(Value::Null)));
+                }
+                results.insert(&Value::Object(pairs));
+                if results.size_bytes() + scratch > scratch_limit {
+                    return Err(MongoError::ScratchExhausted(format!(
+                        "result collection exceeded {scratch_limit} bytes"
+                    )));
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    results.for_each_raw(&mut |_, bytes| {
+        let l = (0..left_project.len())
+            .map(|i| {
+                bson::get(bytes, &format!("l{i}"))
+                    .and_then(|(t, b)| bson::decode_value(t, b))
+                    .filter(|v| *v != Value::Null)
+            })
+            .collect();
+        let r = (0..right_project.len())
+            .map(|i| {
+                bson::get(bytes, &format!("r{i}"))
+                    .and_then(|(t, b)| bson::decode_value(t, b))
+                    .filter(|v| *v != Value::Null)
+            })
+            .collect();
+        out.push((l, r));
+        true
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinew_json::parse;
+
+    fn coll(docs: &[&str]) -> Collection {
+        let c = Collection::new();
+        for d in docs {
+            c.insert(&parse(d).unwrap());
+        }
+        c
+    }
+
+    #[test]
+    fn find_and_project() {
+        let c = coll(&[
+            r#"{"a": 1, "b": "x"}"#,
+            r#"{"a": 2, "b": "y"}"#,
+            r#"{"a": 3}"#,
+        ]);
+        let rows = c.find_project(&Filter::cmp("a", CmpOp::Gt, Value::Int(1)), &["b"]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![Some(Value::Str("y".into()))]);
+        assert_eq!(rows[1], vec![None]);
+    }
+
+    #[test]
+    fn distinct_and_group() {
+        let c = coll(&[
+            r#"{"u": 1, "n": 5}"#,
+            r#"{"u": 1, "n": 3}"#,
+            r#"{"u": 2, "n": 2}"#,
+        ]);
+        let d = c.distinct("u", &Filter::True);
+        assert_eq!(d.len(), 2);
+        let mut groups = c.group_sum("u", "n");
+        groups.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        assert_eq!(groups[0].1, 2.0);
+        assert_eq!(groups[1].1, 8.0);
+    }
+
+    #[test]
+    fn update_many_rewrites_docs() {
+        let c = coll(&[r#"{"s": "hit", "v": 1}"#, r#"{"s": "miss", "v": 2}"#]);
+        let n = c.update_many(
+            &Filter::cmp("s", CmpOp::Eq, Value::Str("hit".into())),
+            "patched",
+            &Value::Bool(true),
+        );
+        assert_eq!(n, 1);
+        let rows = c.find_project(&Filter::exists("patched"), &["v"]);
+        assert_eq!(rows, vec![vec![Some(Value::Int(1))]]);
+    }
+
+    #[test]
+    fn usercode_join_basic() {
+        let l = coll(&[r#"{"k": 1, "v": "a"}"#, r#"{"k": 2, "v": "b"}"#]);
+        let r = coll(&[r#"{"k": 2, "w": "x"}"#, r#"{"k": 3, "w": "y"}"#]);
+        let rows = usercode_join(&l, "k", &["v"], &r, "k", &["w"], u64::MAX).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, vec![Some(Value::Str("b".into()))]);
+        assert_eq!(rows[0].1, vec![Some(Value::Str("x".into()))]);
+    }
+
+    #[test]
+    fn usercode_join_scratch_exhaustion() {
+        let docs: Vec<String> =
+            (0..500).map(|i| format!("{{\"k\": {i}, \"v\": \"payload-{i}\"}}")).collect();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let l = coll(&refs);
+        let err = usercode_join(&l, "k", &["v"], &l, "k", &["v"], 100).unwrap_err();
+        assert!(matches!(err, MongoError::ScratchExhausted(_)));
+    }
+
+    #[test]
+    fn size_accounting() {
+        let c = coll(&[r#"{"key": "value"}"#]);
+        assert!(c.size_bytes() > 10);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Query filters over BSON documents.
+//!
+//! Evaluated directly against document bytes — every predicate pays a
+//! sequential BSON walk, which is the cost model §6.3–§6.4 describes.
+//! Range filters extract the key **once** and compare twice (the MongoDB
+//! precompute behaviour §6.4 contrasts with Postgres's BETWEEN rewrite).
+
+use crate::bson;
+use sinew_json::Value;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+}
+
+/// A MongoDB-style query filter.
+#[derive(Debug, Clone)]
+pub enum Filter {
+    /// Match everything.
+    True,
+    /// `{path: {$op: value}}` — dynamic typing: number compares with
+    /// number, string with string; mismatched types never match.
+    Cmp { path: String, op: CmpOp, value: Value },
+    /// `{path: {$gte: lo, $lte: hi}}` with single extraction.
+    Range { path: String, lo: Value, hi: Value },
+    /// `{path: {$exists: true}}`.
+    Exists { path: String },
+    /// `{path: value}` over array fields: membership ($in semantics).
+    Contains { path: String, value: Value },
+    And(Vec<Filter>),
+    Or(Vec<Filter>),
+}
+
+impl Filter {
+    pub fn cmp(path: &str, op: CmpOp, value: Value) -> Filter {
+        Filter::Cmp { path: path.to_string(), op, value }
+    }
+
+    pub fn range(path: &str, lo: Value, hi: Value) -> Filter {
+        Filter::Range { path: path.to_string(), lo, hi }
+    }
+
+    pub fn exists(path: &str) -> Filter {
+        Filter::Exists { path: path.to_string() }
+    }
+
+    pub fn contains(path: &str, value: Value) -> Filter {
+        Filter::Contains { path: path.to_string(), value }
+    }
+
+    /// Evaluate against raw BSON.
+    pub fn matches(&self, bytes: &[u8]) -> bool {
+        match self {
+            Filter::True => true,
+            Filter::Cmp { path, op, value } => {
+                let Some(v) = extract(bytes, path) else { return false };
+                compare(&v, value).map(|o| op_holds(*op, o)).unwrap_or(false)
+            }
+            Filter::Range { path, lo, hi } => {
+                // single extraction, two comparisons
+                let Some(v) = extract(bytes, path) else { return false };
+                let ge = compare(&v, lo).map(|o| o != std::cmp::Ordering::Less);
+                let le = compare(&v, hi).map(|o| o != std::cmp::Ordering::Greater);
+                matches!((ge, le), (Some(true), Some(true)))
+            }
+            Filter::Exists { path } => bson::contains_key(bytes, path),
+            Filter::Contains { path, value } => match extract(bytes, path) {
+                Some(Value::Array(items)) => {
+                    items.iter().any(|i| compare(i, value) == Some(std::cmp::Ordering::Equal))
+                }
+                Some(v) => compare(&v, value) == Some(std::cmp::Ordering::Equal),
+                None => false,
+            },
+            Filter::And(parts) => parts.iter().all(|p| p.matches(bytes)),
+            Filter::Or(parts) => parts.iter().any(|p| p.matches(bytes)),
+        }
+    }
+}
+
+fn extract(bytes: &[u8], path: &str) -> Option<Value> {
+    bson::get(bytes, path).and_then(|(t, v)| bson::decode_value(t, v))
+}
+
+fn op_holds(op: CmpOp, o: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => o == Equal,
+        CmpOp::Ne => o != Equal,
+        CmpOp::Lt => o == Less,
+        CmpOp::Lte => o != Greater,
+        CmpOp::Gt => o == Greater,
+        CmpOp::Gte => o != Less,
+    }
+}
+
+/// Dynamic comparison: numbers unify, other types compare within type.
+fn compare(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
+    use Value::*;
+    match (a, b) {
+        (Int(x), Int(y)) => Some(x.cmp(y)),
+        (Bool(x), Bool(y)) => Some(x.cmp(y)),
+        (Str(x), Str(y)) => Some(x.cmp(y)),
+        _ => match (a.as_float(), b.as_float()) {
+            (Some(x), Some(y)) => x.partial_cmp(&y),
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinew_json::parse;
+
+    fn bytes(json: &str) -> Vec<u8> {
+        bson::encode(&parse(json).unwrap())
+    }
+
+    #[test]
+    fn comparisons() {
+        let b = bytes(r#"{"n": 5, "s": "abc"}"#);
+        assert!(Filter::cmp("n", CmpOp::Eq, Value::Int(5)).matches(&b));
+        assert!(Filter::cmp("n", CmpOp::Gt, Value::Int(4)).matches(&b));
+        assert!(Filter::cmp("n", CmpOp::Gte, Value::Float(5.0)).matches(&b));
+        assert!(!Filter::cmp("n", CmpOp::Lt, Value::Int(5)).matches(&b));
+        assert!(Filter::cmp("s", CmpOp::Eq, Value::Str("abc".into())).matches(&b));
+        // dynamic typing: string never equals number
+        assert!(!Filter::cmp("s", CmpOp::Eq, Value::Int(5)).matches(&b));
+        // absent key never matches
+        assert!(!Filter::cmp("zz", CmpOp::Eq, Value::Int(5)).matches(&b));
+    }
+
+    #[test]
+    fn range_and_exists() {
+        let b = bytes(r#"{"n": 5}"#);
+        assert!(Filter::range("n", Value::Int(1), Value::Int(10)).matches(&b));
+        assert!(!Filter::range("n", Value::Int(6), Value::Int(10)).matches(&b));
+        assert!(Filter::exists("n").matches(&b));
+        assert!(!Filter::exists("m").matches(&b));
+    }
+
+    #[test]
+    fn array_containment() {
+        let b = bytes(r#"{"arr": ["a", "b", 3]}"#);
+        assert!(Filter::contains("arr", Value::Str("b".into())).matches(&b));
+        assert!(Filter::contains("arr", Value::Int(3)).matches(&b));
+        assert!(!Filter::contains("arr", Value::Str("z".into())).matches(&b));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let b = bytes(r#"{"a": 1, "b": 2}"#);
+        let f = Filter::And(vec![
+            Filter::cmp("a", CmpOp::Eq, Value::Int(1)),
+            Filter::cmp("b", CmpOp::Eq, Value::Int(2)),
+        ]);
+        assert!(f.matches(&b));
+        let f = Filter::Or(vec![
+            Filter::cmp("a", CmpOp::Eq, Value::Int(9)),
+            Filter::cmp("b", CmpOp::Eq, Value::Int(2)),
+        ]);
+        assert!(f.matches(&b));
+    }
+
+    #[test]
+    fn dotted_paths() {
+        let b = bytes(r#"{"u": {"id": 7}}"#);
+        assert!(Filter::cmp("u.id", CmpOp::Eq, Value::Int(7)).matches(&b));
+    }
+}

@@ -1,0 +1,54 @@
+//! Property tests: BSON round-trips, and filters agree with direct
+//! evaluation over the JSON values.
+
+use proptest::prelude::*;
+use sinew_json::Value;
+use sinew_mongo::{bson, CmpOp, Filter};
+
+fn arb_doc() -> impl Strategy<Value = Value> {
+    let scalar = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+        "[a-z ]{0,12}".prop_map(Value::Str),
+    ];
+    prop::collection::btree_map("[a-f]{1,4}", scalar.clone(), 0..6).prop_flat_map(move |top| {
+        let base: Vec<(String, Value)> = top.into_iter().collect();
+        prop::collection::vec(scalar.clone(), 0..4).prop_map(move |arr| {
+            let mut pairs = base.clone();
+            pairs.push(("arr".to_string(), Value::Array(arr)));
+            Value::Object(pairs)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(doc in arb_doc()) {
+        let bytes = bson::encode(&doc);
+        prop_assert_eq!(bson::decode_doc(&bytes).unwrap(), doc);
+    }
+
+    #[test]
+    fn get_agrees_with_value_model(doc in arb_doc(), key in "[a-f]{1,4}") {
+        let bytes = bson::encode(&doc);
+        let got = bson::get(&bytes, &key).and_then(|(t, v)| bson::decode_value(t, v));
+        prop_assert_eq!(got.as_ref(), doc.get(&key));
+    }
+
+    #[test]
+    fn eq_filter_agrees(doc in arb_doc(), key in "[a-f]{1,4}", probe in any::<i64>()) {
+        let bytes = bson::encode(&doc);
+        let expected = matches!(doc.get(&key), Some(Value::Int(i)) if *i == probe)
+            || matches!(doc.get(&key), Some(Value::Float(f)) if *f == probe as f64);
+        let filter = Filter::cmp(&key, CmpOp::Eq, Value::Int(probe));
+        prop_assert_eq!(filter.matches(&bytes), expected);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = bson::decode_doc(&bytes);
+        let _ = bson::get(&bytes, "a.b");
+    }
+}

@@ -1,0 +1,197 @@
+//! The NoBench data generator.
+//!
+//! Matches the shape the Sinew paper describes (§6): "Each record has
+//! approximately fifteen keys, ten of which are randomly selected from a
+//! pool of 1000 possible keys, and the remainder of which are either a
+//! string, integer, boolean, nested array, or nested document. Two
+//! dynamically typed columns, dyn1 and dyn2, take either a string, integer,
+//! or boolean value based on a distribution determined during data
+//! generation."
+//!
+//! Key inventory per record:
+//!
+//! * `str1`, `str2` — strings (str1 ~unique, str2 low-cardinality);
+//! * `num` — integer; `thousandth` — `num % 1000`;
+//! * `bool` — boolean;
+//! * `dyn1`, `dyn2` — int / string / bool by record position;
+//! * `nested_obj` — `{str, num}` duplicating `str1`/`num` values of a
+//!   *different* record (so NoBench Q11's self-join has matches);
+//! * `nested_arr` — array of base32-flavoured strings;
+//! * `sparse_000` … `sparse_999` — each record carries the ten keys of one
+//!   of 100 groups, so every sparse key appears in ~1% of records.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sinew_json::Value;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NoBenchConfig {
+    pub seed: u64,
+    /// Elements in `nested_arr`.
+    pub arr_len: usize,
+    /// Distinct `str2` values.
+    pub str2_cardinality: u64,
+}
+
+impl Default for NoBenchConfig {
+    fn default() -> Self {
+        NoBenchConfig { seed: 2014, arr_len: 5, str2_cardinality: 100 }
+    }
+}
+
+/// Base32-ish string for a number (the NoBench flavour, e.g.
+/// `GBRDCMBQGA======`).
+pub fn base32ish(mut n: u64) -> String {
+    const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ234567";
+    let mut s = Vec::with_capacity(16);
+    for _ in 0..10 {
+        s.push(ALPHABET[(n % 32) as usize]);
+        n /= 32;
+    }
+    s.extend_from_slice(b"======");
+    String::from_utf8(s).unwrap()
+}
+
+/// Generate record `i` of a dataset of `total` records.
+pub fn generate_one(i: u64, total: u64, cfg: &NoBenchConfig) -> Value {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let num = rng.gen_range(0..total.max(1000)) as i64;
+    let str1 = base32ish(cfg.seed.wrapping_add(i));
+    let str2 = format!("str2-{}", i % cfg.str2_cardinality);
+    let boolean = i.is_multiple_of(2);
+    let thousandth = num % 1000;
+
+    // dynamic typing: 50% int, 40% string, 10% bool (deterministic by i).
+    // Kept below the analyzer's 60% density threshold per typed attribute,
+    // so dyn1/dyn2 stay virtual as in the paper's §6.1 policy outcome.
+    let dyn_val = |salt: u64| -> Value {
+        match (i.wrapping_add(salt)) % 10 {
+            0..=4 => Value::Int(num),
+            5..=8 => Value::Str(base32ish(num as u64)),
+            _ => Value::Bool(boolean),
+        }
+    };
+
+    // nested_obj duplicates another record's (str1, num) so the Q11
+    // self-join on nested_obj.str = str1 produces hits
+    let other = (i + total / 2) % total.max(1);
+    let nested_obj = Value::Object(vec![
+        ("str".to_string(), Value::Str(base32ish(cfg.seed.wrapping_add(other)))),
+        ("num".to_string(), Value::Int((other % total.max(1000)) as i64)),
+    ]);
+
+    let nested_arr = Value::Array(
+        (0..cfg.arr_len)
+            .map(|j| Value::Str(base32ish(rng.gen_range(0..1000) + j as u64 * 1000)))
+            .collect(),
+    );
+
+    let mut pairs = vec![
+        ("str1".to_string(), Value::Str(str1)),
+        ("str2".to_string(), Value::Str(str2)),
+        ("num".to_string(), Value::Int(num)),
+        ("bool".to_string(), Value::Bool(boolean)),
+        ("dyn1".to_string(), dyn_val(1)),
+        ("dyn2".to_string(), dyn_val(2)),
+        ("nested_obj".to_string(), nested_obj),
+        ("nested_arr".to_string(), nested_arr),
+        ("thousandth".to_string(), Value::Int(thousandth)),
+    ];
+    // ten sparse keys from group (i % 100): sparse_{g*10} .. sparse_{g*10+9}
+    let group = (i % 100) * 10;
+    for j in 0..10 {
+        pairs.push((
+            format!("sparse_{:03}", group + j),
+            Value::Str(base32ish(rng.gen_range(0..1_000_000))),
+        ));
+    }
+    Value::Object(pairs)
+}
+
+/// Generate a full dataset.
+pub fn generate(n: u64, cfg: &NoBenchConfig) -> Vec<Value> {
+    (0..n).map(|i| generate_one(i, n, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_shape() {
+        let cfg = NoBenchConfig::default();
+        let v = generate_one(7, 1000, &cfg);
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.len(), 19); // 9 fixed + 10 sparse
+        assert!(v.get("str1").unwrap().as_str().is_some());
+        assert!(v.get("num").unwrap().as_int().is_some());
+        assert!(v.get_path("nested_obj.str").is_some());
+        assert!(v.get_path("nested_obj.num").is_some());
+        assert_eq!(v.get("nested_arr").unwrap().as_array().unwrap().len(), 5);
+        let num = v.get("num").unwrap().as_int().unwrap();
+        assert_eq!(v.get("thousandth").unwrap().as_int().unwrap(), num % 1000);
+    }
+
+    #[test]
+    fn sparse_keys_cluster_by_group() {
+        let cfg = NoBenchConfig::default();
+        let v = generate_one(3, 1000, &cfg);
+        // record 3 → group 3 → sparse_030..sparse_039
+        assert!(v.get("sparse_030").is_some());
+        assert!(v.get("sparse_039").is_some());
+        assert!(v.get("sparse_040").is_none());
+        assert!(v.get("sparse_029").is_none());
+    }
+
+    #[test]
+    fn sparse_density_is_one_percent() {
+        let cfg = NoBenchConfig::default();
+        let docs = generate(1000, &cfg);
+        let with_110 = docs.iter().filter(|d| d.get("sparse_110").is_some()).count();
+        assert_eq!(with_110, 10); // group 11 = records with i % 100 == 11
+    }
+
+    #[test]
+    fn dyn1_is_multi_typed() {
+        let cfg = NoBenchConfig::default();
+        let docs = generate(100, &cfg);
+        let mut ints = 0;
+        let mut strs = 0;
+        let mut bools = 0;
+        for d in &docs {
+            match d.get("dyn1").unwrap() {
+                Value::Int(_) => ints += 1,
+                Value::Str(_) => strs += 1,
+                Value::Bool(_) => bools += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(ints, 50);
+        assert_eq!(strs, 40);
+        assert_eq!(bools, 10);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let cfg = NoBenchConfig::default();
+        assert_eq!(generate_one(5, 100, &cfg), generate_one(5, 100, &cfg));
+        let cfg2 = NoBenchConfig { seed: 99, ..cfg };
+        assert_ne!(generate_one(5, 100, &cfg), generate_one(5, 100, &cfg2));
+    }
+
+    #[test]
+    fn q11_join_has_matches() {
+        let cfg = NoBenchConfig::default();
+        let n = 100;
+        let docs = generate(n, &cfg);
+        // each record's nested_obj.str equals some other record's str1
+        let str1s: std::collections::HashSet<&str> =
+            docs.iter().map(|d| d.get("str1").unwrap().as_str().unwrap()).collect();
+        let matches = docs
+            .iter()
+            .filter(|d| str1s.contains(d.get_path("nested_obj.str").unwrap().as_str().unwrap()))
+            .count();
+        assert_eq!(matches, n as usize);
+    }
+}

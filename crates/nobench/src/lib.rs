@@ -1,0 +1,22 @@
+//! # sinew-nobench
+//!
+//! The workload substrate of the Sinew reproduction:
+//!
+//! * [`gen`] — the NoBench data generator (Chasseur, Li, Patel: *Enabling
+//!   JSON Document Stores in Relational Systems*, WebDB 2013), which the
+//!   paper uses for its entire §6 evaluation: ~15 keys per record, ten of
+//!   them drawn from a pool of 1000 sparse keys, two dynamically typed
+//!   columns, a nested object, and a nested array;
+//! * [`queries`] — the 11 NoBench queries plus the paper's added random
+//!   update task (§6.6), each expressed for all four benchmarked systems
+//!   (Sinew, MongoDB-like, EAV, PG-JSON);
+//! * [`twitter`] — a synthetic Twitter-API-shaped generator for the plan
+//!   study of Tables 1/2 and the virtual-column overhead of Table 5
+//!   (substituting for the paper's 10M-tweet crawl; see DESIGN.md).
+
+pub mod gen;
+pub mod queries;
+pub mod twitter;
+
+pub use gen::{generate, generate_one, NoBenchConfig};
+pub use queries::{QueryParams, SystemUnderTest};

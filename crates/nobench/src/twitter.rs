@@ -1,0 +1,189 @@
+//! Synthetic Twitter-API-shaped data for the paper's plan study
+//! (§3.1.1, Tables 1–2) and virtual-column overhead experiment (Table 5).
+//!
+//! The paper used a crawl of 10M real tweets; we generate documents with
+//! the same structural properties (DESIGN.md documents the substitution):
+//! 13 nullable top-level attributes, a nested `user` object, optional
+//! entities, and per-field sparsities "between less than 1% all the way up
+//! to 100%". Cardinalities matter for the plan shapes: `user.id` and
+//! `user.screen_name` are high-cardinality, `user.lang` is skewed
+//! low-cardinality with a rare `'msa'` value.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sinew_json::Value;
+
+const LANGS: &[(&str, f64)] = &[
+    ("en", 0.60),
+    ("ja", 0.15),
+    ("es", 0.10),
+    ("pt", 0.06),
+    ("fr", 0.04),
+    ("de", 0.025),
+    ("tr", 0.015),
+    ("msa", 0.01), // the paper's Table 1 Q3 filters on 'msa'
+];
+
+/// Configuration for the tweet generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TwitterConfig {
+    pub seed: u64,
+    /// Distinct users (controls `user.id` / screen_name cardinality).
+    pub n_users: u64,
+}
+
+impl Default for TwitterConfig {
+    fn default() -> Self {
+        TwitterConfig { seed: 77, n_users: 10_000 }
+    }
+}
+
+fn pick_lang(r: f64) -> &'static str {
+    let mut acc = 0.0;
+    for (lang, p) in LANGS {
+        acc += p;
+        if r < acc {
+            return lang;
+        }
+    }
+    "en"
+}
+
+/// Generate tweet `i`.
+pub fn tweet(i: u64, cfg: &TwitterConfig) -> Value {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ i.wrapping_mul(0xA24B_1D3F_9143_77F1));
+    let user_id = rng.gen_range(0..cfg.n_users) as i64;
+    let screen_name = format!("user_{user_id}");
+    let mut pairs = vec![
+        ("id_str".to_string(), Value::Str(format!("{:018}", i))),
+        ("text".to_string(), Value::Str(format!("tweet number {i} about topic {}", i % 50))),
+        ("created_at".to_string(), Value::Str(format!("2013-08-{:02}T12:{:02}:00Z", i % 28 + 1, i % 60))),
+        ("retweet_count".to_string(), Value::Int(rng.gen_range(0..1000))),
+        ("favorite_count".to_string(), Value::Int(rng.gen_range(0..500))),
+        (
+            "user".to_string(),
+            Value::Object(vec![
+                ("id".to_string(), Value::Int(user_id)),
+                ("screen_name".to_string(), Value::Str(screen_name)),
+                ("lang".to_string(), Value::Str(pick_lang(rng.gen::<f64>()).to_string())),
+                ("friends_count".to_string(), Value::Int(rng.gen_range(0..5000))),
+                ("followers_count".to_string(), Value::Int(rng.gen_range(0..100_000))),
+                ("statuses_count".to_string(), Value::Int(rng.gen_range(0..50_000))),
+                ("verified".to_string(), Value::Bool(rng.gen_bool(0.01))),
+                ("location".to_string(), Value::Str(format!("city-{}", user_id % 300))),
+            ]),
+        ),
+    ];
+    // ~30% of tweets are replies
+    if rng.gen_bool(0.3) {
+        pairs.push((
+            "in_reply_to_screen_name".to_string(),
+            Value::Str(format!("user_{}", rng.gen_range(0..cfg.n_users))),
+        ));
+        pairs.push((
+            "in_reply_to_status_id_str".to_string(),
+            Value::Str(format!("{:018}", rng.gen_range(0..i.max(1)))),
+        ));
+    }
+    // sparse optional attributes at assorted densities
+    if rng.gen_bool(0.2) {
+        pairs.push((
+            "entities".to_string(),
+            Value::Object(vec![(
+                "hashtags".to_string(),
+                Value::Array(vec![Value::Str(format!("tag{}", rng.gen_range(0..100)))]),
+            )]),
+        ));
+    }
+    if rng.gen_bool(0.05) {
+        pairs.push(("possibly_sensitive".to_string(), Value::Bool(true)));
+    }
+    if rng.gen_bool(0.02) {
+        pairs.push((
+            "coordinates".to_string(),
+            Value::Object(vec![
+                ("lat".to_string(), Value::Float(rng.gen_range(-90.0..90.0))),
+                ("lon".to_string(), Value::Float(rng.gen_range(-180.0..180.0))),
+            ]),
+        ));
+    }
+    if rng.gen_bool(0.01) {
+        pairs.push(("withheld_in_countries".to_string(), Value::Str("XY".to_string())));
+    }
+    Value::Object(pairs)
+}
+
+/// A delete notice (paper Table 1, Q3 joins `deletes` twice).
+pub fn delete_notice(i: u64, cfg: &TwitterConfig) -> Value {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ i.wrapping_mul(0xC0FE_BABE_1234_5678));
+    Value::Object(vec![(
+        "delete".to_string(),
+        Value::Object(vec![(
+            "status".to_string(),
+            Value::Object(vec![
+                ("id_str".to_string(), Value::Str(format!("{:018}", rng.gen_range(0..i.max(1) * 4)))),
+                ("user_id".to_string(), Value::Int(rng.gen_range(0..cfg.n_users) as i64)),
+            ]),
+        )]),
+    )])
+}
+
+/// Generate `n` tweets.
+pub fn tweets(n: u64, cfg: &TwitterConfig) -> Vec<Value> {
+    (0..n).map(|i| tweet(i, cfg)).collect()
+}
+
+/// Generate `n` delete notices.
+pub fn deletes(n: u64, cfg: &TwitterConfig) -> Vec<Value> {
+    (0..n).map(|i| delete_notice(i, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tweet_shape() {
+        let cfg = TwitterConfig::default();
+        let t = tweet(42, &cfg);
+        assert!(t.get("id_str").is_some());
+        assert!(t.get_path("user.id").is_some());
+        assert!(t.get_path("user.screen_name").is_some());
+        assert!(t.get_path("user.lang").is_some());
+    }
+
+    #[test]
+    fn lang_distribution_is_skewed() {
+        let cfg = TwitterConfig::default();
+        let docs = tweets(5000, &cfg);
+        let en = docs
+            .iter()
+            .filter(|t| t.get_path("user.lang").unwrap().as_str() == Some("en"))
+            .count();
+        let msa = docs
+            .iter()
+            .filter(|t| t.get_path("user.lang").unwrap().as_str() == Some("msa"))
+            .count();
+        assert!(en > 2500, "en count {en}");
+        assert!(msa > 10 && msa < 150, "msa count {msa}");
+    }
+
+    #[test]
+    fn optional_fields_are_sparse() {
+        let cfg = TwitterConfig::default();
+        let docs = tweets(2000, &cfg);
+        let replies =
+            docs.iter().filter(|t| t.get("in_reply_to_screen_name").is_some()).count();
+        assert!(replies > 400 && replies < 800, "replies {replies}");
+        let coords = docs.iter().filter(|t| t.get("coordinates").is_some()).count();
+        assert!(coords < 100, "coords {coords}");
+    }
+
+    #[test]
+    fn deletes_shape() {
+        let cfg = TwitterConfig::default();
+        let d = delete_notice(9, &cfg);
+        assert!(d.get_path("delete.status.id_str").is_some());
+        assert!(d.get_path("delete.status.user_id").is_some());
+    }
+}

@@ -1,0 +1,223 @@
+//! # sinew-pgjson
+//!
+//! The "Postgres JSON" baseline (paper §6.1): documents stored as **raw
+//! JSON text** in a single column, with built-in-style extraction
+//! operators. Reproduces the three deficiencies §6 measures:
+//!
+//! * "Postgres JSON stores JSON data as raw text. Therefore it must execute
+//!   a significant amount of code in order to extract the projected
+//!   attributes from the string representation, including parsing and
+//!   string manipulation" — every key access re-parses the document
+//!   (§6.3's CPU-bound projections);
+//! * extraction "returns a datum of the 'JSON' datatype ... the datum must
+//!   be type-cast before being used in another function or operator. Since
+//!   Postgres raises an error if it encounters a malformed string
+//!   representation for a given type (e.g. 'twenty' for an integer), the
+//!   query will never complete if a key maps to values of two or more
+//!   distinct types" — the Q7 DNF (§6.4);
+//! * the JSON type is opaque to the optimizer: no per-key statistics, so
+//!   the GROUP BY of Q10 gets a default-estimate plan (§6.5).
+//!
+//! Array predicates are inexpressible; NoBench Q9 falls back to "the
+//! approximate, but technically incorrect LIKE predicate over the text
+//! representation of the array" (§6.7), via `json_get_raw`.
+
+use sinew_json::{parse, Value};
+use sinew_rdbms::{ColType, Database, Datum, DbError, DbResult, QueryResult};
+use std::sync::Arc;
+
+/// A JSON-text collection inside an RDBMS.
+pub struct PgJsonStore {
+    db: Arc<Database>,
+    table: String,
+}
+
+impl PgJsonStore {
+    /// Create the table and register the JSON operator UDFs.
+    pub fn create(db: Arc<Database>, table: &str) -> DbResult<PgJsonStore> {
+        db.create_table(table, vec![("doc".into(), ColType::Text)])?;
+        install_udfs(&db);
+        Ok(PgJsonStore { db, table: table.to_string() })
+    }
+
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// Load: "it only does simple syntax validation during the load
+    /// process" (§6.2) — parse to validate, store the original text.
+    pub fn load_jsonl(&self, input: &str) -> DbResult<u64> {
+        let mut rows = Vec::new();
+        for (i, line) in input.lines().enumerate() {
+            let t = line.trim();
+            if t.is_empty() {
+                continue;
+            }
+            parse(t).map_err(|e| DbError::Parse(format!("line {i}: {e}")))?;
+            rows.push(vec![Datum::Text(t.to_string())]);
+        }
+        self.db.insert_rows(&self.table, &rows)
+    }
+
+    pub fn load_docs(&self, docs: &[Value]) -> DbResult<u64> {
+        let rows: Vec<Vec<Datum>> =
+            docs.iter().map(|d| vec![Datum::Text(d.to_json())]).collect();
+        self.db.insert_rows(&self.table, &rows)
+    }
+
+    /// Run SQL over the store (use `json_get_text(doc, 'path')` etc.).
+    pub fn execute(&self, sql: &str) -> DbResult<QueryResult> {
+        self.db.execute(sql)
+    }
+
+    pub fn size_bytes(&self) -> DbResult<u64> {
+        self.db.table_size_bytes(&self.table)
+    }
+}
+
+/// Register the JSON operator UDFs on a database (idempotent).
+pub fn install_udfs(db: &Database) {
+    // `doc ->> 'path'`: parse the WHOLE text, walk the path, return the
+    // scalar's text form (strings unquoted), or NULL when absent.
+    db.register_udf(
+        "json_get_text",
+        Arc::new(|args: &[Datum]| -> DbResult<Datum> {
+            let Some((doc, path)) = text_args(args) else {
+                return Err(DbError::Eval("json_get_text expects (doc, path)".into()));
+            };
+            let Some(doc) = doc else { return Ok(Datum::Null) };
+            let parsed = parse(doc).map_err(|e| DbError::Eval(format!("invalid json: {e}")))?;
+            Ok(match parsed.get_path(path) {
+                None | Some(Value::Null) => Datum::Null,
+                Some(Value::Str(s)) => Datum::Text(s.clone()),
+                Some(other) => Datum::Text(other.to_json()),
+            })
+        }),
+    );
+    // `doc -> 'path'`: raw JSON text of the value (arrays/objects included).
+    db.register_udf(
+        "json_get_raw",
+        Arc::new(|args: &[Datum]| -> DbResult<Datum> {
+            let Some((doc, path)) = text_args(args) else {
+                return Err(DbError::Eval("json_get_raw expects (doc, path)".into()));
+            };
+            let Some(doc) = doc else { return Ok(Datum::Null) };
+            let parsed = parse(doc).map_err(|e| DbError::Eval(format!("invalid json: {e}")))?;
+            Ok(match parsed.get_path(path) {
+                None => Datum::Null,
+                Some(v) => Datum::Text(v.to_json()),
+            })
+        }),
+    );
+    db.register_udf(
+        "json_has_key",
+        Arc::new(|args: &[Datum]| -> DbResult<Datum> {
+            let Some((doc, path)) = text_args(args) else {
+                return Err(DbError::Eval("json_has_key expects (doc, path)".into()));
+            };
+            let Some(doc) = doc else { return Ok(Datum::Bool(false)) };
+            let parsed = parse(doc).map_err(|e| DbError::Eval(format!("invalid json: {e}")))?;
+            Ok(Datum::Bool(parsed.get_path(path).is_some()))
+        }),
+    );
+}
+
+fn text_args(args: &[Datum]) -> Option<(Option<&str>, &str)> {
+    match args {
+        [Datum::Text(doc), Datum::Text(path)] => Some((Some(doc.as_str()), path.as_str())),
+        [Datum::Null, Datum::Text(path)] => Some((None, path.as_str())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> PgJsonStore {
+        let db = Arc::new(Database::in_memory());
+        let s = PgJsonStore::create(db, "t").unwrap();
+        s.load_jsonl(
+            r#"
+            {"str1": "alpha", "num": 5, "dyn1": 9, "user": {"id": 7}, "arr": ["x", "y"]}
+            {"str1": "beta", "num": 15, "dyn1": "nine"}
+            "#,
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn projection_via_text_extraction() {
+        let s = store();
+        let r = s
+            .execute("SELECT json_get_text(doc, 'str1') FROM t WHERE json_get_text(doc, 'num') = '5'")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Text("alpha".into())]]);
+        // numeric comparison must go through a cast
+        let r = s
+            .execute(
+                "SELECT json_get_text(doc, 'str1') FROM t \
+                 WHERE CAST(json_get_text(doc, 'num') AS int) > 10",
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Text("beta".into())]]);
+    }
+
+    #[test]
+    fn nested_and_missing_paths() {
+        let s = store();
+        let r = s.execute("SELECT json_get_text(doc, 'user.id') FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Datum::Text("7".into()));
+        assert_eq!(r.rows[1][0], Datum::Null);
+        let r = s
+            .execute("SELECT COUNT(*) FROM t WHERE json_has_key(doc, 'user.id')")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Datum::Int(1)));
+    }
+
+    #[test]
+    fn multi_typed_key_cast_error_is_the_q7_dnf() {
+        // §6.4: "the query will never complete if a key maps to values of
+        // two or more distinct types"
+        let s = store();
+        let err = s
+            .execute(
+                "SELECT COUNT(*) FROM t WHERE CAST(json_get_text(doc, 'dyn1') AS int) BETWEEN 1 AND 10",
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::CastError { .. }));
+    }
+
+    #[test]
+    fn array_predicate_via_like_is_approximate() {
+        let s = store();
+        // §6.7's workaround: LIKE over the array's text form
+        let r = s
+            .execute("SELECT COUNT(*) FROM t WHERE json_get_raw(doc, 'arr') LIKE '%\"x\"%'")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Datum::Int(1)));
+    }
+
+    #[test]
+    fn stored_size_is_roughly_input_size() {
+        let db = Arc::new(Database::in_memory());
+        let s = PgJsonStore::create(db, "t").unwrap();
+        let line = r#"{"key": "0123456789"}"#;
+        let input: String = (0..100).map(|_| format!("{line}\n")).collect();
+        s.load_jsonl(&input).unwrap();
+        let r = s.execute("SELECT SUM(length(doc)) FROM t").unwrap();
+        assert_eq!(r.scalar(), Some(&Datum::Int(line.len() as i64 * 100)));
+    }
+
+    #[test]
+    fn malformed_input_rejected_at_load() {
+        let db = Arc::new(Database::in_memory());
+        let s = PgJsonStore::create(db, "t").unwrap();
+        assert!(s.load_jsonl("{\"ok\": 1}\nnot json\n").is_err());
+    }
+}

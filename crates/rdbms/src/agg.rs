@@ -1,0 +1,238 @@
+//! Aggregate functions and accumulators.
+
+use crate::datum::{Datum, GroupKey};
+use crate::error::{DbError, DbResult};
+use std::collections::HashSet;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    CountStar,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggKind {
+    pub fn parse(name: &str, star: bool) -> Option<AggKind> {
+        Some(match (name.to_ascii_lowercase().as_str(), star) {
+            ("count", true) => AggKind::CountStar,
+            ("count", false) => AggKind::Count,
+            ("sum", false) => AggKind::Sum,
+            ("avg", false) => AggKind::Avg,
+            ("min", false) => AggKind::Min,
+            ("max", false) => AggKind::Max,
+            _ => return None,
+        })
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggKind::CountStar | AggKind::Count => "count",
+            AggKind::Sum => "sum",
+            AggKind::Avg => "avg",
+            AggKind::Min => "min",
+            AggKind::Max => "max",
+        }
+    }
+}
+
+/// Is this function name an aggregate? Used by the binder to route calls.
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(
+        name.to_ascii_lowercase().as_str(),
+        "count" | "sum" | "avg" | "min" | "max"
+    )
+}
+
+/// Running state for one aggregate within one group.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    kind: AggKind,
+    seen: Option<HashSet<GroupKey>>,
+    count: i64,
+    sum_i: i64,
+    sum_f: f64,
+    float_mode: bool,
+    extreme: Option<Datum>,
+}
+
+impl Accumulator {
+    pub fn new(kind: AggKind, distinct: bool) -> Accumulator {
+        Accumulator {
+            kind,
+            seen: if distinct { Some(HashSet::new()) } else { None },
+            count: 0,
+            sum_i: 0,
+            sum_f: 0.0,
+            float_mode: false,
+            extreme: None,
+        }
+    }
+
+    /// Feed one input value (for `COUNT(*)`, feed `Datum::Bool(true)`).
+    pub fn update(&mut self, value: &Datum) -> DbResult<()> {
+        if self.kind != AggKind::CountStar {
+            if value.is_null() {
+                return Ok(()); // aggregates skip NULLs
+            }
+            if let Some(seen) = &mut self.seen {
+                if !seen.insert(value.group_key()) {
+                    return Ok(());
+                }
+            }
+        }
+        match self.kind {
+            AggKind::CountStar | AggKind::Count => self.count += 1,
+            AggKind::Sum | AggKind::Avg => {
+                self.count += 1;
+                match value {
+                    Datum::Int(i) => {
+                        if self.float_mode {
+                            self.sum_f += *i as f64;
+                        } else {
+                            match self.sum_i.checked_add(*i) {
+                                Some(s) => self.sum_i = s,
+                                None => {
+                                    self.float_mode = true;
+                                    self.sum_f = self.sum_i as f64 + *i as f64;
+                                }
+                            }
+                        }
+                    }
+                    Datum::Float(f) => {
+                        if !self.float_mode {
+                            self.float_mode = true;
+                            self.sum_f = self.sum_i as f64;
+                        }
+                        self.sum_f += f;
+                    }
+                    other => {
+                        return Err(DbError::Eval(format!(
+                            "{} over non-numeric value {other}",
+                            self.kind.name()
+                        )))
+                    }
+                }
+            }
+            AggKind::Min | AggKind::Max => {
+                let better = match &self.extreme {
+                    None => true,
+                    Some(cur) => {
+                        let ord = value.total_cmp(cur);
+                        (self.kind == AggKind::Min && ord == std::cmp::Ordering::Less)
+                            || (self.kind == AggKind::Max && ord == std::cmp::Ordering::Greater)
+                    }
+                };
+                if better {
+                    self.extreme = Some(value.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final value of the aggregate (SQL semantics: SUM/MIN/MAX over an
+    /// empty input yield NULL; COUNT yields 0).
+    pub fn finish(&self) -> Datum {
+        match self.kind {
+            AggKind::CountStar | AggKind::Count => Datum::Int(self.count),
+            AggKind::Sum => {
+                if self.count == 0 {
+                    Datum::Null
+                } else if self.float_mode {
+                    Datum::Float(self.sum_f)
+                } else {
+                    Datum::Int(self.sum_i)
+                }
+            }
+            AggKind::Avg => {
+                if self.count == 0 {
+                    Datum::Null
+                } else {
+                    let total = if self.float_mode { self.sum_f } else { self.sum_i as f64 };
+                    Datum::Float(total / self.count as f64)
+                }
+            }
+            AggKind::Min | AggKind::Max => self.extreme.clone().unwrap_or(Datum::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(kind: AggKind, distinct: bool, vals: &[Datum]) -> Datum {
+        let mut acc = Accumulator::new(kind, distinct);
+        for v in vals {
+            acc.update(v).unwrap();
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn count_skips_nulls_count_star_does_not() {
+        let vals = [Datum::Int(1), Datum::Null, Datum::Int(2)];
+        assert_eq!(run(AggKind::Count, false, &vals), Datum::Int(2));
+        let mut star = Accumulator::new(AggKind::CountStar, false);
+        for _ in 0..3 {
+            star.update(&Datum::Bool(true)).unwrap();
+        }
+        assert_eq!(star.finish(), Datum::Int(3));
+    }
+
+    #[test]
+    fn sum_int_then_float_promotes() {
+        let vals = [Datum::Int(1), Datum::Float(0.5), Datum::Int(2)];
+        assert_eq!(run(AggKind::Sum, false, &vals), Datum::Float(3.5));
+        let ints = [Datum::Int(1), Datum::Int(2)];
+        assert_eq!(run(AggKind::Sum, false, &ints), Datum::Int(3));
+    }
+
+    #[test]
+    fn sum_overflow_promotes_to_float() {
+        let vals = [Datum::Int(i64::MAX), Datum::Int(i64::MAX)];
+        let Datum::Float(f) = run(AggKind::Sum, false, &vals) else { panic!() };
+        assert!(f > 1.8e19);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(run(AggKind::Sum, false, &[]), Datum::Null);
+        assert_eq!(run(AggKind::Avg, false, &[]), Datum::Null);
+        assert_eq!(run(AggKind::Min, false, &[]), Datum::Null);
+        assert_eq!(run(AggKind::Count, false, &[]), Datum::Int(0));
+    }
+
+    #[test]
+    fn distinct_aggregation() {
+        let vals = [Datum::Int(1), Datum::Int(1), Datum::Int(2), Datum::Float(2.0)];
+        assert_eq!(run(AggKind::Count, true, &vals), Datum::Int(2));
+        assert_eq!(run(AggKind::Sum, true, &vals), Datum::Int(3));
+    }
+
+    #[test]
+    fn min_max_mixed_types_use_total_order() {
+        let vals = [Datum::Text("b".into()), Datum::Text("a".into()), Datum::Int(9)];
+        assert_eq!(run(AggKind::Min, false, &vals), Datum::Int(9));
+        assert_eq!(run(AggKind::Max, false, &vals), Datum::Text("b".into()));
+    }
+
+    #[test]
+    fn avg_basic() {
+        let vals = [Datum::Int(2), Datum::Int(4)];
+        assert_eq!(run(AggKind::Avg, false, &vals), Datum::Float(3.0));
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(AggKind::parse("SUM", false), Some(AggKind::Sum));
+        assert_eq!(AggKind::parse("count", true), Some(AggKind::CountStar));
+        assert_eq!(AggKind::parse("sum", true), None);
+        assert_eq!(AggKind::parse("coalesce", false), None);
+        assert!(is_aggregate_name("AVG"));
+        assert!(!is_aggregate_name("lower"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Runtime values and their SQL semantics.
+
+use crate::error::{DbError, DbResult};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column types supported by the storage layer.
+///
+/// `Bytea` is the type of Sinew's column reservoir; `Array` is the "RDBMS
+/// array datatype" the paper's §4.2 uses as the default array mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColType {
+    Bool,
+    Int,
+    Float,
+    Text,
+    Bytea,
+    Array,
+}
+
+impl ColType {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ColType::Bool => "bool",
+            ColType::Int => "int",
+            ColType::Float => "float",
+            ColType::Text => "text",
+            ColType::Bytea => "bytea",
+            ColType::Array => "array",
+        }
+    }
+}
+
+impl From<sinew_sql::TypeName> for ColType {
+    fn from(t: sinew_sql::TypeName) -> Self {
+        match t {
+            sinew_sql::TypeName::Bool => ColType::Bool,
+            sinew_sql::TypeName::Int => ColType::Int,
+            sinew_sql::TypeName::Float => ColType::Float,
+            sinew_sql::TypeName::Text => ColType::Text,
+            sinew_sql::TypeName::Bytea => ColType::Bytea,
+            sinew_sql::TypeName::Array => ColType::Array,
+        }
+    }
+}
+
+/// A runtime value. `Null` is typeless, as in SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datum {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Bytea(Vec<u8>),
+    Array(Vec<Datum>),
+}
+
+impl Datum {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    pub fn type_of(&self) -> Option<ColType> {
+        Some(match self {
+            Datum::Null => return None,
+            Datum::Bool(_) => ColType::Bool,
+            Datum::Int(_) => ColType::Int,
+            Datum::Float(_) => ColType::Float,
+            Datum::Text(_) => ColType::Text,
+            Datum::Bytea(_) => ColType::Bytea,
+            Datum::Array(_) => ColType::Array,
+        })
+    }
+
+    /// Rough in-memory footprint, used by the optimizer's width estimates
+    /// and by spill accounting in the executor.
+    pub fn width(&self) -> usize {
+        match self {
+            Datum::Null => 1,
+            Datum::Bool(_) => 1,
+            Datum::Int(_) | Datum::Float(_) => 8,
+            Datum::Text(s) => s.len() + 4,
+            Datum::Bytea(b) => b.len() + 4,
+            Datum::Array(a) => a.iter().map(Datum::width).sum::<usize>() + 4,
+        }
+    }
+
+    /// SQL three-valued-logic equality: `None` if either side is NULL.
+    pub fn sql_eq(&self, other: &Datum) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// SQL comparison. Numeric types compare across Int/Float; everything
+    /// else compares within its own type. Cross-type non-numeric comparisons
+    /// yield `None` (treated as NULL/no-match), which is how Sinew's typed
+    /// extraction "elegantly handles" multi-typed keys (paper §3.2.2).
+    pub fn sql_cmp(&self, other: &Datum) -> Option<Ordering> {
+        use Datum::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => Some(a.cmp(b)),
+            (Bytea(a), Bytea(b)) => Some(a.cmp(b)),
+            (Array(a), Array(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.sql_cmp(y) {
+                        Some(Ordering::Equal) => continue,
+                        other => return other,
+                    }
+                }
+                Some(a.len().cmp(&b.len()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Total order for sorting and grouping: NULLs sort first, cross-type
+    /// values order by a fixed type rank. Needed because sort operators
+    /// require totality even over heterogeneous (dynamically typed) columns.
+    pub fn total_cmp(&self, other: &Datum) -> Ordering {
+        use Datum::*;
+        fn rank(d: &Datum) -> u8 {
+            match d {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Text(_) => 3,
+                Bytea(_) => 4,
+                Array(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            _ => match rank(self).cmp(&rank(other)) {
+                Ordering::Equal => self.sql_cmp(other).unwrap_or(Ordering::Equal),
+                r => r,
+            },
+        }
+    }
+
+    /// A hashable grouping key (Float bit-normalized so `-0.0 == 0.0`
+    /// groups; integral floats group with equal ints).
+    pub fn group_key(&self) -> GroupKey {
+        match self {
+            Datum::Null => GroupKey::Null,
+            Datum::Bool(b) => GroupKey::Bool(*b),
+            Datum::Int(i) => GroupKey::Int(*i),
+            Datum::Float(f) => {
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                    GroupKey::Int(*f as i64)
+                } else {
+                    GroupKey::Float((f + 0.0).to_bits())
+                }
+            }
+            Datum::Text(s) => GroupKey::Text(s.clone()),
+            Datum::Bytea(b) => GroupKey::Bytes(b.clone()),
+            Datum::Array(a) => GroupKey::Array(a.iter().map(Datum::group_key).collect()),
+        }
+    }
+
+    /// Cast to a target type, Postgres-style: failures are hard errors
+    /// (`CastError`), not NULLs. Sinew's extraction functions deliberately do
+    /// NOT go through this path — they return NULL on type mismatch.
+    pub fn cast(&self, to: ColType) -> DbResult<Datum> {
+        use Datum::*;
+        if self.is_null() {
+            return Ok(Null);
+        }
+        Ok(match (self, to) {
+            (d, t) if d.type_of() == Some(t) => d.clone(),
+            (Int(i), ColType::Float) => Float(*i as f64),
+            (Float(f), ColType::Int) => Int(*f as i64),
+            (Bool(b), ColType::Int) => Int(*b as i64),
+            (Bool(b), ColType::Text) => Text(if *b { "true".into() } else { "false".into() }),
+            (Int(i), ColType::Text) => Text(i.to_string()),
+            (Float(f), ColType::Text) => Text(f.to_string()),
+            (Text(s), ColType::Int) => Int(s.trim().parse().map_err(|_| DbError::CastError {
+                value: s.clone(),
+                target: "int",
+            })?),
+            (Text(s), ColType::Float) => {
+                Float(s.trim().parse().map_err(|_| DbError::CastError {
+                    value: s.clone(),
+                    target: "float",
+                })?)
+            }
+            (Text(s), ColType::Bool) => match s.trim().to_ascii_lowercase().as_str() {
+                "t" | "true" | "1" | "yes" => Bool(true),
+                "f" | "false" | "0" | "no" => Bool(false),
+                _ => {
+                    return Err(DbError::CastError { value: s.clone(), target: "bool" });
+                }
+            },
+            (Array(_), ColType::Text) => Text(self.display_text()),
+            (d, t) => {
+                return Err(DbError::CastError {
+                    value: d.display_text(),
+                    target: t.name(),
+                })
+            }
+        })
+    }
+
+    /// Human/SQL textual form (no quotes), used for downcast-to-string
+    /// extraction and display.
+    pub fn display_text(&self) -> String {
+        match self {
+            Datum::Null => "NULL".into(),
+            Datum::Bool(b) => if *b { "true" } else { "false" }.into(),
+            Datum::Int(i) => i.to_string(),
+            Datum::Float(f) => f.to_string(),
+            Datum::Text(s) => s.clone(),
+            Datum::Bytea(b) => format!("\\x{}", hex(b)),
+            Datum::Array(a) => {
+                let inner: Vec<String> = a.iter().map(Datum::display_text).collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+}
+
+/// Hashable, equality-correct key for hash aggregation / hash joins.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(u64),
+    Text(String),
+    Bytes(Vec<u8>),
+    Array(Vec<GroupKey>),
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_propagates_in_comparisons() {
+        assert_eq!(Datum::Null.sql_eq(&Datum::Int(1)), None);
+        assert_eq!(Datum::Int(1).sql_cmp(&Datum::Null), None);
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(Datum::Int(2).sql_cmp(&Datum::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Datum::Float(1.5).sql_cmp(&Datum::Int(2)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn cross_type_comparison_is_null() {
+        assert_eq!(Datum::Text("5".into()).sql_cmp(&Datum::Int(5)), None);
+        assert_eq!(Datum::Bool(true).sql_cmp(&Datum::Int(1)), None);
+    }
+
+    #[test]
+    fn total_order_is_total() {
+        let vals = [
+            Datum::Null,
+            Datum::Bool(false),
+            Datum::Int(3),
+            Datum::Float(3.5),
+            Datum::Text("a".into()),
+            Datum::Array(vec![Datum::Int(1)]),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let ab = a.total_cmp(b);
+                let ba = b.total_cmp(a);
+                assert_eq!(ab, ba.reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn group_key_unifies_int_and_integral_float() {
+        assert_eq!(Datum::Int(3).group_key(), Datum::Float(3.0).group_key());
+        assert_ne!(Datum::Int(3).group_key(), Datum::Float(3.5).group_key());
+        assert_eq!(Datum::Float(0.0).group_key(), Datum::Float(-0.0).group_key());
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(Datum::Text("42".into()).cast(ColType::Int).unwrap(), Datum::Int(42));
+        assert_eq!(Datum::Int(1).cast(ColType::Float).unwrap(), Datum::Float(1.0));
+        assert_eq!(Datum::Null.cast(ColType::Int).unwrap(), Datum::Null);
+        let err = Datum::Text("twenty".into()).cast(ColType::Int).unwrap_err();
+        assert!(matches!(err, DbError::CastError { .. }));
+    }
+
+    #[test]
+    fn array_display() {
+        let a = Datum::Array(vec![Datum::Int(1), Datum::Text("x".into())]);
+        assert_eq!(a.display_text(), "{1,x}");
+    }
+}

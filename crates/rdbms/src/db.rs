@@ -1,0 +1,611 @@
+//! The embedded database facade: DDL, DML, queries, EXPLAIN, ANALYZE,
+//! UDF registration, and the row-level APIs Sinew's materializer uses.
+//!
+//! Everything Sinew needs is reachable through SQL + UDFs + these narrow
+//! programmatic APIs; the Sinew layer never touches storage internals,
+//! honouring the paper's "no changes to the RDBMS code" constraint (§3).
+
+use crate::datum::{ColType, Datum};
+use crate::error::{DbError, DbResult};
+use crate::exec::{ExecLimits, Executor, Row, TableSource};
+use crate::expr::{bind, Scope};
+use crate::func::{FuncRegistry, ScalarFn};
+use crate::heap::{Heap, RowId};
+use crate::pager::{IoSnapshot, Pager};
+
+use crate::planner::{CatalogView, Planner, PlannerConfig, TableMeta};
+use crate::schema::TableSchema;
+use crate::stats::{ColumnCollector, TableStats};
+use crate::tuple;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Result of executing one statement.
+#[derive(Debug, Default)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+    /// Rows affected by DML.
+    pub affected: u64,
+}
+
+impl QueryResult {
+    /// First column of the first row, convenient in tests.
+    pub fn scalar(&self) -> Option<&Datum> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+struct Table {
+    schema: TableSchema,
+    heap: Heap,
+}
+
+/// The embedded relational database.
+pub struct Database {
+    pager: Arc<Pager>,
+    tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
+    funcs: FuncRegistry,
+    stats: RwLock<HashMap<String, TableStats>>,
+    planner_config: RwLock<PlannerConfig>,
+    limits: RwLock<ExecLimits>,
+}
+
+impl Database {
+    /// Fully in-memory database (tests, small experiments).
+    pub fn in_memory() -> Database {
+        Database::with_pager(Pager::in_memory())
+    }
+
+    /// File-backed database with an LRU buffer pool of `pool_pages` 8 KiB
+    /// frames, optionally with simulated per-miss I/O latency.
+    pub fn open(path: &Path, pool_pages: usize, io_delay: Option<Duration>) -> DbResult<Database> {
+        let mut pager = Pager::open(path, pool_pages)?;
+        if let Some(d) = io_delay {
+            pager = pager.with_io_delay(d);
+        }
+        Ok(Database::with_pager(pager))
+    }
+
+    fn with_pager(pager: Pager) -> Database {
+        Database {
+            pager: Arc::new(pager),
+            tables: RwLock::new(HashMap::new()),
+            funcs: FuncRegistry::new(),
+            stats: RwLock::new(HashMap::new()),
+            planner_config: RwLock::new(PlannerConfig::default()),
+            limits: RwLock::new(ExecLimits::default()),
+        }
+    }
+
+
+    /// Handle to one table's lock (map lock held only momentarily, so
+    /// long scans of one table never block DDL or writes on another —
+    /// and UDFs that write catalog tables mid-scan cannot deadlock).
+    fn table(&self, name: &str) -> DbResult<Arc<RwLock<Table>>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::NotFound(format!("table {name}")))
+    }
+
+    // ---- configuration ----
+
+    pub fn set_planner_config(&self, config: PlannerConfig) {
+        *self.planner_config.write() = config;
+    }
+
+    pub fn planner_config(&self) -> PlannerConfig {
+        self.planner_config.read().clone()
+    }
+
+    pub fn set_exec_limits(&self, limits: ExecLimits) {
+        *self.limits.write() = limits;
+    }
+
+    /// Register a user-defined scalar function (paper §5).
+    pub fn register_udf(&self, name: &str, f: Arc<dyn ScalarFn>) {
+        self.funcs.register(name, f);
+    }
+
+    pub fn functions(&self) -> &FuncRegistry {
+        &self.funcs
+    }
+
+    pub fn io_stats(&self) -> IoSnapshot {
+        self.pager.stats()
+    }
+
+    pub fn reset_io_stats(&self) {
+        self.pager.reset_stats();
+    }
+
+    /// Flush dirty pages and drop the cache — cold-cache benchmarking.
+    pub fn drop_caches(&self) -> DbResult<()> {
+        self.pager.evict_all()
+    }
+
+    /// Total database size in bytes (all tables).
+    pub fn size_bytes(&self) -> u64 {
+        self.pager.size_bytes()
+    }
+
+    pub fn table_size_bytes(&self, table: &str) -> DbResult<u64> {
+        let t = self.table(table)?;
+        let t = t.read();
+        Ok(t.heap.bytes_used())
+    }
+
+    /// Live tuple payload bytes of one table — page and dead-tuple
+    /// overhead excluded (the post-VACUUM figure used for cross-system
+    /// size comparisons).
+    pub fn table_live_bytes(&self, table: &str) -> DbResult<u64> {
+        let t = self.table(table)?;
+        let t = t.read();
+        t.heap.live_bytes()
+    }
+
+    // ---- DDL ----
+
+    pub fn create_table(&self, name: &str, cols: Vec<(String, ColType)>) -> DbResult<()> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(DbError::Schema(format!("table {name} already exists")));
+        }
+        {
+            let mut seen = std::collections::HashSet::new();
+            for (c, _) in &cols {
+                if !seen.insert(c.clone()) {
+                    return Err(DbError::Schema(format!("duplicate column {c}")));
+                }
+            }
+        }
+        tables.insert(
+            name.to_string(),
+            Arc::new(RwLock::new(Table {
+                schema: TableSchema::new(cols),
+                heap: Heap::new(self.pager.clone()),
+            })),
+        );
+        Ok(())
+    }
+
+    pub fn drop_table(&self, name: &str) -> DbResult<()> {
+        self.tables
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DbError::NotFound(format!("table {name}")))?;
+        self.stats.write().remove(name);
+        Ok(())
+    }
+
+    /// `ALTER TABLE ADD COLUMN` — existing rows read the column as NULL.
+    /// This is how Sinew's materializer creates physical columns.
+    pub fn add_column(&self, table: &str, name: &str, ty: ColType) -> DbResult<()> {
+        let t = self.table(table)?;
+        let mut t = t.write();
+        t.schema.add_column(name, ty)?;
+        Ok(())
+    }
+
+    /// `ALTER TABLE DROP COLUMN` — the slot is kept, the name is freed
+    /// (Sinew's dematerialization path).
+    pub fn drop_column(&self, table: &str, name: &str) -> DbResult<()> {
+        let t = self.table(table)?;
+        let mut t = t.write();
+        t.schema.drop_column(name)?;
+        Ok(())
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub fn schema(&self, table: &str) -> DbResult<TableSchema> {
+        let t = self.table(table)?;
+        let t = t.read();
+        Ok(t.schema.clone())
+    }
+
+    pub fn row_count(&self, table: &str) -> DbResult<u64> {
+        let t = self.table(table)?;
+        let t = t.read();
+        Ok(t.heap.len())
+    }
+
+    /// Upper bound on row ids ever issued for a table; `get_row` over
+    /// `0..high_water` visits every live row (the materializer's resumable
+    /// iteration space).
+    pub fn high_water(&self, table: &str) -> DbResult<u64> {
+        let t = self.table(table)?;
+        let t = t.read();
+        Ok(t.heap.high_water())
+    }
+
+    // ---- programmatic row APIs ----
+
+    /// Bulk insert. Rows are given over the table's **live** columns, in
+    /// live-column order; values are coerced to column types when safe.
+    pub fn insert_rows(&self, table: &str, rows: &[Vec<Datum>]) -> DbResult<u64> {
+        let t = self.table(table)?;
+        let mut t = t.write();
+        let live: Vec<usize> = t.schema.live_columns().map(|(i, _)| i).collect();
+        let arity = t.schema.arity();
+        let mut count = 0;
+        for row in rows {
+            if row.len() != live.len() {
+                return Err(DbError::Schema(format!(
+                    "expected {} values, got {}",
+                    live.len(),
+                    row.len()
+                )));
+            }
+            let mut full = vec![Datum::Null; arity];
+            for (value, &slot) in row.iter().zip(&live) {
+                full[slot] = coerce_for_column(value, t.schema.columns[slot].ty)?;
+            }
+            let bytes = tuple::encode_tuple(&t.schema, &full)?;
+            t.heap.insert(&bytes)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Bulk insert into a named subset of columns; unnamed columns are
+    /// NULL. This is the `INSERT INTO t (cols...)` path — Sinew's loader
+    /// uses it to stay ignorant of the physical schema (it only ever names
+    /// the reservoir column).
+    pub fn insert_rows_cols(
+        &self,
+        table: &str,
+        cols: &[&str],
+        rows: &[Vec<Datum>],
+    ) -> DbResult<u64> {
+        let t = self.table(table)?;
+        let mut t = t.write();
+        let arity = t.schema.arity();
+        let slots: Vec<usize> = cols
+            .iter()
+            .map(|c| {
+                t.schema
+                    .index_of(c)
+                    .ok_or_else(|| DbError::NotFound(format!("column {c}")))
+            })
+            .collect::<DbResult<_>>()?;
+        let mut count = 0;
+        for row in rows {
+            if row.len() != slots.len() {
+                return Err(DbError::Schema(format!(
+                    "expected {} values, got {}",
+                    slots.len(),
+                    row.len()
+                )));
+            }
+            let mut full = vec![Datum::Null; arity];
+            for (value, &slot) in row.iter().zip(&slots) {
+                full[slot] = coerce_for_column(value, t.schema.columns[slot].ty)?;
+            }
+            let bytes = tuple::encode_tuple(&t.schema, &full)?;
+            t.heap.insert(&bytes)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Read one row (live columns, in live order) by row id.
+    pub fn get_row(&self, table: &str, rowid: RowId) -> DbResult<Option<Row>> {
+        let t = self.table(table)?;
+        let t = t.read();
+        let Some(bytes) = t.heap.get(rowid)? else { return Ok(None) };
+        let full = tuple::decode_tuple(&t.schema, &bytes)?;
+        Ok(Some(t.schema.live_columns().map(|(i, _)| full[i].clone()).collect()))
+    }
+
+    /// Atomically update named columns of a single row — the primitive the
+    /// column materializer uses for its row-by-row data movement (§3.1.4).
+    pub fn update_row(
+        &self,
+        table: &str,
+        rowid: RowId,
+        assignments: &[(&str, Datum)],
+    ) -> DbResult<()> {
+        let t = self.table(table)?;
+        let mut t = t.write();
+        let Some(bytes) = t.heap.get(rowid)? else {
+            return Err(DbError::NotFound(format!("row {rowid} in {table}")));
+        };
+        let mut full = tuple::decode_tuple(&t.schema, &bytes)?;
+        for (name, value) in assignments {
+            let idx = t
+                .schema
+                .index_of(name)
+                .ok_or_else(|| DbError::NotFound(format!("column {name}")))?;
+            full[idx] = coerce_for_column(value, t.schema.columns[idx].ty)?;
+        }
+        let new_bytes = tuple::encode_tuple(&t.schema, &full)?;
+        t.heap.update(rowid, &new_bytes)
+    }
+
+    /// Stream all rows (live columns + trailing rowid). Used by ANALYZE,
+    /// scans, and the Sinew materializer.
+    pub fn scan_rows(
+        &self,
+        table: &str,
+        f: &mut dyn FnMut(RowId, Row) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        let t = self.table(table)?;
+        let t = t.read();
+        let live: Vec<usize> = t.schema.live_columns().map(|(i, _)| i).collect();
+        t.heap.scan(|rowid, bytes| {
+            let full = tuple::decode_tuple(&t.schema, &bytes)?;
+            let row: Row = live.iter().map(|&i| full[i].clone()).collect();
+            f(rowid, row)
+        })
+    }
+
+    // ---- statistics ----
+
+    /// ANALYZE: full-table statistics for every live column.
+    pub fn analyze(&self, table: &str) -> DbResult<()> {
+        let (collectors, names, n_rows) = {
+            let t = self.table(table)?;
+            let t = t.read();
+            let names: Vec<String> =
+                t.schema.live_columns().map(|(_, c)| c.name.clone()).collect();
+            let live: Vec<usize> = t.schema.live_columns().map(|(i, _)| i).collect();
+            let mut collectors: Vec<ColumnCollector> =
+                names.iter().map(|_| ColumnCollector::new()).collect();
+            t.heap.scan(|_, bytes| {
+                let full = tuple::decode_tuple(&t.schema, &bytes)?;
+                for (c, &i) in collectors.iter_mut().zip(&live) {
+                    c.add(&full[i]);
+                }
+                Ok(true)
+            })?;
+            (collectors, names, t.heap.len())
+        };
+        let mut columns = HashMap::new();
+        for (c, name) in collectors.into_iter().zip(names) {
+            columns.insert(name, c.finish());
+        }
+        self.stats
+            .write()
+            .insert(table.to_string(), TableStats { n_rows: n_rows as f64, columns });
+        Ok(())
+    }
+
+    /// Drop statistics (returns the optimizer to default estimates).
+    pub fn clear_stats(&self, table: &str) {
+        self.stats.write().remove(table);
+    }
+
+    // ---- SQL entry point ----
+
+    /// Execute a single SQL statement.
+    pub fn execute(&self, sql: &str) -> DbResult<QueryResult> {
+        let stmt = sinew_sql::parse_statement(sql).map_err(|e| DbError::Parse(e.to_string()))?;
+        self.execute_statement(&stmt)
+    }
+
+    pub fn execute_statement(&self, stmt: &sinew_sql::Statement) -> DbResult<QueryResult> {
+        use sinew_sql::Statement;
+        match stmt {
+            Statement::Select(sel) => self.run_select(sel),
+            Statement::CreateTable(ct) => {
+                let cols: Vec<(String, ColType)> =
+                    ct.columns.iter().map(|(n, t)| (n.clone(), (*t).into())).collect();
+                match self.create_table(&ct.table, cols) {
+                    Err(DbError::Schema(_)) if ct.if_not_exists => Ok(QueryResult::default()),
+                    other => other.map(|_| QueryResult::default()),
+                }
+            }
+            Statement::Insert(ins) => self.run_insert(ins),
+            Statement::Update(upd) => self.run_update(upd),
+            Statement::Delete(del) => self.run_delete(del),
+            Statement::Explain(inner) => match &**inner {
+                Statement::Select(sel) => {
+                    let planned = self.plan(sel)?;
+                    let text = planned.plan.explain();
+                    Ok(QueryResult {
+                        columns: vec!["QUERY PLAN".to_string()],
+                        rows: text
+                            .lines()
+                            .map(|l| vec![Datum::Text(l.to_string())])
+                            .collect(),
+                        affected: 0,
+                    })
+                }
+                _ => Err(DbError::Eval("EXPLAIN supports SELECT only".into())),
+            },
+            Statement::Analyze(table) => {
+                self.analyze(table)?;
+                Ok(QueryResult::default())
+            }
+        }
+    }
+
+    /// Plan a SELECT without running it.
+    pub fn plan(&self, sel: &sinew_sql::Select) -> DbResult<crate::planner::PlannedQuery> {
+        let planner =
+            Planner::new(self, &self.funcs).with_config(self.planner_config.read().clone());
+        planner.plan_select(sel)
+    }
+
+    fn run_select(&self, sel: &sinew_sql::Select) -> DbResult<QueryResult> {
+        let planned = self.plan(sel)?;
+        let limits = *self.limits.read();
+        let exec = Executor { source: self, limits };
+        let rows = exec.run(&planned.plan)?;
+        Ok(QueryResult { columns: planned.columns, rows, affected: 0 })
+    }
+
+    fn run_insert(&self, ins: &sinew_sql::Insert) -> DbResult<QueryResult> {
+        let schema = self.schema(&ins.table)?;
+        let live: Vec<(usize, String, ColType)> = schema
+            .live_columns()
+            .map(|(i, c)| (i, c.name.clone(), c.ty))
+            .collect();
+        // map provided columns to live positions
+        let positions: Vec<usize> = if ins.columns.is_empty() {
+            (0..live.len()).collect()
+        } else {
+            ins.columns
+                .iter()
+                .map(|c| {
+                    live.iter()
+                        .position(|(_, n, _)| n == c)
+                        .ok_or_else(|| DbError::NotFound(format!("column {c}")))
+                })
+                .collect::<DbResult<_>>()?
+        };
+        let scope = Scope::default();
+        let mut rows = Vec::new();
+        for value_row in &ins.rows {
+            if value_row.len() != positions.len() {
+                return Err(DbError::Schema(format!(
+                    "INSERT expects {} values, got {}",
+                    positions.len(),
+                    value_row.len()
+                )));
+            }
+            let mut row = vec![Datum::Null; live.len()];
+            for (expr, &pos) in value_row.iter().zip(&positions) {
+                row[pos] = bind(expr, &scope, &self.funcs)?.eval(&[])?;
+            }
+            rows.push(row);
+        }
+        let n = self.insert_rows(&ins.table, &rows)?;
+        Ok(QueryResult { affected: n, ..Default::default() })
+    }
+
+    fn run_update(&self, upd: &sinew_sql::Update) -> DbResult<QueryResult> {
+        let planner =
+            Planner::new(self, &self.funcs).with_config(self.planner_config.read().clone());
+        let (plan, scope) = planner.plan_modify_scan(&upd.table, upd.filter.as_ref())?;
+        let assignments: Vec<(String, crate::expr::PhysExpr)> = upd
+            .assignments
+            .iter()
+            .map(|(col, e)| Ok((col.clone(), bind(e, &scope, &self.funcs)?)))
+            .collect::<DbResult<_>>()?;
+        // Phase 1: evaluate new values against matching rows.
+        let limits = *self.limits.read();
+        let exec = Executor { source: self, limits };
+        let matched = exec.run(&plan)?;
+        let rowid_idx = scope.len() - 1;
+        let mut updates: Vec<(RowId, Vec<(String, Datum)>)> = Vec::with_capacity(matched.len());
+        for row in &matched {
+            let Datum::Int(rowid) = row[rowid_idx] else {
+                return Err(DbError::Eval("scan did not produce a rowid".into()));
+            };
+            let mut vals = Vec::with_capacity(assignments.len());
+            for (col, e) in &assignments {
+                vals.push((col.clone(), e.eval(row)?));
+            }
+            updates.push((rowid as RowId, vals));
+        }
+        // Phase 2: apply row-by-row (each row update is atomic).
+        let n = updates.len() as u64;
+        for (rowid, vals) in updates {
+            let refs: Vec<(&str, Datum)> =
+                vals.iter().map(|(c, d)| (c.as_str(), d.clone())).collect();
+            self.update_row(&upd.table, rowid, &refs)?;
+        }
+        Ok(QueryResult { affected: n, ..Default::default() })
+    }
+
+    fn run_delete(&self, del: &sinew_sql::Delete) -> DbResult<QueryResult> {
+        let planner =
+            Planner::new(self, &self.funcs).with_config(self.planner_config.read().clone());
+        let (plan, scope) = planner.plan_modify_scan(&del.table, del.filter.as_ref())?;
+        let limits = *self.limits.read();
+        let exec = Executor { source: self, limits };
+        let matched = exec.run(&plan)?;
+        let rowid_idx = scope.len() - 1;
+        let mut n = 0;
+        let t = self.table(&del.table)?;
+        for row in &matched {
+            let Datum::Int(rowid) = row[rowid_idx] else {
+                return Err(DbError::Eval("scan did not produce a rowid".into()));
+            };
+            if t.write().heap.delete(rowid as RowId)? {
+                n += 1;
+            }
+        }
+        Ok(QueryResult { affected: n, ..Default::default() })
+    }
+}
+
+/// Coerce a datum for storage into a column of the given type; only safe,
+/// lossless-ish coercions are applied implicitly (ints into float columns);
+/// everything else must match or be NULL.
+fn coerce_for_column(d: &Datum, ty: ColType) -> DbResult<Datum> {
+    if d.is_null() || d.type_of() == Some(ty) {
+        return Ok(d.clone());
+    }
+    match (d, ty) {
+        (Datum::Int(i), ColType::Float) => Ok(Datum::Float(*i as f64)),
+        _ => Err(DbError::Schema(format!(
+            "cannot store {:?} value into {} column",
+            d.type_of(),
+            ty.name()
+        ))),
+    }
+}
+
+impl CatalogView for Database {
+    fn table_meta(&self, name: &str) -> DbResult<TableMeta> {
+        let t = self.table(name)?;
+        let t = t.read();
+        Ok(TableMeta {
+            schema: t.schema.clone(),
+            n_rows: t.heap.len() as f64,
+            n_pages: t.heap.pages_used() as f64,
+        })
+    }
+
+    fn table_stats(&self, name: &str) -> Option<TableStats> {
+        self.stats.read().get(name).cloned()
+    }
+}
+
+impl TableSource for Database {
+    fn scan_table(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        f: &mut dyn FnMut(Row) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        let t = self.table(table)?;
+        let t = t.read();
+        let live: Vec<usize> = t.schema.live_columns().map(|(i, _)| i).collect();
+        // Physical-slot bitmap of columns to actually decode.
+        let wanted: Vec<bool> = match needed {
+            None => vec![true; t.schema.arity()],
+            Some(names) => {
+                let mut w = vec![false; t.schema.arity()];
+                for n in names {
+                    if let Some(i) = t.schema.index_of(n) {
+                        w[i] = true;
+                    }
+                }
+                w
+            }
+        };
+        t.heap.scan(|rowid, bytes| {
+            let mut full = tuple::decode_tuple_partial(&t.schema, &bytes, &wanted)?;
+            let mut row: Row = Vec::with_capacity(live.len() + 1);
+            for &i in &live {
+                row.push(std::mem::replace(&mut full[i], Datum::Null));
+            }
+            row.push(Datum::Int(rowid as i64));
+            f(row)
+        })
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the embedded RDBMS.
+
+use std::fmt;
+
+/// Any failure raised by the database layer.
+///
+/// The variants mirror Postgres error classes closely enough for the
+/// reproduction: in particular [`DbError::CastError`] is the runtime type
+/// error the paper's §6.4 relies on ("Postgres raises an error if it
+/// encounters a malformed string representation for a given type"), which is
+/// why the PG-JSON baseline cannot complete NoBench Q7.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    Parse(String),
+    /// Unknown table, column, or function.
+    NotFound(String),
+    /// Schema violations: duplicate table, wrong arity, duplicate column.
+    Schema(String),
+    /// Runtime evaluation failure other than a cast.
+    Eval(String),
+    /// Failed value cast (e.g. `'twenty'` to int). Aborts the query.
+    CastError { value: String, target: &'static str },
+    /// Underlying storage failure.
+    Io(String),
+    /// Resource exhaustion (e.g. simulated disk-space limits for the EAV
+    /// baseline's runaway self-joins, paper §6.4/6.5).
+    ResourceExhausted(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::NotFound(m) => write!(f, "not found: {m}"),
+            DbError::Schema(m) => write!(f, "schema error: {m}"),
+            DbError::Eval(m) => write!(f, "evaluation error: {m}"),
+            DbError::CastError { value, target } => {
+                write!(f, "invalid input syntax for type {target}: \"{value}\"")
+            }
+            DbError::Io(m) => write!(f, "io error: {m}"),
+            DbError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e.to_string())
+    }
+}
+
+pub type DbResult<T> = Result<T, DbError>;

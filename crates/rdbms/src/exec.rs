@@ -1,0 +1,442 @@
+//! Plan execution (materializing, operator-at-a-time).
+//!
+//! Each operator consumes fully materialized child output. This keeps the
+//! engine simple and still honest for the paper's experiments: scans stream
+//! pages through the buffer pool (so I/O behaviour is real), and the CPU
+//! cost of tuple decoding and UDF extraction — the quantities Sinew's
+//! design targets — are paid per row exactly where Postgres would pay them.
+
+use crate::datum::{Datum, GroupKey};
+use crate::error::{DbError, DbResult};
+use crate::expr::PhysExpr;
+use crate::agg::Accumulator;
+use crate::plan::{AggSpec, Plan, SortKey};
+use std::collections::HashMap;
+
+pub type Row = Vec<Datum>;
+
+/// Table access the executor needs, implemented by `Database`.
+pub trait TableSource {
+    /// Stream all live rows of `table` as (live columns..., rowid); columns
+    /// not in `needed` (when given, by live-column name) may be returned as
+    /// NULL without being decoded. The callback returns `false` to stop
+    /// the scan early.
+    fn scan_table(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        f: &mut dyn FnMut(Row) -> DbResult<bool>,
+    ) -> DbResult<()>;
+}
+
+/// Execution limits: a crude statement-level resource governor. The EAV
+/// baseline's self-joins exhaust intermediate space exactly like the paper's
+/// runs that "ran out of disk space" (§6.4–6.5); this cap reproduces that
+/// failure mode deterministically.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecLimits {
+    /// Max rows any single operator may materialize.
+    pub max_intermediate_rows: u64,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits { max_intermediate_rows: 50_000_000 }
+    }
+}
+
+pub struct Executor<'a> {
+    pub source: &'a dyn TableSource,
+    pub limits: ExecLimits,
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(source: &'a dyn TableSource) -> Executor<'a> {
+        Executor { source, limits: ExecLimits::default() }
+    }
+
+    pub fn run(&self, plan: &Plan) -> DbResult<Vec<Row>> {
+        match plan {
+            Plan::SeqScan { table, filter, needed, .. } => {
+                let mut out = Vec::new();
+                self.source.scan_table(table, needed.as_deref(), &mut |row| {
+                    let keep = match filter {
+                        Some(f) => f.eval_bool(&row)?,
+                        None => true,
+                    };
+                    if keep {
+                        out.push(row);
+                        self.check_limit(out.len())?;
+                    }
+                    Ok(true)
+                })?;
+                Ok(out)
+            }
+            Plan::Filter { input, predicate, .. } => {
+                let rows = self.run(input)?;
+                let mut out = Vec::with_capacity(rows.len() / 2);
+                for row in rows {
+                    if predicate.eval_bool(&row)? {
+                        out.push(row);
+                    }
+                }
+                Ok(out)
+            }
+            Plan::Project { input, exprs, .. } => {
+                let rows = self.run(input)?;
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut new_row = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        new_row.push(e.eval(&row)?);
+                    }
+                    out.push(new_row);
+                }
+                Ok(out)
+            }
+            Plan::HashJoin { left, right, left_key, right_key, residual, left_outer, .. } => {
+                self.hash_join(left, right, left_key, right_key, residual.as_ref(), *left_outer)
+            }
+            Plan::MergeJoin { left, right, left_key, right_key, residual, .. } => {
+                self.merge_join(left, right, left_key, right_key, residual.as_ref())
+            }
+            Plan::NestedLoop { left, right, predicate, left_outer, .. } => {
+                self.nested_loop(left, right, predicate.as_ref(), *left_outer)
+            }
+            Plan::Sort { input, keys, .. } => {
+                let mut rows = self.run(input)?;
+                sort_rows(&mut rows, keys)?;
+                Ok(rows)
+            }
+            Plan::HashAggregate { input, groups, aggs, .. } => {
+                self.hash_aggregate(input, groups, aggs)
+            }
+            Plan::GroupAggregate { input, groups, aggs, .. } => {
+                self.group_aggregate(input, groups, aggs)
+            }
+            Plan::Unique { input, .. } => {
+                let rows = self.run(input)?;
+                let mut out: Vec<Row> = Vec::new();
+                for row in rows {
+                    if out.last().map(|prev| rows_equal(prev, &row)) != Some(true) {
+                        out.push(row);
+                    }
+                }
+                Ok(out)
+            }
+            Plan::HashDistinct { input, .. } => {
+                let rows = self.run(input)?;
+                let mut seen = std::collections::HashSet::new();
+                let mut out = Vec::new();
+                for row in rows {
+                    let key: Vec<GroupKey> = row.iter().map(Datum::group_key).collect();
+                    if seen.insert(key) {
+                        out.push(row);
+                    }
+                }
+                Ok(out)
+            }
+            Plan::Limit { input, n } => {
+                let mut rows = self.run(input)?;
+                rows.truncate(*n as usize);
+                Ok(rows)
+            }
+            Plan::Values { rows } => {
+                let empty: Row = Vec::new();
+                rows.iter()
+                    .map(|exprs| exprs.iter().map(|e| e.eval(&empty)).collect())
+                    .collect()
+            }
+        }
+    }
+
+    fn check_limit(&self, n: usize) -> DbResult<()> {
+        if n as u64 > self.limits.max_intermediate_rows {
+            return Err(DbError::ResourceExhausted(format!(
+                "intermediate result exceeded {} rows",
+                self.limits.max_intermediate_rows
+            )));
+        }
+        Ok(())
+    }
+
+    fn hash_join(
+        &self,
+        left: &Plan,
+        right: &Plan,
+        left_key: &PhysExpr,
+        right_key: &PhysExpr,
+        residual: Option<&PhysExpr>,
+        left_outer: bool,
+    ) -> DbResult<Vec<Row>> {
+        let left_rows = self.run(left)?;
+        let right_rows = self.run(right)?;
+        let right_width = right_rows.first().map(Vec::len).unwrap_or(0);
+        // build on the right input
+        let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+        for (i, row) in right_rows.iter().enumerate() {
+            let k = right_key.eval(row)?;
+            if k.is_null() {
+                continue; // NULL never joins
+            }
+            table.entry(k.group_key()).or_default().push(i);
+        }
+        let mut out = Vec::new();
+        for lrow in &left_rows {
+            let k = left_key.eval(lrow)?;
+            let mut matched = false;
+            if !k.is_null() {
+                if let Some(idxs) = table.get(&k.group_key()) {
+                    for &i in idxs {
+                        let mut joined = lrow.clone();
+                        joined.extend(right_rows[i].iter().cloned());
+                        let keep = match residual {
+                            Some(r) => r.eval_bool(&joined)?,
+                            None => true,
+                        };
+                        if keep {
+                            matched = true;
+                            out.push(joined);
+                            self.check_limit(out.len())?;
+                        }
+                    }
+                }
+            }
+            if left_outer && !matched {
+                let mut joined = lrow.clone();
+                joined.extend(std::iter::repeat_n(Datum::Null, right_width));
+                out.push(joined);
+                self.check_limit(out.len())?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn merge_join(
+        &self,
+        left: &Plan,
+        right: &Plan,
+        left_key: &PhysExpr,
+        right_key: &PhysExpr,
+        residual: Option<&PhysExpr>,
+    ) -> DbResult<Vec<Row>> {
+        // Inputs arrive sorted on their keys (the planner inserts Sorts).
+        let left_rows = self.run(left)?;
+        let right_rows = self.run(right)?;
+        let lkeys: Vec<Datum> =
+            left_rows.iter().map(|r| left_key.eval(r)).collect::<DbResult<_>>()?;
+        let rkeys: Vec<Datum> =
+            right_rows.iter().map(|r| right_key.eval(r)).collect::<DbResult<_>>()?;
+        let mut out = Vec::new();
+        let (mut li, mut ri) = (0usize, 0usize);
+        while li < left_rows.len() && ri < right_rows.len() {
+            let lk = &lkeys[li];
+            let rk = &rkeys[ri];
+            if lk.is_null() {
+                li += 1;
+                continue;
+            }
+            if rk.is_null() {
+                ri += 1;
+                continue;
+            }
+            match lk.total_cmp(rk) {
+                std::cmp::Ordering::Less => li += 1,
+                std::cmp::Ordering::Greater => ri += 1,
+                std::cmp::Ordering::Equal => {
+                    // group of equal keys on both sides
+                    let le = (li..left_rows.len())
+                        .take_while(|&i| lkeys[i].total_cmp(lk) == std::cmp::Ordering::Equal)
+                        .last()
+                        .unwrap()
+                        + 1;
+                    let re = (ri..right_rows.len())
+                        .take_while(|&i| rkeys[i].total_cmp(rk) == std::cmp::Ordering::Equal)
+                        .last()
+                        .unwrap()
+                        + 1;
+                    for lrow in &left_rows[li..le] {
+                        for rrow in &right_rows[ri..re] {
+                            let mut joined = lrow.clone();
+                            joined.extend(rrow.iter().cloned());
+                            let keep = match residual {
+                                Some(p) => p.eval_bool(&joined)?,
+                                None => true,
+                            };
+                            if keep {
+                                out.push(joined);
+                                self.check_limit(out.len())?;
+                            }
+                        }
+                    }
+                    li = le;
+                    ri = re;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn nested_loop(
+        &self,
+        left: &Plan,
+        right: &Plan,
+        predicate: Option<&PhysExpr>,
+        left_outer: bool,
+    ) -> DbResult<Vec<Row>> {
+        let left_rows = self.run(left)?;
+        let right_rows = self.run(right)?;
+        let right_width = right_rows.first().map(Vec::len).unwrap_or(0);
+        let mut out = Vec::new();
+        for lrow in &left_rows {
+            let mut matched = false;
+            for rrow in &right_rows {
+                let mut joined = lrow.clone();
+                joined.extend(rrow.iter().cloned());
+                let keep = match predicate {
+                    Some(p) => p.eval_bool(&joined)?,
+                    None => true,
+                };
+                if keep {
+                    matched = true;
+                    out.push(joined);
+                    self.check_limit(out.len())?;
+                }
+            }
+            if left_outer && !matched {
+                let mut joined = lrow.clone();
+                joined.extend(std::iter::repeat_n(Datum::Null, right_width));
+                out.push(joined);
+            }
+        }
+        Ok(out)
+    }
+
+    fn hash_aggregate(
+        &self,
+        input: &Plan,
+        groups: &[PhysExpr],
+        aggs: &[AggSpec],
+    ) -> DbResult<Vec<Row>> {
+        let rows = self.run(input)?;
+        let mut table: HashMap<Vec<GroupKey>, (Row, Vec<Accumulator>)> = HashMap::new();
+        for row in &rows {
+            let mut key_vals = Vec::with_capacity(groups.len());
+            for g in groups {
+                key_vals.push(g.eval(row)?);
+            }
+            let key: Vec<GroupKey> = key_vals.iter().map(Datum::group_key).collect();
+            let entry = table.entry(key).or_insert_with(|| {
+                (key_vals.clone(), aggs.iter().map(new_acc).collect())
+            });
+            feed_accs(&mut entry.1, aggs, row)?;
+        }
+        // Scalar aggregate over empty input still yields one row.
+        if groups.is_empty() && table.is_empty() {
+            let accs: Vec<Accumulator> = aggs.iter().map(new_acc).collect();
+            let mut row = Vec::new();
+            for a in &accs {
+                row.push(a.finish());
+            }
+            return Ok(vec![row]);
+        }
+        let mut out = Vec::with_capacity(table.len());
+        for (_, (key_vals, accs)) in table {
+            let mut row = key_vals;
+            for a in &accs {
+                row.push(a.finish());
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    fn group_aggregate(
+        &self,
+        input: &Plan,
+        groups: &[PhysExpr],
+        aggs: &[AggSpec],
+    ) -> DbResult<Vec<Row>> {
+        let rows = self.run(input)?;
+        let mut out = Vec::new();
+        let mut current: Option<(Vec<Datum>, Vec<Accumulator>)> = None;
+        for row in &rows {
+            let mut key_vals = Vec::with_capacity(groups.len());
+            for g in groups {
+                key_vals.push(g.eval(row)?);
+            }
+            let same = current.as_ref().is_some_and(|(k, _)| {
+                k.iter().zip(&key_vals).all(|(a, b)| a.total_cmp(b) == std::cmp::Ordering::Equal)
+            });
+            if !same {
+                if let Some((k, accs)) = current.take() {
+                    out.push(finish_group(k, &accs));
+                }
+                current = Some((key_vals, aggs.iter().map(new_acc).collect()));
+            }
+            if let Some((_, accs)) = &mut current {
+                feed_accs(accs, aggs, row)?;
+            }
+        }
+        if let Some((k, accs)) = current {
+            out.push(finish_group(k, &accs));
+        } else if groups.is_empty() {
+            let accs: Vec<Accumulator> = aggs.iter().map(new_acc).collect();
+            out.push(finish_group(Vec::new(), &accs));
+        }
+        Ok(out)
+    }
+}
+
+fn new_acc(spec: &AggSpec) -> Accumulator {
+    Accumulator::new(spec.kind, spec.distinct)
+}
+
+fn feed_accs(accs: &mut [Accumulator], specs: &[AggSpec], row: &[Datum]) -> DbResult<()> {
+    for (acc, spec) in accs.iter_mut().zip(specs) {
+        match &spec.arg {
+            Some(e) => acc.update(&e.eval(row)?)?,
+            None => acc.update(&Datum::Bool(true))?,
+        }
+    }
+    Ok(())
+}
+
+fn finish_group(mut key: Vec<Datum>, accs: &[Accumulator]) -> Row {
+    for a in accs {
+        key.push(a.finish());
+    }
+    key
+}
+
+fn rows_equal(a: &[Datum], b: &[Datum]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| x.total_cmp(y) == std::cmp::Ordering::Equal)
+}
+
+/// Sort rows by the given keys (NULLs first, stable).
+pub fn sort_rows(rows: &mut [Row], keys: &[SortKey]) -> DbResult<()> {
+    // Precompute key values to avoid re-evaluating during comparisons.
+    let mut decorated: Vec<(Vec<Datum>, Row)> = Vec::with_capacity(rows.len());
+    for row in rows.iter() {
+        let mut kv = Vec::with_capacity(keys.len());
+        for k in keys {
+            kv.push(k.expr.eval(row)?);
+        }
+        decorated.push((kv, row.clone()));
+    }
+    decorated.sort_by(|(ka, _), (kb, _)| {
+        for (i, key) in keys.iter().enumerate() {
+            let ord = ka[i].total_cmp(&kb[i]);
+            let ord = if key.desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    for (slot, (_, row)) in rows.iter_mut().zip(decorated) {
+        *slot = row;
+    }
+    Ok(())
+}

@@ -1,0 +1,640 @@
+//! Bound (physical) expressions and their evaluation.
+//!
+//! The binder resolves AST column references against a *scope* — the list
+//! of columns flowing through an operator — producing [`PhysExpr`] trees
+//! that evaluate directly against row slices with SQL three-valued logic.
+
+use crate::datum::{ColType, Datum};
+use crate::error::{DbError, DbResult};
+use crate::func::{FuncRegistry, ScalarFn};
+use sinew_sql::{BinaryOp, Expr, Literal, UnaryOp};
+use std::sync::Arc;
+
+/// A fully bound, executable expression.
+#[derive(Clone)]
+pub enum PhysExpr {
+    /// Index into the input row.
+    Column(usize),
+    Literal(Datum),
+    Not(Box<PhysExpr>),
+    Neg(Box<PhysExpr>),
+    Binary { op: BinaryOp, left: Box<PhysExpr>, right: Box<PhysExpr> },
+    IsNull { expr: Box<PhysExpr>, negated: bool },
+    Between { expr: Box<PhysExpr>, low: Box<PhysExpr>, high: Box<PhysExpr>, negated: bool },
+    InList { expr: Box<PhysExpr>, list: Vec<PhysExpr>, negated: bool },
+    Like { expr: Box<PhysExpr>, pattern: Box<PhysExpr>, negated: bool },
+    Call { name: String, func: Arc<dyn ScalarFn>, args: Vec<PhysExpr> },
+    /// Lazy COALESCE: arguments evaluate left-to-right, stopping at the
+    /// first non-NULL — Sinew's dirty-column rewrite
+    /// `COALESCE(col, extract_key(data, ...))` depends on this laziness to
+    /// keep the §3.1.4 overhead small (the extraction must not run for rows
+    /// whose value has already been materialized).
+    Coalesce(Vec<PhysExpr>),
+    Cast { expr: Box<PhysExpr>, ty: ColType },
+}
+
+impl std::fmt::Debug for PhysExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhysExpr::Column(i) => write!(f, "#{i}"),
+            PhysExpr::Literal(d) => write!(f, "{d:?}"),
+            PhysExpr::Not(e) => write!(f, "NOT({e:?})"),
+            PhysExpr::Neg(e) => write!(f, "-({e:?})"),
+            PhysExpr::Binary { op, left, right } => write!(f, "({left:?} {op} {right:?})"),
+            PhysExpr::IsNull { expr, negated } => {
+                write!(f, "({expr:?} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            PhysExpr::Between { expr, low, high, .. } => {
+                write!(f, "({expr:?} BETWEEN {low:?} AND {high:?})")
+            }
+            PhysExpr::InList { expr, list, .. } => write!(f, "({expr:?} IN {list:?})"),
+            PhysExpr::Like { expr, pattern, .. } => write!(f, "({expr:?} LIKE {pattern:?})"),
+            PhysExpr::Call { name, args, .. } => write!(f, "{name}({args:?})"),
+            PhysExpr::Coalesce(args) => write!(f, "COALESCE({args:?})"),
+            PhysExpr::Cast { expr, ty } => write!(f, "CAST({expr:?} AS {})", ty.name()),
+        }
+    }
+}
+
+impl PhysExpr {
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &[Datum]) -> DbResult<Datum> {
+        match self {
+            PhysExpr::Column(i) => Ok(row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| DbError::Eval(format!("column index {i} out of range")))?),
+            PhysExpr::Literal(d) => Ok(d.clone()),
+            PhysExpr::Not(e) => match e.eval(row)? {
+                Datum::Null => Ok(Datum::Null),
+                Datum::Bool(b) => Ok(Datum::Bool(!b)),
+                other => Err(DbError::Eval(format!("NOT applied to {other}"))),
+            },
+            PhysExpr::Neg(e) => match e.eval(row)? {
+                Datum::Null => Ok(Datum::Null),
+                Datum::Int(i) => Ok(Datum::Int(-i)),
+                Datum::Float(f) => Ok(Datum::Float(-f)),
+                other => Err(DbError::Eval(format!("cannot negate {other}"))),
+            },
+            PhysExpr::Binary { op, left, right } => eval_binary(*op, left, right, row),
+            PhysExpr::IsNull { expr, negated } => {
+                let v = expr.eval(row)?;
+                Ok(Datum::Bool(v.is_null() != *negated))
+            }
+            PhysExpr::Between { expr, low, high, negated } => {
+                let v = expr.eval(row)?;
+                let lo = low.eval(row)?;
+                let hi = high.eval(row)?;
+                // Postgres rewrites BETWEEN as two comparisons without
+                // memoizing the operand (paper §6.4 contrasts this with
+                // MongoDB's precompute) — semantics are unchanged here since
+                // evaluation is pure; the *cost* difference is modeled where
+                // extraction happens (two extract calls for virtual columns).
+                let ge = match v.sql_cmp(&lo) {
+                    None => return Ok(Datum::Null),
+                    Some(o) => o != std::cmp::Ordering::Less,
+                };
+                let le = match v.sql_cmp(&hi) {
+                    None => return Ok(Datum::Null),
+                    Some(o) => o != std::cmp::Ordering::Greater,
+                };
+                Ok(Datum::Bool((ge && le) != *negated))
+            }
+            PhysExpr::InList { expr, list, negated } => {
+                let v = expr.eval(row)?;
+                if v.is_null() {
+                    return Ok(Datum::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    match v.sql_eq(&item.eval(row)?) {
+                        Some(true) => return Ok(Datum::Bool(!*negated)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if saw_null {
+                    Ok(Datum::Null)
+                } else {
+                    Ok(Datum::Bool(*negated))
+                }
+            }
+            PhysExpr::Like { expr, pattern, negated } => {
+                let v = expr.eval(row)?;
+                let p = pattern.eval(row)?;
+                match (v, p) {
+                    (Datum::Null, _) | (_, Datum::Null) => Ok(Datum::Null),
+                    (v, Datum::Text(p)) => {
+                        let s = match v {
+                            Datum::Text(s) => s,
+                            other => other.display_text(),
+                        };
+                        Ok(Datum::Bool(like_match(&s, &p) != *negated))
+                    }
+                    (_, other) => Err(DbError::Eval(format!("LIKE pattern must be text, got {other}"))),
+                }
+            }
+            PhysExpr::Coalesce(args) => {
+                for a in args {
+                    let v = a.eval(row)?;
+                    if !v.is_null() {
+                        return Ok(v);
+                    }
+                }
+                Ok(Datum::Null)
+            }
+            PhysExpr::Call { func, args, name } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(row)?);
+                }
+                func.call(&vals).map_err(|e| match e {
+                    DbError::Eval(m) => DbError::Eval(format!("{name}: {m}")),
+                    other => other,
+                })
+            }
+            PhysExpr::Cast { expr, ty } => expr.eval(row)?.cast(*ty),
+        }
+    }
+
+    /// Evaluate as a predicate: NULL ⇒ false (SQL WHERE semantics).
+    pub fn eval_bool(&self, row: &[Datum]) -> DbResult<bool> {
+        match self.eval(row)? {
+            Datum::Bool(b) => Ok(b),
+            Datum::Null => Ok(false),
+            other => Err(DbError::Eval(format!("predicate evaluated to {other}, expected bool"))),
+        }
+    }
+
+    /// True when no [`PhysExpr::Column`] occurs — evaluable without a row.
+    pub fn is_constant(&self) -> bool {
+        match self {
+            PhysExpr::Column(_) => false,
+            PhysExpr::Literal(_) => true,
+            PhysExpr::Not(e) | PhysExpr::Neg(e) => e.is_constant(),
+            PhysExpr::Binary { left, right, .. } => left.is_constant() && right.is_constant(),
+            PhysExpr::IsNull { expr, .. } => expr.is_constant(),
+            PhysExpr::Between { expr, low, high, .. } => {
+                expr.is_constant() && low.is_constant() && high.is_constant()
+            }
+            PhysExpr::InList { expr, list, .. } => {
+                expr.is_constant() && list.iter().all(PhysExpr::is_constant)
+            }
+            PhysExpr::Like { expr, pattern, .. } => expr.is_constant() && pattern.is_constant(),
+            PhysExpr::Call { args, .. } => args.iter().all(PhysExpr::is_constant),
+            PhysExpr::Coalesce(args) => args.iter().all(PhysExpr::is_constant),
+            PhysExpr::Cast { expr, .. } => expr.is_constant(),
+        }
+    }
+
+    /// Collect referenced column indices.
+    pub fn column_refs(&self, out: &mut Vec<usize>) {
+        match self {
+            PhysExpr::Column(i) => out.push(*i),
+            PhysExpr::Literal(_) => {}
+            PhysExpr::Not(e) | PhysExpr::Neg(e) => e.column_refs(out),
+            PhysExpr::Binary { left, right, .. } => {
+                left.column_refs(out);
+                right.column_refs(out);
+            }
+            PhysExpr::IsNull { expr, .. } => expr.column_refs(out),
+            PhysExpr::Between { expr, low, high, .. } => {
+                expr.column_refs(out);
+                low.column_refs(out);
+                high.column_refs(out);
+            }
+            PhysExpr::InList { expr, list, .. } => {
+                expr.column_refs(out);
+                for e in list {
+                    e.column_refs(out);
+                }
+            }
+            PhysExpr::Like { expr, pattern, .. } => {
+                expr.column_refs(out);
+                pattern.column_refs(out);
+            }
+            PhysExpr::Call { args, .. } | PhysExpr::Coalesce(args) => {
+                for a in args {
+                    a.column_refs(out);
+                }
+            }
+            PhysExpr::Cast { expr, .. } => expr.column_refs(out),
+        }
+    }
+
+    /// True if any function call occurs in the tree. Function calls are
+    /// opaque to the optimizer (no statistics), which is what triggers
+    /// default selectivity estimates for Sinew's virtual columns.
+    pub fn contains_call(&self) -> bool {
+        match self {
+            PhysExpr::Column(_) | PhysExpr::Literal(_) => false,
+            PhysExpr::Not(e) | PhysExpr::Neg(e) => e.contains_call(),
+            PhysExpr::Binary { left, right, .. } => left.contains_call() || right.contains_call(),
+            PhysExpr::IsNull { expr, .. } => expr.contains_call(),
+            PhysExpr::Between { expr, low, high, .. } => {
+                expr.contains_call() || low.contains_call() || high.contains_call()
+            }
+            PhysExpr::InList { expr, list, .. } => {
+                expr.contains_call() || list.iter().any(PhysExpr::contains_call)
+            }
+            PhysExpr::Like { expr, pattern, .. } => {
+                expr.contains_call() || pattern.contains_call()
+            }
+            PhysExpr::Call { .. } => true,
+            PhysExpr::Coalesce(args) => args.iter().any(PhysExpr::contains_call),
+            PhysExpr::Cast { expr, .. } => expr.contains_call(),
+        }
+    }
+}
+
+fn eval_binary(op: BinaryOp, left: &PhysExpr, right: &PhysExpr, row: &[Datum]) -> DbResult<Datum> {
+    use BinaryOp::*;
+    // AND/OR need three-valued logic with short-circuit.
+    if op == And || op == Or {
+        let l = left.eval(row)?;
+        let lb = match &l {
+            Datum::Null => None,
+            Datum::Bool(b) => Some(*b),
+            other => return Err(DbError::Eval(format!("{op} applied to {other}"))),
+        };
+        match (op, lb) {
+            (And, Some(false)) => return Ok(Datum::Bool(false)),
+            (Or, Some(true)) => return Ok(Datum::Bool(true)),
+            _ => {}
+        }
+        let r = right.eval(row)?;
+        let rb = match &r {
+            Datum::Null => None,
+            Datum::Bool(b) => Some(*b),
+            other => return Err(DbError::Eval(format!("{op} applied to {other}"))),
+        };
+        return Ok(match (op, lb, rb) {
+            (And, Some(true), Some(b)) => Datum::Bool(b),
+            (And, _, Some(false)) => Datum::Bool(false),
+            (Or, Some(false), Some(b)) => Datum::Bool(b),
+            (Or, _, Some(true)) => Datum::Bool(true),
+            _ => Datum::Null,
+        });
+    }
+    let l = left.eval(row)?;
+    let r = right.eval(row)?;
+    if op.is_comparison() {
+        let cmp = l.sql_cmp(&r);
+        return Ok(match cmp {
+            None => Datum::Null,
+            Some(o) => Datum::Bool(match op {
+                Eq => o == std::cmp::Ordering::Equal,
+                NotEq => o != std::cmp::Ordering::Equal,
+                Lt => o == std::cmp::Ordering::Less,
+                LtEq => o != std::cmp::Ordering::Greater,
+                Gt => o == std::cmp::Ordering::Greater,
+                GtEq => o != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            }),
+        });
+    }
+    if l.is_null() || r.is_null() {
+        return Ok(Datum::Null);
+    }
+    match op {
+        Concat => Ok(Datum::Text(format!("{}{}", l.display_text(), r.display_text()))),
+        Add | Sub | Mul | Div | Mod => numeric_op(op, &l, &r),
+        _ => unreachable!(),
+    }
+}
+
+fn numeric_op(op: BinaryOp, l: &Datum, r: &Datum) -> DbResult<Datum> {
+    use BinaryOp::*;
+    match (l, r) {
+        (Datum::Int(a), Datum::Int(b)) => Ok(match op {
+            Add => Datum::Int(a.wrapping_add(*b)),
+            Sub => Datum::Int(a.wrapping_sub(*b)),
+            Mul => Datum::Int(a.wrapping_mul(*b)),
+            Div => {
+                if *b == 0 {
+                    return Err(DbError::Eval("division by zero".into()));
+                }
+                Datum::Int(a.wrapping_div(*b))
+            }
+            Mod => {
+                if *b == 0 {
+                    return Err(DbError::Eval("division by zero".into()));
+                }
+                Datum::Int(a.wrapping_rem(*b))
+            }
+            _ => unreachable!(),
+        }),
+        _ => {
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(DbError::Eval(format!(
+                        "arithmetic on non-numeric operands {l} and {r}"
+                    )))
+                }
+            };
+            Ok(match op {
+                Add => Datum::Float(a + b),
+                Sub => Datum::Float(a - b),
+                Mul => Datum::Float(a * b),
+                Div => {
+                    if b == 0.0 {
+                        return Err(DbError::Eval("division by zero".into()));
+                    }
+                    Datum::Float(a / b)
+                }
+                Mod => Datum::Float(a % b),
+                _ => unreachable!(),
+            })
+        }
+    }
+}
+
+impl Datum {
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::Int(i) => Some(*i as f64),
+            Datum::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+/// SQL LIKE matcher: `%` any run, `_` any single char; backslash escapes.
+/// Iterative two-pointer algorithm, O(n·m) worst case, no recursion.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pi after %, si at that time)
+    while si < s.len() {
+        let pc = p.get(pi).copied();
+        let escaped = pc == Some('\\') && pi + 1 < p.len();
+        let (effective, adv) = if escaped { (p.get(pi + 1).copied(), 2) } else { (pc, 1) };
+        match effective {
+            Some('%') if !escaped => {
+                star = Some((pi + 1, si));
+                pi += 1;
+            }
+            Some('_') if !escaped => {
+                si += 1;
+                pi += 1;
+            }
+            Some(c) if Some(c) == s.get(si).copied() => {
+                si += 1;
+                pi += adv;
+            }
+            _ => match star {
+                Some((sp, ss)) => {
+                    pi = sp;
+                    si = ss + 1;
+                    star = Some((sp, ss + 1));
+                }
+                None => return false,
+            },
+        }
+    }
+    while p.get(pi) == Some(&'%') {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Column resolution scope: an ordered list of `(qualifier, column_name)`
+/// pairs matching the row layout flowing into an operator.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    pub cols: Vec<(Option<String>, String)>,
+}
+
+impl Scope {
+    pub fn resolve(&self, table: Option<&str>, column: &str) -> DbResult<usize> {
+        let mut found = None;
+        for (i, (q, name)) in self.cols.iter().enumerate() {
+            let qual_ok = match table {
+                None => true,
+                Some(t) => q.as_deref() == Some(t),
+            };
+            if qual_ok && name == column {
+                if found.is_some() {
+                    return Err(DbError::Schema(format!("column reference {column} is ambiguous")));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            let full = match table {
+                Some(t) => format!("{t}.{column}"),
+                None => column.to_string(),
+            };
+            DbError::NotFound(format!("column {full}"))
+        })
+    }
+
+    pub fn push(&mut self, qualifier: Option<&str>, name: &str) {
+        self.cols.push((qualifier.map(str::to_string), name.to_string()));
+    }
+
+    /// Concatenate two scopes (join output).
+    pub fn join(&self, other: &Scope) -> Scope {
+        let mut cols = self.cols.clone();
+        cols.extend(other.cols.iter().cloned());
+        Scope { cols }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+}
+
+/// Bind an AST expression against a scope.
+pub fn bind(expr: &Expr, scope: &Scope, funcs: &FuncRegistry) -> DbResult<PhysExpr> {
+    Ok(match expr {
+        Expr::Column { table, column } => {
+            PhysExpr::Column(scope.resolve(table.as_deref(), column)?)
+        }
+        Expr::Literal(l) => PhysExpr::Literal(lit_to_datum(l)),
+        Expr::Unary { op: UnaryOp::Not, expr } => {
+            PhysExpr::Not(Box::new(bind(expr, scope, funcs)?))
+        }
+        Expr::Unary { op: UnaryOp::Neg, expr } => {
+            PhysExpr::Neg(Box::new(bind(expr, scope, funcs)?))
+        }
+        Expr::Binary { op, left, right } => PhysExpr::Binary {
+            op: *op,
+            left: Box::new(bind(left, scope, funcs)?),
+            right: Box::new(bind(right, scope, funcs)?),
+        },
+        Expr::IsNull { expr, negated } => PhysExpr::IsNull {
+            expr: Box::new(bind(expr, scope, funcs)?),
+            negated: *negated,
+        },
+        Expr::Between { expr, low, high, negated } => PhysExpr::Between {
+            expr: Box::new(bind(expr, scope, funcs)?),
+            low: Box::new(bind(low, scope, funcs)?),
+            high: Box::new(bind(high, scope, funcs)?),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => PhysExpr::InList {
+            expr: Box::new(bind(expr, scope, funcs)?),
+            list: list.iter().map(|e| bind(e, scope, funcs)).collect::<DbResult<_>>()?,
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => PhysExpr::Like {
+            expr: Box::new(bind(expr, scope, funcs)?),
+            pattern: Box::new(bind(pattern, scope, funcs)?),
+            negated: *negated,
+        },
+        Expr::Func { name, args, distinct, star } => {
+            if *distinct || *star {
+                return Err(DbError::Eval(format!(
+                    "{name} is an aggregate and not valid in this context"
+                )));
+            }
+            if name.eq_ignore_ascii_case("coalesce") {
+                return Ok(PhysExpr::Coalesce(
+                    args.iter().map(|e| bind(e, scope, funcs)).collect::<DbResult<_>>()?,
+                ));
+            }
+            let func = funcs
+                .get(name)
+                .ok_or_else(|| DbError::NotFound(format!("function {name}")))?;
+            PhysExpr::Call {
+                name: name.clone(),
+                func,
+                args: args.iter().map(|e| bind(e, scope, funcs)).collect::<DbResult<_>>()?,
+            }
+        }
+        Expr::Cast { expr, ty } => PhysExpr::Cast {
+            expr: Box::new(bind(expr, scope, funcs)?),
+            ty: (*ty).into(),
+        },
+    })
+}
+
+pub fn lit_to_datum(l: &Literal) -> Datum {
+    match l {
+        Literal::Null => Datum::Null,
+        Literal::Bool(b) => Datum::Bool(*b),
+        Literal::Int(i) => Datum::Int(*i),
+        Literal::Float(f) => Datum::Float(*f),
+        Literal::Str(s) => Datum::Text(s.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinew_sql::parse_expr;
+
+    fn eval_str(sql: &str, scope: &Scope, row: &[Datum]) -> DbResult<Datum> {
+        let funcs = FuncRegistry::new();
+        let ast = parse_expr(sql).unwrap();
+        bind(&ast, scope, &funcs)?.eval(row)
+    }
+
+    fn scope_ab() -> Scope {
+        let mut s = Scope::default();
+        s.push(Some("t"), "a");
+        s.push(Some("t"), "b");
+        s
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let s = scope_ab();
+        let row = [Datum::Int(10), Datum::Float(2.5)];
+        assert_eq!(eval_str("a + 1", &s, &row).unwrap(), Datum::Int(11));
+        assert_eq!(eval_str("a * b", &s, &row).unwrap(), Datum::Float(25.0));
+        assert_eq!(eval_str("a > 5", &s, &row).unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("a = b", &s, &row).unwrap(), Datum::Bool(false));
+        assert!(eval_str("a / 0", &s, &row).is_err());
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let s = scope_ab();
+        let row = [Datum::Null, Datum::Bool(true)];
+        assert_eq!(eval_str("a > 1 AND b", &s, &row).unwrap(), Datum::Null);
+        assert_eq!(eval_str("a > 1 OR b", &s, &row).unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("a > 1 AND FALSE", &s, &row).unwrap(), Datum::Bool(false));
+        assert_eq!(eval_str("NOT (a > 1)", &s, &row).unwrap(), Datum::Null);
+        // WHERE semantics: NULL is not a match
+        let funcs = FuncRegistry::new();
+        let pred = bind(&parse_expr("a > 1").unwrap(), &s, &funcs).unwrap();
+        assert!(!pred.eval_bool(&row).unwrap());
+    }
+
+    #[test]
+    fn between_in_like() {
+        let s = scope_ab();
+        let row = [Datum::Int(5), Datum::Text("hello world".into())];
+        assert_eq!(eval_str("a BETWEEN 1 AND 10", &s, &row).unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("a NOT BETWEEN 1 AND 10", &s, &row).unwrap(), Datum::Bool(false));
+        assert_eq!(eval_str("a IN (1, 5, 7)", &s, &row).unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("a IN (1, NULL)", &s, &row).unwrap(), Datum::Null);
+        assert_eq!(eval_str("b LIKE '%world'", &s, &row).unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("b LIKE 'h_llo%'", &s, &row).unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("b NOT LIKE '%xyz%'", &s, &row).unwrap(), Datum::Bool(true));
+    }
+
+    #[test]
+    fn like_matcher_edge_cases() {
+        assert!(like_match("", ""));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "abc"));
+        assert!(like_match("abc", "%"));
+        assert!(like_match("abc", "%c"));
+        assert!(like_match("abc", "a%"));
+        assert!(like_match("abc", "%b%"));
+        assert!(!like_match("abc", "%d%"));
+        assert!(like_match("a%b", "a\\%b"));
+        assert!(!like_match("axb", "a\\%b"));
+        assert!(like_match("aaab", "%aab"));
+        assert!(like_match("abcbcd", "a%bcd"));
+    }
+
+    #[test]
+    fn scope_resolution_and_ambiguity() {
+        let mut s = Scope::default();
+        s.push(Some("t1"), "id");
+        s.push(Some("t2"), "id");
+        assert_eq!(s.resolve(Some("t2"), "id").unwrap(), 1);
+        assert!(matches!(s.resolve(None, "id"), Err(DbError::Schema(_))));
+        assert!(matches!(s.resolve(None, "nope"), Err(DbError::NotFound(_))));
+    }
+
+    #[test]
+    fn functions_and_cast() {
+        let s = scope_ab();
+        let row = [Datum::Null, Datum::Text("42".into())];
+        assert_eq!(
+            eval_str("COALESCE(a, 7)", &s, &row).unwrap(),
+            Datum::Int(7)
+        );
+        assert_eq!(
+            eval_str("CAST(b AS int)", &s, &row).unwrap(),
+            Datum::Int(42)
+        );
+        let bad = [Datum::Null, Datum::Text("twenty".into())];
+        assert!(matches!(
+            eval_str("CAST(b AS int)", &s, &bad),
+            Err(DbError::CastError { .. })
+        ));
+    }
+
+    #[test]
+    fn contains_call_detects_udfs() {
+        let s = scope_ab();
+        let funcs = FuncRegistry::new();
+        let plain = bind(&parse_expr("a > 1").unwrap(), &s, &funcs).unwrap();
+        assert!(!plain.contains_call());
+        let call = bind(&parse_expr("length(b) > 1").unwrap(), &s, &funcs).unwrap();
+        assert!(call.contains_call());
+    }
+}

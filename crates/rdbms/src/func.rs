@@ -1,0 +1,223 @@
+//! Scalar function registry — builtins plus user-defined functions.
+//!
+//! UDF support is the one extensibility hook Sinew needs from its RDBMS:
+//! the paper implements serialization and key extraction "through a set of
+//! user-defined functions (UDFs) ... which allows Sinew to push down query
+//! logic completely into the RDBMS" (§5). Crucially, UDFs are *opaque to the
+//! optimizer* — no statistics exist for their outputs — which is the
+//! structural reason virtual columns get default selectivity estimates
+//! (paper §3.1.1, Table 2).
+
+use crate::datum::{ColType, Datum};
+use crate::error::{DbError, DbResult};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A scalar function implementation.
+pub trait ScalarFn: Send + Sync {
+    fn call(&self, args: &[Datum]) -> DbResult<Datum>;
+}
+
+impl<F> ScalarFn for F
+where
+    F: Fn(&[Datum]) -> DbResult<Datum> + Send + Sync,
+{
+    fn call(&self, args: &[Datum]) -> DbResult<Datum> {
+        self(args)
+    }
+}
+
+/// Thread-safe function registry.
+pub struct FuncRegistry {
+    funcs: RwLock<HashMap<String, Arc<dyn ScalarFn>>>,
+}
+
+impl Default for FuncRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FuncRegistry {
+    pub fn new() -> FuncRegistry {
+        let reg = FuncRegistry { funcs: RwLock::new(HashMap::new()) };
+        reg.install_builtins();
+        reg
+    }
+
+    pub fn register(&self, name: &str, f: Arc<dyn ScalarFn>) {
+        self.funcs.write().insert(name.to_ascii_lowercase(), f);
+    }
+
+    pub fn get(&self, name: &str) -> Option<Arc<dyn ScalarFn>> {
+        self.funcs.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    fn install_builtins(&self) {
+        self.register("coalesce", Arc::new(coalesce));
+        self.register("lower", Arc::new(lower));
+        self.register("upper", Arc::new(upper));
+        self.register("length", Arc::new(length));
+        self.register("abs", Arc::new(abs));
+        self.register("round", Arc::new(round));
+        self.register("array_length", Arc::new(array_length));
+        self.register("array_contains", Arc::new(array_contains));
+        self.register("array_get", Arc::new(array_get));
+    }
+}
+
+fn coalesce(args: &[Datum]) -> DbResult<Datum> {
+    Ok(args.iter().find(|d| !d.is_null()).cloned().unwrap_or(Datum::Null))
+}
+
+fn lower(args: &[Datum]) -> DbResult<Datum> {
+    unary_text(args, "lower", |s| s.to_lowercase())
+}
+
+fn upper(args: &[Datum]) -> DbResult<Datum> {
+    unary_text(args, "upper", |s| s.to_uppercase())
+}
+
+fn unary_text(args: &[Datum], name: &str, f: impl Fn(&str) -> String) -> DbResult<Datum> {
+    match args {
+        [Datum::Null] => Ok(Datum::Null),
+        [Datum::Text(s)] => Ok(Datum::Text(f(s))),
+        [other] => Ok(Datum::Text(f(&other.display_text()))),
+        _ => Err(DbError::Eval(format!("{name} expects 1 argument"))),
+    }
+}
+
+fn length(args: &[Datum]) -> DbResult<Datum> {
+    match args {
+        [Datum::Null] => Ok(Datum::Null),
+        [Datum::Text(s)] => Ok(Datum::Int(s.chars().count() as i64)),
+        [Datum::Bytea(b)] => Ok(Datum::Int(b.len() as i64)),
+        [Datum::Array(a)] => Ok(Datum::Int(a.len() as i64)),
+        _ => Err(DbError::Eval("length expects 1 string/bytea/array argument".into())),
+    }
+}
+
+fn abs(args: &[Datum]) -> DbResult<Datum> {
+    match args {
+        [Datum::Null] => Ok(Datum::Null),
+        [Datum::Int(i)] => Ok(Datum::Int(i.abs())),
+        [Datum::Float(f)] => Ok(Datum::Float(f.abs())),
+        _ => Err(DbError::Eval("abs expects 1 numeric argument".into())),
+    }
+}
+
+fn round(args: &[Datum]) -> DbResult<Datum> {
+    match args {
+        [Datum::Null] => Ok(Datum::Null),
+        [Datum::Int(i)] => Ok(Datum::Int(*i)),
+        [Datum::Float(f)] => Ok(Datum::Float(f.round())),
+        _ => Err(DbError::Eval("round expects 1 numeric argument".into())),
+    }
+}
+
+fn array_length(args: &[Datum]) -> DbResult<Datum> {
+    match args {
+        [Datum::Null] => Ok(Datum::Null),
+        [Datum::Array(a)] => Ok(Datum::Int(a.len() as i64)),
+        _ => Err(DbError::Eval("array_length expects 1 array argument".into())),
+    }
+}
+
+/// `array_contains(arr, elem)` — the array-containment predicate NoBench
+/// Q9 needs (paper §6.4); the PG-JSON baseline cannot express this natively
+/// (paper §6.7) and falls back to LIKE over the text form.
+fn array_contains(args: &[Datum]) -> DbResult<Datum> {
+    match args {
+        [Datum::Null, _] => Ok(Datum::Null),
+        [Datum::Array(a), needle] => Ok(Datum::Bool(
+            a.iter().any(|d| d.sql_eq(needle).unwrap_or(false)),
+        )),
+        _ => Err(DbError::Eval("array_contains expects (array, value)".into())),
+    }
+}
+
+/// `array_get(arr, idx)` — zero-based element access; NULL out of bounds.
+fn array_get(args: &[Datum]) -> DbResult<Datum> {
+    match args {
+        [Datum::Null, _] => Ok(Datum::Null),
+        [Datum::Array(a), Datum::Int(i)] => {
+            Ok(usize::try_from(*i).ok().and_then(|i| a.get(i)).cloned().unwrap_or(Datum::Null))
+        }
+        _ => Err(DbError::Eval("array_get expects (array, int)".into())),
+    }
+}
+
+/// ColType parse helper shared by extraction UDF implementations.
+pub fn coltype_from_text(s: &str) -> Option<ColType> {
+    Some(match s {
+        "bool" => ColType::Bool,
+        "int" => ColType::Int,
+        "float" => ColType::Float,
+        "text" => ColType::Text,
+        "bytea" => ColType::Bytea,
+        "array" => ColType::Array,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_picks_first_non_null() {
+        let r = FuncRegistry::new();
+        let f = r.get("COALESCE").unwrap();
+        assert_eq!(
+            f.call(&[Datum::Null, Datum::Int(2), Datum::Int(3)]).unwrap(),
+            Datum::Int(2)
+        );
+        assert_eq!(f.call(&[Datum::Null, Datum::Null]).unwrap(), Datum::Null);
+        assert_eq!(f.call(&[]).unwrap(), Datum::Null);
+    }
+
+    #[test]
+    fn array_functions() {
+        let r = FuncRegistry::new();
+        let arr = Datum::Array(vec![Datum::Int(1), Datum::Text("x".into())]);
+        assert_eq!(
+            r.get("array_contains").unwrap().call(&[arr.clone(), Datum::Int(1)]).unwrap(),
+            Datum::Bool(true)
+        );
+        assert_eq!(
+            r.get("array_contains").unwrap().call(&[arr.clone(), Datum::Int(9)]).unwrap(),
+            Datum::Bool(false)
+        );
+        assert_eq!(
+            r.get("array_get").unwrap().call(&[arr.clone(), Datum::Int(1)]).unwrap(),
+            Datum::Text("x".into())
+        );
+        assert_eq!(
+            r.get("array_get").unwrap().call(&[arr, Datum::Int(5)]).unwrap(),
+            Datum::Null
+        );
+    }
+
+    #[test]
+    fn udf_registration_and_case_insensitivity() {
+        let r = FuncRegistry::new();
+        r.register("My_Udf", Arc::new(|args: &[Datum]| Ok(args[0].clone())));
+        assert!(r.get("my_udf").is_some());
+        assert!(r.get("MY_UDF").is_some());
+        assert!(r.get("missing").is_none());
+    }
+
+    #[test]
+    fn text_functions() {
+        let r = FuncRegistry::new();
+        assert_eq!(
+            r.get("lower").unwrap().call(&[Datum::Text("AbC".into())]).unwrap(),
+            Datum::Text("abc".into())
+        );
+        assert_eq!(
+            r.get("length").unwrap().call(&[Datum::Text("héllo".into())]).unwrap(),
+            Datum::Int(5)
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! Heap tables: unordered tuple storage over slotted pages.
+//!
+//! Rows get stable logical [`RowId`]s (like Postgres's `ctid`, but stable
+//! across relocation) — Sinew's materializer iterates row-by-row performing
+//! atomic single-row updates (paper §3.1.4), and the inverted text index
+//! stores row ids in its postings (paper §4.3); both need ids that survive
+//! an update that changes the tuple's size and therefore its physical home.
+//!
+//! Tuples larger than a page go to a *jumbo chain* of raw pages (a
+//! bare-bones TOAST): the column reservoir can exceed 8 KiB for documents
+//! with large nested objects.
+
+use crate::error::{DbError, DbResult};
+use crate::page::{self, MAX_INLINE_TUPLE, PAGE_SIZE};
+use crate::pager::{PageId, Pager};
+use std::sync::Arc;
+
+pub type RowId = u64;
+
+#[derive(Debug, Clone)]
+enum Loc {
+    Slot { page: PageId, slot: u16 },
+    Jumbo { pages: Vec<PageId>, len: u32 },
+}
+
+/// One table's tuple storage.
+pub struct Heap {
+    pager: Arc<Pager>,
+    rows: Vec<Option<Loc>>,
+    /// Data pages in allocation order (jumbo pages excluded).
+    pages: Vec<PageId>,
+    live_rows: u64,
+    /// Pages consumed by jumbo chains, for size accounting.
+    jumbo_pages: u64,
+    /// Pages where tuples were deleted — candidates for space reuse
+    /// (a minimal free-space map, so update-heavy phases like column
+    /// materialization don't bloat the table).
+    free_hints: Vec<PageId>,
+}
+
+impl Heap {
+    pub fn new(pager: Arc<Pager>) -> Heap {
+        Heap {
+            pager,
+            rows: Vec::new(),
+            pages: Vec::new(),
+            live_rows: 0,
+            jumbo_pages: 0,
+            free_hints: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> u64 {
+        self.live_rows
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live_rows == 0
+    }
+
+    /// Upper bound on row ids ever issued (scan iterates `0..high_water`).
+    pub fn high_water(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    /// Pages owned by this table (data + jumbo).
+    pub fn pages_used(&self) -> u64 {
+        self.pages.len() as u64 + self.jumbo_pages
+    }
+
+    pub fn bytes_used(&self) -> u64 {
+        self.pages_used() * PAGE_SIZE as u64
+    }
+
+    /// Live tuple payload bytes (what a VACUUM FULL would keep) — the
+    /// fair cross-system size metric for Table 3.
+    pub fn live_bytes(&self) -> DbResult<u64> {
+        let mut total = 0u64;
+        for &p in &self.pages {
+            total += self.pager.with_page(p, page::live_bytes)? as u64;
+        }
+        for loc in self.rows.iter().flatten() {
+            if let Loc::Jumbo { len, .. } = loc {
+                total += *len as u64;
+            }
+        }
+        Ok(total)
+    }
+
+    pub fn insert(&mut self, bytes: &[u8]) -> DbResult<RowId> {
+        let loc = self.place(bytes)?;
+        let rowid = self.rows.len() as RowId;
+        self.rows.push(Some(loc));
+        self.live_rows += 1;
+        Ok(rowid)
+    }
+
+    fn place(&mut self, bytes: &[u8]) -> DbResult<Loc> {
+        if bytes.len() > MAX_INLINE_TUPLE {
+            return self.place_jumbo(bytes);
+        }
+        // Try the newest page first; heaps fill append-only and updates
+        // relocate to the tail, so this is almost always a hit.
+        if let Some(&last) = self.pages.last() {
+            let slot = self
+                .pager
+                .with_page_mut(last, |pg| page::insert(pg, bytes))?;
+            if let Some(slot) = slot {
+                return Ok(Loc::Slot { page: last, slot });
+            }
+        }
+        // Then pages with reclaimed space (bounded probes).
+        for _ in 0..4 {
+            let Some(&candidate) = self.free_hints.last() else { break };
+            let slot = self
+                .pager
+                .with_page_mut(candidate, |pg| page::insert(pg, bytes))?;
+            match slot {
+                Some(slot) => return Ok(Loc::Slot { page: candidate, slot }),
+                None => {
+                    self.free_hints.pop();
+                }
+            }
+        }
+        let id = self.pager.alloc()?;
+        self.pages.push(id);
+        let slot = self
+            .pager
+            .with_page_mut(id, |pg| page::insert(pg, bytes))?
+            .expect("fresh page fits any inline tuple");
+        Ok(Loc::Slot { page: id, slot })
+    }
+
+    fn place_jumbo(&mut self, bytes: &[u8]) -> DbResult<Loc> {
+        let mut pages = Vec::new();
+        let mut off = 0;
+        while off < bytes.len() {
+            let id = self.pager.alloc_raw()?;
+            let chunk = (bytes.len() - off).min(PAGE_SIZE);
+            self.pager.with_page_mut(id, |pg| {
+                pg[..chunk].copy_from_slice(&bytes[off..off + chunk]);
+            })?;
+            pages.push(id);
+            off += chunk;
+        }
+        self.jumbo_pages += pages.len() as u64;
+        Ok(Loc::Jumbo { pages, len: bytes.len() as u32 })
+    }
+
+    pub fn get(&self, rowid: RowId) -> DbResult<Option<Vec<u8>>> {
+        let Some(Some(loc)) = self.rows.get(rowid as usize) else {
+            return Ok(None);
+        };
+        Ok(Some(self.fetch(loc)?))
+    }
+
+    fn fetch(&self, loc: &Loc) -> DbResult<Vec<u8>> {
+        match loc {
+            Loc::Slot { page, slot } => self
+                .pager
+                .with_page(*page, |pg| page::read(pg, *slot).map(<[u8]>::to_vec))?
+                .ok_or_else(|| DbError::Io("dangling slot".into())),
+            Loc::Jumbo { pages, len } => {
+                let mut out = Vec::with_capacity(*len as usize);
+                let mut remaining = *len as usize;
+                for id in pages {
+                    let chunk = remaining.min(PAGE_SIZE);
+                    self.pager.with_page(*id, |pg| out.extend_from_slice(&pg[..chunk]))?;
+                    remaining -= chunk;
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Replace a row's bytes. In-place when the size is unchanged;
+    /// otherwise the tuple relocates and keeps its row id. This is the
+    /// "atomic update of that row (and only that row)" primitive of §3.1.4.
+    pub fn update(&mut self, rowid: RowId, bytes: &[u8]) -> DbResult<()> {
+        let Some(Some(loc)) = self.rows.get(rowid as usize).cloned() else {
+            return Err(DbError::NotFound(format!("row {rowid}")));
+        };
+        if let Loc::Slot { page, slot } = &loc {
+            if bytes.len() <= MAX_INLINE_TUPLE {
+                let done = self
+                    .pager
+                    .with_page_mut(*page, |pg| page::overwrite(pg, *slot, bytes))?;
+                if done {
+                    return Ok(());
+                }
+            }
+        }
+        self.release(&loc)?;
+        let new_loc = self.place(bytes)?;
+        self.rows[rowid as usize] = Some(new_loc);
+        Ok(())
+    }
+
+    pub fn delete(&mut self, rowid: RowId) -> DbResult<bool> {
+        let Some(slot_ref) = self.rows.get_mut(rowid as usize) else {
+            return Ok(false);
+        };
+        let Some(loc) = slot_ref.take() else {
+            return Ok(false);
+        };
+        self.release(&loc)?;
+        self.live_rows -= 1;
+        Ok(true)
+    }
+
+    fn release(&mut self, loc: &Loc) -> DbResult<()> {
+        match loc {
+            Loc::Slot { page, slot } => {
+                self.pager.with_page_mut(*page, |pg| page::delete(pg, *slot))?;
+                if self.free_hints.last() != Some(page) && self.free_hints.len() < 64 {
+                    self.free_hints.push(*page);
+                }
+            }
+            Loc::Jumbo { pages, .. } => {
+                // Chain pages are abandoned (no free-list); size accounting
+                // keeps counting them, mirroring table bloat before VACUUM.
+                let _ = pages;
+            }
+        }
+        Ok(())
+    }
+
+    /// Visit every live row in row-id order. The callback returns `false`
+    /// to stop early (LIMIT push-down).
+    pub fn scan(&self, mut f: impl FnMut(RowId, Vec<u8>) -> DbResult<bool>) -> DbResult<()> {
+        for (i, loc) in self.rows.iter().enumerate() {
+            if let Some(loc) = loc {
+                let bytes = self.fetch(loc)?;
+                if !f(i as RowId, bytes)? {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> Heap {
+        Heap::new(Arc::new(Pager::in_memory()))
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut h = heap();
+        let a = h.insert(b"alpha").unwrap();
+        let b = h.insert(b"beta").unwrap();
+        assert_eq!(h.get(a).unwrap(), Some(b"alpha".to_vec()));
+        assert_eq!(h.get(b).unwrap(), Some(b"beta".to_vec()));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(99).unwrap(), None);
+    }
+
+    #[test]
+    fn update_in_place_and_relocating() {
+        let mut h = heap();
+        let r = h.insert(b"12345").unwrap();
+        h.update(r, b"abcde").unwrap(); // same size: in place
+        assert_eq!(h.get(r).unwrap(), Some(b"abcde".to_vec()));
+        h.update(r, b"a-much-longer-tuple").unwrap(); // relocates
+        assert_eq!(h.get(r).unwrap(), Some(b"a-much-longer-tuple".to_vec()));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn delete_and_scan_order() {
+        let mut h = heap();
+        let ids: Vec<RowId> = (0..10).map(|i| h.insert(format!("r{i}").as_bytes()).unwrap()).collect();
+        assert!(h.delete(ids[3]).unwrap());
+        assert!(!h.delete(ids[3]).unwrap());
+        let mut seen = Vec::new();
+        h.scan(|rid, bytes| {
+            seen.push((rid, String::from_utf8(bytes).unwrap()));
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 9);
+        assert_eq!(seen[0], (0, "r0".to_string()));
+        assert!(!seen.iter().any(|(rid, _)| *rid == 3));
+    }
+
+    #[test]
+    fn scan_early_stop() {
+        let mut h = heap();
+        for i in 0..10 {
+            h.insert(format!("{i}").as_bytes()).unwrap();
+        }
+        let mut count = 0;
+        h.scan(|_, _| {
+            count += 1;
+            Ok(count < 4)
+        })
+        .unwrap();
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn jumbo_tuples_roundtrip() {
+        let mut h = heap();
+        let big: Vec<u8> = (0..40_000).map(|i| (i % 251) as u8).collect();
+        let r = h.insert(&big).unwrap();
+        assert_eq!(h.get(r).unwrap(), Some(big.clone()));
+        assert!(h.pages_used() >= 5);
+        // jumbo update relocates
+        let big2: Vec<u8> = vec![7u8; 20_000];
+        h.update(r, &big2).unwrap();
+        assert_eq!(h.get(r).unwrap(), Some(big2));
+    }
+
+    #[test]
+    fn many_rows_spill_across_pages() {
+        let mut h = heap();
+        let n = 5_000u64;
+        for i in 0..n {
+            h.insert(format!("row-number-{i:08}").as_bytes()).unwrap();
+        }
+        assert_eq!(h.len(), n);
+        assert!(h.pages_used() > 5);
+        assert_eq!(h.get(4_999).unwrap(), Some(b"row-number-00004999".to_vec()));
+    }
+}

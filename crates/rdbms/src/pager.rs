@@ -1,0 +1,357 @@
+//! Page storage with a buffer pool.
+//!
+//! A `Pager` owns all pages of one database, either purely in memory or
+//! backed by a file with an LRU buffer pool of configurable capacity. The
+//! pool is what lets the experiment harness reproduce the paper's two
+//! regimes (§6): datasets smaller than the pool are CPU-bound with warm
+//! caches; datasets larger than the pool become I/O-bound.
+//!
+//! Because modern OS page caches would hide most file latency at our
+//! scaled-down sizes, the pager supports an optional *simulated* per-miss
+//! latency (`io_delay`), calibrated by the harness to the paper's measured
+//! 250–300 MB/s read bandwidth. This substitution is documented in
+//! DESIGN.md; correctness never depends on it, only bench realism.
+
+use crate::error::{DbError, DbResult};
+use crate::page::{self, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+pub type PageId = u64;
+
+/// Counters exposed to benches and EXPLAIN ANALYZE-style reporting.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    pub disk_reads: AtomicU64,
+    pub disk_writes: AtomicU64,
+    pub cache_hits: AtomicU64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoSnapshot {
+    pub disk_reads: u64,
+    pub disk_writes: u64,
+    pub cache_hits: u64,
+}
+
+struct Frame {
+    data: Box<[u8]>,
+    dirty: bool,
+    /// LRU tick of last access.
+    last_used: u64,
+}
+
+struct Inner {
+    file: Option<File>,
+    /// Frames resident in memory. In memory-mode this holds *all* pages.
+    frames: HashMap<PageId, Frame>,
+    n_pages: u64,
+    tick: u64,
+    /// Max resident frames in file mode; unlimited in memory mode.
+    capacity: usize,
+}
+
+/// The page manager.
+pub struct Pager {
+    inner: Mutex<Inner>,
+    stats: IoStats,
+    io_delay: Option<Duration>,
+}
+
+impl Pager {
+    /// All pages live in memory; no eviction, no I/O.
+    pub fn in_memory() -> Pager {
+        Pager {
+            inner: Mutex::new(Inner {
+                file: None,
+                frames: HashMap::new(),
+                n_pages: 0,
+                tick: 0,
+                capacity: usize::MAX,
+            }),
+            stats: IoStats::default(),
+            io_delay: None,
+        }
+    }
+
+    /// File-backed pager with an LRU pool of `pool_pages` frames.
+    pub fn open(path: &Path, pool_pages: usize) -> DbResult<Pager> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Pager {
+            inner: Mutex::new(Inner {
+                file: Some(file),
+                frames: HashMap::new(),
+                n_pages: 0,
+                tick: 0,
+                capacity: pool_pages.max(8),
+            }),
+            stats: IoStats::default(),
+            io_delay: None,
+        })
+    }
+
+    /// Add a simulated latency per buffer-pool miss (read or write-back).
+    pub fn with_io_delay(mut self, delay: Duration) -> Pager {
+        self.io_delay = Some(delay);
+        self
+    }
+
+    /// Allocate a fresh, zeroed, page-initialized page.
+    pub fn alloc(&self) -> DbResult<PageId> {
+        let mut inner = self.inner.lock();
+        let id = inner.n_pages;
+        inner.n_pages += 1;
+        let mut data = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        page::init(&mut data);
+        inner.tick += 1;
+        let tick = inner.tick;
+        self.make_room(&mut inner)?;
+        inner.frames.insert(id, Frame { data, dirty: true, last_used: tick });
+        Ok(id)
+    }
+
+    /// Allocate a raw (uninitialized-layout) page for jumbo chains.
+    pub fn alloc_raw(&self) -> DbResult<PageId> {
+        let mut inner = self.inner.lock();
+        let id = inner.n_pages;
+        inner.n_pages += 1;
+        let data = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        inner.tick += 1;
+        let tick = inner.tick;
+        self.make_room(&mut inner)?;
+        inner.frames.insert(id, Frame { data, dirty: true, last_used: tick });
+        Ok(id)
+    }
+
+    /// Read access to a page.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> DbResult<R> {
+        let mut inner = self.inner.lock();
+        self.fault_in(&mut inner, id)?;
+        inner.tick += 1;
+        let tick = inner.tick;
+        let frame = inner.frames.get_mut(&id).expect("faulted in");
+        frame.last_used = tick;
+        Ok(f(&frame.data))
+    }
+
+    /// Write access to a page; marks it dirty.
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> DbResult<R> {
+        let mut inner = self.inner.lock();
+        self.fault_in(&mut inner, id)?;
+        inner.tick += 1;
+        let tick = inner.tick;
+        let frame = inner.frames.get_mut(&id).expect("faulted in");
+        frame.last_used = tick;
+        frame.dirty = true;
+        Ok(f(&mut frame.data))
+    }
+
+    pub fn n_pages(&self) -> u64 {
+        self.inner.lock().n_pages
+    }
+
+    /// Total size of the database in bytes (pages × page size).
+    pub fn size_bytes(&self) -> u64 {
+        self.n_pages() * PAGE_SIZE as u64
+    }
+
+    pub fn stats(&self) -> IoSnapshot {
+        IoSnapshot {
+            disk_reads: self.stats.disk_reads.load(Ordering::Relaxed),
+            disk_writes: self.stats.disk_writes.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset_stats(&self) {
+        self.stats.disk_reads.store(0, Ordering::Relaxed);
+        self.stats.disk_writes.store(0, Ordering::Relaxed);
+        self.stats.cache_hits.store(0, Ordering::Relaxed);
+    }
+
+    /// Write back all dirty frames (no-op in memory mode).
+    pub fn flush(&self) -> DbResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.file.is_none() {
+            return Ok(());
+        }
+        let ids: Vec<PageId> =
+            inner.frames.iter().filter(|(_, fr)| fr.dirty).map(|(id, _)| *id).collect();
+        for id in ids {
+            self.write_back(&mut inner, id)?;
+        }
+        if let Some(f) = &mut inner.file {
+            f.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Drop every clean frame and write back + drop dirty ones: simulates a
+    /// cold cache for benchmarking.
+    pub fn evict_all(&self) -> DbResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.file.is_none() {
+            return Ok(()); // memory mode: nothing to evict to
+        }
+        let ids: Vec<PageId> = inner.frames.keys().copied().collect();
+        for id in ids {
+            self.write_back(&mut inner, id)?;
+            inner.frames.remove(&id);
+        }
+        Ok(())
+    }
+
+    fn fault_in(&self, inner: &mut Inner, id: PageId) -> DbResult<()> {
+        if id >= inner.n_pages {
+            return Err(DbError::Io(format!("page {id} out of range")));
+        }
+        if inner.frames.contains_key(&id) {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        // miss: read from file
+        let Some(file) = &mut inner.file else {
+            return Err(DbError::Io(format!("page {id} evicted without backing file")));
+        };
+        let mut data = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        // Pages past EOF (never written back) read as zero, but that cannot
+        // happen: eviction always writes dirty pages and fresh pages are
+        // dirty from birth.
+        file.read_exact(&mut data)?;
+        self.stats.disk_reads.fetch_add(1, Ordering::Relaxed);
+        if let Some(d) = self.io_delay {
+            std::thread::sleep(d);
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        self.make_room(inner)?;
+        inner.frames.insert(id, Frame { data, dirty: false, last_used: tick });
+        Ok(())
+    }
+
+    fn make_room(&self, inner: &mut Inner) -> DbResult<()> {
+        while inner.frames.len() >= inner.capacity {
+            let victim = inner
+                .frames
+                .iter()
+                .min_by_key(|(_, fr)| fr.last_used)
+                .map(|(id, _)| *id)
+                .expect("pool nonempty");
+            self.write_back(inner, victim)?;
+            inner.frames.remove(&victim);
+        }
+        Ok(())
+    }
+
+    fn write_back(&self, inner: &mut Inner, id: PageId) -> DbResult<()> {
+        let dirty = inner.frames.get(&id).map(|fr| fr.dirty).unwrap_or(false);
+        if !dirty {
+            return Ok(());
+        }
+        let data_ptr: Box<[u8]> = inner.frames.get(&id).unwrap().data.clone();
+        let Some(file) = &mut inner.file else {
+            return Ok(());
+        };
+        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        file.write_all(&data_ptr)?;
+        self.stats.disk_writes.fetch_add(1, Ordering::Relaxed);
+        if let Some(d) = self.io_delay {
+            std::thread::sleep(d);
+        }
+        if let Some(fr) = inner.frames.get_mut(&id) {
+            fr.dirty = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_mode_basics() {
+        let p = Pager::in_memory();
+        let a = p.alloc().unwrap();
+        let b = p.alloc().unwrap();
+        assert_ne!(a, b);
+        p.with_page_mut(a, |pg| {
+            page::insert(pg, b"data").unwrap();
+        })
+        .unwrap();
+        let got = p.with_page(a, |pg| page::read(pg, 0).map(<[u8]>::to_vec)).unwrap();
+        assert_eq!(got, Some(b"data".to_vec()));
+        assert!(p.with_page(99, |_| ()).is_err());
+    }
+
+    #[test]
+    fn file_mode_evicts_and_reloads() {
+        let dir = std::env::temp_dir().join(format!("sinew-pager-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.db");
+        let p = Pager::open(&path, 8).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..64u64 {
+            let id = p.alloc().unwrap();
+            p.with_page_mut(id, |pg| {
+                page::insert(pg, format!("tuple-{i}").as_bytes()).unwrap();
+            })
+            .unwrap();
+            ids.push(id);
+        }
+        // far more pages than capacity: early ones must have been evicted
+        let snap = p.stats();
+        assert!(snap.disk_writes > 0, "evictions wrote back");
+        for (i, id) in ids.iter().enumerate() {
+            let got = p.with_page(*id, |pg| page::read(pg, 0).map(<[u8]>::to_vec)).unwrap();
+            assert_eq!(got, Some(format!("tuple-{i}").into_bytes()));
+        }
+        assert!(p.stats().disk_reads > 0, "reload faulted pages in");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flush_persists_dirty_pages() {
+        let dir = std::env::temp_dir().join(format!("sinew-pager-f-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.db");
+        let p = Pager::open(&path, 128).unwrap();
+        let id = p.alloc().unwrap();
+        p.with_page_mut(id, |pg| {
+            page::insert(pg, b"persist-me").unwrap();
+        })
+        .unwrap();
+        p.flush().unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert!(len >= PAGE_SIZE as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evict_all_simulates_cold_cache() {
+        let dir = std::env::temp_dir().join(format!("sinew-pager-c-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = Pager::open(&dir.join("t.db"), 64).unwrap();
+        let id = p.alloc().unwrap();
+        p.with_page_mut(id, |pg| {
+            page::insert(pg, b"x").unwrap();
+        })
+        .unwrap();
+        p.evict_all().unwrap();
+        p.reset_stats();
+        p.with_page(id, |_| ()).unwrap();
+        assert_eq!(p.stats().disk_reads, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

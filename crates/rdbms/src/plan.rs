@@ -1,0 +1,290 @@
+//! Physical query plans and the EXPLAIN printer.
+//!
+//! Operator names intentionally match Postgres's EXPLAIN vocabulary
+//! (`Seq Scan`, `Hash Join`, `Merge Join`, `HashAggregate`,
+//! `GroupAggregate`, `Unique`, `Sort`) because the Table 2 experiment
+//! compares *plan shapes* between virtual- and physical-column conditions
+//! exactly the way the paper does.
+
+use crate::agg::AggKind;
+use crate::expr::PhysExpr;
+use std::fmt::Write as _;
+
+/// One aggregate computed by an aggregation operator.
+#[derive(Clone)]
+pub struct AggSpec {
+    pub kind: AggKind,
+    pub distinct: bool,
+    /// `None` for `COUNT(*)`.
+    pub arg: Option<PhysExpr>,
+}
+
+/// A sort key: expression over the input row plus direction.
+#[derive(Clone)]
+pub struct SortKey {
+    pub expr: PhysExpr,
+    pub desc: bool,
+}
+
+/// Physical plan tree. Every node carries its estimated output rows, which
+/// is what EXPLAIN prints and what the Table 2 harness inspects.
+#[derive(Clone)]
+pub enum Plan {
+    /// Full-table scan with an optional pushed-down filter. The scan output
+    /// is the table's live columns, in order, plus a trailing `_rowid`.
+    /// `needed` lists the live column names the query actually touches
+    /// (projection push-down); `None` decodes everything.
+    SeqScan {
+        table: String,
+        binding: String,
+        filter: Option<PhysExpr>,
+        needed: Option<Vec<String>>,
+        est_rows: f64,
+    },
+    Filter {
+        input: Box<Plan>,
+        predicate: PhysExpr,
+        est_rows: f64,
+    },
+    Project {
+        input: Box<Plan>,
+        exprs: Vec<PhysExpr>,
+        est_rows: f64,
+    },
+    HashJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        /// Key expressions over the left / right input rows.
+        left_key: PhysExpr,
+        right_key: PhysExpr,
+        /// Extra predicate over the concatenated row.
+        residual: Option<PhysExpr>,
+        /// LEFT OUTER join when true.
+        left_outer: bool,
+        est_rows: f64,
+    },
+    /// Requires both inputs sorted on their key (the planner inserts Sort
+    /// nodes). Output order: left-major.
+    MergeJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        left_key: PhysExpr,
+        right_key: PhysExpr,
+        residual: Option<PhysExpr>,
+        est_rows: f64,
+    },
+    NestedLoop {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        predicate: Option<PhysExpr>,
+        left_outer: bool,
+        est_rows: f64,
+    },
+    Sort {
+        input: Box<Plan>,
+        keys: Vec<SortKey>,
+        est_rows: f64,
+    },
+    HashAggregate {
+        input: Box<Plan>,
+        groups: Vec<PhysExpr>,
+        aggs: Vec<AggSpec>,
+        est_rows: f64,
+    },
+    /// Aggregation over input pre-sorted on the group keys.
+    GroupAggregate {
+        input: Box<Plan>,
+        groups: Vec<PhysExpr>,
+        aggs: Vec<AggSpec>,
+        est_rows: f64,
+    },
+    /// Deduplicate consecutive identical rows (input must be sorted).
+    Unique {
+        input: Box<Plan>,
+        est_rows: f64,
+    },
+    /// Hash-based whole-row DISTINCT. Printed as "HashAggregate", which is
+    /// what Postgres shows for hashed DISTINCT.
+    HashDistinct {
+        input: Box<Plan>,
+        est_rows: f64,
+    },
+    Limit {
+        input: Box<Plan>,
+        n: u64,
+    },
+    /// Literal rows (SELECT without FROM, INSERT ... VALUES).
+    Values {
+        rows: Vec<Vec<PhysExpr>>,
+    },
+}
+
+impl Plan {
+    pub fn est_rows(&self) -> f64 {
+        match self {
+            Plan::SeqScan { est_rows, .. }
+            | Plan::Filter { est_rows, .. }
+            | Plan::Project { est_rows, .. }
+            | Plan::HashJoin { est_rows, .. }
+            | Plan::MergeJoin { est_rows, .. }
+            | Plan::NestedLoop { est_rows, .. }
+            | Plan::Sort { est_rows, .. }
+            | Plan::HashAggregate { est_rows, .. }
+            | Plan::GroupAggregate { est_rows, .. }
+            | Plan::Unique { est_rows, .. }
+            | Plan::HashDistinct { est_rows, .. } => *est_rows,
+            Plan::Limit { input, n } => (input.est_rows()).min(*n as f64),
+            Plan::Values { rows } => rows.len() as f64,
+        }
+    }
+
+    /// Postgres-style operator name (the Table 2 harness matches these).
+    pub fn node_name(&self) -> &'static str {
+        match self {
+            Plan::SeqScan { .. } => "Seq Scan",
+            Plan::Filter { .. } => "Filter",
+            Plan::Project { .. } => "Project",
+            Plan::HashJoin { .. } => "Hash Join",
+            Plan::MergeJoin { .. } => "Merge Join",
+            Plan::NestedLoop { .. } => "Nested Loop",
+            Plan::Sort { .. } => "Sort",
+            Plan::HashAggregate { .. } => "HashAggregate",
+            Plan::GroupAggregate { .. } => "GroupAggregate",
+            Plan::Unique { .. } => "Unique",
+            Plan::HashDistinct { .. } => "HashAggregate",
+            Plan::Limit { .. } => "Limit",
+            Plan::Values { .. } => "Values",
+        }
+    }
+
+    /// Render the EXPLAIN tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let arrow = if depth == 0 { "" } else { "->  " };
+        match self {
+            Plan::SeqScan { table, binding, filter, est_rows, .. } => {
+                let alias = if binding != table { format!(" {binding}") } else { String::new() };
+                let _ = writeln!(out, "{pad}{arrow}Seq Scan on {table}{alias}  (rows={})", fmt_rows(*est_rows));
+                if let Some(f) = filter {
+                    let _ = writeln!(out, "{pad}      Filter: {f:?}");
+                }
+            }
+            Plan::Filter { input, predicate, est_rows } => {
+                let _ = writeln!(out, "{pad}{arrow}Filter  (rows={})", fmt_rows(*est_rows));
+                let _ = writeln!(out, "{pad}      Cond: {predicate:?}");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Project { input, est_rows, .. } => {
+                let _ = writeln!(out, "{pad}{arrow}Project  (rows={})", fmt_rows(*est_rows));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::HashJoin { left, right, left_key, right_key, est_rows, left_outer, .. } => {
+                let outer = if *left_outer { "Left " } else { "" };
+                let _ = writeln!(
+                    out,
+                    "{pad}{arrow}{outer}Hash Join  (rows={})  Cond: {left_key:?} = {right_key:?}",
+                    fmt_rows(*est_rows)
+                );
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::MergeJoin { left, right, left_key, right_key, est_rows, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{arrow}Merge Join  (rows={})  Cond: {left_key:?} = {right_key:?}",
+                    fmt_rows(*est_rows)
+                );
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::NestedLoop { left, right, est_rows, .. } => {
+                let _ = writeln!(out, "{pad}{arrow}Nested Loop  (rows={})", fmt_rows(*est_rows));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::Sort { input, keys, est_rows } => {
+                let keystr: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{:?}{}", k.expr, if k.desc { " DESC" } else { "" }))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}{arrow}Sort  (rows={})  Key: {}",
+                    fmt_rows(*est_rows),
+                    keystr.join(", ")
+                );
+                input.explain_into(out, depth + 1);
+            }
+            Plan::HashAggregate { input, est_rows, .. } => {
+                let _ = writeln!(out, "{pad}{arrow}HashAggregate  (rows={})", fmt_rows(*est_rows));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::GroupAggregate { input, est_rows, .. } => {
+                let _ = writeln!(out, "{pad}{arrow}GroupAggregate  (rows={})", fmt_rows(*est_rows));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Unique { input, est_rows } => {
+                let _ = writeln!(out, "{pad}{arrow}Unique  (rows={})", fmt_rows(*est_rows));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::HashDistinct { input, est_rows } => {
+                let _ = writeln!(out, "{pad}{arrow}HashAggregate  (rows={})", fmt_rows(*est_rows));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Limit { input, n } => {
+                let _ = writeln!(out, "{pad}{arrow}Limit  (n={n})");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Values { rows } => {
+                let _ = writeln!(out, "{pad}{arrow}Values  (rows={})", rows.len());
+            }
+        }
+    }
+
+    /// The order join operators appear in the EXPLAIN tree, top-down — the
+    /// Table 2 harness uses this to compare join orders.
+    pub fn join_sequence(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_joins(&mut out);
+        out
+    }
+
+    fn collect_joins(&self, out: &mut Vec<String>) {
+        match self {
+            Plan::HashJoin { left, right, left_key, right_key, .. } => {
+                out.push(format!("Hash Join {left_key:?}={right_key:?}"));
+                left.collect_joins(out);
+                right.collect_joins(out);
+            }
+            Plan::MergeJoin { left, right, left_key, right_key, .. } => {
+                out.push(format!("Merge Join {left_key:?}={right_key:?}"));
+                left.collect_joins(out);
+                right.collect_joins(out);
+            }
+            Plan::NestedLoop { left, right, .. } => {
+                out.push("Nested Loop".to_string());
+                left.collect_joins(out);
+                right.collect_joins(out);
+            }
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::HashAggregate { input, .. }
+            | Plan::GroupAggregate { input, .. }
+            | Plan::Unique { input, .. }
+            | Plan::HashDistinct { input, .. }
+            | Plan::Limit { input, .. } => input.collect_joins(out),
+            Plan::SeqScan { .. } | Plan::Values { .. } => {}
+        }
+    }
+}
+
+fn fmt_rows(r: f64) -> String {
+    format!("{}", r.round().max(1.0) as u64)
+}

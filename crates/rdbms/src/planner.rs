@@ -1,0 +1,989 @@
+//! Query planner: binding, predicate classification, cost-based join
+//! ordering, and physical operator selection.
+//!
+//! The operator-choice policies mirror Postgres closely enough to reproduce
+//! the paper's Table 2:
+//!
+//! * DISTINCT → hashed (`HashAggregate`) when the estimated distinct set
+//!   fits `work_mem`, else `Sort` + `Unique`;
+//! * GROUP BY → `HashAggregate` vs `Sort` + `GroupAggregate` by the same
+//!   memory rule;
+//! * joins → cheapest of hash join (with a batching penalty when the build
+//!   side exceeds `work_mem`), merge join (sorting both inputs), and nested
+//!   loop; join *order* by dynamic programming over left-deep trees.
+//!
+//! Estimates for anything behind a UDF call use the fixed defaults in
+//! [`crate::selectivity::Defaults`] — the mechanism that makes virtual
+//! columns plan worse than physical ones.
+
+
+use crate::error::{DbError, DbResult};
+use crate::expr::{bind, PhysExpr, Scope};
+use crate::func::FuncRegistry;
+use crate::agg::AggKind;
+use crate::plan::{AggSpec, Plan, SortKey};
+use crate::schema::TableSchema;
+use crate::selectivity::{Defaults, SelContext};
+use crate::stats::TableStats;
+use sinew_sql::{BinaryOp, Expr, Select, SelectItem, SortOrder};
+use std::collections::HashMap;
+
+// Cost constants (Postgres defaults).
+const SEQ_PAGE_COST: f64 = 1.0;
+const CPU_TUPLE_COST: f64 = 0.01;
+const CPU_OPERATOR_COST: f64 = 0.0025;
+/// Per-entry hash table overhead in bytes.
+const HASH_OVERHEAD: f64 = 48.0;
+
+/// Table metadata the planner needs.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    pub schema: TableSchema,
+    pub n_rows: f64,
+    pub n_pages: f64,
+}
+
+/// Read-only view of the catalog, implemented by `Database`.
+pub trait CatalogView {
+    fn table_meta(&self, name: &str) -> DbResult<TableMeta>;
+    fn table_stats(&self, name: &str) -> Option<TableStats>;
+}
+
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Memory budget for hash tables and sorts, bytes (Postgres work_mem).
+    pub work_mem: usize,
+    pub defaults: Defaults,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig { work_mem: 4 * 1024 * 1024, defaults: Defaults::default() }
+    }
+}
+
+/// A planned query: physical plan + output column names.
+pub struct PlannedQuery {
+    pub plan: Plan,
+    pub columns: Vec<String>,
+}
+
+pub struct Planner<'a> {
+    pub catalog: &'a dyn CatalogView,
+    pub funcs: &'a FuncRegistry,
+    pub config: PlannerConfig,
+}
+
+/// A candidate subplan during join ordering.
+#[derive(Clone)]
+struct Candidate {
+    plan: Plan,
+    scope: Scope,
+    /// For each scope slot: originating (table, column), if it is a plain
+    /// stored column (drives statistics lookups through joins).
+    origins: Vec<Option<(String, String)>>,
+    cost: f64,
+    rows: f64,
+    width: f64,
+}
+
+impl<'a> Planner<'a> {
+    pub fn new(catalog: &'a dyn CatalogView, funcs: &'a FuncRegistry) -> Planner<'a> {
+        Planner { catalog, funcs, config: PlannerConfig::default() }
+    }
+
+    pub fn with_config(mut self, config: PlannerConfig) -> Planner<'a> {
+        self.config = config;
+        self
+    }
+
+    pub fn plan_select(&self, sel: &Select) -> DbResult<PlannedQuery> {
+        // SELECT without FROM: constant row.
+        if sel.from.is_empty() {
+            return self.plan_constant_select(sel);
+        }
+
+        // ---- 1. Base relations ----
+        let mut rels = Vec::new();
+        let mut bindings = Vec::new();
+        for tref in &sel.from {
+            bindings.push(tref.binding().to_string());
+            rels.push(tref.clone());
+        }
+        for j in &sel.joins {
+            if j.kind != sinew_sql::JoinKind::Inner {
+                return self.plan_left_join(sel); // separate simple path
+            }
+            bindings.push(j.table.binding().to_string());
+            rels.push(j.table.clone());
+        }
+        {
+            let mut seen = std::collections::HashSet::new();
+            for b in &bindings {
+                if !seen.insert(b.clone()) {
+                    return Err(DbError::Schema(format!("duplicate table binding {b}")));
+                }
+            }
+        }
+        if rels.len() > 10 {
+            return Err(DbError::Eval("too many relations in join (max 10)".into()));
+        }
+
+        // ---- 2. Predicate pool ----
+        let mut conjuncts: Vec<Expr> = Vec::new();
+        if let Some(w) = &sel.filter {
+            conjuncts.extend(w.conjuncts().into_iter().cloned());
+        }
+        for j in &sel.joins {
+            conjuncts.extend(j.on.conjuncts().into_iter().cloned());
+        }
+
+        // Classify: which relations does each conjunct touch?
+        let base_cands: Vec<Candidate> = rels
+            .iter()
+            .map(|tref| self.base_candidate(&tref.table, tref.binding(), &[], None))
+            .collect::<DbResult<_>>()?;
+        let relset_of = |e: &Expr| -> DbResult<u32> {
+            let mut mask = 0u32;
+            for (q, c) in e.columns() {
+                let idx = self.find_binding(&bindings, &base_cands, q.as_deref(), &c)?;
+                mask |= 1 << idx;
+            }
+            Ok(mask)
+        };
+
+        let mut single: Vec<Vec<Expr>> = vec![Vec::new(); rels.len()];
+        let mut multi: Vec<(u32, Expr)> = Vec::new();
+        for c in conjuncts {
+            let mask = relset_of(&c)?;
+            if mask.count_ones() <= 1 {
+                let idx = if mask == 0 { 0 } else { mask.trailing_zeros() as usize };
+                single[idx].push(c);
+            } else {
+                multi.push((mask, c));
+            }
+        }
+
+        // ---- 3. Rebuild base candidates with pushed filters and
+        // projection push-down ----
+        let needed = self.collect_needed(sel, &bindings, &base_cands)?;
+        let base_cands: Vec<Candidate> = rels
+            .iter()
+            .enumerate()
+            .map(|(i, tref)| {
+                self.base_candidate(
+                    &tref.table,
+                    tref.binding(),
+                    &single[i],
+                    needed.as_ref().map(|n| &n[i]),
+                )
+            })
+            .collect::<DbResult<_>>()?;
+
+        // ---- 4. Join ordering (DP over left-deep trees) ----
+        let joined = self.order_joins(base_cands, &multi)?;
+
+        // ---- 5. Aggregation / grouping ----
+        self.finish_select(sel, joined)
+    }
+
+    /// The live column names each relation must decode, or `None` when a
+    /// wildcard makes every column needed.
+    fn collect_needed(
+        &self,
+        sel: &Select,
+        bindings: &[String],
+        cands: &[Candidate],
+    ) -> DbResult<Option<Vec<std::collections::HashSet<String>>>> {
+        let mut sets = vec![std::collections::HashSet::new(); bindings.len()];
+        let mut exprs: Vec<&Expr> = Vec::new();
+        for item in &sel.items {
+            match item {
+                SelectItem::Wildcard => return Ok(None),
+                SelectItem::Expr { expr, .. } => exprs.push(expr),
+            }
+        }
+        if let Some(f) = &sel.filter {
+            exprs.push(f);
+        }
+        for j in &sel.joins {
+            exprs.push(&j.on);
+        }
+        exprs.extend(sel.group_by.iter());
+        if let Some(h) = &sel.having {
+            exprs.push(h);
+        }
+        for o in &sel.order_by {
+            exprs.push(&o.expr);
+        }
+        for e in exprs {
+            for (q, c) in e.columns() {
+                // Unresolvable references may be output aliases (ORDER BY
+                // dage) — skip them; real errors surface during binding.
+                if let Ok(idx) = self.find_binding(bindings, cands, q.as_deref(), &c) {
+                    sets[idx].insert(c);
+                }
+            }
+        }
+        Ok(Some(sets))
+    }
+
+    fn plan_constant_select(&self, sel: &Select) -> DbResult<PlannedQuery> {
+        let scope = Scope::default();
+        let mut exprs = Vec::new();
+        let mut names = Vec::new();
+        for item in &sel.items {
+            match item {
+                SelectItem::Wildcard => {
+                    return Err(DbError::Schema("SELECT * requires FROM".into()))
+                }
+                SelectItem::Expr { expr, alias } => {
+                    exprs.push(bind(expr, &scope, self.funcs)?);
+                    names.push(alias.clone().unwrap_or_else(|| item_name(expr)));
+                }
+            }
+        }
+        let mut plan = Plan::Values { rows: vec![exprs] };
+        if let Some(f) = &sel.filter {
+            let pred = bind(f, &scope, self.funcs)?;
+            plan = Plan::Filter { input: Box::new(plan), predicate: pred, est_rows: 1.0 };
+        }
+        Ok(PlannedQuery { plan, columns: names })
+    }
+
+    /// Simplified path for LEFT JOIN queries: FROM order is kept, hash
+    /// left-outer joins, no reordering (Postgres also constrains outer-join
+    /// reordering heavily).
+    fn plan_left_join(&self, sel: &Select) -> DbResult<PlannedQuery> {
+        if sel.from.len() != 1 {
+            return Err(DbError::Eval(
+                "LEFT JOIN supports a single FROM table with JOIN chains".into(),
+            ));
+        }
+        let mut cand =
+            self.base_candidate(&sel.from[0].table, sel.from[0].binding(), &[], None)?;
+        for j in &sel.joins {
+            // Push ON conjuncts that reference only the joined table down
+            // into its scan (Postgres does the same): LEFT JOIN semantics
+            // allow it because such predicates only gate *matching*, and a
+            // right row failing them could never match anyway.
+            let probe = self.base_candidate(&j.table.table, j.table.binding(), &[], None)?;
+            let on_parts: Vec<Expr> = j.on.conjuncts().into_iter().cloned().collect();
+            let mut pushed: Vec<Expr> = Vec::new();
+            let mut rest: Vec<Expr> = Vec::new();
+            for part in on_parts {
+                let only_right = part
+                    .columns()
+                    .iter()
+                    .all(|(q, c)| probe.scope.resolve(q.as_deref(), c).is_ok())
+                    && !part.columns().is_empty();
+                if only_right && !matches!(&part, Expr::Binary { op: BinaryOp::Eq, left, right }
+                    if left.columns().len() + right.columns().len() > 1)
+                {
+                    pushed.push(part);
+                } else {
+                    rest.push(part);
+                }
+            }
+            let right = self.base_candidate(&j.table.table, j.table.binding(), &pushed, None)?;
+            let joined_scope = cand.scope.join(&right.scope);
+            // Find a usable equi key in the remaining ON conjuncts.
+            let mut key: Option<(PhysExpr, PhysExpr)> = None;
+            let mut residual = Vec::new();
+            for part in rest {
+                if key.is_none() {
+                    if let Expr::Binary { op: BinaryOp::Eq, left, right: r } = &part {
+                        let lb = bind(left, &cand.scope, self.funcs);
+                        let rb = bind(r, &right.scope, self.funcs);
+                        if let (Ok(lk), Ok(rk)) = (lb, rb) {
+                            key = Some((lk, rk));
+                            continue;
+                        }
+                        let lb2 = bind(r, &cand.scope, self.funcs);
+                        let rb2 = bind(left, &right.scope, self.funcs);
+                        if let (Ok(lk), Ok(rk)) = (lb2, rb2) {
+                            key = Some((lk, rk));
+                            continue;
+                        }
+                    }
+                }
+                residual.push(bind(&part, &joined_scope, self.funcs)?);
+            }
+            let rows = cand.rows.max(right.rows);
+            let plan = match key {
+                Some((lk, rk)) => Plan::HashJoin {
+                    left: Box::new(cand.plan),
+                    right: Box::new(right.plan),
+                    left_key: lk,
+                    right_key: rk,
+                    residual: conjoin_phys(residual),
+                    left_outer: true,
+                    est_rows: rows,
+                },
+                None => Plan::NestedLoop {
+                    left: Box::new(cand.plan),
+                    right: Box::new(right.plan),
+                    predicate: conjoin_phys(residual),
+                    left_outer: true,
+                    est_rows: rows,
+                },
+            };
+            let mut origins = cand.origins;
+            origins.extend(right.origins);
+            cand = Candidate {
+                plan,
+                scope: joined_scope,
+                origins,
+                cost: cand.cost + right.cost + rows * CPU_TUPLE_COST,
+                rows,
+                width: cand.width + right.width,
+            };
+        }
+        if let Some(w) = &sel.filter {
+            let pred = bind(w, &cand.scope, self.funcs)?;
+            let rows = (cand.rows * 0.5).max(1.0);
+            cand = Candidate {
+                plan: Plan::Filter { input: Box::new(cand.plan), predicate: pred, est_rows: rows },
+                rows,
+                ..cand
+            };
+        }
+        self.finish_select(sel, cand)
+    }
+
+    fn find_binding(
+        &self,
+        bindings: &[String],
+        cands: &[Candidate],
+        qualifier: Option<&str>,
+        column: &str,
+    ) -> DbResult<usize> {
+        if let Some(q) = qualifier {
+            return bindings
+                .iter()
+                .position(|b| b == q)
+                .ok_or_else(|| DbError::NotFound(format!("table {q}")));
+        }
+        let mut found = None;
+        for (i, c) in cands.iter().enumerate() {
+            if c.scope.cols.iter().any(|(_, n)| n == column) {
+                if found.is_some() {
+                    return Err(DbError::Schema(format!("column {column} is ambiguous")));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| DbError::NotFound(format!("column {column}")))
+    }
+
+    /// Build a scan candidate for one base relation with pushed filters.
+    /// `needed` restricts which live columns the scan decodes (projection
+    /// push-down); `None` decodes everything.
+    fn base_candidate(
+        &self,
+        table: &str,
+        binding: &str,
+        filters: &[Expr],
+        needed: Option<&std::collections::HashSet<String>>,
+    ) -> DbResult<Candidate> {
+        let meta = self.catalog.table_meta(table)?;
+        let stats = self.catalog.table_stats(table);
+        let mut scope = Scope::default();
+        let mut origins = Vec::new();
+        let mut col_names = Vec::new();
+        for (_, col) in meta.schema.live_columns() {
+            scope.push(Some(binding), &col.name);
+            origins.push(Some((table.to_string(), col.name.clone())));
+            col_names.push(Some(col.name.clone()));
+        }
+        scope.push(Some(binding), "_rowid");
+        origins.push(None);
+        col_names.push(None);
+
+        let bound: Vec<PhysExpr> = filters
+            .iter()
+            .map(|f| bind(f, &scope, self.funcs))
+            .collect::<DbResult<_>>()?;
+        let sel_ctx = SelContext {
+            stats: stats.as_ref(),
+            col_names,
+            input_rows: meta.n_rows,
+            defaults: self.config.defaults,
+        };
+        let mut sel = 1.0;
+        for f in &bound {
+            sel *= sel_ctx.selectivity(f);
+        }
+        let rows = (meta.n_rows * sel).max(1.0);
+        let filter = conjoin_phys(bound.clone());
+        let cost = meta.n_pages * SEQ_PAGE_COST
+            + meta.n_rows * CPU_TUPLE_COST
+            + meta.n_rows * bound.len() as f64 * CPU_OPERATOR_COST;
+        let width: f64 = stats
+            .as_ref()
+            .map(|s| s.columns.values().map(|c| c.avg_width).sum::<f64>())
+            .filter(|w| *w > 0.0)
+            .unwrap_or(100.0);
+        let needed_vec = needed.map(|set| {
+            let mut v: Vec<String> = set.iter().cloned().collect();
+            v.sort();
+            v
+        });
+        Ok(Candidate {
+            plan: Plan::SeqScan {
+                table: table.to_string(),
+                binding: binding.to_string(),
+                filter,
+                needed: needed_vec,
+                est_rows: rows,
+            },
+            scope,
+            origins,
+            cost,
+            rows,
+            width,
+        })
+    }
+
+    fn ndistinct_of(&self, cand: &Candidate, e: &PhysExpr) -> f64 {
+        if let PhysExpr::Column(i) = e {
+            if let Some(Some((table, col))) = cand.origins.get(*i) {
+                if let Some(stats) = self.catalog.table_stats(table) {
+                    if let Some(cs) = stats.columns.get(col) {
+                        return cs.n_distinct;
+                    }
+                }
+            }
+        }
+        self.config.defaults.opaque_ndistinct
+    }
+
+    fn width_of(&self, cand: &Candidate, e: &PhysExpr) -> f64 {
+        if let PhysExpr::Column(i) = e {
+            if let Some(Some((table, col))) = cand.origins.get(*i) {
+                if let Some(stats) = self.catalog.table_stats(table) {
+                    if let Some(cs) = stats.columns.get(col) {
+                        return cs.avg_width.max(1.0);
+                    }
+                }
+            }
+        }
+        32.0
+    }
+
+    /// Dynamic-programming join ordering over left-deep trees.
+    fn order_joins(
+        &self,
+        base: Vec<Candidate>,
+        multi: &[(u32, Expr)],
+    ) -> DbResult<Candidate> {
+        let n = base.len();
+        if n == 1 {
+            return Ok(base.into_iter().next().unwrap());
+        }
+        let full: u32 = (1 << n) - 1;
+        let mut best: HashMap<u32, Candidate> = HashMap::new();
+        for (i, c) in base.iter().enumerate() {
+            best.insert(1 << i, c.clone());
+        }
+        // masks in increasing popcount order
+        let mut masks: Vec<u32> = (1..=full).filter(|m| m.count_ones() >= 1).collect();
+        masks.sort_by_key(|m| m.count_ones());
+        for mask in masks {
+            if mask.count_ones() < 1 || !best.contains_key(&mask) {
+                continue;
+            }
+            let left = best.get(&mask).unwrap().clone();
+            for (j, right) in base.iter().enumerate() {
+                let bit = 1 << j;
+                if mask & bit != 0 {
+                    continue;
+                }
+                let new_mask = mask | bit;
+                // conjuncts that become evaluable exactly now
+                let now: Vec<&Expr> = multi
+                    .iter()
+                    .filter(|(m, _)| m & new_mask == *m && m & bit != 0)
+                    .map(|(_, e)| e)
+                    .collect();
+                // Prefer connected joins; allow cross join only if no
+                // conjunct connects this pair (cost will punish it).
+                let cand = self.make_join(&left, right, &now)?;
+                match best.get(&new_mask) {
+                    Some(prev) if prev.cost <= cand.cost => {}
+                    _ => {
+                        best.insert(new_mask, cand);
+                    }
+                }
+            }
+        }
+        best.remove(&full)
+            .ok_or_else(|| DbError::Eval("join ordering failed to cover all relations".into()))
+    }
+
+    fn make_join(
+        &self,
+        left: &Candidate,
+        right: &Candidate,
+        conjuncts: &[&Expr],
+    ) -> DbResult<Candidate> {
+        let joined_scope = left.scope.join(&right.scope);
+        let mut key: Option<(PhysExpr, PhysExpr)> = None;
+        let mut residual = Vec::new();
+        for part in conjuncts {
+            if key.is_none() {
+                if let Expr::Binary { op: BinaryOp::Eq, left: l, right: r } = part {
+                    if let (Ok(lk), Ok(rk)) =
+                        (bind(l, &left.scope, self.funcs), bind(r, &right.scope, self.funcs))
+                    {
+                        key = Some((lk, rk));
+                        continue;
+                    }
+                    if let (Ok(lk), Ok(rk)) =
+                        (bind(r, &left.scope, self.funcs), bind(l, &right.scope, self.funcs))
+                    {
+                        key = Some((lk, rk));
+                        continue;
+                    }
+                }
+            }
+            residual.push(bind(part, &joined_scope, self.funcs)?);
+        }
+
+        let mut origins = left.origins.clone();
+        origins.extend(right.origins.iter().cloned());
+        let width = left.width + right.width;
+
+        let cand = match key {
+            Some((lk, rk)) => {
+                let nd_l = self.ndistinct_of(left, &lk);
+                let nd_r = self.ndistinct_of(right, &rk);
+                let join_sel = 1.0 / nd_l.max(nd_r).max(1.0);
+                let mut rows = (left.rows * right.rows * join_sel).max(1.0);
+                // residual predicates: generic 0.5 each
+                rows = (rows * 0.5f64.powi(residual.len() as i32)).max(1.0);
+
+                // hash join: build on the smaller input
+                let (build, probe) = if right.rows <= left.rows {
+                    (right, left)
+                } else {
+                    (left, right)
+                };
+                let build_bytes = build.rows * (self.width_of(build, &rk).max(8.0) + HASH_OVERHEAD);
+                let batches = (build_bytes / self.config.work_mem as f64).max(1.0).ceil();
+                let hash_cost = left.cost
+                    + right.cost
+                    + build.rows * (CPU_OPERATOR_COST * 2.0 + CPU_TUPLE_COST)
+                    + probe.rows * CPU_OPERATOR_COST * 2.0
+                    + rows * CPU_TUPLE_COST
+                    + (batches - 1.0) * (build.rows + probe.rows) * CPU_TUPLE_COST * 2.0;
+
+                // merge join: sort both inputs then merge
+                let merge_cost = left.cost
+                    + right.cost
+                    + sort_cost(left.rows)
+                    + sort_cost(right.rows)
+                    + (left.rows + right.rows) * CPU_OPERATOR_COST * 2.0
+                    + rows * CPU_TUPLE_COST;
+
+                if hash_cost <= merge_cost {
+                    Candidate {
+                        plan: Plan::HashJoin {
+                            left: Box::new(left.plan.clone()),
+                            right: Box::new(right.plan.clone()),
+                            left_key: lk,
+                            right_key: rk,
+                            residual: conjoin_phys(residual),
+                            left_outer: false,
+                            est_rows: rows,
+                        },
+                        scope: joined_scope,
+                        origins,
+                        cost: hash_cost,
+                        rows,
+                        width,
+                    }
+                } else {
+                    let lsorted = Plan::Sort {
+                        input: Box::new(left.plan.clone()),
+                        keys: vec![SortKey { expr: lk.clone(), desc: false }],
+                        est_rows: left.rows,
+                    };
+                    let rsorted = Plan::Sort {
+                        input: Box::new(right.plan.clone()),
+                        keys: vec![SortKey { expr: rk.clone(), desc: false }],
+                        est_rows: right.rows,
+                    };
+                    Candidate {
+                        plan: Plan::MergeJoin {
+                            left: Box::new(lsorted),
+                            right: Box::new(rsorted),
+                            left_key: lk,
+                            right_key: rk,
+                            residual: conjoin_phys(residual),
+                            est_rows: rows,
+                        },
+                        scope: joined_scope,
+                        origins,
+                        cost: merge_cost,
+                        rows,
+                        width,
+                    }
+                }
+            }
+            None => {
+                // cross join / non-equi predicate: nested loop
+                let sel = 0.5f64.powi(residual.len().max(1) as i32);
+                let rows = (left.rows * right.rows * sel).max(1.0);
+                let cost = left.cost
+                    + right.cost
+                    + left.rows * right.rows * (CPU_OPERATOR_COST + CPU_TUPLE_COST);
+                Candidate {
+                    plan: Plan::NestedLoop {
+                        left: Box::new(left.plan.clone()),
+                        right: Box::new(right.plan.clone()),
+                        predicate: conjoin_phys(residual),
+                        left_outer: false,
+                        est_rows: rows,
+                    },
+                    scope: joined_scope,
+                    origins,
+                    cost,
+                    rows,
+                    width,
+                }
+            }
+        };
+        Ok(cand)
+    }
+
+    /// Everything after the join tree: aggregation, HAVING, projection,
+    /// DISTINCT, ORDER BY, LIMIT.
+    fn finish_select(&self, sel: &Select, mut cand: Candidate) -> DbResult<PlannedQuery> {
+        // ---- aggregate extraction ----
+        let mut agg_calls: Vec<(AggKind, bool, Option<Expr>)> = Vec::new();
+        let mut items: Vec<(Expr, Option<String>)> = Vec::new();
+        for item in &sel.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (i, (q, name)) in cand.scope.cols.iter().enumerate() {
+                        if name == "_rowid" {
+                            continue;
+                        }
+                        let _ = i;
+                        items.push((
+                            Expr::Column { table: q.clone(), column: name.clone() },
+                            Some(name.clone()),
+                        ));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    items.push((expr.clone(), alias.clone()));
+                }
+            }
+        }
+        let mut rewritten_items: Vec<(Expr, Option<String>)> = items
+            .iter()
+            .map(|(e, a)| (extract_aggs(e, &mut agg_calls), a.clone()))
+            .collect();
+        let rewritten_having = sel.having.as_ref().map(|h| extract_aggs(h, &mut agg_calls));
+        let mut rewritten_order: Vec<Expr> =
+            sel.order_by.iter().map(|o| extract_aggs(&o.expr, &mut agg_calls)).collect();
+
+        let has_group = !sel.group_by.is_empty() || !agg_calls.is_empty();
+        if has_group {
+            // Bind group exprs against the join scope.
+            let group_phys: Vec<PhysExpr> = sel
+                .group_by
+                .iter()
+                .map(|g| bind(g, &cand.scope, self.funcs))
+                .collect::<DbResult<_>>()?;
+            let aggs: Vec<AggSpec> = agg_calls
+                .iter()
+                .map(|(kind, distinct, arg)| {
+                    Ok(AggSpec {
+                        kind: *kind,
+                        distinct: *distinct,
+                        arg: arg
+                            .as_ref()
+                            .map(|a| bind(a, &cand.scope, self.funcs))
+                            .transpose()?,
+                    })
+                })
+                .collect::<DbResult<_>>()?;
+
+            // Estimated groups: product of per-key distinct counts.
+            let mut est_groups = 1.0f64;
+            for g in &group_phys {
+                est_groups *= self.ndistinct_of(&cand, g);
+            }
+            est_groups = est_groups.min(cand.rows).max(1.0);
+            let group_width: f64 =
+                group_phys.iter().map(|g| self.width_of(&cand, g)).sum::<f64>() + 16.0;
+
+            // Post-aggregation scope: group columns then aggregate outputs.
+            let mut post_scope = Scope::default();
+            let mut post_origins = Vec::new();
+            for (i, g) in sel.group_by.iter().enumerate() {
+                match g {
+                    Expr::Column { table, column } => {
+                        post_scope.push(table.as_deref(), column);
+                    }
+                    other => post_scope.push(None, &format!("__grp{i}__{other}")),
+                }
+                if let PhysExpr::Column(ci) = &group_phys[i] {
+                    post_origins.push(cand.origins.get(*ci).cloned().flatten());
+                } else {
+                    post_origins.push(None);
+                }
+            }
+            for i in 0..aggs.len() {
+                post_scope.push(None, &format!("__agg{i}"));
+                post_origins.push(None);
+            }
+            // Replace non-column group-by expressions inside items, HAVING,
+            // and ORDER BY with references to the aggregate output.
+            for (i, g) in sel.group_by.iter().enumerate() {
+                if matches!(g, Expr::Column { .. }) {
+                    continue;
+                }
+                let name = format!("__grp{i}__{g}");
+                for (e, _) in rewritten_items.iter_mut() {
+                    replace_subtree(e, g, &name);
+                }
+                for e in rewritten_order.iter_mut() {
+                    replace_subtree(e, g, &name);
+                }
+            }
+            let mut having_bound = None;
+            if let Some(mut h) = rewritten_having {
+                for (i, g) in sel.group_by.iter().enumerate() {
+                    if !matches!(g, Expr::Column { .. }) {
+                        replace_subtree(&mut h, g, &format!("__grp{i}__{g}"));
+                    }
+                }
+                having_bound = Some(bind(&h, &post_scope, self.funcs)?);
+            }
+
+            // Operator choice: the Table 2 decision point.
+            let hash_bytes = est_groups * (group_width + HASH_OVERHEAD);
+            let use_hash = group_phys.is_empty() || hash_bytes <= self.config.work_mem as f64;
+            let input_rows = cand.rows;
+            let plan = if use_hash {
+                Plan::HashAggregate {
+                    input: Box::new(cand.plan),
+                    groups: group_phys,
+                    aggs,
+                    est_rows: est_groups,
+                }
+            } else {
+                let sort = Plan::Sort {
+                    input: Box::new(cand.plan),
+                    keys: group_phys
+                        .iter()
+                        .map(|g| SortKey { expr: g.clone(), desc: false })
+                        .collect(),
+                    est_rows: input_rows,
+                };
+                Plan::GroupAggregate {
+                    input: Box::new(sort),
+                    groups: group_phys,
+                    aggs,
+                    est_rows: est_groups,
+                }
+            };
+            let cost = cand.cost
+                + if use_hash {
+                    input_rows * CPU_OPERATOR_COST * 2.0
+                } else {
+                    sort_cost(input_rows) + input_rows * CPU_OPERATOR_COST
+                };
+            cand = Candidate {
+                plan,
+                scope: post_scope,
+                origins: post_origins,
+                cost,
+                rows: est_groups,
+                width: group_width + aggs_width(agg_calls.len()),
+            };
+            if let Some(h) = having_bound {
+                let rows = (cand.rows * 0.5).max(1.0);
+                cand = Candidate {
+                    plan: Plan::Filter {
+                        input: Box::new(cand.plan),
+                        predicate: h,
+                        est_rows: rows,
+                    },
+                    rows,
+                    ..cand
+                };
+            }
+        }
+
+        // ---- projection ----
+        let mut out_exprs = Vec::new();
+        let mut out_names = Vec::new();
+        for (e, alias) in &rewritten_items {
+            out_exprs.push(bind(e, &cand.scope, self.funcs)?);
+            out_names.push(alias.clone().unwrap_or_else(|| item_name(e)));
+        }
+        // Distinct estimate for the projected output (pre-projection stats).
+        let mut est_distinct = 1.0f64;
+        let mut out_width = 0.0;
+        for e in &out_exprs {
+            est_distinct *= self.ndistinct_of(&cand, e);
+            out_width += self.width_of(&cand, e);
+        }
+        est_distinct = est_distinct.min(cand.rows).max(1.0);
+
+        let mut out_scope = Scope::default();
+        for n in &out_names {
+            out_scope.push(None, n);
+        }
+
+        // ---- ORDER BY keys (may reference hidden columns) ----
+        let mut sort_keys_out: Vec<SortKey> = Vec::new();
+        let mut hidden = 0usize;
+        for (o, oexpr) in sel.order_by.iter().zip(rewritten_order.drain(..)) {
+            let desc = o.order == SortOrder::Desc;
+            match bind(&oexpr, &out_scope, self.funcs) {
+                Ok(e) => sort_keys_out.push(SortKey { expr: e, desc }),
+                Err(_) => {
+                    // Hidden sort column computed before projection.
+                    let e = bind(&oexpr, &cand.scope, self.funcs)?;
+                    out_exprs.push(e);
+                    let name = format!("__sort{hidden}");
+                    out_scope.push(None, &name);
+                    hidden += 1;
+                    sort_keys_out.push(SortKey {
+                        expr: PhysExpr::Column(out_exprs.len() - 1),
+                        desc,
+                    });
+                }
+            }
+        }
+
+        let project_rows = cand.rows;
+        let mut plan = Plan::Project {
+            input: Box::new(cand.plan),
+            exprs: out_exprs,
+            est_rows: project_rows,
+        };
+
+        // ---- DISTINCT ----
+        if sel.distinct {
+            let bytes = est_distinct * (out_width.max(8.0) + HASH_OVERHEAD);
+            if bytes <= self.config.work_mem as f64 {
+                plan = Plan::HashDistinct { input: Box::new(plan), est_rows: est_distinct };
+            } else {
+                let n_out = out_names.len() + hidden;
+                let keys = (0..n_out)
+                    .map(|i| SortKey { expr: PhysExpr::Column(i), desc: false })
+                    .collect();
+                plan = Plan::Sort { input: Box::new(plan), keys, est_rows: project_rows };
+                plan = Plan::Unique { input: Box::new(plan), est_rows: est_distinct };
+            }
+        }
+
+        // ---- ORDER BY ----
+        if !sort_keys_out.is_empty() {
+            let rows = plan.est_rows();
+            plan = Plan::Sort { input: Box::new(plan), keys: sort_keys_out, est_rows: rows };
+        }
+
+        // strip hidden sort columns
+        if hidden > 0 {
+            let rows = plan.est_rows();
+            let exprs = (0..out_names.len()).map(PhysExpr::Column).collect();
+            plan = Plan::Project { input: Box::new(plan), exprs, est_rows: rows };
+        }
+
+        // ---- LIMIT ----
+        if let Some(n) = sel.limit {
+            plan = Plan::Limit { input: Box::new(plan), n };
+        }
+
+        Ok(PlannedQuery { plan, columns: out_names })
+    }
+
+    /// Plan the scan side of UPDATE/DELETE: scan with bound filter; the
+    /// `_rowid` is the last scan output column.
+    pub fn plan_modify_scan(
+        &self,
+        table: &str,
+        filter: Option<&Expr>,
+    ) -> DbResult<(Plan, Scope)> {
+        let filters: Vec<Expr> = filter.map(|f| vec![f.clone()]).unwrap_or_default();
+        let cand = self.base_candidate(table, table, &filters, None)?;
+        Ok((cand.plan, cand.scope))
+    }
+}
+
+fn sort_cost(rows: f64) -> f64 {
+    let r = rows.max(2.0);
+    r * r.log2() * CPU_OPERATOR_COST * 2.0
+}
+
+fn aggs_width(n: usize) -> f64 {
+    n as f64 * 8.0
+}
+
+fn conjoin_phys(parts: Vec<PhysExpr>) -> Option<PhysExpr> {
+    parts.into_iter().reduce(|acc, e| PhysExpr::Binary {
+        op: BinaryOp::And,
+        left: Box::new(acc),
+        right: Box::new(e),
+    })
+}
+
+/// Replace aggregate function calls with `__aggN` column refs, collecting
+/// the calls. Returns the rewritten expression.
+fn extract_aggs(expr: &Expr, out: &mut Vec<(AggKind, bool, Option<Expr>)>) -> Expr {
+    let mut e = expr.clone();
+    e.walk_mut(&mut |node| {
+        if let Expr::Func { name, args, distinct, star } = node {
+            if let Some(kind) = AggKind::parse(name, *star) {
+                let arg = if *star {
+                    None
+                } else {
+                    if args.len() != 1 {
+                        return; // leave malformed call for the binder to reject
+                    }
+                    Some(args[0].clone())
+                };
+                let entry = (kind, *distinct, arg);
+                let idx = out.iter().position(|x| *x == entry).unwrap_or_else(|| {
+                    out.push(entry.clone());
+                    out.len() - 1
+                });
+                *node = Expr::Column { table: None, column: format!("__agg{idx}") };
+            }
+        }
+    });
+    e
+}
+
+/// Replace any subtree structurally equal to `target` with a column ref.
+fn replace_subtree(expr: &mut Expr, target: &Expr, name: &str) {
+    expr.walk_mut(&mut |node| {
+        if node == target {
+            *node = Expr::Column { table: None, column: name.to_string() };
+        }
+    });
+}
+
+fn item_name(e: &Expr) -> String {
+    match e {
+        Expr::Column { column, .. } => {
+            // `__grp0__lower(x)` style internal names print as the original
+            if let Some(rest) = column.strip_prefix("__grp") {
+                if let Some(pos) = rest.find("__") {
+                    return rest[pos + 2..].to_string();
+                }
+            }
+            column.clone()
+        }
+        Expr::Func { name, .. } => name.to_ascii_lowercase(),
+        _ => "?column?".to_string(),
+    }
+}

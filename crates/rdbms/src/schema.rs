@@ -1,0 +1,107 @@
+//! Table schemas.
+
+use crate::datum::ColType;
+use crate::error::{DbError, DbResult};
+
+/// One column of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: ColType,
+    /// Dropped columns keep their slot (Postgres-style `attisdropped`) so
+    /// existing tuples remain decodable; they are invisible to name lookup
+    /// and `SELECT *`. Sinew's dematerialization path uses this.
+    pub dropped: bool,
+}
+
+/// A table schema. Columns are append-only: `ALTER TABLE ADD COLUMN` pushes
+/// a new entry and existing tuples (stored with their original attribute
+/// count) read the new column as NULL — exactly the mechanism that lets
+/// Sinew's materializer add physical columns without rewriting the table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableSchema {
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    pub fn new(cols: Vec<(String, ColType)>) -> TableSchema {
+        TableSchema {
+            columns: cols
+                .into_iter()
+                .map(|(name, ty)| ColumnDef { name, ty, dropped: false })
+                .collect(),
+        }
+    }
+
+    /// Index of a live column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| !c.dropped && c.name == name)
+    }
+
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| !c.dropped && c.name == name)
+    }
+
+    /// All live columns with their physical indices.
+    pub fn live_columns(&self) -> impl Iterator<Item = (usize, &ColumnDef)> {
+        self.columns.iter().enumerate().filter(|(_, c)| !c.dropped)
+    }
+
+    /// Total slots including dropped ones — the arity of stored tuples.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn add_column(&mut self, name: &str, ty: ColType) -> DbResult<usize> {
+        if self.index_of(name).is_some() {
+            return Err(DbError::Schema(format!("column {name} already exists")));
+        }
+        self.columns.push(ColumnDef { name: name.to_string(), ty, dropped: false });
+        Ok(self.columns.len() - 1)
+    }
+
+    /// Mark a column dropped; its storage remains readable but invisible.
+    pub fn drop_column(&mut self, name: &str) -> DbResult<usize> {
+        let idx = self
+            .index_of(name)
+            .ok_or_else(|| DbError::NotFound(format!("column {name}")))?;
+        self.columns[idx].dropped = true;
+        // Free the name for reuse (Postgres renames to "........pg.dropped").
+        self.columns[idx].name = format!("..dropped.{idx}");
+        Ok(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(vec![
+            ("a".into(), ColType::Int),
+            ("b".into(), ColType::Text),
+        ])
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = schema();
+        assert_eq!(s.index_of("b"), Some(1));
+        let idx = s.add_column("c", ColType::Float).unwrap();
+        assert_eq!(idx, 2);
+        assert!(s.add_column("a", ColType::Int).is_err());
+    }
+
+    #[test]
+    fn drop_keeps_slot_and_frees_name() {
+        let mut s = schema();
+        let idx = s.drop_column("a").unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(s.index_of("a"), None);
+        assert_eq!(s.arity(), 2);
+        // name reusable
+        let idx2 = s.add_column("a", ColType::Float).unwrap();
+        assert_eq!(idx2, 2);
+        assert_eq!(s.live_columns().count(), 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Planner behaviour tests: operator and join-order choices must react to
+//! statistics the way the Sinew paper's Table 2 depends on.
+
+use sinew_rdbms::{Database, Datum, PlannerConfig};
+
+fn explain(db: &Database, sql: &str) -> String {
+    let r = db.execute(&format!("EXPLAIN {sql}")).unwrap();
+    r.rows.iter().map(|row| row[0].display_text()).collect::<Vec<_>>().join("\n")
+}
+
+fn small_work_mem(db: &Database) {
+    let mut pc = PlannerConfig::default();
+    pc.work_mem = 32 * 1024;
+    db.set_planner_config(pc);
+}
+
+#[test]
+fn selective_filter_moves_table_first_in_join_order() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE big (k int, v int)").unwrap();
+    db.execute("CREATE TABLE small (k int, tag text)").unwrap();
+    let big: Vec<Vec<Datum>> =
+        (0..20_000).map(|i| vec![Datum::Int(i % 500), Datum::Int(i)]).collect();
+    db.insert_rows("big", &big).unwrap();
+    let small: Vec<Vec<Datum>> = (0..500)
+        .map(|i| vec![Datum::Int(i), Datum::Text(if i == 7 { "rare" } else { "common" }.into())])
+        .collect();
+    db.insert_rows("small", &small).unwrap();
+    db.execute("ANALYZE big").unwrap();
+    db.execute("ANALYZE small").unwrap();
+
+    // With stats, the planner knows tag='rare' selects ~1 row: the filtered
+    // `small` should be the build side / early relation.
+    let plan = explain(
+        &db,
+        "SELECT COUNT(*) FROM big, small WHERE big.k = small.k AND small.tag = 'rare'",
+    );
+    // row estimate for the filtered scan of small must be tiny
+    let small_scan_line = plan
+        .lines()
+        .find(|l| l.contains("Seq Scan on small"))
+        .unwrap_or_else(|| panic!("{plan}"));
+    let est: u64 = small_scan_line
+        .split("rows=")
+        .nth(1)
+        .and_then(|s| s.trim_end_matches(')').parse().ok())
+        .unwrap();
+    assert!(est <= 20, "filtered small should estimate few rows: {plan}");
+    // and the query is correct
+    let r = db
+        .execute("SELECT COUNT(*) FROM big, small WHERE big.k = small.k AND small.tag = 'rare'")
+        .unwrap();
+    assert_eq!(r.scalar(), Some(&Datum::Int(40)));
+}
+
+#[test]
+fn join_order_changes_with_vs_without_stats() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE a (x int, f text)").unwrap();
+    db.execute("CREATE TABLE b (x int, y int)").unwrap();
+    db.execute("CREATE TABLE c (y int)").unwrap();
+    let rows_a: Vec<Vec<Datum>> = (0..10_000)
+        .map(|i| {
+            vec![
+                Datum::Int(i),
+                Datum::Text(if i % 1000 == 0 { "hot" } else { "cold" }.into()),
+            ]
+        })
+        .collect();
+    db.insert_rows("a", &rows_a).unwrap();
+    let rows_b: Vec<Vec<Datum>> =
+        (0..10_000).map(|i| vec![Datum::Int(i), Datum::Int(i % 100)]).collect();
+    db.insert_rows("b", &rows_b).unwrap();
+    let rows_c: Vec<Vec<Datum>> = (0..100).map(|i| vec![Datum::Int(i)]).collect();
+    db.insert_rows("c", &rows_c).unwrap();
+
+    let sql = "SELECT COUNT(*) FROM a, b, c \
+               WHERE a.x = b.x AND b.y = c.y AND a.f = 'hot'";
+    let before = explain(&db, sql);
+    db.execute("ANALYZE a").unwrap();
+    db.execute("ANALYZE b").unwrap();
+    db.execute("ANALYZE c").unwrap();
+    let after = explain(&db, sql);
+    // the estimates must differ drastically; with stats 'hot' ≈ 0.1%,
+    // without stats the default equality guess applies
+    assert_ne!(before, after, "stats should change the plan or estimates");
+    let r = db.execute(sql).unwrap();
+    assert_eq!(r.scalar(), Some(&Datum::Int(10)));
+}
+
+#[test]
+fn hash_join_when_build_fits_merge_when_not() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE l (k int)").unwrap();
+    db.execute("CREATE TABLE r (k int)").unwrap();
+    let rows: Vec<Vec<Datum>> = (0..20_000).map(|i| vec![Datum::Int(i)]).collect();
+    db.insert_rows("l", &rows).unwrap();
+    db.insert_rows("r", &rows).unwrap();
+    db.execute("ANALYZE l").unwrap();
+    db.execute("ANALYZE r").unwrap();
+
+    // generous work_mem: hash join
+    let plan = explain(&db, "SELECT COUNT(*) FROM l, r WHERE l.k = r.k");
+    assert!(plan.contains("Hash Join"), "{plan}");
+
+    // starved work_mem: merge join with explicit sorts
+    small_work_mem(&db);
+    let plan = explain(&db, "SELECT COUNT(*) FROM l, r WHERE l.k = r.k");
+    assert!(plan.contains("Merge Join"), "{plan}");
+    assert!(plan.contains("Sort"), "{plan}");
+    // both produce the same result
+    let r = db.execute("SELECT COUNT(*) FROM l, r WHERE l.k = r.k").unwrap();
+    assert_eq!(r.scalar(), Some(&Datum::Int(20_000)));
+}
+
+#[test]
+fn distinct_operator_tracks_cardinality_estimates() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE t (lowcard int, highcard int)").unwrap();
+    let rows: Vec<Vec<Datum>> =
+        (0..30_000).map(|i| vec![Datum::Int(i % 5), Datum::Int(i)]).collect();
+    db.insert_rows("t", &rows).unwrap();
+    db.execute("ANALYZE t").unwrap();
+    small_work_mem(&db);
+
+    // 5 distinct values: hash fits easily
+    let plan = explain(&db, "SELECT DISTINCT lowcard FROM t");
+    assert!(plan.contains("HashAggregate"), "{plan}");
+    // 30k distinct values: blow work_mem → Sort + Unique
+    let plan = explain(&db, "SELECT DISTINCT highcard FROM t");
+    assert!(plan.contains("Unique"), "{plan}");
+    // correctness of both paths
+    assert_eq!(db.execute("SELECT DISTINCT lowcard FROM t").unwrap().rows.len(), 5);
+    assert_eq!(db.execute("SELECT DISTINCT highcard FROM t").unwrap().rows.len(), 30_000);
+}
+
+#[test]
+fn projection_pushdown_skips_unreferenced_columns() {
+    // A fat unreferenced column must not slow a narrow scan: verified by
+    // checking the narrow query runs substantially faster.
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE t (a int, fat text)").unwrap();
+    let rows: Vec<Vec<Datum>> = (0..20_000)
+        .map(|i| vec![Datum::Int(i), Datum::Text("z".repeat(1_000))])
+        .collect();
+    db.insert_rows("t", &rows).unwrap();
+    let timed = |sql: &str| {
+        let start = std::time::Instant::now();
+        for _ in 0..3 {
+            db.execute(sql).unwrap();
+        }
+        start.elapsed()
+    };
+    let narrow = timed("SELECT COUNT(*) FROM t WHERE a >= 0");
+    let wide = timed("SELECT COUNT(*) FROM t WHERE length(fat) > 0");
+    // In debug builds per-row overhead dominates, so the gap is modest;
+    // the guard only needs to catch a pushdown regression (equal times).
+    assert!(
+        narrow.as_secs_f64() < wide.as_secs_f64() * 0.8,
+        "narrow {narrow:?} should be faster than wide {wide:?}"
+    );
+}
+
+#[test]
+fn explain_estimates_vs_reality_for_opaque_udfs() {
+    // UDF predicates get the fixed default row estimate regardless of the
+    // data (the Sinew paper's central planner observation).
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE t (v int)").unwrap();
+    let rows: Vec<Vec<Datum>> = (0..10_000).map(|i| vec![Datum::Int(i)]).collect();
+    db.insert_rows("t", &rows).unwrap();
+    db.execute("ANALYZE t").unwrap();
+    db.register_udf(
+        "identity",
+        std::sync::Arc::new(|args: &[Datum]| Ok(args[0].clone())),
+    );
+    let plan = explain(&db, "SELECT COUNT(*) FROM t WHERE identity(v) = 5");
+    assert!(plan.contains("rows=200"), "default 200-row estimate: {plan}");
+    let plan = explain(&db, "SELECT COUNT(*) FROM t WHERE v = 5");
+    assert!(plan.contains("rows=1)") || plan.contains("rows=1 "), "stats estimate ~1: {plan}");
+}

@@ -1,0 +1,222 @@
+//! An Avro-like binary format (Appendix A baseline).
+//!
+//! Avro "has no primitive notion of 'optional' attributes. Instead, Avro
+//! relies on unions to represent optional attributes (e.g. `[NULL, int]`)
+//! ... This requires that Avro store NULLs explicitly (since it expects a
+//! value for every key), which bloats its serialization size and destroys
+//! performance" (Appendix A). We reproduce that: every record stores one
+//! union-branch varint for **every field of the writer schema**, in schema
+//! order, followed by the value when the branch is 1.
+//!
+//! There is no random access; extraction and decode both walk all fields.
+
+use crate::varint::{read_uvarint, write_uvarint, zigzag_decode, zigzag_encode};
+use crate::{DecodeError, Doc, SType, SValue, WriterSchema};
+
+pub fn encode(doc: &Doc, schema: &WriterSchema) -> Vec<u8> {
+    let mut out = Vec::with_capacity(schema.fields.len() + doc.attrs.len() * 8);
+    // doc.attrs are sorted; walk schema and doc together
+    let mut di = 0usize;
+    for (fid, _ty) in &schema.fields {
+        let val = loop {
+            match doc.attrs.get(di) {
+                Some((id, v)) if id == fid => break Some(v),
+                Some((id, _)) if id < fid => di += 1,
+                _ => break None,
+            }
+        };
+        match val {
+            None => write_uvarint(&mut out, 0), // union branch: null
+            Some(v) => {
+                write_uvarint(&mut out, 1);
+                match v {
+                    SValue::Bool(b) => out.push(*b as u8),
+                    SValue::Int(i) => write_uvarint(&mut out, zigzag_encode(*i)),
+                    SValue::Float(f) => out.extend_from_slice(&f.to_le_bytes()),
+                    SValue::Text(s) => {
+                        write_uvarint(&mut out, s.len() as u64);
+                        out.extend_from_slice(s.as_bytes());
+                    }
+                    SValue::Bytes(b) => {
+                        write_uvarint(&mut out, b.len() as u64);
+                        out.extend_from_slice(b);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Walk schema-ordered fields until the target — O(schema size).
+pub fn extract(
+    bytes: &[u8],
+    schema: &WriterSchema,
+    attr_id: u32,
+) -> Result<Option<SValue>, DecodeError> {
+    let mut pos = 0usize;
+    for (fid, ty) in &schema.fields {
+        let (branch, n) = read_uvarint(&bytes[pos..])?;
+        pos += n;
+        if branch == 0 {
+            if *fid == attr_id {
+                return Ok(None);
+            }
+            continue;
+        }
+        if *fid == attr_id {
+            return read_value(bytes, &mut pos, *ty).map(Some);
+        }
+        skip_value(bytes, &mut pos, *ty)?;
+    }
+    Ok(None)
+}
+
+pub fn decode(bytes: &[u8], schema: &WriterSchema) -> Result<Doc, DecodeError> {
+    let mut pos = 0usize;
+    let mut attrs = Vec::new();
+    for (fid, ty) in &schema.fields {
+        let (branch, n) = read_uvarint(&bytes[pos..])?;
+        pos += n;
+        if branch == 1 {
+            attrs.push((*fid, read_value(bytes, &mut pos, *ty)?));
+        } else if branch != 0 {
+            return Err(DecodeError(format!("bad union branch {branch}")));
+        }
+    }
+    if pos != bytes.len() {
+        return Err(DecodeError("trailing bytes".into()));
+    }
+    Ok(Doc { attrs })
+}
+
+fn read_value(bytes: &[u8], pos: &mut usize, ty: SType) -> Result<SValue, DecodeError> {
+    Ok(match ty {
+        SType::Bool => {
+            let b = *bytes.get(*pos).ok_or_else(|| DecodeError("truncated bool".into()))?;
+            *pos += 1;
+            SValue::Bool(b != 0)
+        }
+        SType::Int => {
+            let (v, n) = read_uvarint(&bytes[*pos..])?;
+            *pos += n;
+            SValue::Int(zigzag_decode(v))
+        }
+        SType::Float => {
+            let raw = bytes
+                .get(*pos..*pos + 8)
+                .ok_or_else(|| DecodeError("truncated double".into()))?;
+            *pos += 8;
+            SValue::Float(f64::from_le_bytes(raw.try_into().unwrap()))
+        }
+        SType::Text => {
+            let (len, n) = read_uvarint(&bytes[*pos..])?;
+            *pos += n;
+            let raw = bytes
+                .get(*pos..*pos + len as usize)
+                .ok_or_else(|| DecodeError("truncated string".into()))?;
+            *pos += len as usize;
+            SValue::Text(
+                std::str::from_utf8(raw)
+                    .map_err(|_| DecodeError("invalid utf-8".into()))?
+                    .to_string(),
+            )
+        }
+        SType::Bytes => {
+            let (len, n) = read_uvarint(&bytes[*pos..])?;
+            *pos += n;
+            let raw = bytes
+                .get(*pos..*pos + len as usize)
+                .ok_or_else(|| DecodeError("truncated bytes".into()))?;
+            *pos += len as usize;
+            SValue::Bytes(raw.to_vec())
+        }
+    })
+}
+
+fn skip_value(bytes: &[u8], pos: &mut usize, ty: SType) -> Result<(), DecodeError> {
+    match ty {
+        SType::Bool => {
+            if *pos + 1 > bytes.len() {
+                return Err(DecodeError("truncated bool".into()));
+            }
+            *pos += 1;
+        }
+        SType::Int => {
+            let (_, n) = read_uvarint(&bytes[*pos..])?;
+            *pos += n;
+        }
+        SType::Float => {
+            if *pos + 8 > bytes.len() {
+                return Err(DecodeError("truncated double".into()));
+            }
+            *pos += 8;
+        }
+        SType::Text | SType::Bytes => {
+            let (len, n) = read_uvarint(&bytes[*pos..])?;
+            *pos += n + len as usize;
+            if *pos > bytes.len() {
+                return Err(DecodeError("truncated payload".into()));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> WriterSchema {
+        WriterSchema::new(vec![
+            (1, SType::Int),
+            (3, SType::Bool),
+            (7, SType::Text),
+            (9, SType::Float),
+            (12, SType::Bytes),
+        ])
+    }
+
+    fn sample() -> Doc {
+        Doc::new(vec![
+            (1, SValue::Int(-42)),
+            (7, SValue::Text("hello".into())),
+            (9, SValue::Float(2.5)),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_with_absent_fields() {
+        let bytes = encode(&sample(), &schema());
+        assert_eq!(decode(&bytes, &schema()).unwrap(), sample());
+    }
+
+    #[test]
+    fn extraction() {
+        let bytes = encode(&sample(), &schema());
+        assert_eq!(
+            extract(&bytes, &schema(), 7).unwrap(),
+            Some(SValue::Text("hello".into()))
+        );
+        assert_eq!(extract(&bytes, &schema(), 3).unwrap(), None, "absent field");
+        assert_eq!(extract(&bytes, &schema(), 99).unwrap(), None, "not in schema");
+    }
+
+    #[test]
+    fn explicit_nulls_cost_bytes() {
+        // 1000-field schema, empty doc: one union byte per field.
+        let fields: Vec<(u32, SType)> = (0..1000).map(|i| (i, SType::Int)).collect();
+        let big = WriterSchema::new(fields);
+        let bytes = encode(&Doc::default(), &big);
+        assert_eq!(bytes.len(), 1000);
+    }
+
+    #[test]
+    fn corrupt_input_rejected() {
+        let bytes = encode(&sample(), &schema());
+        assert!(decode(&bytes[..bytes.len() - 1], &schema()).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode(&extra, &schema()).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! # sinew-serial
+//!
+//! The serialization formats of the Sinew paper:
+//!
+//! * [`sinew`] — the paper's custom format (§4.1, Figure 5): a header with
+//!   the attribute count, a **sorted** list of attribute IDs, and a list of
+//!   value offsets, followed by the value bytes. Key extraction is a binary
+//!   search in the header plus one offset lookup — O(log n) with high cache
+//!   locality, which is the whole point.
+//! * [`pbuf`] — a Protocol-Buffers-like format: a *sequential* stream of
+//!   varint-tagged fields, optional fields simply omitted. Extraction must
+//!   walk fields until the target (or a larger ID, allowing short-circuit).
+//! * [`avro`] — an Avro-like format: fields in writer-schema order, each an
+//!   optional `[null, T]` union, so **NULLs are stored explicitly** — the
+//!   property that, as Appendix A observes, "bloats its serialization size
+//!   and destroys performance" for sparse data.
+//!
+//! Appendix A (Table 4) compares the three on serialization,
+//! deserialization, 1-key extraction, 10-key extraction, and size; the
+//! `table4_serialization` bench harness regenerates that table using these
+//! implementations.
+//!
+//! All formats share the [`SValue`]/[`SType`] value model and a document
+//! shape of `(attribute id, value)` pairs. Attribute IDs come from Sinew's
+//! global catalog dictionary (paper §3.1.2), which maps each *(key name,
+//! type)* pair to a compact integer — this dictionary encoding is why
+//! Sinew's on-disk size beats raw JSON and BSON in Table 3.
+
+pub mod avro;
+pub mod pbuf;
+pub mod sinew;
+mod varint;
+
+pub use varint::{read_uvarint, write_uvarint, zigzag_decode, zigzag_encode};
+
+/// Value types storable in a serialized document. `Bytes` carries nested
+/// objects (themselves Sinew-serialized) and serialized arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SType {
+    Bool,
+    Int,
+    Float,
+    Text,
+    Bytes,
+}
+
+/// A typed value inside a serialized document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SValue {
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Bytes(Vec<u8>),
+}
+
+impl SValue {
+    pub fn stype(&self) -> SType {
+        match self {
+            SValue::Bool(_) => SType::Bool,
+            SValue::Int(_) => SType::Int,
+            SValue::Float(_) => SType::Float,
+            SValue::Text(_) => SType::Text,
+            SValue::Bytes(_) => SType::Bytes,
+        }
+    }
+}
+
+/// One document: attribute-id → value pairs. IDs must be unique; encoders
+/// sort by ID where their format requires it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Doc {
+    pub attrs: Vec<(u32, SValue)>,
+}
+
+impl Doc {
+    pub fn new(mut attrs: Vec<(u32, SValue)>) -> Doc {
+        attrs.sort_by_key(|(id, _)| *id);
+        Doc { attrs }
+    }
+
+    pub fn get(&self, id: u32) -> Option<&SValue> {
+        self.attrs
+            .binary_search_by_key(&id, |(i, _)| *i)
+            .ok()
+            .map(|i| &self.attrs[i].1)
+    }
+}
+
+/// A writer schema: the ordered list of all attributes any document may
+/// carry. Required by the Avro-like format (which stores a union slot per
+/// schema field) and useful to the others for decode.
+#[derive(Debug, Clone, Default)]
+pub struct WriterSchema {
+    /// Sorted by attribute id.
+    pub fields: Vec<(u32, SType)>,
+}
+
+impl WriterSchema {
+    pub fn new(mut fields: Vec<(u32, SType)>) -> WriterSchema {
+        fields.sort_by_key(|(id, _)| *id);
+        WriterSchema { fields }
+    }
+
+    pub fn type_of(&self, id: u32) -> Option<SType> {
+        self.fields
+            .binary_search_by_key(&id, |(i, _)| *i)
+            .ok()
+            .map(|i| self.fields[i].1)
+    }
+}
+
+/// Decode error shared by all formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_sorts_and_finds() {
+        let d = Doc::new(vec![(5, SValue::Int(1)), (2, SValue::Bool(true))]);
+        assert_eq!(d.attrs[0].0, 2);
+        assert_eq!(d.get(5), Some(&SValue::Int(1)));
+        assert_eq!(d.get(9), None);
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = WriterSchema::new(vec![(3, SType::Text), (1, SType::Int)]);
+        assert_eq!(s.type_of(1), Some(SType::Int));
+        assert_eq!(s.type_of(3), Some(SType::Text));
+        assert_eq!(s.type_of(2), None);
+    }
+}

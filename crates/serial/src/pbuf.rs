@@ -1,0 +1,228 @@
+//! A Protocol-Buffers-like sequential binary format (Appendix A baseline).
+//!
+//! Wire format: a sequence of fields, each `tag` varint
+//! (`field_id << 3 | wire_type`) followed by the payload. Optional fields
+//! are simply omitted (protobuf `optional` semantics). Fields are written
+//! in ascending ID order, so a reader can short-circuit a lookup for a
+//! missing key "once the deserializer has passed the key's expected
+//! location" — but extraction still walks every earlier field, which is
+//! exactly the O(n) cost the paper's Table 4 measures.
+
+use crate::varint::{read_uvarint, write_uvarint, zigzag_decode, zigzag_encode};
+use crate::{DecodeError, Doc, SType, SValue, WriterSchema};
+
+const WT_VARINT: u64 = 0;
+const WT_FIXED64: u64 = 1;
+// Booleans share WT_VARINT; the schema disambiguates on decode.
+const WT_LEN: u64 = 2;
+
+pub fn encode(doc: &Doc) -> Vec<u8> {
+    let mut attrs: Vec<&(u32, SValue)> = doc.attrs.iter().collect();
+    attrs.sort_by_key(|(id, _)| *id);
+    let mut out = Vec::with_capacity(attrs.len() * 10);
+    for (id, v) in attrs {
+        let (wt, _) = wire_type(v);
+        write_uvarint(&mut out, ((*id as u64) << 3) | wt);
+        match v {
+            SValue::Bool(b) => write_uvarint(&mut out, *b as u64),
+            SValue::Int(i) => write_uvarint(&mut out, zigzag_encode(*i)),
+            SValue::Float(f) => out.extend_from_slice(&f.to_le_bytes()),
+            SValue::Text(s) => {
+                write_uvarint(&mut out, s.len() as u64);
+                out.extend_from_slice(s.as_bytes());
+            }
+            SValue::Bytes(b) => {
+                write_uvarint(&mut out, b.len() as u64);
+                out.extend_from_slice(b);
+            }
+        }
+    }
+    out
+}
+
+fn wire_type(v: &SValue) -> (u64, SType) {
+    match v {
+        SValue::Bool(_) => (WT_VARINT, SType::Bool),
+        SValue::Int(_) => (WT_VARINT, SType::Int),
+        SValue::Float(_) => (WT_FIXED64, SType::Float),
+        SValue::Text(_) => (WT_LEN, SType::Text),
+        SValue::Bytes(_) => (WT_LEN, SType::Bytes),
+    }
+}
+
+/// Sequentially scan for one field. Short-circuits once a larger ID is
+/// seen (fields are sorted).
+pub fn extract(bytes: &[u8], attr_id: u32, ty: SType) -> Result<Option<SValue>, DecodeError> {
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let (tag, n) = read_uvarint(&bytes[pos..])?;
+        pos += n;
+        let id = (tag >> 3) as u32;
+        let wt = tag & 0x7;
+        if id > attr_id {
+            return Ok(None); // sorted: passed the expected location
+        }
+        if id == attr_id {
+            return decode_payload(bytes, &mut pos, wt, ty).map(Some);
+        }
+        skip_payload(bytes, &mut pos, wt)?;
+    }
+    Ok(None)
+}
+
+/// Full decode with schema-resolved types.
+pub fn decode(bytes: &[u8], schema: &WriterSchema) -> Result<Doc, DecodeError> {
+    let mut pos = 0usize;
+    let mut attrs = Vec::new();
+    while pos < bytes.len() {
+        let (tag, n) = read_uvarint(&bytes[pos..])?;
+        pos += n;
+        let id = (tag >> 3) as u32;
+        let wt = tag & 0x7;
+        let ty = schema
+            .type_of(id)
+            .ok_or_else(|| DecodeError(format!("attribute {id} not in schema")))?;
+        attrs.push((id, decode_payload(bytes, &mut pos, wt, ty)?));
+    }
+    Ok(Doc { attrs })
+}
+
+fn decode_payload(
+    bytes: &[u8],
+    pos: &mut usize,
+    wt: u64,
+    ty: SType,
+) -> Result<SValue, DecodeError> {
+    match (wt, ty) {
+        (WT_VARINT, SType::Bool) => {
+            let (v, n) = read_uvarint(&bytes[*pos..])?;
+            *pos += n;
+            Ok(SValue::Bool(v != 0))
+        }
+        (WT_VARINT, SType::Int) => {
+            let (v, n) = read_uvarint(&bytes[*pos..])?;
+            *pos += n;
+            Ok(SValue::Int(zigzag_decode(v)))
+        }
+        (WT_FIXED64, SType::Float) => {
+            let raw = bytes
+                .get(*pos..*pos + 8)
+                .ok_or_else(|| DecodeError("truncated fixed64".into()))?;
+            *pos += 8;
+            Ok(SValue::Float(f64::from_le_bytes(raw.try_into().unwrap())))
+        }
+        (WT_LEN, SType::Text) => {
+            let (len, n) = read_uvarint(&bytes[*pos..])?;
+            *pos += n;
+            let raw = bytes
+                .get(*pos..*pos + len as usize)
+                .ok_or_else(|| DecodeError("truncated string".into()))?;
+            *pos += len as usize;
+            Ok(SValue::Text(
+                std::str::from_utf8(raw)
+                    .map_err(|_| DecodeError("invalid utf-8".into()))?
+                    .to_string(),
+            ))
+        }
+        (WT_LEN, SType::Bytes) => {
+            let (len, n) = read_uvarint(&bytes[*pos..])?;
+            *pos += n;
+            let raw = bytes
+                .get(*pos..*pos + len as usize)
+                .ok_or_else(|| DecodeError("truncated bytes".into()))?;
+            *pos += len as usize;
+            Ok(SValue::Bytes(raw.to_vec()))
+        }
+        _ => Err(DecodeError(format!("wire type {wt} does not match {ty:?}"))),
+    }
+}
+
+fn skip_payload(bytes: &[u8], pos: &mut usize, wt: u64) -> Result<(), DecodeError> {
+    match wt {
+        WT_VARINT => {
+            let (_, n) = read_uvarint(&bytes[*pos..])?;
+            *pos += n;
+        }
+        WT_FIXED64 => {
+            if *pos + 8 > bytes.len() {
+                return Err(DecodeError("truncated fixed64".into()));
+            }
+            *pos += 8;
+        }
+        WT_LEN => {
+            let (len, n) = read_uvarint(&bytes[*pos..])?;
+            *pos += n + len as usize;
+            if *pos > bytes.len() {
+                return Err(DecodeError("truncated length-delimited field".into()));
+            }
+        }
+        other => return Err(DecodeError(format!("unknown wire type {other}"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Doc {
+        Doc::new(vec![
+            (1, SValue::Int(-42)),
+            (3, SValue::Bool(true)),
+            (7, SValue::Text("hello".into())),
+            (9, SValue::Float(2.5)),
+            (12, SValue::Bytes(vec![9, 8])),
+        ])
+    }
+
+    fn schema() -> WriterSchema {
+        WriterSchema::new(vec![
+            (1, SType::Int),
+            (3, SType::Bool),
+            (7, SType::Text),
+            (9, SType::Float),
+            (12, SType::Bytes),
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let bytes = encode(&sample());
+        assert_eq!(decode(&bytes, &schema()).unwrap(), sample());
+    }
+
+    #[test]
+    fn extraction() {
+        let bytes = encode(&sample());
+        assert_eq!(extract(&bytes, 7, SType::Text).unwrap(), Some(SValue::Text("hello".into())));
+        assert_eq!(extract(&bytes, 1, SType::Int).unwrap(), Some(SValue::Int(-42)));
+        assert_eq!(extract(&bytes, 5, SType::Int).unwrap(), None, "short-circuit on gap");
+        assert_eq!(extract(&bytes, 99, SType::Int).unwrap(), None);
+    }
+
+    #[test]
+    fn optional_fields_are_free() {
+        // a document with one field costs tag + payload only
+        let one = encode(&Doc::new(vec![(1000, SValue::Bool(true))]));
+        assert!(one.len() <= 3, "tag varint + 1 byte, got {}", one.len());
+    }
+
+    #[test]
+    fn sparse_size_beats_avro() {
+        // 1 present field out of a 1000-field schema: pbuf pays ~3 bytes,
+        // avro pays ~1 byte per absent field. Verified against avro below.
+        let doc = Doc::new(vec![(500, SValue::Int(7))]);
+        let fields: Vec<(u32, SType)> = (0..1000).map(|i| (i, SType::Int)).collect();
+        let schema = WriterSchema::new(fields);
+        let p = encode(&doc);
+        let a = crate::avro::encode(&doc, &schema);
+        assert!(p.len() * 10 < a.len(), "pbuf {} vs avro {}", p.len(), a.len());
+    }
+
+    #[test]
+    fn corrupt_input_rejected() {
+        assert!(decode(&[0xFF], &schema()).is_err());
+        let bytes = encode(&sample());
+        assert!(decode(&bytes[..bytes.len() - 1], &schema()).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! LEB128 varints and zigzag encoding (shared by the pbuf- and avro-like
+//! formats).
+
+use crate::DecodeError;
+
+pub fn write_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Returns (value, bytes consumed).
+pub fn read_uvarint(buf: &[u8]) -> Result<(u64, usize), DecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    for (i, &b) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return Err(DecodeError("varint overflow".into()));
+        }
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok((v, i + 1));
+        }
+        shift += 7;
+    }
+    Err(DecodeError("truncated varint".into()))
+}
+
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            let (back, n) = read_uvarint(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, -1, 1, -64, 63, i64::MIN, i64::MAX] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        assert!(read_uvarint(&[0x80]).is_err());
+        assert!(read_uvarint(&[]).is_err());
+    }
+}

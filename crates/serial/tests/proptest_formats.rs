@@ -1,0 +1,90 @@
+//! Property tests across all three serialization formats: round-trips,
+//! cross-format agreement, and extraction consistency with the document.
+
+use proptest::prelude::*;
+use sinew_serial::{avro, pbuf, sinew, Doc, SType, SValue, WriterSchema};
+
+fn arb_svalue() -> impl Strategy<Value = SValue> {
+    prop_oneof![
+        any::<bool>().prop_map(SValue::Bool),
+        any::<i64>().prop_map(SValue::Int),
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(SValue::Float),
+        ".{0,16}".prop_map(SValue::Text),
+        prop::collection::vec(any::<u8>(), 0..16).prop_map(SValue::Bytes),
+    ]
+}
+
+fn arb_doc_and_schema() -> impl Strategy<Value = (Doc, WriterSchema)> {
+    prop::collection::btree_map(0u32..64, arb_svalue(), 0..12).prop_map(|m| {
+        let attrs: Vec<(u32, SValue)> = m.into_iter().collect();
+        let schema = WriterSchema::new(attrs.iter().map(|(id, v)| (*id, v.stype())).collect());
+        (Doc::new(attrs), schema)
+    })
+}
+
+proptest! {
+    #[test]
+    fn sinew_roundtrip((doc, schema) in arb_doc_and_schema()) {
+        let bytes = sinew::encode(&doc);
+        prop_assert_eq!(sinew::decode(&bytes, &schema).unwrap(), doc);
+    }
+
+    #[test]
+    fn pbuf_roundtrip((doc, schema) in arb_doc_and_schema()) {
+        let bytes = pbuf::encode(&doc);
+        prop_assert_eq!(pbuf::decode(&bytes, &schema).unwrap(), doc);
+    }
+
+    #[test]
+    fn avro_roundtrip((doc, schema) in arb_doc_and_schema()) {
+        let bytes = avro::encode(&doc, &schema);
+        prop_assert_eq!(avro::decode(&bytes, &schema).unwrap(), doc);
+    }
+
+    #[test]
+    fn extraction_agrees_across_formats((doc, schema) in arb_doc_and_schema(), probe in 0u32..64) {
+        let s = sinew::encode(&doc);
+        let p = pbuf::encode(&doc);
+        let a = avro::encode(&doc, &schema);
+        let expected = doc.get(probe).cloned();
+        let ty = schema.type_of(probe);
+        let from_sinew = match ty {
+            Some(ty) => sinew::extract(&s, probe, ty).unwrap(),
+            None => None,
+        };
+        let from_pbuf = match ty {
+            Some(ty) => pbuf::extract(&p, probe, ty).unwrap(),
+            None => None,
+        };
+        let from_avro = avro::extract(&a, &schema, probe).unwrap();
+        prop_assert_eq!(&from_sinew, &expected);
+        prop_assert_eq!(&from_pbuf, &expected);
+        prop_assert_eq!(&from_avro, &expected);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let schema = WriterSchema::new((0..8).map(|i| (i, SType::Int)).collect());
+        let _ = sinew::decode(&bytes, &schema);
+        let _ = pbuf::decode(&bytes, &schema);
+        let _ = avro::decode(&bytes, &schema);
+        let _ = sinew::extract(&bytes, 3, SType::Text);
+        let _ = pbuf::extract(&bytes, 3, SType::Text);
+        let _ = avro::extract(&bytes, &schema, 3);
+    }
+
+    /// The dictionary-encoding claim of §6.2: Sinew's format never stores
+    /// key names, so its size is bounded by header + payload.
+    #[test]
+    fn sinew_size_formula((doc, _schema) in arb_doc_and_schema()) {
+        let bytes = sinew::encode(&doc);
+        let n = doc.attrs.len();
+        let payload: usize = doc.attrs.iter().map(|(_, v)| match v {
+            SValue::Bool(_) => 1,
+            SValue::Int(_) | SValue::Float(_) => 8,
+            SValue::Text(s) => s.len(),
+            SValue::Bytes(b) => b.len(),
+        }).sum();
+        prop_assert_eq!(bytes.len(), 4 * (2 * n + 2) + payload);
+    }
+}

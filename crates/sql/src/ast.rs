@@ -1,0 +1,463 @@
+//! The SQL abstract syntax tree.
+//!
+//! Sinew's rewriter operates on this tree (paper §3.2.2), so the design
+//! keeps column references rich enough to carry the paper's dotted virtual
+//! column names, and keeps expressions easily rewritable (every node owns
+//! its children; [`Expr::walk_mut`] visits them).
+
+use std::fmt;
+
+/// A top-level SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(Select),
+    Insert(Insert),
+    Update(Update),
+    Delete(Delete),
+    CreateTable(CreateTable),
+    /// `EXPLAIN <select>` — prints the chosen plan (used by the Table 2
+    /// experiment to show virtual-vs-physical plan differences).
+    Explain(Box<Statement>),
+    /// `ANALYZE <table>` — collect optimizer statistics.
+    Analyze(String),
+}
+
+/// `SELECT` in full generality for this dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    /// Explicit `JOIN ... ON ...` clauses attached to the last FROM item.
+    pub joins: Vec<Join>,
+    pub filter: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A table in the FROM list, optionally aliased (`tweets t1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name other clauses use to refer to this table.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub kind: JoinKind,
+    pub table: TableRef,
+    pub on: Expr,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    Asc,
+    Desc,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub order: SortOrder,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    pub table: String,
+    /// Empty means "positional, all columns".
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Expr>>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    pub table: String,
+    pub assignments: Vec<(String, Expr)>,
+    pub filter: Option<Expr>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    pub table: String,
+    pub filter: Option<Expr>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    pub table: String,
+    pub columns: Vec<(String, TypeName)>,
+    pub if_not_exists: bool,
+}
+
+/// SQL type names accepted by `CREATE TABLE` and `CAST`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeName {
+    Bool,
+    Int,
+    Float,
+    Text,
+    /// Binary blob — the column-reservoir type.
+    Bytea,
+    /// Array of heterogeneous values (paper §4.2's RDBMS array datatype).
+    Array,
+}
+
+impl TypeName {
+    pub fn parse(s: &str) -> Option<TypeName> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "bool" | "boolean" => TypeName::Bool,
+            "int" | "integer" | "bigint" => TypeName::Int,
+            "float" | "real" | "double" | "numeric" => TypeName::Float,
+            "text" | "varchar" | "string" => TypeName::Text,
+            "bytea" | "blob" => TypeName::Bytea,
+            "array" => TypeName::Array,
+            _ => return None,
+        })
+    }
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TypeName::Bool => "bool",
+            TypeName::Int => "int",
+            TypeName::Float => "float",
+            TypeName::Text => "text",
+            TypeName::Bytea => "bytea",
+            TypeName::Array => "array",
+        }
+    }
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    And,
+    Or,
+    /// String concatenation `||`.
+    Concat,
+}
+
+impl BinaryOp {
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `t.col`, `col`, or `"user.id"`. Quoted identifiers keep their dots in
+    /// `column` — resolution against the catalog happens later.
+    Column {
+        table: Option<String>,
+        column: String,
+    },
+    Literal(Literal),
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: BinaryOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// `expr IS [NOT] NULL`
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr [NOT] IN (a, b, ...)`
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern` (pattern is `%`/`_` SQL wildcard syntax)
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    /// Function call — scalar, aggregate, or UDF. `COUNT(*)` is represented
+    /// with `star = true` and empty args.
+    Func {
+        name: String,
+        args: Vec<Expr>,
+        distinct: bool,
+        star: bool,
+    },
+    /// `CAST(expr AS type)`
+    Cast {
+        expr: Box<Expr>,
+        ty: TypeName,
+    },
+}
+
+impl Expr {
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { table: None, column: name.to_string() }
+    }
+
+    pub fn qcol(table: &str, name: &str) -> Expr {
+        Expr::Column { table: Some(table.to_string()), column: name.to_string() }
+    }
+
+    pub fn lit_str(s: &str) -> Expr {
+        Expr::Literal(Literal::Str(s.to_string()))
+    }
+
+    pub fn lit_int(i: i64) -> Expr {
+        Expr::Literal(Literal::Int(i))
+    }
+
+    pub fn func(name: &str, args: Vec<Expr>) -> Expr {
+        Expr::Func { name: name.to_string(), args, distinct: false, star: false }
+    }
+
+    pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Depth-first post-order mutation visitor: `f` is applied to every node
+    /// after its children. This is the primitive Sinew's rewriter uses to
+    /// replace virtual-column references in place.
+    pub fn walk_mut(&mut self, f: &mut impl FnMut(&mut Expr)) {
+        self.walk_children_mut(f);
+        f(self);
+    }
+
+    fn walk_children_mut(&mut self, f: &mut impl FnMut(&mut Expr)) {
+        match self {
+            Expr::Column { .. } | Expr::Literal(_) => {}
+            Expr::Unary { expr, .. } => expr.walk_mut(f),
+            Expr::Binary { left, right, .. } => {
+                left.walk_mut(f);
+                right.walk_mut(f);
+            }
+            Expr::IsNull { expr, .. } => expr.walk_mut(f),
+            Expr::Between { expr, low, high, .. } => {
+                expr.walk_mut(f);
+                low.walk_mut(f);
+                high.walk_mut(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk_mut(f);
+                for e in list {
+                    e.walk_mut(f);
+                }
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk_mut(f);
+                pattern.walk_mut(f);
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.walk_mut(f);
+                }
+            }
+            Expr::Cast { expr, .. } => expr.walk_mut(f),
+        }
+    }
+
+    /// Immutable visitor, pre-order.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Column { .. } | Expr::Literal(_) => {}
+            Expr::Unary { expr, .. } => expr.walk(f),
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::Between { expr, low, high, .. } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk(f);
+                pattern.walk(f);
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Cast { expr, .. } => expr.walk(f),
+        }
+    }
+
+    /// Collect all column references in the expression, pre-order.
+    pub fn columns(&self) -> Vec<(Option<String>, String)> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Column { table, column } = e {
+                out.push((table.clone(), column.clone()));
+            }
+        });
+        out
+    }
+
+    /// Split a conjunctive expression (`a AND b AND c`) into its conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn rec<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            if let Expr::Binary { op: BinaryOp::And, left, right } = e {
+                rec(left, out);
+                rec(right, out);
+            } else {
+                out.push(e);
+            }
+        }
+        rec(self, &mut out);
+        out
+    }
+
+    /// Rebuild a conjunction from parts; `None` if `parts` is empty.
+    pub fn conjoin(parts: Vec<Expr>) -> Option<Expr> {
+        parts.into_iter().reduce(|acc, e| Expr::binary(BinaryOp::And, acc, e))
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Null => write!(f, "NULL"),
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_split_and_join() {
+        let e = Expr::binary(
+            BinaryOp::And,
+            Expr::binary(BinaryOp::And, Expr::col("a"), Expr::col("b")),
+            Expr::col("c"),
+        );
+        assert_eq!(e.conjuncts().len(), 3);
+        let rebuilt = Expr::conjoin(vec![Expr::col("a"), Expr::col("b"), Expr::col("c")]).unwrap();
+        assert_eq!(rebuilt.conjuncts().len(), 3);
+        assert!(Expr::conjoin(vec![]).is_none());
+    }
+
+    #[test]
+    fn walk_mut_rewrites_columns() {
+        let mut e = Expr::binary(BinaryOp::Eq, Expr::col("owner"), Expr::lit_str("x"));
+        e.walk_mut(&mut |node| {
+            if matches!(node, Expr::Column { column, .. } if column == "owner") {
+                *node = Expr::func("extract_key_txt", vec![Expr::col("data"), Expr::lit_str("owner")]);
+            }
+        });
+        match &e {
+            Expr::Binary { left, .. } => {
+                assert!(matches!(&**left, Expr::Func { name, .. } if name == "extract_key_txt"));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn columns_collects_qualified_refs() {
+        let e = Expr::binary(BinaryOp::Eq, Expr::qcol("t1", "user.id"), Expr::col("id"));
+        let cols = e.columns();
+        assert_eq!(
+            cols,
+            vec![
+                (Some("t1".to_string()), "user.id".to_string()),
+                (None, "id".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(TypeName::parse("INTEGER"), Some(TypeName::Int));
+        assert_eq!(TypeName::parse("double"), Some(TypeName::Float));
+        assert_eq!(TypeName::parse("nope"), None);
+    }
+}

@@ -1,0 +1,367 @@
+//! SQL lexer.
+//!
+//! Postgres-flavoured token rules: unquoted identifiers are folded to lower
+//! case; double-quoted identifiers preserve case and may contain any
+//! character including dots (`"user.id"`); string literals use single quotes
+//! with `''` as the escape for a quote.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or identifier, already case-folded if unquoted.
+    Ident(String),
+    /// Double-quoted identifier, case preserved, may contain dots.
+    QuotedIdent(String),
+    /// `'...'` string literal with escapes resolved.
+    Str(String),
+    Int(i64),
+    Float(f64),
+    // punctuation & operators
+    Comma,
+    LParen,
+    RParen,
+    Dot,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Concat,
+    Eof,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the token start, for error reporting.
+    pub offset: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a SQL string. The output always ends with an [`TokenKind::Eof`]
+/// token so the parser never needs bounds checks.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, offset: start });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                i += 1;
+            }
+            b'%' => {
+                tokens.push(Token { kind: TokenKind::Percent, offset: start });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                i += 1;
+            }
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                i += 2;
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::LtEq, offset: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::GtEq, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            b'|' if bytes.get(i + 1) == Some(&b'|') => {
+                tokens.push(Token { kind: TokenKind::Concat, offset: start });
+                i += 2;
+            }
+            b'\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string literal".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) if c < 0x80 => {
+                            s.push(c as char);
+                            i += 1;
+                        }
+                        Some(_) => {
+                            // multi-byte UTF-8
+                            let ch_start = i;
+                            i += 1;
+                            while i < bytes.len() && (bytes[i] & 0xC0) == 0x80 {
+                                i += 1;
+                            }
+                            s.push_str(std::str::from_utf8(&bytes[ch_start..i]).map_err(|_| {
+                                LexError { message: "invalid utf-8".into(), offset: ch_start }
+                            })?);
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            b'"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated quoted identifier".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(b'"') if bytes.get(i + 1) == Some(&b'"') => {
+                            s.push('"');
+                            i += 2;
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c as char);
+                            i += 1;
+                        }
+                    }
+                }
+                if s.is_empty() {
+                    return Err(LexError {
+                        message: "empty quoted identifier".into(),
+                        offset: start,
+                    });
+                }
+                tokens.push(Token { kind: TokenKind::QuotedIdent(s), offset: start });
+            }
+            b'0'..=b'9' => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let mut is_float = false;
+                if j < bytes.len() && bytes[j] == b'.' && bytes.get(j + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && bytes[k].is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < bytes.len() && bytes[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[i..j]).unwrap();
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| LexError {
+                        message: format!("invalid number {text}"),
+                        offset: start,
+                    })?)
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => TokenKind::Int(v),
+                        Err(_) => TokenKind::Float(text.parse().map_err(|_| LexError {
+                            message: format!("invalid number {text}"),
+                            offset: start,
+                        })?),
+                    }
+                };
+                tokens.push(Token { kind, offset: start });
+                i = j;
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'$')
+                {
+                    j += 1;
+                }
+                let text = std::str::from_utf8(&bytes[i..j]).unwrap().to_ascii_lowercase();
+                tokens.push(Token { kind: TokenKind::Ident(text), offset: start });
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {:?}", other as char),
+                    offset: start,
+                })
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_fold_case_quoted_preserve() {
+        assert_eq!(
+            kinds(r#"SELECT "User.Id" FROM Tweets"#),
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::QuotedIdent("User.Id".into()),
+                TokenKind::Ident("from".into()),
+                TokenKind::Ident("tweets".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42"), vec![TokenKind::Int(42), TokenKind::Eof]);
+        assert_eq!(kinds("4.5"), vec![TokenKind::Float(4.5), TokenKind::Eof]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Float(1000.0), TokenKind::Eof]);
+        // "1.x" lexes as Int Dot Ident (column access style)
+        assert_eq!(
+            kinds("1.e"),
+            vec![TokenKind::Int(1), TokenKind::Dot, TokenKind::Ident("e".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a <= b <> c || d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::LtEq,
+                TokenKind::Ident("b".into()),
+                TokenKind::NotEq,
+                TokenKind::Ident("c".into()),
+                TokenKind::Concat,
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a -- comment\n b"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(
+            kinds("'héllo😀'"),
+            vec![TokenKind::Str("héllo😀".into()), TokenKind::Eof]
+        );
+    }
+}

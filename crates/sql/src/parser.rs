@@ -1,0 +1,810 @@
+//! Recursive-descent SQL parser with precedence climbing for expressions.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token, TokenKind};
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a single statement (a trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement, ParseError> {
+    let mut stmts = parse_statements(sql)?;
+    match stmts.len() {
+        1 => Ok(stmts.pop().unwrap()),
+        0 => Err(ParseError { message: "empty input".into(), offset: 0 }),
+        _ => Err(ParseError { message: "expected a single statement".into(), offset: 0 }),
+    }
+}
+
+/// Parse a `;`-separated script.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>, ParseError> {
+    let tokens = tokenize(sql).map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&TokenKind::Semicolon) {}
+        if p.peek_kind() == &TokenKind::Eof {
+            break;
+        }
+        out.push(p.statement()?);
+    }
+    Ok(out)
+}
+
+/// Parse a standalone expression (useful in tests and the rewriter).
+pub fn parse_expr(sql: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(sql).map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: msg.into(), offset: self.peek().offset })
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume a keyword (case-insensitive identifier match).
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek_kind(), TokenKind::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek_kind(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected {}", kw.to_uppercase()))
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            self.err(format!("expected {what}"))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.peek_kind() == &TokenKind::Eof {
+            Ok(())
+        } else {
+            self.err("unexpected trailing tokens")
+        }
+    }
+
+    /// Any identifier, quoted or not.
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            TokenKind::QuotedIdent(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => self.err("expected identifier"),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.peek_kw("select") {
+            Ok(Statement::Select(self.select()?))
+        } else if self.eat_kw("insert") {
+            self.insert()
+        } else if self.eat_kw("update") {
+            self.update()
+        } else if self.eat_kw("delete") {
+            self.delete()
+        } else if self.eat_kw("create") {
+            self.create_table()
+        } else if self.eat_kw("explain") {
+            let inner = self.statement()?;
+            Ok(Statement::Explain(Box::new(inner)))
+        } else if self.eat_kw("analyze") {
+            let table = self.ident()?;
+            Ok(Statement::Analyze(table))
+        } else {
+            self.err("expected SELECT, INSERT, UPDATE, DELETE, CREATE, EXPLAIN or ANALYZE")
+        }
+    }
+
+    fn select(&mut self) -> Result<Select, ParseError> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        if self.eat_kw("all") {
+            // explicit ALL is the default
+        }
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    match self.peek_kind() {
+                        // bare alias, but not a clause keyword
+                        TokenKind::Ident(s) if !is_clause_keyword(s) => Some(self.ident()?),
+                        TokenKind::QuotedIdent(_) => Some(self.ident()?),
+                        _ => None,
+                    }
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        let mut joins = Vec::new();
+        if self.eat_kw("from") {
+            loop {
+                from.push(self.table_ref()?);
+                // explicit joins bind to the preceding table ref
+                loop {
+                    let kind = if self.eat_kw("join") || (self.peek_kw("inner") && {
+                        self.bump();
+                        self.expect_kw("join")?;
+                        true
+                    }) {
+                        JoinKind::Inner
+                    } else if self.peek_kw("left") {
+                        self.bump();
+                        self.eat_kw("outer");
+                        self.expect_kw("join")?;
+                        JoinKind::Left
+                    } else {
+                        break;
+                    };
+                    let table = self.table_ref()?;
+                    self.expect_kw("on")?;
+                    let on = self.expr()?;
+                    joins.push(Join { kind, table, on });
+                }
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.expr()?;
+                let order = if self.eat_kw("desc") {
+                    SortOrder::Desc
+                } else {
+                    self.eat_kw("asc");
+                    SortOrder::Asc
+                };
+                order_by.push(OrderItem { expr, order });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.bump().kind {
+                TokenKind::Int(n) if n >= 0 => Some(n as u64),
+                _ => return self.err("expected non-negative integer after LIMIT"),
+            }
+        } else {
+            None
+        };
+        Ok(Select { distinct, items, from, joins, filter, group_by, having, order_by, limit })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let table = self.ident()?;
+        let alias = match self.peek_kind() {
+            TokenKind::Ident(s) if !is_clause_keyword(s) && !is_join_keyword(s) => {
+                Some(self.ident()?)
+            }
+            _ => {
+                if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                }
+            }
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn insert(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, ")")?;
+        }
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen, "(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, ")")?;
+            rows.push(row);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert(Insert { table, columns, rows }))
+    }
+
+    fn update(&mut self) -> Result<Statement, ParseError> {
+        let table = self.ident()?;
+        self.expect_kw("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&TokenKind::Eq, "=")?;
+            let val = self.expr()?;
+            assignments.push((col, val));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        Ok(Statement::Update(Update { table, assignments, filter }))
+    }
+
+    fn delete(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        Ok(Statement::Delete(Delete { table, filter }))
+    }
+
+    fn create_table(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("table")?;
+        let mut if_not_exists = false;
+        if self.eat_kw("if") {
+            self.expect_kw("not")?;
+            self.expect_kw("exists")?;
+            if_not_exists = true;
+        }
+        let table = self.ident()?;
+        self.expect(&TokenKind::LParen, "(")?;
+        let mut columns = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let ty_name = self.ident()?;
+            let ty = TypeName::parse(&ty_name)
+                .ok_or_else(|| ParseError {
+                    message: format!("unknown type {ty_name}"),
+                    offset: self.peek().offset,
+                })?;
+            columns.push((name, ty));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen, ")")?;
+        Ok(Statement::CreateTable(CreateTable { table, columns, if_not_exists }))
+    }
+
+    // ---- expressions: precedence climbing ----
+    //   or < and < not < comparison-ish (=, <, BETWEEN, IN, LIKE, IS NULL)
+    //   < additive (+ - ||) < multiplicative (* / %) < unary < primary
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::binary(BinaryOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = Expr::binary(BinaryOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("not") {
+            let inner = self.not_expr()?;
+            Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let left = self.additive()?;
+        // postfix predicates
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let negated = if self.peek_kw("not") {
+            // look ahead: NOT BETWEEN / NOT IN / NOT LIKE
+            let next = self.tokens.get(self.pos + 1).map(|t| &t.kind);
+            if matches!(next, Some(TokenKind::Ident(s)) if s == "between" || s == "in" || s == "like") {
+                self.bump();
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if self.eat_kw("between") {
+            let low = self.additive()?;
+            self.expect_kw("and")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect(&TokenKind::LParen, "(")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, ")")?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw("like") {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        if negated {
+            return self.err("expected BETWEEN, IN, or LIKE after NOT");
+        }
+        let op = match self.peek_kind() {
+            TokenKind::Eq => BinaryOp::Eq,
+            TokenKind::NotEq => BinaryOp::NotEq,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::LtEq => BinaryOp::LtEq,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::GtEq => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.additive()?;
+        Ok(Expr::binary(op, left, right))
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                TokenKind::Concat => BinaryOp::Concat,
+                _ => break,
+            };
+            self.bump();
+            let right = self.multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.unary()?;
+            // fold literal negation so `-5` is a literal, not an expression
+            return Ok(match inner {
+                Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
+                Expr::Literal(Literal::Float(f)) => Expr::Literal(Literal::Float(-f)),
+                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+            });
+        }
+        if self.eat(&TokenKind::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Int(i)))
+            }
+            TokenKind::Float(f) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Float(f)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, ")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(word) => match word.as_str() {
+                "null" => {
+                    self.bump();
+                    Ok(Expr::Literal(Literal::Null))
+                }
+                "true" => {
+                    self.bump();
+                    Ok(Expr::Literal(Literal::Bool(true)))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::Literal(Literal::Bool(false)))
+                }
+                "cast" => {
+                    self.bump();
+                    self.expect(&TokenKind::LParen, "(")?;
+                    let inner = self.expr()?;
+                    self.expect_kw("as")?;
+                    let ty_name = self.ident()?;
+                    let ty = TypeName::parse(&ty_name).ok_or_else(|| ParseError {
+                        message: format!("unknown type {ty_name}"),
+                        offset: self.peek().offset,
+                    })?;
+                    self.expect(&TokenKind::RParen, ")")?;
+                    Ok(Expr::Cast { expr: Box::new(inner), ty })
+                }
+                w if is_clause_keyword(w) => {
+                    self.err(format!("unexpected keyword {}", w.to_uppercase()))
+                }
+                _ => {
+                    self.bump();
+                    self.ident_suffix(word)
+                }
+            },
+            TokenKind::QuotedIdent(name) => {
+                self.bump();
+                self.ident_suffix(name)
+            }
+            _ => self.err("expected expression"),
+        }
+    }
+
+    /// After an identifier: function call, qualified column, or bare column.
+    fn ident_suffix(&mut self, first: String) -> Result<Expr, ParseError> {
+        if self.eat(&TokenKind::LParen) {
+            // function call
+            if self.eat(&TokenKind::Star) {
+                self.expect(&TokenKind::RParen, ")")?;
+                return Ok(Expr::Func { name: first, args: vec![], distinct: false, star: true });
+            }
+            let distinct = self.eat_kw("distinct");
+            let mut args = Vec::new();
+            if self.peek_kind() != &TokenKind::RParen {
+                loop {
+                    args.push(self.expr()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen, ")")?;
+            return Ok(Expr::Func { name: first, args, distinct, star: false });
+        }
+        if self.eat(&TokenKind::Dot) {
+            if self.eat(&TokenKind::Star) {
+                // t.* — not supported in this dialect's SELECT items beyond *
+                return self.err("qualified wildcard is not supported");
+            }
+            let column = self.ident()?;
+            return Ok(Expr::Column { table: Some(first), column });
+        }
+        Ok(Expr::Column { table: None, column: first })
+    }
+}
+
+fn is_clause_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "from"
+            | "where"
+            | "group"
+            | "having"
+            | "order"
+            | "limit"
+            | "on"
+            | "and"
+            | "or"
+            | "not"
+            | "as"
+            | "is"
+            | "in"
+            | "like"
+            | "between"
+            | "join"
+            | "inner"
+            | "left"
+            | "outer"
+            | "set"
+            | "values"
+            | "union"
+            | "asc"
+            | "desc"
+    )
+}
+
+fn is_join_keyword(s: &str) -> bool {
+    matches!(s, "join" | "inner" | "left" | "outer")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_minimal() {
+        let s = parse_statement("SELECT 1").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert!(sel.from.is_empty());
+                assert_eq!(sel.items.len(), 1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn select_full_clauses() {
+        let s = parse_statement(
+            "SELECT DISTINCT a, SUM(b) AS total FROM t WHERE c > 5 AND d IS NOT NULL \
+             GROUP BY a HAVING SUM(b) > 10 ORDER BY total DESC, a ASC LIMIT 7",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(sel.distinct);
+        assert_eq!(sel.items.len(), 2);
+        assert_eq!(sel.group_by.len(), 1);
+        assert!(sel.having.is_some());
+        assert_eq!(sel.order_by.len(), 2);
+        assert_eq!(sel.order_by[0].order, SortOrder::Desc);
+        assert_eq!(sel.limit, Some(7));
+    }
+
+    #[test]
+    fn implicit_and_explicit_joins() {
+        let s = parse_statement(
+            "SELECT * FROM a x, b JOIN c ON b.id = c.id WHERE x.k = b.k",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.from.len(), 2);
+        assert_eq!(sel.from[0].binding(), "x");
+        assert_eq!(sel.joins.len(), 1);
+    }
+
+    #[test]
+    fn quoted_dotted_identifiers() {
+        let e = parse_expr(r#"t1."user.id" = 5"#).unwrap();
+        match e {
+            Expr::Binary { left, .. } => match *left {
+                Expr::Column { table, column } => {
+                    assert_eq!(table.as_deref(), Some("t1"));
+                    assert_eq!(column, "user.id");
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        // a OR b AND c  =>  a OR (b AND c)
+        let e = parse_expr("a OR b AND c").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinaryOp::Or, .. }));
+        // 1 + 2 * 3 => 1 + (2*3)
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Binary { op: BinaryOp::Add, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinaryOp::Mul, .. }));
+            }
+            _ => panic!(),
+        }
+        // NOT a = b  =>  NOT (a = b)
+        let e = parse_expr("NOT a = b").unwrap();
+        match e {
+            Expr::Unary { op: UnaryOp::Not, expr } => {
+                assert!(matches!(*expr, Expr::Binary { op: BinaryOp::Eq, .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn between_in_like_negations() {
+        assert!(matches!(
+            parse_expr("x BETWEEN 1 AND 10").unwrap(),
+            Expr::Between { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expr("x NOT BETWEEN 1 AND 10").unwrap(),
+            Expr::Between { negated: true, .. }
+        ));
+        assert!(matches!(
+            parse_expr("x NOT IN (1, 2)").unwrap(),
+            Expr::InList { negated: true, .. }
+        ));
+        assert!(matches!(
+            parse_expr("x NOT LIKE '%y%'").unwrap(),
+            Expr::Like { negated: true, .. }
+        ));
+        // NOT as boolean prefix still works when not followed by those kws
+        assert!(matches!(parse_expr("NOT x").unwrap(), Expr::Unary { op: UnaryOp::Not, .. }));
+    }
+
+    #[test]
+    fn count_star_and_distinct_agg() {
+        let e = parse_expr("COUNT(*)").unwrap();
+        assert!(matches!(e, Expr::Func { star: true, .. }));
+        let e = parse_expr("COUNT(DISTINCT a)").unwrap();
+        assert!(matches!(e, Expr::Func { distinct: true, .. }));
+    }
+
+    #[test]
+    fn cast_expr() {
+        let e = parse_expr("CAST(x AS integer)").unwrap();
+        assert!(matches!(e, Expr::Cast { ty: TypeName::Int, .. }));
+        assert!(parse_expr("CAST(x AS nonsense)").is_err());
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        assert_eq!(parse_expr("-5").unwrap(), Expr::Literal(Literal::Int(-5)));
+        assert_eq!(parse_expr("-0.5").unwrap(), Expr::Literal(Literal::Float(-0.5)));
+    }
+
+    #[test]
+    fn insert_update_delete_create() {
+        let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        let Statement::Insert(i) = s else { panic!() };
+        assert_eq!(i.rows.len(), 2);
+        assert_eq!(i.columns, vec!["a", "b"]);
+
+        let s = parse_statement("DELETE FROM t WHERE a = 1").unwrap();
+        assert!(matches!(s, Statement::Delete(_)));
+
+        let s = parse_statement("CREATE TABLE IF NOT EXISTS t (a int, b text, c bytea)").unwrap();
+        let Statement::CreateTable(c) = s else { panic!() };
+        assert!(c.if_not_exists);
+        assert_eq!(c.columns.len(), 3);
+    }
+
+    #[test]
+    fn explain_and_analyze() {
+        assert!(matches!(
+            parse_statement("EXPLAIN SELECT * FROM t").unwrap(),
+            Statement::Explain(_)
+        ));
+        assert!(matches!(
+            parse_statement("ANALYZE t").unwrap(),
+            Statement::Analyze(t) if t == "t"
+        ));
+    }
+
+    #[test]
+    fn multi_statement_script() {
+        let stmts = parse_statements("SELECT 1; SELECT 2;").unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse_statement("SELECT FROM").unwrap_err();
+        assert!(e.offset > 0);
+        assert!(parse_statement("").is_err());
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("x NOT 5").is_err());
+    }
+}

@@ -1,0 +1,350 @@
+//! AST → SQL printer.
+//!
+//! The printer quotes identifiers whenever they are not plain lower-case
+//! `[a-z_][a-z0-9_$]*` names — in particular the dotted virtual-column names
+//! (`"user.id"`) always round-trip. `parse(print(ast)) == ast` is covered by
+//! property tests in `tests/roundtrip.rs`.
+
+use crate::ast::*;
+use std::fmt;
+
+/// Keywords that would change meaning if printed unquoted.
+fn is_reserved(s: &str) -> bool {
+    matches!(
+        s,
+        "select" | "from" | "where" | "group" | "by" | "having" | "order" | "limit"
+            | "distinct" | "all" | "as" | "join" | "inner" | "left" | "outer" | "on"
+            | "and" | "or" | "not" | "is" | "null" | "true" | "false" | "between" | "in"
+            | "like" | "insert" | "into" | "values" | "update" | "set" | "delete"
+            | "create" | "table" | "if" | "exists" | "explain" | "analyze" | "cast"
+            | "asc" | "desc" | "union"
+    )
+}
+
+fn ident(f: &mut fmt::Formatter<'_>, name: &str) -> fmt::Result {
+    let plain = !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '$')
+        && !is_reserved(name);
+    if plain {
+        f.write_str(name)
+    } else {
+        write!(f, "\"{}\"", name.replace('"', "\"\""))
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => s.fmt(f),
+            Statement::Insert(s) => s.fmt(f),
+            Statement::Update(s) => s.fmt(f),
+            Statement::Delete(s) => s.fmt(f),
+            Statement::CreateTable(s) => s.fmt(f),
+            Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
+            Statement::Analyze(t) => {
+                f.write_str("ANALYZE ")?;
+                ident(f, t)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SELECT ")?;
+            if self.distinct {
+                f.write_str("DISTINCT ")?;
+            }
+            for (i, item) in self.items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                match item {
+                    SelectItem::Wildcard => f.write_str("*")?,
+                    SelectItem::Expr { expr, alias } => {
+                        write!(f, "{expr}")?;
+                        if let Some(a) = alias {
+                            f.write_str(" AS ")?;
+                            ident(f, a)?;
+                        }
+                    }
+                }
+            }
+            if !self.from.is_empty() {
+                f.write_str(" FROM ")?;
+                for (i, t) in self.from.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    t.fmt(f)?;
+                }
+                for j in &self.joins {
+                    match j.kind {
+                        JoinKind::Inner => f.write_str(" JOIN ")?,
+                        JoinKind::Left => f.write_str(" LEFT JOIN ")?,
+                    }
+                    j.table.fmt(f)?;
+                    write!(f, " ON {}", j.on)?;
+                }
+            }
+            if let Some(w) = &self.filter {
+                write!(f, " WHERE {w}")?;
+            }
+            if !self.group_by.is_empty() {
+                f.write_str(" GROUP BY ")?;
+                for (i, g) in self.group_by.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+            }
+            if let Some(h) = &self.having {
+                write!(f, " HAVING {h}")?;
+            }
+            if !self.order_by.is_empty() {
+                f.write_str(" ORDER BY ")?;
+                for (i, o) in self.order_by.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{}", o.expr)?;
+                    if o.order == SortOrder::Desc {
+                        f.write_str(" DESC")?;
+                    }
+                }
+            }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        ident(f, &self.table)?;
+        if let Some(a) = &self.alias {
+            f.write_str(" ")?;
+            ident(f, a)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Insert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("INSERT INTO ")?;
+        ident(f, &self.table)?;
+        if !self.columns.is_empty() {
+            f.write_str(" (")?;
+            for (i, c) in self.columns.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                ident(f, c)?;
+            }
+            f.write_str(")")?;
+        }
+        f.write_str(" VALUES ")?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str("(")?;
+            for (j, v) in row.iter().enumerate() {
+                if j > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("UPDATE ")?;
+        ident(f, &self.table)?;
+        f.write_str(" SET ")?;
+        for (i, (col, val)) in self.assignments.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            ident(f, col)?;
+            write!(f, " = {val}")?;
+        }
+        if let Some(w) = &self.filter {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Delete {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("DELETE FROM ")?;
+        ident(f, &self.table)?;
+        if let Some(w) = &self.filter {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CreateTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CREATE TABLE ")?;
+        if self.if_not_exists {
+            f.write_str("IF NOT EXISTS ")?;
+        }
+        ident(f, &self.table)?;
+        f.write_str(" (")?;
+        for (i, (name, ty)) in self.columns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            ident(f, name)?;
+            write!(f, " {}", ty.as_str())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Concat => "||",
+        })
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { table, column } => {
+                if let Some(t) = table {
+                    ident(f, t)?;
+                    f.write_str(".")?;
+                }
+                ident(f, column)
+            }
+            Expr::Literal(l) => l.fmt(f),
+            Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "(NOT ({expr}))"),
+            Expr::Unary { op: UnaryOp::Neg, expr } => write!(f, "(-({expr}))"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::Between { expr, low, high, negated } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::InList { expr, list, negated } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("))")
+            }
+            Expr::Like { expr, pattern, negated } => {
+                write!(f, "({expr} {}LIKE {pattern})", if *negated { "NOT " } else { "" })
+            }
+            Expr::Func { name, args, distinct, star } => {
+                ident(f, name)?;
+                f.write_str("(")?;
+                if *star {
+                    f.write_str("*")?;
+                } else {
+                    if *distinct {
+                        f.write_str("DISTINCT ")?;
+                    }
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                }
+                f.write_str(")")
+            }
+            Expr::Cast { expr, ty } => write!(f, "CAST({expr} AS {})", ty.as_str()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse_expr, parse_statement};
+
+    #[test]
+    fn print_parse_roundtrip_statements() {
+        for sql in [
+            "SELECT DISTINCT a, b AS c FROM t x WHERE (a = 1) ORDER BY b DESC LIMIT 3",
+            r#"SELECT "user.id" FROM tweets"#,
+            "INSERT INTO t (a) VALUES (1), (2)",
+            "UPDATE t SET a = 1, b = 'x' WHERE c IS NULL",
+            "DELETE FROM t WHERE a <> 2",
+            "CREATE TABLE t (a int, b text)",
+            "EXPLAIN SELECT * FROM t",
+            "ANALYZE t",
+            "SELECT * FROM a JOIN b ON (a.x = b.x) LEFT JOIN c ON (b.y = c.y)",
+        ] {
+            let ast = parse_statement(sql).unwrap();
+            let printed = ast.to_string();
+            let reparsed = parse_statement(&printed).unwrap();
+            assert_eq!(ast, reparsed, "statement {sql} printed as {printed}");
+        }
+    }
+
+    #[test]
+    fn print_parse_roundtrip_exprs() {
+        for sql in [
+            "((a + 1) * 2)",
+            "(x NOT BETWEEN 1 AND 2)",
+            "(y NOT IN (1, 2, 3))",
+            "(z LIKE '%a''b%')",
+            "COALESCE(owner, extract_key_txt(data, 'owner'))",
+            "COUNT(*)",
+            "COUNT(DISTINCT a)",
+            "CAST(x AS float)",
+            "NOT (a AND b)",
+            r#""Weird Name$With.Caps""#,
+        ] {
+            let ast = parse_expr(sql).unwrap();
+            let printed = ast.to_string();
+            let reparsed = parse_expr(&printed).unwrap();
+            assert_eq!(ast, reparsed, "expr {sql} printed as {printed}");
+        }
+    }
+
+    #[test]
+    fn keywords_are_quoted_as_identifiers() {
+        let ast = parse_expr(r#""select""#).unwrap();
+        assert_eq!(ast.to_string(), r#""select""#);
+        let reparsed = parse_expr(&ast.to_string()).unwrap();
+        assert_eq!(ast, reparsed);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property test: any AST this generator can produce survives
+//! print → parse unchanged. This is the correctness contract Sinew's
+//! rewriter relies on when it prints rewritten queries for the RDBMS.
+
+use proptest::prelude::*;
+use sinew_sql::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // plain lower-case identifiers
+        "[a-z][a-z0-9_]{0,8}",
+        // dotted virtual-column names, which must print quoted
+        "[a-z]{1,4}\\.[a-z]{1,4}(\\.[a-z]{1,4})?",
+        // mixed case (must print quoted)
+        "[A-Z][A-Za-z]{0,6}",
+    ]
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Null),
+        any::<bool>().prop_map(Literal::Bool),
+        any::<i64>().prop_map(Literal::Int),
+        // Finite, round-trippable floats. Exclude -0.0: it prints as "-0.0",
+        // reparses via unary-minus folding to 0.0 which is == but not
+        // bit-identical; PartialEq on f64 treats them equal, so it's fine,
+        // but NaN would never compare equal.
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Literal::Float),
+        "[a-zA-Z0-9 '%_]{0,12}".prop_map(Literal::Str),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_literal().prop_map(Expr::Literal),
+        (proptest::option::of(arb_ident()), arb_ident())
+            .prop_map(|(table, column)| Expr::Column { table, column }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(BinaryOp::Eq, l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(BinaryOp::Add, l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(BinaryOp::And, l, r)),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(e, lo, hi)| Expr::Between {
+                expr: Box::new(e),
+                low: Box::new(lo),
+                high: Box::new(hi),
+                negated: false,
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+            (arb_ident(), prop::collection::vec(inner.clone(), 0..3)).prop_map(|(name, args)| {
+                Expr::Func { name, args, distinct: false, star: false }
+            }),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
+            inner.prop_map(|e| Expr::Cast { expr: Box::new(e), ty: TypeName::Int }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn expr_print_parse_roundtrip(e in arb_expr()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse {printed}: {err}"));
+        prop_assert_eq!(reparsed, e, "printed form: {}", printed);
+    }
+
+    #[test]
+    fn select_print_parse_roundtrip(
+        distinct in any::<bool>(),
+        cols in prop::collection::vec(arb_ident(), 1..4),
+        table in arb_ident(),
+        filter in proptest::option::of(arb_expr()),
+        limit in proptest::option::of(0u64..1000),
+    ) {
+        let stmt = Statement::Select(Select {
+            distinct,
+            items: cols.into_iter().map(|c| SelectItem::Expr { expr: Expr::col(&c), alias: None }).collect(),
+            from: vec![TableRef { table, alias: None }],
+            joins: vec![],
+            filter,
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit,
+        });
+        let printed = stmt.to_string();
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse {printed}: {err}"));
+        prop_assert_eq!(reparsed, stmt, "printed form: {}", printed);
+    }
+
+    #[test]
+    fn parser_never_panics(s in ".{0,60}") {
+        let _ = parse_statement(&s);
+    }
+}

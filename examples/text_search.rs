@@ -1,0 +1,59 @@
+//! Full-text search — the paper's §4.3: an inverted text index beside the
+//! RDBMS, exposed through the `matches(keys, query)` SQL function, able to
+//! mix structured predicates with text search and to cover completely
+//! unstructured fields.
+//!
+//! ```sh
+//! cargo run --example text_search
+//! ```
+
+use sinew::Sinew;
+
+fn main() {
+    let sinew = Sinew::in_memory();
+    sinew.create_collection("articles").unwrap();
+    sinew
+        .load_jsonl(
+            "articles",
+            r#"
+            {"title": "Schema evolution in modern stores", "author": "A. Author", "year": 2013, "body": "Rapidly evolving datasets make upfront schemas impractical for startups."}
+            {"title": "A survey of NoSQL systems", "author": "B. Writer", "year": 2012, "body": "MongoDB, CouchDB and Riak trade consistency for developer velocity."}
+            {"title": "Query optimization retrospective", "author": "C. Planner", "year": 2013, "body": "Selectivity estimation remains the soft underbelly of cost-based optimizers."}
+            "#,
+        )
+        .unwrap();
+    sinew.enable_text_index("articles").unwrap();
+
+    // Search every field with '*' (the paper's sample query shape).
+    show(&sinew, "SELECT title FROM articles WHERE matches('*', 'mongodb')");
+
+    // Implicit AND of terms, restricted to one attribute.
+    show(&sinew, "SELECT title FROM articles WHERE matches('body', 'schemas evolving')");
+
+    // OR, prefix, and fuzzy matching.
+    show(&sinew, "SELECT title FROM articles WHERE matches('*', 'riak OR selectivity')");
+    show(&sinew, "SELECT title FROM articles WHERE matches('title', 'optimiz*')");
+    show(&sinew, "SELECT title FROM articles WHERE matches('body', 'startops~')"); // 1 edit
+
+    // Text search composes with ordinary SQL predicates.
+    show(
+        &sinew,
+        "SELECT title FROM articles WHERE matches('*', 'evolving OR estimation') AND year = 2013",
+    );
+}
+
+fn show(sinew: &Sinew, sql: &str) {
+    println!("{sql}");
+    match sinew.query(sql) {
+        Ok(r) => {
+            for row in &r.rows {
+                println!("  -> {}", row[0]);
+            }
+            if r.rows.is_empty() {
+                println!("  -> (no matches)");
+            }
+        }
+        Err(e) => println!("  !! {e}"),
+    }
+    println!();
+}

@@ -1,0 +1,35 @@
+//! # sinew
+//!
+//! Facade crate for the Sinew reproduction (Tahara, Diamond, Abadi:
+//! *Sinew: A SQL System for Multi-Structured Data*, SIGMOD 2014).
+//!
+//! Re-exports every workspace crate under one roof:
+//!
+//! * [`Sinew`] — the system itself (see [`core`]);
+//! * [`rdbms`] — the embedded relational engine substrate;
+//! * [`json`], [`sql`], [`serial`], [`index`] — supporting substrates;
+//! * [`mongo`], [`eav`], [`pgjson`] — the paper's comparison systems;
+//! * [`nobench`] — the benchmark workload.
+//!
+//! ```
+//! use sinew::Sinew;
+//! let s = Sinew::in_memory();
+//! s.create_collection("events").unwrap();
+//! s.load_jsonl("events", r#"{"kind": "click", "n": 3}"#).unwrap();
+//! let r = s.query("SELECT n FROM events WHERE kind = 'click'").unwrap();
+//! assert_eq!(r.rows.len(), 1);
+//! ```
+
+pub use sinew_core as core;
+pub use sinew_eav as eav;
+pub use sinew_index as index;
+pub use sinew_json as json;
+pub use sinew_mongo as mongo;
+pub use sinew_nobench as nobench;
+pub use sinew_pgjson as pgjson;
+pub use sinew_rdbms as rdbms;
+pub use sinew_serial as serial;
+pub use sinew_sql as sql;
+
+pub use sinew_core::{AnalyzerPolicy, Sinew};
+pub use sinew_rdbms::{Database, Datum, DbError, DbResult, QueryResult};
