@@ -72,5 +72,39 @@ fn bench_rewrite_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_virtual_vs_physical, bench_rewrite_overhead);
+/// Cold per-call path resolution vs a reused extraction plan vs the full
+/// plan-cache probe, at 1/3/5 dotted-path levels. This isolates what the
+/// plan cache buys the per-tuple loop (the tentpole claim: ≥2× on dotted
+/// paths, since catalog lookups and prefix allocation drop out entirely).
+fn bench_plan_vs_cold(c: &mut Criterion) {
+    use sinew_core::{extract, loader, ExtractionPlan, PlanCache, Want};
+
+    let sinew = Sinew::in_memory();
+    let db = sinew.db();
+    let cat = sinew.catalog();
+    let doc = sinew_json::parse(
+        r#"{"a1": 1, "b": {"c": {"a3": 3}}, "d": {"e": {"f": {"g": {"a5": 5}}}}}"#,
+    )
+    .unwrap();
+    let (bytes, _) = loader::serialize_doc(db, cat, &doc).unwrap();
+
+    for (depth, path) in [("depth1", "a1"), ("depth3", "b.c.a3"), ("depth5", "d.e.f.g.a5")] {
+        let mut g = c.benchmark_group(format!("extract_{depth}"));
+        g.bench_function("cold_resolve_per_call", |b| {
+            b.iter(|| black_box(extract::extract_path(cat, &bytes, path, Want::Int)))
+        });
+        let plan = ExtractionPlan::build(cat, path, Want::Int);
+        g.bench_function("plan_reused", |b| {
+            b.iter(|| black_box(plan.extract(cat, &bytes)))
+        });
+        let cache = PlanCache::new();
+        cache.prepare(cat, path, Want::Int);
+        g.bench_function("plan_cache_get_and_extract", |b| {
+            b.iter(|| black_box(cache.get(cat, path, Want::Int).extract(cat, &bytes)))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_virtual_vs_physical, bench_rewrite_overhead, bench_plan_vs_cold);
 criterion_main!(benches);

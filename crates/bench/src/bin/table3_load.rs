@@ -17,7 +17,8 @@
 //! slower and ~2× larger than everything; Sinew is the most compact
 //! (dictionary encoding); BSON ≳ original.
 
-use sinew_bench::{human_bytes, ms, time, HarnessConfig, TablePrinter};
+use sinew_bench::{human_bytes, ms, record_snapshot, time, HarnessConfig, TablePrinter};
+use sinew_core::LoadOptions;
 use sinew_nobench::queries::{EavSut, MongoSut, PgJsonSut, SinewSut, SystemUnderTest};
 use sinew_nobench::{generate, NoBenchConfig};
 
@@ -56,27 +57,53 @@ fn main() {
         // Sinew's load is serialization + insertion only (§3.2.1); the
         // materializer is a background process in the paper, so it runs
         // untimed here, before the size is measured (the paper's 9.2 GB is
-        // the settled, post-materialization footprint).
+        // the settled, post-materialization footprint). Timed twice: the
+        // serial baseline and the parallel loader, which must produce a
+        // byte-identical reservoir.
         let mut sinew_sut = SinewSut::in_memory();
         sinew_sut.auto_materialize = false;
-        let (r, dur) = time(|| sinew_sut.load(&docs));
+        sinew_sut.sinew.create_collection("nobench").unwrap();
+        let (r, dur_serial) = time(|| {
+            sinew_sut.sinew.load_docs_with("nobench", &docs, LoadOptions::serial())
+        });
         r.unwrap();
+
+        let mut sinew_par = SinewSut::in_memory();
+        sinew_par.auto_materialize = false;
+        sinew_par.sinew.create_collection("nobench").unwrap();
+        let (r, dur_par) = time(|| {
+            sinew_par.sinew.load_docs_with("nobench", &docs, LoadOptions::default())
+        });
+        r.unwrap();
+
+        // determinism: parallel load must equal the serial reservoir
+        let rows_n = sinew_sut.sinew.db().row_count("nobench").unwrap();
+        assert_eq!(rows_n, sinew_par.sinew.db().row_count("nobench").unwrap());
+        for rid in 0..rows_n {
+            assert_eq!(
+                sinew_sut.sinew.db().get_row("nobench", rid).unwrap(),
+                sinew_par.sinew.db().get_row("nobench", rid).unwrap(),
+                "parallel load diverged from serial at row {rid}"
+            );
+        }
+
         {
             use sinew_core::AnalyzerPolicy;
             sinew_sut.sinew.run_analyzer("nobench", &AnalyzerPolicy::default()).unwrap();
             sinew_sut.sinew.materialize_until_clean("nobench").unwrap();
         }
-        row("Sinew", dur, sinew_sut.size_bytes());
+        row("Sinew", dur_serial, sinew_sut.size_bytes());
+        row("Sinew (par)", dur_par, sinew_par.size_bytes());
 
         let mut eav = EavSut::in_memory();
-        let (r, dur) = time(|| eav.load(&docs));
+        let (r, dur_eav) = time(|| eav.load(&docs));
         r.unwrap();
-        row("EAV", dur, eav.size_bytes());
+        row("EAV", dur_eav, eav.size_bytes());
 
         let mut pg = PgJsonSut::in_memory();
-        let (r, dur) = time(|| pg.load(&docs));
+        let (r, dur_pg) = time(|| pg.load(&docs));
         r.unwrap();
-        row("PG JSON", dur, pg.size_bytes());
+        row("PG JSON", dur_pg, pg.size_bytes());
         t.row(&[
             "Original".to_string(),
             "-".to_string(),
@@ -85,7 +112,19 @@ fn main() {
         ]);
         println!(
             "\nShape checks: PG JSON loads fastest; EAV slowest+largest; \
-             Sinew most compact; BSON >= original."
+             Sinew most compact; BSON >= original; Sinew (par) <= Sinew \
+             with an identical reservoir."
+        );
+        record_snapshot(
+            &format!("table3_load_{scale}"),
+            &[
+                ("docs", n as f64),
+                ("mongodb_ms", dur.as_secs_f64() * 1e3),
+                ("sinew_serial_ms", dur_serial.as_secs_f64() * 1e3),
+                ("sinew_parallel_ms", dur_par.as_secs_f64() * 1e3),
+                ("eav_ms", dur_eav.as_secs_f64() * 1e3),
+                ("pgjson_ms", dur_pg.as_secs_f64() * 1e3),
+            ],
         );
     }
 }

@@ -18,6 +18,7 @@ use crate::types::AttrType;
 use parking_lot::RwLock;
 use sinew_rdbms::{ColType, Database, Datum, DbError, DbResult};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 pub type AttrId = u32;
 
@@ -51,6 +52,12 @@ struct Inner {
 #[derive(Default)]
 pub struct Catalog {
     inner: RwLock<Inner>,
+    /// Schema epoch: bumped on any change that can alter how a dotted path
+    /// resolves (new attribute, flag flip, new table state). Query-scoped
+    /// [`ExtractionPlan`](crate::plan::ExtractionPlan)s snapshot this and
+    /// re-resolve when it moves, so per-tuple extraction never takes the
+    /// catalog lock. A lock-free read; see DESIGN.md "Hot paths".
+    epoch: AtomicU64,
 }
 
 pub const ATTR_TABLE: &str = "_sinew_attributes";
@@ -62,6 +69,16 @@ pub fn cols_table(table: &str) -> String {
 impl Catalog {
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// Current schema epoch. Plans built at epoch `e` stay valid while
+    /// `epoch() == e`; a bump means path resolution may have changed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Create the dictionary mirror table if needed.
@@ -95,6 +112,7 @@ impl Catalog {
             )?;
         }
         self.inner.write().tables.entry(table.to_string()).or_default();
+        self.bump_epoch();
         Ok(())
     }
 
@@ -122,6 +140,7 @@ impl Catalog {
         inner.by_id.insert(id, (name.to_string(), ty));
         inner.by_name.entry(name.to_string()).or_default().push((id, ty));
         drop(inner);
+        self.bump_epoch();
         db.insert_rows(
             ATTR_TABLE,
             &[vec![
@@ -175,6 +194,8 @@ impl Catalog {
             });
             st.count += by;
         }
+        drop(inner);
+        self.bump_epoch();
     }
 
     /// All attribute state for one table, sorted by attribute id — the
@@ -222,21 +243,30 @@ impl Catalog {
             .ok_or_else(|| DbError::NotFound(format!("attr {id} in {table}")))?;
         st.materialized = materialized;
         st.dirty = dirty;
+        drop(inner);
+        self.bump_epoch();
         Ok(())
     }
 
     /// Mark every *materialized* attribute that just received reservoir
     /// data as dirty (loader postlude, §3.2.1).
     pub fn mark_loaded_dirty(&self, table: &str, touched: &[AttrId]) {
-        let mut inner = self.inner.write();
-        if let Some(states) = inner.tables.get_mut(table) {
-            for id in touched {
-                if let Some(st) = states.get_mut(id) {
-                    if st.materialized {
-                        st.dirty = true;
+        let mut changed = false;
+        {
+            let mut inner = self.inner.write();
+            if let Some(states) = inner.tables.get_mut(table) {
+                for id in touched {
+                    if let Some(st) = states.get_mut(id) {
+                        if st.materialized && !st.dirty {
+                            st.dirty = true;
+                            changed = true;
+                        }
                     }
                 }
             }
+        }
+        if changed {
+            self.bump_epoch();
         }
     }
 
@@ -374,6 +404,26 @@ mod tests {
         cat.sync_table(&db, "t").unwrap();
         let r = db.execute("SELECT count FROM _sinew_cols_t").unwrap();
         assert_eq!(r.scalar(), Some(&Datum::Int(8)));
+    }
+
+    #[test]
+    fn epoch_moves_on_schema_change_only() {
+        let (db, cat) = setup();
+        let e0 = cat.epoch();
+        let id = cat.intern(&db, "hits", AttrType::Int).unwrap();
+        let e1 = cat.epoch();
+        assert!(e1 > e0, "new attribute bumps the epoch");
+        // re-interning an existing attribute is a pure read
+        cat.intern(&db, "hits", AttrType::Int).unwrap();
+        assert_eq!(cat.epoch(), e1);
+        cat.lookup("hits", AttrType::Int);
+        cat.ids_for_name("hits");
+        assert_eq!(cat.epoch(), e1, "lookups never bump");
+        cat.bump_count("t", id, 1);
+        let e2 = cat.epoch();
+        assert!(e2 > e1, "new column state bumps");
+        cat.set_flags("t", id, true, true).unwrap();
+        assert!(cat.epoch() > e2, "flag flips bump");
     }
 
     #[test]

@@ -43,20 +43,26 @@ pub fn extract_path(cat: &Catalog, bytes: &[u8], path: &str, want: Want) -> Datu
 /// current level, that level is the holder. This makes extraction work both
 /// from the reservoir root (classic descent) **and** from a materialized
 /// parent object's column, whose nested document carries full-dotted
-/// attribute ids directly. Returns `None` when the path cannot resolve.
+/// attribute ids directly (literal-dot JSON keys land the same way).
+/// Returns `None` when the path cannot resolve.
+///
+/// The direct-hit probe is hoisted onto a single header-validated
+/// [`sformat::RawDoc`] view per level — one header parse however many
+/// typed leaf variants exist — and skipped entirely at the leaf-parent
+/// level, where the caller's typed pick probes the same ids anyway. For
+/// the common single-segment path this makes `descend` probe-free.
 fn descend<'a>(cat: &Catalog, bytes: &'a [u8], path: &str) -> DbResult<Option<&'a [u8]>> {
     let leaf_ids = cat.ids_for_name(path);
     let segs: Vec<&str> = path.split('.').collect();
     let mut cur: &'a [u8] = bytes;
-    let mut prefix = String::new();
+    let mut prefix = String::with_capacity(path.len());
     for (k, seg) in segs.iter().enumerate() {
-        for (id, _) in &leaf_ids {
-            if sformat::contains(cur, *id).map_err(decode_err)? {
-                return Ok(Some(cur));
-            }
-        }
         if k == segs.len() - 1 {
-            // leaf level reached (key absent here)
+            // leaf-parent level reached (possibly with the key absent)
+            return Ok(Some(cur));
+        }
+        let doc = sformat::RawDoc::parse(cur).map_err(decode_err)?;
+        if leaf_ids.iter().any(|(id, _)| doc.contains(*id)) {
             return Ok(Some(cur));
         }
         if !prefix.is_empty() {
@@ -66,7 +72,7 @@ fn descend<'a>(cat: &Catalog, bytes: &'a [u8], path: &str) -> DbResult<Option<&'
         let Some(id) = cat.lookup(&prefix, AttrType::Object) else {
             return Ok(None);
         };
-        match sformat::extract_raw(cur, id).map_err(decode_err)? {
+        match doc.get(id).map_err(decode_err)? {
             Some(raw) => cur = raw,
             None => return Ok(None),
         }
@@ -164,7 +170,7 @@ pub fn attr_source(cat: &Catalog, table: &str, path: &str) -> AttrSource {
     AttrSource { parent_column: None, parent_path: None, parent_dirty: false, skip: 0 }
 }
 
-fn raw_to_datum(cat: &Catalog, raw: &[u8], ty: AttrType, path: &str) -> DbResult<Datum> {
+pub(crate) fn raw_to_datum(cat: &Catalog, raw: &[u8], ty: AttrType, path: &str) -> DbResult<Datum> {
     Ok(match ty {
         AttrType::Bool | AttrType::Int | AttrType::Float | AttrType::Text => {
             match sformat::decode_value(raw, ty.stype()).map_err(decode_err)? {
@@ -185,7 +191,7 @@ fn raw_to_datum(cat: &Catalog, raw: &[u8], ty: AttrType, path: &str) -> DbResult
 }
 
 /// Downcast a value to its textual form; objects and arrays render as JSON.
-fn datum_to_text(cat: &Catalog, d: &Datum, ty: AttrType, path: &str) -> String {
+pub(crate) fn datum_to_text(cat: &Catalog, d: &Datum, ty: AttrType, path: &str) -> String {
     match (ty, d) {
         (AttrType::Object, Datum::Bytea(bytes)) => {
             doc_to_value(cat, bytes, path).to_json()
@@ -612,6 +618,17 @@ mod tests {
             extract_path(&cat, &removed, "user.name", Want::Text),
             Datum::Text("bo".into())
         );
+    }
+
+    #[test]
+    fn literal_dot_keys_resolve_via_direct_hit() {
+        // {"a": {"b.c": 1}} stores attribute "a.b.c" directly inside
+        // doc("a"); descent must find it via the per-level direct-hit
+        // probe even though no "a.b" object is registered.
+        let (db, cat) = setup();
+        let bytes = doc(&db, &cat, r#"{"a": {"b.c": 1}}"#);
+        assert_eq!(extract_path(&cat, &bytes, "a.b.c", Want::Int), Datum::Int(1));
+        assert!(exists_path(&cat, &bytes, "a.b.c"));
     }
 
     #[test]

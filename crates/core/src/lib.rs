@@ -41,6 +41,7 @@ pub mod catalog;
 pub mod extract;
 pub mod loader;
 pub mod materializer;
+pub mod plan;
 pub mod rewriter;
 pub mod types;
 mod udfs;
@@ -48,8 +49,10 @@ mod udfs;
 pub use analyzer::{AnalyzerDecision, AnalyzerPolicy};
 pub use background::{BackgroundConfig, BackgroundMaterializer};
 pub use catalog::{AttrId, Catalog, ColumnState};
-pub use loader::LoadReport;
+pub use extract::Want;
+pub use loader::{LoadOptions, LoadReport};
 pub use materializer::{MaterializerReport, StepBudget};
+pub use plan::{ExtractionPlan, PlanCache, ResolvedPath};
 pub use types::AttrType;
 
 use parking_lot::{Mutex, RwLock};
@@ -75,6 +78,9 @@ pub struct LogicalColumn {
 pub struct Sinew {
     db: Arc<Database>,
     catalog: Arc<Catalog>,
+    /// Query-scoped extraction plans, warmed by the rewriter and consumed
+    /// per tuple by the extraction UDFs (see plan.rs).
+    plans: Arc<PlanCache>,
     /// Loader ⟷ materializer mutual exclusion (the catalog latch of
     /// §3.1.4: "The materializer and loader are not allowed to run
     /// concurrently (which we implement via a latch in the catalog)").
@@ -110,10 +116,12 @@ impl Sinew {
         catalog.bootstrap(&db).expect("catalog bootstrap");
         let rowid_sets: Arc<RwLock<HashMap<String, Arc<HashSet<i64>>>>> =
             Arc::new(RwLock::new(HashMap::new()));
-        udfs::install(&db, &catalog, &rowid_sets);
+        let plans = Arc::new(PlanCache::new());
+        udfs::install(&db, &catalog, &plans, &rowid_sets);
         Sinew {
             db,
             catalog,
+            plans,
             load_latch: Arc::new(Mutex::new(())),
             indexes: RwLock::new(HashMap::new()),
             rowid_sets,
@@ -130,6 +138,12 @@ impl Sinew {
 
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The extraction-plan cache (benchmarks, tests, and the background
+    /// worker's stale-plan sweep reach through here).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
     }
 
     // ---- collections ----
@@ -179,8 +193,19 @@ impl Sinew {
 
     /// Bulk-load newline-delimited JSON.
     pub fn load_jsonl(&self, table: &str, input: &str) -> DbResult<LoadReport> {
+        self.load_jsonl_with(table, input, LoadOptions::default())
+    }
+
+    /// [`Self::load_jsonl`] with explicit loader tuning (serial vs
+    /// parallel parse + serialization).
+    pub fn load_jsonl_with(
+        &self,
+        table: &str,
+        input: &str,
+        opts: LoadOptions,
+    ) -> DbResult<LoadReport> {
         let _latch = self.load_latch.lock();
-        let report = loader::load_jsonl(&self.db, &self.catalog, table, input)?;
+        let report = loader::load_jsonl_with(&self.db, &self.catalog, table, input, opts)?;
         self.index_new_rows(table)?;
         self.refresh_element_tables(table)?;
         Ok(report)
@@ -188,8 +213,18 @@ impl Sinew {
 
     /// Bulk-load parsed documents.
     pub fn load_docs(&self, table: &str, docs: &[Value]) -> DbResult<LoadReport> {
+        self.load_docs_with(table, docs, LoadOptions::default())
+    }
+
+    /// [`Self::load_docs`] with explicit loader tuning.
+    pub fn load_docs_with(
+        &self,
+        table: &str,
+        docs: &[Value],
+        opts: LoadOptions,
+    ) -> DbResult<LoadReport> {
         let _latch = self.load_latch.lock();
-        let report = loader::load_docs(&self.db, &self.catalog, table, docs)?;
+        let report = loader::load_docs_with(&self.db, &self.catalog, table, docs, opts)?;
         self.index_new_rows(table)?;
         self.refresh_element_tables(table)?;
         Ok(report)

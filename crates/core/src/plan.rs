@@ -1,0 +1,430 @@
+//! Query-scoped extraction plans — the reservoir hot path.
+//!
+//! Sinew's performance argument (paper §4.1, Appendix B Table 5) is that a
+//! virtual-column read is "nearly free" relative to a physical column
+//! scan. The naive extraction path re-resolves the dotted path through the
+//! catalog **per tuple**: an `ids_for_name` clone behind the catalog
+//! `RwLock`, a fresh `split('.')`, and a growing prefix `String` for every
+//! descent level. This module hoists all of that to *plan time*, the same
+//! way a SQL planner resolves names and costs once and then executes
+//! against immutable resolved state:
+//!
+//! * [`ResolvedPath`] — the path pre-split, the `Object` attribute id for
+//!   every descent prefix, and the leaf's typed candidate list, all
+//!   resolved through the catalog exactly once;
+//! * [`ExtractionPlan`] — a `ResolvedPath` plus the [`Want`] type and the
+//!   catalog **epoch** it was built at. Per-tuple execution touches no
+//!   locks and performs no heap allocation for path resolution: one
+//!   [`RawDoc`] header parse per nesting level, binary-search probes, and
+//!   a typed decode of the leaf value.
+//! * [`PlanCache`] — the process-wide plan store keyed by `(path, want)`.
+//!   The query rewriter warms it whenever it rewrites a virtual-column
+//!   reference; the extraction UDFs hit it per tuple (a read lock on the
+//!   *cache*, never on the catalog).
+//!
+//! **Invalidation.** The catalog bumps a lock-free epoch counter on every
+//! schema-affecting change (new attribute, materialization flag flip, new
+//! per-table state). `PlanCache::get` revalidates the cached plan's epoch
+//! against the catalog before returning it, so a background materializer
+//! promoting a column mid-workload yields a rebuilt plan on the very next
+//! tuple rather than stale results.
+
+use crate::catalog::{AttrId, Catalog};
+use crate::extract::{self, Want};
+use crate::types::AttrType;
+use parking_lot::RwLock;
+use sinew_rdbms::{Datum, DbResult};
+use sinew_serial::sinew::RawDoc;
+use sinew_serial::DecodeError;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A dotted path with every catalog decision pre-resolved.
+#[derive(Debug, Clone)]
+pub struct ResolvedPath {
+    /// The dotted path as written in the query.
+    pub path: String,
+    /// Number of `.`-separated segments.
+    pub depth: usize,
+    /// The `Object` attribute id of each strict prefix (`a`, `a.b`, … for
+    /// `a.b.c`), or `None` where no such object is registered — descent
+    /// through that level can only succeed via a direct (full-dotted) hit.
+    pub descend: Vec<Option<AttrId>>,
+    /// Every `(id, type)` registered for the full path, in catalog
+    /// registration order (`AnyText` takes the first present variant,
+    /// matching the unplanned path).
+    pub leaf: Vec<(AttrId, AttrType)>,
+}
+
+impl ResolvedPath {
+    /// Resolve `path` through the catalog once.
+    pub fn resolve(cat: &Catalog, path: &str) -> ResolvedPath {
+        let depth = path.split('.').count();
+        let mut descend = Vec::with_capacity(depth.saturating_sub(1));
+        let mut prefix = String::with_capacity(path.len());
+        for seg in path.split('.').take(depth.saturating_sub(1)) {
+            if !prefix.is_empty() {
+                prefix.push('.');
+            }
+            prefix.push_str(seg);
+            descend.push(cat.lookup(&prefix, AttrType::Object));
+        }
+        ResolvedPath {
+            path: path.to_string(),
+            depth,
+            descend,
+            leaf: cat.ids_for_name(path),
+        }
+    }
+
+    /// Walk `bytes` to the document level holding the path's leaf,
+    /// *direct-first* like [`extract`]'s descent: any level that carries a
+    /// full-dotted leaf variant is the holder (materialized ancestor
+    /// columns and literal-dot keys both rely on this). Allocation-free.
+    fn descend<'a>(&self, bytes: &'a [u8]) -> Result<Option<RawDoc<'a>>, DecodeError> {
+        let mut cur = RawDoc::parse(bytes)?;
+        for level in 0..self.depth {
+            if level == self.depth - 1 {
+                // leaf-parent level: the typed pick below probes the leaf
+                // ids itself, so a direct-hit rescan here is pure waste
+                return Ok(Some(cur));
+            }
+            if self.leaf.iter().any(|(id, _)| cur.contains(*id)) {
+                return Ok(Some(cur));
+            }
+            let Some(child) = self.descend[level] else { return Ok(None) };
+            match cur.get(child)? {
+                Some(raw) => cur = RawDoc::parse(raw)?,
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(cur))
+    }
+}
+
+/// A `(path, want)` extraction compiled against one catalog epoch.
+#[derive(Debug, Clone)]
+pub struct ExtractionPlan {
+    pub want: Want,
+    pub resolved: ResolvedPath,
+    /// Catalog epoch this plan snapshots; stale ⇒ re-resolve before use.
+    pub epoch: u64,
+}
+
+impl ExtractionPlan {
+    /// Build a plan now. The epoch is read *before* resolution: a
+    /// concurrent schema change makes the plan look stale (and rebuilt on
+    /// next cache hit) rather than silently current.
+    pub fn build(cat: &Catalog, path: &str, want: Want) -> ExtractionPlan {
+        let epoch = cat.epoch();
+        ExtractionPlan { want, resolved: ResolvedPath::resolve(cat, path), epoch }
+    }
+
+    /// Is this plan still valid against the catalog?
+    pub fn is_current(&self, cat: &Catalog) -> bool {
+        self.epoch == cat.epoch()
+    }
+
+    /// Per-tuple extraction. No catalog locks; no allocation until the
+    /// leaf value itself is materialized as a [`Datum`]. The catalog is
+    /// consulted only for the rare `AnyText`-over-object/array render
+    /// (JSON text needs attribute names).
+    pub fn extract(&self, cat: &Catalog, bytes: &[u8]) -> Datum {
+        match self.try_extract(cat, bytes) {
+            Ok(d) => d,
+            Err(_) => Datum::Null, // corrupt docs surface as NULL
+        }
+    }
+
+    fn try_extract(&self, cat: &Catalog, bytes: &[u8]) -> DbResult<Datum> {
+        if self.resolved.leaf.is_empty() {
+            return Ok(Datum::Null);
+        }
+        let Some(cur) = self.resolved.descend(bytes).map_err(decode_err)? else {
+            return Ok(Datum::Null);
+        };
+        let pick = |want_ty: AttrType| -> DbResult<Option<Datum>> {
+            for (id, ty) in &self.resolved.leaf {
+                if *ty == want_ty {
+                    if let Some(raw) = cur.get(*id).map_err(decode_err)? {
+                        return Ok(Some(extract::raw_to_datum(
+                            cat,
+                            raw,
+                            *ty,
+                            &self.resolved.path,
+                        )?));
+                    }
+                }
+            }
+            Ok(None)
+        };
+        Ok(match self.want {
+            Want::Bool => pick(AttrType::Bool)?.unwrap_or(Datum::Null),
+            Want::Int => pick(AttrType::Int)?.unwrap_or(Datum::Null),
+            Want::Float => pick(AttrType::Float)?.unwrap_or(Datum::Null),
+            Want::Num => pick(AttrType::Int)?
+                .or(pick(AttrType::Float)?)
+                .unwrap_or(Datum::Null),
+            Want::Text => pick(AttrType::Text)?.unwrap_or(Datum::Null),
+            Want::Object => pick(AttrType::Object)?.unwrap_or(Datum::Null),
+            Want::Array => pick(AttrType::Array)?.unwrap_or(Datum::Null),
+            Want::AnyText => {
+                for (id, ty) in &self.resolved.leaf {
+                    if let Some(raw) = cur.get(*id).map_err(decode_err)? {
+                        let d = extract::raw_to_datum(cat, raw, *ty, &self.resolved.path)?;
+                        return Ok(Datum::Text(extract::datum_to_text(
+                            cat,
+                            &d,
+                            *ty,
+                            &self.resolved.path,
+                        )));
+                    }
+                }
+                Datum::Null
+            }
+        })
+    }
+
+    /// Does the key exist under any type? Same descent, no value decode.
+    pub fn exists(&self, bytes: &[u8]) -> bool {
+        if self.resolved.leaf.is_empty() {
+            return false;
+        }
+        match self.resolved.descend(bytes) {
+            Ok(Some(cur)) => self.resolved.leaf.iter().any(|(id, _)| cur.contains(*id)),
+            _ => false,
+        }
+    }
+}
+
+/// [`Want`] → dense cache slot. Kept here (not on `Want`) so the extract
+/// module stays ignorant of the cache layout.
+fn want_slot(w: Want) -> usize {
+    match w {
+        Want::Bool => 0,
+        Want::Int => 1,
+        Want::Float => 2,
+        Want::Num => 3,
+        Want::Text => 4,
+        Want::AnyText => 5,
+        Want::Object => 6,
+        Want::Array => 7,
+    }
+}
+
+const WANT_SLOTS: usize = 8;
+
+/// Process-wide plan store: path → one plan slot per [`Want`] variant.
+/// Keyed by `String` but probed by `&str`, so a per-tuple hit allocates
+/// nothing. The lock guards the *cache map*, never the catalog.
+#[derive(Default)]
+pub struct PlanCache {
+    plans: RwLock<HashMap<String, [Option<Arc<ExtractionPlan>>; WANT_SLOTS]>>,
+}
+
+impl PlanCache {
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Fetch the current plan for `(path, want)`, building or rebuilding
+    /// it when absent or stale. The common case is one read-locked probe
+    /// plus one atomic epoch load.
+    pub fn get(&self, cat: &Catalog, path: &str, want: Want) -> Arc<ExtractionPlan> {
+        let slot = want_slot(want);
+        {
+            let plans = self.plans.read();
+            if let Some(row) = plans.get(path) {
+                if let Some(plan) = &row[slot] {
+                    if plan.is_current(cat) {
+                        return plan.clone();
+                    }
+                }
+            }
+        }
+        let fresh = Arc::new(ExtractionPlan::build(cat, path, want));
+        let mut plans = self.plans.write();
+        let row = plans.entry(path.to_string()).or_default();
+        // Another thread may have raced us here; prefer whichever plan is
+        // current (both are if the epoch held — identical contents then).
+        match &row[slot] {
+            Some(existing) if existing.is_current(cat) && !fresh.is_current(cat) => {
+                existing.clone()
+            }
+            _ => {
+                row[slot] = Some(fresh.clone());
+                fresh
+            }
+        }
+    }
+
+    /// Warm the cache for a path the rewriter is about to reference.
+    pub fn prepare(&self, cat: &Catalog, path: &str, want: Want) {
+        let _ = self.get(cat, path, want);
+    }
+
+    /// Drop every stale plan (memory hygiene; the background materializer
+    /// calls this after moving data so a long-lived process doesn't keep
+    /// dead resolutions around). Correctness never depends on it — `get`
+    /// revalidates per call.
+    pub fn sweep(&self, cat: &Catalog) {
+        let epoch = cat.epoch();
+        let mut plans = self.plans.write();
+        for row in plans.values_mut() {
+            for slot in row.iter_mut() {
+                if slot.as_ref().is_some_and(|p| p.epoch != epoch) {
+                    *slot = None;
+                }
+            }
+        }
+        plans.retain(|_, row| row.iter().any(|s| s.is_some()));
+    }
+
+    /// Number of live cached plans (tests, stats).
+    pub fn len(&self) -> usize {
+        self.plans
+            .read()
+            .values()
+            .map(|row| row.iter().filter(|s| s.is_some()).count())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn decode_err(e: DecodeError) -> sinew_rdbms::DbError {
+    sinew_rdbms::DbError::Eval(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::serialize_doc;
+    use sinew_json::parse;
+    use sinew_rdbms::Database;
+
+    fn setup() -> (Database, Catalog) {
+        let db = Database::in_memory();
+        let cat = Catalog::new();
+        cat.bootstrap(&db).unwrap();
+        (db, cat)
+    }
+
+    fn doc(db: &Database, cat: &Catalog, json: &str) -> Vec<u8> {
+        serialize_doc(db, cat, &parse(json).unwrap()).unwrap().0
+    }
+
+    #[test]
+    fn planned_extraction_matches_unplanned() {
+        let (db, cat) = setup();
+        let bytes = doc(
+            &db,
+            &cat,
+            r#"{"hits": 22, "url": "x.com", "ok": true, "r": 0.5,
+                "user": {"id": 7, "geo": {"lat": 1.5}},
+                "tags": [1, "x"], "obj": {"a": 1}}"#,
+        );
+        let cases: &[(&str, Want)] = &[
+            ("hits", Want::Int),
+            ("hits", Want::Num),
+            ("hits", Want::AnyText),
+            ("url", Want::Text),
+            ("url", Want::Int), // mismatch → NULL both ways
+            ("ok", Want::Bool),
+            ("r", Want::Float),
+            ("user.id", Want::Int),
+            ("user.geo.lat", Want::Float),
+            ("user.geo.lat", Want::AnyText),
+            ("user.nope", Want::Int),
+            ("nope.id", Want::Int),
+            ("missing", Want::Int),
+            ("tags", Want::Array),
+            ("obj", Want::AnyText),
+        ];
+        for (path, want) in cases {
+            let plan = ExtractionPlan::build(&cat, path, *want);
+            assert_eq!(
+                plan.extract(&cat, &bytes),
+                extract::extract_path(&cat, &bytes, path, *want),
+                "path={path} want={want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn planned_exists_matches_unplanned() {
+        let (db, cat) = setup();
+        let bytes = doc(&db, &cat, r#"{"a": 1, "user": {"geo": {"lat": 1.5}}}"#);
+        for path in ["a", "user.geo.lat", "user.geo.lon", "nope", "user"] {
+            let plan = ExtractionPlan::build(&cat, path, Want::AnyText);
+            assert_eq!(
+                plan.exists(&bytes),
+                extract::exists_path(&cat, &bytes, path),
+                "path={path}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_handles_literal_dot_keys_via_direct_hit() {
+        let (db, cat) = setup();
+        // {"a": {"b.c": 1}} registers attribute "a.b.c" directly inside
+        // doc("a") — no "a.b" object exists, only the direct hit resolves.
+        let bytes = doc(&db, &cat, r#"{"a": {"b.c": 1}}"#);
+        let plan = ExtractionPlan::build(&cat, "a.b.c", Want::Int);
+        assert_eq!(plan.extract(&cat, &bytes), Datum::Int(1));
+        assert_eq!(
+            extract::extract_path(&cat, &bytes, "a.b.c", Want::Int),
+            Datum::Int(1)
+        );
+    }
+
+    #[test]
+    fn plan_extracts_from_materialized_parent_doc() {
+        let (db, cat) = setup();
+        let root = doc(&db, &cat, r#"{"user": {"id": 7}}"#);
+        // simulate the rewriter handing us the parent object's column value
+        let parent = extract::extract_path(&cat, &root, "user", Want::Object);
+        let Datum::Bytea(parent_bytes) = parent else { panic!() };
+        let plan = ExtractionPlan::build(&cat, "user.id", Want::Int);
+        assert_eq!(plan.extract(&cat, &parent_bytes), Datum::Int(7));
+    }
+
+    #[test]
+    fn stale_plan_detected_and_cache_rebuilds() {
+        let (db, cat) = setup();
+        let _ = doc(&db, &cat, r#"{"a": 1}"#);
+        let cache = PlanCache::new();
+        let p1 = cache.get(&cat, "fresh", Want::Int);
+        assert!(p1.resolved.leaf.is_empty());
+        assert!(p1.is_current(&cat));
+        // schema change: "fresh" appears
+        let bytes = doc(&db, &cat, r#"{"fresh": 9}"#);
+        assert!(!p1.is_current(&cat), "intern bumps the epoch");
+        // a stale plan held by a reader gives a *stale-schema* answer …
+        assert_eq!(p1.extract(&cat, &bytes), Datum::Null);
+        // … but the cache hands back a rebuilt, current plan
+        let p2 = cache.get(&cat, "fresh", Want::Int);
+        assert!(p2.is_current(&cat));
+        assert_eq!(p2.extract(&cat, &bytes), Datum::Int(9));
+    }
+
+    #[test]
+    fn sweep_drops_only_stale_plans() {
+        let (db, cat) = setup();
+        let _ = doc(&db, &cat, r#"{"a": 1, "b": 2}"#);
+        let cache = PlanCache::new();
+        cache.prepare(&cat, "a", Want::Int);
+        cache.prepare(&cat, "b", Want::Int);
+        assert_eq!(cache.len(), 2);
+        cache.sweep(&cat);
+        assert_eq!(cache.len(), 2, "current plans survive a sweep");
+        let _ = doc(&db, &cat, r#"{"c": 3}"#); // epoch bump
+        cache.sweep(&cat);
+        assert_eq!(cache.len(), 0, "stale plans are dropped");
+        // and get() transparently rebuilds afterwards
+        assert!(cache.get(&cat, "a", Want::Int).is_current(&cat));
+    }
+}

@@ -25,6 +25,7 @@
 //! the key under exactly one type, in which case that type is used.
 
 use crate::catalog::ColumnState;
+use crate::extract::Want;
 use crate::types::AttrType;
 use crate::Sinew;
 use sinew_rdbms::{DbError, DbResult};
@@ -426,19 +427,23 @@ fn rewrite_column(
     let source_expr = match &source.parent_column {
         None => Expr::qcol(binding, "data"),
         Some(col) if !source.parent_dirty => Expr::qcol(binding, col),
-        Some(col) => Expr::func(
-            "coalesce",
-            vec![
-                Expr::qcol(binding, col),
-                Expr::func(
-                    "extract_key_obj",
-                    vec![
-                        Expr::qcol(binding, "data"),
-                        Expr::lit_str(source.parent_path.as_deref().unwrap_or("")),
-                    ],
-                ),
-            ],
-        ),
+        Some(col) => {
+            let parent_path = source.parent_path.as_deref().unwrap_or("");
+            // warm the plan for the reservoir fallback too
+            ctx.sinew
+                .plan_cache()
+                .prepare(ctx.sinew.catalog(), parent_path, Want::Object);
+            Expr::func(
+                "coalesce",
+                vec![
+                    Expr::qcol(binding, col),
+                    Expr::func(
+                        "extract_key_obj",
+                        vec![Expr::qcol(binding, "data"), Expr::lit_str(parent_path)],
+                    ),
+                ],
+            )
+        }
     };
 
     let mut parts: Vec<Expr> = Vec::new();
@@ -464,6 +469,19 @@ fn rewrite_column(
         }
     }
     if needs_extract {
+        // Build the extraction plan *now*, at rewrite time: the per-tuple
+        // UDF call then starts on a warm cache at the current epoch.
+        let want = match extract_fn {
+            "extract_key_b" => Want::Bool,
+            "extract_key_i" => Want::Int,
+            "extract_key_f" => Want::Float,
+            "extract_key_num" => Want::Num,
+            "extract_key_t" => Want::Text,
+            "extract_key_obj" => Want::Object,
+            "extract_key_arr" => Want::Array,
+            _ => Want::AnyText,
+        };
+        ctx.sinew.plan_cache().prepare(ctx.sinew.catalog(), name, want);
         parts.push(Expr::func(extract_fn, vec![source_expr, Expr::lit_str(name)]));
     }
     Ok(if parts.len() == 1 {

@@ -21,6 +21,7 @@
 
 use crate::catalog::Catalog;
 use crate::extract::{self, Want};
+use crate::plan::PlanCache;
 use parking_lot::RwLock;
 use sinew_rdbms::{Database, Datum, DbError, DbResult};
 use std::collections::{HashMap, HashSet};
@@ -30,12 +31,21 @@ use std::sync::{Arc, Weak};
 /// searches.
 pub(crate) type RowIdSets = Arc<RwLock<HashMap<String, Arc<HashSet<i64>>>>>;
 
-pub(crate) fn install(db: &Arc<Database>, catalog: &Arc<Catalog>, rowid_sets: &RowIdSets) {
-    let extractor = |cat: Arc<Catalog>, want: Want| {
+pub(crate) fn install(
+    db: &Arc<Database>,
+    catalog: &Arc<Catalog>,
+    plans: &Arc<PlanCache>,
+    rowid_sets: &RowIdSets,
+) {
+    // Extraction goes through the query-scoped plan cache: path
+    // resolution happens once per (path, want, catalog epoch), and the
+    // per-tuple call is a read-locked cache probe plus lock-free,
+    // allocation-free descent (see plan.rs / DESIGN.md "Hot paths").
+    let extractor = |cat: Arc<Catalog>, plans: Arc<PlanCache>, want: Want| {
         move |args: &[Datum]| -> DbResult<Datum> {
             let (bytes, path) = two_args(args, "extract_key")?;
             let Some(bytes) = bytes else { return Ok(Datum::Null) };
-            Ok(extract::extract_path(&cat, bytes, path, want))
+            Ok(plans.get(&cat, path, want).extract(&cat, bytes))
         }
     };
     for (name, want) in [
@@ -48,16 +58,17 @@ pub(crate) fn install(db: &Arc<Database>, catalog: &Arc<Catalog>, rowid_sets: &R
         ("extract_key_obj", Want::Object),
         ("extract_key_arr", Want::Array),
     ] {
-        db.register_udf(name, Arc::new(extractor(catalog.clone(), want)));
+        db.register_udf(name, Arc::new(extractor(catalog.clone(), plans.clone(), want)));
     }
 
     let cat = catalog.clone();
+    let exists_plans = plans.clone();
     db.register_udf(
         "exists_key",
         Arc::new(move |args: &[Datum]| -> DbResult<Datum> {
             let (bytes, path) = two_args(args, "exists_key")?;
             let Some(bytes) = bytes else { return Ok(Datum::Bool(false)) };
-            Ok(Datum::Bool(extract::exists_path(&cat, bytes, path)))
+            Ok(Datum::Bool(exists_plans.get(&cat, path, Want::AnyText).exists(bytes)))
         }),
     );
 

@@ -1,0 +1,96 @@
+//! Extraction-plan invalidation under a live background materializer.
+//!
+//! The plan cache (core::plan) snapshots catalog state at one epoch; the
+//! background materializer mutates that state mid-workload when it
+//! promotes a column. These tests pin the contract: a held plan goes
+//! stale (never silently wrong), the cache hands back a rebuilt plan, and
+//! queries racing the promotion see every row at every point in time.
+
+use sinew_core::{AnalyzerPolicy, BackgroundConfig, BackgroundMaterializer, Sinew, Want};
+use sinew_rdbms::Datum;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N: i64 = 2_000;
+
+fn loaded() -> Arc<Sinew> {
+    let sinew = Arc::new(Sinew::in_memory());
+    sinew.create_collection("c").unwrap();
+    let docs: String = (0..N).map(|i| format!("{{\"k\": \"v{i}\"}}\n")).collect();
+    sinew.load_jsonl("c", &docs).unwrap();
+    sinew
+}
+
+#[test]
+fn promotion_mid_workload_invalidates_plans_and_keeps_queries_correct() {
+    let sinew = loaded();
+    let policy = AnalyzerPolicy {
+        density_threshold: 0.5,
+        cardinality_threshold: 100,
+        sample_rows: 5_000,
+    };
+    sinew.run_analyzer("c", &policy).unwrap();
+
+    // A reader holds a plan across the whole promotion, like an in-flight
+    // query would.
+    let held = sinew.plan_cache().get(sinew.catalog(), "k", Want::Text);
+    assert!(held.is_current(sinew.catalog()));
+
+    let worker = BackgroundMaterializer::spawn(
+        sinew.clone(),
+        "c",
+        BackgroundConfig { step_rows: 64, ..Default::default() },
+    );
+
+    // Race the promotion: every query issued while the materializer moves
+    // values must still see all N rows (dirty columns rewrite to
+    // COALESCE(col, extract(...)), and stale plans are rebuilt per query).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let r = sinew.query("SELECT COUNT(*) FROM c WHERE k IS NOT NULL").unwrap();
+        assert_eq!(r.rows[0][0], Datum::Int(N), "mid-promotion query lost rows");
+        if sinew.logical_schema("c").iter().all(|col| !col.dirty) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "materializer never finished");
+    }
+    let moved = worker.stop();
+    assert_eq!(moved, N as u64);
+
+    // The pre-promotion plan is stale — promotion bumped the epoch — and
+    // the cache hands back a rebuilt, current plan, not the held one.
+    assert!(
+        !held.is_current(sinew.catalog()),
+        "column promotion must bump the catalog epoch"
+    );
+    let fresh = sinew.plan_cache().get(sinew.catalog(), "k", Want::Text);
+    assert!(fresh.is_current(sinew.catalog()));
+
+    let r = sinew.query("SELECT COUNT(*) FROM c WHERE k IS NOT NULL").unwrap();
+    assert_eq!(r.rows[0][0], Datum::Int(N));
+}
+
+#[test]
+fn plan_built_before_attribute_exists_re_resolves_after_load() {
+    let sinew = loaded();
+    // Plan for a key nobody has loaded yet: resolves to no candidates.
+    let early = sinew.plan_cache().get(sinew.catalog(), "fresh", Want::Int);
+    assert!(early.resolved.leaf.is_empty());
+
+    sinew.load_jsonl("c", "{\"k\": \"w\", \"fresh\": 42}\n").unwrap();
+
+    // The load interned "fresh", so the early plan is stale and the cache
+    // rebuilds; the rebuilt plan actually finds the value.
+    assert!(!early.is_current(sinew.catalog()));
+    let rebuilt = sinew.plan_cache().get(sinew.catalog(), "fresh", Want::Int);
+    assert!(rebuilt.is_current(sinew.catalog()));
+    assert!(!rebuilt.resolved.leaf.is_empty());
+
+    let row = sinew.db().get_row("c", N as u64).unwrap().unwrap();
+    let Datum::Bytea(bytes) = &row[0] else { panic!("reservoir row") };
+    assert_eq!(early.extract(sinew.catalog(), bytes), Datum::Null, "stale plan: stale schema");
+    assert_eq!(rebuilt.extract(sinew.catalog(), bytes), Datum::Int(42));
+
+    let r = sinew.query("SELECT COUNT(*) FROM c WHERE fresh IS NOT NULL").unwrap();
+    assert_eq!(r.rows[0][0], Datum::Int(1));
+}

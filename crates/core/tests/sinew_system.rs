@@ -1,7 +1,7 @@
 //! End-to-end tests of the Sinew layer: load → query → analyze →
 //! materialize → query again, covering the paper's §3–§4 behaviours.
 
-use sinew_core::{AnalyzerPolicy, AttrType, Sinew, StepBudget};
+use sinew_core::{AnalyzerPolicy, Sinew, StepBudget};
 use sinew_rdbms::{Datum, DbError};
 
 fn webrequests() -> Sinew {

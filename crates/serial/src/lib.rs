@@ -31,6 +31,7 @@ pub mod pbuf;
 pub mod sinew;
 mod varint;
 
+pub use sinew::RawDoc;
 pub use varint::{read_uvarint, write_uvarint, zigzag_decode, zigzag_encode};
 
 /// Value types storable in a serialized document. `Bytes` carries nested

@@ -198,6 +198,101 @@ pub fn encode_raw_pairs(pairs: &[(u32, &[u8])]) -> Vec<u8> {
     out
 }
 
+/// A borrowed, header-validated view of one serialized document.
+///
+/// [`contains`](RawDoc::contains) / [`extract_raw`](extract_raw) re-read
+/// and re-validate the header on every call; batch consumers (Sinew's
+/// per-tuple extraction plans, the loader's decode paths) instead parse
+/// the header **once** and then probe any number of attribute ids against
+/// the same view — each probe is a pure binary search plus two offset
+/// reads, with zero allocation and zero re-validation.
+#[derive(Debug, Clone, Copy)]
+pub struct RawDoc<'a> {
+    /// Attribute count.
+    n: usize,
+    /// The whole serialized document (header + data).
+    bytes: &'a [u8],
+}
+
+impl<'a> RawDoc<'a> {
+    /// Validate the header once and return the view.
+    pub fn parse(bytes: &'a [u8]) -> Result<RawDoc<'a>, DecodeError> {
+        let n = attr_count(bytes)?;
+        if bytes.len() < U32 * (2 * n + 2) {
+            return Err(DecodeError("truncated header".into()));
+        }
+        Ok(RawDoc { n, bytes })
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn read_u32(&self, at: usize) -> u32 {
+        u32::from_le_bytes(self.bytes[at..at + U32].try_into().unwrap())
+    }
+
+    /// Binary-search the sorted id array; index of `attr_id` if present.
+    fn find(&self, attr_id: u32) -> Option<usize> {
+        let (mut lo, mut hi) = (0usize, self.n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.read_u32(U32 + mid * U32).cmp(&attr_id) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid),
+            }
+        }
+        None
+    }
+
+    /// Is the attribute present?
+    pub fn contains(&self, attr_id: u32) -> bool {
+        self.find(attr_id).is_some()
+    }
+
+    /// Is *any* of the (sorted-irrelevant) candidate ids present? Returns
+    /// on the first hit — the multi-typed-key probe of Sinew's extraction.
+    pub fn contains_any(&self, attr_ids: impl IntoIterator<Item = u32>) -> bool {
+        attr_ids.into_iter().any(|id| self.contains(id))
+    }
+
+    /// Raw value bytes of an attribute, borrowed from the document.
+    /// `None` when absent; `Err` only on a corrupt offset table.
+    pub fn get(&self, attr_id: u32) -> Result<Option<&'a [u8]>, DecodeError> {
+        let Some(idx) = self.find(attr_id) else { return Ok(None) };
+        let offs_base = U32 + self.n * U32;
+        let start = self.read_u32(offs_base + idx * U32) as usize;
+        let end = self.read_u32(offs_base + (idx + 1) * U32) as usize;
+        let data_base = U32 * (2 * self.n + 2);
+        if data_base + end > self.bytes.len() || start > end {
+            return Err(DecodeError("offset out of range".into()));
+        }
+        Ok(Some(&self.bytes[data_base + start..data_base + end]))
+    }
+
+    /// Iterate `(attr_id, raw value)` pairs, borrowed from the document.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &'a [u8])> + '_ {
+        let offs_base = U32 + self.n * U32;
+        let data_base = U32 * (2 * self.n + 2);
+        let total_len = self.read_u32(offs_base + self.n * U32) as usize;
+        (0..self.n).map(move |i| {
+            let id = self.read_u32(U32 + i * U32);
+            let start = self.read_u32(offs_base + i * U32) as usize;
+            let end = if i + 1 < self.n {
+                self.read_u32(offs_base + (i + 1) * U32) as usize
+            } else {
+                total_len
+            };
+            (id, &self.bytes[data_base + start..data_base + end])
+        })
+    }
+}
+
 /// Iterate (attr_id, raw value) pairs without allocating.
 pub fn iter_raw(bytes: &[u8]) -> Result<impl Iterator<Item = (u32, &[u8])>, DecodeError> {
     let n = attr_count(bytes)?;
@@ -331,5 +426,26 @@ mod tests {
         let bytes = encode(&sample());
         let ids: Vec<u32> = iter_raw(&bytes).unwrap().map(|(id, _)| id).collect();
         assert_eq!(ids, vec![1, 3, 7, 9, 12]);
+    }
+
+    #[test]
+    fn raw_doc_matches_per_call_api() {
+        let bytes = encode(&sample());
+        let doc = RawDoc::parse(&bytes).unwrap();
+        assert_eq!(doc.len(), 5);
+        for id in [1u32, 3, 7, 9, 12, 0, 2, 99] {
+            assert_eq!(doc.contains(id), contains(&bytes, id).unwrap());
+            assert_eq!(doc.get(id).unwrap(), extract_raw(&bytes, id).unwrap());
+        }
+        assert!(doc.contains_any([99, 3]));
+        assert!(!doc.contains_any([99, 100]));
+        let via_doc: Vec<(u32, &[u8])> = doc.iter().collect();
+        let via_free: Vec<(u32, &[u8])> = iter_raw(&bytes).unwrap().collect();
+        assert_eq!(via_doc, via_free);
+        // corrupt input rejected at parse time, not per probe
+        assert!(RawDoc::parse(&[1, 2]).is_err());
+        let mut short = bytes.clone();
+        short.truncate(10);
+        assert!(RawDoc::parse(&short).is_err());
     }
 }
