@@ -1,0 +1,135 @@
+//! `storage_report` — exercise a full analyzer → materializer cycle over a
+//! synthetic load and render the storage introspection report (paper §3.1:
+//! physical vs virtual column split, reservoir vs column bytes, dirty-pass
+//! progress) at each stage. With `--check` the JSON form is re-parsed and
+//! its invariants asserted, so CI can verify the report end to end.
+//!
+//! Flags (parsed here — this binary's flags differ from `HarnessConfig`):
+//!
+//! * `--docs N`   documents to load (default 2000)
+//! * `--out PATH` where to write the text snapshot
+//!   (default `results/STORAGE_REPORT_PR2.txt`)
+//! * `--check`    parse the JSON report and assert invariants; exit 1 on
+//!   failure
+
+use sinew_core::{AnalyzerPolicy, Sinew, StepBudget, StorageReport};
+use sinew_json::Value;
+
+struct Args {
+    docs: usize,
+    out: String,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { docs: 2_000, out: "results/STORAGE_REPORT_PR2.txt".to_string(), check: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--docs" => {
+                args.docs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--docs expects a number"))
+            }
+            "--out" => args.out = it.next().unwrap_or_else(|| panic!("--out expects a path")),
+            "--check" => args.check = true,
+            other => panic!("unknown flag {other} (storage_report takes --docs/--out/--check)"),
+        }
+    }
+    args
+}
+
+/// Dense `id`/`name`, 40%-sparse `tag`, 5%-rare `debug` — a mix that makes
+/// the analyzer split physical from virtual.
+fn synthetic_docs(n: usize) -> String {
+    (0..n)
+        .map(|i| {
+            let mut doc = format!(r#"{{"id": {i}, "name": "user-{i}""#);
+            if i % 5 != 0 {
+                doc.push_str(&format!(r#", "tag": "t{}""#, i % 7));
+            }
+            if i % 20 == 0 {
+                doc.push_str(r#", "debug": true"#);
+            }
+            doc.push_str("}\n");
+            doc
+        })
+        .collect()
+}
+
+fn check_report(report: &StorageReport) -> Result<(), String> {
+    let json = report.to_json();
+    let parsed = sinew_json::parse(&json).map_err(|e| format!("report JSON re-parse: {e:?}"))?;
+    let Value::Object(fields) = &parsed else {
+        return Err("report JSON is not an object".into());
+    };
+    let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+    for key in ["table", "rows", "physical_columns", "virtual_columns", "metrics"] {
+        if get(key).is_none() {
+            return Err(format!("report JSON lacks `{key}`"));
+        }
+    }
+    if report.physical_columns.is_empty() {
+        return Err("no column materialized after the analyzer cycle".into());
+    }
+    if report.metrics.plan_cache_hit_rate() <= 0.0 {
+        return Err("plan-cache hit rate is zero after repeated queries".into());
+    }
+    if report.metrics.materializer_passes_completed == 0 {
+        return Err("no materializer pass completed".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+    let mut out = String::new();
+
+    let sinew = Sinew::in_memory();
+    sinew.create_collection("events").unwrap();
+    sinew.load_jsonl("events", &synthetic_docs(args.docs)).unwrap();
+
+    out.push_str("--- after load (all virtual) ---\n");
+    out.push_str(&sinew.storage_report("events").unwrap().render_text());
+
+    let policy = AnalyzerPolicy {
+        density_threshold: 0.6,
+        cardinality_threshold: 50,
+        sample_rows: args.docs as u64,
+    };
+    sinew.run_analyzer("events", &policy).unwrap();
+    sinew.materialize_step("events", StepBudget { rows: (args.docs / 4).max(1) as u64 }).unwrap();
+
+    out.push_str("\n--- mid-materialization (bounded step) ---\n");
+    out.push_str(&sinew.storage_report("events").unwrap().render_text());
+
+    sinew.materialize_until_clean("events").unwrap();
+    // repeated extraction queries warm the plan cache for the hit-rate row
+    for _ in 0..3 {
+        sinew.query("SELECT COUNT(*) FROM events WHERE debug IS NOT NULL").unwrap();
+        sinew.query("SELECT COUNT(*) FROM events WHERE tag = 't3'").unwrap();
+    }
+
+    let report = sinew.storage_report("events").unwrap();
+    out.push_str("\n--- after materialization + warm queries ---\n");
+    out.push_str(&report.render_text());
+
+    print!("{out}");
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&args.out, &out).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    println!("\nsnapshot written to {}", args.out);
+
+    if args.check {
+        match check_report(&report) {
+            Ok(()) => println!("check: ok"),
+            Err(e) => {
+                eprintln!("check: FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

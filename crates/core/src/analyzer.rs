@@ -17,7 +17,7 @@
 use crate::catalog::AttrId;
 use crate::extract;
 use crate::Sinew;
-use sinew_rdbms::{Datum, DbResult};
+use sinew_rdbms::{Datum, DbError, DbResult};
 use std::collections::{HashMap, HashSet};
 
 /// Materialization policy.
@@ -84,13 +84,18 @@ pub fn run(sinew: &Sinew, table: &str, policy: &AnalyzerPolicy) -> DbResult<Vec<
     }
 
     // Phase 2: cardinality estimation over a sample for the screened set.
-    let cardinality = estimate_cardinality(sinew, table, &dense, policy.sample_rows)?;
+    let (cardinality, sampled) = estimate_cardinality(sinew, table, &dense, policy.sample_rows)?;
+    let m = sinew.metrics();
+    m.analyzer_runs.inc();
+    m.analyzer_rows_sampled.add(sampled);
 
     // Phase 3: decisions.
     let mut decisions = Vec::new();
     let schema = db.schema(table)?;
     for (id, st) in &state {
-        let (name, ty) = cat.attr_info(*id).expect("attr registered");
+        let (name, ty) = cat
+            .attr_info(*id)
+            .ok_or_else(|| DbError::NotFound(format!("attribute id {id} in catalog")))?;
         let density = st.count as f64 / n_rows as f64;
         let card = cardinality.get(id).copied().unwrap_or(0);
         let qualifies =
@@ -100,12 +105,14 @@ pub fn run(sinew: &Sinew, table: &str, policy: &AnalyzerPolicy) -> DbResult<Vec<
                 db.add_column(table, &st.column_name, ty.coltype())?;
             }
             cat.set_flags(table, *id, true, true)?;
+            m.analyzer_materialize_decisions.inc();
             decisions.push(AnalyzerDecision::Materialize {
                 name: name.clone(),
                 column: st.column_name.clone(),
             });
         } else if !qualifies && st.materialized {
             cat.set_flags(table, *id, false, true)?;
+            m.analyzer_dematerialize_decisions.inc();
             decisions.push(AnalyzerDecision::Dematerialize {
                 name: name.clone(),
                 column: st.column_name.clone(),
@@ -116,14 +123,21 @@ pub fn run(sinew: &Sinew, table: &str, policy: &AnalyzerPolicy) -> DbResult<Vec<
     Ok(decisions)
 }
 
-/// Distinct-value estimate per attribute over a row sample. Values are
-/// read wherever they currently live (reservoir or physical column).
-fn estimate_cardinality(
+/// Distinct-value estimate per attribute over a row sample, plus the
+/// number of rows actually sampled. Values are read wherever they
+/// currently live (reservoir or physical column — including columns
+/// mid-dematerialization, whose values have not moved back yet).
+///
+/// Every scanned row counts as sampled and has its physical columns
+/// probed, even when its reservoir datum is missing or not `Bytea`
+/// (e.g. a row whose document was nulled out after materialization):
+/// only the reservoir-extraction fallback needs the document bytes.
+pub(crate) fn estimate_cardinality(
     sinew: &Sinew,
     table: &str,
     attrs: &[AttrId],
     sample_rows: u64,
-) -> DbResult<HashMap<AttrId, u64>> {
+) -> DbResult<(HashMap<AttrId, u64>, u64)> {
     let db = sinew.db();
     let cat = sinew.catalog();
     let schema = db.schema(table)?;
@@ -131,37 +145,44 @@ fn estimate_cardinality(
     let data_idx = live_names
         .iter()
         .position(|n| n == "data")
-        .expect("collection has a reservoir column");
+        .ok_or_else(|| DbError::Schema(format!("collection {table} lacks a data column")))?;
 
     struct Probe {
         id: AttrId,
         name: String,
         col_idx: Option<usize>,
     }
-    let probes: Vec<Probe> = attrs
-        .iter()
-        .map(|id| {
-            let (name, _) = cat.attr_info(*id).expect("attr registered");
-            let st = cat.column_state(table, *id);
-            let col_idx = st
-                .filter(|s| s.materialized)
-                .and_then(|s| live_names.iter().position(|n| *n == s.column_name));
-            Probe { id: *id, name, col_idx }
-        })
-        .collect();
+    let mut probes: Vec<Probe> = Vec::with_capacity(attrs.len());
+    for id in attrs {
+        let (name, _) = cat
+            .attr_info(*id)
+            .ok_or_else(|| DbError::NotFound(format!("attribute id {id} in catalog")))?;
+        let st = cat.column_state(table, *id);
+        // any dirty state means the physical column exists and may hold
+        // values (materializing: partially filled; dematerializing:
+        // partially drained)
+        let col_idx = st
+            .filter(|s| s.materialized || s.dirty)
+            .and_then(|s| live_names.iter().position(|n| *n == s.column_name));
+        probes.push(Probe { id: *id, name, col_idx });
+    }
 
     let mut seen: Vec<HashSet<sinew_rdbms::datum::GroupKey>> =
         probes.iter().map(|_| HashSet::new()).collect();
     let mut sampled = 0u64;
     db.scan_rows(table, &mut |_, row| {
-        let Datum::Bytea(bytes) = &row[data_idx] else {
-            return Ok(true);
+        let bytes = match &row[data_idx] {
+            Datum::Bytea(b) => Some(b.as_slice()),
+            _ => None,
         };
         for (probe, distinct) in probes.iter().zip(seen.iter_mut()) {
             // physical value first (COALESCE semantics), reservoir second
             let value = match probe.col_idx {
                 Some(i) if !row[i].is_null() => Some(row[i].clone()),
-                _ => extract::extract_attr(cat, bytes, &probe.name, probe.id)?,
+                _ => match bytes {
+                    Some(b) => extract::extract_attr(cat, b, &probe.name, probe.id)?,
+                    None => None,
+                },
             };
             if let Some(v) = value {
                 if distinct.len() < 1_000_000 {
@@ -172,9 +193,10 @@ fn estimate_cardinality(
         sampled += 1;
         Ok(sampled < sample_rows)
     })?;
-    Ok(probes
+    let map = probes
         .iter()
         .zip(seen)
         .map(|(p, s)| (p.id, s.len() as u64))
-        .collect())
+        .collect();
+    Ok((map, sampled))
 }

@@ -9,8 +9,10 @@
 //! spare resources available").
 
 use crate::materializer::StepBudget;
+use crate::metrics::Counter;
 use crate::Sinew;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use sinew_rdbms::{DbError, DbResult};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -51,14 +53,21 @@ impl Default for BackgroundConfig {
 
 impl BackgroundMaterializer {
     /// Spawn the worker over one collection.
-    pub fn spawn(sinew: Arc<Sinew>, table: &str, config: BackgroundConfig) -> BackgroundMaterializer {
+    pub fn spawn(
+        sinew: Arc<Sinew>,
+        table: &str,
+        config: BackgroundConfig,
+    ) -> DbResult<BackgroundMaterializer> {
         let (tx, rx) = bounded::<Command>(16);
         let table = table.to_string();
+        let thread_table = table.clone();
         let handle = std::thread::Builder::new()
             .name(format!("sinew-materializer-{table}"))
-            .spawn(move || worker(sinew, &table, config, rx))
-            .expect("spawn materializer thread");
-        BackgroundMaterializer { tx, handle: Some(handle) }
+            .spawn(move || worker(sinew, &thread_table, config, rx))
+            .map_err(|e| {
+                DbError::Io(format!("could not spawn materializer thread for {table}: {e}"))
+            })?;
+        Ok(BackgroundMaterializer { tx, handle: Some(handle) })
     }
 
     /// Pause data movement (e.g. while latency-critical queries run).
@@ -86,7 +95,19 @@ impl Drop for BackgroundMaterializer {
     }
 }
 
+/// Decrements a gauge counter when dropped, so every worker exit path —
+/// stop command, disconnect, panic unwind — releases its slot.
+struct GaugeGuard<'a>(&'a Counter);
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
 fn worker(sinew: Arc<Sinew>, table: &str, config: BackgroundConfig, rx: Receiver<Command>) -> u64 {
+    sinew.metrics().background_workers_active.inc();
+    let _active = GaugeGuard(&sinew.metrics().background_workers_active);
     let mut moved = 0u64;
     let mut paused = false;
     let mut last_analyze = std::time::Instant::now();
@@ -118,6 +139,7 @@ fn worker(sinew: Arc<Sinew>, table: &str, config: BackgroundConfig, rx: Receiver
         }
         match sinew.materialize_step(table, StepBudget { rows: config.step_rows }) {
             Ok(report) => {
+                sinew.metrics().background_steps.inc();
                 moved += report.values_moved;
                 if report.values_moved > 0 {
                     // Data movement bumped the catalog epoch; drop extraction
@@ -139,6 +161,7 @@ fn worker(sinew: Arc<Sinew>, table: &str, config: BackgroundConfig, rx: Receiver
             }
             Err(_) => {
                 // table dropped or transient error: back off
+                sinew.metrics().background_errors.inc();
                 std::thread::sleep(config.idle_poll);
             }
         }
@@ -182,7 +205,8 @@ mod tests {
             sinew.clone(),
             "c",
             BackgroundConfig { step_rows: 128, ..Default::default() },
-        );
+        )
+        .unwrap();
         wait_clean(&sinew, "c");
         let moved = worker.stop();
         assert_eq!(moved, 2_000);
@@ -203,7 +227,8 @@ mod tests {
             sinew.clone(),
             "c",
             BackgroundConfig { step_rows: 16, ..Default::default() },
-        );
+        )
+        .unwrap();
         worker.pause();
         std::thread::sleep(Duration::from_millis(60));
         let dirty_before = sinew.logical_schema("c").iter().filter(|c| c.dirty).count();
@@ -230,7 +255,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let worker = BackgroundMaterializer::spawn(sinew.clone(), "c", config);
+        let worker = BackgroundMaterializer::spawn(sinew.clone(), "c", config).unwrap();
         // a later load introduces a new dense key; the worker's analyzer
         // pass must pick it up and materialize it without any manual call
         let docs: String =

@@ -41,6 +41,7 @@ pub mod catalog;
 pub mod extract;
 pub mod loader;
 pub mod materializer;
+pub mod metrics;
 pub mod plan;
 pub mod rewriter;
 pub mod types;
@@ -52,6 +53,7 @@ pub use catalog::{AttrId, Catalog, ColumnState};
 pub use extract::Want;
 pub use loader::{LoadOptions, LoadReport};
 pub use materializer::{MaterializerReport, StepBudget};
+pub use metrics::{Metrics, MetricsSnapshot, StorageReport};
 pub use plan::{ExtractionPlan, PlanCache, ResolvedPath};
 pub use types::AttrType;
 
@@ -91,7 +93,10 @@ pub struct Sinew {
     /// by the `__sinew_rowid_set` UDF.
     rowid_sets: Arc<RwLock<HashMap<String, Arc<HashSet<i64>>>>>,
     /// Resumable materializer cursors per (table, attribute).
-    cursors: Mutex<HashMap<(String, AttrId), u64>>,
+    cursors: Mutex<HashMap<(String, AttrId), materializer::MoveCursor>>,
+    /// Lock-free runtime counters, shared with the plan cache, UDFs,
+    /// loader, rewriter, materializer, analyzer and background workers.
+    metrics: Arc<Metrics>,
     set_counter: Mutex<u64>,
     /// Array keys mirrored into element side-tables (paper §4.2), with the
     /// high-water row id already backfilled.
@@ -116,8 +121,9 @@ impl Sinew {
         catalog.bootstrap(&db).expect("catalog bootstrap");
         let rowid_sets: Arc<RwLock<HashMap<String, Arc<HashSet<i64>>>>> =
             Arc::new(RwLock::new(HashMap::new()));
-        let plans = Arc::new(PlanCache::new());
-        udfs::install(&db, &catalog, &plans, &rowid_sets);
+        let metrics = Arc::new(Metrics::new());
+        let plans = Arc::new(PlanCache::with_metrics(metrics.clone()));
+        udfs::install(&db, &catalog, &plans, &rowid_sets, &metrics);
         Sinew {
             db,
             catalog,
@@ -126,6 +132,7 @@ impl Sinew {
             indexes: RwLock::new(HashMap::new()),
             rowid_sets,
             cursors: Mutex::new(HashMap::new()),
+            metrics,
             set_counter: Mutex::new(0),
             element_tables: Mutex::new(HashMap::new()),
         }
@@ -144,6 +151,18 @@ impl Sinew {
     /// worker's stale-plan sweep reach through here).
     pub fn plan_cache(&self) -> &PlanCache {
         &self.plans
+    }
+
+    /// Runtime metrics for this instance (lock-free; see [`metrics`]).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Structured per-table storage introspection: physical vs virtual
+    /// columns with density/cardinality, dirty-column cursors, byte
+    /// footprints, plan-cache and background-worker state.
+    pub fn storage_report(&self, table: &str) -> DbResult<StorageReport> {
+        metrics::storage_report(self, table)
     }
 
     // ---- collections ----
@@ -205,7 +224,8 @@ impl Sinew {
         opts: LoadOptions,
     ) -> DbResult<LoadReport> {
         let _latch = self.load_latch.lock();
-        let report = loader::load_jsonl_with(&self.db, &self.catalog, table, input, opts)?;
+        let report =
+            loader::load_jsonl_metered(&self.db, &self.catalog, table, input, opts, Some(&self.metrics))?;
         self.index_new_rows(table)?;
         self.refresh_element_tables(table)?;
         Ok(report)
@@ -224,7 +244,8 @@ impl Sinew {
         opts: LoadOptions,
     ) -> DbResult<LoadReport> {
         let _latch = self.load_latch.lock();
-        let report = loader::load_docs_with(&self.db, &self.catalog, table, docs, opts)?;
+        let report =
+            loader::load_docs_metered(&self.db, &self.catalog, table, docs, opts, Some(&self.metrics))?;
         self.index_new_rows(table)?;
         self.refresh_element_tables(table)?;
         Ok(report)
@@ -359,7 +380,7 @@ impl Sinew {
         &self.load_latch
     }
 
-    pub(crate) fn cursors(&self) -> &Mutex<HashMap<(String, AttrId), u64>> {
+    pub(crate) fn cursors(&self) -> &Mutex<HashMap<(String, AttrId), materializer::MoveCursor>> {
         &self.cursors
     }
 }

@@ -40,6 +40,7 @@
 //! inserted, reporting both the line number and the byte offset.
 
 use crate::catalog::{AttrId, Catalog};
+use crate::metrics::Metrics;
 use crate::types::{encode_array, ArrayElem, AttrType};
 use sinew_json::Value;
 use sinew_rdbms::{Database, DbError, DbResult};
@@ -69,6 +70,13 @@ fn serialize_object(
     prefix: &str,
     touched: &mut Vec<AttrId>,
 ) -> DbResult<Vec<u8>> {
+    // Test seam: a document carrying this marker key panics mid-encode,
+    // letting tests prove a panicking parallel worker aborts the load
+    // cleanly. Compiled out of release builds entirely.
+    #[cfg(test)]
+    if pairs.iter().any(|(k, _)| k == "__sinew_test_panic") {
+        panic!("injected serialize panic (test hook)");
+    }
     let mut attrs: Vec<(u32, SValue)> = Vec::with_capacity(pairs.len());
     for (k, v) in pairs {
         let full = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
@@ -225,7 +233,10 @@ fn register_array(db: &Database, cat: &Catalog, items: &[Value], path: &str) -> 
 /// Apply `f` to every item on `threads` scoped workers over contiguous
 /// chunks, preserving input order. The error for the lowest-index failing
 /// item wins (chunks are contiguous and flattened in order), matching
-/// what a sequential loop would report.
+/// what a sequential loop would report. A worker that panics surfaces as
+/// a clean `DbError` instead of unwinding into the caller — since this
+/// runs strictly before the insert phase, a panicking worker leaves the
+/// table untouched.
 fn par_map_chunks<T, U, F>(items: &[T], threads: usize, f: F) -> DbResult<Vec<U>>
 where
     T: Sync,
@@ -242,7 +253,12 @@ where
             .collect();
         per_chunk = handles
             .into_iter()
-            .map(|h| h.join().expect("loader worker panicked"))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(DbError::Eval(
+                    "parallel load worker panicked; load aborted, nothing inserted".into(),
+                )),
+            })
             .collect();
     });
     let mut flat = Vec::with_capacity(items.len());
@@ -270,6 +286,22 @@ pub fn load_docs_with(
     docs: &[Value],
     opts: LoadOptions,
 ) -> DbResult<LoadReport> {
+    load_docs_metered(db, cat, table, docs, opts, None)
+}
+
+/// [`load_docs_with`] feeding throughput metrics (batch count, docs,
+/// reservoir bytes, wall time) into a [`Metrics`] sink. `Sinew`'s load
+/// entry points pass their instance metrics; standalone callers pass
+/// `None` and pay nothing.
+pub fn load_docs_metered(
+    db: &Database,
+    cat: &Catalog,
+    table: &str,
+    docs: &[Value],
+    opts: LoadOptions,
+    metrics: Option<&Metrics>,
+) -> DbResult<LoadReport> {
+    let start = std::time::Instant::now();
     let attrs_before = cat.attribute_count() as u64;
     let threads = opts.effective_threads(docs.len());
     let encoded: Vec<(Vec<u8>, Vec<AttrId>)> = if threads <= 1 {
@@ -285,7 +317,9 @@ pub fn load_docs_with(
     // Phase 3 (sequential): single insert + one batched catalog update.
     let mut rows = Vec::with_capacity(encoded.len());
     let mut counts: std::collections::HashMap<AttrId, u64> = std::collections::HashMap::new();
+    let mut reservoir_bytes = 0u64;
     for (bytes, touched) in encoded {
+        reservoir_bytes += bytes.len() as u64;
         rows.push(vec![sinew_rdbms::Datum::Bytea(bytes)]);
         for id in touched {
             *counts.entry(id).or_insert(0) += 1;
@@ -300,6 +334,16 @@ pub fn load_docs_with(
     // Materialized columns that just received reservoir data become dirty.
     cat.mark_loaded_dirty(table, &all_touched);
     cat.sync_table(db, table)?;
+    if let Some(m) = metrics {
+        m.loader_batches.inc();
+        if threads > 1 {
+            m.loader_parallel_batches.inc();
+        }
+        m.loader_docs.add(docs.len() as u64);
+        m.loader_bytes.add(reservoir_bytes);
+        m.loader_nanos.add(start.elapsed().as_nanos() as u64);
+        m.loader_batch_docs.record(docs.len() as u64);
+    }
     Ok(LoadReport {
         documents: docs.len() as u64,
         new_attributes: cat.attribute_count() as u64 - attrs_before,
@@ -322,6 +366,20 @@ pub fn load_jsonl_with(
     input: &str,
     opts: LoadOptions,
 ) -> DbResult<LoadReport> {
+    load_jsonl_metered(db, cat, table, input, opts, None)
+}
+
+/// [`load_jsonl_with`] feeding throughput metrics (see
+/// [`load_docs_metered`]); the parse phase is included in the timing.
+pub fn load_jsonl_metered(
+    db: &Database,
+    cat: &Catalog,
+    table: &str,
+    input: &str,
+    opts: LoadOptions,
+    metrics: Option<&Metrics>,
+) -> DbResult<LoadReport> {
+    let parse_start = std::time::Instant::now();
     // Mirror `sinew_json::parse_many`'s line discipline (zero-based line
     // numbers, blank lines skipped, lines trimmed) while also tracking
     // each line's absolute byte offset for error reporting.
@@ -346,7 +404,10 @@ pub fn load_jsonl_with(
     } else {
         par_map_chunks(&lines, threads, parse_line)?
     };
-    load_docs_with(db, cat, table, &docs, opts)
+    if let Some(m) = metrics {
+        m.loader_nanos.add(parse_start.elapsed().as_nanos() as u64);
+    }
+    load_docs_metered(db, cat, table, &docs, opts, metrics)
 }
 
 #[cfg(test)]
@@ -470,6 +531,34 @@ mod tests {
         assert_eq!(absolute, within + 10, "bad absolute offset in: {msg}");
         assert_eq!(db.row_count("t").unwrap(), 0, "partial load leaked rows");
         assert!(cat.ids_for_name("c").is_empty(), "attribute registered by aborted load");
+    }
+
+    #[test]
+    fn worker_panic_aborts_load_cleanly_and_leaves_table_untouched() {
+        let (db, cat) = setup();
+        // One poisoned document (see the test seam in `serialize_object`)
+        // deep in the batch: the parallel encode worker that hits it
+        // panics; the load must surface a clean error — no unwind into the
+        // caller — and insert nothing.
+        let mut docs: Vec<Value> =
+            (0..100).map(|i| parse(&format!(r#"{{"a": {i}}}"#)).unwrap()).collect();
+        docs[70] = parse(r#"{"a": 70, "__sinew_test_panic": true}"#).unwrap();
+        let err =
+            load_docs_with(&db, &cat, "t", &docs, LoadOptions { parallel: true, threads: 4 })
+                .unwrap_err();
+        assert!(
+            matches!(err, DbError::Eval(ref m) if m.contains("panicked")),
+            "unexpected error: {err:?}"
+        );
+        assert_eq!(db.row_count("t").unwrap(), 0, "partial load leaked rows");
+        // per-table counts were never bumped for the aborted batch
+        for (id, _) in cat.ids_for_name("a") {
+            assert_eq!(cat.column_state("t", id).map(|cs| cs.count).unwrap_or(0), 0);
+        }
+        // and the same table accepts a clean load afterwards
+        let ok = load_docs(&db, &cat, "t", &docs[..10]).unwrap();
+        assert_eq!(ok.documents, 10);
+        assert_eq!(db.row_count("t").unwrap(), 10);
     }
 
     fn pick_number(msg: &str, after: &str) -> usize {

@@ -14,9 +14,11 @@
 //! * **latched against the loader** — a step and a bulk load never
 //!   interleave (the paper's catalog latch).
 
+use crate::catalog::AttrId;
 use crate::extract;
 use crate::Sinew;
-use sinew_rdbms::{Datum, DbResult};
+use sinew_rdbms::{Datum, DbError, DbResult};
+use std::collections::HashSet;
 
 /// How much work one step may do.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +33,16 @@ impl Default for StepBudget {
     }
 }
 
+/// Resumable per-(table, attribute) materializer position.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MoveCursor {
+    /// Next row id to examine.
+    pub pos: u64,
+    /// Dematerialization only: rows seen so far whose column value could
+    /// not be restored (owner document missing or not a document).
+    pub stranded: u64,
+}
+
 /// What a materializer invocation did.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MaterializerReport {
@@ -40,45 +52,76 @@ pub struct MaterializerReport {
     pub rows_scanned: u64,
     /// Columns whose dirty bit was cleared during this invocation.
     pub columns_cleaned: Vec<String>,
+    /// Columns whose dematerialize pass finished its scan but was refused
+    /// completion: some values could not be restored to their owner
+    /// document, so the physical column is kept (and stays dirty) rather
+    /// than dropped with values stranded in it.
+    pub columns_deferred: Vec<String>,
+    /// Rows whose value could not be restored across deferred passes.
+    pub values_stranded: u64,
 }
 
 /// One bounded step: picks the lowest-id dirty attribute and advances it.
 pub fn run_step(sinew: &Sinew, table: &str, budget: StepBudget) -> DbResult<MaterializerReport> {
     let _latch = sinew.load_latch().lock();
-    step_locked(sinew, table, budget)
+    let mut deferred = HashSet::new();
+    step_locked(sinew, table, budget, &mut deferred)
 }
 
-/// Loop steps until no dirty columns remain.
+/// Loop steps until no dirty columns remain — except columns whose
+/// dematerialization was deferred because values could not be restored
+/// (those stay dirty; retrying within one drive would spin forever, so
+/// each `run_until_clean` call attempts every deferred column once).
 pub fn run_until_clean(sinew: &Sinew, table: &str) -> DbResult<MaterializerReport> {
     let mut total = MaterializerReport::default();
+    let mut deferred: HashSet<AttrId> = HashSet::new();
     loop {
         let _latch = sinew.load_latch().lock();
-        if sinew.catalog().dirty_attrs(table).is_empty() {
+        let dirty = sinew.catalog().dirty_attrs(table);
+        if dirty.iter().all(|a| deferred.contains(a)) {
             return Ok(total);
         }
-        let r = step_locked(sinew, table, StepBudget::default())?;
+        let r = step_locked(sinew, table, StepBudget::default(), &mut deferred)?;
         total.values_moved += r.values_moved;
         total.rows_scanned += r.rows_scanned;
         total.columns_cleaned.extend(r.columns_cleaned);
+        total.columns_deferred.extend(r.columns_deferred);
+        total.values_stranded += r.values_stranded;
     }
 }
 
-fn step_locked(sinew: &Sinew, table: &str, budget: StepBudget) -> DbResult<MaterializerReport> {
+/// Advance the lowest-id dirty attribute not in `deferred`; a pass that
+/// must be deferred adds its attribute to the set so the driving loop can
+/// move on.
+fn step_locked(
+    sinew: &Sinew,
+    table: &str,
+    budget: StepBudget,
+    deferred: &mut HashSet<AttrId>,
+) -> DbResult<MaterializerReport> {
     let cat = sinew.catalog();
     let db = sinew.db();
+    let m = sinew.metrics();
     let mut report = MaterializerReport::default();
 
     let dirty = cat.dirty_attrs(table);
-    let Some(&attr) = dirty.first() else { return Ok(report) };
-    let st = cat
-        .column_state(table, attr)
-        .expect("dirty attribute has state");
-    let (name, _ty) = cat.attr_info(attr).expect("attr registered");
+    let Some(&attr) = dirty.iter().find(|a| !deferred.contains(a)) else {
+        return Ok(report);
+    };
+    let st = cat.column_state(table, attr).ok_or_else(|| {
+        DbError::Schema(format!("dirty attribute id {attr} has no catalog state for {table}"))
+    })?;
+    let (name, _ty) = cat
+        .attr_info(attr)
+        .ok_or_else(|| DbError::NotFound(format!("attribute id {attr} in catalog")))?;
     let materializing = st.materialized;
 
     let schema = db.schema(table)?;
     let live_names: Vec<String> = schema.live_columns().map(|(_, c)| c.name.clone()).collect();
-    let data_idx = live_names.iter().position(|n| n == "data").expect("reservoir column");
+    let data_idx = live_names
+        .iter()
+        .position(|n| n == "data")
+        .ok_or_else(|| DbError::Schema(format!("collection {table} lacks a data column")))?;
     let col_idx = live_names.iter().position(|n| *n == st.column_name);
     // Dotted attributes may live inside a materialized parent object's
     // column rather than the reservoir.
@@ -88,12 +131,10 @@ fn step_locked(sinew: &Sinew, table: &str, budget: StepBudget) -> DbResult<Mater
         .as_ref()
         .and_then(|c| live_names.iter().position(|n| n == c));
 
+    let key = (table.to_string(), attr);
     let high_water = db.high_water(table)?;
-    let mut cursor = *sinew
-        .cursors()
-        .lock()
-        .get(&(table.to_string(), attr))
-        .unwrap_or(&0);
+    let MoveCursor { pos: mut cursor, mut stranded } =
+        sinew.cursors().lock().get(&key).copied().unwrap_or_default();
 
     let mut examined = 0u64;
     while cursor < high_water && examined < budget.rows {
@@ -102,19 +143,23 @@ fn step_locked(sinew: &Sinew, table: &str, budget: StepBudget) -> DbResult<Mater
         examined += 1;
         let Some(row) = db.get_row(table, rowid)? else { continue };
         // Owner document: the materialized parent's column when it holds a
-        // value for this row, else the reservoir.
-        let (owner_name, owner_skip, bytes) = match parent_idx {
-            Some(i) if !row[i].is_null() => {
-                let Datum::Bytea(b) = &row[i] else { continue };
-                (source.parent_column.as_deref().unwrap(), source.skip, b)
-            }
-            _ => {
-                let Datum::Bytea(b) = &row[data_idx] else { continue };
-                ("data", 0usize, b)
-            }
+        // value for this row, else the reservoir. `None` when neither side
+        // holds usable document bytes.
+        let owner: Option<(&str, usize, &Vec<u8>)> = match parent_idx {
+            Some(i) if !row[i].is_null() => match &row[i] {
+                Datum::Bytea(b) => {
+                    Some((source.parent_column.as_deref().unwrap_or("data"), source.skip, b))
+                }
+                _ => None,
+            },
+            _ => match &row[data_idx] {
+                Datum::Bytea(b) => Some(("data", 0usize, b)),
+                _ => None,
+            },
         };
         if materializing {
-            // owner document → physical column
+            // owner document → physical column; no document, nothing to move
+            let Some((owner_name, owner_skip, bytes)) = owner else { continue };
             let Some(value) = extract::extract_attr(cat, bytes, &name, attr)? else {
                 continue;
             };
@@ -132,12 +177,20 @@ fn step_locked(sinew: &Sinew, table: &str, budget: StepBudget) -> DbResult<Mater
                 db.update_row(table, rowid, &[(owner_name, Datum::Bytea(cleaned))])?;
             }
             report.values_moved += 1;
+            m.materializer_values_materialized.inc();
         } else {
             // physical column → owner document (dematerialization)
             let Some(i) = col_idx else { continue };
             if row[i].is_null() {
                 continue;
             }
+            let Some((owner_name, owner_skip, bytes)) = owner else {
+                // the value exists only in the column and there is no
+                // document to restore it into: dropping the column now
+                // would destroy it — count it and keep going
+                stranded += 1;
+                continue;
+            };
             let restored = extract::set_attr(cat, bytes, &name, owner_skip, attr, &row[i])?;
             db.update_row(
                 table,
@@ -145,23 +198,41 @@ fn step_locked(sinew: &Sinew, table: &str, budget: StepBudget) -> DbResult<Mater
                 &[(&st.column_name, Datum::Null), (owner_name, Datum::Bytea(restored))],
             )?;
             report.values_moved += 1;
+            m.materializer_values_dematerialized.inc();
         }
     }
     report.rows_scanned = examined;
+    m.materializer_steps.inc();
+    m.materializer_rows_scanned.add(examined);
+    m.materializer_step_rows.record(examined);
 
     if cursor >= high_water {
-        // Full pass complete: the column is clean. (The latch guarantees no
-        // load slipped new rows in during this step.)
-        cat.set_flags(table, attr, materializing, false)?;
-        if !materializing {
-            // dematerialized columns disappear from the physical schema
-            db.drop_column(table, &st.column_name)?;
+        if !materializing && stranded > 0 {
+            // Refuse to complete: `drop_column` here would strand values
+            // that never made it back to a document. Keep the column (and
+            // its dirty flag) and surface the condition; the cursor resets
+            // so a later drive rescans from the top.
+            sinew.cursors().lock().remove(&key);
+            deferred.insert(attr);
+            m.materializer_passes_deferred.inc();
+            m.materializer_rows_stranded.add(stranded);
+            report.columns_deferred.push(name);
+            report.values_stranded += stranded;
+        } else {
+            // Full pass complete: the column is clean. (The latch
+            // guarantees no load slipped new rows in during this step.)
+            cat.set_flags(table, attr, materializing, false)?;
+            if !materializing {
+                // dematerialized columns disappear from the physical schema
+                db.drop_column(table, &st.column_name)?;
+            }
+            cat.sync_table(db, table)?;
+            sinew.cursors().lock().remove(&key);
+            m.materializer_passes_completed.inc();
+            report.columns_cleaned.push(name);
         }
-        cat.sync_table(db, table)?;
-        sinew.cursors().lock().remove(&(table.to_string(), attr));
-        report.columns_cleaned.push(name);
     } else {
-        sinew.cursors().lock().insert((table.to_string(), attr), cursor);
+        sinew.cursors().lock().insert(key, MoveCursor { pos: cursor, stranded });
     }
     Ok(report)
 }

@@ -1,0 +1,734 @@
+//! Observability: lock-free runtime metrics plus per-table storage
+//! introspection.
+//!
+//! The analyzer → materializer loop (paper §3.1.3–3.1.4) makes storage-
+//! layout decisions continuously; this module makes those decisions — and
+//! the hot paths they steer — observable without perturbing them:
+//!
+//! * [`Counter`] / [`Histogram`] — relaxed-ordering atomics, no locks, no
+//!   allocation. A hot-path increment compiles to one `lock xadd`; readers
+//!   may see a slightly torn cross-counter view, which is fine for
+//!   monitoring (each individual counter is always exact).
+//! * [`Metrics`] — one instance per [`Sinew`], shared with the plan cache,
+//!   the extraction UDFs, the loader, the rewriter, the materializer, the
+//!   analyzer and the background worker. [`Metrics::snapshot`] captures
+//!   every counter into a plain [`MetricsSnapshot`].
+//! * [`StorageReport`] — a structured per-table report mapping directly to
+//!   the paper's §3.1 components: physical vs virtual columns (the §3.1.1
+//!   hybrid split) with density and sampled cardinality (the §3.1.3
+//!   analyzer inputs), dirty columns with materializer cursor positions
+//!   (§3.1.4 incremental movement), reservoir vs column byte footprints,
+//!   plan-cache and background-worker state. Built by
+//!   [`Sinew::storage_report`], rendered by [`StorageReport::render_text`]
+//!   and [`StorageReport::to_json`].
+
+use crate::analyzer;
+use crate::types::AttrType;
+use crate::Sinew;
+use sinew_json::Value;
+use sinew_rdbms::{DbError, DbResult};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// A monotonically increasing (or, for gauges, inc/dec) event count.
+/// All operations are relaxed atomics: safe from any thread, never a lock.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Gauge-style decrement (e.g. active worker count).
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+/// Power-of-two bucket count: bucket 0 holds value 0, bucket k holds
+/// values in `[2^(k-1), 2^k)`, the last bucket absorbs everything above.
+const HIST_BUCKETS: usize = 17;
+
+/// A lock-free log₂-bucketed histogram (batch sizes, step widths).
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Non-empty buckets as `(inclusive lower bound, count)`.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Relaxed);
+                (n > 0).then(|| (if i == 0 { 0 } else { 1u64 << (i - 1) }, n))
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram(n={}, mean={:.1})", self.count(), self.mean())
+    }
+}
+
+/// Every runtime counter of one `Sinew` instance. Incremented from the
+/// hot paths listed per field; read via [`Metrics::snapshot`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    // -- plan cache (plan.rs) --
+    /// `PlanCache::get` returned a cached, epoch-current plan.
+    pub plan_cache_hits: Counter,
+    /// `PlanCache::get` found no plan for `(path, want)` and built one.
+    pub plan_cache_misses: Counter,
+    /// `PlanCache::get` found a plan invalidated by a catalog epoch bump
+    /// (schema change) and rebuilt it.
+    pub plan_cache_stale_rebuilds: Counter,
+    /// Stale plans evicted by `PlanCache::sweep`.
+    pub plan_cache_swept: Counter,
+
+    // -- extraction UDFs (udfs.rs) --
+    /// Per-tuple `extract_key_*` invocations.
+    pub udf_extractions: Counter,
+    /// Per-tuple `exists_key` invocations.
+    pub udf_exists_probes: Counter,
+
+    // -- rewriter (rewriter.rs) --
+    /// Logical statements rewritten to physical SQL.
+    pub queries_rewritten: Counter,
+    /// Column references that passed through as clean physical columns.
+    pub rewritten_physical_refs: Counter,
+    /// Column references rewritten to pure extraction (virtual columns).
+    pub rewritten_virtual_refs: Counter,
+    /// Column references rewritten to `COALESCE(col, extract…)` (dirty).
+    pub rewritten_coalesce_refs: Counter,
+
+    // -- loader (loader.rs) --
+    /// Bulk-load batches completed.
+    pub loader_batches: Counter,
+    /// Batches that used the parallel encode phase.
+    pub loader_parallel_batches: Counter,
+    /// Documents loaded.
+    pub loader_docs: Counter,
+    /// Reservoir bytes produced by serialization.
+    pub loader_bytes: Counter,
+    /// Wall-clock nanoseconds spent in bulk loads (throughput denominator).
+    pub loader_nanos: Counter,
+    /// Distribution of batch sizes (documents per load call).
+    pub loader_batch_docs: Histogram,
+
+    // -- materializer (materializer.rs) --
+    /// Bounded steps executed.
+    pub materializer_steps: Counter,
+    /// Rows examined across all steps.
+    pub materializer_rows_scanned: Counter,
+    /// Values moved reservoir → physical column.
+    pub materializer_values_materialized: Counter,
+    /// Values moved physical column → reservoir (dematerialization).
+    pub materializer_values_dematerialized: Counter,
+    /// Full passes that completed and cleaned their column.
+    pub materializer_passes_completed: Counter,
+    /// Dematerialize passes that finished their scan but refused to drop
+    /// the column because values could not be restored (owner document
+    /// missing or not a document). The column stays dirty.
+    pub materializer_passes_deferred: Counter,
+    /// Rows whose column value could not be restored during deferred
+    /// dematerialize passes (each deferral adds its stranded-row count).
+    pub materializer_rows_stranded: Counter,
+    /// Distribution of rows examined per step.
+    pub materializer_step_rows: Histogram,
+
+    // -- analyzer (analyzer.rs) --
+    /// Analyzer passes run.
+    pub analyzer_runs: Counter,
+    /// Rows sampled for cardinality estimation.
+    pub analyzer_rows_sampled: Counter,
+    /// Materialize decisions taken.
+    pub analyzer_materialize_decisions: Counter,
+    /// Dematerialize decisions taken.
+    pub analyzer_dematerialize_decisions: Counter,
+
+    // -- background worker (background.rs) --
+    /// Currently running background materializer threads (gauge).
+    pub background_workers_active: Counter,
+    /// Materializer steps driven by background workers.
+    pub background_steps: Counter,
+    /// Background step errors (table dropped, transient failures).
+    pub background_errors: Counter,
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Capture every counter at one (relaxed) point in time.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            plan_cache_hits: self.plan_cache_hits.get(),
+            plan_cache_misses: self.plan_cache_misses.get(),
+            plan_cache_stale_rebuilds: self.plan_cache_stale_rebuilds.get(),
+            plan_cache_swept: self.plan_cache_swept.get(),
+            udf_extractions: self.udf_extractions.get(),
+            udf_exists_probes: self.udf_exists_probes.get(),
+            queries_rewritten: self.queries_rewritten.get(),
+            rewritten_physical_refs: self.rewritten_physical_refs.get(),
+            rewritten_virtual_refs: self.rewritten_virtual_refs.get(),
+            rewritten_coalesce_refs: self.rewritten_coalesce_refs.get(),
+            loader_batches: self.loader_batches.get(),
+            loader_parallel_batches: self.loader_parallel_batches.get(),
+            loader_docs: self.loader_docs.get(),
+            loader_bytes: self.loader_bytes.get(),
+            loader_nanos: self.loader_nanos.get(),
+            loader_batch_docs_mean: self.loader_batch_docs.mean(),
+            materializer_steps: self.materializer_steps.get(),
+            materializer_rows_scanned: self.materializer_rows_scanned.get(),
+            materializer_values_materialized: self.materializer_values_materialized.get(),
+            materializer_values_dematerialized: self.materializer_values_dematerialized.get(),
+            materializer_passes_completed: self.materializer_passes_completed.get(),
+            materializer_passes_deferred: self.materializer_passes_deferred.get(),
+            materializer_rows_stranded: self.materializer_rows_stranded.get(),
+            materializer_step_rows_mean: self.materializer_step_rows.mean(),
+            analyzer_runs: self.analyzer_runs.get(),
+            analyzer_rows_sampled: self.analyzer_rows_sampled.get(),
+            analyzer_materialize_decisions: self.analyzer_materialize_decisions.get(),
+            analyzer_dematerialize_decisions: self.analyzer_dematerialize_decisions.get(),
+            background_workers_active: self.background_workers_active.get(),
+            background_steps: self.background_steps.get(),
+            background_errors: self.background_errors.get(),
+        }
+    }
+}
+
+/// A plain-data copy of [`Metrics`] at one point in time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub plan_cache_hits: u64,
+    pub plan_cache_misses: u64,
+    pub plan_cache_stale_rebuilds: u64,
+    pub plan_cache_swept: u64,
+    pub udf_extractions: u64,
+    pub udf_exists_probes: u64,
+    pub queries_rewritten: u64,
+    pub rewritten_physical_refs: u64,
+    pub rewritten_virtual_refs: u64,
+    pub rewritten_coalesce_refs: u64,
+    pub loader_batches: u64,
+    pub loader_parallel_batches: u64,
+    pub loader_docs: u64,
+    pub loader_bytes: u64,
+    pub loader_nanos: u64,
+    pub loader_batch_docs_mean: f64,
+    pub materializer_steps: u64,
+    pub materializer_rows_scanned: u64,
+    pub materializer_values_materialized: u64,
+    pub materializer_values_dematerialized: u64,
+    pub materializer_passes_completed: u64,
+    pub materializer_passes_deferred: u64,
+    pub materializer_rows_stranded: u64,
+    pub materializer_step_rows_mean: f64,
+    pub analyzer_runs: u64,
+    pub analyzer_rows_sampled: u64,
+    pub analyzer_materialize_decisions: u64,
+    pub analyzer_dematerialize_decisions: u64,
+    pub background_workers_active: u64,
+    pub background_steps: u64,
+    pub background_errors: u64,
+}
+
+impl MetricsSnapshot {
+    /// Hit fraction over all plan-cache probes (0.0 when none happened).
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total =
+            self.plan_cache_hits + self.plan_cache_misses + self.plan_cache_stale_rebuilds;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Loader throughput in documents per second (0.0 before any load).
+    pub fn loader_docs_per_sec(&self) -> f64 {
+        if self.loader_nanos == 0 {
+            0.0
+        } else {
+            self.loader_docs as f64 / (self.loader_nanos as f64 / 1e9)
+        }
+    }
+
+    fn json_fields(&self) -> Vec<(String, Value)> {
+        let i = |v: u64| Value::Int(v as i64);
+        vec![
+            ("plan_cache_hits".into(), i(self.plan_cache_hits)),
+            ("plan_cache_misses".into(), i(self.plan_cache_misses)),
+            ("plan_cache_stale_rebuilds".into(), i(self.plan_cache_stale_rebuilds)),
+            ("plan_cache_swept".into(), i(self.plan_cache_swept)),
+            ("plan_cache_hit_rate".into(), Value::Float(self.plan_cache_hit_rate())),
+            ("udf_extractions".into(), i(self.udf_extractions)),
+            ("udf_exists_probes".into(), i(self.udf_exists_probes)),
+            ("queries_rewritten".into(), i(self.queries_rewritten)),
+            ("rewritten_physical_refs".into(), i(self.rewritten_physical_refs)),
+            ("rewritten_virtual_refs".into(), i(self.rewritten_virtual_refs)),
+            ("rewritten_coalesce_refs".into(), i(self.rewritten_coalesce_refs)),
+            ("loader_batches".into(), i(self.loader_batches)),
+            ("loader_parallel_batches".into(), i(self.loader_parallel_batches)),
+            ("loader_docs".into(), i(self.loader_docs)),
+            ("loader_bytes".into(), i(self.loader_bytes)),
+            ("loader_nanos".into(), i(self.loader_nanos)),
+            ("loader_docs_per_sec".into(), Value::Float(self.loader_docs_per_sec())),
+            ("materializer_steps".into(), i(self.materializer_steps)),
+            ("materializer_rows_scanned".into(), i(self.materializer_rows_scanned)),
+            (
+                "materializer_values_materialized".into(),
+                i(self.materializer_values_materialized),
+            ),
+            (
+                "materializer_values_dematerialized".into(),
+                i(self.materializer_values_dematerialized),
+            ),
+            ("materializer_passes_completed".into(), i(self.materializer_passes_completed)),
+            ("materializer_passes_deferred".into(), i(self.materializer_passes_deferred)),
+            ("materializer_rows_stranded".into(), i(self.materializer_rows_stranded)),
+            ("analyzer_runs".into(), i(self.analyzer_runs)),
+            ("analyzer_rows_sampled".into(), i(self.analyzer_rows_sampled)),
+            ("analyzer_materialize_decisions".into(), i(self.analyzer_materialize_decisions)),
+            (
+                "analyzer_dematerialize_decisions".into(),
+                i(self.analyzer_dematerialize_decisions),
+            ),
+            ("background_workers_active".into(), i(self.background_workers_active)),
+            ("background_steps".into(), i(self.background_steps)),
+            ("background_errors".into(), i(self.background_errors)),
+        ]
+    }
+}
+
+/// Which way the materializer is moving a dirty column (§3.1.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveDirection {
+    /// Reservoir → physical column.
+    Materialize,
+    /// Physical column → reservoir.
+    Dematerialize,
+}
+
+/// Materializer progress on one dirty column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CursorReport {
+    /// Next row id the materializer will examine.
+    pub position: u64,
+    /// Row-id high-water mark the pass runs to.
+    pub high_water: u64,
+    pub direction: MoveDirection,
+    /// Rows whose value could not be restored so far (dematerialize only).
+    pub stranded: u64,
+}
+
+/// One attribute of the universal relation, as stored right now.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnReport {
+    pub name: String,
+    pub ty: AttrType,
+    /// Documents containing this attribute.
+    pub count: u64,
+    /// `count / rows` — the §3.1.3 density signal.
+    pub density: f64,
+    /// Distinct values over the report's row sample — the §3.1.3
+    /// cardinality signal.
+    pub distinct_sampled: u64,
+    pub materialized: bool,
+    pub dirty: bool,
+    /// Physical column name used when (or if) materialized.
+    pub column_name: String,
+    /// Present while the materializer is mid-pass on this column.
+    pub cursor: Option<CursorReport>,
+}
+
+/// Structured per-table storage introspection (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageReport {
+    pub table: String,
+    pub rows: u64,
+    /// Attributes whose physical column currently exists in the RDBMS
+    /// schema (clean physical, materializing, or dematerializing).
+    pub physical_columns: Vec<ColumnReport>,
+    /// Attributes living only in the column reservoir.
+    pub virtual_columns: Vec<ColumnReport>,
+    /// Bytes held in the `data` reservoir column.
+    pub reservoir_bytes: u64,
+    /// Bytes held in materialized physical columns.
+    pub column_bytes: u64,
+    /// Rows sampled for the per-column cardinality estimates.
+    pub sampled_rows: u64,
+    /// Live `(path, want)` plans currently cached.
+    pub plan_cache_entries: u64,
+    /// Instance-wide counters at report time.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Cardinality sampling ceiling for reports: enough rows for a useful
+/// distinct estimate without turning introspection into a table scan of
+/// the reservoir decoder.
+const REPORT_SAMPLE_ROWS: u64 = 10_000;
+
+pub(crate) fn storage_report(sinew: &Sinew, table: &str) -> DbResult<StorageReport> {
+    let db = sinew.db();
+    let cat = sinew.catalog();
+    if !cat.is_collection(table) {
+        return Err(DbError::NotFound(format!("collection {table}")));
+    }
+    let rows = db.row_count(table)?;
+    let high_water = db.high_water(table)?;
+    let state = cat.table_state(table);
+    let ids: Vec<crate::catalog::AttrId> = state.iter().map(|(id, _)| *id).collect();
+    let (cardinality, sampled_rows) =
+        analyzer::estimate_cardinality(sinew, table, &ids, REPORT_SAMPLE_ROWS)?;
+
+    // One scan for the byte split: reservoir vs physical columns.
+    let schema = db.schema(table)?;
+    let live_names: Vec<String> = schema.live_columns().map(|(_, c)| c.name.clone()).collect();
+    let data_idx = live_names
+        .iter()
+        .position(|n| n == "data")
+        .ok_or_else(|| DbError::Schema(format!("collection {table} lacks a data column")))?;
+    let mut reservoir_bytes = 0u64;
+    let mut column_bytes = 0u64;
+    db.scan_rows(table, &mut |_, row| {
+        for (i, d) in row.iter().enumerate() {
+            if d.is_null() {
+                continue;
+            }
+            if i == data_idx {
+                reservoir_bytes += d.width() as u64;
+            } else {
+                column_bytes += d.width() as u64;
+            }
+        }
+        Ok(true)
+    })?;
+
+    let cursors = sinew.cursors().lock();
+    let mut physical_columns = Vec::new();
+    let mut virtual_columns = Vec::new();
+    for (id, st) in &state {
+        let Some((name, ty)) = cat.attr_info(*id) else { continue };
+        let column_exists = schema.index_of(&st.column_name).is_some();
+        let cursor = if st.dirty {
+            let c = cursors.get(&(table.to_string(), *id)).copied().unwrap_or_default();
+            Some(CursorReport {
+                position: c.pos,
+                high_water,
+                direction: if st.materialized {
+                    MoveDirection::Materialize
+                } else {
+                    MoveDirection::Dematerialize
+                },
+                stranded: c.stranded,
+            })
+        } else {
+            None
+        };
+        let report = ColumnReport {
+            name,
+            ty,
+            count: st.count,
+            density: if rows == 0 { 0.0 } else { st.count as f64 / rows as f64 },
+            distinct_sampled: cardinality.get(id).copied().unwrap_or(0),
+            materialized: st.materialized,
+            dirty: st.dirty,
+            column_name: st.column_name.clone(),
+            cursor,
+        };
+        if column_exists {
+            physical_columns.push(report);
+        } else {
+            virtual_columns.push(report);
+        }
+    }
+    drop(cursors);
+
+    Ok(StorageReport {
+        table: table.to_string(),
+        rows,
+        physical_columns,
+        virtual_columns,
+        reservoir_bytes,
+        column_bytes,
+        sampled_rows,
+        plan_cache_entries: sinew.plan_cache().len() as u64,
+        metrics: sinew.metrics().snapshot(),
+    })
+}
+
+impl StorageReport {
+    /// Human-readable multi-line rendering (the `sinew-bench`
+    /// `storage_report` binary and the CLI's `.report` command print this).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let m = &self.metrics;
+        let _ = writeln!(out, "== storage report: {} ==", self.table);
+        let _ = writeln!(
+            out,
+            "rows: {}   reservoir: {} B   physical columns: {} B",
+            self.rows, self.reservoir_bytes, self.column_bytes
+        );
+        let render_cols = |out: &mut String, label: &str, cols: &[ColumnReport]| {
+            let _ = writeln!(out, "{label} ({}):", cols.len());
+            for c in cols {
+                let mut line = format!(
+                    "  {:<24} {:<7} density {:.3}  distinct~{:<6} ",
+                    c.name,
+                    format!("{:?}", c.ty),
+                    c.density,
+                    c.distinct_sampled
+                );
+                if c.materialized || c.dirty {
+                    line.push_str(&format!("col={} ", c.column_name));
+                }
+                if c.dirty {
+                    line.push_str("dirty ");
+                }
+                if let Some(cur) = &c.cursor {
+                    line.push_str(&format!(
+                        "[{} {}/{}{}]",
+                        match cur.direction {
+                            MoveDirection::Materialize => "→col",
+                            MoveDirection::Dematerialize => "→doc",
+                        },
+                        cur.position,
+                        cur.high_water,
+                        if cur.stranded > 0 {
+                            format!(", {} stranded", cur.stranded)
+                        } else {
+                            String::new()
+                        }
+                    ));
+                }
+                let _ = writeln!(out, "{}", line.trim_end());
+            }
+        };
+        render_cols(&mut out, "physical columns", &self.physical_columns);
+        render_cols(&mut out, "virtual columns", &self.virtual_columns);
+        let _ = writeln!(
+            out,
+            "plan cache: {} entries; {} hits, {} misses, {} stale rebuilds (hit rate {:.1}%)",
+            self.plan_cache_entries,
+            m.plan_cache_hits,
+            m.plan_cache_misses,
+            m.plan_cache_stale_rebuilds,
+            m.plan_cache_hit_rate() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "materializer: {} steps, {} rows scanned; moved {} →col, {} →doc; \
+             passes {} completed, {} deferred ({} rows stranded)",
+            m.materializer_steps,
+            m.materializer_rows_scanned,
+            m.materializer_values_materialized,
+            m.materializer_values_dematerialized,
+            m.materializer_passes_completed,
+            m.materializer_passes_deferred,
+            m.materializer_rows_stranded
+        );
+        let _ = writeln!(
+            out,
+            "analyzer: {} runs, {} rows sampled; {} materialize / {} dematerialize decisions",
+            m.analyzer_runs,
+            m.analyzer_rows_sampled,
+            m.analyzer_materialize_decisions,
+            m.analyzer_dematerialize_decisions
+        );
+        let _ = writeln!(
+            out,
+            "loader: {} batches ({} parallel), {} docs, {} B ({:.0} docs/s)",
+            m.loader_batches,
+            m.loader_parallel_batches,
+            m.loader_docs,
+            m.loader_bytes,
+            m.loader_docs_per_sec()
+        );
+        let _ = writeln!(
+            out,
+            "rewriter: {} statements; refs: {} physical, {} virtual, {} coalesce; \
+             udf calls: {} extract, {} exists",
+            m.queries_rewritten,
+            m.rewritten_physical_refs,
+            m.rewritten_virtual_refs,
+            m.rewritten_coalesce_refs,
+            m.udf_extractions,
+            m.udf_exists_probes
+        );
+        let _ = writeln!(
+            out,
+            "background: {} active workers, {} steps, {} errors",
+            m.background_workers_active, m.background_steps, m.background_errors
+        );
+        out
+    }
+
+    /// The full report as a JSON document (machine-readable twin of
+    /// [`Self::render_text`]; the CI smoke test parses this back).
+    pub fn to_json(&self) -> String {
+        let col = |c: &ColumnReport| {
+            let mut fields = vec![
+                ("name".to_string(), Value::Str(c.name.clone())),
+                ("type".to_string(), Value::Str(format!("{:?}", c.ty))),
+                ("count".to_string(), Value::Int(c.count as i64)),
+                ("density".to_string(), Value::Float(c.density)),
+                ("distinct_sampled".to_string(), Value::Int(c.distinct_sampled as i64)),
+                ("materialized".to_string(), Value::Bool(c.materialized)),
+                ("dirty".to_string(), Value::Bool(c.dirty)),
+                ("column_name".to_string(), Value::Str(c.column_name.clone())),
+            ];
+            if let Some(cur) = &c.cursor {
+                fields.push((
+                    "cursor".to_string(),
+                    Value::Object(vec![
+                        ("position".to_string(), Value::Int(cur.position as i64)),
+                        ("high_water".to_string(), Value::Int(cur.high_water as i64)),
+                        (
+                            "direction".to_string(),
+                            Value::Str(
+                                match cur.direction {
+                                    MoveDirection::Materialize => "materialize",
+                                    MoveDirection::Dematerialize => "dematerialize",
+                                }
+                                .to_string(),
+                            ),
+                        ),
+                        ("stranded".to_string(), Value::Int(cur.stranded as i64)),
+                    ]),
+                ));
+            }
+            Value::Object(fields)
+        };
+        Value::Object(vec![
+            ("table".to_string(), Value::Str(self.table.clone())),
+            ("rows".to_string(), Value::Int(self.rows as i64)),
+            (
+                "physical_columns".to_string(),
+                Value::Array(self.physical_columns.iter().map(col).collect()),
+            ),
+            (
+                "virtual_columns".to_string(),
+                Value::Array(self.virtual_columns.iter().map(col).collect()),
+            ),
+            ("reservoir_bytes".to_string(), Value::Int(self.reservoir_bytes as i64)),
+            ("column_bytes".to_string(), Value::Int(self.column_bytes as i64)),
+            ("sampled_rows".to_string(), Value::Int(self.sampled_rows as i64)),
+            ("plan_cache_entries".to_string(), Value::Int(self.plan_cache_entries as i64)),
+            ("metrics".to_string(), Value::Object(self.metrics.json_fields())),
+        ])
+        .to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic_and_cheap() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.dec();
+        assert_eq!(c.get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 900, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        let buckets = h.buckets();
+        assert!(buckets.iter().any(|(lo, n)| *lo == 0 && *n == 1), "{buckets:?}");
+        assert!(buckets.iter().any(|(lo, n)| *lo == 2 && *n == 2), "{buckets:?}");
+        assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = Metrics::new();
+        m.plan_cache_hits.add(9);
+        m.plan_cache_misses.inc();
+        let s = m.snapshot();
+        assert_eq!(s.plan_cache_hits, 9);
+        assert_eq!(s.plan_cache_misses, 1);
+        assert!((s.plan_cache_hit_rate() - 0.9).abs() < 1e-9);
+    }
+}

@@ -31,6 +31,7 @@
 
 use crate::catalog::{AttrId, Catalog};
 use crate::extract::{self, Want};
+use crate::metrics::Metrics;
 use crate::types::AttrType;
 use parking_lot::RwLock;
 use sinew_rdbms::{Datum, DbResult};
@@ -217,14 +218,26 @@ const WANT_SLOTS: usize = 8;
 /// Process-wide plan store: path → one plan slot per [`Want`] variant.
 /// Keyed by `String` but probed by `&str`, so a per-tuple hit allocates
 /// nothing. The lock guards the *cache map*, never the catalog.
-#[derive(Default)]
 pub struct PlanCache {
     plans: RwLock<HashMap<String, [Option<Arc<ExtractionPlan>>; WANT_SLOTS]>>,
+    metrics: Arc<Metrics>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
 }
 
 impl PlanCache {
     pub fn new() -> PlanCache {
-        PlanCache::default()
+        PlanCache::with_metrics(Arc::new(Metrics::new()))
+    }
+
+    /// A cache feeding the given metrics sink (the owning `Sinew` shares
+    /// its instance-wide [`Metrics`] here).
+    pub fn with_metrics(metrics: Arc<Metrics>) -> PlanCache {
+        PlanCache { plans: RwLock::new(HashMap::new()), metrics }
     }
 
     /// Fetch the current plan for `(path, want)`, building or rebuilding
@@ -234,12 +247,13 @@ impl PlanCache {
         let slot = want_slot(want);
         {
             let plans = self.plans.read();
-            if let Some(row) = plans.get(path) {
-                if let Some(plan) = &row[slot] {
-                    if plan.is_current(cat) {
-                        return plan.clone();
-                    }
+            match plans.get(path).and_then(|row| row[slot].as_ref()) {
+                Some(plan) if plan.is_current(cat) => {
+                    self.metrics.plan_cache_hits.inc();
+                    return plan.clone();
                 }
+                Some(_) => self.metrics.plan_cache_stale_rebuilds.inc(),
+                None => self.metrics.plan_cache_misses.inc(),
             }
         }
         let fresh = Arc::new(ExtractionPlan::build(cat, path, want));
@@ -269,15 +283,18 @@ impl PlanCache {
     /// revalidates per call.
     pub fn sweep(&self, cat: &Catalog) {
         let epoch = cat.epoch();
+        let mut swept = 0u64;
         let mut plans = self.plans.write();
         for row in plans.values_mut() {
             for slot in row.iter_mut() {
                 if slot.as_ref().is_some_and(|p| p.epoch != epoch) {
                     *slot = None;
+                    swept += 1;
                 }
             }
         }
         plans.retain(|_, row| row.iter().any(|s| s.is_some()));
+        self.metrics.plan_cache_swept.add(swept);
     }
 
     /// Number of live cached plans (tests, stats).

@@ -83,9 +83,18 @@ impl<'a> Ctx<'a> {
 /// Rewrite any statement against the Sinew catalog.
 pub fn rewrite_statement(sinew: &Sinew, stmt: &Statement) -> DbResult<Statement> {
     match stmt {
-        Statement::Select(sel) => Ok(Statement::Select(rewrite_select(sinew, sel)?)),
-        Statement::Update(upd) => rewrite_update(sinew, upd),
-        Statement::Delete(del) => rewrite_delete(sinew, del),
+        Statement::Select(sel) => {
+            sinew.metrics().queries_rewritten.inc();
+            Ok(Statement::Select(rewrite_select(sinew, sel)?))
+        }
+        Statement::Update(upd) => {
+            sinew.metrics().queries_rewritten.inc();
+            rewrite_update(sinew, upd)
+        }
+        Statement::Delete(del) => {
+            sinew.metrics().queries_rewritten.inc();
+            rewrite_delete(sinew, del)
+        }
         Statement::Explain(inner) => Ok(Statement::Explain(Box::new(rewrite_statement(
             sinew, inner,
         )?))),
@@ -449,7 +458,11 @@ fn rewrite_column(
     let mut parts: Vec<Expr> = Vec::new();
     let mut needs_extract = relevant.is_empty();
     for (_, ty, st) in &relevant {
-        if st.materialized {
+        // The physical column exists whenever the attribute is materialized
+        // OR dirty: a dematerializing column (materialized=false,
+        // dirty=true) still holds every value the materializer has not yet
+        // moved back, so reads must probe it first.
+        if st.materialized || st.dirty {
             let col = Expr::Column {
                 table: Some(binding.to_string()),
                 column: st.column_name.clone(),
@@ -484,6 +497,14 @@ fn rewrite_column(
         ctx.sinew.plan_cache().prepare(ctx.sinew.catalog(), name, want);
         parts.push(Expr::func(extract_fn, vec![source_expr, Expr::lit_str(name)]));
     }
+    let m = ctx.sinew.metrics();
+    if parts.len() > 1 {
+        m.rewritten_coalesce_refs.inc();
+    } else if needs_extract {
+        m.rewritten_virtual_refs.inc();
+    } else {
+        m.rewritten_physical_refs.inc();
+    }
     Ok(if parts.len() == 1 {
         parts.pop().unwrap()
     } else {
@@ -507,7 +528,11 @@ fn rewrite_update(sinew: &Sinew, upd: &Update) -> DbResult<Statement> {
         let mut value = value.clone();
         rewrite_expr(&ctx, &mut value, Hint::None)?;
         let states = sinew.catalog().states_for_name(&upd.table, col);
-        let materialized: Vec<_> = states.iter().filter(|(_, _, st)| st.materialized).collect();
+        // include dematerializing columns: their physical column still
+        // exists and holds the live value, so assignments must write it
+        // (the stale document copy is removed below when dirty)
+        let materialized: Vec<_> =
+            states.iter().filter(|(_, _, st)| st.materialized || st.dirty).collect();
         // Where does this key's document live? (reservoir or a
         // materialized ancestor object's column)
         let source = crate::extract::attr_source(sinew.catalog(), &upd.table, col);

@@ -21,6 +21,7 @@
 
 use crate::catalog::Catalog;
 use crate::extract::{self, Want};
+use crate::metrics::Metrics;
 use crate::plan::PlanCache;
 use parking_lot::RwLock;
 use sinew_rdbms::{Database, Datum, DbError, DbResult};
@@ -36,13 +37,16 @@ pub(crate) fn install(
     catalog: &Arc<Catalog>,
     plans: &Arc<PlanCache>,
     rowid_sets: &RowIdSets,
+    metrics: &Arc<Metrics>,
 ) {
     // Extraction goes through the query-scoped plan cache: path
     // resolution happens once per (path, want, catalog epoch), and the
     // per-tuple call is a read-locked cache probe plus lock-free,
     // allocation-free descent (see plan.rs / DESIGN.md "Hot paths").
-    let extractor = |cat: Arc<Catalog>, plans: Arc<PlanCache>, want: Want| {
+    // Per-tuple accounting is one relaxed atomic add — no locks.
+    let extractor = |cat: Arc<Catalog>, plans: Arc<PlanCache>, m: Arc<Metrics>, want: Want| {
         move |args: &[Datum]| -> DbResult<Datum> {
+            m.udf_extractions.inc();
             let (bytes, path) = two_args(args, "extract_key")?;
             let Some(bytes) = bytes else { return Ok(Datum::Null) };
             Ok(plans.get(&cat, path, want).extract(&cat, bytes))
@@ -58,14 +62,19 @@ pub(crate) fn install(
         ("extract_key_obj", Want::Object),
         ("extract_key_arr", Want::Array),
     ] {
-        db.register_udf(name, Arc::new(extractor(catalog.clone(), plans.clone(), want)));
+        db.register_udf(
+            name,
+            Arc::new(extractor(catalog.clone(), plans.clone(), metrics.clone(), want)),
+        );
     }
 
     let cat = catalog.clone();
     let exists_plans = plans.clone();
+    let exists_metrics = metrics.clone();
     db.register_udf(
         "exists_key",
         Arc::new(move |args: &[Datum]| -> DbResult<Datum> {
+            exists_metrics.udf_exists_probes.inc();
             let (bytes, path) = two_args(args, "exists_key")?;
             let Some(bytes) = bytes else { return Ok(Datum::Bool(false)) };
             Ok(Datum::Bool(exists_plans.get(&cat, path, Want::AnyText).exists(bytes)))

@@ -40,7 +40,8 @@ fn promotion_mid_workload_invalidates_plans_and_keeps_queries_correct() {
         sinew.clone(),
         "c",
         BackgroundConfig { step_rows: 64, ..Default::default() },
-    );
+    )
+    .unwrap();
 
     // Race the promotion: every query issued while the materializer moves
     // values must still see all N rows (dirty columns rewrite to

@@ -1,0 +1,204 @@
+//! End-to-end coverage of the analyzer → materializer loop (paper §3.1.3
+//! / §3.1.4) through the introspection layer: attributes crossing the
+//! materialization threshold in both directions, every value readable via
+//! SQL before, during (bounded steps), and after movement — including the
+//! stranded-value dematerialization scenario the materializer must refuse
+//! to complete.
+
+use sinew_core::metrics::MoveDirection;
+use sinew_core::{AnalyzerDecision, AnalyzerPolicy, Sinew, StepBudget};
+use sinew_rdbms::Datum;
+
+const N: i64 = 500;
+
+fn loaded() -> Sinew {
+    let sinew = Sinew::in_memory();
+    sinew.create_collection("c").unwrap();
+    // "k" is dense and high-cardinality (materialization candidate);
+    // "rare" appears in 10% of documents and must stay virtual.
+    let docs: String = (0..N)
+        .map(|i| {
+            if i % 10 == 0 {
+                format!("{{\"k\": \"v{i}\", \"rare\": {i}}}\n")
+            } else {
+                format!("{{\"k\": \"v{i}\"}}\n")
+            }
+        })
+        .collect();
+    sinew.load_jsonl("c", &docs).unwrap();
+    sinew
+}
+
+fn policy() -> AnalyzerPolicy {
+    AnalyzerPolicy { density_threshold: 0.5, cardinality_threshold: 100, sample_rows: 5_000 }
+}
+
+fn count_k(sinew: &Sinew) -> i64 {
+    let r = sinew.query("SELECT COUNT(*) FROM c WHERE k IS NOT NULL").unwrap();
+    match r.rows[0][0] {
+        Datum::Int(n) => n,
+        ref other => panic!("expected int count, got {other:?}"),
+    }
+}
+
+fn find_col<'a>(
+    cols: &'a [sinew_core::metrics::ColumnReport],
+    name: &str,
+) -> Option<&'a sinew_core::metrics::ColumnReport> {
+    cols.iter().find(|c| c.name == name)
+}
+
+#[test]
+fn threshold_crossing_both_directions_with_live_reports() {
+    let sinew = loaded();
+
+    // Before any movement: everything virtual, values readable.
+    let before = sinew.storage_report("c").unwrap();
+    assert_eq!(before.rows, N as u64);
+    assert!(before.reservoir_bytes > 0);
+    assert_eq!(before.column_bytes, 0);
+    assert!(find_col(&before.virtual_columns, "k").is_some());
+    assert!(before.physical_columns.is_empty());
+    assert_eq!(count_k(&sinew), N);
+
+    // Analyzer promotes "k" (dense + high cardinality), leaves "rare".
+    let decisions = sinew.run_analyzer("c", &policy()).unwrap();
+    assert!(decisions.iter().any(|d| matches!(
+        d,
+        AnalyzerDecision::Materialize { name, .. } if name == "k"
+    )));
+    assert!(!decisions.iter().any(|d| matches!(
+        d,
+        AnalyzerDecision::Materialize { name, .. } | AnalyzerDecision::Dematerialize { name, .. }
+            if name == "rare"
+    )));
+
+    // Mid-materialization (bounded budget): column is physical + dirty,
+    // cursor mid-pass, and every value still visible through COALESCE.
+    let step = sinew.materialize_step("c", StepBudget { rows: 100 }).unwrap();
+    assert_eq!(step.rows_scanned, 100);
+    let mid = sinew.storage_report("c").unwrap();
+    let k = find_col(&mid.physical_columns, "k").expect("k physical while dirty");
+    assert!(k.dirty && k.materialized);
+    let cursor = k.cursor.as_ref().expect("cursor mid-pass");
+    assert_eq!(cursor.direction, MoveDirection::Materialize);
+    assert!(cursor.position > 0 && cursor.position < cursor.high_water);
+    assert_eq!(count_k(&sinew), N);
+
+    // Finish the pass: clean physical column, bytes moved out of the
+    // reservoir, values intact.
+    let done = sinew.materialize_until_clean("c").unwrap();
+    assert!(done.columns_cleaned.contains(&"k".to_string()));
+    assert!(done.columns_deferred.is_empty());
+    let after = sinew.storage_report("c").unwrap();
+    let k = find_col(&after.physical_columns, "k").expect("k physical when clean");
+    assert!(k.materialized && !k.dirty && k.cursor.is_none());
+    assert!(after.column_bytes > 0);
+    assert!(after.reservoir_bytes < before.reservoir_bytes);
+    assert_eq!(count_k(&sinew), N);
+
+    // Repeated extraction query → plan-cache hit rate is nonzero in the
+    // report ("rare" is still virtual, so this goes through the UDFs).
+    for _ in 0..3 {
+        sinew.query("SELECT COUNT(*) FROM c WHERE rare IS NOT NULL").unwrap();
+    }
+    let warmed = sinew.storage_report("c").unwrap();
+    assert!(warmed.metrics.plan_cache_hit_rate() > 0.0);
+    assert!(warmed.metrics.udf_extractions > 0);
+    assert!(warmed.metrics.queries_rewritten > 0);
+    assert!(warmed.metrics.analyzer_runs >= 1);
+    assert!(warmed.metrics.materializer_passes_completed >= 1);
+
+    // Reverse crossing: a stricter policy demotes "k".
+    let strict = AnalyzerPolicy { cardinality_threshold: u64::MAX, ..policy() };
+    let decisions = sinew.run_analyzer("c", &strict).unwrap();
+    assert!(decisions.iter().any(|d| matches!(
+        d,
+        AnalyzerDecision::Dematerialize { name, .. } if name == "k"
+    )));
+
+    // Mid-dematerialization: the column still exists (dirty), values moved
+    // back so far live in the reservoir, the rest still in the column —
+    // all N visible either way.
+    sinew.materialize_step("c", StepBudget { rows: 100 }).unwrap();
+    let mid = sinew.storage_report("c").unwrap();
+    let k = find_col(&mid.physical_columns, "k").expect("k physical while demat-dirty");
+    assert!(k.dirty && !k.materialized);
+    assert_eq!(k.cursor.as_ref().unwrap().direction, MoveDirection::Dematerialize);
+    assert_eq!(count_k(&sinew), N);
+
+    // Complete: column dropped, everything back in the reservoir.
+    let done = sinew.materialize_until_clean("c").unwrap();
+    assert!(done.columns_cleaned.contains(&"k".to_string()));
+    let after = sinew.storage_report("c").unwrap();
+    assert!(find_col(&after.virtual_columns, "k").is_some());
+    assert!(find_col(&after.physical_columns, "k").is_none());
+    assert_eq!(count_k(&sinew), N);
+    assert!(after.metrics.materializer_values_dematerialized >= N as u64);
+}
+
+#[test]
+fn stranded_values_block_column_drop_until_restored() {
+    let sinew = Sinew::in_memory();
+    sinew.create_collection("c").unwrap();
+    let docs: String = (0..20).map(|i| format!("{{\"k\": \"v{i}\"}}\n")).collect();
+    sinew.load_jsonl("c", &docs).unwrap();
+
+    let promote =
+        AnalyzerPolicy { density_threshold: 0.5, cardinality_threshold: 10, sample_rows: 1_000 };
+    sinew.run_analyzer("c", &promote).unwrap();
+    sinew.materialize_until_clean("c").unwrap();
+
+    // Strand one value: null out the reservoir document of row 0, leaving
+    // its "k" only in the physical column.
+    sinew.db().update_row("c", 0, &[("data", Datum::Null)]).unwrap();
+
+    // Demote "k" and drive the materializer. The old behaviour dropped the
+    // column wholesale, destroying v0; now the pass must refuse.
+    let demote = AnalyzerPolicy { cardinality_threshold: u64::MAX, ..promote };
+    sinew.run_analyzer("c", &demote).unwrap();
+    let report = sinew.materialize_until_clean("c").unwrap();
+    assert!(report.columns_deferred.contains(&"k".to_string()));
+    assert_eq!(report.values_stranded, 1);
+    assert!(!report.columns_cleaned.contains(&"k".to_string()));
+
+    // Column kept and still dirty; the stranded value stays readable.
+    let schema = sinew.logical_schema("c");
+    let k = schema.iter().find(|c| c.name == "k").unwrap();
+    assert!(k.dirty && !k.materialized);
+    let r = sinew.query("SELECT COUNT(*) FROM c WHERE k = 'v0'").unwrap();
+    assert_eq!(r.rows[0][0], Datum::Int(1));
+    assert_eq!(
+        sinew.query("SELECT COUNT(*) FROM c WHERE k IS NOT NULL").unwrap().rows[0][0],
+        Datum::Int(20)
+    );
+    let rep = sinew.storage_report("c").unwrap();
+    assert!(rep.metrics.materializer_passes_deferred >= 1);
+    assert!(rep.metrics.materializer_rows_stranded >= 1);
+    let kc = rep.physical_columns.iter().find(|c| c.name == "k").unwrap();
+    assert!(kc.dirty);
+
+    // Repair: give row 0 a document again (an UPDATE through a virtual key
+    // recreates it via set_key), then the pass completes and drops the
+    // column with nothing lost.
+    sinew.query("UPDATE c SET fixed = true WHERE k = 'v0'").unwrap();
+    let report = sinew.materialize_until_clean("c").unwrap();
+    assert!(report.columns_cleaned.contains(&"k".to_string()));
+    assert_eq!(
+        sinew.query("SELECT COUNT(*) FROM c WHERE k IS NOT NULL").unwrap().rows[0][0],
+        Datum::Int(20)
+    );
+    assert_eq!(
+        sinew.query("SELECT COUNT(*) FROM c WHERE k = 'v0'").unwrap().rows[0][0],
+        Datum::Int(1)
+    );
+    let schema = sinew.logical_schema("c");
+    let k = schema.iter().find(|c| c.name == "k").unwrap();
+    assert!(!k.dirty && !k.materialized);
+}
+
+#[test]
+fn storage_report_rejects_unknown_collection() {
+    let sinew = Sinew::in_memory();
+    assert!(sinew.storage_report("nope").is_err());
+}

@@ -13,6 +13,7 @@
 //! .schema <coll>            show the universal-relation schema
 //! .analyze <coll>           run the schema analyzer (paper §3.1.3)
 //! .materialize <coll>       drive the materializer to clean (§3.1.4)
+//! .report <coll>            storage introspection report (§3.1 layout)
 //! .index <coll>             enable the inverted text index (§4.3)
 //! .explain <sql>            show the physical plan
 //! .rewrite <sql>            show the rewritten SQL (§3.2.2)
@@ -97,8 +98,8 @@ fn meta_command(sinew: &Sinew, cmd: &str, out: &mut impl Write) -> bool {
             let _ = writeln!(
                 out,
                 ".create <coll> | .load <coll> <file> | .schema <coll> | .analyze <coll>\n\
-                 .materialize <coll> | .index <coll> | .explain <sql> | .rewrite <sql>\n\
-                 .tables | .quit"
+                 .materialize <coll> | .report <coll> | .index <coll> | .explain <sql>\n\
+                 .rewrite <sql> | .tables | .quit"
             );
         }
         "create" => match sinew.create_collection(arg1) {
@@ -159,6 +160,14 @@ fn meta_command(sinew: &Sinew, cmd: &str, out: &mut impl Write) -> bool {
                     "moved {} values; cleaned columns: {:?}",
                     r.values_moved, r.columns_cleaned
                 );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+            }
+        },
+        "report" => match sinew.storage_report(arg1) {
+            Ok(r) => {
+                let _ = write!(out, "{}", r.render_text());
             }
             Err(e) => {
                 let _ = writeln!(out, "error: {e}");
