@@ -1,0 +1,87 @@
+//! Criterion benchmarks for the morsel-parallel scan pipeline and fused
+//! multi-key extraction (`extract_keys`): serial vs parallel scans at
+//! 1/2/4/8 worker threads, and per-key vs fused extraction at k=1/3/5.
+//!
+//! The canonical snapshot for these numbers is `results/BENCH_PR3.json`,
+//! written by `cargo run --release -p sinew-bench --bin pr3_scan_fusion`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinew_core::Sinew;
+use sinew_nobench::{generate, NoBenchConfig};
+use sinew_rdbms::ExecLimits;
+use std::hint::black_box;
+
+const N: u64 = 100_000;
+
+fn build() -> Sinew {
+    let sinew = Sinew::in_memory();
+    sinew.create_collection("nobench").unwrap();
+    sinew.load_docs("nobench", &generate(N, &NoBenchConfig::default())).unwrap();
+    sinew
+}
+
+fn with_threads(sinew: &Sinew, threads: usize) {
+    sinew
+        .db()
+        .set_exec_limits(ExecLimits { exec_threads: threads, ..ExecLimits::default() });
+}
+
+fn bench_parallel_scan(c: &mut Criterion) {
+    let sinew = build();
+    let sql = "SELECT str1, num FROM nobench WHERE num >= 0";
+
+    let mut g = c.benchmark_group("parallel_scan");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            with_threads(&sinew, t);
+            b.iter(|| black_box(sinew.query(sql).unwrap().rows.len()))
+        });
+    }
+    g.finish();
+}
+
+/// Per-key vs fused extraction: both forms are issued as already-rewritten
+/// SQL straight to the RDBMS, so the comparison isolates the UDF work (k
+/// document decodes vs one decode + k array slots) from the rewriter.
+fn bench_fused_extraction(c: &mut Criterion) {
+    let sinew = build();
+    with_threads(&sinew, 1); // isolate fusion from scan parallelism
+
+    // (key, type tag) in document order; prefixes give k=1/3/5.
+    let keys = [
+        ("str1", "t"),
+        ("num", "i"),
+        ("bool", "b"),
+        ("str2", "t"),
+        ("thousandth", "i"),
+    ];
+    let mut g = c.benchmark_group("extraction");
+    g.sample_size(10);
+    for k in [1usize, 3, 5] {
+        let per_key: Vec<String> = keys[..k]
+            .iter()
+            .map(|(key, tag)| format!("extract_key_{tag}(nobench.data, '{key}')"))
+            .collect();
+        let per_key_sql = format!("SELECT {} FROM nobench", per_key.join(", "));
+        let spec: Vec<String> =
+            keys[..k].iter().map(|(key, tag)| format!("'{key}', '{tag}'")).collect();
+        let fused: Vec<String> = (0..k)
+            .map(|i| {
+                format!("array_get(extract_keys(nobench.data, {}), {i})", spec.join(", "))
+            })
+            .collect();
+        let fused_sql = format!("SELECT {} FROM nobench", fused.join(", "));
+
+        g.bench_with_input(BenchmarkId::new("per_key", k), &per_key_sql, |b, sql| {
+            b.iter(|| black_box(sinew.db().execute(sql).unwrap().rows.len()))
+        });
+        g.bench_with_input(BenchmarkId::new("fused", k), &fused_sql, |b, sql| {
+            b.iter(|| black_box(sinew.db().execute(sql).unwrap().rows.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_scan, bench_fused_extraction);
+criterion_main!(benches);

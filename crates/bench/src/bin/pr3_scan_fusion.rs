@@ -1,0 +1,112 @@
+//! PR3 snapshot harness — morsel-parallel scans and fused extraction.
+//!
+//! Measures (a) the same scan→filter→project query at 1/2/4/8 executor
+//! threads and (b) per-key vs fused (`extract_keys`) extraction at
+//! k=1/3/5 keys per tuple, over a NoBench corpus. Writes the
+//! `scan_threads` and `extract_fusion` sections of the PR benchmark
+//! snapshot (default `results/BENCH_PR3.json` via SINEW_BENCH_SNAPSHOT).
+//!
+//! Every timed variant is checked for result equality against the serial
+//! / per-key baseline first, so the snapshot can't record a fast-but-wrong
+//! configuration.
+
+use sinew_bench::{ms, record_snapshot, time_avg, HarnessConfig, TablePrinter};
+use sinew_core::Sinew;
+use sinew_nobench::{generate, NoBenchConfig};
+use sinew_rdbms::ExecLimits;
+
+fn build(n: u64) -> Sinew {
+    let sinew = Sinew::in_memory();
+    sinew.create_collection("nobench").unwrap();
+    sinew.load_docs("nobench", &generate(n, &NoBenchConfig::default())).unwrap();
+    sinew
+}
+
+fn with_threads(sinew: &Sinew, threads: usize) {
+    sinew
+        .db()
+        .set_exec_limits(ExecLimits { exec_threads: threads, ..ExecLimits::default() });
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let n = cfg.large_docs.max(100_000);
+    println!("\n=== PR3 — morsel-parallel scan + fused extraction, {n} docs ===\n");
+    let sinew = build(n);
+
+    // (a) scan thread scaling: one query, 1/2/4/8 workers
+    let sql = "SELECT str1, num FROM nobench WHERE num >= 0";
+    with_threads(&sinew, 1);
+    let baseline = sinew.query(sql).unwrap();
+    let t1 = time_avg(cfg.reps, || {
+        sinew.query(sql).unwrap();
+    });
+    let t = TablePrinter::new(&["Threads", "Scan (ms)", "Speedup"], &[8, 12, 8]);
+    t.row(&["1".into(), ms(t1), "1.00x".into()]);
+    let mut entries: Vec<(String, f64)> =
+        vec![("docs".into(), n as f64), ("threads_1_ms".into(), t1.as_secs_f64() * 1e3)];
+    for threads in [2usize, 4, 8] {
+        with_threads(&sinew, threads);
+        let r = sinew.query(sql).unwrap();
+        assert_eq!(baseline.rows, r.rows, "parallel result diverged at {threads} threads");
+        let d = time_avg(cfg.reps, || {
+            sinew.query(sql).unwrap();
+        });
+        let speedup = t1.as_secs_f64() / d.as_secs_f64();
+        t.row(&[threads.to_string(), ms(d), format!("{speedup:.2}x")]);
+        entries.push((format!("threads_{threads}_ms"), d.as_secs_f64() * 1e3));
+        entries.push((format!("threads_{threads}_speedup"), speedup));
+    }
+    let stats = sinew.db().exec_stats();
+    entries.push(("parallel_scans".into(), stats.parallel_scans as f64));
+    entries.push(("morsels_dispatched".into(), stats.morsels_dispatched as f64));
+    let refs: Vec<(&str, f64)> = entries.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    record_snapshot("scan_threads", &refs);
+
+    // (b) per-key vs fused extraction at k=1/3/5, serial executor
+    with_threads(&sinew, 1);
+    let keys = [
+        ("str1", "t"),
+        ("num", "i"),
+        ("bool", "b"),
+        ("str2", "t"),
+        ("thousandth", "i"),
+    ];
+    println!();
+    let t = TablePrinter::new(&["k", "Per-key (ms)", "Fused (ms)", "Ratio"], &[4, 14, 12, 8]);
+    let mut entries: Vec<(String, f64)> = vec![("docs".into(), n as f64)];
+    for k in [1usize, 3, 5] {
+        let per_key: Vec<String> = keys[..k]
+            .iter()
+            .map(|(key, tag)| format!("extract_key_{tag}(nobench.data, '{key}')"))
+            .collect();
+        let per_key_sql = format!("SELECT {} FROM nobench", per_key.join(", "));
+        let spec: Vec<String> =
+            keys[..k].iter().map(|(key, tag)| format!("'{key}', '{tag}'")).collect();
+        let fused: Vec<String> = (0..k)
+            .map(|i| {
+                format!("array_get(extract_keys(nobench.data, {}), {i})", spec.join(", "))
+            })
+            .collect();
+        let fused_sql = format!("SELECT {} FROM nobench", fused.join(", "));
+
+        let rp = sinew.db().execute(&per_key_sql).unwrap();
+        let rf = sinew.db().execute(&fused_sql).unwrap();
+        assert_eq!(rp.rows, rf.rows, "fused extraction diverged at k={k}");
+
+        let tp = time_avg(cfg.reps, || {
+            sinew.db().execute(&per_key_sql).unwrap();
+        });
+        let tf = time_avg(cfg.reps, || {
+            sinew.db().execute(&fused_sql).unwrap();
+        });
+        let ratio = tp.as_secs_f64() / tf.as_secs_f64();
+        t.row(&[k.to_string(), ms(tp), ms(tf), format!("{ratio:.2}x")]);
+        entries.push((format!("k{k}_per_key_ms"), tp.as_secs_f64() * 1e3));
+        entries.push((format!("k{k}_fused_ms"), tf.as_secs_f64() * 1e3));
+        entries.push((format!("k{k}_fused_speedup"), ratio));
+    }
+    let refs: Vec<(&str, f64)> = entries.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    record_snapshot("extract_fusion", &refs);
+    println!("\nsnapshot updated");
+}

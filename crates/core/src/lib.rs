@@ -54,7 +54,7 @@ pub use extract::Want;
 pub use loader::{LoadOptions, LoadReport};
 pub use materializer::{MaterializerReport, StepBudget};
 pub use metrics::{Metrics, MetricsSnapshot, StorageReport};
-pub use plan::{ExtractionPlan, PlanCache, ResolvedPath};
+pub use plan::{ExtractionPlan, MultiExtractionPlan, PlanCache, ResolvedPath};
 pub use types::AttrType;
 
 use parking_lot::{Mutex, RwLock};

@@ -157,8 +157,15 @@ pub struct Metrics {
     pub plan_cache_swept: Counter,
 
     // -- extraction UDFs (udfs.rs) --
-    /// Per-tuple `extract_key_*` invocations.
+    /// Per-tuple `extract_key_*` invocations (single-key path).
     pub udf_extractions: Counter,
+    /// Per-tuple fused `extract_keys` invocations: each decodes the
+    /// document once for all requested keys (vs one `udf_extractions`
+    /// count per key on the unfused path).
+    pub udf_fused_extractions: Counter,
+    /// Total keys served by fused invocations (`Σ k` over
+    /// `udf_fused_extractions` calls): the single-key calls they replaced.
+    pub udf_fused_keys: Counter,
     /// Per-tuple `exists_key` invocations.
     pub udf_exists_probes: Counter,
 
@@ -171,6 +178,9 @@ pub struct Metrics {
     pub rewritten_virtual_refs: Counter,
     /// Column references rewritten to `COALESCE(col, extract…)` (dirty).
     pub rewritten_coalesce_refs: Counter,
+    /// Bindings whose extraction calls were fused into one `extract_keys`
+    /// (each covers ≥2 distinct virtual keys of one query).
+    pub rewritten_fused_bindings: Counter,
 
     // -- loader (loader.rs) --
     /// Bulk-load batches completed.
@@ -239,11 +249,14 @@ impl Metrics {
             plan_cache_stale_rebuilds: self.plan_cache_stale_rebuilds.get(),
             plan_cache_swept: self.plan_cache_swept.get(),
             udf_extractions: self.udf_extractions.get(),
+            udf_fused_extractions: self.udf_fused_extractions.get(),
+            udf_fused_keys: self.udf_fused_keys.get(),
             udf_exists_probes: self.udf_exists_probes.get(),
             queries_rewritten: self.queries_rewritten.get(),
             rewritten_physical_refs: self.rewritten_physical_refs.get(),
             rewritten_virtual_refs: self.rewritten_virtual_refs.get(),
             rewritten_coalesce_refs: self.rewritten_coalesce_refs.get(),
+            rewritten_fused_bindings: self.rewritten_fused_bindings.get(),
             loader_batches: self.loader_batches.get(),
             loader_parallel_batches: self.loader_parallel_batches.get(),
             loader_docs: self.loader_docs.get(),
@@ -277,11 +290,14 @@ pub struct MetricsSnapshot {
     pub plan_cache_stale_rebuilds: u64,
     pub plan_cache_swept: u64,
     pub udf_extractions: u64,
+    pub udf_fused_extractions: u64,
+    pub udf_fused_keys: u64,
     pub udf_exists_probes: u64,
     pub queries_rewritten: u64,
     pub rewritten_physical_refs: u64,
     pub rewritten_virtual_refs: u64,
     pub rewritten_coalesce_refs: u64,
+    pub rewritten_fused_bindings: u64,
     pub loader_batches: u64,
     pub loader_parallel_batches: u64,
     pub loader_docs: u64,
@@ -335,11 +351,14 @@ impl MetricsSnapshot {
             ("plan_cache_swept".into(), i(self.plan_cache_swept)),
             ("plan_cache_hit_rate".into(), Value::Float(self.plan_cache_hit_rate())),
             ("udf_extractions".into(), i(self.udf_extractions)),
+            ("udf_fused_extractions".into(), i(self.udf_fused_extractions)),
+            ("udf_fused_keys".into(), i(self.udf_fused_keys)),
             ("udf_exists_probes".into(), i(self.udf_exists_probes)),
             ("queries_rewritten".into(), i(self.queries_rewritten)),
             ("rewritten_physical_refs".into(), i(self.rewritten_physical_refs)),
             ("rewritten_virtual_refs".into(), i(self.rewritten_virtual_refs)),
             ("rewritten_coalesce_refs".into(), i(self.rewritten_coalesce_refs)),
+            ("rewritten_fused_bindings".into(), i(self.rewritten_fused_bindings)),
             ("loader_batches".into(), i(self.loader_batches)),
             ("loader_parallel_batches".into(), i(self.loader_parallel_batches)),
             ("loader_docs".into(), i(self.loader_docs)),
@@ -432,6 +451,10 @@ pub struct StorageReport {
     pub sampled_rows: u64,
     /// Live `(path, want)` plans currently cached.
     pub plan_cache_entries: u64,
+    /// RDBMS executor counters (morsel-parallel scan pipeline): parallel
+    /// vs serial scans, morsels dispatched, worker spawns, rows/morsel
+    /// histogram.
+    pub exec: sinew_rdbms::ExecSnapshot,
     /// Instance-wide counters at report time.
     pub metrics: MetricsSnapshot,
 }
@@ -526,6 +549,7 @@ pub(crate) fn storage_report(sinew: &Sinew, table: &str) -> DbResult<StorageRepo
         column_bytes,
         sampled_rows,
         plan_cache_entries: sinew.plan_cache().len() as u64,
+        exec: db.exec_stats(),
         metrics: sinew.metrics().snapshot(),
     })
 }
@@ -620,14 +644,41 @@ impl StorageReport {
         );
         let _ = writeln!(
             out,
-            "rewriter: {} statements; refs: {} physical, {} virtual, {} coalesce; \
-             udf calls: {} extract, {} exists",
+            "rewriter: {} statements; refs: {} physical, {} virtual, {} coalesce, \
+             {} fused bindings; udf calls: {} extract, {} fused ({} keys), {} exists",
             m.queries_rewritten,
             m.rewritten_physical_refs,
             m.rewritten_virtual_refs,
             m.rewritten_coalesce_refs,
+            m.rewritten_fused_bindings,
             m.udf_extractions,
+            m.udf_fused_extractions,
+            m.udf_fused_keys,
             m.udf_exists_probes
+        );
+        let e = &self.exec;
+        let mean_rows = if e.rows_per_morsel_count == 0 {
+            0.0
+        } else {
+            e.rows_per_morsel_sum as f64 / e.rows_per_morsel_count as f64
+        };
+        let buckets: Vec<String> = e
+            .rows_per_morsel
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| format!("{}:{n}", if i == 0 { 0 } else { 1u64 << (i - 1) }))
+            .collect();
+        let _ = writeln!(
+            out,
+            "executor: {} parallel / {} serial scans; {} morsels ({:.0} rows/morsel mean), \
+             {} workers; rows/morsel log2 [{}]",
+            e.parallel_scans,
+            e.serial_scans,
+            e.morsels_dispatched,
+            mean_rows,
+            e.scan_workers,
+            buckets.join(" ")
         );
         let _ = writeln!(
             out,
@@ -688,6 +739,39 @@ impl StorageReport {
             ("column_bytes".to_string(), Value::Int(self.column_bytes as i64)),
             ("sampled_rows".to_string(), Value::Int(self.sampled_rows as i64)),
             ("plan_cache_entries".to_string(), Value::Int(self.plan_cache_entries as i64)),
+            (
+                "exec".to_string(),
+                Value::Object(vec![
+                    (
+                        "parallel_scans".to_string(),
+                        Value::Int(self.exec.parallel_scans as i64),
+                    ),
+                    ("serial_scans".to_string(), Value::Int(self.exec.serial_scans as i64)),
+                    (
+                        "morsels_dispatched".to_string(),
+                        Value::Int(self.exec.morsels_dispatched as i64),
+                    ),
+                    ("scan_workers".to_string(), Value::Int(self.exec.scan_workers as i64)),
+                    (
+                        "rows_per_morsel_log2".to_string(),
+                        Value::Array(
+                            self.exec
+                                .rows_per_morsel
+                                .iter()
+                                .map(|n| Value::Int(*n as i64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "rows_per_morsel_count".to_string(),
+                        Value::Int(self.exec.rows_per_morsel_count as i64),
+                    ),
+                    (
+                        "rows_per_morsel_sum".to_string(),
+                        Value::Int(self.exec.rows_per_morsel_sum as i64),
+                    ),
+                ]),
+            ),
             ("metrics".to_string(), Value::Object(self.metrics.json_fields())),
         ])
         .to_json()

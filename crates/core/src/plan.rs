@@ -101,6 +101,42 @@ impl ResolvedPath {
         }
         Ok(Some(cur))
     }
+
+    /// Descend from an already-parsed root, sharing sub-document parses
+    /// across paths through `cache`: each entry maps a descended `Object`
+    /// attribute id to its parsed child document. The id names a full
+    /// dotted prefix globally, so the mapping is path-independent — the
+    /// per-path direct-hit checks still run against every level.
+    fn descend_from<'a>(
+        &self,
+        root: RawDoc<'a>,
+        cache: &mut Vec<(AttrId, RawDoc<'a>)>,
+    ) -> Result<Option<RawDoc<'a>>, DecodeError> {
+        let mut cur = root;
+        for level in 0..self.depth {
+            if level == self.depth - 1 {
+                // leaf-parent level: the typed pick below probes the leaf
+                // ids itself, so a direct-hit rescan here is pure waste
+                return Ok(Some(cur));
+            }
+            if self.leaf.iter().any(|(id, _)| cur.contains(*id)) {
+                return Ok(Some(cur));
+            }
+            let Some(child) = self.descend[level] else { return Ok(None) };
+            if let Some((_, doc)) = cache.iter().find(|(id, _)| *id == child) {
+                cur = *doc;
+                continue;
+            }
+            match cur.get(child)? {
+                Some(raw) => {
+                    cur = RawDoc::parse(raw)?;
+                    cache.push((child, cur));
+                }
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(cur))
+    }
 }
 
 /// A `(path, want)` extraction compiled against one catalog epoch.
@@ -144,6 +180,29 @@ impl ExtractionPlan {
         let Some(cur) = self.resolved.descend(bytes).map_err(decode_err)? else {
             return Ok(Datum::Null);
         };
+        self.pick_from(cat, &cur)
+    }
+
+    /// One item of a fused extraction: descend from the shared parsed root
+    /// (through the shared sub-document cache) and decode the leaf. Errors
+    /// surface as NULL, exactly like a standalone [`Self::extract`].
+    fn extract_from<'a>(
+        &self,
+        cat: &Catalog,
+        root: RawDoc<'a>,
+        cache: &mut Vec<(AttrId, RawDoc<'a>)>,
+    ) -> Datum {
+        if self.resolved.leaf.is_empty() {
+            return Datum::Null;
+        }
+        match self.resolved.descend_from(root, cache) {
+            Ok(Some(cur)) => self.pick_from(cat, &cur).unwrap_or(Datum::Null),
+            _ => Datum::Null,
+        }
+    }
+
+    /// Typed decode of the leaf out of its (already located) holder doc.
+    fn pick_from(&self, cat: &Catalog, cur: &RawDoc<'_>) -> DbResult<Datum> {
         let pick = |want_ty: AttrType| -> DbResult<Option<Datum>> {
             for (id, ty) in &self.resolved.leaf {
                 if *ty == want_ty {
@@ -198,6 +257,59 @@ impl ExtractionPlan {
     }
 }
 
+/// A fused multi-key extraction: k `(path, want)` items compiled against
+/// one catalog epoch, executed with **one** root document parse per tuple
+/// and sub-document parses shared across items with a common dotted prefix
+/// (`user.id` and `user.geo.lat` parse `user` once).
+///
+/// This is the execution half of the rewriter's `extract_keys` fusion: a
+/// query touching k virtual columns performs one descent pass instead of k
+/// independent `extract_key_*` calls.
+#[derive(Debug, Clone)]
+pub struct MultiExtractionPlan {
+    pub items: Vec<ExtractionPlan>,
+    /// Catalog epoch the whole bundle snapshots; stale ⇒ rebuild.
+    pub epoch: u64,
+}
+
+impl MultiExtractionPlan {
+    /// Build a fused plan now. Epoch read *before* resolution, like
+    /// [`ExtractionPlan::build`].
+    pub fn build(cat: &Catalog, specs: &[(&str, Want)]) -> MultiExtractionPlan {
+        let epoch = cat.epoch();
+        let items =
+            specs.iter().map(|(path, want)| ExtractionPlan::build(cat, path, *want)).collect();
+        MultiExtractionPlan { items, epoch }
+    }
+
+    pub fn is_current(&self, cat: &Catalog) -> bool {
+        self.epoch == cat.epoch()
+    }
+
+    /// Does this plan cover exactly `specs`, in order? (Cache-collision
+    /// guard: the multi cache is keyed by a 64-bit hash of the specs.)
+    pub fn matches(&self, specs: &[(&str, Want)]) -> bool {
+        self.items.len() == specs.len()
+            && self
+                .items
+                .iter()
+                .zip(specs)
+                .all(|(item, (path, want))| item.want == *want && item.resolved.path == *path)
+    }
+
+    /// Extract every item in one pass: one root parse, shared prefix
+    /// descent. Per-item failures (corrupt sub-document, type mismatch)
+    /// yield NULL for that item only — element i always equals what the
+    /// standalone plan for `specs[i]` would have produced.
+    pub fn extract_all(&self, cat: &Catalog, bytes: &[u8]) -> Vec<Datum> {
+        let Ok(root) = RawDoc::parse(bytes) else {
+            return vec![Datum::Null; self.items.len()];
+        };
+        let mut cache: Vec<(AttrId, RawDoc<'_>)> = Vec::new();
+        self.items.iter().map(|item| item.extract_from(cat, root, &mut cache)).collect()
+    }
+}
+
 /// [`Want`] → dense cache slot. Kept here (not on `Want`) so the extract
 /// module stays ignorant of the cache layout.
 fn want_slot(w: Want) -> usize {
@@ -220,6 +332,10 @@ const WANT_SLOTS: usize = 8;
 /// nothing. The lock guards the *cache map*, never the catalog.
 pub struct PlanCache {
     plans: RwLock<HashMap<String, [Option<Arc<ExtractionPlan>>; WANT_SLOTS]>>,
+    /// Fused plans, keyed by an FNV-64 hash over the ordered spec list so a
+    /// per-tuple probe allocates nothing; [`MultiExtractionPlan::matches`]
+    /// guards against hash collisions.
+    multi: RwLock<HashMap<u64, Arc<MultiExtractionPlan>>>,
     metrics: Arc<Metrics>,
 }
 
@@ -237,7 +353,11 @@ impl PlanCache {
     /// A cache feeding the given metrics sink (the owning `Sinew` shares
     /// its instance-wide [`Metrics`] here).
     pub fn with_metrics(metrics: Arc<Metrics>) -> PlanCache {
-        PlanCache { plans: RwLock::new(HashMap::new()), metrics }
+        PlanCache {
+            plans: RwLock::new(HashMap::new()),
+            multi: RwLock::new(HashMap::new()),
+            metrics,
+        }
     }
 
     /// Fetch the current plan for `(path, want)`, building or rebuilding
@@ -277,6 +397,47 @@ impl PlanCache {
         let _ = self.get(cat, path, want);
     }
 
+    /// Fetch the current fused plan for the ordered spec list, building or
+    /// rebuilding when absent, stale, or hash-collided. The common case is
+    /// one read-locked probe, one hash, zero allocations.
+    pub fn get_multi(&self, cat: &Catalog, specs: &[(&str, Want)]) -> Arc<MultiExtractionPlan> {
+        let key = multi_key(specs);
+        {
+            let multi = self.multi.read();
+            match multi.get(&key) {
+                Some(plan) if plan.matches(specs) && plan.is_current(cat) => {
+                    self.metrics.plan_cache_hits.inc();
+                    return plan.clone();
+                }
+                Some(plan) if plan.matches(specs) => {
+                    self.metrics.plan_cache_stale_rebuilds.inc()
+                }
+                _ => self.metrics.plan_cache_misses.inc(),
+            }
+        }
+        let fresh = Arc::new(MultiExtractionPlan::build(cat, specs));
+        let mut multi = self.multi.write();
+        // Racing builder: prefer whichever plan is still current.
+        match multi.get(&key) {
+            Some(existing)
+                if existing.matches(specs)
+                    && existing.is_current(cat)
+                    && !fresh.is_current(cat) =>
+            {
+                existing.clone()
+            }
+            _ => {
+                multi.insert(key, fresh.clone());
+                fresh
+            }
+        }
+    }
+
+    /// Warm the fused-plan cache for a spec list the rewriter just fused.
+    pub fn prepare_multi(&self, cat: &Catalog, specs: &[(&str, Want)]) {
+        let _ = self.get_multi(cat, specs);
+    }
+
     /// Drop every stale plan (memory hygiene; the background materializer
     /// calls this after moving data so a long-lived process doesn't keep
     /// dead resolutions around). Correctness never depends on it — `get`
@@ -294,21 +455,50 @@ impl PlanCache {
             }
         }
         plans.retain(|_, row| row.iter().any(|s| s.is_some()));
+        drop(plans);
+        let mut multi = self.multi.write();
+        multi.retain(|_, p| {
+            let keep = p.epoch == epoch;
+            if !keep {
+                swept += 1;
+            }
+            keep
+        });
+        drop(multi);
         self.metrics.plan_cache_swept.add(swept);
     }
 
-    /// Number of live cached plans (tests, stats).
+    /// Number of live cached plans, fused bundles included (tests, stats).
     pub fn len(&self) -> usize {
-        self.plans
+        let singles: usize = self
+            .plans
             .read()
             .values()
             .map(|row| row.iter().filter(|s| s.is_some()).count())
-            .sum()
+            .sum();
+        singles + self.multi.read().len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// FNV-1a over the ordered spec list. Allocation-free.
+fn multi_key(specs: &[(&str, Want)]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for (path, want) in specs {
+        for &b in path.as_bytes() {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+        // Separator + want tag: keeps ("ab", Int), ("a", ...) distinct
+        // from ("a", ...), ("b", ...) style concatenations.
+        h = (h ^ 0xff).wrapping_mul(PRIME);
+        h = (h ^ (want_slot(*want) as u64 + 1)).wrapping_mul(PRIME);
+    }
+    h
 }
 
 fn decode_err(e: DecodeError) -> sinew_rdbms::DbError {
@@ -426,6 +616,56 @@ mod tests {
         let p2 = cache.get(&cat, "fresh", Want::Int);
         assert!(p2.is_current(&cat));
         assert_eq!(p2.extract(&cat, &bytes), Datum::Int(9));
+    }
+
+    #[test]
+    fn fused_extraction_matches_per_item_plans() {
+        let (db, cat) = setup();
+        let bytes = doc(
+            &db,
+            &cat,
+            r#"{"hits": 22, "url": "x.com", "ok": true,
+                "user": {"id": 7, "geo": {"lat": 1.5, "lon": -2.0}},
+                "tags": [1, "x"]}"#,
+        );
+        let specs: &[(&str, Want)] = &[
+            ("hits", Want::Int),
+            ("url", Want::Text),
+            ("user.id", Want::Int),
+            ("user.geo.lat", Want::Float),
+            ("user.geo.lon", Want::Float),
+            ("user.nope", Want::Int),
+            ("missing", Want::Int),
+            ("hits", Want::Text), // type mismatch → NULL for this item only
+            ("tags", Want::Array),
+        ];
+        let fused = MultiExtractionPlan::build(&cat, specs);
+        let got = fused.extract_all(&cat, &bytes);
+        assert_eq!(got.len(), specs.len());
+        for (i, (path, want)) in specs.iter().enumerate() {
+            let single = ExtractionPlan::build(&cat, path, *want);
+            assert_eq!(
+                got[i],
+                single.extract(&cat, &bytes),
+                "item {i}: path={path} want={want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_cache_revalidates_on_epoch_bump() {
+        let (db, cat) = setup();
+        let _ = doc(&db, &cat, r#"{"a": 1}"#);
+        let cache = PlanCache::new();
+        let specs: &[(&str, Want)] = &[("a", Want::Int), ("b", Want::Int)];
+        let p1 = cache.get_multi(&cat, specs);
+        assert!(p1.is_current(&cat));
+        assert!(Arc::ptr_eq(&p1, &cache.get_multi(&cat, specs)), "hit returns same plan");
+        let bytes = doc(&db, &cat, r#"{"b": 5}"#); // epoch bump: "b" appears
+        assert!(!p1.is_current(&cat));
+        let p2 = cache.get_multi(&cat, specs);
+        assert!(p2.is_current(&cat));
+        assert_eq!(p2.extract_all(&cat, &bytes), vec![Datum::Null, Datum::Int(5)]);
     }
 
     #[test]

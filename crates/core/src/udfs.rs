@@ -13,6 +13,7 @@
 //! | `extract_key_txt`   | text    | any type, downcast to text |
 //! | `extract_key_obj`   | bytea   | nested object (serialized) |
 //! | `extract_key_arr`   | array   | array as the RDBMS array datatype |
+//! | `extract_keys`      | array   | fused: k values in one document pass |
 //! | `exists_key`        | bool    | key present under any type |
 //! | `set_key`           | bytea   | reservoir with key set (UPDATEs) |
 //! | `remove_key`        | bytea   | reservoir with key removed |
@@ -22,9 +23,10 @@
 use crate::catalog::Catalog;
 use crate::extract::{self, Want};
 use crate::metrics::Metrics;
-use crate::plan::PlanCache;
+use crate::plan::{MultiExtractionPlan, PlanCache};
 use parking_lot::RwLock;
-use sinew_rdbms::{Database, Datum, DbError, DbResult};
+use sinew_rdbms::{Database, Datum, DbError, DbResult, ScalarFn};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Weak};
 
@@ -43,15 +45,10 @@ pub(crate) fn install(
     // resolution happens once per (path, want, catalog epoch), and the
     // per-tuple call is a read-locked cache probe plus lock-free,
     // allocation-free descent (see plan.rs / DESIGN.md "Hot paths").
-    // Per-tuple accounting is one relaxed atomic add — no locks.
-    let extractor = |cat: Arc<Catalog>, plans: Arc<PlanCache>, m: Arc<Metrics>, want: Want| {
-        move |args: &[Datum]| -> DbResult<Datum> {
-            m.udf_extractions.inc();
-            let (bytes, path) = two_args(args, "extract_key")?;
-            let Some(bytes) = bytes else { return Ok(Datum::Null) };
-            Ok(plans.get(&cat, path, want).extract(&cat, bytes))
-        }
-    };
+    // Both extraction UDFs implement `call_ref` natively, so the executor
+    // hands them the reservoir bytea and the path literals by reference —
+    // no per-row clone of the serialized document. Per-tuple accounting is
+    // one relaxed atomic add — no locks.
     for (name, want) in [
         ("extract_key_b", Want::Bool),
         ("extract_key_i", Want::Int),
@@ -62,16 +59,37 @@ pub(crate) fn install(
         ("extract_key_obj", Want::Object),
         ("extract_key_arr", Want::Array),
     ] {
-        db.register_udf(
+        // Pure: safe for the planner to memoize per row (CSE).
+        db.register_udf_pure(
             name,
-            Arc::new(extractor(catalog.clone(), plans.clone(), metrics.clone(), want)),
+            Arc::new(ExtractKeyFn {
+                cat: catalog.clone(),
+                plans: plans.clone(),
+                metrics: metrics.clone(),
+                want,
+            }),
         );
     }
+
+    // Fused multi-key extraction: `extract_keys(data, k1, t1, k2, t2, ...)`
+    // decodes the reservoir **once** per row and returns an array of the k
+    // requested values (one per (key, type-tag) pair, in argument order).
+    // The rewriter emits it when a query touches ≥2 virtual columns; the
+    // planner's CSE pass memoizes the shared call so the per-output
+    // `array_get(extract_keys(...), i)` projections cost one descent total.
+    db.register_udf_pure(
+        "extract_keys",
+        Arc::new(ExtractKeysFn {
+            cat: catalog.clone(),
+            plans: plans.clone(),
+            metrics: metrics.clone(),
+        }),
+    );
 
     let cat = catalog.clone();
     let exists_plans = plans.clone();
     let exists_metrics = metrics.clone();
-    db.register_udf(
+    db.register_udf_pure(
         "exists_key",
         Arc::new(move |args: &[Datum]| -> DbResult<Datum> {
             exists_metrics.udf_exists_probes.inc();
@@ -136,7 +154,7 @@ pub(crate) fn install(
     );
 
     let cat = catalog.clone();
-    db.register_udf(
+    db.register_udf_pure(
         "doc_to_json",
         Arc::new(move |args: &[Datum]| -> DbResult<Datum> {
             match args {
@@ -164,6 +182,128 @@ pub(crate) fn install(
             Ok(Datum::Bool(set.contains(rowid)))
         }),
     );
+}
+
+/// Single-key extraction UDF (`extract_key_*`). A struct rather than a
+/// closure so it can override [`ScalarFn::call_ref`]: the executor passes
+/// the reservoir bytea and path literal by reference, avoiding a clone of
+/// the whole serialized document per row.
+struct ExtractKeyFn {
+    cat: Arc<Catalog>,
+    plans: Arc<PlanCache>,
+    metrics: Arc<Metrics>,
+    want: Want,
+}
+
+impl ScalarFn for ExtractKeyFn {
+    fn call(&self, args: &[Datum]) -> DbResult<Datum> {
+        let refs: Vec<&Datum> = args.iter().collect();
+        self.call_ref(&refs)
+    }
+
+    fn call_ref(&self, args: &[&Datum]) -> DbResult<Datum> {
+        self.metrics.udf_extractions.inc();
+        match args {
+            [Datum::Bytea(bytes), Datum::Text(path)] => {
+                Ok(self.plans.get(&self.cat, path, self.want).extract(&self.cat, bytes))
+            }
+            [Datum::Null, Datum::Text(_)] => Ok(Datum::Null),
+            _ => Err(DbError::Eval("extract_key expects (data, key_name)".into())),
+        }
+    }
+}
+
+/// Fused multi-key extraction UDF (`extract_keys`). Overrides `call_ref`
+/// for the same reason as [`ExtractKeyFn`], and keeps a one-entry
+/// thread-local cache of the resolved [`MultiExtractionPlan`] so the
+/// per-row cost is a spec comparison + epoch check instead of a
+/// read-locked hash probe.
+struct ExtractKeysFn {
+    cat: Arc<Catalog>,
+    plans: Arc<PlanCache>,
+    metrics: Arc<Metrics>,
+}
+
+thread_local! {
+    /// Last fused plan used on this thread, tagged with the catalog it was
+    /// resolved against. Scans drive the same `extract_keys` spec for every
+    /// row, so this hits ~always within a query; `Arc::ptr_eq` on the
+    /// catalog (held strongly, so the address can't be recycled by another
+    /// instance), `matches()` and `is_current()` guard correctness across
+    /// databases, queries, and catalog epoch bumps.
+    static LAST_MULTI: RefCell<Option<(Arc<Catalog>, Arc<MultiExtractionPlan>)>> =
+        const { RefCell::new(None) };
+}
+
+impl ExtractKeysFn {
+    fn plan_for(&self, specs: &[(&str, Want)]) -> Arc<MultiExtractionPlan> {
+        LAST_MULTI.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            if let Some((cat, plan)) = slot.as_ref() {
+                if Arc::ptr_eq(cat, &self.cat)
+                    && plan.matches(specs)
+                    && plan.is_current(&self.cat)
+                {
+                    return plan.clone();
+                }
+            }
+            let plan = self.plans.get_multi(&self.cat, specs);
+            *slot = Some((self.cat.clone(), plan.clone()));
+            plan
+        })
+    }
+}
+
+impl ScalarFn for ExtractKeysFn {
+    fn call(&self, args: &[Datum]) -> DbResult<Datum> {
+        let refs: Vec<&Datum> = args.iter().collect();
+        self.call_ref(&refs)
+    }
+
+    fn call_ref(&self, args: &[&Datum]) -> DbResult<Datum> {
+        if args.len() < 3 || args.len() % 2 == 0 {
+            return Err(DbError::Eval(
+                "extract_keys expects (data, key1, type1, key2, type2, ...)".into(),
+            ));
+        }
+        let mut specs: Vec<(&str, Want)> = Vec::with_capacity(args.len() / 2);
+        for pair in args[1..].chunks_exact(2) {
+            let [Datum::Text(path), Datum::Text(tag)] = pair else {
+                return Err(DbError::Eval(
+                    "extract_keys: key names and type tags must be text".into(),
+                ));
+            };
+            let want = want_from_tag(tag)
+                .ok_or_else(|| DbError::Eval(format!("extract_keys: unknown type tag {tag:?}")))?;
+            specs.push((path.as_str(), want));
+        }
+        self.metrics.udf_fused_extractions.inc();
+        self.metrics.udf_fused_keys.add(specs.len() as u64);
+        match args[0] {
+            Datum::Null => Ok(Datum::Array(vec![Datum::Null; specs.len()])),
+            Datum::Bytea(bytes) => {
+                Ok(Datum::Array(self.plan_for(&specs).extract_all(&self.cat, bytes)))
+            }
+            other => Err(DbError::Eval(format!("extract_keys over non-bytea {other}"))),
+        }
+    }
+}
+
+/// `extract_keys` type-tag → [`Want`]: the tags are the `extract_key_*`
+/// suffixes, so the rewriter maps a per-key UDF name to its fused tag by
+/// stripping the prefix.
+pub(crate) fn want_from_tag(tag: &str) -> Option<Want> {
+    Some(match tag {
+        "b" => Want::Bool,
+        "i" => Want::Int,
+        "f" => Want::Float,
+        "num" => Want::Num,
+        "t" => Want::Text,
+        "txt" => Want::AnyText,
+        "obj" => Want::Object,
+        "arr" => Want::Array,
+        _ => return None,
+    })
 }
 
 fn two_args<'a>(args: &'a [Datum], name: &str) -> DbResult<(Option<&'a [u8]>, &'a str)> {

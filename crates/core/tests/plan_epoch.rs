@@ -72,6 +72,65 @@ fn promotion_mid_workload_invalidates_plans_and_keeps_queries_correct() {
 }
 
 #[test]
+fn parallel_scan_racing_promotion_stays_correct_and_rebuilds_fused_plans() {
+    use sinew_core::Want;
+    use sinew_rdbms::ExecLimits;
+
+    // Two virtual keys → the rewriter fuses extraction; 4 exec threads →
+    // the morsel-parallel pipeline runs it. A background promotion bumps
+    // the catalog epoch mid-scan; every racing query must stay exact and
+    // the fused (multi-key) plan must go stale, not silently wrong.
+    let sinew = Arc::new(Sinew::in_memory());
+    sinew.create_collection("c").unwrap();
+    let docs: String = (0..N).map(|i| format!("{{\"k\": \"v{i}\", \"n\": {i}}}\n")).collect();
+    sinew.load_jsonl("c", &docs).unwrap();
+    sinew.db().set_exec_limits(ExecLimits { exec_threads: 4, ..ExecLimits::default() });
+
+    let held = sinew
+        .plan_cache()
+        .get_multi(sinew.catalog(), &[("k", Want::Text), ("n", Want::Num)]);
+    assert!(held.is_current(sinew.catalog()));
+
+    let policy = AnalyzerPolicy {
+        density_threshold: 0.5,
+        cardinality_threshold: 100,
+        sample_rows: 5_000,
+    };
+    sinew.run_analyzer("c", &policy).unwrap();
+
+    let worker = BackgroundMaterializer::spawn(
+        sinew.clone(),
+        "c",
+        BackgroundConfig { step_rows: 64, ..Default::default() },
+    )
+    .unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let r = sinew
+            .query("SELECT COUNT(*) FROM c WHERE k IS NOT NULL AND n >= 0")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Datum::Int(N), "mid-promotion parallel query lost rows");
+        if sinew.logical_schema("c").iter().all(|col| !col.dirty) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "materializer never finished");
+    }
+    worker.stop();
+
+    // Promotion bumped the epoch: the held fused plan is stale and the
+    // cache hands back a rebuilt one that still extracts correctly.
+    assert!(!held.is_current(sinew.catalog()), "promotion must invalidate fused plans");
+    let fresh = sinew
+        .plan_cache()
+        .get_multi(sinew.catalog(), &[("k", Want::Text), ("n", Want::Num)]);
+    assert!(fresh.is_current(sinew.catalog()));
+
+    let r = sinew.query("SELECT COUNT(*) FROM c WHERE k IS NOT NULL AND n >= 0").unwrap();
+    assert_eq!(r.rows[0][0], Datum::Int(N));
+}
+
+#[test]
 fn plan_built_before_attribute_exists_re_resolves_after_load() {
     let sinew = loaded();
     // Plan for a key nobody has loaded yet: resolves to no candidates.

@@ -17,18 +17,21 @@ fn rewrite(s: &Sinew, sql: &str) -> String {
 
 #[test]
 fn string_literal_context_extracts_text() {
+    // two distinct virtual keys → the sites fuse into one extract_keys
+    // call; 'k' keeps its text tag inside the fused spec list
     let s = sinew_with("t", r#"{"k": "v", "n": 5}"#);
     let sql = rewrite(&s, "SELECT n FROM t WHERE k = 'v'");
-    assert!(sql.contains("extract_key_t(t.data, 'k')"), "{sql}");
+    assert!(sql.contains("extract_keys(t.data, 'n', 'i', 'k', 't')"), "{sql}");
+    assert!(sql.contains("= 'v'"), "{sql}");
 }
 
 #[test]
 fn numeric_literal_context_extracts_num() {
     let s = sinew_with("t", r#"{"k": "v", "n": 5}"#);
     let sql = rewrite(&s, "SELECT k FROM t WHERE n > 3");
-    assert!(sql.contains("extract_key_num(t.data, 'n')"), "{sql}");
+    assert!(sql.contains("extract_keys(t.data, 'k', 't', 'n', 'num')"), "{sql}");
     let sql = rewrite(&s, "SELECT k FROM t WHERE n BETWEEN 1 AND 9");
-    assert!(sql.contains("extract_key_num(t.data, 'n')"), "{sql}");
+    assert!(sql.contains("extract_keys(t.data, 'k', 't', 'n', 'num')"), "{sql}");
 }
 
 #[test]
@@ -43,10 +46,11 @@ fn unique_type_rule_for_untyped_contexts() {
     // single registered type → typed extraction even without context
     let s = sinew_with("t", r#"{"i": 5, "f": 1.5, "b": true, "s": "x"}"#);
     let sql = rewrite(&s, "SELECT i, f, b, s FROM t");
-    assert!(sql.contains("extract_key_i(t.data, 'i')"), "{sql}");
-    assert!(sql.contains("extract_key_f(t.data, 'f')"), "{sql}");
-    assert!(sql.contains("extract_key_b(t.data, 'b')"), "{sql}");
-    assert!(sql.contains("extract_key_t(t.data, 's')"), "{sql}");
+    // four virtual keys fuse; each keeps the tag its context inferred
+    let fused = "extract_keys(t.data, 'i', 'i', 'f', 'f', 'b', 'b', 's', 't')";
+    for idx in 0..4 {
+        assert!(sql.contains(&format!("array_get({fused}, {idx})")), "{sql}");
+    }
 }
 
 #[test]
@@ -60,7 +64,11 @@ fn multi_typed_untyped_context_downcasts_to_text() {
 fn aggregate_context_extracts_num() {
     let s = sinew_with("t", r#"{"n": 5, "g": "a"}"#);
     let sql = rewrite(&s, "SELECT SUM(n) FROM t GROUP BY g");
-    assert!(sql.contains("sum(extract_key_num(t.data, 'n'))"), "{sql}");
+    // 'n' keeps the num tag inside the fused call; SUM wraps the array_get
+    assert!(
+        sql.contains("sum(array_get(extract_keys(t.data, 'n', 'num', 'g', 't'), 0))"),
+        "{sql}"
+    );
 }
 
 #[test]
@@ -74,7 +82,7 @@ fn array_function_context_extracts_array() {
 fn bare_boolean_predicate_extracts_bool() {
     let s = sinew_with("t", r#"{"flag": true, "n": 1}"#);
     let sql = rewrite(&s, "SELECT n FROM t WHERE flag");
-    assert!(sql.contains("extract_key_b(t.data, 'flag')"), "{sql}");
+    assert!(sql.contains("extract_keys(t.data, 'n', 'i', 'flag', 'b')"), "{sql}");
     let r = s.query("SELECT n FROM t WHERE flag").unwrap();
     assert_eq!(r.rows.len(), 1);
 }

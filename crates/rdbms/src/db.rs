@@ -7,7 +7,7 @@
 
 use crate::datum::{ColType, Datum};
 use crate::error::{DbError, DbResult};
-use crate::exec::{ExecLimits, Executor, Row, TableSource};
+use crate::exec::{ExecLimits, ExecSnapshot, ExecStats, Executor, Row, TableSource};
 use crate::expr::{bind, Scope};
 use crate::func::{FuncRegistry, ScalarFn};
 use crate::heap::{Heap, RowId};
@@ -52,6 +52,7 @@ pub struct Database {
     stats: RwLock<HashMap<String, TableStats>>,
     planner_config: RwLock<PlannerConfig>,
     limits: RwLock<ExecLimits>,
+    exec_stats: ExecStats,
 }
 
 impl Database {
@@ -78,6 +79,7 @@ impl Database {
             stats: RwLock::new(HashMap::new()),
             planner_config: RwLock::new(PlannerConfig::default()),
             limits: RwLock::new(ExecLimits::default()),
+            exec_stats: ExecStats::default(),
         }
     }
 
@@ -110,6 +112,18 @@ impl Database {
     /// Register a user-defined scalar function (paper §5).
     pub fn register_udf(&self, name: &str, f: Arc<dyn ScalarFn>) {
         self.funcs.register(name, f);
+    }
+
+    /// Register a UDF and declare it *pure* — deterministic and
+    /// side-effect free, so the planner may memoize repeated calls within
+    /// a row (the scan pipeline's common-subexpression elimination).
+    pub fn register_udf_pure(&self, name: &str, f: Arc<dyn ScalarFn>) {
+        self.funcs.register_pure(name, f);
+    }
+
+    /// Scan-parallelism counters (morsels, workers, serial/parallel scans).
+    pub fn exec_stats(&self) -> ExecSnapshot {
+        self.exec_stats.snapshot()
     }
 
     pub fn functions(&self) -> &FuncRegistry {
@@ -441,7 +455,7 @@ impl Database {
     fn run_select(&self, sel: &sinew_sql::Select) -> DbResult<QueryResult> {
         let planned = self.plan(sel)?;
         let limits = *self.limits.read();
-        let exec = Executor { source: self, limits };
+        let exec = Executor { source: self, limits, stats: Some(&self.exec_stats) };
         let rows = exec.run(&planned.plan)?;
         Ok(QueryResult { columns: planned.columns, rows, affected: 0 })
     }
@@ -496,7 +510,7 @@ impl Database {
             .collect::<DbResult<_>>()?;
         // Phase 1: evaluate new values against matching rows.
         let limits = *self.limits.read();
-        let exec = Executor { source: self, limits };
+        let exec = Executor { source: self, limits, stats: Some(&self.exec_stats) };
         let matched = exec.run(&plan)?;
         let rowid_idx = scope.len() - 1;
         let mut updates: Vec<(RowId, Vec<(String, Datum)>)> = Vec::with_capacity(matched.len());
@@ -525,7 +539,7 @@ impl Database {
             Planner::new(self, &self.funcs).with_config(self.planner_config.read().clone());
         let (plan, scope) = planner.plan_modify_scan(&del.table, del.filter.as_ref())?;
         let limits = *self.limits.read();
-        let exec = Executor { source: self, limits };
+        let exec = Executor { source: self, limits, stats: Some(&self.exec_stats) };
         let matched = exec.run(&plan)?;
         let rowid_idx = scope.len() - 1;
         let mut n = 0;
@@ -582,6 +596,21 @@ impl TableSource for Database {
         needed: Option<&[String]>,
         f: &mut dyn FnMut(Row) -> DbResult<bool>,
     ) -> DbResult<()> {
+        self.scan_table_range(table, needed, 0, u64::MAX, f)
+    }
+
+    fn high_water(&self, table: &str) -> DbResult<Option<u64>> {
+        Ok(Some(Database::high_water(self, table)?))
+    }
+
+    fn scan_table_range(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        start: u64,
+        end: u64,
+        f: &mut dyn FnMut(Row) -> DbResult<bool>,
+    ) -> DbResult<()> {
         let t = self.table(table)?;
         let t = t.read();
         let live: Vec<usize> = t.schema.live_columns().map(|(i, _)| i).collect();
@@ -598,7 +627,7 @@ impl TableSource for Database {
                 w
             }
         };
-        t.heap.scan(|rowid, bytes| {
+        t.heap.scan_range(start, end, |rowid, bytes| {
             let mut full = tuple::decode_tuple_partial(&t.schema, &bytes, &wanted)?;
             let mut row: Row = Vec::with_capacity(live.len() + 1);
             for &i in &live {

@@ -1,22 +1,34 @@
-//! Plan execution (materializing, operator-at-a-time).
+//! Plan execution (materializing, operator-at-a-time) with a
+//! morsel-parallel scan pipeline.
 //!
 //! Each operator consumes fully materialized child output. This keeps the
 //! engine simple and still honest for the paper's experiments: scans stream
 //! pages through the buffer pool (so I/O behaviour is real), and the CPU
 //! cost of tuple decoding and UDF extraction — the quantities Sinew's
 //! design targets — are paid per row exactly where Postgres would pay them.
+//!
+//! The scan→filter→project prefix of a plan — where Sinew burns nearly all
+//! its CPU, because that is where extraction UDFs run — additionally has a
+//! *morsel-driven parallel* implementation: the heap's row-id space is cut
+//! into contiguous morsels, a worker pool claims morsels from a shared
+//! atomic counter, each worker runs the whole pipeline prefix over its
+//! morsel, and finished morsels are stitched back in row-id order so the
+//! output is byte-identical to the serial executor. `SINEW_EXEC_THREADS`
+//! (default: available parallelism) sizes the pool; 1 disables it.
 
 use crate::datum::{Datum, GroupKey};
 use crate::error::{DbError, DbResult};
-use crate::expr::PhysExpr;
+use crate::expr::{EvalCtx, PhysExpr};
 use crate::agg::Accumulator;
 use crate::plan::{AggSpec, Plan, SortKey};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 pub type Row = Vec<Datum>;
 
-/// Table access the executor needs, implemented by `Database`.
-pub trait TableSource {
+/// Table access the executor needs, implemented by `Database`. `Sync` so a
+/// parallel scan's workers can share the source across threads.
+pub trait TableSource: Sync {
     /// Stream all live rows of `table` as (live columns..., rowid); columns
     /// not in `needed` (when given, by live-column name) may be returned as
     /// NULL without being decoded. The callback returns `false` to stop
@@ -27,6 +39,28 @@ pub trait TableSource {
         needed: Option<&[String]>,
         f: &mut dyn FnMut(Row) -> DbResult<bool>,
     ) -> DbResult<()>;
+
+    /// Upper bound on `table`'s row ids, if this source supports range
+    /// scans. `None` (the default) keeps every scan on the serial path.
+    fn high_water(&self, table: &str) -> DbResult<Option<u64>> {
+        let _ = table;
+        Ok(None)
+    }
+
+    /// Stream live rows with row ids in `start..end` (one morsel). Sources
+    /// that return `Some` from [`TableSource::high_water`] must override
+    /// this; the default ignores the range and delegates to a full scan.
+    fn scan_table_range(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        start: u64,
+        end: u64,
+        f: &mut dyn FnMut(Row) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        let _ = (start, end);
+        self.scan_table(table, needed, f)
+    }
 }
 
 /// Execution limits: a crude statement-level resource governor. The EAV
@@ -37,31 +71,118 @@ pub trait TableSource {
 pub struct ExecLimits {
     /// Max rows any single operator may materialize.
     pub max_intermediate_rows: u64,
+    /// Worker threads for the parallel scan pipeline; 1 forces the serial
+    /// path. Defaults from `SINEW_EXEC_THREADS`, else available parallelism.
+    pub exec_threads: usize,
 }
 
 impl Default for ExecLimits {
     fn default() -> Self {
-        ExecLimits { max_intermediate_rows: 50_000_000 }
+        ExecLimits {
+            max_intermediate_rows: 50_000_000,
+            exec_threads: default_exec_threads(),
+        }
     }
+}
+
+fn default_exec_threads() -> usize {
+    match std::env::var("SINEW_EXEC_THREADS") {
+        Ok(v) => v.trim().parse().ok().filter(|&n| n >= 1).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Log₂ histogram bucket count (bucket = bits of the value, saturated).
+pub const EXEC_HIST_BUCKETS: usize = 17;
+
+/// Scan-parallelism counters, owned by `Database` and folded into the
+/// storage report. All updates are relaxed atomics — workers never lock.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    pub parallel_scans: AtomicU64,
+    pub serial_scans: AtomicU64,
+    pub morsels_dispatched: AtomicU64,
+    pub scan_workers: AtomicU64,
+    rows_per_morsel: [AtomicU64; EXEC_HIST_BUCKETS],
+    rows_per_morsel_count: AtomicU64,
+    rows_per_morsel_sum: AtomicU64,
+}
+
+impl ExecStats {
+    /// Record one finished morsel that visited `rows` live rows.
+    pub fn record_morsel(&self, rows: u64) {
+        let b = (64 - rows.leading_zeros()).min(16) as usize;
+        self.rows_per_morsel[b].fetch_add(1, Ordering::Relaxed);
+        self.rows_per_morsel_count.fetch_add(1, Ordering::Relaxed);
+        self.rows_per_morsel_sum.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ExecSnapshot {
+        let mut buckets = [0u64; EXEC_HIST_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.rows_per_morsel) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        ExecSnapshot {
+            parallel_scans: self.parallel_scans.load(Ordering::Relaxed),
+            serial_scans: self.serial_scans.load(Ordering::Relaxed),
+            morsels_dispatched: self.morsels_dispatched.load(Ordering::Relaxed),
+            scan_workers: self.scan_workers.load(Ordering::Relaxed),
+            rows_per_morsel: buckets,
+            rows_per_morsel_count: self.rows_per_morsel_count.load(Ordering::Relaxed),
+            rows_per_morsel_sum: self.rows_per_morsel_sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecSnapshot {
+    pub parallel_scans: u64,
+    pub serial_scans: u64,
+    pub morsels_dispatched: u64,
+    pub scan_workers: u64,
+    pub rows_per_morsel: [u64; EXEC_HIST_BUCKETS],
+    pub rows_per_morsel_count: u64,
+    pub rows_per_morsel_sum: u64,
+}
+
+/// A scan→filter→project plan prefix, decomposed for the parallel path.
+#[derive(Clone, Copy)]
+struct ScanPipeline<'p> {
+    table: &'p str,
+    needed: Option<&'p [String]>,
+    scan_filter: Option<&'p PhysExpr>,
+    post_filter: Option<&'p PhysExpr>,
+    project: Option<&'p [PhysExpr]>,
 }
 
 pub struct Executor<'a> {
     pub source: &'a dyn TableSource,
     pub limits: ExecLimits,
+    pub stats: Option<&'a ExecStats>,
 }
 
 impl<'a> Executor<'a> {
     pub fn new(source: &'a dyn TableSource) -> Executor<'a> {
-        Executor { source, limits: ExecLimits::default() }
+        Executor { source, limits: ExecLimits::default(), stats: None }
     }
 
     pub fn run(&self, plan: &Plan) -> DbResult<Vec<Row>> {
+        if let Some(rows) = self.try_parallel_pipeline(plan)? {
+            return Ok(rows);
+        }
         match plan {
             Plan::SeqScan { table, filter, needed, .. } => {
+                if let Some(st) = self.stats {
+                    st.serial_scans.fetch_add(1, Ordering::Relaxed);
+                }
                 let mut out = Vec::new();
+                let mut ctx = EvalCtx::new();
                 self.source.scan_table(table, needed.as_deref(), &mut |row| {
                     let keep = match filter {
-                        Some(f) => f.eval_bool(&row)?,
+                        Some(f) => {
+                            ctx.reset();
+                            f.eval_bool_ctx(&row, &mut ctx)?
+                        }
                         None => true,
                     };
                     if keep {
@@ -75,8 +196,10 @@ impl<'a> Executor<'a> {
             Plan::Filter { input, predicate, .. } => {
                 let rows = self.run(input)?;
                 let mut out = Vec::with_capacity(rows.len() / 2);
+                let mut ctx = EvalCtx::new();
                 for row in rows {
-                    if predicate.eval_bool(&row)? {
+                    ctx.reset();
+                    if predicate.eval_bool_ctx(&row, &mut ctx)? {
                         out.push(row);
                     }
                 }
@@ -85,10 +208,15 @@ impl<'a> Executor<'a> {
             Plan::Project { input, exprs, .. } => {
                 let rows = self.run(input)?;
                 let mut out = Vec::with_capacity(rows.len());
+                // One memo context for all projections of a row: the k
+                // `array_get(extract_keys(...), i)` outputs of a fused
+                // extraction share a single document decode per row.
+                let mut ctx = EvalCtx::new();
                 for row in rows {
+                    ctx.reset();
                     let mut new_row = Vec::with_capacity(exprs.len());
                     for e in exprs {
-                        new_row.push(e.eval(&row)?);
+                        new_row.push(e.eval_ctx(&row, &mut ctx)?);
                     }
                     out.push(new_row);
                 }
@@ -158,6 +286,207 @@ impl<'a> Executor<'a> {
             )));
         }
         Ok(())
+    }
+
+    /// Decompose a scan→filter→project plan prefix, the shape the parallel
+    /// pipeline accepts. All expressions in the prefix bind against the
+    /// same scan-output scope, so one [`EvalCtx`] serves the whole row.
+    fn scan_pipeline(plan: &Plan) -> Option<ScanPipeline<'_>> {
+        fn scan(p: &Plan) -> Option<ScanPipeline<'_>> {
+            match p {
+                Plan::SeqScan { table, filter, needed, .. } => Some(ScanPipeline {
+                    table,
+                    needed: needed.as_deref(),
+                    scan_filter: filter.as_ref(),
+                    post_filter: None,
+                    project: None,
+                }),
+                _ => None,
+            }
+        }
+        match plan {
+            Plan::SeqScan { .. } => scan(plan),
+            Plan::Filter { input, predicate, .. } => {
+                let mut p = scan(input)?;
+                p.post_filter = Some(predicate);
+                Some(p)
+            }
+            Plan::Project { input, exprs, .. } => {
+                let mut p = match input.as_ref() {
+                    Plan::Filter { input, predicate, .. } => {
+                        let mut p = scan(input)?;
+                        p.post_filter = Some(predicate);
+                        p
+                    }
+                    other => scan(other)?,
+                };
+                p.project = Some(exprs);
+                Some(p)
+            }
+            _ => None,
+        }
+    }
+
+    /// Run a scan-pipeline prefix on the worker pool, or return `Ok(None)`
+    /// to fall back to the serial operators (wrong plan shape, a source
+    /// without range scans, one thread, or a table too small to cut up).
+    fn try_parallel_pipeline(&self, plan: &Plan) -> DbResult<Option<Vec<Row>>> {
+        const MIN_MORSEL_ROWS: u64 = 256;
+        const MORSELS_PER_WORKER: u64 = 8;
+
+        let threads = self.limits.exec_threads.max(1);
+        if threads <= 1 {
+            return Ok(None);
+        }
+        let Some(pipe) = Self::scan_pipeline(plan) else { return Ok(None) };
+        let Some(high) = self.source.high_water(pipe.table)? else { return Ok(None) };
+        if high < MIN_MORSEL_ROWS * 2 {
+            return Ok(None); // tiny table: the serial path wins
+        }
+        let target_morsels = threads as u64 * MORSELS_PER_WORKER;
+        let morsel_size = (high / target_morsels).max(MIN_MORSEL_ROWS);
+        let n_morsels = high.div_ceil(morsel_size);
+        if n_morsels <= 1 {
+            return Ok(None);
+        }
+        let n_workers = threads.min(n_morsels as usize);
+
+        let next = AtomicUsize::new(0);
+        let cancel = AtomicBool::new(false);
+        // Shared row budget: counts rows that pass the scan filter, exactly
+        // what the serial SeqScan arm bounds with `check_limit(out.len())`.
+        let budget = AtomicU64::new(0);
+        let max_rows = self.limits.max_intermediate_rows;
+        let stats = self.stats;
+
+        let worker = |_wid: usize| -> Result<Vec<(u64, Vec<Row>)>, (u64, DbError)> {
+            let mut ctx = EvalCtx::new();
+            let mut chunks: Vec<(u64, Vec<Row>)> = Vec::new();
+            loop {
+                if cancel.load(Ordering::Relaxed) {
+                    break;
+                }
+                let m = next.fetch_add(1, Ordering::Relaxed) as u64;
+                if m >= n_morsels {
+                    break;
+                }
+                let start = m * morsel_size;
+                let end = high.min(start + morsel_size);
+                let mut rows_seen = 0u64;
+                let mut out: Vec<Row> = Vec::new();
+                // Catch panics per morsel: an evaluator bug in one worker
+                // must surface as a clean DbError, not tear down the pool.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.source.scan_table_range(
+                        pipe.table,
+                        pipe.needed,
+                        start,
+                        end,
+                        &mut |row| {
+                            if cancel.load(Ordering::Relaxed) {
+                                return Ok(false);
+                            }
+                            rows_seen += 1;
+                            ctx.reset();
+                            let keep = match pipe.scan_filter {
+                                Some(f) => f.eval_bool_ctx(&row, &mut ctx)?,
+                                None => true,
+                            };
+                            if !keep {
+                                return Ok(true);
+                            }
+                            if budget.fetch_add(1, Ordering::Relaxed) + 1 > max_rows {
+                                return Err(DbError::ResourceExhausted(format!(
+                                    "intermediate result exceeded {max_rows} rows"
+                                )));
+                            }
+                            if let Some(p) = pipe.post_filter {
+                                if !p.eval_bool_ctx(&row, &mut ctx)? {
+                                    return Ok(true);
+                                }
+                            }
+                            match pipe.project {
+                                Some(exprs) => {
+                                    let mut new_row = Vec::with_capacity(exprs.len());
+                                    for e in exprs {
+                                        new_row.push(e.eval_ctx(&row, &mut ctx)?);
+                                    }
+                                    out.push(new_row);
+                                }
+                                None => out.push(row),
+                            }
+                            Ok(true)
+                        },
+                    )
+                }));
+                match result {
+                    Ok(Ok(())) => {
+                        if let Some(st) = stats {
+                            st.record_morsel(rows_seen);
+                        }
+                        chunks.push((m, out));
+                    }
+                    Ok(Err(e)) => {
+                        cancel.store(true, Ordering::Relaxed);
+                        return Err((m, e));
+                    }
+                    Err(payload) => {
+                        cancel.store(true, Ordering::Relaxed);
+                        let msg = panic_message(payload.as_ref());
+                        return Err((m, DbError::Eval(format!("scan worker panicked: {msg}"))));
+                    }
+                }
+            }
+            Ok(chunks)
+        };
+
+        let mut chunk_sets: Vec<Vec<(u64, Vec<Row>)>> = Vec::with_capacity(n_workers);
+        // Deterministic pick among concurrent failures: lowest morsel wins.
+        let mut first_err: Option<(u64, DbError)> = None;
+        std::thread::scope(|s| {
+            let worker = &worker;
+            let handles: Vec<_> =
+                (0..n_workers).map(|w| s.spawn(move || worker(w))).collect();
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(chunks)) => chunk_sets.push(chunks),
+                    Ok(Err((m, e))) => {
+                        if first_err.as_ref().is_none_or(|(fm, _)| m < *fm) {
+                            first_err = Some((m, e));
+                        }
+                    }
+                    Err(payload) => {
+                        // A panic escaping the per-morsel catch (thread
+                        // machinery itself) still yields a clean error.
+                        cancel.store(true, Ordering::Relaxed);
+                        let msg = panic_message(payload.as_ref());
+                        if first_err.is_none() {
+                            first_err = Some((
+                                u64::MAX,
+                                DbError::Eval(format!("scan worker panicked: {msg}")),
+                            ));
+                        }
+                    }
+                }
+            }
+        });
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        if let Some(st) = stats {
+            st.parallel_scans.fetch_add(1, Ordering::Relaxed);
+            st.morsels_dispatched.fetch_add(n_morsels, Ordering::Relaxed);
+            st.scan_workers.fetch_add(n_workers as u64, Ordering::Relaxed);
+        }
+        // Stitch morsels back in row-id order: contiguous ranges sorted by
+        // morsel index reproduce the serial scan's row order exactly.
+        let mut chunks: Vec<(u64, Vec<Row>)> = chunk_sets.into_iter().flatten().collect();
+        chunks.sort_unstable_by_key(|(m, _)| *m);
+        let mut out = Vec::with_capacity(chunks.iter().map(|(_, r)| r.len()).sum());
+        for (_, mut rows) in chunks {
+            out.append(&mut rows);
+        }
+        Ok(Some(out))
     }
 
     fn hash_join(
@@ -385,6 +714,16 @@ impl<'a> Executor<'a> {
             out.push(finish_group(Vec::new(), &accs));
         }
         Ok(out)
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
     }
 }
 

@@ -31,6 +31,44 @@ pub enum PhysExpr {
     /// whose value has already been materialized).
     Coalesce(Vec<PhysExpr>),
     Cast { expr: Box<PhysExpr>, ty: ColType },
+    /// Per-row memoization point, planted by the planner's common-
+    /// subexpression pass over the scan pipeline: the first evaluation in a
+    /// row stores its result in the [`EvalCtx`] slot, later evaluations of
+    /// the same subtree clone it back. Without a context (joins, sorts,
+    /// plain `eval`) it is fully transparent — the inner expression
+    /// evaluates directly, with zero overhead and identical semantics.
+    Memo { slot: usize, expr: Box<PhysExpr> },
+}
+
+/// Per-row scratch for [`PhysExpr::Memo`] slots. One instance lives per
+/// scan worker and is `reset()` between rows; slots grow on demand.
+#[derive(Debug, Default)]
+pub struct EvalCtx {
+    slots: Vec<Option<Datum>>,
+}
+
+impl EvalCtx {
+    pub fn new() -> EvalCtx {
+        EvalCtx::default()
+    }
+
+    /// Forget all memoized values (call between rows).
+    pub fn reset(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+
+    fn get(&self, slot: usize) -> Option<&Datum> {
+        self.slots.get(slot).and_then(|s| s.as_ref())
+    }
+
+    fn put(&mut self, slot: usize, value: Datum) {
+        if self.slots.len() <= slot {
+            self.slots.resize(slot + 1, None);
+        }
+        self.slots[slot] = Some(value);
+    }
 }
 
 impl std::fmt::Debug for PhysExpr {
@@ -52,6 +90,9 @@ impl std::fmt::Debug for PhysExpr {
             PhysExpr::Call { name, args, .. } => write!(f, "{name}({args:?})"),
             PhysExpr::Coalesce(args) => write!(f, "COALESCE({args:?})"),
             PhysExpr::Cast { expr, ty } => write!(f, "CAST({expr:?} AS {})", ty.name()),
+            // Transparent: EXPLAIN output must not depend on whether the
+            // CSE pass planted a memo point here.
+            PhysExpr::Memo { expr, .. } => write!(f, "{expr:?}"),
         }
     }
 }
@@ -59,32 +100,41 @@ impl std::fmt::Debug for PhysExpr {
 impl PhysExpr {
     /// Evaluate against a row.
     pub fn eval(&self, row: &[Datum]) -> DbResult<Datum> {
+        self.eval_with(row, None)
+    }
+
+    /// Evaluate with a memoization context (scan-pipeline hot path).
+    pub fn eval_ctx(&self, row: &[Datum], ctx: &mut EvalCtx) -> DbResult<Datum> {
+        self.eval_with(row, Some(ctx))
+    }
+
+    fn eval_with(&self, row: &[Datum], mut ctx: Option<&mut EvalCtx>) -> DbResult<Datum> {
         match self {
             PhysExpr::Column(i) => Ok(row
                 .get(*i)
                 .cloned()
                 .ok_or_else(|| DbError::Eval(format!("column index {i} out of range")))?),
             PhysExpr::Literal(d) => Ok(d.clone()),
-            PhysExpr::Not(e) => match e.eval(row)? {
+            PhysExpr::Not(e) => match e.eval_with(row, ctx)? {
                 Datum::Null => Ok(Datum::Null),
                 Datum::Bool(b) => Ok(Datum::Bool(!b)),
                 other => Err(DbError::Eval(format!("NOT applied to {other}"))),
             },
-            PhysExpr::Neg(e) => match e.eval(row)? {
+            PhysExpr::Neg(e) => match e.eval_with(row, ctx)? {
                 Datum::Null => Ok(Datum::Null),
                 Datum::Int(i) => Ok(Datum::Int(-i)),
                 Datum::Float(f) => Ok(Datum::Float(-f)),
                 other => Err(DbError::Eval(format!("cannot negate {other}"))),
             },
-            PhysExpr::Binary { op, left, right } => eval_binary(*op, left, right, row),
+            PhysExpr::Binary { op, left, right } => eval_binary(*op, left, right, row, ctx),
             PhysExpr::IsNull { expr, negated } => {
-                let v = expr.eval(row)?;
+                let v = expr.eval_with(row, ctx)?;
                 Ok(Datum::Bool(v.is_null() != *negated))
             }
             PhysExpr::Between { expr, low, high, negated } => {
-                let v = expr.eval(row)?;
-                let lo = low.eval(row)?;
-                let hi = high.eval(row)?;
+                let v = expr.eval_with(row, ctx.as_deref_mut())?;
+                let lo = low.eval_with(row, ctx.as_deref_mut())?;
+                let hi = high.eval_with(row, ctx)?;
                 // Postgres rewrites BETWEEN as two comparisons without
                 // memoizing the operand (paper §6.4 contrasts this with
                 // MongoDB's precompute) — semantics are unchanged here since
@@ -101,13 +151,13 @@ impl PhysExpr {
                 Ok(Datum::Bool((ge && le) != *negated))
             }
             PhysExpr::InList { expr, list, negated } => {
-                let v = expr.eval(row)?;
+                let v = expr.eval_with(row, ctx.as_deref_mut())?;
                 if v.is_null() {
                     return Ok(Datum::Null);
                 }
                 let mut saw_null = false;
                 for item in list {
-                    match v.sql_eq(&item.eval(row)?) {
+                    match v.sql_eq(&item.eval_with(row, ctx.as_deref_mut())?) {
                         Some(true) => return Ok(Datum::Bool(!*negated)),
                         Some(false) => {}
                         None => saw_null = true,
@@ -120,8 +170,8 @@ impl PhysExpr {
                 }
             }
             PhysExpr::Like { expr, pattern, negated } => {
-                let v = expr.eval(row)?;
-                let p = pattern.eval(row)?;
+                let v = expr.eval_with(row, ctx.as_deref_mut())?;
+                let p = pattern.eval_with(row, ctx)?;
                 match (v, p) {
                     (Datum::Null, _) | (_, Datum::Null) => Ok(Datum::Null),
                     (v, Datum::Text(p)) => {
@@ -136,7 +186,7 @@ impl PhysExpr {
             }
             PhysExpr::Coalesce(args) => {
                 for a in args {
-                    let v = a.eval(row)?;
+                    let v = a.eval_with(row, ctx.as_deref_mut())?;
                     if !v.is_null() {
                         return Ok(v);
                     }
@@ -144,22 +194,92 @@ impl PhysExpr {
                 Ok(Datum::Null)
             }
             PhysExpr::Call { func, args, name } => {
-                let mut vals = Vec::with_capacity(args.len());
-                for a in args {
-                    vals.push(a.eval(row)?);
+                // Fused-extraction fast path: `array_get(<memo>, <const i>)`
+                // indexes the memoized array in place, cloning one element
+                // instead of the whole k-value array per output column —
+                // otherwise fusing k extractions would trade k decodes for
+                // k array clones and lose.
+                if name == "array_get" && args.len() == 2 {
+                    if let (
+                        PhysExpr::Memo { slot, expr },
+                        PhysExpr::Literal(Datum::Int(idx)),
+                    ) = (&args[0], &args[1])
+                    {
+                        if let Some(c) = ctx.as_deref_mut() {
+                            if c.get(*slot).is_none() {
+                                let v = expr.eval_with(row, Some(&mut *c))?;
+                                c.put(*slot, v);
+                            }
+                            match c.get(*slot) {
+                                Some(Datum::Null) => return Ok(Datum::Null),
+                                Some(Datum::Array(a)) => {
+                                    return Ok(usize::try_from(*idx)
+                                        .ok()
+                                        .and_then(|i| a.get(i))
+                                        .cloned()
+                                        .unwrap_or(Datum::Null))
+                                }
+                                // non-array memo value: let the generic call
+                                // below produce array_get's usual error
+                                _ => {}
+                            }
+                        }
+                    }
                 }
-                func.call(&vals).map_err(|e| match e {
+                // Borrow Literal/Column arguments in place; only computed
+                // arguments are materialized into scratch. Extraction UDFs
+                // override `call_ref`, so the reservoir bytea and the
+                // path/tag literals are never cloned per row.
+                let mut scratch: Vec<Datum> = Vec::new();
+                for a in args {
+                    match a {
+                        PhysExpr::Literal(_) | PhysExpr::Column(_) => {}
+                        other => scratch.push(other.eval_with(row, ctx.as_deref_mut())?),
+                    }
+                }
+                let mut computed = scratch.iter();
+                let mut refs: Vec<&Datum> = Vec::with_capacity(args.len());
+                for a in args {
+                    refs.push(match a {
+                        PhysExpr::Literal(d) => d,
+                        PhysExpr::Column(i) => row.get(*i).ok_or_else(|| {
+                            DbError::Eval(format!("column index {i} out of range"))
+                        })?,
+                        _ => computed.next().expect("scratch covers computed args"),
+                    });
+                }
+                func.call_ref(&refs).map_err(|e| match e {
                     DbError::Eval(m) => DbError::Eval(format!("{name}: {m}")),
                     other => other,
                 })
             }
-            PhysExpr::Cast { expr, ty } => expr.eval(row)?.cast(*ty),
+            PhysExpr::Cast { expr, ty } => expr.eval_with(row, ctx)?.cast(*ty),
+            PhysExpr::Memo { slot, expr } => match ctx {
+                None => expr.eval_with(row, None),
+                Some(c) => {
+                    if let Some(v) = c.get(*slot) {
+                        return Ok(v.clone());
+                    }
+                    let v = expr.eval_with(row, Some(c))?;
+                    c.put(*slot, v.clone());
+                    Ok(v)
+                }
+            },
         }
     }
 
     /// Evaluate as a predicate: NULL ⇒ false (SQL WHERE semantics).
     pub fn eval_bool(&self, row: &[Datum]) -> DbResult<bool> {
         match self.eval(row)? {
+            Datum::Bool(b) => Ok(b),
+            Datum::Null => Ok(false),
+            other => Err(DbError::Eval(format!("predicate evaluated to {other}, expected bool"))),
+        }
+    }
+
+    /// Predicate evaluation with a memoization context.
+    pub fn eval_bool_ctx(&self, row: &[Datum], ctx: &mut EvalCtx) -> DbResult<bool> {
+        match self.eval_with(row, Some(ctx))? {
             Datum::Bool(b) => Ok(b),
             Datum::Null => Ok(false),
             other => Err(DbError::Eval(format!("predicate evaluated to {other}, expected bool"))),
@@ -184,6 +304,7 @@ impl PhysExpr {
             PhysExpr::Call { args, .. } => args.iter().all(PhysExpr::is_constant),
             PhysExpr::Coalesce(args) => args.iter().all(PhysExpr::is_constant),
             PhysExpr::Cast { expr, .. } => expr.is_constant(),
+            PhysExpr::Memo { expr, .. } => expr.is_constant(),
         }
     }
 
@@ -219,6 +340,7 @@ impl PhysExpr {
                 }
             }
             PhysExpr::Cast { expr, .. } => expr.column_refs(out),
+            PhysExpr::Memo { expr, .. } => expr.column_refs(out),
         }
     }
 
@@ -243,15 +365,22 @@ impl PhysExpr {
             PhysExpr::Call { .. } => true,
             PhysExpr::Coalesce(args) => args.iter().any(PhysExpr::contains_call),
             PhysExpr::Cast { expr, .. } => expr.contains_call(),
+            PhysExpr::Memo { expr, .. } => expr.contains_call(),
         }
     }
 }
 
-fn eval_binary(op: BinaryOp, left: &PhysExpr, right: &PhysExpr, row: &[Datum]) -> DbResult<Datum> {
+fn eval_binary(
+    op: BinaryOp,
+    left: &PhysExpr,
+    right: &PhysExpr,
+    row: &[Datum],
+    mut ctx: Option<&mut EvalCtx>,
+) -> DbResult<Datum> {
     use BinaryOp::*;
     // AND/OR need three-valued logic with short-circuit.
     if op == And || op == Or {
-        let l = left.eval(row)?;
+        let l = left.eval_with(row, ctx.as_deref_mut())?;
         let lb = match &l {
             Datum::Null => None,
             Datum::Bool(b) => Some(*b),
@@ -262,7 +391,7 @@ fn eval_binary(op: BinaryOp, left: &PhysExpr, right: &PhysExpr, row: &[Datum]) -
             (Or, Some(true)) => return Ok(Datum::Bool(true)),
             _ => {}
         }
-        let r = right.eval(row)?;
+        let r = right.eval_with(row, ctx)?;
         let rb = match &r {
             Datum::Null => None,
             Datum::Bool(b) => Some(*b),
@@ -276,8 +405,8 @@ fn eval_binary(op: BinaryOp, left: &PhysExpr, right: &PhysExpr, row: &[Datum]) -
             _ => Datum::Null,
         });
     }
-    let l = left.eval(row)?;
-    let r = right.eval(row)?;
+    let l = left.eval_with(row, ctx.as_deref_mut())?;
+    let r = right.eval_with(row, ctx)?;
     if op.is_comparison() {
         let cmp = l.sql_cmp(&r);
         return Ok(match cmp {

@@ -11,12 +11,24 @@
 use crate::datum::{ColType, Datum};
 use crate::error::{DbError, DbResult};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// A scalar function implementation.
 pub trait ScalarFn: Send + Sync {
     fn call(&self, args: &[Datum]) -> DbResult<Datum>;
+
+    /// Borrowed-argument entry point, used by the executor's expression
+    /// evaluator: Literal and Column arguments are passed by reference so
+    /// hot functions need not pay a clone per row (for extraction UDFs the
+    /// first argument is the whole serialized document — cloning it per
+    /// call is the single largest avoidable cost of a scan). The default
+    /// materializes owned values and delegates to [`ScalarFn::call`];
+    /// implementations that only read their arguments should override.
+    fn call_ref(&self, args: &[&Datum]) -> DbResult<Datum> {
+        let owned: Vec<Datum> = args.iter().map(|d| (*d).clone()).collect();
+        self.call(&owned)
+    }
 }
 
 impl<F> ScalarFn for F
@@ -31,6 +43,11 @@ where
 /// Thread-safe function registry.
 pub struct FuncRegistry {
     funcs: RwLock<HashMap<String, Arc<dyn ScalarFn>>>,
+    /// Names declared *pure* (deterministic, side-effect free). The
+    /// planner only memoizes / common-subexpression-eliminates calls to
+    /// pure functions; anything unregistered here is conservatively
+    /// treated as effectful.
+    pure: RwLock<HashSet<String>>,
 }
 
 impl Default for FuncRegistry {
@@ -41,7 +58,10 @@ impl Default for FuncRegistry {
 
 impl FuncRegistry {
     pub fn new() -> FuncRegistry {
-        let reg = FuncRegistry { funcs: RwLock::new(HashMap::new()) };
+        let reg = FuncRegistry {
+            funcs: RwLock::new(HashMap::new()),
+            pure: RwLock::new(HashSet::new()),
+        };
         reg.install_builtins();
         reg
     }
@@ -50,20 +70,31 @@ impl FuncRegistry {
         self.funcs.write().insert(name.to_ascii_lowercase(), f);
     }
 
+    /// Register a function and declare it pure (safe to memoize per row).
+    pub fn register_pure(&self, name: &str, f: Arc<dyn ScalarFn>) {
+        self.register(name, f);
+        self.pure.write().insert(name.to_ascii_lowercase());
+    }
+
+    /// Is `name` declared pure?
+    pub fn is_pure(&self, name: &str) -> bool {
+        self.pure.read().contains(&name.to_ascii_lowercase())
+    }
+
     pub fn get(&self, name: &str) -> Option<Arc<dyn ScalarFn>> {
         self.funcs.read().get(&name.to_ascii_lowercase()).cloned()
     }
 
     fn install_builtins(&self) {
-        self.register("coalesce", Arc::new(coalesce));
-        self.register("lower", Arc::new(lower));
-        self.register("upper", Arc::new(upper));
-        self.register("length", Arc::new(length));
-        self.register("abs", Arc::new(abs));
-        self.register("round", Arc::new(round));
-        self.register("array_length", Arc::new(array_length));
-        self.register("array_contains", Arc::new(array_contains));
-        self.register("array_get", Arc::new(array_get));
+        self.register_pure("coalesce", Arc::new(coalesce));
+        self.register_pure("lower", Arc::new(lower));
+        self.register_pure("upper", Arc::new(upper));
+        self.register_pure("length", Arc::new(length));
+        self.register_pure("abs", Arc::new(abs));
+        self.register_pure("round", Arc::new(round));
+        self.register_pure("array_length", Arc::new(array_length));
+        self.register_pure("array_contains", Arc::new(array_contains));
+        self.register_pure("array_get", Arc::new(array_get));
     }
 }
 

@@ -227,11 +227,26 @@ impl Heap {
 
     /// Visit every live row in row-id order. The callback returns `false`
     /// to stop early (LIMIT push-down).
-    pub fn scan(&self, mut f: impl FnMut(RowId, Vec<u8>) -> DbResult<bool>) -> DbResult<()> {
-        for (i, loc) in self.rows.iter().enumerate() {
+    pub fn scan(&self, f: impl FnMut(RowId, Vec<u8>) -> DbResult<bool>) -> DbResult<()> {
+        self.scan_range(0, self.high_water(), f)
+    }
+
+    /// Visit live rows with ids in `start..end`, in row-id order — one
+    /// morsel of the parallel scan. `&self` only: concurrent range scans
+    /// over disjoint (or even overlapping) ranges are safe, page reads go
+    /// through the pager's shared lock.
+    pub fn scan_range(
+        &self,
+        start: RowId,
+        end: RowId,
+        mut f: impl FnMut(RowId, Vec<u8>) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        let lo = (start as usize).min(self.rows.len());
+        let hi = (end as usize).min(self.rows.len());
+        for (off, loc) in self.rows[lo..hi].iter().enumerate() {
             if let Some(loc) = loc {
                 let bytes = self.fetch(loc)?;
-                if !f(i as RowId, bytes)? {
+                if !f((lo + off) as RowId, bytes)? {
                     break;
                 }
             }

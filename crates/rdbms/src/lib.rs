@@ -49,7 +49,7 @@ pub mod tuple;
 pub use datum::{ColType, Datum};
 pub use db::{Database, QueryResult};
 pub use error::{DbError, DbResult};
-pub use exec::ExecLimits;
+pub use exec::{ExecLimits, ExecSnapshot, EXEC_HIST_BUCKETS};
 pub use func::ScalarFn;
 pub use heap::RowId;
 pub use planner::PlannerConfig;

@@ -14,7 +14,7 @@
 
 use crate::error::{DbError, DbResult};
 use crate::page::{self, PAGE_SIZE};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -41,9 +41,10 @@ pub struct IoSnapshot {
 
 struct Frame {
     data: Box<[u8]>,
+    /// Only mutated under the write lock; readers never look at it.
     dirty: bool,
-    /// LRU tick of last access.
-    last_used: u64,
+    /// LRU tick of last access. Atomic so shared-lock readers can bump it.
+    last_used: AtomicU64,
 }
 
 struct Inner {
@@ -51,14 +52,16 @@ struct Inner {
     /// Frames resident in memory. In memory-mode this holds *all* pages.
     frames: HashMap<PageId, Frame>,
     n_pages: u64,
-    tick: u64,
     /// Max resident frames in file mode; unlimited in memory mode.
     capacity: usize,
 }
 
-/// The page manager.
+/// The page manager. Resident-page reads take the pool lock *shared*, so
+/// a parallel scan's workers read warm pages concurrently; only faults,
+/// writes, and eviction take it exclusively.
 pub struct Pager {
-    inner: Mutex<Inner>,
+    inner: RwLock<Inner>,
+    tick: AtomicU64,
     stats: IoStats,
     io_delay: Option<Duration>,
 }
@@ -67,13 +70,13 @@ impl Pager {
     /// All pages live in memory; no eviction, no I/O.
     pub fn in_memory() -> Pager {
         Pager {
-            inner: Mutex::new(Inner {
+            inner: RwLock::new(Inner {
                 file: None,
                 frames: HashMap::new(),
                 n_pages: 0,
-                tick: 0,
                 capacity: usize::MAX,
             }),
+            tick: AtomicU64::new(0),
             stats: IoStats::default(),
             io_delay: None,
         }
@@ -88,13 +91,13 @@ impl Pager {
             .truncate(true)
             .open(path)?;
         Ok(Pager {
-            inner: Mutex::new(Inner {
+            inner: RwLock::new(Inner {
                 file: Some(file),
                 frames: HashMap::new(),
                 n_pages: 0,
-                tick: 0,
                 capacity: pool_pages.max(8),
             }),
+            tick: AtomicU64::new(0),
             stats: IoStats::default(),
             io_delay: None,
         })
@@ -108,56 +111,71 @@ impl Pager {
 
     /// Allocate a fresh, zeroed, page-initialized page.
     pub fn alloc(&self) -> DbResult<PageId> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let id = inner.n_pages;
         inner.n_pages += 1;
         let mut data = vec![0u8; PAGE_SIZE].into_boxed_slice();
         page::init(&mut data);
-        inner.tick += 1;
-        let tick = inner.tick;
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         self.make_room(&mut inner)?;
-        inner.frames.insert(id, Frame { data, dirty: true, last_used: tick });
+        inner
+            .frames
+            .insert(id, Frame { data, dirty: true, last_used: AtomicU64::new(tick) });
         Ok(id)
     }
 
     /// Allocate a raw (uninitialized-layout) page for jumbo chains.
     pub fn alloc_raw(&self) -> DbResult<PageId> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let id = inner.n_pages;
         inner.n_pages += 1;
         let data = vec![0u8; PAGE_SIZE].into_boxed_slice();
-        inner.tick += 1;
-        let tick = inner.tick;
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         self.make_room(&mut inner)?;
-        inner.frames.insert(id, Frame { data, dirty: true, last_used: tick });
+        inner
+            .frames
+            .insert(id, Frame { data, dirty: true, last_used: AtomicU64::new(tick) });
         Ok(id)
     }
 
-    /// Read access to a page.
+    /// Read access to a page. Resident pages are served under the shared
+    /// lock (concurrent readers never serialize); only a pool miss
+    /// upgrades to the exclusive lock to fault the page in.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> DbResult<R> {
-        let mut inner = self.inner.lock();
+        {
+            let inner = self.inner.read();
+            // Range check first so the error matches the exclusive path.
+            if id >= inner.n_pages {
+                return Err(DbError::Io(format!("page {id} out of range")));
+            }
+            if let Some(frame) = inner.frames.get(&id) {
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+                frame.last_used.store(tick, Ordering::Relaxed);
+                return Ok(f(&frame.data));
+            }
+        }
+        let mut inner = self.inner.write();
         self.fault_in(&mut inner, id)?;
-        inner.tick += 1;
-        let tick = inner.tick;
-        let frame = inner.frames.get_mut(&id).expect("faulted in");
-        frame.last_used = tick;
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let frame = inner.frames.get(&id).expect("faulted in");
+        frame.last_used.store(tick, Ordering::Relaxed);
         Ok(f(&frame.data))
     }
 
     /// Write access to a page; marks it dirty.
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> DbResult<R> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         self.fault_in(&mut inner, id)?;
-        inner.tick += 1;
-        let tick = inner.tick;
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let frame = inner.frames.get_mut(&id).expect("faulted in");
-        frame.last_used = tick;
+        *frame.last_used.get_mut() = tick;
         frame.dirty = true;
         Ok(f(&mut frame.data))
     }
 
     pub fn n_pages(&self) -> u64 {
-        self.inner.lock().n_pages
+        self.inner.read().n_pages
     }
 
     /// Total size of the database in bytes (pages × page size).
@@ -181,7 +199,7 @@ impl Pager {
 
     /// Write back all dirty frames (no-op in memory mode).
     pub fn flush(&self) -> DbResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         if inner.file.is_none() {
             return Ok(());
         }
@@ -199,7 +217,7 @@ impl Pager {
     /// Drop every clean frame and write back + drop dirty ones: simulates a
     /// cold cache for benchmarking.
     pub fn evict_all(&self) -> DbResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         if inner.file.is_none() {
             return Ok(()); // memory mode: nothing to evict to
         }
@@ -233,10 +251,11 @@ impl Pager {
         if let Some(d) = self.io_delay {
             std::thread::sleep(d);
         }
-        inner.tick += 1;
-        let tick = inner.tick;
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         self.make_room(inner)?;
-        inner.frames.insert(id, Frame { data, dirty: false, last_used: tick });
+        inner
+            .frames
+            .insert(id, Frame { data, dirty: false, last_used: AtomicU64::new(tick) });
         Ok(())
     }
 
@@ -245,7 +264,7 @@ impl Pager {
             let victim = inner
                 .frames
                 .iter()
-                .min_by_key(|(_, fr)| fr.last_used)
+                .min_by_key(|(_, fr)| fr.last_used.load(Ordering::Relaxed))
                 .map(|(id, _)| *id)
                 .expect("pool nonempty");
             self.write_back(inner, victim)?;

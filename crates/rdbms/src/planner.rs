@@ -903,6 +903,8 @@ impl<'a> Planner<'a> {
             plan = Plan::Limit { input: Box::new(plan), n };
         }
 
+        memoize_scan_pipelines(&mut plan, self.funcs);
+
         Ok(PlannedQuery { plan, columns: out_names })
     }
 
@@ -915,7 +917,179 @@ impl<'a> Planner<'a> {
     ) -> DbResult<(Plan, Scope)> {
         let filters: Vec<Expr> = filter.map(|f| vec![f.clone()]).unwrap_or_default();
         let cand = self.base_candidate(table, table, &filters, None)?;
-        Ok((cand.plan, cand.scope))
+        let mut plan = cand.plan;
+        memoize_scan_pipelines(&mut plan, self.funcs);
+        Ok((plan, cand.scope))
+    }
+}
+
+// ---- Scan-pipeline common-subexpression elimination ----
+//
+// After the plan is assembled, repeated *pure* function-call subtrees inside
+// a scan pipeline (scan filter, post-scan filter, projection list) are
+// wrapped in [`PhysExpr::Memo`] nodes so each distinct subtree evaluates at
+// most once per row. This is what makes the rewriter's fused extraction
+// profitable: the k outputs `array_get(extract_keys(data, ...), i)` share
+// one `extract_keys` evaluation — one document decode per row instead of k.
+//
+// Slot numbers are assigned per pipeline in first-encounter order; the
+// executor resets its `EvalCtx` between rows. Calls not declared pure in
+// the [`FuncRegistry`] are never memoized.
+
+fn memoize_scan_pipelines(plan: &mut Plan, funcs: &FuncRegistry) {
+    if let Some(mut exprs) = pipeline_exprs_mut(plan) {
+        apply_cse(&mut exprs, funcs);
+        return; // the pipeline bottoms out at its SeqScan
+    }
+    match plan {
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::HashAggregate { input, .. }
+        | Plan::GroupAggregate { input, .. }
+        | Plan::Unique { input, .. }
+        | Plan::HashDistinct { input, .. }
+        | Plan::Limit { input, .. } => memoize_scan_pipelines(input, funcs),
+        Plan::HashJoin { left, right, .. }
+        | Plan::MergeJoin { left, right, .. }
+        | Plan::NestedLoop { left, right, .. } => {
+            memoize_scan_pipelines(left, funcs);
+            memoize_scan_pipelines(right, funcs);
+        }
+        Plan::SeqScan { .. } | Plan::Values { .. } => {}
+    }
+}
+
+/// Mutable references to every expression of the scan pipeline rooted at
+/// `plan`, or `None` if `plan` does not root one. The recognized shapes
+/// mirror the executor's parallel-pipeline detection: `SeqScan`,
+/// `Filter(SeqScan)`, `Project(SeqScan)`, `Project(Filter(SeqScan))`.
+fn pipeline_exprs_mut(plan: &mut Plan) -> Option<Vec<&mut PhysExpr>> {
+    match plan {
+        Plan::SeqScan { filter, .. } => Some(filter.iter_mut().collect()),
+        Plan::Filter { input, predicate, .. } => match input.as_mut() {
+            Plan::SeqScan { filter, .. } => {
+                let mut v: Vec<&mut PhysExpr> = filter.iter_mut().collect();
+                v.push(predicate);
+                Some(v)
+            }
+            _ => None,
+        },
+        Plan::Project { input, exprs, .. } => {
+            let mut v: Vec<&mut PhysExpr> = Vec::new();
+            match input.as_mut() {
+                Plan::SeqScan { filter, .. } => v.extend(filter.iter_mut()),
+                Plan::Filter { input: finput, predicate, .. } => match finput.as_mut() {
+                    Plan::SeqScan { filter, .. } => {
+                        v.extend(filter.iter_mut());
+                        v.push(predicate);
+                    }
+                    _ => return None,
+                },
+                _ => return None,
+            }
+            v.extend(exprs.iter_mut());
+            Some(v)
+        }
+        _ => None,
+    }
+}
+
+fn apply_cse(exprs: &mut [&mut PhysExpr], funcs: &FuncRegistry) {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for e in exprs.iter() {
+        count_pure_calls(e, funcs, &mut counts);
+    }
+    if !counts.values().any(|&c| c >= 2) {
+        return;
+    }
+    let mut slots: HashMap<String, usize> = HashMap::new();
+    for e in exprs.iter_mut() {
+        plant_memos(e, funcs, &counts, &mut slots);
+    }
+}
+
+fn count_pure_calls(e: &PhysExpr, funcs: &FuncRegistry, counts: &mut HashMap<String, usize>) {
+    if matches!(e, PhysExpr::Call { .. }) && all_calls_pure(e, funcs) {
+        *counts.entry(format!("{e:?}")).or_insert(0) += 1;
+    }
+    for c in expr_children(e) {
+        count_pure_calls(c, funcs, counts);
+    }
+}
+
+/// Wrap repeated pure call subtrees in `Memo` nodes, children first so a
+/// shared inner subtree gets its own slot even inside a memoized parent
+/// (`Memo`'s transparent `Debug` keeps the structural keys stable).
+fn plant_memos(
+    e: &mut PhysExpr,
+    funcs: &FuncRegistry,
+    counts: &HashMap<String, usize>,
+    slots: &mut HashMap<String, usize>,
+) {
+    for c in expr_children_mut(e) {
+        plant_memos(c, funcs, counts, slots);
+    }
+    if matches!(e, PhysExpr::Call { .. }) && all_calls_pure(e, funcs) {
+        let key = format!("{e:?}");
+        if counts.get(&key).copied().unwrap_or(0) >= 2 {
+            let n = slots.len();
+            let slot = *slots.entry(key).or_insert(n);
+            let inner = std::mem::replace(e, PhysExpr::Literal(crate::datum::Datum::Null));
+            *e = PhysExpr::Memo { slot, expr: Box::new(inner) };
+        }
+    }
+}
+
+/// Does every `Call` in the subtree use a function declared pure?
+fn all_calls_pure(e: &PhysExpr, funcs: &FuncRegistry) -> bool {
+    if let PhysExpr::Call { name, .. } = e {
+        if !funcs.is_pure(name) {
+            return false;
+        }
+    }
+    expr_children(e).into_iter().all(|c| all_calls_pure(c, funcs))
+}
+
+fn expr_children(e: &PhysExpr) -> Vec<&PhysExpr> {
+    match e {
+        PhysExpr::Column(_) | PhysExpr::Literal(_) => Vec::new(),
+        PhysExpr::Not(x) | PhysExpr::Neg(x) => vec![x.as_ref()],
+        PhysExpr::Binary { left, right, .. } => vec![left.as_ref(), right.as_ref()],
+        PhysExpr::IsNull { expr, .. } => vec![expr.as_ref()],
+        PhysExpr::Between { expr, low, high, .. } => {
+            vec![expr.as_ref(), low.as_ref(), high.as_ref()]
+        }
+        PhysExpr::InList { expr, list, .. } => {
+            let mut v = vec![expr.as_ref()];
+            v.extend(list.iter());
+            v
+        }
+        PhysExpr::Like { expr, pattern, .. } => vec![expr.as_ref(), pattern.as_ref()],
+        PhysExpr::Call { args, .. } | PhysExpr::Coalesce(args) => args.iter().collect(),
+        PhysExpr::Cast { expr, .. } => vec![expr.as_ref()],
+        PhysExpr::Memo { expr, .. } => vec![expr.as_ref()],
+    }
+}
+
+fn expr_children_mut(e: &mut PhysExpr) -> Vec<&mut PhysExpr> {
+    match e {
+        PhysExpr::Column(_) | PhysExpr::Literal(_) => Vec::new(),
+        PhysExpr::Not(x) | PhysExpr::Neg(x) => vec![x.as_mut()],
+        PhysExpr::Binary { left, right, .. } => vec![left.as_mut(), right.as_mut()],
+        PhysExpr::IsNull { expr, .. } => vec![expr.as_mut()],
+        PhysExpr::Between { expr, low, high, .. } => {
+            vec![expr.as_mut(), low.as_mut(), high.as_mut()]
+        }
+        PhysExpr::InList { expr, list, .. } => {
+            let mut v = vec![expr.as_mut()];
+            v.extend(list.iter_mut());
+            v
+        }
+        PhysExpr::Like { expr, pattern, .. } => vec![expr.as_mut(), pattern.as_mut()],
+        PhysExpr::Call { args, .. } | PhysExpr::Coalesce(args) => args.iter_mut().collect(),
+        PhysExpr::Cast { expr, .. } => vec![expr.as_mut()],
+        PhysExpr::Memo { expr, .. } => vec![expr.as_mut()],
     }
 }
 
