@@ -1,0 +1,161 @@
+//! PR4 snapshot harness — secondary-index access paths.
+//!
+//! Measures (a) point predicates at 1% and 0.1% selectivity and (b) range
+//! predicates at the same selectivities, each through the cost-chosen
+//! index path vs the same query under `SINEW_FORCE_SCAN=1`, and (c) bulk
+//! vs row-at-a-time index builds. Writes the `index_point`, `index_range`
+//! and `index_build` sections of the PR benchmark snapshot (default
+//! `results/BENCH_PR4.json` via SINEW_BENCH_SNAPSHOT).
+//!
+//! Every timed variant is checked for byte-identical results against the
+//! forced sequential scan first, so the snapshot can't record a
+//! fast-but-wrong access path. The 0.1% point predicate must clear a 5x
+//! speedup bar or the harness aborts.
+
+use sinew_bench::{ms, record_snapshot, time_avg, HarnessConfig, TablePrinter};
+use sinew_rdbms::Database;
+
+fn build(n: u64) -> Database {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE events (id int, pct1 int, pct01 int, name text)").unwrap();
+    // pct1 cycles through 100 distinct values (a point predicate matches
+    // 1% of rows), pct01 through 1000 (0.1%); id is unique, for ranges.
+    // The ~300 B pad keeps rows at a realistic width — on skinny tuples
+    // the whole heap fits in so few pages that a sequential scan is
+    // genuinely the right plan even at 1%.
+    let pad = "x".repeat(300);
+    let mut batch = Vec::with_capacity(1000);
+    for i in 0..n {
+        batch.push(format!("({i}, {}, {}, 'payload-{}-{pad}')", i % 100, i % 1000, i % 13));
+        if batch.len() == 1000 {
+            db.execute(&format!("INSERT INTO events VALUES {}", batch.join(", "))).unwrap();
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        db.execute(&format!("INSERT INTO events VALUES {}", batch.join(", "))).unwrap();
+    }
+    db.execute("ANALYZE events").unwrap();
+    db
+}
+
+fn forced<T>(f: impl FnOnce() -> T) -> T {
+    std::env::set_var("SINEW_FORCE_SCAN", "1");
+    let out = f();
+    std::env::remove_var("SINEW_FORCE_SCAN");
+    out
+}
+
+/// Time `sql` through the index path and under the forced scan, asserting
+/// identical results first, and push `<key>_{index_ms,scan_ms,speedup}`.
+fn compare(
+    db: &Database,
+    t: &TablePrinter,
+    entries: &mut Vec<(String, f64)>,
+    reps: u32,
+    label: &str,
+    key: &str,
+    sql: &str,
+) -> f64 {
+    let fast = db.execute(sql).unwrap();
+    let slow = forced(|| db.execute(sql).unwrap());
+    assert_eq!(fast.rows, slow.rows, "index path diverged for {sql}");
+    let explain = db.execute(&format!("EXPLAIN {sql}")).unwrap();
+    let plan: String = explain.rows.iter().map(|r| format!("{:?}", r[0])).collect();
+    assert!(plan.contains("Index Scan"), "planner refused the index for {sql}:\n{plan}");
+
+    let ti = time_avg(reps, || {
+        db.execute(sql).unwrap();
+    });
+    let ts = forced(|| {
+        time_avg(reps, || {
+            db.execute(sql).unwrap();
+        })
+    });
+    let speedup = ts.as_secs_f64() / ti.as_secs_f64();
+    t.row(&[
+        label.into(),
+        fast.rows.len().to_string(),
+        ms(ti),
+        ms(ts),
+        format!("{speedup:.2}x"),
+    ]);
+    entries.push((format!("{key}_index_ms"), ti.as_secs_f64() * 1e3));
+    entries.push((format!("{key}_scan_ms"), ts.as_secs_f64() * 1e3));
+    entries.push((format!("{key}_speedup"), speedup));
+    speedup
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let n = cfg.large_docs.max(100_000);
+    // a stray CI export would force every "index" measurement to a scan
+    std::env::remove_var("SINEW_FORCE_SCAN");
+    println!("\n=== PR4 — secondary-index access paths, {n} rows ===\n");
+    let db = build(n);
+    db.execute("CREATE INDEX idx_events_id ON events (id)").unwrap();
+    db.execute("CREATE INDEX idx_events_pct1 ON events (pct1)").unwrap();
+    db.execute("CREATE INDEX idx_events_pct01 ON events (pct01)").unwrap();
+
+    // (a) point predicates, 1% and 0.1% of rows
+    let t = TablePrinter::new(
+        &["Predicate", "Rows", "Index (ms)", "Scan (ms)", "Speedup"],
+        &[22, 8, 12, 12, 8],
+    );
+    let mut entries: Vec<(String, f64)> = vec![("rows".into(), n as f64)];
+    compare(&db, &t, &mut entries, cfg.reps, "pct1 = 37 (1%)", "point_1pct",
+        "SELECT id, pct1, name FROM events WHERE pct1 = 37");
+    let bar = compare(&db, &t, &mut entries, cfg.reps, "pct01 = 370 (0.1%)", "point_01pct",
+        "SELECT id, pct01, name FROM events WHERE pct01 = 370");
+    let refs: Vec<(&str, f64)> = entries.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    record_snapshot("index_point", &refs);
+    assert!(bar >= 5.0, "0.1% point predicate speedup {bar:.2}x below the 5x bar");
+
+    // (b) range predicates over the unique id column, same selectivities
+    println!();
+    let t = TablePrinter::new(
+        &["Predicate", "Rows", "Index (ms)", "Scan (ms)", "Speedup"],
+        &[22, 8, 12, 12, 8],
+    );
+    let mut entries: Vec<(String, f64)> = vec![("rows".into(), n as f64)];
+    let (lo, one_pct, tenth_pct) = (n / 4, n / 100, n / 1000);
+    compare(&db, &t, &mut entries, cfg.reps, "id range (1%)", "range_1pct",
+        &format!("SELECT id, name FROM events WHERE id >= {lo} AND id < {}", lo + one_pct));
+    compare(&db, &t, &mut entries, cfg.reps, "id range (0.1%)", "range_01pct",
+        &format!("SELECT id, name FROM events WHERE id >= {lo} AND id < {}", lo + tenth_pct));
+    let refs: Vec<(&str, f64)> = entries.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    record_snapshot("index_range", &refs);
+
+    // (c) bulk build (sorted run → bottom-up) vs row-at-a-time inserts
+    println!();
+    db.drop_index("events", "idx_events_pct01").unwrap();
+    let tb = time_avg(cfg.reps, || {
+        db.create_index("events", "idx_events_pct01", "pct01", true).unwrap();
+        db.drop_index("events", "idx_events_pct01").unwrap();
+    });
+    let tr = time_avg(cfg.reps, || {
+        db.create_index("events", "idx_events_pct01", "pct01", false).unwrap();
+        db.drop_index("events", "idx_events_pct01").unwrap();
+    });
+    db.create_index("events", "idx_events_pct01", "pct01", true).unwrap();
+    let ratio = tr.as_secs_f64() / tb.as_secs_f64();
+    let t = TablePrinter::new(&["Build", "Time (ms)", "Speedup"], &[14, 12, 8]);
+    t.row(&["bulk".into(), ms(tb), format!("{ratio:.2}x")]);
+    t.row(&["row-at-a-time".into(), ms(tr), "1.00x".into()]);
+    record_snapshot(
+        "index_build",
+        &[
+            ("rows", n as f64),
+            ("bulk_ms", tb.as_secs_f64() * 1e3),
+            ("row_at_a_time_ms", tr.as_secs_f64() * 1e3),
+            ("bulk_speedup", ratio),
+        ],
+    );
+
+    let stats = db.exec_stats();
+    println!(
+        "\nindex scans: {}, rows bulk-built: {}, maintenance ops: {}",
+        stats.index_scans, stats.index_build_rows, stats.index_maintenance_ops
+    );
+    println!("snapshot updated");
+}

@@ -89,6 +89,20 @@ pub fn run(sinew: &Sinew, table: &str, policy: &AnalyzerPolicy) -> DbResult<Vec<
     m.analyzer_runs.inc();
     m.analyzer_rows_sampled.add(sampled);
 
+    // Feed the sampled distinct counts to the RDBMS planner: an
+    // `extract_key_*(data, 'k') = const` predicate over a still-virtual
+    // column can then use 1/ndistinct instead of the opaque-UDF default
+    // selectivity (paper §3.2.3's fixed 200-row guess).
+    let mut pc = db.planner_config();
+    for id in &dense {
+        let Some((name, _)) = cat.attr_info(*id) else { continue };
+        let card = cardinality.get(id).copied().unwrap_or(0);
+        if card > 0 {
+            pc.key_ndistinct.insert(name, card as f64);
+        }
+    }
+    db.set_planner_config(pc);
+
     // Phase 3: decisions.
     let mut decisions = Vec::new();
     let schema = db.schema(table)?;

@@ -224,15 +224,63 @@ fn step_locked(
             cat.set_flags(table, attr, materializing, false)?;
             if !materializing {
                 // dematerialized columns disappear from the physical schema
+                // (dropping the column also drops any secondary index on it)
                 db.drop_column(table, &st.column_name)?;
             }
             cat.sync_table(db, table)?;
             sinew.cursors().lock().remove(&key);
             m.materializer_passes_completed.inc();
+            if materializing {
+                maybe_create_auto_index(sinew, table, attr, &st.column_name)?;
+            }
             report.columns_cleaned.push(name);
         }
     } else {
         sinew.cursors().lock().insert(key, MoveCursor { pos: cursor, stranded });
     }
     Ok(report)
+}
+
+/// Rows sampled when deciding whether a freshly promoted column deserves a
+/// secondary index.
+const AUTO_INDEX_SAMPLE_ROWS: u64 = 10_000;
+
+/// `SINEW_INDEX_MIN_CARDINALITY` — sampled-distinct bar a freshly promoted
+/// column must clear before it gets a secondary index (default 200, the
+/// paper's materialization cardinality threshold). Unparsable values fall
+/// back to the default; a huge value effectively disables auto-indexing.
+fn index_min_cardinality() -> u64 {
+    std::env::var("SINEW_INDEX_MIN_CARDINALITY")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// The promotion payoff loop: once a column is fully materialized, give it
+/// a secondary B-tree index when its sampled cardinality clears the bar —
+/// low-cardinality columns gain little from an index and would pay
+/// maintenance on every write. Dematerialization drops the index for free
+/// (`drop_column` removes indexes on the column).
+fn maybe_create_auto_index(
+    sinew: &Sinew,
+    table: &str,
+    attr: AttrId,
+    column: &str,
+) -> DbResult<()> {
+    let (card, _) =
+        crate::analyzer::estimate_cardinality(sinew, table, &[attr], AUTO_INDEX_SAMPLE_ROWS)?;
+    if card.get(&attr).copied().unwrap_or(0) < index_min_cardinality() {
+        return Ok(());
+    }
+    let name = format!("idx_{table}_{column}");
+    match sinew.db().create_index(table, &name, column, true) {
+        Ok(()) => {
+            sinew.metrics().materializer_indexes_created.inc();
+            Ok(())
+        }
+        // an index of that name already exists (e.g. demote/repromote race
+        // where the user created one by hand): keep it
+        Err(DbError::Schema(_)) => Ok(()),
+        Err(e) => Err(e),
+    }
 }

@@ -214,6 +214,10 @@ pub struct Metrics {
     /// Rows whose column value could not be restored during deferred
     /// dematerialize passes (each deferral adds its stranded-row count).
     pub materializer_rows_stranded: Counter,
+    /// Secondary indexes auto-created when a promotion pass completed on a
+    /// column whose sampled cardinality cleared the
+    /// `SINEW_INDEX_MIN_CARDINALITY` bar.
+    pub materializer_indexes_created: Counter,
     /// Distribution of rows examined per step.
     pub materializer_step_rows: Histogram,
 
@@ -270,6 +274,7 @@ impl Metrics {
             materializer_passes_completed: self.materializer_passes_completed.get(),
             materializer_passes_deferred: self.materializer_passes_deferred.get(),
             materializer_rows_stranded: self.materializer_rows_stranded.get(),
+            materializer_indexes_created: self.materializer_indexes_created.get(),
             materializer_step_rows_mean: self.materializer_step_rows.mean(),
             analyzer_runs: self.analyzer_runs.get(),
             analyzer_rows_sampled: self.analyzer_rows_sampled.get(),
@@ -311,6 +316,7 @@ pub struct MetricsSnapshot {
     pub materializer_passes_completed: u64,
     pub materializer_passes_deferred: u64,
     pub materializer_rows_stranded: u64,
+    pub materializer_indexes_created: u64,
     pub materializer_step_rows_mean: f64,
     pub analyzer_runs: u64,
     pub analyzer_rows_sampled: u64,
@@ -378,6 +384,7 @@ impl MetricsSnapshot {
             ("materializer_passes_completed".into(), i(self.materializer_passes_completed)),
             ("materializer_passes_deferred".into(), i(self.materializer_passes_deferred)),
             ("materializer_rows_stranded".into(), i(self.materializer_rows_stranded)),
+            ("materializer_indexes_created".into(), i(self.materializer_indexes_created)),
             ("analyzer_runs".into(), i(self.analyzer_runs)),
             ("analyzer_rows_sampled".into(), i(self.analyzer_rows_sampled)),
             ("analyzer_materialize_decisions".into(), i(self.analyzer_materialize_decisions)),
@@ -433,6 +440,20 @@ pub struct ColumnReport {
     pub cursor: Option<CursorReport>,
 }
 
+/// One secondary B-tree index on a physical column of the table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexReport {
+    pub name: String,
+    /// Physical column the index covers.
+    pub column: String,
+    /// Live (key, rowid) entries.
+    pub key_count: u64,
+    /// Pager pages the index occupies.
+    pub pages: u64,
+    /// Bytes those pages amount to.
+    pub bytes: u64,
+}
+
 /// Structured per-table storage introspection (see module docs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StorageReport {
@@ -443,6 +464,9 @@ pub struct StorageReport {
     pub physical_columns: Vec<ColumnReport>,
     /// Attributes living only in the column reservoir.
     pub virtual_columns: Vec<ColumnReport>,
+    /// Secondary B-tree indexes on the table's physical columns (manual
+    /// `CREATE INDEX` or auto-created on promotion).
+    pub indexes: Vec<IndexReport>,
     /// Bytes held in the `data` reservoir column.
     pub reservoir_bytes: u64,
     /// Bytes held in materialized physical columns.
@@ -540,11 +564,24 @@ pub(crate) fn storage_report(sinew: &Sinew, table: &str) -> DbResult<StorageRepo
     }
     drop(cursors);
 
+    let indexes = db
+        .index_infos(table)?
+        .into_iter()
+        .map(|i| IndexReport {
+            name: i.name,
+            column: i.column,
+            key_count: i.key_count,
+            pages: i.pages,
+            bytes: i.bytes,
+        })
+        .collect();
+
     Ok(StorageReport {
         table: table.to_string(),
         rows,
         physical_columns,
         virtual_columns,
+        indexes,
         reservoir_bytes,
         column_bytes,
         sampled_rows,
@@ -604,6 +641,14 @@ impl StorageReport {
         };
         render_cols(&mut out, "physical columns", &self.physical_columns);
         render_cols(&mut out, "virtual columns", &self.virtual_columns);
+        let _ = writeln!(out, "indexes ({}):", self.indexes.len());
+        for ix in &self.indexes {
+            let _ = writeln!(
+                out,
+                "  {:<24} on {:<16} {} keys, {} pages, {} B",
+                ix.name, ix.column, ix.key_count, ix.pages, ix.bytes
+            );
+        }
         let _ = writeln!(
             out,
             "plan cache: {} entries; {} hits, {} misses, {} stale rebuilds (hit rate {:.1}%)",
@@ -616,14 +661,15 @@ impl StorageReport {
         let _ = writeln!(
             out,
             "materializer: {} steps, {} rows scanned; moved {} →col, {} →doc; \
-             passes {} completed, {} deferred ({} rows stranded)",
+             passes {} completed, {} deferred ({} rows stranded); {} auto-indexes",
             m.materializer_steps,
             m.materializer_rows_scanned,
             m.materializer_values_materialized,
             m.materializer_values_dematerialized,
             m.materializer_passes_completed,
             m.materializer_passes_deferred,
-            m.materializer_rows_stranded
+            m.materializer_rows_stranded,
+            m.materializer_indexes_created
         );
         let _ = writeln!(
             out,
@@ -682,6 +728,11 @@ impl StorageReport {
         );
         let _ = writeln!(
             out,
+            "index access: {} index scans; {} rows bulk-built, {} maintenance ops",
+            e.index_scans, e.index_build_rows, e.index_maintenance_ops
+        );
+        let _ = writeln!(
+            out,
             "background: {} active workers, {} steps, {} errors",
             m.background_workers_active, m.background_steps, m.background_errors
         );
@@ -735,6 +786,23 @@ impl StorageReport {
                 "virtual_columns".to_string(),
                 Value::Array(self.virtual_columns.iter().map(col).collect()),
             ),
+            (
+                "indexes".to_string(),
+                Value::Array(
+                    self.indexes
+                        .iter()
+                        .map(|ix| {
+                            Value::Object(vec![
+                                ("name".to_string(), Value::Str(ix.name.clone())),
+                                ("column".to_string(), Value::Str(ix.column.clone())),
+                                ("key_count".to_string(), Value::Int(ix.key_count as i64)),
+                                ("pages".to_string(), Value::Int(ix.pages as i64)),
+                                ("bytes".to_string(), Value::Int(ix.bytes as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("reservoir_bytes".to_string(), Value::Int(self.reservoir_bytes as i64)),
             ("column_bytes".to_string(), Value::Int(self.column_bytes as i64)),
             ("sampled_rows".to_string(), Value::Int(self.sampled_rows as i64)),
@@ -769,6 +837,15 @@ impl StorageReport {
                     (
                         "rows_per_morsel_sum".to_string(),
                         Value::Int(self.exec.rows_per_morsel_sum as i64),
+                    ),
+                    ("index_scans".to_string(), Value::Int(self.exec.index_scans as i64)),
+                    (
+                        "index_build_rows".to_string(),
+                        Value::Int(self.exec.index_build_rows as i64),
+                    ),
+                    (
+                        "index_maintenance_ops".to_string(),
+                        Value::Int(self.exec.index_maintenance_ops as i64),
                     ),
                 ]),
             ),

@@ -202,3 +202,78 @@ fn storage_report_rejects_unknown_collection() {
     let sinew = Sinew::in_memory();
     assert!(sinew.storage_report("nope").is_err());
 }
+
+/// Serializes the two auto-index tests: both read/write the process-global
+/// `SINEW_INDEX_MIN_CARDINALITY` / `SINEW_FORCE_SCAN` variables.
+static INDEX_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn promotion_creates_secondary_index_and_demotion_drops_it() {
+    let _g = INDEX_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev_force = std::env::var("SINEW_FORCE_SCAN").ok();
+    let prev_bar = std::env::var("SINEW_INDEX_MIN_CARDINALITY").ok();
+    std::env::remove_var("SINEW_FORCE_SCAN");
+    std::env::remove_var("SINEW_INDEX_MIN_CARDINALITY");
+
+    let sinew = loaded();
+    // "k" has ~N distinct values, clearing the default bar of 200: the
+    // completed promotion pass must leave a bulk-built index behind.
+    sinew.run_analyzer("c", &policy()).unwrap();
+    sinew.materialize_until_clean("c").unwrap();
+
+    let rep = sinew.storage_report("c").unwrap();
+    assert_eq!(rep.indexes.len(), 1, "expected one auto-index: {:?}", rep.indexes);
+    let ix = &rep.indexes[0];
+    assert_eq!(ix.key_count, N as u64);
+    assert!(ix.pages > 0 && ix.bytes > 0);
+    assert!(rep.metrics.materializer_indexes_created >= 1);
+    assert!(rep.exec.index_build_rows >= N as u64);
+
+    // the analyzer also fed sampled cardinality to the planner as an
+    // extraction-selectivity hint
+    let hinted = sinew.db().planner_config().key_ndistinct.get("k").copied();
+    assert!(hinted.unwrap_or(0.0) >= 400.0, "missing ndistinct hint: {hinted:?}");
+
+    // logical point queries on the promoted column now take the index path
+    // (ANALYZE first so the planner sees the column's true cardinality)
+    sinew.query("ANALYZE c").unwrap();
+    let plan = sinew.explain("SELECT k FROM c WHERE k = 'v123'").unwrap();
+    assert!(plan.contains("Index Scan"), "expected index scan:\n{plan}");
+    let r = sinew.query("SELECT COUNT(*) FROM c WHERE k = 'v123'").unwrap();
+    assert_eq!(r.rows[0][0], Datum::Int(1));
+    assert!(sinew.db().exec_stats().index_scans > 0);
+
+    // demotion drops the physical column — and the index rides along
+    let strict = AnalyzerPolicy { cardinality_threshold: u64::MAX, ..policy() };
+    sinew.run_analyzer("c", &strict).unwrap();
+    sinew.materialize_until_clean("c").unwrap();
+    assert!(sinew.storage_report("c").unwrap().indexes.is_empty());
+    assert_eq!(count_k(&sinew), N);
+
+    if let Some(v) = prev_force {
+        std::env::set_var("SINEW_FORCE_SCAN", v);
+    }
+    if let Some(v) = prev_bar {
+        std::env::set_var("SINEW_INDEX_MIN_CARDINALITY", v);
+    }
+}
+
+#[test]
+fn auto_index_respects_the_cardinality_bar() {
+    let _g = INDEX_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev_bar = std::env::var("SINEW_INDEX_MIN_CARDINALITY").ok();
+    std::env::set_var("SINEW_INDEX_MIN_CARDINALITY", "100000");
+
+    let sinew = loaded();
+    sinew.run_analyzer("c", &policy()).unwrap();
+    sinew.materialize_until_clean("c").unwrap();
+    let rep = sinew.storage_report("c").unwrap();
+    assert!(rep.indexes.is_empty(), "bar ignored: {:?}", rep.indexes);
+    assert_eq!(rep.metrics.materializer_indexes_created, 0);
+    assert_eq!(count_k(&sinew), N);
+
+    match prev_bar {
+        Some(v) => std::env::set_var("SINEW_INDEX_MIN_CARDINALITY", v),
+        None => std::env::remove_var("SINEW_INDEX_MIN_CARDINALITY"),
+    }
+}

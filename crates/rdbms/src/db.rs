@@ -5,6 +5,7 @@
 //! programmatic APIs; the Sinew layer never touches storage internals,
 //! honouring the paper's "no changes to the RDBMS code" constraint (§3).
 
+use crate::btree::SecondaryIndex;
 use crate::datum::{ColType, Datum};
 use crate::error::{DbError, DbResult};
 use crate::exec::{ExecLimits, ExecSnapshot, ExecStats, Executor, Row, TableSource};
@@ -42,6 +43,18 @@ impl QueryResult {
 struct Table {
     schema: TableSchema,
     heap: Heap,
+    /// Secondary indexes over live columns, maintained by every DML path.
+    indexes: Vec<SecondaryIndex>,
+}
+
+/// Observability summary of one secondary index.
+#[derive(Debug, Clone)]
+pub struct IndexInfo {
+    pub name: String,
+    pub column: String,
+    pub key_count: u64,
+    pub pages: u64,
+    pub bytes: u64,
 }
 
 /// The embedded relational database.
@@ -183,6 +196,7 @@ impl Database {
             Arc::new(RwLock::new(Table {
                 schema: TableSchema::new(cols),
                 heap: Heap::new(self.pager.clone()),
+                indexes: Vec::new(),
             })),
         );
         Ok(())
@@ -208,12 +222,91 @@ impl Database {
     }
 
     /// `ALTER TABLE DROP COLUMN` — the slot is kept, the name is freed
-    /// (Sinew's dematerialization path).
+    /// (Sinew's dematerialization path). Indexes on the column go with it.
     pub fn drop_column(&self, table: &str, name: &str) -> DbResult<()> {
         let t = self.table(table)?;
         let mut t = t.write();
         t.schema.drop_column(name)?;
+        t.indexes.retain(|ix| ix.column() != name);
         Ok(())
+    }
+
+    // ---- secondary indexes ----
+
+    /// `CREATE INDEX name ON table (column)`. With `bulk`, existing rows
+    /// are loaded through one sort (the fast path for CREATE INDEX over a
+    /// populated table); without it they are inserted one at a time (kept
+    /// for the bench comparison the paper-style harness runs).
+    pub fn create_index(&self, table: &str, name: &str, column: &str, bulk: bool) -> DbResult<()> {
+        let t = self.table(table)?;
+        let mut t = t.write();
+        if t.indexes.iter().any(|ix| ix.name() == name) {
+            return Err(DbError::Schema(format!("index {name} already exists")));
+        }
+        let slot = t
+            .schema
+            .live_columns()
+            .find(|(_, c)| c.name == column)
+            .map(|(i, _)| i)
+            .ok_or_else(|| DbError::NotFound(format!("column {column} in {table}")))?;
+        let mut wanted = vec![false; t.schema.arity()];
+        wanted[slot] = true;
+        let mut index = SecondaryIndex::new(self.pager.clone(), name, column);
+        let mut built = 0u64;
+        if bulk {
+            let mut entries: Vec<(Datum, RowId)> = Vec::new();
+            t.heap.scan(|rowid, bytes| {
+                let mut full = tuple::decode_tuple_partial(&t.schema, &bytes, &wanted)?;
+                entries.push((std::mem::replace(&mut full[slot], Datum::Null), rowid));
+                built += 1;
+                Ok(true)
+            })?;
+            index.bulk_build(entries)?;
+        } else {
+            let mut pending: Vec<(Datum, RowId)> = Vec::new();
+            t.heap.scan(|rowid, bytes| {
+                let mut full = tuple::decode_tuple_partial(&t.schema, &bytes, &wanted)?;
+                pending.push((std::mem::replace(&mut full[slot], Datum::Null), rowid));
+                built += 1;
+                Ok(true)
+            })?;
+            for (key, rowid) in pending {
+                index.insert(&key, rowid)?;
+            }
+        }
+        self.exec_stats
+            .index_build_rows
+            .fetch_add(built, std::sync::atomic::Ordering::Relaxed);
+        t.indexes.push(index);
+        Ok(())
+    }
+
+    /// `DROP INDEX` (scoped to one table).
+    pub fn drop_index(&self, table: &str, name: &str) -> DbResult<()> {
+        let t = self.table(table)?;
+        let mut t = t.write();
+        let before = t.indexes.len();
+        t.indexes.retain(|ix| ix.name() != name);
+        if t.indexes.len() == before {
+            return Err(DbError::NotFound(format!("index {name} on {table}")));
+        }
+        Ok(())
+    }
+
+    /// Per-index observability: key count, page count, bytes.
+    pub fn index_infos(&self, table: &str) -> DbResult<Vec<IndexInfo>> {
+        let t = self.table(table)?;
+        let t = t.read();
+        Ok(t.indexes
+            .iter()
+            .map(|ix| IndexInfo {
+                name: ix.name().to_string(),
+                column: ix.column().to_string(),
+                key_count: ix.key_count(),
+                pages: ix.pages_used() as u64,
+                bytes: ix.bytes_used(),
+            })
+            .collect())
     }
 
     pub fn table_names(&self) -> Vec<String> {
@@ -266,7 +359,8 @@ impl Database {
                 full[slot] = coerce_for_column(value, t.schema.columns[slot].ty)?;
             }
             let bytes = tuple::encode_tuple(&t.schema, &full)?;
-            t.heap.insert(&bytes)?;
+            let rowid = t.heap.insert(&bytes)?;
+            index_insert(&mut t, rowid, &full, &self.exec_stats)?;
             count += 1;
         }
         Ok(count)
@@ -307,7 +401,8 @@ impl Database {
                 full[slot] = coerce_for_column(value, t.schema.columns[slot].ty)?;
             }
             let bytes = tuple::encode_tuple(&t.schema, &full)?;
-            t.heap.insert(&bytes)?;
+            let rowid = t.heap.insert(&bytes)?;
+            index_insert(&mut t, rowid, &full, &self.exec_stats)?;
             count += 1;
         }
         Ok(count)
@@ -336,6 +431,12 @@ impl Database {
             return Err(DbError::NotFound(format!("row {rowid} in {table}")));
         };
         let mut full = tuple::decode_tuple(&t.schema, &bytes)?;
+        // Snapshot indexed values before the assignments land: the heap
+        // keeps the rowid stable across updates (even jumbo relocation),
+        // so index maintenance is needed only where the key value changed.
+        let slots = indexed_slots(&t);
+        let old_keys: Vec<Option<Datum>> =
+            slots.iter().map(|s| s.map(|i| full[i].clone())).collect();
         for (name, value) in assignments {
             let idx = t
                 .schema
@@ -344,7 +445,29 @@ impl Database {
             full[idx] = coerce_for_column(value, t.schema.columns[idx].ty)?;
         }
         let new_bytes = tuple::encode_tuple(&t.schema, &full)?;
-        t.heap.update(rowid, &new_bytes)
+        t.heap.update(rowid, &new_bytes)?;
+        let mut ops = 0u64;
+        for (k, slot) in slots.into_iter().enumerate() {
+            let (Some(slot), Some(old)) = (slot, &old_keys[k]) else { continue };
+            let new = &full[slot];
+            if old.total_cmp(new) == std::cmp::Ordering::Equal {
+                continue;
+            }
+            if !old.is_null() {
+                t.indexes[k].remove(old, rowid)?;
+                ops += 1;
+            }
+            if !new.is_null() {
+                t.indexes[k].insert(new, rowid)?;
+                ops += 1;
+            }
+        }
+        if ops > 0 {
+            self.exec_stats
+                .index_maintenance_ops
+                .fetch_add(ops, std::sync::atomic::Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// Stream all rows (live columns + trailing rowid). Used by ANALYZE,
@@ -417,6 +540,12 @@ impl Database {
                     ct.columns.iter().map(|(n, t)| (n.clone(), (*t).into())).collect();
                 match self.create_table(&ct.table, cols) {
                     Err(DbError::Schema(_)) if ct.if_not_exists => Ok(QueryResult::default()),
+                    other => other.map(|_| QueryResult::default()),
+                }
+            }
+            Statement::CreateIndex(ci) => {
+                match self.create_index(&ci.table, &ci.name, &ci.column, true) {
+                    Err(DbError::Schema(_)) if ci.if_not_exists => Ok(QueryResult::default()),
                     other => other.map(|_| QueryResult::default()),
                 }
             }
@@ -544,16 +673,70 @@ impl Database {
         let rowid_idx = scope.len() - 1;
         let mut n = 0;
         let t = self.table(&del.table)?;
+        let mut t = t.write();
+        // The matched rows are this table's live columns + rowid
+        // (plan_modify_scan decodes everything), so the old key of each
+        // index is right there at its live position.
+        let live_pos: Vec<Option<usize>> = {
+            let live: Vec<&str> =
+                t.schema.live_columns().map(|(_, c)| c.name.as_str()).collect();
+            t.indexes
+                .iter()
+                .map(|ix| live.iter().position(|n| *n == ix.column()))
+                .collect()
+        };
+        let mut ops = 0u64;
         for row in &matched {
             let Datum::Int(rowid) = row[rowid_idx] else {
                 return Err(DbError::Eval("scan did not produce a rowid".into()));
             };
-            if t.write().heap.delete(rowid as RowId)? {
+            let rowid = rowid as RowId;
+            if t.heap.delete(rowid)? {
                 n += 1;
+                for (k, pos) in live_pos.iter().enumerate() {
+                    let Some(pos) = pos else { continue };
+                    let key = &row[*pos];
+                    if !key.is_null() && t.indexes[k].remove(key, rowid)? {
+                        ops += 1;
+                    }
+                }
             }
+        }
+        if ops > 0 {
+            self.exec_stats
+                .index_maintenance_ops
+                .fetch_add(ops, std::sync::atomic::Ordering::Relaxed);
         }
         Ok(QueryResult { affected: n, ..Default::default() })
     }
+}
+
+/// Physical schema slot of each index's column, in index order (`None` only
+/// if an index outlived its column, which `drop_column` prevents).
+fn indexed_slots(t: &Table) -> Vec<Option<usize>> {
+    t.indexes.iter().map(|ix| t.schema.index_of(ix.column())).collect()
+}
+
+/// Add a freshly inserted row to every index on the table.
+fn index_insert(t: &mut Table, rowid: RowId, full: &[Datum], stats: &ExecStats) -> DbResult<()> {
+    if t.indexes.is_empty() {
+        return Ok(());
+    }
+    let slots = indexed_slots(t);
+    let mut ops = 0u64;
+    for (ix, slot) in t.indexes.iter_mut().zip(slots) {
+        let Some(slot) = slot else { continue };
+        let key = &full[slot];
+        if key.is_null() {
+            continue;
+        }
+        ix.insert(key, rowid)?;
+        ops += 1;
+    }
+    if ops > 0 {
+        stats.index_maintenance_ops.fetch_add(ops, std::sync::atomic::Ordering::Relaxed);
+    }
+    Ok(())
 }
 
 /// Coerce a datum for storage into a column of the given type; only safe,
@@ -586,6 +769,12 @@ impl CatalogView for Database {
 
     fn table_stats(&self, name: &str) -> Option<TableStats> {
         self.stats.read().get(name).cloned()
+    }
+
+    fn indexed_columns(&self, name: &str) -> Vec<String> {
+        let Ok(t) = self.table(name) else { return Vec::new() };
+        let t = t.read();
+        t.indexes.iter().map(|ix| ix.column().to_string()).collect()
     }
 }
 
@@ -636,5 +825,59 @@ impl TableSource for Database {
             row.push(Datum::Int(rowid as i64));
             f(row)
         })
+    }
+
+    fn index_lookup(
+        &self,
+        table: &str,
+        column: &str,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+    ) -> DbResult<Option<Vec<u64>>> {
+        let t = self.table(table)?;
+        let t = t.read();
+        let Some(ix) = t.indexes.iter().find(|ix| ix.column() == column) else {
+            return Ok(None);
+        };
+        ix.lookup_range(lo, lo_inc, hi, hi_inc).map(Some)
+    }
+
+    fn fetch_rows(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        rowids: &[u64],
+        f: &mut dyn FnMut(Row) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        let t = self.table(table)?;
+        let t = t.read();
+        let live: Vec<usize> = t.schema.live_columns().map(|(i, _)| i).collect();
+        let wanted: Vec<bool> = match needed {
+            None => vec![true; t.schema.arity()],
+            Some(names) => {
+                let mut w = vec![false; t.schema.arity()];
+                for n in names {
+                    if let Some(i) = t.schema.index_of(n) {
+                        w[i] = true;
+                    }
+                }
+                w
+            }
+        };
+        for &rowid in rowids {
+            let Some(bytes) = t.heap.get(rowid)? else { continue };
+            let mut full = tuple::decode_tuple_partial(&t.schema, &bytes, &wanted)?;
+            let mut row: Row = Vec::with_capacity(live.len() + 1);
+            for &i in &live {
+                row.push(std::mem::replace(&mut full[i], Datum::Null));
+            }
+            row.push(Datum::Int(rowid as i64));
+            if !f(row)? {
+                break;
+            }
+        }
+        Ok(())
     }
 }

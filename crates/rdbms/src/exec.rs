@@ -61,6 +61,39 @@ pub trait TableSource: Sync {
         let _ = (start, end);
         self.scan_table(table, needed, f)
     }
+
+    /// Probe a secondary index on `table`.`column` for rowids whose key
+    /// falls in the given bounds (by `Datum::total_cmp` order). `None` (the
+    /// default) means "no such index here" and sends the executor back to a
+    /// sequential scan — covering sources without indexes and the window
+    /// where an index was dropped between planning and execution.
+    fn index_lookup(
+        &self,
+        table: &str,
+        column: &str,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+    ) -> DbResult<Option<Vec<u64>>> {
+        let _ = (table, column, lo, lo_inc, hi, hi_inc);
+        Ok(None)
+    }
+
+    /// Fetch specific live rows by rowid, each shaped exactly like a
+    /// [`TableSource::scan_table`] row (live columns..., rowid). Rowids that
+    /// are no longer live are skipped. Sources returning `Some` from
+    /// [`TableSource::index_lookup`] must override this.
+    fn fetch_rows(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        rowids: &[u64],
+        f: &mut dyn FnMut(Row) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        let _ = (table, needed, rowids, f);
+        Err(DbError::Eval("source does not support rowid fetch".into()))
+    }
 }
 
 /// Execution limits: a crude statement-level resource governor. The EAV
@@ -103,6 +136,12 @@ pub struct ExecStats {
     pub serial_scans: AtomicU64,
     pub morsels_dispatched: AtomicU64,
     pub scan_workers: AtomicU64,
+    /// Index-scan executions taken instead of a heap scan.
+    pub index_scans: AtomicU64,
+    /// Rows fed into index bulk builds (CREATE INDEX over existing data).
+    pub index_build_rows: AtomicU64,
+    /// Individual index entry insert/remove operations from DML maintenance.
+    pub index_maintenance_ops: AtomicU64,
     rows_per_morsel: [AtomicU64; EXEC_HIST_BUCKETS],
     rows_per_morsel_count: AtomicU64,
     rows_per_morsel_sum: AtomicU64,
@@ -127,6 +166,9 @@ impl ExecStats {
             serial_scans: self.serial_scans.load(Ordering::Relaxed),
             morsels_dispatched: self.morsels_dispatched.load(Ordering::Relaxed),
             scan_workers: self.scan_workers.load(Ordering::Relaxed),
+            index_scans: self.index_scans.load(Ordering::Relaxed),
+            index_build_rows: self.index_build_rows.load(Ordering::Relaxed),
+            index_maintenance_ops: self.index_maintenance_ops.load(Ordering::Relaxed),
             rows_per_morsel: buckets,
             rows_per_morsel_count: self.rows_per_morsel_count.load(Ordering::Relaxed),
             rows_per_morsel_sum: self.rows_per_morsel_sum.load(Ordering::Relaxed),
@@ -140,6 +182,9 @@ pub struct ExecSnapshot {
     pub serial_scans: u64,
     pub morsels_dispatched: u64,
     pub scan_workers: u64,
+    pub index_scans: u64,
+    pub index_build_rows: u64,
+    pub index_maintenance_ops: u64,
     pub rows_per_morsel: [u64; EXEC_HIST_BUCKETS],
     pub rows_per_morsel_count: u64,
     pub rows_per_morsel_sum: u64,
@@ -178,6 +223,62 @@ impl<'a> Executor<'a> {
                 let mut out = Vec::new();
                 let mut ctx = EvalCtx::new();
                 self.source.scan_table(table, needed.as_deref(), &mut |row| {
+                    let keep = match filter {
+                        Some(f) => {
+                            ctx.reset();
+                            f.eval_bool_ctx(&row, &mut ctx)?
+                        }
+                        None => true,
+                    };
+                    if keep {
+                        out.push(row);
+                        self.check_limit(out.len())?;
+                    }
+                    Ok(true)
+                })?;
+                Ok(out)
+            }
+            Plan::IndexScan {
+                table,
+                binding,
+                column,
+                lo,
+                lo_inc,
+                hi,
+                hi_inc,
+                filter,
+                needed,
+                est_rows,
+            } => {
+                let rowids = self.source.index_lookup(
+                    table,
+                    column,
+                    lo.as_ref(),
+                    *lo_inc,
+                    hi.as_ref(),
+                    *hi_inc,
+                )?;
+                let Some(mut rowids) = rowids else {
+                    // Index vanished (or the source has none): degrade to
+                    // the equivalent sequential scan — same filter, same
+                    // projection, same output.
+                    let fallback = Plan::SeqScan {
+                        table: table.clone(),
+                        binding: binding.clone(),
+                        filter: filter.clone(),
+                        needed: needed.clone(),
+                        est_rows: *est_rows,
+                    };
+                    return self.run(&fallback);
+                };
+                if let Some(st) = self.stats {
+                    st.index_scans.fetch_add(1, Ordering::Relaxed);
+                }
+                // Heap scans emit rows in rowid order; match it exactly.
+                rowids.sort_unstable();
+                let mut out = Vec::new();
+                let mut ctx = EvalCtx::new();
+                self.source.fetch_rows(table, needed.as_deref(), &rowids, &mut |row| {
                     let keep = match filter {
                         Some(f) => {
                             ctx.reset();

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod agg;
+pub mod btree;
 pub mod datum;
 pub mod db;
 pub mod error;
@@ -46,6 +47,7 @@ pub mod selectivity;
 pub mod stats;
 pub mod tuple;
 
+pub use btree::SecondaryIndex;
 pub use datum::{ColType, Datum};
 pub use db::{Database, QueryResult};
 pub use error::{DbError, DbResult};

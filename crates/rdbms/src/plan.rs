@@ -7,6 +7,7 @@
 //! exactly the way the paper does.
 
 use crate::agg::AggKind;
+use crate::datum::Datum;
 use crate::expr::PhysExpr;
 use std::fmt::Write as _;
 
@@ -37,6 +38,25 @@ pub enum Plan {
     SeqScan {
         table: String,
         binding: String,
+        filter: Option<PhysExpr>,
+        needed: Option<Vec<String>>,
+        est_rows: f64,
+    },
+    /// Secondary-index range scan. `column` names the indexed physical
+    /// column; `lo`/`hi` bound the key range (by `Datum::total_cmp` order,
+    /// a superset of SQL-comparison matches). `filter` carries the FULL
+    /// original predicate — including the conjuncts consumed as bounds —
+    /// re-checked per fetched row, so results are byte-identical to the
+    /// equivalent `SeqScan`. Matching rowids are sorted before fetch, so
+    /// output order matches the heap scan too.
+    IndexScan {
+        table: String,
+        binding: String,
+        column: String,
+        lo: Option<Datum>,
+        lo_inc: bool,
+        hi: Option<Datum>,
+        hi_inc: bool,
         filter: Option<PhysExpr>,
         needed: Option<Vec<String>>,
         est_rows: f64,
@@ -123,6 +143,7 @@ impl Plan {
     pub fn est_rows(&self) -> f64 {
         match self {
             Plan::SeqScan { est_rows, .. }
+            | Plan::IndexScan { est_rows, .. }
             | Plan::Filter { est_rows, .. }
             | Plan::Project { est_rows, .. }
             | Plan::HashJoin { est_rows, .. }
@@ -142,6 +163,7 @@ impl Plan {
     pub fn node_name(&self) -> &'static str {
         match self {
             Plan::SeqScan { .. } => "Seq Scan",
+            Plan::IndexScan { .. } => "Index Scan",
             Plan::Filter { .. } => "Filter",
             Plan::Project { .. } => "Project",
             Plan::HashJoin { .. } => "Hash Join",
@@ -171,6 +193,30 @@ impl Plan {
             Plan::SeqScan { table, binding, filter, est_rows, .. } => {
                 let alias = if binding != table { format!(" {binding}") } else { String::new() };
                 let _ = writeln!(out, "{pad}{arrow}Seq Scan on {table}{alias}  (rows={})", fmt_rows(*est_rows));
+                if let Some(f) = filter {
+                    let _ = writeln!(out, "{pad}      Filter: {f:?}");
+                }
+            }
+            Plan::IndexScan { table, binding, column, lo, lo_inc, hi, hi_inc, filter, est_rows, .. } => {
+                let alias = if binding != table { format!(" {binding}") } else { String::new() };
+                let _ = writeln!(
+                    out,
+                    "{pad}{arrow}Index Scan using {table}_{column} on {table}{alias}  (rows={})",
+                    fmt_rows(*est_rows)
+                );
+                let mut cond = String::new();
+                if let Some(l) = lo {
+                    let _ = write!(cond, "{column} {} {l:?}", if *lo_inc { ">=" } else { ">" });
+                }
+                if let Some(h) = hi {
+                    if !cond.is_empty() {
+                        cond.push_str(" AND ");
+                    }
+                    let _ = write!(cond, "{column} {} {h:?}", if *hi_inc { "<=" } else { "<" });
+                }
+                if !cond.is_empty() {
+                    let _ = writeln!(out, "{pad}      Index Cond: {cond}");
+                }
                 if let Some(f) = filter {
                     let _ = writeln!(out, "{pad}      Filter: {f:?}");
                 }
@@ -280,7 +326,7 @@ impl Plan {
             | Plan::Unique { input, .. }
             | Plan::HashDistinct { input, .. }
             | Plan::Limit { input, .. } => input.collect_joins(out),
-            Plan::SeqScan { .. } | Plan::Values { .. } => {}
+            Plan::SeqScan { .. } | Plan::IndexScan { .. } | Plan::Values { .. } => {}
         }
     }
 }

@@ -17,6 +17,7 @@
 //! columns plan worse than physical ones.
 
 
+use crate::datum::Datum;
 use crate::error::{DbError, DbResult};
 use crate::expr::{bind, PhysExpr, Scope};
 use crate::func::FuncRegistry;
@@ -30,6 +31,8 @@ use std::collections::HashMap;
 
 // Cost constants (Postgres defaults).
 const SEQ_PAGE_COST: f64 = 1.0;
+/// Non-sequential page fetch (index-scan heap visits): Postgres's 4.0.
+const RANDOM_PAGE_COST: f64 = 4.0;
 const CPU_TUPLE_COST: f64 = 0.01;
 const CPU_OPERATOR_COST: f64 = 0.0025;
 /// Per-entry hash table overhead in bytes.
@@ -47,6 +50,12 @@ pub struct TableMeta {
 pub trait CatalogView {
     fn table_meta(&self, name: &str) -> DbResult<TableMeta>;
     fn table_stats(&self, name: &str) -> Option<TableStats>;
+    /// Live columns of `name` with a secondary index, candidates for an
+    /// index-scan access path. Default: none.
+    fn indexed_columns(&self, name: &str) -> Vec<String> {
+        let _ = name;
+        Vec::new()
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -54,11 +63,19 @@ pub struct PlannerConfig {
     /// Memory budget for hash tables and sorts, bytes (Postgres work_mem).
     pub work_mem: usize,
     pub defaults: Defaults,
+    /// Sampled distinct-value counts per reservoir key, from the Sinew
+    /// analyzer: gives `extract_key(data, k) = const` predicates a real
+    /// equality selectivity instead of the opaque-UDF default.
+    pub key_ndistinct: HashMap<String, f64>,
 }
 
 impl Default for PlannerConfig {
     fn default() -> Self {
-        PlannerConfig { work_mem: 4 * 1024 * 1024, defaults: Defaults::default() }
+        PlannerConfig {
+            work_mem: 4 * 1024 * 1024,
+            defaults: Defaults::default(),
+            key_ndistinct: HashMap::new(),
+        }
     }
 }
 
@@ -406,16 +423,16 @@ impl<'a> Planner<'a> {
             .collect::<DbResult<_>>()?;
         let sel_ctx = SelContext {
             stats: stats.as_ref(),
-            col_names,
+            col_names: col_names.clone(),
             input_rows: meta.n_rows,
             defaults: self.config.defaults,
+            key_ndistinct: Some(&self.config.key_ndistinct),
         };
-        let mut sel = 1.0;
-        for f in &bound {
-            sel *= sel_ctx.selectivity(f);
-        }
-        let rows = (meta.n_rows * sel).max(1.0);
         let filter = conjoin_phys(bound.clone());
+        // estimate over the whole conjunction at once: same-column range
+        // pairs must not multiply as if independent
+        let sel = filter.as_ref().map(|p| sel_ctx.selectivity(p)).unwrap_or(1.0);
+        let rows = (meta.n_rows * sel).max(1.0);
         let cost = meta.n_pages * SEQ_PAGE_COST
             + meta.n_rows * CPU_TUPLE_COST
             + meta.n_rows * bound.len() as f64 * CPU_OPERATOR_COST;
@@ -429,20 +446,74 @@ impl<'a> Planner<'a> {
             v.sort();
             v
         });
-        Ok(Candidate {
-            plan: Plan::SeqScan {
-                table: table.to_string(),
-                binding: binding.to_string(),
-                filter,
-                needed: needed_vec,
-                est_rows: rows,
-            },
-            scope,
-            origins,
-            cost,
-            rows,
-            width,
-        })
+
+        // ---- access-path selection: seq scan vs. secondary index ----
+        // A sargable conjunct (col <op> literal on an indexed column)
+        // contributes key bounds; the winning index's cost is a B-tree
+        // descent plus one random heap fetch per matching row. The full
+        // predicate stays on the plan as a residual filter, so the index
+        // path returns exactly the seq scan's rows.
+        let mut plan_cost = cost;
+        let mut plan = Plan::SeqScan {
+            table: table.to_string(),
+            binding: binding.to_string(),
+            filter: filter.clone(),
+            needed: needed_vec.clone(),
+            est_rows: rows,
+        };
+        if !bound.is_empty() && !force_scan() {
+            let indexed = self.catalog.indexed_columns(table);
+            if !indexed.is_empty() {
+                let mut per_col: HashMap<usize, (IdxBound, Vec<PhysExpr>)> = HashMap::new();
+                for f in &bound {
+                    let Some((slot, lo, lo_inc, hi, hi_inc)) = sargable(f) else { continue };
+                    let Some(Some(name)) = col_names.get(slot) else { continue };
+                    if !indexed.iter().any(|c| c == name) {
+                        continue;
+                    }
+                    let e = per_col.entry(slot).or_default();
+                    e.0.tighten(lo, lo_inc, hi, hi_inc);
+                    e.1.push(f.clone());
+                }
+                // each column's match fraction is the joint selectivity of
+                // its own sargable conjuncts (range pairs included)
+                let best = per_col
+                    .into_iter()
+                    .map(|(slot, (b, clauses))| {
+                        let s = conjoin_phys(clauses)
+                            .map(|p| sel_ctx.selectivity(&p))
+                            .unwrap_or(1.0);
+                        (slot, b, s)
+                    })
+                    .min_by(|a, b| {
+                        a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                if let Some((slot, b, bound_sel)) = best {
+                    let matched = (meta.n_rows * bound_sel).max(1.0);
+                    let index_cost = meta.n_rows.max(2.0).log2() * CPU_OPERATOR_COST
+                        + matched.min(meta.n_pages.max(1.0)) * RANDOM_PAGE_COST
+                        + matched * CPU_TUPLE_COST
+                        + matched * bound.len() as f64 * CPU_OPERATOR_COST;
+                    if index_cost < plan_cost {
+                        let column = col_names[slot].clone().unwrap();
+                        plan = Plan::IndexScan {
+                            table: table.to_string(),
+                            binding: binding.to_string(),
+                            column,
+                            lo: b.lo,
+                            lo_inc: b.lo_inc,
+                            hi: b.hi,
+                            hi_inc: b.hi_inc,
+                            filter,
+                            needed: needed_vec,
+                            est_rows: rows,
+                        };
+                        plan_cost = index_cost;
+                    }
+                }
+            }
+        }
+        Ok(Candidate { plan, scope, origins, cost: plan_cost, rows, width })
     }
 
     fn ndistinct_of(&self, cand: &Candidate, e: &PhysExpr) -> f64 {
@@ -956,7 +1027,7 @@ fn memoize_scan_pipelines(plan: &mut Plan, funcs: &FuncRegistry) {
             memoize_scan_pipelines(left, funcs);
             memoize_scan_pipelines(right, funcs);
         }
-        Plan::SeqScan { .. } | Plan::Values { .. } => {}
+        Plan::SeqScan { .. } | Plan::IndexScan { .. } | Plan::Values { .. } => {}
     }
 }
 
@@ -966,9 +1037,11 @@ fn memoize_scan_pipelines(plan: &mut Plan, funcs: &FuncRegistry) {
 /// `Filter(SeqScan)`, `Project(SeqScan)`, `Project(Filter(SeqScan))`.
 fn pipeline_exprs_mut(plan: &mut Plan) -> Option<Vec<&mut PhysExpr>> {
     match plan {
-        Plan::SeqScan { filter, .. } => Some(filter.iter_mut().collect()),
+        Plan::SeqScan { filter, .. } | Plan::IndexScan { filter, .. } => {
+            Some(filter.iter_mut().collect())
+        }
         Plan::Filter { input, predicate, .. } => match input.as_mut() {
-            Plan::SeqScan { filter, .. } => {
+            Plan::SeqScan { filter, .. } | Plan::IndexScan { filter, .. } => {
                 let mut v: Vec<&mut PhysExpr> = filter.iter_mut().collect();
                 v.push(predicate);
                 Some(v)
@@ -978,9 +1051,11 @@ fn pipeline_exprs_mut(plan: &mut Plan) -> Option<Vec<&mut PhysExpr>> {
         Plan::Project { input, exprs, .. } => {
             let mut v: Vec<&mut PhysExpr> = Vec::new();
             match input.as_mut() {
-                Plan::SeqScan { filter, .. } => v.extend(filter.iter_mut()),
+                Plan::SeqScan { filter, .. } | Plan::IndexScan { filter, .. } => {
+                    v.extend(filter.iter_mut())
+                }
                 Plan::Filter { input: finput, predicate, .. } => match finput.as_mut() {
-                    Plan::SeqScan { filter, .. } => {
+                    Plan::SeqScan { filter, .. } | Plan::IndexScan { filter, .. } => {
                         v.extend(filter.iter_mut());
                         v.push(predicate);
                     }
@@ -1090,6 +1165,113 @@ fn expr_children_mut(e: &mut PhysExpr) -> Vec<&mut PhysExpr> {
         PhysExpr::Call { args, .. } | PhysExpr::Coalesce(args) => args.iter_mut().collect(),
         PhysExpr::Cast { expr, .. } => vec![expr.as_mut()],
         PhysExpr::Memo { expr, .. } => vec![expr.as_mut()],
+    }
+}
+
+/// `SINEW_FORCE_SCAN` (any value but empty/`0`) disables the index-scan
+/// access path — the oracle knob for equivalence tests and benches. Read
+/// fresh per plan so tests can toggle it at runtime.
+fn force_scan() -> bool {
+    std::env::var("SINEW_FORCE_SCAN").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
+/// Accumulated key bounds for one indexed column, intersected across the
+/// sargable conjuncts that mention it.
+#[derive(Default)]
+struct IdxBound {
+    lo: Option<Datum>,
+    lo_inc: bool,
+    hi: Option<Datum>,
+    hi_inc: bool,
+}
+
+impl IdxBound {
+    fn tighten(&mut self, lo: Option<Datum>, lo_inc: bool, hi: Option<Datum>, hi_inc: bool) {
+        if self.lo.is_none() && self.hi.is_none() {
+            self.lo_inc = true;
+            self.hi_inc = true;
+        }
+        if let Some(l) = lo {
+            match &self.lo {
+                None => {
+                    self.lo = Some(l);
+                    self.lo_inc = lo_inc;
+                }
+                Some(cur) => match l.total_cmp(cur) {
+                    std::cmp::Ordering::Greater => {
+                        self.lo = Some(l);
+                        self.lo_inc = lo_inc;
+                    }
+                    std::cmp::Ordering::Equal => self.lo_inc &= lo_inc,
+                    std::cmp::Ordering::Less => {}
+                },
+            }
+        }
+        if let Some(h) = hi {
+            match &self.hi {
+                None => {
+                    self.hi = Some(h);
+                    self.hi_inc = hi_inc;
+                }
+                Some(cur) => match h.total_cmp(cur) {
+                    std::cmp::Ordering::Less => {
+                        self.hi = Some(h);
+                        self.hi_inc = hi_inc;
+                    }
+                    std::cmp::Ordering::Equal => self.hi_inc &= hi_inc,
+                    std::cmp::Ordering::Greater => {}
+                },
+            }
+        }
+    }
+}
+
+/// Key bounds a conjunct contributes if it is a sargable comparison —
+/// `col <op> literal` (either side) or a non-negated BETWEEN with literal
+/// bounds. Returns `(scan slot, lo, lo_inc, hi, hi_inc)`.
+fn sargable(e: &PhysExpr) -> Option<(usize, Option<Datum>, bool, Option<Datum>, bool)> {
+    match e {
+        PhysExpr::Binary { op, left, right } => {
+            let (slot, d, op) = match (left.as_ref(), right.as_ref()) {
+                (PhysExpr::Column(i), PhysExpr::Literal(d)) => (*i, d, *op),
+                (PhysExpr::Literal(d), PhysExpr::Column(i)) => (*i, d, flip_cmp(*op)?),
+                _ => return None,
+            };
+            if d.is_null() {
+                return None;
+            }
+            match op {
+                BinaryOp::Eq => Some((slot, Some(d.clone()), true, Some(d.clone()), true)),
+                BinaryOp::Gt => Some((slot, Some(d.clone()), false, None, true)),
+                BinaryOp::GtEq => Some((slot, Some(d.clone()), true, None, true)),
+                BinaryOp::Lt => Some((slot, None, true, Some(d.clone()), false)),
+                BinaryOp::LtEq => Some((slot, None, true, Some(d.clone()), true)),
+                _ => None,
+            }
+        }
+        PhysExpr::Between { expr, low, high, negated } if !negated => {
+            match (expr.as_ref(), low.as_ref(), high.as_ref()) {
+                (PhysExpr::Column(i), PhysExpr::Literal(lo), PhysExpr::Literal(hi))
+                    if !lo.is_null() && !hi.is_null() =>
+                {
+                    Some((*i, Some(lo.clone()), true, Some(hi.clone()), true))
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Mirror a comparison for `literal <op> col` → `col <op'> literal`.
+fn flip_cmp(op: BinaryOp) -> Option<BinaryOp> {
+    match op {
+        BinaryOp::Eq => Some(BinaryOp::Eq),
+        BinaryOp::Lt => Some(BinaryOp::Gt),
+        BinaryOp::LtEq => Some(BinaryOp::GtEq),
+        BinaryOp::Gt => Some(BinaryOp::Lt),
+        BinaryOp::GtEq => Some(BinaryOp::LtEq),
+        _ => None,
     }
 }
 

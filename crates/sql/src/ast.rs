@@ -15,6 +15,7 @@ pub enum Statement {
     Update(Update),
     Delete(Delete),
     CreateTable(CreateTable),
+    CreateIndex(CreateIndex),
     /// `EXPLAIN <select>` — prints the chosen plan (used by the Table 2
     /// experiment to show virtual-vs-physical plan differences).
     Explain(Box<Statement>),
@@ -109,6 +110,16 @@ pub struct Delete {
 pub struct CreateTable {
     pub table: String,
     pub columns: Vec<(String, TypeName)>,
+    pub if_not_exists: bool,
+}
+
+/// `CREATE INDEX [IF NOT EXISTS] name ON table (column)` — single-column
+/// secondary indexes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndex {
+    pub name: String,
+    pub table: String,
+    pub column: String,
     pub if_not_exists: bool,
 }
 

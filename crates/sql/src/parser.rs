@@ -150,7 +150,11 @@ impl Parser {
         } else if self.eat_kw("delete") {
             self.delete()
         } else if self.eat_kw("create") {
-            self.create_table()
+            if self.peek_kw("index") {
+                self.create_index()
+            } else {
+                self.create_table()
+            }
         } else if self.eat_kw("explain") {
             let inner = self.statement()?;
             Ok(Statement::Explain(Box::new(inner)))
@@ -361,6 +365,23 @@ impl Parser {
         }
         self.expect(&TokenKind::RParen, ")")?;
         Ok(Statement::CreateTable(CreateTable { table, columns, if_not_exists }))
+    }
+
+    fn create_index(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("index")?;
+        let mut if_not_exists = false;
+        if self.eat_kw("if") {
+            self.expect_kw("not")?;
+            self.expect_kw("exists")?;
+            if_not_exists = true;
+        }
+        let name = self.ident()?;
+        self.expect_kw("on")?;
+        let table = self.ident()?;
+        self.expect(&TokenKind::LParen, "(")?;
+        let column = self.ident()?;
+        self.expect(&TokenKind::RParen, ")")?;
+        Ok(Statement::CreateIndex(CreateIndex { name, table, column, if_not_exists }))
     }
 
     // ---- expressions: precedence climbing ----
@@ -779,6 +800,23 @@ mod tests {
         let Statement::CreateTable(c) = s else { panic!() };
         assert!(c.if_not_exists);
         assert_eq!(c.columns.len(), 3);
+    }
+
+    #[test]
+    fn create_index_statement() {
+        let s = parse_statement("CREATE INDEX idx_t_a ON t (a)").unwrap();
+        let Statement::CreateIndex(ci) = s else { panic!() };
+        assert_eq!(ci.name, "idx_t_a");
+        assert_eq!(ci.table, "t");
+        assert_eq!(ci.column, "a");
+        assert!(!ci.if_not_exists);
+
+        let s = parse_statement(r#"CREATE INDEX IF NOT EXISTS i ON t ("user.id")"#).unwrap();
+        let Statement::CreateIndex(ci) = s else { panic!() };
+        assert!(ci.if_not_exists);
+        assert_eq!(ci.column, "user.id");
+
+        assert!(parse_statement("CREATE INDEX i ON t (a, b)").is_err());
     }
 
     #[test]

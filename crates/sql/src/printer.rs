@@ -43,6 +43,7 @@ impl fmt::Display for Statement {
             Statement::Update(s) => s.fmt(f),
             Statement::Delete(s) => s.fmt(f),
             Statement::CreateTable(s) => s.fmt(f),
+            Statement::CreateIndex(s) => s.fmt(f),
             Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
             Statement::Analyze(t) => {
                 f.write_str("ANALYZE ")?;
@@ -216,6 +217,21 @@ impl fmt::Display for CreateTable {
     }
 }
 
+impl fmt::Display for CreateIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CREATE INDEX ")?;
+        if self.if_not_exists {
+            f.write_str("IF NOT EXISTS ")?;
+        }
+        ident(f, &self.name)?;
+        f.write_str(" ON ")?;
+        ident(f, &self.table)?;
+        f.write_str(" (")?;
+        ident(f, &self.column)?;
+        f.write_str(")")
+    }
+}
+
 impl fmt::Display for BinaryOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -308,6 +324,8 @@ mod tests {
             "UPDATE t SET a = 1, b = 'x' WHERE c IS NULL",
             "DELETE FROM t WHERE a <> 2",
             "CREATE TABLE t (a int, b text)",
+            "CREATE INDEX idx_t_a ON t (a)",
+            r#"CREATE INDEX IF NOT EXISTS i ON t ("user.id")"#,
             "EXPLAIN SELECT * FROM t",
             "ANALYZE t",
             "SELECT * FROM a JOIN b ON (a.x = b.x) LEFT JOIN c ON (b.y = c.y)",
