@@ -35,6 +35,7 @@ fn main() {
         if scale == "large" {
             eav.store.db().set_exec_limits(sinew_rdbms::ExecLimits {
                 max_intermediate_rows: 2_000_000,
+                ..Default::default()
             });
         }
         let mut suts: Vec<Box<dyn SystemUnderTest>> = vec![

@@ -726,6 +726,28 @@ impl StorageReport {
             e.scan_workers,
             buckets.join(" ")
         );
+        let mean_block = if e.rows_per_block_count == 0 {
+            0.0
+        } else {
+            e.rows_per_block_sum as f64 / e.rows_per_block_count as f64
+        };
+        let block_buckets: Vec<String> = e
+            .rows_per_block
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| format!("{}:{n}", if i == 0 { 0 } else { 1u64 << (i - 1) }))
+            .collect();
+        let _ = writeln!(
+            out,
+            "streaming: {} blocks ({:.0} rows/block mean), {} early stops, \
+             peak resident {} rows; rows/block log2 [{}]",
+            e.blocks_emitted,
+            mean_block,
+            e.early_stops,
+            e.peak_resident_rows,
+            block_buckets.join(" ")
+        );
         let _ = writeln!(
             out,
             "index access: {} index scans; {} rows bulk-built, {} maintenance ops",
@@ -846,6 +868,33 @@ impl StorageReport {
                     (
                         "index_maintenance_ops".to_string(),
                         Value::Int(self.exec.index_maintenance_ops as i64),
+                    ),
+                    (
+                        "blocks_emitted".to_string(),
+                        Value::Int(self.exec.blocks_emitted as i64),
+                    ),
+                    ("early_stops".to_string(), Value::Int(self.exec.early_stops as i64)),
+                    (
+                        "peak_resident_rows".to_string(),
+                        Value::Int(self.exec.peak_resident_rows as i64),
+                    ),
+                    (
+                        "rows_per_block_log2".to_string(),
+                        Value::Array(
+                            self.exec
+                                .rows_per_block
+                                .iter()
+                                .map(|n| Value::Int(*n as i64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "rows_per_block_count".to_string(),
+                        Value::Int(self.exec.rows_per_block_count as i64),
+                    ),
+                    (
+                        "rows_per_block_sum".to_string(),
+                        Value::Int(self.exec.rows_per_block_sum as i64),
                     ),
                 ]),
             ),

@@ -282,6 +282,10 @@ impl MultiExtractionPlan {
         MultiExtractionPlan { items, epoch }
     }
 
+    /// Is this plan still valid against the catalog? The streaming
+    /// executor's block bracketing (`ScalarFn::begin_block`) lets
+    /// `extract_keys` amortize this check to once per block instead of
+    /// once per row — see the block-generation scheme in `udfs.rs`.
     pub fn is_current(&self, cat: &Catalog) -> bool {
         self.epoch == cat.epoch()
     }

@@ -226,29 +226,48 @@ struct ExtractKeysFn {
 
 thread_local! {
     /// Last fused plan used on this thread, tagged with the catalog it was
-    /// resolved against. Scans drive the same `extract_keys` spec for every
-    /// row, so this hits ~always within a query; `Arc::ptr_eq` on the
-    /// catalog (held strongly, so the address can't be recycled by another
-    /// instance), `matches()` and `is_current()` guard correctness across
-    /// databases, queries, and catalog epoch bumps.
-    static LAST_MULTI: RefCell<Option<(Arc<Catalog>, Arc<MultiExtractionPlan>)>> =
+    /// resolved against and the block generation (see [`BLOCK_GEN`]) in
+    /// which it was last epoch-validated. Scans drive the same
+    /// `extract_keys` spec for every row, so this hits ~always within a
+    /// query; `Arc::ptr_eq` on the catalog (held strongly, so the address
+    /// can't be recycled by another instance), `matches()` and
+    /// `is_current()` guard correctness across databases, queries, and
+    /// catalog epoch bumps.
+    static LAST_MULTI: RefCell<Option<(Arc<Catalog>, Arc<MultiExtractionPlan>, u64)>> =
         const { RefCell::new(None) };
+    /// Current streaming-block generation on this thread: 0 outside any
+    /// block, otherwise the value minted by the latest `begin_block`. The
+    /// catalog epoch cannot move mid-block (DDL and queries serialize on
+    /// the statement boundary), so one `is_current` check per block covers
+    /// every row in it. `end_block` resets to 0, so nothing ever carries a
+    /// skipped validation across statements.
+    static BLOCK_GEN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    /// Monotonic source for block generations on this thread.
+    static NEXT_GEN: std::cell::Cell<u64> = const { std::cell::Cell::new(1) };
 }
 
 impl ExtractKeysFn {
     fn plan_for(&self, specs: &[(&str, Want)]) -> Arc<MultiExtractionPlan> {
+        let gen = BLOCK_GEN.with(std::cell::Cell::get);
         LAST_MULTI.with(|slot| {
             let mut slot = slot.borrow_mut();
-            if let Some((cat, plan)) = slot.as_ref() {
-                if Arc::ptr_eq(cat, &self.cat)
-                    && plan.matches(specs)
-                    && plan.is_current(&self.cat)
-                {
-                    return plan.clone();
+            if let Some((cat, plan, validated_gen)) = slot.as_mut() {
+                if Arc::ptr_eq(cat, &self.cat) && plan.matches(specs) {
+                    // Inside a block, the epoch check amortizes: the first
+                    // row of the block validates and stamps the generation;
+                    // later rows skip it. Outside a block (gen 0) every
+                    // call validates, as before.
+                    if gen != 0 && *validated_gen == gen {
+                        return plan.clone();
+                    }
+                    if plan.is_current(&self.cat) {
+                        *validated_gen = gen;
+                        return plan.clone();
+                    }
                 }
             }
             let plan = self.plans.get_multi(&self.cat, specs);
-            *slot = Some((self.cat.clone(), plan.clone()));
+            *slot = Some((self.cat.clone(), plan.clone(), gen));
             plan
         })
     }
@@ -258,6 +277,19 @@ impl ScalarFn for ExtractKeysFn {
     fn call(&self, args: &[Datum]) -> DbResult<Datum> {
         let refs: Vec<&Datum> = args.iter().collect();
         self.call_ref(&refs)
+    }
+
+    fn begin_block(&self) {
+        let gen = NEXT_GEN.with(|g| {
+            let v = g.get();
+            g.set(v.wrapping_add(1).max(1));
+            v
+        });
+        BLOCK_GEN.with(|b| b.set(gen));
+    }
+
+    fn end_block(&self) {
+        BLOCK_GEN.with(|b| b.set(0));
     }
 
     fn call_ref(&self, args: &[&Datum]) -> DbResult<Datum> {

@@ -1,0 +1,124 @@
+//! Streaming-vs-materialize differential oracle at the Sinew layer: the
+//! queries here go through the rewriter, so the streaming engine's block
+//! bracketing of the extraction UDFs (`extract_keys` plan-cache
+//! revalidation once per block) and the fused `array_get(extract_keys(…))`
+//! memo path are exercised end to end. Results must be byte-identical to
+//! the materializing engine at every block size and thread count.
+
+use sinew_core::{AnalyzerPolicy, Sinew};
+use sinew_rdbms::{Datum, ExecLimits, ExecMode};
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+const DOCS: u64 = 1_200;
+
+/// Multi-structured collection: `num`/`tag` everywhere, `extra`/`deep.val`
+/// sparse, types stable per key (the analyzer's assumption).
+fn build() -> Sinew {
+    let sinew = Sinew::in_memory();
+    sinew.create_collection("events").unwrap();
+    let mut jsonl = String::new();
+    for i in 0..DOCS {
+        let h = mix(i);
+        let mut doc = format!(
+            r#"{{"num": {}, "tag": "t{}", "score": {:.4}"#,
+            (h % 500) as i64,
+            h % 17,
+            (h % 7919) as f64 / 13.0
+        );
+        if h % 3 == 0 {
+            doc.push_str(&format!(r#", "extra": {}"#, (h >> 9) % 100));
+        }
+        if h % 5 == 0 {
+            doc.push_str(&format!(r#", "deep": {{"val": "d{}"}}"#, h % 11));
+        }
+        doc.push('}');
+        jsonl.push_str(&doc);
+        jsonl.push('\n');
+    }
+    sinew.load_jsonl("events", &jsonl).unwrap();
+    sinew
+}
+
+/// Queries over virtual columns: every predicate and projection below goes
+/// through extraction UDFs until the analyzer materializes something.
+const QUERIES: &[&str] = &[
+    "SELECT num, tag FROM events WHERE num > 450",
+    "SELECT num, tag, score FROM events WHERE num = 123",
+    "SELECT tag FROM events WHERE extra IS NOT NULL AND num < 50",
+    r#"SELECT num, "deep.val" FROM events WHERE "deep.val" = 'd3'"#,
+    "SELECT tag, COUNT(*), SUM(num) FROM events GROUP BY tag ORDER BY tag",
+    "SELECT COUNT(*), AVG(score) FROM events WHERE num BETWEEN 100 AND 200",
+    "SELECT DISTINCT tag FROM events WHERE num > 250 ORDER BY tag",
+    "SELECT num, tag FROM events ORDER BY num, tag LIMIT 20",
+    "SELECT num, tag, extra FROM events LIMIT 7",
+    "SELECT num FROM events WHERE num > 490 LIMIT 3",
+];
+
+fn run_all(sinew: &Sinew, limits: ExecLimits) -> Vec<Vec<Vec<Datum>>> {
+    sinew.db().set_exec_limits(limits);
+    QUERIES
+        .iter()
+        .map(|q| sinew.query(q).unwrap_or_else(|e| panic!("{q}: {e}")).rows)
+        .collect()
+}
+
+#[test]
+fn extraction_queries_match_across_engines() {
+    let sinew = build();
+    let oracle = run_all(
+        &sinew,
+        ExecLimits { mode: ExecMode::Materialize, exec_threads: 1, ..ExecLimits::default() },
+    );
+    assert!(oracle.iter().any(|r| !r.is_empty()), "workload returned nothing");
+    for threads in [1usize, 4] {
+        for block_rows in [1usize, 3, 1024, 65_536] {
+            let got = run_all(
+                &sinew,
+                ExecLimits {
+                    mode: ExecMode::Streaming,
+                    exec_threads: threads,
+                    block_rows,
+                    ..ExecLimits::default()
+                },
+            );
+            for (i, (g, o)) in got.iter().zip(&oracle).enumerate() {
+                assert_eq!(
+                    g, o,
+                    "query {:?} diverged at block_rows={block_rows} threads={threads}",
+                    QUERIES[i]
+                );
+            }
+        }
+    }
+}
+
+/// The per-block plan revalidation must not leak across statements: DDL
+/// (materialization bumps the catalog epoch) between queries has to be
+/// picked up by the next query's first block.
+#[test]
+fn epoch_bumps_between_statements_are_observed() {
+    let sinew = build();
+    sinew.db().set_exec_limits(ExecLimits {
+        mode: ExecMode::Streaming,
+        block_rows: 64,
+        exec_threads: 1,
+        ..ExecLimits::default()
+    });
+    let before = sinew.query("SELECT tag, num FROM events WHERE num > 480").unwrap().rows;
+    // Materialize hot columns: catalog epoch moves, physical layout changes.
+    let policy = AnalyzerPolicy {
+        density_threshold: 0.5,
+        cardinality_threshold: 10,
+        sample_rows: 5_000,
+    };
+    sinew.run_analyzer("events", &policy).unwrap();
+    sinew.materialize_until_clean("events").unwrap();
+    let after = sinew.query("SELECT tag, num FROM events WHERE num > 480").unwrap().rows;
+    assert_eq!(before, after, "materialization changed query results");
+}

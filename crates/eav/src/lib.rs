@@ -321,7 +321,7 @@ mod tests {
     #[test]
     fn resource_exhaustion_reproduces_dnf() {
         let db = Arc::new(Database::in_memory());
-        db.set_exec_limits(sinew_rdbms::ExecLimits { max_intermediate_rows: 50 });
+        db.set_exec_limits(sinew_rdbms::ExecLimits { max_intermediate_rows: 50, ..Default::default() });
         let s = EavStore::create(db, "eav").unwrap();
         let docs: Vec<Value> =
             (0..100).map(|_| parse(r#"{"nested_obj": {"num": 1}, "num": 1}"#).unwrap()).collect();

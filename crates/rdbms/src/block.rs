@@ -1,0 +1,1522 @@
+//! Pull-based streaming block execution.
+//!
+//! The default engine since PR 5: operators implement [`BlockOperator`]
+//! and pull [`RowBlock`]s of ~`ExecLimits::block_rows` rows from their
+//! child instead of materializing whole intermediates. Streaming operators
+//! (scan, filter, project, limit, the probe side of a hash join, the outer
+//! side of a nested loop, group/unique/distinct over sorted or hashed
+//! state) hold O(block) rows; *pipeline breakers* (sort, hash aggregation,
+//! the build side of a hash join, both sides of a merge join) drain their
+//! child before emitting. Because everything above a breaker still pulls,
+//! a `LIMIT` propagates an early-stop all the way down: the limit simply
+//! stops calling `next_block`, the scan operator stops its `Heap::scan`
+//! callback mid-page, and the morsel-parallel scan skips the waves it
+//! never reached.
+//!
+//! Output is byte-identical to the materializing oracle
+//! (`SINEW_EXEC_MODE=materialize`, `Executor::run_materialize`) at every
+//! block size and thread count: scans emit rows in row-id order, parallel
+//! waves are stitched in morsel order, float accumulation order equals
+//! input order, and hash-based operators use the same per-instance
+//! `HashMap` semantics as the oracle. The equivalence suite
+//! (`tests/exec_equivalence.rs`, `crates/core/tests/streaming_oracle.rs`)
+//! enforces this over a seeded random workload.
+//!
+//! Resource governance: `max_intermediate_rows` is charged wherever rows
+//! actually accumulate — the root accumulator, breaker buffers, join
+//! output counts, distinct/group state — so the streaming engine never
+//! charges more than the oracle (and may legitimately succeed where full
+//! materialization would exhaust the cap).
+
+use crate::datum::{Datum, GroupKey};
+use crate::error::{DbError, DbResult};
+use crate::exec::{
+    feed_accs, finish_group, new_acc, panic_message, rows_equal, sort_rows, ExecStats, Executor,
+    Row, ScanPipeline,
+};
+use crate::expr::{EvalCtx, PhysExpr};
+use crate::agg::Accumulator;
+use crate::plan::{AggSpec, Plan, SortKey};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A batch of rows flowing between operators. `sel`, when present, lists
+/// the indices of `rows` that are logically in the block (a selection
+/// vector): filters narrow a block by rewriting `sel` instead of moving
+/// rows. Blocks on the wire are never empty — end of stream is `None`
+/// from [`BlockOperator::next_block`].
+#[derive(Debug, Default)]
+pub struct RowBlock {
+    pub rows: Vec<Row>,
+    pub sel: Option<Vec<u32>>,
+}
+
+impl RowBlock {
+    pub fn from_rows(rows: Vec<Row>) -> RowBlock {
+        RowBlock { rows, sel: None }
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.rows.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compact into a plain vector of the selected rows, in order.
+    pub fn take_rows(self) -> Vec<Row> {
+        match self.sel {
+            None => self.rows,
+            Some(sel) => {
+                let mut rows = self.rows;
+                let mut out = Vec::with_capacity(sel.len());
+                for &i in &sel {
+                    out.push(std::mem::take(&mut rows[i as usize]));
+                }
+                out
+            }
+        }
+    }
+
+    /// Keep only the first `n` selected rows.
+    pub fn truncate(&mut self, n: usize) {
+        match &mut self.sel {
+            Some(s) => s.truncate(n),
+            None => self.rows.truncate(n),
+        }
+    }
+
+    /// Visit the selected rows in order.
+    pub fn for_each_row(
+        &self,
+        mut f: impl FnMut(&Row) -> DbResult<()>,
+    ) -> DbResult<()> {
+        match &self.sel {
+            Some(s) => {
+                for &i in s {
+                    f(&self.rows[i as usize])?;
+                }
+            }
+            None => {
+                for row in &self.rows {
+                    f(row)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A pull-based operator. Lifecycle: `open` → `next_block`* → `close`;
+/// `close` must be safe to call after an error and is responsible for the
+/// whole subtree (operators close their children).
+pub trait BlockOperator {
+    fn open(&mut self) -> DbResult<()> {
+        Ok(())
+    }
+
+    /// Produce the next non-empty block, or `None` at end of stream.
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>>;
+
+    fn close(&mut self) {}
+
+    /// Rows currently buffered inside this operator subtree (pipeline
+    /// breakers, join builds, parallel-scan stitch buffers) — feeds the
+    /// `peak_resident_rows` metric.
+    fn resident_rows(&self) -> u64 {
+        0
+    }
+}
+
+/// Execute `plan` by pulling the root operator dry, accumulating into the
+/// final result. Charges `max_intermediate_rows` per block as the result
+/// accumulates and tracks block/early-stop/resident metrics.
+pub(crate) fn run_streaming(exec: &Executor<'_>, plan: &Plan) -> DbResult<Vec<Row>> {
+    let mut op = build_op(exec, plan, None)?;
+    let mut out: Vec<Row> = Vec::new();
+    let result = (|| -> DbResult<()> {
+        op.open()?;
+        while let Some(block) = op.next_block()? {
+            if let Some(st) = exec.stats {
+                st.record_block(block.len() as u64);
+            }
+            let mut rows = block.take_rows();
+            out.append(&mut rows);
+            exec.check_limit(out.len())?;
+            if let Some(st) = exec.stats {
+                st.note_resident(out.len() as u64 + op.resident_rows());
+            }
+        }
+        Ok(())
+    })();
+    op.close();
+    result?;
+    Ok(out)
+}
+
+/// Build the operator tree for `plan`. `cap`, when present, is an upper
+/// bound on the rows the parent will consume (LIMIT pushdown); it flows
+/// through row-preserving operators (Project) down to index scans, which
+/// may bound their B-tree probe when the plan's bounds are exact.
+pub(crate) fn build_op<'x, 'a: 'x>(
+    exec: &'x Executor<'a>,
+    plan: &'x Plan,
+    cap: Option<u64>,
+) -> DbResult<Box<dyn BlockOperator + 'x>> {
+    // The scan→filter→project prefix goes to the morsel-parallel operator
+    // when the pool and the table are big enough — same gating as the
+    // materializing engine's `try_parallel_pipeline`.
+    if exec.limits.exec_threads.max(1) > 1 {
+        if let Some(pipe) = Executor::scan_pipeline(plan) {
+            if let Some(high) = exec.source.high_water(pipe.table)? {
+                if let Some(op) = ParallelScanOp::try_new(exec, pipe, high) {
+                    return Ok(Box::new(op));
+                }
+            }
+        }
+    }
+    Ok(match plan {
+        Plan::SeqScan { table, filter, needed, .. } => Box::new(SeqScanOp::new(
+            exec,
+            table,
+            filter.as_ref(),
+            needed.as_deref(),
+        )),
+        Plan::IndexScan {
+            table,
+            binding: _,
+            column,
+            lo,
+            lo_inc,
+            hi,
+            hi_inc,
+            filter,
+            needed,
+            est_rows: _,
+            exact_bounds,
+        } => Box::new(IndexScanOp {
+            exec,
+            table,
+            column,
+            lo: lo.as_ref(),
+            lo_inc: *lo_inc,
+            hi: hi.as_ref(),
+            hi_inc: *hi_inc,
+            filter: filter.as_ref(),
+            needed: needed.as_deref(),
+            // A probe cap is only sound when the bounds *are* the whole
+            // predicate: then every row the index surfaces is an output
+            // row, and the `cap` smallest rowids are exactly the rows an
+            // uncapped scan would have produced first.
+            cap: if *exact_bounds { cap } else { None },
+            ctx: EvalCtx::new(),
+            state: IndexState::Init,
+        }),
+        Plan::Filter { input, predicate, .. } => Box::new(FilterOp {
+            child: build_op(exec, input, None)?,
+            predicate,
+            ctx: EvalCtx::new(),
+        }),
+        Plan::Project { input, exprs, .. } => Box::new(ProjectOp {
+            child: build_op(exec, input, cap)?,
+            exprs,
+            ctx: EvalCtx::new(),
+        }),
+        Plan::Limit { input, n } => Box::new(LimitOp {
+            child: build_op(exec, input, Some(cap.unwrap_or(u64::MAX).min(*n)))?,
+            remaining: *n,
+            stats: exec.stats,
+        }),
+        Plan::Sort { input, keys, .. } => Box::new(SortOp {
+            exec,
+            child: build_op(exec, input, None)?,
+            keys,
+            buf: None,
+            pos: 0,
+        }),
+        Plan::HashAggregate { input, groups, aggs, .. } => Box::new(HashAggOp {
+            exec,
+            child: build_op(exec, input, None)?,
+            groups,
+            aggs,
+            out: None,
+            pos: 0,
+        }),
+        Plan::GroupAggregate { input, groups, aggs, .. } => Box::new(GroupAggOp {
+            child: build_op(exec, input, None)?,
+            exec,
+            groups,
+            aggs,
+            current: None,
+            pending: Vec::new(),
+            input_done: false,
+            emitted_any: false,
+        }),
+        Plan::Unique { input, .. } => Box::new(UniqueOp {
+            child: build_op(exec, input, None)?,
+            last: None,
+        }),
+        Plan::HashDistinct { input, .. } => Box::new(HashDistinctOp {
+            exec,
+            child: build_op(exec, input, None)?,
+            seen: HashSet::new(),
+        }),
+        Plan::HashJoin { left, right, left_key, right_key, residual, left_outer, .. } => {
+            Box::new(HashJoinOp {
+                exec,
+                left: build_op(exec, left, None)?,
+                right: build_op(exec, right, None)?,
+                left_key,
+                right_key,
+                residual: residual.as_ref(),
+                left_outer: *left_outer,
+                built: None,
+                emitted: 0,
+                pending: VecDeque::new(),
+                left_done: false,
+            })
+        }
+        Plan::MergeJoin { left, right, left_key, right_key, residual, .. } => {
+            Box::new(MergeJoinOp {
+                exec,
+                left: build_op(exec, left, None)?,
+                right: build_op(exec, right, None)?,
+                left_key,
+                right_key,
+                residual: residual.as_ref(),
+                out: None,
+                pos: 0,
+            })
+        }
+        Plan::NestedLoop { left, right, predicate, left_outer, .. } => {
+            Box::new(NestedLoopOp {
+                exec,
+                left: build_op(exec, left, None)?,
+                right: build_op(exec, right, None)?,
+                predicate: predicate.as_ref(),
+                left_outer: *left_outer,
+                right_rows: None,
+                emitted: 0,
+                pending: VecDeque::new(),
+                left_done: false,
+            })
+        }
+        Plan::Values { rows } => Box::new(ValuesOp {
+            exec,
+            rows,
+            pos: 0,
+        }),
+    })
+}
+
+/// Drain a child operator into a materialized vector (pipeline breakers),
+/// charging the intermediate-row cap as the buffer grows.
+fn drain_child(
+    exec: &Executor<'_>,
+    child: &mut (dyn BlockOperator + '_),
+) -> DbResult<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(block) = child.next_block()? {
+        let mut rows = block.take_rows();
+        out.append(&mut rows);
+        exec.check_limit(out.len())?;
+        if let Some(st) = exec.stats {
+            st.note_resident(out.len() as u64);
+        }
+    }
+    Ok(out)
+}
+
+/// Move up to `n` front rows of a buffered result into a block.
+fn chunk_from(buf: &mut Vec<Row>, pos: &mut usize, n: usize) -> Option<RowBlock> {
+    if *pos >= buf.len() {
+        return None;
+    }
+    let end = (*pos + n.max(1)).min(buf.len());
+    let mut out = Vec::with_capacity(end - *pos);
+    for row in &mut buf[*pos..end] {
+        out.push(std::mem::take(row));
+    }
+    *pos = end;
+    Some(RowBlock::from_rows(out))
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+
+/// Serial heap scan with an embedded filter. When the source supports
+/// range scans, each block resumes at the row id after the last one
+/// emitted, and the scan callback stops (early-stop into `Heap::scan`)
+/// the moment the block is full. Sources without range support fall back
+/// to a one-shot buffered scan.
+struct SeqScanOp<'x, 'a> {
+    exec: &'x Executor<'a>,
+    table: &'x str,
+    filter: Option<&'x PhysExpr>,
+    needed: Option<&'x [String]>,
+    ctx: EvalCtx,
+    next_rowid: u64,
+    ranged: bool,
+    buffered: Option<VecDeque<Row>>,
+    done: bool,
+}
+
+impl<'x, 'a> SeqScanOp<'x, 'a> {
+    fn new(
+        exec: &'x Executor<'a>,
+        table: &'x str,
+        filter: Option<&'x PhysExpr>,
+        needed: Option<&'x [String]>,
+    ) -> SeqScanOp<'x, 'a> {
+        SeqScanOp {
+            exec,
+            table,
+            filter,
+            needed,
+            ctx: EvalCtx::new(),
+            next_rowid: 0,
+            ranged: false,
+            buffered: None,
+            done: false,
+        }
+    }
+}
+
+impl BlockOperator for SeqScanOp<'_, '_> {
+    fn open(&mut self) -> DbResult<()> {
+        if let Some(st) = self.exec.stats {
+            st.serial_scans.fetch_add(1, Ordering::Relaxed);
+        }
+        self.ranged = self.exec.source.high_water(self.table)?.is_some();
+        Ok(())
+    }
+
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        if self.done {
+            return Ok(None);
+        }
+        let block_rows = self.exec.limits.block_rows.max(1);
+        if !self.ranged {
+            // One-shot path for sources without resumable range scans.
+            if self.buffered.is_none() {
+                let mut buf = VecDeque::new();
+                let ctx = &mut self.ctx;
+                let filter = self.filter;
+                let exec = self.exec;
+                if let Some(f) = filter {
+                    f.begin_block();
+                }
+                let res = exec.source.scan_table(self.table, self.needed, &mut |row| {
+                    let keep = match filter {
+                        Some(f) => {
+                            ctx.reset();
+                            f.eval_bool_ctx(&row, ctx)?
+                        }
+                        None => true,
+                    };
+                    if keep {
+                        buf.push_back(row);
+                        exec.check_limit(buf.len())?;
+                    }
+                    Ok(true)
+                });
+                if let Some(f) = filter {
+                    f.end_block();
+                }
+                res?;
+                self.buffered = Some(buf);
+            }
+            let buf = self.buffered.as_mut().unwrap();
+            if buf.is_empty() {
+                self.done = true;
+                return Ok(None);
+            }
+            let n = buf.len().min(block_rows);
+            let out: Vec<Row> = buf.drain(..n).collect();
+            return Ok(Some(RowBlock::from_rows(out)));
+        }
+        let mut out: Vec<Row> = Vec::with_capacity(block_rows);
+        let mut resume = self.next_rowid;
+        {
+            let ctx = &mut self.ctx;
+            let filter = self.filter;
+            if let Some(f) = filter {
+                f.begin_block();
+            }
+            let res = self.exec.source.scan_table_range(
+                self.table,
+                self.needed,
+                self.next_rowid,
+                u64::MAX,
+                &mut |row| {
+                    // Scan rows end with their rowid; remember where to
+                    // resume the next block.
+                    let rid = match row.last() {
+                        Some(Datum::Int(r)) => *r as u64,
+                        _ => {
+                            return Err(DbError::Eval(
+                                "scan row missing trailing rowid".into(),
+                            ))
+                        }
+                    };
+                    resume = rid + 1;
+                    let keep = match filter {
+                        Some(f) => {
+                            ctx.reset();
+                            f.eval_bool_ctx(&row, ctx)?
+                        }
+                        None => true,
+                    };
+                    if keep {
+                        out.push(row);
+                    }
+                    Ok(out.len() < block_rows)
+                },
+            );
+            if let Some(f) = filter {
+                f.end_block();
+            }
+            res?;
+        }
+        self.next_rowid = resume;
+        if out.len() < block_rows {
+            // The callback never asked to stop, so the scan is exhausted.
+            self.done = true;
+        }
+        if out.is_empty() {
+            self.done = true;
+            return Ok(None);
+        }
+        Ok(Some(RowBlock::from_rows(out)))
+    }
+}
+
+enum IndexState<'x, 'a> {
+    Init,
+    Fetching { rowids: Vec<u64>, pos: usize },
+    /// The index disappeared between planning and execution: degrade to a
+    /// sequential scan with the same filter (identical output).
+    Fallback(SeqScanOp<'x, 'a>),
+    Done,
+}
+
+/// Secondary-index access: probe once (optionally capped, satellite 1),
+/// sort rowids so output matches heap-scan order, then fetch in
+/// block-sized windows — rowids past an early-stop are never fetched.
+struct IndexScanOp<'x, 'a> {
+    exec: &'x Executor<'a>,
+    table: &'x str,
+    column: &'x str,
+    lo: Option<&'x Datum>,
+    lo_inc: bool,
+    hi: Option<&'x Datum>,
+    hi_inc: bool,
+    filter: Option<&'x PhysExpr>,
+    needed: Option<&'x [String]>,
+    cap: Option<u64>,
+    ctx: EvalCtx,
+    state: IndexState<'x, 'a>,
+}
+
+impl<'x, 'a> IndexScanOp<'x, 'a> {
+    fn probe(&mut self) -> DbResult<()> {
+        let rowids = self.exec.source.index_lookup(
+            self.table,
+            self.column,
+            self.lo,
+            self.lo_inc,
+            self.hi,
+            self.hi_inc,
+            self.cap,
+        )?;
+        match rowids {
+            Some(mut rowids) => {
+                if let Some(st) = self.exec.stats {
+                    st.index_scans.fetch_add(1, Ordering::Relaxed);
+                }
+                // Heap scans emit rows in rowid order; match it exactly.
+                rowids.sort_unstable();
+                self.state = IndexState::Fetching { rowids, pos: 0 };
+            }
+            None => {
+                let mut op = SeqScanOp::new(self.exec, self.table, self.filter, self.needed);
+                op.open()?;
+                self.state = IndexState::Fallback(op);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl BlockOperator for IndexScanOp<'_, '_> {
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        if matches!(self.state, IndexState::Init) {
+            self.probe()?;
+        }
+        match &mut self.state {
+            IndexState::Fetching { rowids, pos } => {
+                let block_rows = self.exec.limits.block_rows.max(1);
+                let ctx = &mut self.ctx;
+                let filter = self.filter;
+                while *pos < rowids.len() {
+                    let end = (*pos + block_rows).min(rowids.len());
+                    let window = &rowids[*pos..end];
+                    *pos = end;
+                    let mut out: Vec<Row> = Vec::with_capacity(window.len());
+                    if let Some(f) = filter {
+                        f.begin_block();
+                    }
+                    let res = self.exec.source.fetch_rows(
+                        self.table,
+                        self.needed,
+                        window,
+                        &mut |row| {
+                            let keep = match filter {
+                                Some(f) => {
+                                    ctx.reset();
+                                    f.eval_bool_ctx(&row, ctx)?
+                                }
+                                None => true,
+                            };
+                            if keep {
+                                out.push(row);
+                            }
+                            Ok(true)
+                        },
+                    );
+                    if let Some(f) = filter {
+                        f.end_block();
+                    }
+                    res?;
+                    if !out.is_empty() {
+                        return Ok(Some(RowBlock::from_rows(out)));
+                    }
+                }
+                self.state = IndexState::Done;
+                Ok(None)
+            }
+            IndexState::Fallback(op) => op.next_block(),
+            IndexState::Done => Ok(None),
+            IndexState::Init => unreachable!("probe resolves Init"),
+        }
+    }
+
+    fn close(&mut self) {
+        if let IndexState::Fallback(op) = &mut self.state {
+            op.close();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row-at-a-time streaming operators
+
+struct FilterOp<'x> {
+    child: Box<dyn BlockOperator + 'x>,
+    predicate: &'x PhysExpr,
+    ctx: EvalCtx,
+}
+
+impl BlockOperator for FilterOp<'_> {
+    fn open(&mut self) -> DbResult<()> {
+        self.child.open()
+    }
+
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        loop {
+            let Some(mut block) = self.child.next_block()? else { return Ok(None) };
+            let keep = self.predicate.filter_block(
+                &block.rows,
+                block.sel.as_deref(),
+                &mut self.ctx,
+            )?;
+            if !keep.is_empty() {
+                block.sel = Some(keep);
+                return Ok(Some(block));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn resident_rows(&self) -> u64 {
+        self.child.resident_rows()
+    }
+}
+
+struct ProjectOp<'x> {
+    child: Box<dyn BlockOperator + 'x>,
+    exprs: &'x [PhysExpr],
+    ctx: EvalCtx,
+}
+
+impl BlockOperator for ProjectOp<'_> {
+    fn open(&mut self) -> DbResult<()> {
+        self.child.open()
+    }
+
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        let Some(block) = self.child.next_block()? else { return Ok(None) };
+        let mut out: Vec<Row> = Vec::with_capacity(block.len());
+        for e in self.exprs {
+            e.begin_block();
+        }
+        // One context reset per *row* across all projections: the k
+        // `array_get(extract_keys(...), i)` outputs of a fused extraction
+        // share a single document decode per row (same as the oracle).
+        let ctx = &mut self.ctx;
+        let exprs = self.exprs;
+        let res = block.for_each_row(|row| {
+            ctx.reset();
+            let mut new_row = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                new_row.push(e.eval_ctx(row, ctx)?);
+            }
+            out.push(new_row);
+            Ok(())
+        });
+        for e in self.exprs {
+            e.end_block();
+        }
+        res?;
+        Ok(Some(RowBlock::from_rows(out)))
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn resident_rows(&self) -> u64 {
+        self.child.resident_rows()
+    }
+}
+
+struct LimitOp<'x> {
+    child: Box<dyn BlockOperator + 'x>,
+    remaining: u64,
+    stats: Option<&'x ExecStats>,
+}
+
+impl BlockOperator for LimitOp<'_> {
+    fn open(&mut self) -> DbResult<()> {
+        self.child.open()
+    }
+
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let Some(mut block) = self.child.next_block()? else {
+            self.remaining = 0;
+            return Ok(None);
+        };
+        let n = block.len() as u64;
+        if n >= self.remaining {
+            block.truncate(self.remaining as usize);
+            self.remaining = 0;
+            // The stream ends here without exhausting the child: the
+            // early-stop that makes LIMIT O(limit), not O(table).
+            if let Some(st) = self.stats {
+                st.early_stops.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            self.remaining -= n;
+        }
+        Ok(Some(block))
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn resident_rows(&self) -> u64 {
+        self.child.resident_rows()
+    }
+}
+
+/// DISTINCT over sorted input: drop rows equal to their predecessor.
+struct UniqueOp<'x> {
+    child: Box<dyn BlockOperator + 'x>,
+    last: Option<Row>,
+}
+
+impl BlockOperator for UniqueOp<'_> {
+    fn open(&mut self) -> DbResult<()> {
+        self.child.open()
+    }
+
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        loop {
+            let Some(mut block) = self.child.next_block()? else { return Ok(None) };
+            let mut keep: Vec<u32> = Vec::new();
+            let idxs: Vec<u32> = match &block.sel {
+                Some(s) => s.clone(),
+                None => (0..block.rows.len() as u32).collect(),
+            };
+            for i in idxs {
+                let row = &block.rows[i as usize];
+                if self.last.as_ref().map(|p| rows_equal(p, row)) != Some(true) {
+                    self.last = Some(row.clone());
+                    keep.push(i);
+                }
+            }
+            if !keep.is_empty() {
+                block.sel = Some(keep);
+                return Ok(Some(block));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn resident_rows(&self) -> u64 {
+        self.child.resident_rows()
+    }
+}
+
+/// DISTINCT over unsorted input. Output order equals input order (first
+/// occurrence wins), so it is mode- and block-size-independent.
+struct HashDistinctOp<'x, 'a> {
+    exec: &'x Executor<'a>,
+    child: Box<dyn BlockOperator + 'x>,
+    seen: HashSet<Vec<GroupKey>>,
+}
+
+impl BlockOperator for HashDistinctOp<'_, '_> {
+    fn open(&mut self) -> DbResult<()> {
+        self.child.open()
+    }
+
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        loop {
+            let Some(mut block) = self.child.next_block()? else { return Ok(None) };
+            let mut keep: Vec<u32> = Vec::new();
+            let idxs: Vec<u32> = match &block.sel {
+                Some(s) => s.clone(),
+                None => (0..block.rows.len() as u32).collect(),
+            };
+            for i in idxs {
+                let row = &block.rows[i as usize];
+                let key: Vec<GroupKey> = row.iter().map(Datum::group_key).collect();
+                if self.seen.insert(key) {
+                    keep.push(i);
+                }
+            }
+            self.exec.check_limit(self.seen.len())?;
+            if !keep.is_empty() {
+                block.sel = Some(keep);
+                return Ok(Some(block));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn resident_rows(&self) -> u64 {
+        self.seen.len() as u64 + self.child.resident_rows()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline breakers
+
+/// Sort: drains its child, sorts once, then emits block-sized chunks.
+struct SortOp<'x, 'a> {
+    exec: &'x Executor<'a>,
+    child: Box<dyn BlockOperator + 'x>,
+    keys: &'x [SortKey],
+    buf: Option<Vec<Row>>,
+    pos: usize,
+}
+
+impl BlockOperator for SortOp<'_, '_> {
+    fn open(&mut self) -> DbResult<()> {
+        self.child.open()
+    }
+
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        if self.buf.is_none() {
+            let mut rows = drain_child(self.exec, self.child.as_mut())?;
+            sort_rows(&mut rows, self.keys)?;
+            self.buf = Some(rows);
+            self.pos = 0;
+        }
+        let block_rows = self.exec.limits.block_rows;
+        Ok(chunk_from(self.buf.as_mut().unwrap(), &mut self.pos, block_rows))
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+        self.buf = None;
+    }
+
+    fn resident_rows(&self) -> u64 {
+        let buffered = self
+            .buf
+            .as_ref()
+            .map(|b| (b.len() - self.pos) as u64)
+            .unwrap_or(0);
+        buffered + self.child.resident_rows()
+    }
+}
+
+/// Hash aggregation: streams its input (only group state is resident),
+/// then emits the finished groups in the hash map's iteration order —
+/// identical semantics to the oracle, which is equally unordered.
+struct HashAggOp<'x, 'a> {
+    exec: &'x Executor<'a>,
+    child: Box<dyn BlockOperator + 'x>,
+    groups: &'x [PhysExpr],
+    aggs: &'x [AggSpec],
+    out: Option<Vec<Row>>,
+    pos: usize,
+}
+
+impl BlockOperator for HashAggOp<'_, '_> {
+    fn open(&mut self) -> DbResult<()> {
+        self.child.open()
+    }
+
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        if self.out.is_none() {
+            let mut table: HashMap<Vec<GroupKey>, (Row, Vec<Accumulator>)> = HashMap::new();
+            let groups = self.groups;
+            let aggs = self.aggs;
+            while let Some(block) = self.child.next_block()? {
+                block.for_each_row(|row| {
+                    let mut key_vals = Vec::with_capacity(groups.len());
+                    for g in groups {
+                        key_vals.push(g.eval(row)?);
+                    }
+                    let key: Vec<GroupKey> = key_vals.iter().map(Datum::group_key).collect();
+                    let entry = table.entry(key).or_insert_with(|| {
+                        (key_vals.clone(), aggs.iter().map(new_acc).collect())
+                    });
+                    feed_accs(&mut entry.1, aggs, row)
+                })?;
+                self.exec.check_limit(table.len())?;
+                if let Some(st) = self.exec.stats {
+                    st.note_resident(table.len() as u64 + self.child.resident_rows());
+                }
+            }
+            let mut out: Vec<Row> = Vec::with_capacity(table.len());
+            if groups.is_empty() && table.is_empty() {
+                // Scalar aggregate over empty input still yields one row.
+                let accs: Vec<Accumulator> = aggs.iter().map(new_acc).collect();
+                out.push(finish_group(Vec::new(), &accs));
+            } else {
+                for (_, (key_vals, accs)) in table {
+                    out.push(finish_group(key_vals, &accs));
+                }
+            }
+            self.out = Some(out);
+            self.pos = 0;
+        }
+        let block_rows = self.exec.limits.block_rows;
+        Ok(chunk_from(self.out.as_mut().unwrap(), &mut self.pos, block_rows))
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+        self.out = None;
+    }
+
+    fn resident_rows(&self) -> u64 {
+        let buffered = self
+            .out
+            .as_ref()
+            .map(|b| (b.len() - self.pos) as u64)
+            .unwrap_or(0);
+        buffered + self.child.resident_rows()
+    }
+}
+
+/// Group aggregation over sorted input — fully streaming: only the
+/// current group's accumulators and the not-yet-emitted finished groups
+/// are resident.
+struct GroupAggOp<'x, 'a> {
+    exec: &'x Executor<'a>,
+    child: Box<dyn BlockOperator + 'x>,
+    groups: &'x [PhysExpr],
+    aggs: &'x [AggSpec],
+    current: Option<(Vec<Datum>, Vec<Accumulator>)>,
+    pending: Vec<Row>,
+    input_done: bool,
+    emitted_any: bool,
+}
+
+impl BlockOperator for GroupAggOp<'_, '_> {
+    fn open(&mut self) -> DbResult<()> {
+        self.child.open()
+    }
+
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        let block_rows = self.exec.limits.block_rows.max(1);
+        while !self.input_done && self.pending.len() < block_rows {
+            match self.child.next_block()? {
+                Some(block) => {
+                    let groups = self.groups;
+                    let aggs = self.aggs;
+                    let current = &mut self.current;
+                    let pending = &mut self.pending;
+                    block.for_each_row(|row| {
+                        let mut key_vals = Vec::with_capacity(groups.len());
+                        for g in groups {
+                            key_vals.push(g.eval(row)?);
+                        }
+                        let same = current.as_ref().is_some_and(|(k, _)| {
+                            k.iter()
+                                .zip(&key_vals)
+                                .all(|(a, b)| a.total_cmp(b) == std::cmp::Ordering::Equal)
+                        });
+                        if !same {
+                            if let Some((k, accs)) = current.take() {
+                                pending.push(finish_group(k, &accs));
+                            }
+                            *current = Some((key_vals, aggs.iter().map(new_acc).collect()));
+                        }
+                        if let Some((_, accs)) = current.as_mut() {
+                            feed_accs(accs, aggs, row)?;
+                        }
+                        Ok(())
+                    })?;
+                }
+                None => {
+                    self.input_done = true;
+                    if let Some((k, accs)) = self.current.take() {
+                        self.pending.push(finish_group(k, &accs));
+                    } else if self.groups.is_empty() && !self.emitted_any && self.pending.is_empty()
+                    {
+                        let accs: Vec<Accumulator> = self.aggs.iter().map(new_acc).collect();
+                        self.pending.push(finish_group(Vec::new(), &accs));
+                    }
+                }
+            }
+        }
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        self.emitted_any = true;
+        Ok(Some(RowBlock::from_rows(std::mem::take(&mut self.pending))))
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn resident_rows(&self) -> u64 {
+        self.pending.len() as u64 + self.child.resident_rows()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+
+/// Hash join: the build (right) side is a pipeline breaker, the probe
+/// (left) side streams. Join output beyond a block is buffered briefly in
+/// `pending` and emitted in block-sized chunks.
+struct HashJoinOp<'x, 'a> {
+    exec: &'x Executor<'a>,
+    left: Box<dyn BlockOperator + 'x>,
+    right: Box<dyn BlockOperator + 'x>,
+    left_key: &'x PhysExpr,
+    right_key: &'x PhysExpr,
+    residual: Option<&'x PhysExpr>,
+    left_outer: bool,
+    built: Option<(Vec<Row>, HashMap<GroupKey, Vec<usize>>, usize)>,
+    /// Cumulative joined rows — charged against the cap exactly like the
+    /// oracle's `out.len()`.
+    emitted: u64,
+    pending: VecDeque<Row>,
+    left_done: bool,
+}
+
+impl BlockOperator for HashJoinOp<'_, '_> {
+    fn open(&mut self) -> DbResult<()> {
+        self.left.open()?;
+        self.right.open()
+    }
+
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        if self.built.is_none() {
+            let right_rows = drain_child(self.exec, self.right.as_mut())?;
+            let right_width = right_rows.first().map(Vec::len).unwrap_or(0);
+            let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+            for (i, row) in right_rows.iter().enumerate() {
+                let k = self.right_key.eval(row)?;
+                if k.is_null() {
+                    continue; // NULL never joins
+                }
+                table.entry(k.group_key()).or_default().push(i);
+            }
+            self.built = Some((right_rows, table, right_width));
+        }
+        let block_rows = self.exec.limits.block_rows.max(1);
+        while self.pending.len() < block_rows && !self.left_done {
+            let Some(block) = self.left.next_block()? else {
+                self.left_done = true;
+                break;
+            };
+            let (right_rows, table, right_width) = self.built.as_ref().unwrap();
+            let left_key = self.left_key;
+            let residual = self.residual;
+            let left_outer = self.left_outer;
+            let exec = self.exec;
+            let emitted = &mut self.emitted;
+            let pending = &mut self.pending;
+            block.for_each_row(|lrow| {
+                let k = left_key.eval(lrow)?;
+                let mut matched = false;
+                if !k.is_null() {
+                    if let Some(idxs) = table.get(&k.group_key()) {
+                        for &i in idxs {
+                            let mut joined = lrow.clone();
+                            joined.extend(right_rows[i].iter().cloned());
+                            let keep = match residual {
+                                Some(r) => r.eval_bool(&joined)?,
+                                None => true,
+                            };
+                            if keep {
+                                matched = true;
+                                pending.push_back(joined);
+                                *emitted += 1;
+                                exec.check_limit(*emitted as usize)?;
+                            }
+                        }
+                    }
+                }
+                if left_outer && !matched {
+                    let mut joined = lrow.clone();
+                    joined.extend(std::iter::repeat_n(Datum::Null, *right_width));
+                    pending.push_back(joined);
+                    *emitted += 1;
+                    exec.check_limit(*emitted as usize)?;
+                }
+                Ok(())
+            })?;
+        }
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        let n = self.pending.len().min(block_rows);
+        let out: Vec<Row> = self.pending.drain(..n).collect();
+        Ok(Some(RowBlock::from_rows(out)))
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+        self.built = None;
+        self.pending.clear();
+    }
+
+    fn resident_rows(&self) -> u64 {
+        let built = self.built.as_ref().map(|(r, _, _)| r.len() as u64).unwrap_or(0);
+        built
+            + self.pending.len() as u64
+            + self.left.resident_rows()
+            + self.right.resident_rows()
+    }
+}
+
+/// Merge join: both (sorted) sides are pipeline breakers — they drain,
+/// then the oracle's merge logic runs once and the result streams out.
+struct MergeJoinOp<'x, 'a> {
+    exec: &'x Executor<'a>,
+    left: Box<dyn BlockOperator + 'x>,
+    right: Box<dyn BlockOperator + 'x>,
+    left_key: &'x PhysExpr,
+    right_key: &'x PhysExpr,
+    residual: Option<&'x PhysExpr>,
+    out: Option<Vec<Row>>,
+    pos: usize,
+}
+
+impl BlockOperator for MergeJoinOp<'_, '_> {
+    fn open(&mut self) -> DbResult<()> {
+        self.left.open()?;
+        self.right.open()
+    }
+
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        if self.out.is_none() {
+            let left_rows = drain_child(self.exec, self.left.as_mut())?;
+            let right_rows = drain_child(self.exec, self.right.as_mut())?;
+            let joined = self.exec.merge_join_rows(
+                &left_rows,
+                &right_rows,
+                self.left_key,
+                self.right_key,
+                self.residual,
+            )?;
+            self.out = Some(joined);
+            self.pos = 0;
+        }
+        let block_rows = self.exec.limits.block_rows;
+        Ok(chunk_from(self.out.as_mut().unwrap(), &mut self.pos, block_rows))
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+        self.out = None;
+    }
+
+    fn resident_rows(&self) -> u64 {
+        let buffered = self
+            .out
+            .as_ref()
+            .map(|b| (b.len() - self.pos) as u64)
+            .unwrap_or(0);
+        buffered + self.left.resident_rows() + self.right.resident_rows()
+    }
+}
+
+/// Nested-loop join: the inner (right) side is a pipeline breaker, the
+/// outer (left) side streams block by block.
+struct NestedLoopOp<'x, 'a> {
+    exec: &'x Executor<'a>,
+    left: Box<dyn BlockOperator + 'x>,
+    right: Box<dyn BlockOperator + 'x>,
+    predicate: Option<&'x PhysExpr>,
+    left_outer: bool,
+    right_rows: Option<Vec<Row>>,
+    emitted: u64,
+    pending: VecDeque<Row>,
+    left_done: bool,
+}
+
+impl BlockOperator for NestedLoopOp<'_, '_> {
+    fn open(&mut self) -> DbResult<()> {
+        self.left.open()?;
+        self.right.open()
+    }
+
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        if self.right_rows.is_none() {
+            self.right_rows = Some(drain_child(self.exec, self.right.as_mut())?);
+        }
+        let block_rows = self.exec.limits.block_rows.max(1);
+        while self.pending.len() < block_rows && !self.left_done {
+            let Some(block) = self.left.next_block()? else {
+                self.left_done = true;
+                break;
+            };
+            let right_rows = self.right_rows.as_ref().unwrap();
+            let right_width = right_rows.first().map(Vec::len).unwrap_or(0);
+            let predicate = self.predicate;
+            let left_outer = self.left_outer;
+            let exec = self.exec;
+            let emitted = &mut self.emitted;
+            let pending = &mut self.pending;
+            block.for_each_row(|lrow| {
+                let mut matched = false;
+                for rrow in right_rows {
+                    let mut joined = lrow.clone();
+                    joined.extend(rrow.iter().cloned());
+                    let keep = match predicate {
+                        Some(p) => p.eval_bool(&joined)?,
+                        None => true,
+                    };
+                    if keep {
+                        matched = true;
+                        pending.push_back(joined);
+                        *emitted += 1;
+                        exec.check_limit(*emitted as usize)?;
+                    }
+                }
+                if left_outer && !matched {
+                    let mut joined = lrow.clone();
+                    joined.extend(std::iter::repeat_n(Datum::Null, right_width));
+                    pending.push_back(joined);
+                    // The oracle does not charge the outer pad row; match it.
+                    *emitted += 1;
+                }
+                Ok(())
+            })?;
+        }
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        let n = self.pending.len().min(block_rows);
+        let out: Vec<Row> = self.pending.drain(..n).collect();
+        Ok(Some(RowBlock::from_rows(out)))
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+        self.right_rows = None;
+        self.pending.clear();
+    }
+
+    fn resident_rows(&self) -> u64 {
+        let built = self.right_rows.as_ref().map(|r| r.len() as u64).unwrap_or(0);
+        built
+            + self.pending.len() as u64
+            + self.left.resident_rows()
+            + self.right.resident_rows()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leaves
+
+struct ValuesOp<'x, 'a> {
+    exec: &'x Executor<'a>,
+    rows: &'x [Vec<PhysExpr>],
+    pos: usize,
+}
+
+impl BlockOperator for ValuesOp<'_, '_> {
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        if self.pos >= self.rows.len() {
+            return Ok(None);
+        }
+        let block_rows = self.exec.limits.block_rows.max(1);
+        let end = (self.pos + block_rows).min(self.rows.len());
+        let empty: Row = Vec::new();
+        let mut out: Vec<Row> = Vec::with_capacity(end - self.pos);
+        for exprs in &self.rows[self.pos..end] {
+            let row: Row = exprs.iter().map(|e| e.eval(&empty)).collect::<DbResult<_>>()?;
+            out.push(row);
+        }
+        self.pos = end;
+        Ok(Some(RowBlock::from_rows(out)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-parallel scan
+
+/// The streaming version of the morsel-parallel scan→filter→project
+/// pipeline. Work proceeds in synchronous *waves*: wave `w` dispatches
+/// `min(2^w, workers)` consecutive morsels to scoped threads (morsel `i`
+/// of the wave is deterministically morsel `base + i`), joins them, and
+/// appends their outputs in morsel order — so the stitched stream is
+/// byte-identical to the serial scan at any thread count, and a LIMIT
+/// that stops pulling skips every wave after the one that satisfied it.
+/// The ramp-up keeps tiny LIMITs from paying a full-width wave.
+struct ParallelScanOp<'x, 'a> {
+    exec: &'x Executor<'a>,
+    pipe: ScanPipeline<'x>,
+    high: u64,
+    morsel_size: u64,
+    n_morsels: u64,
+    n_workers: usize,
+    next_morsel: u64,
+    wave: usize,
+    budget: AtomicU64,
+    pending: VecDeque<Row>,
+    input_done: bool,
+}
+
+impl<'x, 'a> ParallelScanOp<'x, 'a> {
+    /// Same gating as the oracle's `try_parallel_pipeline`: enough
+    /// threads, a range-scannable source, and a table big enough to cut.
+    fn try_new(
+        exec: &'x Executor<'a>,
+        pipe: ScanPipeline<'x>,
+        high: u64,
+    ) -> Option<ParallelScanOp<'x, 'a>> {
+        const MIN_MORSEL_ROWS: u64 = 256;
+        const MORSELS_PER_WORKER: u64 = 8;
+        let threads = exec.limits.exec_threads.max(1);
+        if threads <= 1 || high < MIN_MORSEL_ROWS * 2 {
+            return None;
+        }
+        let target_morsels = threads as u64 * MORSELS_PER_WORKER;
+        let morsel_size = (high / target_morsels).max(MIN_MORSEL_ROWS);
+        let n_morsels = high.div_ceil(morsel_size);
+        if n_morsels <= 1 {
+            return None;
+        }
+        Some(ParallelScanOp {
+            exec,
+            pipe,
+            high,
+            morsel_size,
+            n_morsels,
+            n_workers: threads.min(n_morsels as usize),
+            next_morsel: 0,
+            wave: 1,
+            budget: AtomicU64::new(0),
+            pending: VecDeque::new(),
+            input_done: false,
+        })
+    }
+
+    fn run_wave(&mut self) -> DbResult<()> {
+        let remaining = self.n_morsels - self.next_morsel;
+        let k = (self.wave as u64).min(remaining).min(self.n_workers as u64) as usize;
+        let base = self.next_morsel;
+        let pipe = self.pipe;
+        let exec = self.exec;
+        let budget = &self.budget;
+        let morsel_size = self.morsel_size;
+        let high = self.high;
+        let max_rows = exec.limits.max_intermediate_rows;
+        let stats = exec.stats;
+
+        let mut results: Vec<Result<Vec<Row>, DbError>> = Vec::with_capacity(k);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..k)
+                .map(|i| {
+                    let m = base + i as u64;
+                    s.spawn(move || -> Result<Vec<Row>, DbError> {
+                        let mut ctx = EvalCtx::new();
+                        let start = m * morsel_size;
+                        let end = high.min(start + morsel_size);
+                        let mut rows_seen = 0u64;
+                        let mut out: Vec<Row> = Vec::new();
+                        if let Some(f) = pipe.scan_filter {
+                            f.begin_block();
+                        }
+                        if let Some(f) = pipe.post_filter {
+                            f.begin_block();
+                        }
+                        if let Some(exprs) = pipe.project {
+                            for e in exprs {
+                                e.begin_block();
+                            }
+                        }
+                        // Catch panics per morsel: an evaluator bug in one
+                        // worker must surface as a clean DbError.
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                exec.source.scan_table_range(
+                                    pipe.table,
+                                    pipe.needed,
+                                    start,
+                                    end,
+                                    &mut |row| {
+                                        rows_seen += 1;
+                                        ctx.reset();
+                                        let keep = match pipe.scan_filter {
+                                            Some(f) => f.eval_bool_ctx(&row, &mut ctx)?,
+                                            None => true,
+                                        };
+                                        if !keep {
+                                            return Ok(true);
+                                        }
+                                        if budget.fetch_add(1, Ordering::Relaxed) + 1 > max_rows
+                                        {
+                                            return Err(DbError::ResourceExhausted(format!(
+                                                "intermediate result exceeded {max_rows} rows"
+                                            )));
+                                        }
+                                        if let Some(p) = pipe.post_filter {
+                                            if !p.eval_bool_ctx(&row, &mut ctx)? {
+                                                return Ok(true);
+                                            }
+                                        }
+                                        match pipe.project {
+                                            Some(exprs) => {
+                                                let mut new_row =
+                                                    Vec::with_capacity(exprs.len());
+                                                for e in exprs {
+                                                    new_row.push(e.eval_ctx(&row, &mut ctx)?);
+                                                }
+                                                out.push(new_row);
+                                            }
+                                            None => out.push(row),
+                                        }
+                                        Ok(true)
+                                    },
+                                )
+                            }));
+                        if let Some(f) = pipe.scan_filter {
+                            f.end_block();
+                        }
+                        if let Some(f) = pipe.post_filter {
+                            f.end_block();
+                        }
+                        if let Some(exprs) = pipe.project {
+                            for e in exprs {
+                                e.end_block();
+                            }
+                        }
+                        match result {
+                            Ok(Ok(())) => {
+                                if let Some(st) = stats {
+                                    st.record_morsel(rows_seen);
+                                }
+                                Ok(out)
+                            }
+                            Ok(Err(e)) => Err(e),
+                            Err(payload) => Err(DbError::Eval(format!(
+                                "scan worker panicked: {}",
+                                panic_message(payload.as_ref())
+                            ))),
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => Err(DbError::Eval(format!(
+                        "scan worker panicked: {}",
+                        panic_message(payload.as_ref())
+                    ))),
+                });
+            }
+        });
+        if let Some(st) = stats {
+            st.morsels_dispatched.fetch_add(k as u64, Ordering::Relaxed);
+        }
+        // Results are in morsel order; the lowest failing morsel wins,
+        // matching the oracle's deterministic error choice.
+        for r in results {
+            self.pending.extend(r?);
+        }
+        self.next_morsel += k as u64;
+        if self.next_morsel >= self.n_morsels {
+            self.input_done = true;
+        }
+        self.wave = (self.wave * 2).min(self.n_workers);
+        Ok(())
+    }
+}
+
+impl BlockOperator for ParallelScanOp<'_, '_> {
+    fn open(&mut self) -> DbResult<()> {
+        if let Some(st) = self.exec.stats {
+            st.parallel_scans.fetch_add(1, Ordering::Relaxed);
+            st.scan_workers.fetch_add(self.n_workers as u64, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        let block_rows = self.exec.limits.block_rows.max(1);
+        while !self.input_done && self.pending.len() < block_rows {
+            self.run_wave()?;
+        }
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        let n = self.pending.len().min(block_rows);
+        let out: Vec<Row> = self.pending.drain(..n).collect();
+        Ok(Some(RowBlock::from_rows(out)))
+    }
+
+    fn close(&mut self) {
+        self.pending.clear();
+    }
+
+    fn resident_rows(&self) -> u64 {
+        self.pending.len() as u64
+    }
+}

@@ -238,12 +238,21 @@ impl SecondaryIndex {
     /// All row ids whose key falls inside the given bounds (by
     /// [`Datum::total_cmp`]; `None` = unbounded). Order is unspecified —
     /// callers sort before fetching to preserve heap scan order.
+    ///
+    /// `cap`, when present, bounds the probe to the `cap` *smallest* row
+    /// ids in range (LIMIT pushdown: the executor fetches rowids in
+    /// ascending order, so the smallest `cap` are exactly the rows an
+    /// uncapped probe would have produced first). A bounded max-heap keeps
+    /// memory at O(cap); an equality probe (`lo == hi`, both inclusive)
+    /// additionally stops walking leaves early, because entries are sorted
+    /// by `(key, rowid)` and therefore arrive in ascending rowid order.
     pub fn lookup_range(
         &self,
         lo: Option<&Datum>,
         lo_inc: bool,
         hi: Option<&Datum>,
         hi_inc: bool,
+        cap: Option<usize>,
     ) -> DbResult<Vec<RowId>> {
         let below_lo = |k: &Datum| match lo {
             Some(b) => match k.total_cmp(b) {
@@ -261,7 +270,28 @@ impl SecondaryIndex {
             },
             None => false,
         };
+        // Bounded collection: a max-heap of at most `cap` rowids, so the
+        // heap top is the largest kept rowid and any larger candidate is
+        // rejected without growing memory.
         let mut out = Vec::new();
+        let mut heap: std::collections::BinaryHeap<RowId> = std::collections::BinaryHeap::new();
+        let keep = |rowid: RowId,
+                    out: &mut Vec<RowId>,
+                    heap: &mut std::collections::BinaryHeap<RowId>| match cap {
+            None => out.push(rowid),
+            Some(cap) => {
+                if heap.len() < cap {
+                    heap.push(rowid);
+                } else if heap.peek().is_some_and(|&m| rowid < m) {
+                    heap.pop();
+                    heap.push(rowid);
+                }
+            }
+        };
+        let equality = match (lo, hi) {
+            (Some(l), Some(h)) => lo_inc && hi_inc && l.total_cmp(h) == Ordering::Equal,
+            _ => false,
+        };
         // First leaf that can contain an in-range key: the last leaf whose
         // low bound is below the range start (its tail may still qualify).
         let start = match lo {
@@ -273,7 +303,7 @@ impl SecondaryIndex {
             }
             None => 0,
         };
-        for leaf in &self.leaves[start.min(self.leaves.len())..] {
+        'leaves: for leaf in &self.leaves[start.min(self.leaves.len())..] {
             if !below_lo(&leaf.lo_key) && above_hi(&leaf.lo_key) {
                 break; // every later entry is above the range too
             }
@@ -284,13 +314,21 @@ impl SecondaryIndex {
                 if above_hi(&k) {
                     break;
                 }
-                out.push(rowid);
+                keep(rowid, &mut out, &mut heap);
+                if equality && cap.is_some_and(|c| heap.len() >= c) {
+                    // Equal keys arrive in ascending rowid order; the heap
+                    // already holds the cap smallest leaf entries.
+                    break 'leaves;
+                }
             }
         }
         for (k, rowid) in &self.overflow {
             if !below_lo(k) && !above_hi(k) {
-                out.push(*rowid);
+                keep(*rowid, &mut out, &mut heap);
             }
+        }
+        if cap.is_some() {
+            out.extend(heap.into_iter());
         }
         Ok(out)
     }
@@ -453,7 +491,7 @@ mod tests {
     }
 
     fn eq_lookup(ix: &SecondaryIndex, k: &Datum) -> Vec<RowId> {
-        let mut v = ix.lookup_range(Some(k), true, Some(k), true).unwrap();
+        let mut v = ix.lookup_range(Some(k), true, Some(k), true, None).unwrap();
         v.sort_unstable();
         v
     }
@@ -489,16 +527,16 @@ mod tests {
             ix.insert(&Datum::Int(i), i as RowId).unwrap();
         }
         let both = ix
-            .lookup_range(Some(&Datum::Int(10)), true, Some(&Datum::Int(20)), true)
+            .lookup_range(Some(&Datum::Int(10)), true, Some(&Datum::Int(20)), true, None)
             .unwrap();
         assert_eq!(both.len(), 11);
         let open = ix
-            .lookup_range(Some(&Datum::Int(10)), false, Some(&Datum::Int(20)), false)
+            .lookup_range(Some(&Datum::Int(10)), false, Some(&Datum::Int(20)), false, None)
             .unwrap();
         assert_eq!(open.len(), 9);
-        let unbounded_lo = ix.lookup_range(None, true, Some(&Datum::Int(4)), true).unwrap();
+        let unbounded_lo = ix.lookup_range(None, true, Some(&Datum::Int(4)), true, None).unwrap();
         assert_eq!(unbounded_lo.len(), 5);
-        let unbounded_hi = ix.lookup_range(Some(&Datum::Int(95)), false, None, true).unwrap();
+        let unbounded_hi = ix.lookup_range(Some(&Datum::Int(95)), false, None, true, None).unwrap();
         assert_eq!(unbounded_hi.len(), 4);
     }
 
@@ -510,7 +548,7 @@ mod tests {
         ix.insert(&Datum::Float(4.5), 3).unwrap();
         assert_eq!(eq_lookup(&ix, &Datum::Int(5)), vec![1, 2]);
         let r = ix
-            .lookup_range(Some(&Datum::Float(4.4)), true, Some(&Datum::Int(5)), false)
+            .lookup_range(Some(&Datum::Float(4.4)), true, Some(&Datum::Int(5)), false, None)
             .unwrap();
         assert_eq!(r, vec![3]);
     }
@@ -526,12 +564,12 @@ mod tests {
         }
         assert_eq!(ix.key_count(), n as u64);
         assert!(ix.pages_used() > 10, "expected many leaves, got {}", ix.pages_used());
-        let mut all = ix.lookup_range(None, true, None, true).unwrap();
+        let mut all = ix.lookup_range(None, true, None, true, None).unwrap();
         all.sort_unstable();
         assert_eq!(all.len(), n as usize);
         assert_eq!(eq_lookup(&ix, &Datum::Int(12_345 % n)), vec![(12_345 % n) as RowId]);
         let r = ix
-            .lookup_range(Some(&Datum::Int(100)), true, Some(&Datum::Int(199)), true)
+            .lookup_range(Some(&Datum::Int(100)), true, Some(&Datum::Int(199)), true, None)
             .unwrap();
         assert_eq!(r.len(), 100);
     }
@@ -577,7 +615,7 @@ mod tests {
         ix.insert(&Datum::Text("a".into()), 3).unwrap();
         ix.insert(&Datum::Array(vec![Datum::Int(1)]), 4).unwrap();
         // range over all numbers only
-        let r = ix.lookup_range(Some(&Datum::Int(i64::MIN)), true, Some(&Datum::Float(f64::INFINITY)), true).unwrap();
+        let r = ix.lookup_range(Some(&Datum::Int(i64::MIN)), true, Some(&Datum::Float(f64::INFINITY)), true, None).unwrap();
         assert_eq!(r, vec![2]);
         assert_eq!(eq_lookup(&ix, &Datum::Array(vec![Datum::Int(1)])), vec![4]);
     }

@@ -835,13 +835,14 @@ impl TableSource for Database {
         lo_inc: bool,
         hi: Option<&Datum>,
         hi_inc: bool,
+        cap: Option<u64>,
     ) -> DbResult<Option<Vec<u64>>> {
         let t = self.table(table)?;
         let t = t.read();
         let Some(ix) = t.indexes.iter().find(|ix| ix.column() == column) else {
             return Ok(None);
         };
-        ix.lookup_range(lo, lo_inc, hi, hi_inc).map(Some)
+        ix.lookup_range(lo, lo_inc, hi, hi_inc, cap.map(|c| c as usize)).map(Some)
     }
 
     fn fetch_rows(

@@ -1,11 +1,17 @@
-//! Plan execution (materializing, operator-at-a-time) with a
-//! morsel-parallel scan pipeline.
+//! Plan execution: a pull-based streaming block engine (default) plus the
+//! original materializing operator-at-a-time engine as differential oracle.
 //!
-//! Each operator consumes fully materialized child output. This keeps the
-//! engine simple and still honest for the paper's experiments: scans stream
-//! pages through the buffer pool (so I/O behaviour is real), and the CPU
-//! cost of tuple decoding and UDF extraction — the quantities Sinew's
-//! design targets — are paid per row exactly where Postgres would pay them.
+//! The streaming engine lives in [`crate::block`]: operators pull
+//! [`crate::block::RowBlock`]s of ~`SINEW_BLOCK_ROWS` rows from their child,
+//! so `LIMIT` propagates an early-stop all the way into `Heap::scan` and
+//! peak memory for scan-heavy plans is O(block), not O(table). The
+//! materializing engine below (`run_materialize`, reachable via
+//! `SINEW_EXEC_MODE=materialize`) keeps the old semantics — every operator
+//! consumes fully materialized child output — and the two must produce
+//! byte-identical results; scans stream pages through the buffer pool (so
+//! I/O behaviour is real), and the CPU cost of tuple decoding and UDF
+//! extraction — the quantities Sinew's design targets — are paid per row
+//! exactly where Postgres would pay them.
 //!
 //! The scan→filter→project prefix of a plan — where Sinew burns nearly all
 //! its CPU, because that is where extraction UDFs run — additionally has a
@@ -14,7 +20,9 @@
 //! atomic counter, each worker runs the whole pipeline prefix over its
 //! morsel, and finished morsels are stitched back in row-id order so the
 //! output is byte-identical to the serial executor. `SINEW_EXEC_THREADS`
-//! (default: available parallelism) sizes the pool; 1 disables it.
+//! (default: available parallelism) sizes the pool; 1 disables it. The
+//! streaming engine runs the same prefix in synchronous morsel *waves*
+//! (sizes ramp 1, 2, 4, … workers) so an early-stop skips later waves.
 
 use crate::datum::{Datum, GroupKey};
 use crate::error::{DbError, DbResult};
@@ -67,6 +75,13 @@ pub trait TableSource: Sync {
     /// default) means "no such index here" and sends the executor back to a
     /// sequential scan — covering sources without indexes and the window
     /// where an index was dropped between planning and execution.
+    ///
+    /// `cap`, when given, bounds the probe to the `cap` *smallest* rowids
+    /// in range (LIMIT pushdown): the executor fetches rowids in ascending
+    /// order, so the smallest `cap` reproduce exactly what an uncapped
+    /// probe would have surfaced first. Callers may only pass `Some` when
+    /// every matching row is known to survive the residual filter
+    /// (`Plan::IndexScan::exact_bounds`).
     fn index_lookup(
         &self,
         table: &str,
@@ -75,8 +90,9 @@ pub trait TableSource: Sync {
         lo_inc: bool,
         hi: Option<&Datum>,
         hi_inc: bool,
+        cap: Option<u64>,
     ) -> DbResult<Option<Vec<u64>>> {
-        let _ = (table, column, lo, lo_inc, hi, hi_inc);
+        let _ = (table, column, lo, lo_inc, hi, hi_inc, cap);
         Ok(None)
     }
 
@@ -96,17 +112,36 @@ pub trait TableSource: Sync {
     }
 }
 
+/// Which execution engine `Executor::run` drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Pull-based block pipeline (`crate::block`): the default.
+    #[default]
+    Streaming,
+    /// Original operator-at-a-time engine; kept as differential oracle.
+    Materialize,
+}
+
 /// Execution limits: a crude statement-level resource governor. The EAV
 /// baseline's self-joins exhaust intermediate space exactly like the paper's
 /// runs that "ran out of disk space" (§6.4–6.5); this cap reproduces that
 /// failure mode deterministically.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecLimits {
-    /// Max rows any single operator may materialize.
+    /// Max rows any single operator may materialize. The streaming engine
+    /// charges this per block as rows accumulate in pipeline breakers and
+    /// at the root, so it never charges *more* than the materializing
+    /// engine (and may succeed where full materialization would not).
     pub max_intermediate_rows: u64,
     /// Worker threads for the parallel scan pipeline; 1 forces the serial
     /// path. Defaults from `SINEW_EXEC_THREADS`, else available parallelism.
     pub exec_threads: usize,
+    /// Target rows per streaming block. Defaults from `SINEW_BLOCK_ROWS`,
+    /// else 1024; clamped to ≥ 1.
+    pub block_rows: usize,
+    /// Engine selection. Defaults from `SINEW_EXEC_MODE`
+    /// (`streaming` | `materialize`), else streaming.
+    pub mode: ExecMode,
 }
 
 impl Default for ExecLimits {
@@ -114,6 +149,8 @@ impl Default for ExecLimits {
         ExecLimits {
             max_intermediate_rows: 50_000_000,
             exec_threads: default_exec_threads(),
+            block_rows: default_block_rows(),
+            mode: default_exec_mode(),
         }
     }
 }
@@ -122,6 +159,20 @@ fn default_exec_threads() -> usize {
     match std::env::var("SINEW_EXEC_THREADS") {
         Ok(v) => v.trim().parse().ok().filter(|&n| n >= 1).unwrap_or(1),
         Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+fn default_block_rows() -> usize {
+    match std::env::var("SINEW_BLOCK_ROWS") {
+        Ok(v) => v.trim().parse().ok().filter(|&n| n >= 1).unwrap_or(1024),
+        Err(_) => 1024,
+    }
+}
+
+fn default_exec_mode() -> ExecMode {
+    match std::env::var("SINEW_EXEC_MODE") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("materialize") => ExecMode::Materialize,
+        _ => ExecMode::Streaming,
     }
 }
 
@@ -145,6 +196,17 @@ pub struct ExecStats {
     rows_per_morsel: [AtomicU64; EXEC_HIST_BUCKETS],
     rows_per_morsel_count: AtomicU64,
     rows_per_morsel_sum: AtomicU64,
+    /// Blocks delivered to the streaming engine's root accumulator.
+    pub blocks_emitted: AtomicU64,
+    /// Streams terminated before the child was exhausted (LIMIT satisfied).
+    pub early_stops: AtomicU64,
+    /// High-water mark of rows resident in one statement's pipeline
+    /// (root accumulator + operator buffers) — O(block) for streaming
+    /// scans, O(table) for the materializing oracle.
+    pub peak_resident_rows: AtomicU64,
+    rows_per_block: [AtomicU64; EXEC_HIST_BUCKETS],
+    rows_per_block_count: AtomicU64,
+    rows_per_block_sum: AtomicU64,
 }
 
 impl ExecStats {
@@ -156,9 +218,27 @@ impl ExecStats {
         self.rows_per_morsel_sum.fetch_add(rows, Ordering::Relaxed);
     }
 
+    /// Record one block of `rows` rows reaching the streaming root.
+    pub fn record_block(&self, rows: u64) {
+        let b = (64 - rows.leading_zeros()).min(16) as usize;
+        self.blocks_emitted.fetch_add(1, Ordering::Relaxed);
+        self.rows_per_block[b].fetch_add(1, Ordering::Relaxed);
+        self.rows_per_block_count.fetch_add(1, Ordering::Relaxed);
+        self.rows_per_block_sum.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Raise the resident-row high-water mark to at least `rows`.
+    pub fn note_resident(&self, rows: u64) {
+        self.peak_resident_rows.fetch_max(rows, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> ExecSnapshot {
         let mut buckets = [0u64; EXEC_HIST_BUCKETS];
         for (out, b) in buckets.iter_mut().zip(&self.rows_per_morsel) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        let mut block_buckets = [0u64; EXEC_HIST_BUCKETS];
+        for (out, b) in block_buckets.iter_mut().zip(&self.rows_per_block) {
             *out = b.load(Ordering::Relaxed);
         }
         ExecSnapshot {
@@ -172,6 +252,12 @@ impl ExecStats {
             rows_per_morsel: buckets,
             rows_per_morsel_count: self.rows_per_morsel_count.load(Ordering::Relaxed),
             rows_per_morsel_sum: self.rows_per_morsel_sum.load(Ordering::Relaxed),
+            blocks_emitted: self.blocks_emitted.load(Ordering::Relaxed),
+            early_stops: self.early_stops.load(Ordering::Relaxed),
+            peak_resident_rows: self.peak_resident_rows.load(Ordering::Relaxed),
+            rows_per_block: block_buckets,
+            rows_per_block_count: self.rows_per_block_count.load(Ordering::Relaxed),
+            rows_per_block_sum: self.rows_per_block_sum.load(Ordering::Relaxed),
         }
     }
 }
@@ -188,16 +274,23 @@ pub struct ExecSnapshot {
     pub rows_per_morsel: [u64; EXEC_HIST_BUCKETS],
     pub rows_per_morsel_count: u64,
     pub rows_per_morsel_sum: u64,
+    pub blocks_emitted: u64,
+    pub early_stops: u64,
+    pub peak_resident_rows: u64,
+    pub rows_per_block: [u64; EXEC_HIST_BUCKETS],
+    pub rows_per_block_count: u64,
+    pub rows_per_block_sum: u64,
 }
 
-/// A scan→filter→project plan prefix, decomposed for the parallel path.
+/// A scan→filter→project plan prefix, decomposed for the parallel path
+/// (and reused by the streaming engine's parallel scan operator).
 #[derive(Clone, Copy)]
-struct ScanPipeline<'p> {
-    table: &'p str,
-    needed: Option<&'p [String]>,
-    scan_filter: Option<&'p PhysExpr>,
-    post_filter: Option<&'p PhysExpr>,
-    project: Option<&'p [PhysExpr]>,
+pub(crate) struct ScanPipeline<'p> {
+    pub(crate) table: &'p str,
+    pub(crate) needed: Option<&'p [String]>,
+    pub(crate) scan_filter: Option<&'p PhysExpr>,
+    pub(crate) post_filter: Option<&'p PhysExpr>,
+    pub(crate) project: Option<&'p [PhysExpr]>,
 }
 
 pub struct Executor<'a> {
@@ -211,7 +304,29 @@ impl<'a> Executor<'a> {
         Executor { source, limits: ExecLimits::default(), stats: None }
     }
 
+    /// Execute `plan` with the engine selected by `limits.mode`. Both
+    /// engines produce byte-identical results (the streaming engine's
+    /// equivalence tests enforce this across block sizes and thread
+    /// counts); they differ in peak memory and early-stop behaviour.
     pub fn run(&self, plan: &Plan) -> DbResult<Vec<Row>> {
+        match self.limits.mode {
+            ExecMode::Streaming => crate::block::run_streaming(self, plan),
+            ExecMode::Materialize => self.run_materialize(plan),
+        }
+    }
+
+    /// Operator-at-a-time oracle: every operator fully materializes its
+    /// child's output. Records each intermediate's size so the
+    /// peak-resident metric is comparable with the streaming engine.
+    pub(crate) fn run_materialize(&self, plan: &Plan) -> DbResult<Vec<Row>> {
+        let rows = self.run_materialize_inner(plan)?;
+        if let Some(st) = self.stats {
+            st.note_resident(rows.len() as u64);
+        }
+        Ok(rows)
+    }
+
+    fn run_materialize_inner(&self, plan: &Plan) -> DbResult<Vec<Row>> {
         if let Some(rows) = self.try_parallel_pipeline(plan)? {
             return Ok(rows);
         }
@@ -249,6 +364,7 @@ impl<'a> Executor<'a> {
                 filter,
                 needed,
                 est_rows,
+                ..
             } => {
                 let rowids = self.source.index_lookup(
                     table,
@@ -257,6 +373,7 @@ impl<'a> Executor<'a> {
                     *lo_inc,
                     hi.as_ref(),
                     *hi_inc,
+                    None, // the materializing engine never pushes LIMIT down
                 )?;
                 let Some(mut rowids) = rowids else {
                     // Index vanished (or the source has none): degrade to
@@ -269,7 +386,7 @@ impl<'a> Executor<'a> {
                         needed: needed.clone(),
                         est_rows: *est_rows,
                     };
-                    return self.run(&fallback);
+                    return self.run_materialize(&fallback);
                 };
                 if let Some(st) = self.stats {
                     st.index_scans.fetch_add(1, Ordering::Relaxed);
@@ -295,7 +412,7 @@ impl<'a> Executor<'a> {
                 Ok(out)
             }
             Plan::Filter { input, predicate, .. } => {
-                let rows = self.run(input)?;
+                let rows = self.run_materialize(input)?;
                 let mut out = Vec::with_capacity(rows.len() / 2);
                 let mut ctx = EvalCtx::new();
                 for row in rows {
@@ -307,7 +424,7 @@ impl<'a> Executor<'a> {
                 Ok(out)
             }
             Plan::Project { input, exprs, .. } => {
-                let rows = self.run(input)?;
+                let rows = self.run_materialize(input)?;
                 let mut out = Vec::with_capacity(rows.len());
                 // One memo context for all projections of a row: the k
                 // `array_get(extract_keys(...), i)` outputs of a fused
@@ -333,7 +450,7 @@ impl<'a> Executor<'a> {
                 self.nested_loop(left, right, predicate.as_ref(), *left_outer)
             }
             Plan::Sort { input, keys, .. } => {
-                let mut rows = self.run(input)?;
+                let mut rows = self.run_materialize(input)?;
                 sort_rows(&mut rows, keys)?;
                 Ok(rows)
             }
@@ -344,7 +461,7 @@ impl<'a> Executor<'a> {
                 self.group_aggregate(input, groups, aggs)
             }
             Plan::Unique { input, .. } => {
-                let rows = self.run(input)?;
+                let rows = self.run_materialize(input)?;
                 let mut out: Vec<Row> = Vec::new();
                 for row in rows {
                     if out.last().map(|prev| rows_equal(prev, &row)) != Some(true) {
@@ -354,7 +471,7 @@ impl<'a> Executor<'a> {
                 Ok(out)
             }
             Plan::HashDistinct { input, .. } => {
-                let rows = self.run(input)?;
+                let rows = self.run_materialize(input)?;
                 let mut seen = std::collections::HashSet::new();
                 let mut out = Vec::new();
                 for row in rows {
@@ -366,7 +483,7 @@ impl<'a> Executor<'a> {
                 Ok(out)
             }
             Plan::Limit { input, n } => {
-                let mut rows = self.run(input)?;
+                let mut rows = self.run_materialize(input)?;
                 rows.truncate(*n as usize);
                 Ok(rows)
             }
@@ -379,7 +496,7 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn check_limit(&self, n: usize) -> DbResult<()> {
+    pub(crate) fn check_limit(&self, n: usize) -> DbResult<()> {
         if n as u64 > self.limits.max_intermediate_rows {
             return Err(DbError::ResourceExhausted(format!(
                 "intermediate result exceeded {} rows",
@@ -392,7 +509,7 @@ impl<'a> Executor<'a> {
     /// Decompose a scan→filter→project plan prefix, the shape the parallel
     /// pipeline accepts. All expressions in the prefix bind against the
     /// same scan-output scope, so one [`EvalCtx`] serves the whole row.
-    fn scan_pipeline(plan: &Plan) -> Option<ScanPipeline<'_>> {
+    pub(crate) fn scan_pipeline(plan: &Plan) -> Option<ScanPipeline<'_>> {
         fn scan(p: &Plan) -> Option<ScanPipeline<'_>> {
             match p {
                 Plan::SeqScan { table, filter, needed, .. } => Some(ScanPipeline {
@@ -599,8 +716,8 @@ impl<'a> Executor<'a> {
         residual: Option<&PhysExpr>,
         left_outer: bool,
     ) -> DbResult<Vec<Row>> {
-        let left_rows = self.run(left)?;
-        let right_rows = self.run(right)?;
+        let left_rows = self.run_materialize(left)?;
+        let right_rows = self.run_materialize(right)?;
         let right_width = right_rows.first().map(Vec::len).unwrap_or(0);
         // build on the right input
         let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
@@ -651,8 +768,21 @@ impl<'a> Executor<'a> {
         residual: Option<&PhysExpr>,
     ) -> DbResult<Vec<Row>> {
         // Inputs arrive sorted on their keys (the planner inserts Sorts).
-        let left_rows = self.run(left)?;
-        let right_rows = self.run(right)?;
+        let left_rows = self.run_materialize(left)?;
+        let right_rows = self.run_materialize(right)?;
+        self.merge_join_rows(&left_rows, &right_rows, left_key, right_key, residual)
+    }
+
+    /// Merge-join fully materialized (sorted) sides — shared by both
+    /// engines, since a merge join drains both children either way.
+    pub(crate) fn merge_join_rows(
+        &self,
+        left_rows: &[Row],
+        right_rows: &[Row],
+        left_key: &PhysExpr,
+        right_key: &PhysExpr,
+        residual: Option<&PhysExpr>,
+    ) -> DbResult<Vec<Row>> {
         let lkeys: Vec<Datum> =
             left_rows.iter().map(|r| left_key.eval(r)).collect::<DbResult<_>>()?;
         let rkeys: Vec<Datum> =
@@ -714,8 +844,8 @@ impl<'a> Executor<'a> {
         predicate: Option<&PhysExpr>,
         left_outer: bool,
     ) -> DbResult<Vec<Row>> {
-        let left_rows = self.run(left)?;
-        let right_rows = self.run(right)?;
+        let left_rows = self.run_materialize(left)?;
+        let right_rows = self.run_materialize(right)?;
         let right_width = right_rows.first().map(Vec::len).unwrap_or(0);
         let mut out = Vec::new();
         for lrow in &left_rows {
@@ -748,7 +878,7 @@ impl<'a> Executor<'a> {
         groups: &[PhysExpr],
         aggs: &[AggSpec],
     ) -> DbResult<Vec<Row>> {
-        let rows = self.run(input)?;
+        let rows = self.run_materialize(input)?;
         let mut table: HashMap<Vec<GroupKey>, (Row, Vec<Accumulator>)> = HashMap::new();
         for row in &rows {
             let mut key_vals = Vec::with_capacity(groups.len());
@@ -787,7 +917,7 @@ impl<'a> Executor<'a> {
         groups: &[PhysExpr],
         aggs: &[AggSpec],
     ) -> DbResult<Vec<Row>> {
-        let rows = self.run(input)?;
+        let rows = self.run_materialize(input)?;
         let mut out = Vec::new();
         let mut current: Option<(Vec<Datum>, Vec<Accumulator>)> = None;
         for row in &rows {
@@ -818,7 +948,7 @@ impl<'a> Executor<'a> {
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -828,11 +958,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn new_acc(spec: &AggSpec) -> Accumulator {
+pub(crate) fn new_acc(spec: &AggSpec) -> Accumulator {
     Accumulator::new(spec.kind, spec.distinct)
 }
 
-fn feed_accs(accs: &mut [Accumulator], specs: &[AggSpec], row: &[Datum]) -> DbResult<()> {
+pub(crate) fn feed_accs(accs: &mut [Accumulator], specs: &[AggSpec], row: &[Datum]) -> DbResult<()> {
     for (acc, spec) in accs.iter_mut().zip(specs) {
         match &spec.arg {
             Some(e) => acc.update(&e.eval(row)?)?,
@@ -842,14 +972,14 @@ fn feed_accs(accs: &mut [Accumulator], specs: &[AggSpec], row: &[Datum]) -> DbRe
     Ok(())
 }
 
-fn finish_group(mut key: Vec<Datum>, accs: &[Accumulator]) -> Row {
+pub(crate) fn finish_group(mut key: Vec<Datum>, accs: &[Accumulator]) -> Row {
     for a in accs {
         key.push(a.finish());
     }
     key
 }
 
-fn rows_equal(a: &[Datum], b: &[Datum]) -> bool {
+pub(crate) fn rows_equal(a: &[Datum], b: &[Datum]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b).all(|(x, y)| x.total_cmp(y) == std::cmp::Ordering::Equal)
 }

@@ -6,6 +6,7 @@
 
 use crate::datum::{ColType, Datum};
 use crate::error::{DbError, DbResult};
+use crate::exec::Row;
 use crate::func::{FuncRegistry, ScalarFn};
 use sinew_sql::{BinaryOp, Expr, Literal, UnaryOp};
 use std::sync::Arc;
@@ -342,6 +343,129 @@ impl PhysExpr {
             PhysExpr::Cast { expr, .. } => expr.column_refs(out),
             PhysExpr::Memo { expr, .. } => expr.column_refs(out),
         }
+    }
+
+    /// Visit every [`ScalarFn`] referenced by a `Call` node in the tree.
+    fn visit_calls(&self, f: &mut dyn FnMut(&dyn ScalarFn)) {
+        match self {
+            PhysExpr::Column(_) | PhysExpr::Literal(_) => {}
+            PhysExpr::Not(e) | PhysExpr::Neg(e) => e.visit_calls(f),
+            PhysExpr::Binary { left, right, .. } => {
+                left.visit_calls(f);
+                right.visit_calls(f);
+            }
+            PhysExpr::IsNull { expr, .. } => expr.visit_calls(f),
+            PhysExpr::Between { expr, low, high, .. } => {
+                expr.visit_calls(f);
+                low.visit_calls(f);
+                high.visit_calls(f);
+            }
+            PhysExpr::InList { expr, list, .. } => {
+                expr.visit_calls(f);
+                for e in list {
+                    e.visit_calls(f);
+                }
+            }
+            PhysExpr::Like { expr, pattern, .. } => {
+                expr.visit_calls(f);
+                pattern.visit_calls(f);
+            }
+            PhysExpr::Call { func, args, .. } => {
+                f(func.as_ref());
+                for a in args {
+                    a.visit_calls(f);
+                }
+            }
+            PhysExpr::Coalesce(args) => {
+                for a in args {
+                    a.visit_calls(f);
+                }
+            }
+            PhysExpr::Cast { expr, .. } => expr.visit_calls(f),
+            PhysExpr::Memo { expr, .. } => expr.visit_calls(f),
+        }
+    }
+
+    /// Announce to every scalar function in the tree that a block of rows
+    /// is about to be evaluated (extraction UDFs revalidate their cached
+    /// plans once per block instead of once per row). Always paired with
+    /// [`PhysExpr::end_block`], including when evaluation errors.
+    pub fn begin_block(&self) {
+        self.visit_calls(&mut |f| f.begin_block());
+    }
+
+    /// Close the bracket opened by [`PhysExpr::begin_block`].
+    pub fn end_block(&self) {
+        self.visit_calls(&mut |f| f.end_block());
+    }
+
+    /// Evaluate over every selected row of a block (`sel` indexes `rows`;
+    /// `None` means all rows), appending one value per row to `out`. The
+    /// context resets between rows; plan-cache revalidation inside scalar
+    /// functions is amortized to once per block via the begin/end hooks.
+    pub fn eval_block(
+        &self,
+        rows: &[Row],
+        sel: Option<&[u32]>,
+        ctx: &mut EvalCtx,
+        out: &mut Vec<Datum>,
+    ) -> DbResult<()> {
+        self.begin_block();
+        let res = (|| {
+            match sel {
+                Some(s) => {
+                    for &i in s {
+                        ctx.reset();
+                        out.push(self.eval_ctx(&rows[i as usize], ctx)?);
+                    }
+                }
+                None => {
+                    for row in rows {
+                        ctx.reset();
+                        out.push(self.eval_ctx(row, ctx)?);
+                    }
+                }
+            }
+            Ok(())
+        })();
+        self.end_block();
+        res
+    }
+
+    /// Predicate over a block: the selected indices (of `rows`) for which
+    /// this expression evaluates true, in input order. NULL ⇒ not selected
+    /// (SQL WHERE semantics), matching [`PhysExpr::eval_bool_ctx`].
+    pub fn filter_block(
+        &self,
+        rows: &[Row],
+        sel: Option<&[u32]>,
+        ctx: &mut EvalCtx,
+    ) -> DbResult<Vec<u32>> {
+        self.begin_block();
+        let res = (|| {
+            let mut keep = Vec::new();
+            match sel {
+                Some(s) => {
+                    for &i in s {
+                        ctx.reset();
+                        if self.eval_bool_ctx(&rows[i as usize], ctx)? {
+                            keep.push(i);
+                        }
+                    }
+                }
+                None => {
+                    for (i, row) in rows.iter().enumerate() {
+                        ctx.reset();
+                        if self.eval_bool_ctx(row, ctx)? {
+                            keep.push(i as u32);
+                        }
+                    }
+                }
+            }
+            Ok(keep)
+        })();
+        self.end_block();
+        res
     }
 
     /// True if any function call occurs in the tree. Function calls are

@@ -29,6 +29,17 @@ pub trait ScalarFn: Send + Sync {
         let owned: Vec<Datum> = args.iter().map(|d| (*d).clone()).collect();
         self.call(&owned)
     }
+
+    /// Hook called by the streaming executor before a block of rows is
+    /// evaluated. Stateful implementations (extraction UDFs with cached
+    /// `ExtractionPlan`s) use it to revalidate their cache once per block
+    /// instead of once per row; pure functions need not care. Every
+    /// `begin_block` is paired with an [`ScalarFn::end_block`] — including
+    /// on evaluation error — so implementations may rely on bracketing.
+    fn begin_block(&self) {}
+
+    /// Paired with [`ScalarFn::begin_block`] after the block completes.
+    fn end_block(&self) {}
 }
 
 impl<F> ScalarFn for F

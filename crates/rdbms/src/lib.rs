@@ -30,6 +30,7 @@
 //! ```
 
 pub mod agg;
+pub mod block;
 pub mod btree;
 pub mod datum;
 pub mod db;
@@ -51,7 +52,8 @@ pub use btree::SecondaryIndex;
 pub use datum::{ColType, Datum};
 pub use db::{Database, QueryResult};
 pub use error::{DbError, DbResult};
-pub use exec::{ExecLimits, ExecSnapshot, EXEC_HIST_BUCKETS};
+pub use block::{BlockOperator, RowBlock};
+pub use exec::{ExecLimits, ExecMode, ExecSnapshot, EXEC_HIST_BUCKETS};
 pub use func::ScalarFn;
 pub use heap::RowId;
 pub use planner::PlannerConfig;

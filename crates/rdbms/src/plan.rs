@@ -60,6 +60,13 @@ pub enum Plan {
         filter: Option<PhysExpr>,
         needed: Option<Vec<String>>,
         est_rows: f64,
+        /// True when the key range *is* the whole predicate: every conjunct
+        /// was consumed as a bound on this column, and the bounds confine
+        /// the `total_cmp` range to a single type class, so every row the
+        /// probe surfaces is known to pass `filter`. Only then may a LIMIT
+        /// cap the B-tree probe (to the cap smallest rowids) without
+        /// changing results.
+        exact_bounds: bool,
     },
     Filter {
         input: Box<Plan>,

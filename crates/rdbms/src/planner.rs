@@ -480,15 +480,16 @@ impl<'a> Planner<'a> {
                 let best = per_col
                     .into_iter()
                     .map(|(slot, (b, clauses))| {
+                        let n_clauses = clauses.len();
                         let s = conjoin_phys(clauses)
                             .map(|p| sel_ctx.selectivity(&p))
                             .unwrap_or(1.0);
-                        (slot, b, s)
+                        (slot, b, s, n_clauses)
                     })
                     .min_by(|a, b| {
                         a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal)
                     });
-                if let Some((slot, b, bound_sel)) = best {
+                if let Some((slot, b, bound_sel, n_clauses)) = best {
                     let matched = (meta.n_rows * bound_sel).max(1.0);
                     let index_cost = meta.n_rows.max(2.0).log2() * CPU_OPERATOR_COST
                         + matched.min(meta.n_pages.max(1.0)) * RANDOM_PAGE_COST
@@ -496,6 +497,17 @@ impl<'a> Planner<'a> {
                         + matched * bound.len() as f64 * CPU_OPERATOR_COST;
                     if index_cost < plan_cost {
                         let column = col_names[slot].clone().unwrap();
+                        // Exact when this column's sargable clauses are the
+                        // entire predicate AND both bounds land in one type
+                        // class: then the total_cmp key range equals the
+                        // SQL match set and the residual filter can reject
+                        // nothing, so a LIMIT may cap the probe.
+                        let exact_bounds = n_clauses == bound.len()
+                            && match (exactness_class(b.lo.as_ref()), exactness_class(b.hi.as_ref()))
+                            {
+                                (Some(a), Some(c)) => a == c,
+                                _ => false,
+                            };
                         plan = Plan::IndexScan {
                             table: table.to_string(),
                             binding: binding.to_string(),
@@ -507,6 +519,7 @@ impl<'a> Planner<'a> {
                             filter,
                             needed: needed_vec,
                             est_rows: rows,
+                            exact_bounds,
                         };
                         plan_cost = index_cost;
                     }
@@ -1223,6 +1236,21 @@ impl IdxBound {
                 },
             }
         }
+    }
+}
+
+/// Type class of a bound datum for `exact_bounds` purposes. Within one
+/// class, `Datum::total_cmp` order coincides with SQL comparison over the
+/// keys the range can contain (Bool < numeric < Text in total_cmp rank, so
+/// a two-sided same-class range only ever contains keys of that class).
+/// Non-finite floats are excluded: NaN breaks the order/SQL agreement.
+fn exactness_class(d: Option<&Datum>) -> Option<u8> {
+    match d? {
+        Datum::Bool(_) => Some(0),
+        Datum::Int(_) => Some(1),
+        Datum::Float(f) if f.is_finite() => Some(1),
+        Datum::Text(_) => Some(2),
+        _ => None,
     }
 }
 

@@ -79,7 +79,7 @@ fn parallel_scan_respects_deletes_and_updates() {
 #[test]
 fn intermediate_row_limit_enforced_across_workers() {
     let db = db_with_big_table();
-    db.set_exec_limits(ExecLimits { max_intermediate_rows: 100, exec_threads: 4 });
+    db.set_exec_limits(ExecLimits { max_intermediate_rows: 100, exec_threads: 4, ..ExecLimits::default() });
     let err = db.execute("SELECT * FROM big").unwrap_err();
     assert!(
         matches!(err, DbError::ResourceExhausted(_)),
