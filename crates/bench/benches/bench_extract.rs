@@ -89,7 +89,7 @@ fn bench_plan_vs_cold(c: &mut Criterion) {
     let (bytes, _) = loader::serialize_doc(db, cat, &doc).unwrap();
 
     for (depth, path) in [("depth1", "a1"), ("depth3", "b.c.a3"), ("depth5", "d.e.f.g.a5")] {
-        let mut g = c.benchmark_group(format!("extract_{depth}"));
+        let mut g = c.benchmark_group(&format!("extract_{depth}"));
         g.bench_function("cold_resolve_per_call", |b| {
             b.iter(|| black_box(extract::extract_path(cat, &bytes, path, Want::Int)))
         });

@@ -3,7 +3,7 @@
 //! extraction on one NoBench-shaped document.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sinew_serial::{avro, pbuf, sinew as sformat, Doc, SType, SValue, WriterSchema};
+use sinew_serial::{avro, pbuf, sinew as sformat, Doc, SValue, WriterSchema};
 use std::hint::black_box;
 
 fn sample_doc(n_attrs: u32) -> (Doc, WriterSchema) {
@@ -69,10 +69,10 @@ fn bench_extraction_scaling(c: &mut Criterion) {
         let p_bytes = pbuf::encode(&doc);
         let last = n - 1;
         let ty = schema.type_of(last).unwrap();
-        g.bench_function(format!("sinew_{n}"), |b| {
+        g.bench_function(&format!("sinew_{n}"), |b| {
             b.iter(|| sformat::extract(black_box(&s_bytes), last, ty).unwrap())
         });
-        g.bench_function(format!("pbuf_{n}"), |b| {
+        g.bench_function(&format!("pbuf_{n}"), |b| {
             b.iter(|| pbuf::extract(black_box(&p_bytes), last, ty).unwrap())
         });
     }

@@ -142,7 +142,7 @@ fn main() {
             "LIMIT-10 streaming speedup {speedup:.1}x below the 20x bar at {n} rows"
         );
         assert!(
-            (streaming_peak as u64) < n / 10,
+            streaming_peak < n / 10,
             "streaming peak residency {streaming_peak} is not O(block) at {n} rows"
         );
     }

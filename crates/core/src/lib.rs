@@ -53,7 +53,7 @@ pub use catalog::{AttrId, Catalog, ColumnState};
 pub use extract::Want;
 pub use loader::{LoadOptions, LoadReport};
 pub use materializer::{MaterializerReport, StepBudget};
-pub use metrics::{IndexReport, Metrics, MetricsSnapshot, StorageReport};
+pub use metrics::{ColumnarStoreReport, IndexReport, Metrics, MetricsSnapshot, StorageReport};
 pub use plan::{ExtractionPlan, MultiExtractionPlan, PlanCache, ResolvedPath};
 pub use types::AttrType;
 

@@ -232,6 +232,12 @@ fn step_locked(
             m.materializer_passes_completed.inc();
             if materializing {
                 maybe_create_auto_index(sinew, table, attr, &st.column_name)?;
+                // Columnar segment store over the freshly promoted column:
+                // built by one heap scan here, maintained incrementally by
+                // every DML path after. Dematerialization drops it for free
+                // (`drop_column` removes stores on the column).
+                db.build_columnar(table, &st.column_name)?;
+                m.materializer_columnar_built.inc();
             }
             report.columns_cleaned.push(name);
         }

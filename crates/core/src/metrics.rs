@@ -218,6 +218,9 @@ pub struct Metrics {
     /// column whose sampled cardinality cleared the
     /// `SINEW_INDEX_MIN_CARDINALITY` bar.
     pub materializer_indexes_created: Counter,
+    /// Columnar segment stores built when a promotion pass completed
+    /// (dematerialization drops them together with the column).
+    pub materializer_columnar_built: Counter,
     /// Distribution of rows examined per step.
     pub materializer_step_rows: Histogram,
 
@@ -275,6 +278,7 @@ impl Metrics {
             materializer_passes_deferred: self.materializer_passes_deferred.get(),
             materializer_rows_stranded: self.materializer_rows_stranded.get(),
             materializer_indexes_created: self.materializer_indexes_created.get(),
+            materializer_columnar_built: self.materializer_columnar_built.get(),
             materializer_step_rows_mean: self.materializer_step_rows.mean(),
             analyzer_runs: self.analyzer_runs.get(),
             analyzer_rows_sampled: self.analyzer_rows_sampled.get(),
@@ -317,6 +321,7 @@ pub struct MetricsSnapshot {
     pub materializer_passes_deferred: u64,
     pub materializer_rows_stranded: u64,
     pub materializer_indexes_created: u64,
+    pub materializer_columnar_built: u64,
     pub materializer_step_rows_mean: f64,
     pub analyzer_runs: u64,
     pub analyzer_rows_sampled: u64,
@@ -385,6 +390,7 @@ impl MetricsSnapshot {
             ("materializer_passes_deferred".into(), i(self.materializer_passes_deferred)),
             ("materializer_rows_stranded".into(), i(self.materializer_rows_stranded)),
             ("materializer_indexes_created".into(), i(self.materializer_indexes_created)),
+            ("materializer_columnar_built".into(), i(self.materializer_columnar_built)),
             ("analyzer_runs".into(), i(self.analyzer_runs)),
             ("analyzer_rows_sampled".into(), i(self.analyzer_rows_sampled)),
             ("analyzer_materialize_decisions".into(), i(self.analyzer_materialize_decisions)),
@@ -454,6 +460,32 @@ pub struct IndexReport {
     pub bytes: u64,
 }
 
+/// One columnar segment store on a promoted column of the table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarStoreReport {
+    /// Physical column the store covers.
+    pub column: String,
+    /// Row-range segments ([`sinew_rdbms`] SEG_ROWS rowids each).
+    pub segments: u64,
+    /// Bytes the encoded segments occupy (encodings + bitmaps).
+    pub encoded_bytes: u64,
+    /// Bytes the live values would occupy unencoded.
+    pub raw_bytes: u64,
+    /// Segment counts per encoding, e.g. `"packed-int:3 plain:1"`.
+    pub encodings: String,
+}
+
+impl ColumnarStoreReport {
+    /// Raw-to-encoded compression ratio (1.0 when nothing is stored).
+    pub fn compression(&self) -> f64 {
+        if self.encoded_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.encoded_bytes as f64
+        }
+    }
+}
+
 /// Structured per-table storage introspection (see module docs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StorageReport {
@@ -467,6 +499,9 @@ pub struct StorageReport {
     /// Secondary B-tree indexes on the table's physical columns (manual
     /// `CREATE INDEX` or auto-created on promotion).
     pub indexes: Vec<IndexReport>,
+    /// Columnar segment stores on promoted columns (built on promotion
+    /// completion, dropped with the column on dematerialization).
+    pub columnar: Vec<ColumnarStoreReport>,
     /// Bytes held in the `data` reservoir column.
     pub reservoir_bytes: u64,
     /// Bytes held in materialized physical columns.
@@ -576,12 +611,25 @@ pub(crate) fn storage_report(sinew: &Sinew, table: &str) -> DbResult<StorageRepo
         })
         .collect();
 
+    let columnar = db
+        .columnar_infos(table)?
+        .into_iter()
+        .map(|c| ColumnarStoreReport {
+            column: c.column,
+            segments: c.segments,
+            encoded_bytes: c.encoded_bytes,
+            raw_bytes: c.raw_bytes,
+            encodings: c.encodings,
+        })
+        .collect();
+
     Ok(StorageReport {
         table: table.to_string(),
         rows,
         physical_columns,
         virtual_columns,
         indexes,
+        columnar,
         reservoir_bytes,
         column_bytes,
         sampled_rows,
@@ -647,6 +695,19 @@ impl StorageReport {
                 out,
                 "  {:<24} on {:<16} {} keys, {} pages, {} B",
                 ix.name, ix.column, ix.key_count, ix.pages, ix.bytes
+            );
+        }
+        let _ = writeln!(out, "columnar stores ({}):", self.columnar.len());
+        for cs in &self.columnar {
+            let _ = writeln!(
+                out,
+                "  {:<24} {} segments, {} B encoded / {} B raw ({:.1}x), enc [{}]",
+                cs.column,
+                cs.segments,
+                cs.encoded_bytes,
+                cs.raw_bytes,
+                cs.compression(),
+                cs.encodings
             );
         }
         let _ = writeln!(
@@ -753,6 +814,29 @@ impl StorageReport {
             "index access: {} index scans; {} rows bulk-built, {} maintenance ops",
             e.index_scans, e.index_build_rows, e.index_maintenance_ops
         );
+        let mean_decoded = if e.decoded_per_block_count == 0 {
+            0.0
+        } else {
+            e.decoded_per_block_sum as f64 / e.decoded_per_block_count as f64
+        };
+        let decoded_buckets: Vec<String> = e
+            .decoded_per_block
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| format!("{}:{n}", if i == 0 { 0 } else { 1u64 << (i - 1) }))
+            .collect();
+        let _ = writeln!(
+            out,
+            "columnar access: {} columnar scans, {} segments pruned, {} index-only scans, \
+             {} heap fetches; decoded/block {:.0} mean, log2 [{}]",
+            e.columnar_scans,
+            e.segments_pruned,
+            e.index_only_scans,
+            e.heap_fetches,
+            mean_decoded,
+            decoded_buckets.join(" ")
+        );
         let _ = writeln!(
             out,
             "background: {} active workers, {} steps, {} errors",
@@ -820,6 +904,27 @@ impl StorageReport {
                                 ("key_count".to_string(), Value::Int(ix.key_count as i64)),
                                 ("pages".to_string(), Value::Int(ix.pages as i64)),
                                 ("bytes".to_string(), Value::Int(ix.bytes as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "columnar".to_string(),
+                Value::Array(
+                    self.columnar
+                        .iter()
+                        .map(|cs| {
+                            Value::Object(vec![
+                                ("column".to_string(), Value::Str(cs.column.clone())),
+                                ("segments".to_string(), Value::Int(cs.segments as i64)),
+                                (
+                                    "encoded_bytes".to_string(),
+                                    Value::Int(cs.encoded_bytes as i64),
+                                ),
+                                ("raw_bytes".to_string(), Value::Int(cs.raw_bytes as i64)),
+                                ("compression".to_string(), Value::Float(cs.compression())),
+                                ("encodings".to_string(), Value::Str(cs.encodings.clone())),
                             ])
                         })
                         .collect(),
@@ -895,6 +1000,37 @@ impl StorageReport {
                     (
                         "rows_per_block_sum".to_string(),
                         Value::Int(self.exec.rows_per_block_sum as i64),
+                    ),
+                    (
+                        "columnar_scans".to_string(),
+                        Value::Int(self.exec.columnar_scans as i64),
+                    ),
+                    (
+                        "segments_pruned".to_string(),
+                        Value::Int(self.exec.segments_pruned as i64),
+                    ),
+                    (
+                        "index_only_scans".to_string(),
+                        Value::Int(self.exec.index_only_scans as i64),
+                    ),
+                    ("heap_fetches".to_string(), Value::Int(self.exec.heap_fetches as i64)),
+                    (
+                        "decoded_per_block_log2".to_string(),
+                        Value::Array(
+                            self.exec
+                                .decoded_per_block
+                                .iter()
+                                .map(|n| Value::Int(*n as i64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "decoded_per_block_count".to_string(),
+                        Value::Int(self.exec.decoded_per_block_count as i64),
+                    ),
+                    (
+                        "decoded_per_block_sum".to_string(),
+                        Value::Int(self.exec.decoded_per_block_sum as i64),
                     ),
                 ]),
             ),

@@ -224,6 +224,9 @@ struct ExtractKeysFn {
     metrics: Arc<Metrics>,
 }
 
+/// Cached fused plan: owning catalog, resolved plan, validation generation.
+type CachedMultiPlan = (Arc<Catalog>, Arc<MultiExtractionPlan>, u64);
+
 thread_local! {
     /// Last fused plan used on this thread, tagged with the catalog it was
     /// resolved against and the block generation (see [`BLOCK_GEN`]) in
@@ -233,8 +236,7 @@ thread_local! {
     /// can't be recycled by another instance), `matches()` and
     /// `is_current()` guard correctness across databases, queries, and
     /// catalog epoch bumps.
-    static LAST_MULTI: RefCell<Option<(Arc<Catalog>, Arc<MultiExtractionPlan>, u64)>> =
-        const { RefCell::new(None) };
+    static LAST_MULTI: RefCell<Option<CachedMultiPlan>> = const { RefCell::new(None) };
     /// Current streaming-block generation on this thread: 0 outside any
     /// block, otherwise the value minted by the latest `begin_block`. The
     /// catalog epoch cannot move mid-block (DDL and queries serialize on
@@ -293,7 +295,7 @@ impl ScalarFn for ExtractKeysFn {
     }
 
     fn call_ref(&self, args: &[&Datum]) -> DbResult<Datum> {
-        if args.len() < 3 || args.len() % 2 == 0 {
+        if args.len() < 3 || args.len().is_multiple_of(2) {
             return Err(DbError::Eval(
                 "extract_keys expects (data, key1, type1, key2, type2, ...)".into(),
             ));

@@ -96,6 +96,10 @@ fn threshold_crossing_both_directions_with_live_reports() {
     assert!(after.column_bytes > 0);
     assert!(after.reservoir_bytes < before.reservoir_bytes);
     assert_eq!(count_k(&sinew), N);
+    // the completed promotion also built a columnar segment store over "k"
+    let ks = after.columnar.iter().find(|c| c.column == "k").expect("columnar store for k");
+    assert!(ks.segments > 0 && ks.encoded_bytes > 0);
+    assert!(after.metrics.materializer_columnar_built >= 1);
 
     // Repeated extraction query → plan-cache hit rate is nonzero in the
     // report ("rare" is still virtual, so this goes through the UDFs).
@@ -135,6 +139,8 @@ fn threshold_crossing_both_directions_with_live_reports() {
     assert!(find_col(&after.physical_columns, "k").is_none());
     assert_eq!(count_k(&sinew), N);
     assert!(after.metrics.materializer_values_dematerialized >= N as u64);
+    // dropping the column dropped its segment store with it
+    assert!(after.columnar.is_empty(), "stale columnar stores: {:?}", after.columnar);
 }
 
 #[test]
@@ -204,7 +210,8 @@ fn storage_report_rejects_unknown_collection() {
 }
 
 /// Serializes the two auto-index tests: both read/write the process-global
-/// `SINEW_INDEX_MIN_CARDINALITY` / `SINEW_FORCE_SCAN` variables.
+/// `SINEW_INDEX_MIN_CARDINALITY` / `SINEW_FORCE_SCAN` / `SINEW_COLUMNAR`
+/// variables.
 static INDEX_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 #[test]
@@ -212,8 +219,12 @@ fn promotion_creates_secondary_index_and_demotion_drops_it() {
     let _g = INDEX_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let prev_force = std::env::var("SINEW_FORCE_SCAN").ok();
     let prev_bar = std::env::var("SINEW_INDEX_MIN_CARDINALITY").ok();
+    let prev_columnar = std::env::var("SINEW_COLUMNAR").ok();
     std::env::remove_var("SINEW_FORCE_SCAN");
     std::env::remove_var("SINEW_INDEX_MIN_CARDINALITY");
+    // this test asserts the covering index-only path specifically, so pin
+    // the knob on even when the suite runs under SINEW_COLUMNAR=0
+    std::env::set_var("SINEW_COLUMNAR", "1");
 
     let sinew = loaded();
     // "k" has ~N distinct values, clearing the default bar of 200: the
@@ -234,14 +245,24 @@ fn promotion_creates_secondary_index_and_demotion_drops_it() {
     let hinted = sinew.db().planner_config().key_ndistinct.get("k").copied();
     assert!(hinted.unwrap_or(0.0) >= 400.0, "missing ndistinct hint: {hinted:?}");
 
-    // logical point queries on the promoted column now take the index path
-    // (ANALYZE first so the planner sees the column's true cardinality)
+    // logical point queries on the promoted column are covered by the
+    // index: the planner picks the index-only path and the probe answers
+    // the query without touching a single heap page (ANALYZE first so the
+    // planner sees the column's true cardinality)
     sinew.query("ANALYZE c").unwrap();
     let plan = sinew.explain("SELECT k FROM c WHERE k = 'v123'").unwrap();
-    assert!(plan.contains("Index Scan"), "expected index scan:\n{plan}");
+    assert!(plan.contains("Index Only Scan"), "expected index-only scan:\n{plan}");
+    let before = sinew.db().exec_stats();
+    let r = sinew.query("SELECT k FROM c WHERE k = 'v123'").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    let after = sinew.db().exec_stats();
+    assert!(after.index_only_scans > before.index_only_scans);
+    assert_eq!(
+        after.heap_fetches, before.heap_fetches,
+        "index-only scan must not fetch heap rows"
+    );
     let r = sinew.query("SELECT COUNT(*) FROM c WHERE k = 'v123'").unwrap();
     assert_eq!(r.rows[0][0], Datum::Int(1));
-    assert!(sinew.db().exec_stats().index_scans > 0);
 
     // demotion drops the physical column — and the index rides along
     let strict = AnalyzerPolicy { cardinality_threshold: u64::MAX, ..policy() };
@@ -255,6 +276,10 @@ fn promotion_creates_secondary_index_and_demotion_drops_it() {
     }
     if let Some(v) = prev_bar {
         std::env::set_var("SINEW_INDEX_MIN_CARDINALITY", v);
+    }
+    match prev_columnar {
+        Some(v) => std::env::set_var("SINEW_COLUMNAR", v),
+        None => std::env::remove_var("SINEW_COLUMNAR"),
     }
 }
 

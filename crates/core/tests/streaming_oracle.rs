@@ -31,10 +31,10 @@ fn build() -> Sinew {
             h % 17,
             (h % 7919) as f64 / 13.0
         );
-        if h % 3 == 0 {
+        if h.is_multiple_of(3) {
             doc.push_str(&format!(r#", "extra": {}"#, (h >> 9) % 100));
         }
-        if h % 5 == 0 {
+        if h.is_multiple_of(5) {
             doc.push_str(&format!(r#", "deep": {{"val": "d{}"}}"#, h % 11));
         }
         doc.push('}');

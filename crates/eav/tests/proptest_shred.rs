@@ -46,7 +46,7 @@ proptest! {
         for t in shred(1, &doc) {
             match doc.get_path(&t.key) {
                 Some(Value::Array(items)) => {
-                    prop_assert!(items.iter().any(|i| *i == t.value));
+                    prop_assert!(items.contains(&t.value));
                 }
                 Some(other) => prop_assert_eq!(other, &t.value),
                 None => prop_assert!(false, "key {} missing", t.key),

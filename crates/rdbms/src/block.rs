@@ -217,6 +217,58 @@ pub(crate) fn build_op<'x, 'a: 'x>(
             ctx: EvalCtx::new(),
             state: IndexState::Init,
         }),
+        Plan::ColumnarScan {
+            table,
+            column,
+            lo,
+            lo_inc,
+            hi,
+            hi_inc,
+            filter,
+            needed,
+            exact_bounds,
+            ..
+        } => Box::new(ColumnarScanOp {
+            exec,
+            table,
+            column: column.as_deref(),
+            lo: lo.as_ref(),
+            lo_inc: *lo_inc,
+            hi: hi.as_ref(),
+            hi_inc: *hi_inc,
+            filter: filter.as_ref(),
+            needed: needed.as_deref(),
+            exact_bounds: *exact_bounds,
+            pending: VecDeque::new(),
+            state: ColumnarState::Init,
+        }),
+        Plan::IndexOnlyScan {
+            table,
+            column,
+            lo,
+            lo_inc,
+            hi,
+            hi_inc,
+            filter,
+            needed,
+            exact_bounds,
+            ..
+        } => Box::new(IndexOnlyScanOp {
+            exec,
+            table,
+            column,
+            lo: lo.as_ref(),
+            lo_inc: *lo_inc,
+            hi: hi.as_ref(),
+            hi_inc: *hi_inc,
+            filter: filter.as_ref(),
+            needed: needed.as_deref(),
+            // Same soundness rule as IndexScan's probe cap.
+            cap: if *exact_bounds { cap } else { None },
+            exact_bounds: *exact_bounds,
+            ctx: EvalCtx::new(),
+            state: IndexOnlyState::Init,
+        }),
         Plan::Filter { input, predicate, .. } => Box::new(FilterOp {
             child: build_op(exec, input, None)?,
             predicate,
@@ -333,7 +385,7 @@ fn drain_child(
 }
 
 /// Move up to `n` front rows of a buffered result into a block.
-fn chunk_from(buf: &mut Vec<Row>, pos: &mut usize, n: usize) -> Option<RowBlock> {
+fn chunk_from(buf: &mut [Row], pos: &mut usize, n: usize) -> Option<RowBlock> {
     if *pos >= buf.len() {
         return None;
     }
@@ -608,6 +660,318 @@ impl BlockOperator for IndexScanOp<'_, '_> {
 
     fn close(&mut self) {
         if let IndexState::Fallback(op) = &mut self.state {
+            op.close();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar scan
+
+enum ColumnarState<'x, 'a> {
+    Init,
+    Scanning { n_segments: usize, next_seg: usize, wave: usize, n_workers: usize },
+    /// Segments vanished (demotion) between planning and execution:
+    /// degrade to a sequential scan with the same filter (identical
+    /// output).
+    Fallback(SeqScanOp<'x, 'a>),
+    Done,
+}
+
+/// Columnar segment scan: fills blocks column-at-a-time from the table's
+/// column stores. Each segment runs the vectorized bound kernel (when the
+/// plan carries a sargable bound column) producing a selection vector,
+/// gathers only `needed` columns for the selected slots, then re-applies
+/// the full residual predicate per block unless the bounds are exact.
+/// Segments are dispatched in morsel waves like [`ParallelScanOp`]
+/// (ramping 1, 2, 4, … workers, stitched in segment order), so output is
+/// byte-identical to the heap scan at any thread count and a LIMIT skips
+/// the waves it never reaches.
+/// One segment's scan output: gathered rows, decoded-value count, and
+/// whether the zone map pruned the segment outright.
+type SegScanResult = Result<(Vec<Row>, u64, bool), DbError>;
+
+struct ColumnarScanOp<'x, 'a> {
+    exec: &'x Executor<'a>,
+    table: &'x str,
+    column: Option<&'x str>,
+    lo: Option<&'x Datum>,
+    lo_inc: bool,
+    hi: Option<&'x Datum>,
+    hi_inc: bool,
+    filter: Option<&'x PhysExpr>,
+    needed: Option<&'x [String]>,
+    exact_bounds: bool,
+    pending: VecDeque<Row>,
+    state: ColumnarState<'x, 'a>,
+}
+
+impl ColumnarScanOp<'_, '_> {
+    /// Scan one segment and apply the residual filter, returning the
+    /// surviving rows plus the decoded-values / pruned stats.
+    fn scan_segment(&self, seg: usize) -> SegScanResult {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.exec
+                .source
+                .columnar_scan_segment(
+                    self.table,
+                    self.needed,
+                    self.column,
+                    self.lo,
+                    self.lo_inc,
+                    self.hi,
+                    self.hi_inc,
+                    seg,
+                )?
+                .ok_or_else(|| DbError::Eval("column store vanished mid-scan".into()))
+        }));
+        let scan = match result {
+            Ok(Ok(s)) => s,
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                return Err(DbError::Eval(format!(
+                    "columnar scan worker panicked: {}",
+                    panic_message(payload.as_ref())
+                )))
+            }
+        };
+        let rows = match self.filter {
+            Some(f) if !self.exact_bounds && !scan.rows.is_empty() => {
+                let mut ctx = EvalCtx::new();
+                f.begin_block();
+                let keep = f.filter_block(&scan.rows, None, &mut ctx);
+                f.end_block();
+                let keep = keep?;
+                let mut rows = scan.rows;
+                keep.iter().map(|&i| std::mem::take(&mut rows[i as usize])).collect()
+            }
+            _ => scan.rows,
+        };
+        Ok((rows, scan.decoded, scan.pruned))
+    }
+
+    fn run_wave(&mut self) -> DbResult<()> {
+        let ColumnarState::Scanning { n_segments, next_seg, wave, n_workers } = self.state
+        else {
+            return Ok(());
+        };
+        let remaining = n_segments - next_seg;
+        let k = wave.min(remaining).min(n_workers);
+        let mut results: Vec<SegScanResult> = Vec::with_capacity(k);
+        if k <= 1 || n_workers <= 1 {
+            for i in 0..k {
+                results.push(self.scan_segment(next_seg + i));
+            }
+        } else {
+            let this = &*self;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..k)
+                    .map(|i| s.spawn(move || this.scan_segment(next_seg + i)))
+                    .collect();
+                for h in handles {
+                    results.push(match h.join() {
+                        Ok(r) => r,
+                        Err(payload) => Err(DbError::Eval(format!(
+                            "columnar scan worker panicked: {}",
+                            panic_message(payload.as_ref())
+                        ))),
+                    });
+                }
+            });
+        }
+        // Results are in segment order; the lowest failing segment wins.
+        for r in results {
+            let (rows, decoded, pruned) = r?;
+            if let Some(st) = self.exec.stats {
+                if pruned {
+                    st.segments_pruned.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    st.record_decoded(decoded);
+                }
+            }
+            self.pending.extend(rows);
+            self.exec.check_limit(self.pending.len())?;
+        }
+        let done = next_seg + k >= n_segments;
+        self.state = if done {
+            ColumnarState::Done
+        } else {
+            ColumnarState::Scanning {
+                n_segments,
+                next_seg: next_seg + k,
+                wave: (wave * 2).min(n_workers),
+                n_workers,
+            }
+        };
+        Ok(())
+    }
+}
+
+impl BlockOperator for ColumnarScanOp<'_, '_> {
+    fn open(&mut self) -> DbResult<()> {
+        let meta = self.exec.source.columnar_meta(self.table, self.needed, self.column)?;
+        match meta {
+            Some(meta) => {
+                if let Some(st) = self.exec.stats {
+                    st.columnar_scans.fetch_add(1, Ordering::Relaxed);
+                }
+                self.state = ColumnarState::Scanning {
+                    n_segments: meta.n_segments,
+                    next_seg: 0,
+                    wave: 1,
+                    n_workers: self.exec.limits.exec_threads.max(1),
+                };
+            }
+            None => {
+                let mut op = SeqScanOp::new(self.exec, self.table, self.filter, self.needed);
+                op.open()?;
+                self.state = ColumnarState::Fallback(op);
+            }
+        }
+        Ok(())
+    }
+
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        if let ColumnarState::Fallback(op) = &mut self.state {
+            return op.next_block();
+        }
+        let block_rows = self.exec.limits.block_rows.max(1);
+        while matches!(self.state, ColumnarState::Scanning { .. })
+            && self.pending.len() < block_rows
+        {
+            self.run_wave()?;
+        }
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        let n = self.pending.len().min(block_rows);
+        let out: Vec<Row> = self.pending.drain(..n).collect();
+        Ok(Some(RowBlock::from_rows(out)))
+    }
+
+    fn close(&mut self) {
+        if let ColumnarState::Fallback(op) = &mut self.state {
+            op.close();
+        }
+        self.pending.clear();
+    }
+
+    fn resident_rows(&self) -> u64 {
+        self.pending.len() as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Covering index-only scan
+
+enum IndexOnlyState<'x, 'a> {
+    Init,
+    Emitting { entries: Vec<(Datum, u64)>, n_live_cols: usize, key_slot: usize, pos: usize },
+    /// The index disappeared between planning and execution.
+    Fallback(SeqScanOp<'x, 'a>),
+    Done,
+}
+
+/// Covering index access: one B-tree probe yields the (key, rowid)
+/// entries themselves — the scan output is synthesized from them with
+/// zero heap page reads. Entries arrive sorted by rowid, so output order
+/// matches the heap scan exactly.
+struct IndexOnlyScanOp<'x, 'a> {
+    exec: &'x Executor<'a>,
+    table: &'x str,
+    column: &'x str,
+    lo: Option<&'x Datum>,
+    lo_inc: bool,
+    hi: Option<&'x Datum>,
+    hi_inc: bool,
+    filter: Option<&'x PhysExpr>,
+    needed: Option<&'x [String]>,
+    cap: Option<u64>,
+    exact_bounds: bool,
+    ctx: EvalCtx,
+    state: IndexOnlyState<'x, 'a>,
+}
+
+impl IndexOnlyScanOp<'_, '_> {
+    fn probe(&mut self) -> DbResult<()> {
+        let probe = self.exec.source.index_only_probe(
+            self.table,
+            self.column,
+            self.lo,
+            self.lo_inc,
+            self.hi,
+            self.hi_inc,
+            self.cap,
+        )?;
+        match probe {
+            Some(p) => {
+                if let Some(st) = self.exec.stats {
+                    st.index_only_scans.fetch_add(1, Ordering::Relaxed);
+                }
+                self.state = IndexOnlyState::Emitting {
+                    entries: p.entries,
+                    n_live_cols: p.n_live_cols,
+                    key_slot: p.key_slot,
+                    pos: 0,
+                };
+            }
+            None => {
+                let mut op = SeqScanOp::new(self.exec, self.table, self.filter, self.needed);
+                op.open()?;
+                self.state = IndexOnlyState::Fallback(op);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl BlockOperator for IndexOnlyScanOp<'_, '_> {
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        if matches!(self.state, IndexOnlyState::Init) {
+            self.probe()?;
+        }
+        match &mut self.state {
+            IndexOnlyState::Emitting { entries, n_live_cols, key_slot, pos } => {
+                let block_rows = self.exec.limits.block_rows.max(1);
+                let filter = self.filter;
+                let exact = self.exact_bounds;
+                while *pos < entries.len() {
+                    let end = (*pos + block_rows).min(entries.len());
+                    let mut rows: Vec<Row> = Vec::with_capacity(end - *pos);
+                    for (key, rowid) in &mut entries[*pos..end] {
+                        let mut row: Row = vec![Datum::Null; *n_live_cols + 1];
+                        row[*key_slot] = std::mem::replace(key, Datum::Null);
+                        row[*n_live_cols] = Datum::Int(*rowid as i64);
+                        rows.push(row);
+                    }
+                    *pos = end;
+                    let out: Vec<Row> = match filter {
+                        Some(f) if !exact => {
+                            f.begin_block();
+                            let keep = f.filter_block(&rows, None, &mut self.ctx);
+                            f.end_block();
+                            let keep = keep?;
+                            keep.iter()
+                                .map(|&i| std::mem::take(&mut rows[i as usize]))
+                                .collect()
+                        }
+                        _ => rows,
+                    };
+                    if !out.is_empty() {
+                        return Ok(Some(RowBlock::from_rows(out)));
+                    }
+                }
+                self.state = IndexOnlyState::Done;
+                Ok(None)
+            }
+            IndexOnlyState::Fallback(op) => op.next_block(),
+            IndexOnlyState::Done => Ok(None),
+            IndexOnlyState::Init => unreachable!("probe resolves Init"),
+        }
+    }
+
+    fn close(&mut self) {
+        if let IndexOnlyState::Fallback(op) = &mut self.state {
             op.close();
         }
     }
@@ -1023,6 +1387,10 @@ impl BlockOperator for GroupAggOp<'_, '_> {
 // ---------------------------------------------------------------------------
 // Joins
 
+/// Drained build side of a hash join: buffered rows, the key → row-index
+/// map, and the build-side column count (for left-outer NULL padding).
+type BuiltSide = (Vec<Row>, HashMap<GroupKey, Vec<usize>>, usize);
+
 /// Hash join: the build (right) side is a pipeline breaker, the probe
 /// (left) side streams. Join output beyond a block is buffered briefly in
 /// `pending` and emitted in block-sized chunks.
@@ -1034,7 +1402,7 @@ struct HashJoinOp<'x, 'a> {
     right_key: &'x PhysExpr,
     residual: Option<&'x PhysExpr>,
     left_outer: bool,
-    built: Option<(Vec<Row>, HashMap<GroupKey, Vec<usize>>, usize)>,
+    built: Option<BuiltSide>,
     /// Cumulative joined rows — charged against the cap exactly like the
     /// oracle's `out.len()`.
     emitted: u64,

@@ -328,7 +328,75 @@ impl SecondaryIndex {
             }
         }
         if cap.is_some() {
-            out.extend(heap.into_iter());
+            out.extend(heap);
+        }
+        Ok(out)
+    }
+
+    /// Like [`lookup_range`](Self::lookup_range) but keeps the keys:
+    /// `(key, rowid)` pairs for every in-range entry, the covering probe
+    /// behind index-only scans — the caller synthesizes output rows from
+    /// the pairs and never touches the heap. `cap` bounds the result to
+    /// the entries with the `cap` smallest row ids (LIMIT pushdown under
+    /// exact bounds; emission is in ascending rowid order).
+    pub fn lookup_range_entries(
+        &self,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+        cap: Option<usize>,
+    ) -> DbResult<Vec<(Datum, RowId)>> {
+        let below_lo = |k: &Datum| match lo {
+            Some(b) => match k.total_cmp(b) {
+                Ordering::Less => true,
+                Ordering::Equal => !lo_inc,
+                Ordering::Greater => false,
+            },
+            None => false,
+        };
+        let above_hi = |k: &Datum| match hi {
+            Some(b) => match k.total_cmp(b) {
+                Ordering::Greater => true,
+                Ordering::Equal => !hi_inc,
+                Ordering::Less => false,
+            },
+            None => false,
+        };
+        let start = match lo {
+            Some(b) => {
+                let i = self
+                    .leaves
+                    .partition_point(|leaf| leaf.lo_key.total_cmp(b) == Ordering::Less);
+                i.saturating_sub(1)
+            }
+            None => 0,
+        };
+        let mut out: Vec<(Datum, RowId)> = Vec::new();
+        for leaf in &self.leaves[start.min(self.leaves.len())..] {
+            if !below_lo(&leaf.lo_key) && above_hi(&leaf.lo_key) {
+                break;
+            }
+            for (k, rowid) in read_leaf(&self.pager, leaf.page)? {
+                if below_lo(&k) {
+                    continue;
+                }
+                if above_hi(&k) {
+                    break;
+                }
+                out.push((k, rowid));
+            }
+        }
+        for (k, rowid) in &self.overflow {
+            if !below_lo(k) && !above_hi(k) {
+                out.push((k.clone(), *rowid));
+            }
+        }
+        if let Some(cap) = cap {
+            if out.len() > cap {
+                out.select_nth_unstable_by_key(cap, |(_, r)| *r);
+                out.truncate(cap);
+            }
         }
         Ok(out)
     }

@@ -1,0 +1,1000 @@
+//! Columnar segment storage for promoted (physical) columns.
+//!
+//! Sinew's materializer promotes hot keys into real columns (§4); this
+//! module gives those columns a packed, scan-friendly representation so
+//! sargable predicates run as vectorized kernels instead of per-row
+//! `Datum` decode.  A [`ColumnStore`] holds one column's values as a list
+//! of fixed-width row-range *segments* ([`SEG_ROWS`] rowids each):
+//!
+//! * every segment carries a `live` bitmap (row exists in the heap) and a
+//!   `valid` bitmap (value is non-NULL), plus a min/max zone map over the
+//!   live non-NULL values;
+//! * sealed segments pick the cheapest of four encodings — run-length for
+//!   runs, frame-of-reference bit-packed integers, dictionary for
+//!   low-cardinality strings, or plain `Datum`s;
+//! * the tail segment stays plain and is sealed (encoded) when it fills.
+//!
+//! The heap remains the source of truth: stores are rebuilt from a heap
+//! scan at promotion time and maintained incrementally by every DML path.
+//! Kernels use `Datum::total_cmp` bounds — the same superset semantics as
+//! the B-tree — so the executor re-applies the full predicate as a
+//! residual filter unless the planner proved the bounds exact.
+
+use crate::datum::Datum;
+use crate::heap::RowId;
+use std::cmp::Ordering;
+
+/// Rowids covered by one segment. Chosen so a segment's working set fits
+/// comfortably in L2 while still amortizing per-segment overheads.
+pub const SEG_ROWS: usize = 4096;
+
+const BM_WORDS: usize = SEG_ROWS / 64;
+
+#[inline]
+fn bm_get(bm: &[u64], i: usize) -> bool {
+    bm[i >> 6] >> (i & 63) & 1 != 0
+}
+
+#[inline]
+fn bm_set(bm: &mut [u64], i: usize, v: bool) {
+    if v {
+        bm[i >> 6] |= 1u64 << (i & 63);
+    } else {
+        bm[i >> 6] &= !(1u64 << (i & 63));
+    }
+}
+
+#[inline]
+fn pack_mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Read the `i`-th `bits`-wide value from a packed word array.
+#[inline]
+fn pack_get(words: &[u64], bits: u32, i: usize) -> u64 {
+    if bits == 0 {
+        return 0;
+    }
+    let start = i * bits as usize;
+    let w = start >> 6;
+    let off = (start & 63) as u32;
+    let mut v = words[w] >> off;
+    if off + bits > 64 {
+        v |= words[w + 1] << (64 - off);
+    }
+    v & pack_mask(bits)
+}
+
+/// Append value `v` (already masked to `bits`) at position `i`; positions
+/// must be written in order starting from 0.
+fn pack_push(words: &mut Vec<u64>, bits: u32, i: usize, v: u64) {
+    if bits == 0 {
+        return;
+    }
+    let start = i * bits as usize;
+    let w = start >> 6;
+    let off = (start & 63) as u32;
+    if w == words.len() {
+        words.push(0);
+    }
+    words[w] |= v << off;
+    if off + bits > 64 {
+        words.push(v >> (64 - off));
+    }
+}
+
+/// Physical encoding of one sealed segment's values.
+enum Enc {
+    /// One `Datum` per slot (also the mutable-tail representation).
+    Plain(Vec<Datum>),
+    /// Frame-of-reference bit-packed integers: slot value = base + packed.
+    /// Invalid/dead slots store 0.
+    PackedInt { base: i64, bits: u32, words: Vec<u64> },
+    /// Dictionary of distinct values sorted by `total_cmp`, with
+    /// bit-packed per-slot codes. Invalid/dead slots store code 0.
+    Dict { dict: Vec<Datum>, bits: u32, codes: Vec<u64> },
+    /// Run-length runs over slot order (dead/NULL slots appear as Null
+    /// runs); run lengths sum to the slot count.
+    Rle { runs: Vec<(Datum, u32)> },
+}
+
+impl Enc {
+    fn name(&self) -> &'static str {
+        match self {
+            Enc::Plain(_) => "plain",
+            Enc::PackedInt { .. } => "packed-int",
+            Enc::Dict { .. } => "dict",
+            Enc::Rle { .. } => "rle",
+        }
+    }
+
+    /// Approximate encoded payload bytes.
+    fn bytes(&self) -> u64 {
+        match self {
+            Enc::Plain(vals) => vals.iter().map(|d| d.width() as u64).sum(),
+            Enc::PackedInt { words, .. } => 16 + words.len() as u64 * 8,
+            Enc::Dict { dict, codes, .. } => {
+                dict.iter().map(|d| d.width() as u64).sum::<u64>() + codes.len() as u64 * 8
+            }
+            Enc::Rle { runs } => runs.iter().map(|(d, _)| d.width() as u64 + 4).sum(),
+        }
+    }
+}
+
+struct Segment {
+    /// Slots appended so far (== SEG_ROWS once sealed).
+    n_slots: usize,
+    live: Vec<u64>,
+    valid: Vec<u64>,
+    enc: Enc,
+    /// Zone map over live, non-NULL values (total_cmp order). Kept as a
+    /// superset on delete, so pruning stays conservative without
+    /// re-encoding.
+    min: Option<Datum>,
+    max: Option<Datum>,
+    sealed: bool,
+}
+
+impl Segment {
+    fn new() -> Segment {
+        Segment {
+            n_slots: 0,
+            live: vec![0; BM_WORDS],
+            valid: vec![0; BM_WORDS],
+            enc: Enc::Plain(Vec::new()),
+            min: None,
+            max: None,
+            sealed: false,
+        }
+    }
+
+    fn widen_zone(&mut self, d: &Datum) {
+        if d.is_null() {
+            return;
+        }
+        match &self.min {
+            Some(m) if m.total_cmp(d) != Ordering::Greater => {}
+            _ => self.min = Some(d.clone()),
+        }
+        match &self.max {
+            Some(m) if m.total_cmp(d) != Ordering::Less => {}
+            _ => self.max = Some(d.clone()),
+        }
+    }
+
+    fn recompute_zone(&mut self, plain: &[Datum]) {
+        self.min = None;
+        self.max = None;
+        for (i, d) in plain.iter().enumerate() {
+            if bm_get(&self.live, i) && bm_get(&self.valid, i) {
+                let cur_min = self.min.take();
+                self.min = match cur_min {
+                    Some(m) if m.total_cmp(d) != Ordering::Greater => Some(m),
+                    _ => Some(d.clone()),
+                };
+                let cur_max = self.max.take();
+                self.max = match cur_max {
+                    Some(m) if m.total_cmp(d) != Ordering::Less => Some(m),
+                    _ => Some(d.clone()),
+                };
+            }
+        }
+    }
+
+    /// Decode the segment back to one `Datum` per slot.
+    fn to_plain(&self) -> Vec<Datum> {
+        match &self.enc {
+            Enc::Plain(vals) => vals.clone(),
+            Enc::PackedInt { base, bits, words } => (0..self.n_slots)
+                .map(|i| {
+                    if bm_get(&self.valid, i) {
+                        Datum::Int(base.wrapping_add(pack_get(words, *bits, i) as i64))
+                    } else {
+                        Datum::Null
+                    }
+                })
+                .collect(),
+            Enc::Dict { dict, bits, codes } => (0..self.n_slots)
+                .map(|i| {
+                    if bm_get(&self.valid, i) {
+                        dict[pack_get(codes, *bits, i) as usize].clone()
+                    } else {
+                        Datum::Null
+                    }
+                })
+                .collect(),
+            Enc::Rle { runs } => {
+                let mut out = Vec::with_capacity(self.n_slots);
+                for (d, n) in runs {
+                    for _ in 0..*n {
+                        out.push(d.clone());
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Pick the cheapest encoding for a full segment and install it.
+    fn seal(&mut self) {
+        let plain = match &self.enc {
+            Enc::Plain(v) => v,
+            _ => return, // already encoded
+        };
+        debug_assert_eq!(plain.len(), self.n_slots);
+        // Count runs (dead slots participate as their stored Null).
+        let mut runs = 1usize;
+        for w in plain.windows(2) {
+            if w[0].total_cmp(&w[1]) != Ordering::Equal {
+                runs += 1;
+            }
+        }
+        if runs * 8 <= self.n_slots {
+            let mut rle: Vec<(Datum, u32)> = Vec::with_capacity(runs);
+            for (i, d) in plain.iter().enumerate() {
+                let norm = if bm_get(&self.valid, i) { d.clone() } else { Datum::Null };
+                match rle.last_mut() {
+                    Some((last, n)) if last.total_cmp(&norm) == Ordering::Equal => *n += 1,
+                    _ => rle.push((norm, 1)),
+                }
+            }
+            self.enc = Enc::Rle { runs: rle };
+            self.sealed = true;
+            return;
+        }
+        let n_valid = (0..self.n_slots).filter(|&i| bm_get(&self.valid, i)).count();
+        // All-integer values: frame-of-reference bit packing.
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        let mut all_int = true;
+        for (i, d) in plain.iter().enumerate() {
+            if !bm_get(&self.valid, i) {
+                continue;
+            }
+            match d {
+                Datum::Int(v) => {
+                    lo = lo.min(*v);
+                    hi = hi.max(*v);
+                }
+                _ => {
+                    all_int = false;
+                    break;
+                }
+            }
+        }
+        if all_int && n_valid > 0 {
+            let range = (hi as i128) - (lo as i128);
+            let bits = 128 - (range as u128).leading_zeros();
+            if bits < 64 {
+                let mut words = Vec::new();
+                for (i, d) in plain.iter().enumerate() {
+                    let v = match d {
+                        Datum::Int(v) if bm_get(&self.valid, i) => {
+                            (*v as i128 - lo as i128) as u64
+                        }
+                        _ => 0,
+                    };
+                    pack_push(&mut words, bits, i, v);
+                }
+                self.enc = Enc::PackedInt { base: lo, bits, words };
+                self.sealed = true;
+                return;
+            }
+        }
+        // Low-cardinality strings: dictionary + packed codes.
+        let all_text = plain
+            .iter()
+            .enumerate()
+            .all(|(i, d)| !bm_get(&self.valid, i) || matches!(d, Datum::Text(_)));
+        if all_text && n_valid > 0 {
+            let mut dict: Vec<Datum> = plain
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| bm_get(&self.valid, *i))
+                .map(|(_, d)| d.clone())
+                .collect();
+            dict.sort_by(|a, b| a.total_cmp(b));
+            dict.dedup_by(|a, b| a.total_cmp(b) == Ordering::Equal);
+            if dict.len() <= 256 && dict.len() * 2 <= n_valid {
+                let bits = usize::BITS - (dict.len() - 1).max(1).leading_zeros();
+                let mut codes = Vec::new();
+                for (i, d) in plain.iter().enumerate() {
+                    let code = if bm_get(&self.valid, i) {
+                        dict.binary_search_by(|probe| probe.total_cmp(d)).unwrap_or(0) as u64
+                    } else {
+                        0
+                    };
+                    pack_push(&mut codes, bits, i, code);
+                }
+                self.enc = Enc::Dict { dict, bits, codes };
+                self.sealed = true;
+                return;
+            }
+        }
+        self.sealed = true; // plain stays plain
+    }
+
+    /// True when the zone map proves no live value can fall in the bound
+    /// range (total_cmp semantics).
+    fn zone_prunes(
+        &self,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+    ) -> bool {
+        let (Some(min), Some(max)) = (&self.min, &self.max) else {
+            // No live non-NULL values at all: a bounded kernel matches nothing.
+            return lo.is_some() || hi.is_some();
+        };
+        if let Some(h) = hi {
+            match h.total_cmp(min) {
+                Ordering::Less => return true,
+                Ordering::Equal if !hi_inc => return true,
+                _ => {}
+            }
+        }
+        if let Some(l) = lo {
+            match l.total_cmp(max) {
+                Ordering::Greater => return true,
+                Ordering::Equal if !lo_inc => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Emit slot offsets of live, non-NULL values inside the bound range
+    /// (ascending). Returns the number of value-level decodes performed —
+    /// the vectorized kernels touch far fewer than one per slot.
+    fn select(
+        &self,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+        out: &mut Vec<u32>,
+    ) -> u64 {
+        let in_range = |d: &Datum| -> bool {
+            if let Some(l) = lo {
+                match d.total_cmp(l) {
+                    Ordering::Less => return false,
+                    Ordering::Equal if !lo_inc => return false,
+                    _ => {}
+                }
+            }
+            if let Some(h) = hi {
+                match d.total_cmp(h) {
+                    Ordering::Greater => return false,
+                    Ordering::Equal if !hi_inc => return false,
+                    _ => {}
+                }
+            }
+            true
+        };
+        match &self.enc {
+            Enc::Plain(vals) => {
+                let mut decoded = 0u64;
+                for (i, d) in vals.iter().enumerate() {
+                    if bm_get(&self.live, i) && bm_get(&self.valid, i) {
+                        decoded += 1;
+                        if in_range(d) {
+                            out.push(i as u32);
+                        }
+                    }
+                }
+                decoded
+            }
+            Enc::PackedInt { base, bits, words } => {
+                // Int-vs-Float comparisons in total_cmp go through f64, so
+                // the exact integer translation below is only valid inside
+                // the f64-exact range (|x| <= 2^53). Outside it — or for
+                // non-finite bounds — fall back to per-slot total_cmp so
+                // `exact_bounds` (residual-skip) stays correct.
+                let float_bound_unsafe = {
+                    let dom_lo = *base as i128;
+                    let dom_hi = *base as i128 + pack_mask(*bits) as i128;
+                    let exact = |d: Option<&Datum>| match d {
+                        Some(Datum::Float(f)) => f.is_finite() && f.abs() <= 9.0e15,
+                        _ => true,
+                    };
+                    let any_float = matches!(lo, Some(Datum::Float(_)))
+                        || matches!(hi, Some(Datum::Float(_)));
+                    any_float
+                        && !(exact(lo)
+                            && exact(hi)
+                            && dom_lo >= -(1i128 << 53)
+                            && dom_hi <= 1i128 << 53)
+                };
+                if float_bound_unsafe {
+                    let mut decoded = 0u64;
+                    for i in 0..self.n_slots {
+                        if bm_get(&self.live, i) && bm_get(&self.valid, i) {
+                            decoded += 1;
+                            let d =
+                                Datum::Int(base.wrapping_add(pack_get(words, *bits, i) as i64));
+                            if in_range(&d) {
+                                out.push(i as u32);
+                            }
+                        }
+                    }
+                    return decoded;
+                }
+                // Translate each bound into an inclusive integer bound
+                // once, then the inner loop is integer compares on packed
+                // words. In total_cmp order ints sit numerically among
+                // floats, above Null/Bool, below Text/Bytea/Array — so a
+                // non-numeric bound covers all ints or none.
+                enum IntBound {
+                    At(i128),
+                    AllPass,
+                    NonePass,
+                }
+                // Smallest integer satisfying the lower bound.
+                let lo_b = match lo {
+                    None => IntBound::AllPass,
+                    Some(Datum::Int(v)) => {
+                        IntBound::At(*v as i128 + if lo_inc { 0 } else { 1 })
+                    }
+                    Some(Datum::Float(f)) => {
+                        if f.is_nan() || *f == f64::INFINITY {
+                            IntBound::NonePass // bound above every int
+                        } else if *f == f64::NEG_INFINITY {
+                            IntBound::AllPass
+                        } else if f.fract() == 0.0 {
+                            IntBound::At(*f as i128 + if lo_inc { 0 } else { 1 })
+                        } else {
+                            IntBound::At(f.ceil() as i128)
+                        }
+                    }
+                    Some(Datum::Text(_) | Datum::Bytea(_) | Datum::Array(_)) => {
+                        IntBound::NonePass
+                    }
+                    Some(_) => IntBound::AllPass, // Null/Bool rank below ints
+                };
+                // Largest integer satisfying the upper bound.
+                let hi_b = match hi {
+                    None => IntBound::AllPass,
+                    Some(Datum::Int(v)) => {
+                        IntBound::At(*v as i128 - if hi_inc { 0 } else { 1 })
+                    }
+                    Some(Datum::Float(f)) => {
+                        if f.is_nan() || *f == f64::INFINITY {
+                            IntBound::AllPass
+                        } else if *f == f64::NEG_INFINITY {
+                            IntBound::NonePass // bound below every int
+                        } else if f.fract() == 0.0 {
+                            IntBound::At(*f as i128 - if hi_inc { 0 } else { 1 })
+                        } else {
+                            IntBound::At(f.floor() as i128)
+                        }
+                    }
+                    Some(Datum::Text(_) | Datum::Bytea(_) | Datum::Array(_)) => {
+                        IntBound::AllPass // text ranks above every int
+                    }
+                    Some(_) => IntBound::NonePass, // Null/Bool rank below ints
+                };
+                let full = pack_mask(*bits) as i128;
+                let p_lo = match lo_b {
+                    IntBound::NonePass => return 0,
+                    IntBound::AllPass => 0i128,
+                    IntBound::At(v) => (v - *base as i128).max(0),
+                };
+                let p_hi = match hi_b {
+                    IntBound::NonePass => return 0,
+                    IntBound::AllPass => full,
+                    IntBound::At(v) => (v - *base as i128).min(full),
+                };
+                if p_lo > p_hi {
+                    return 0;
+                }
+                let (p_lo, p_hi) = (p_lo as u64, p_hi as u64);
+                let mut decoded = 0u64;
+                for i in 0..self.n_slots {
+                    if bm_get(&self.live, i) && bm_get(&self.valid, i) {
+                        decoded += 1;
+                        let v = pack_get(words, *bits, i);
+                        if v >= p_lo && v <= p_hi {
+                            out.push(i as u32);
+                        }
+                    }
+                }
+                decoded
+            }
+            Enc::Dict { dict, bits, codes } => {
+                // Dictionary is total_cmp-sorted: qualifying codes form a
+                // contiguous range, found once, then the slot loop is a
+                // pair of integer compares per code.
+                let c_lo = match lo {
+                    None => 0usize,
+                    Some(l) => dict.partition_point(|d| {
+                        matches!(d.total_cmp(l), Ordering::Less)
+                            || (!lo_inc && d.total_cmp(l) == Ordering::Equal)
+                    }),
+                };
+                let c_hi = match hi {
+                    None => dict.len(),
+                    Some(h) => dict.partition_point(|d| {
+                        matches!(d.total_cmp(h), Ordering::Less)
+                            || (hi_inc && d.total_cmp(h) == Ordering::Equal)
+                    }),
+                };
+                if c_lo >= c_hi {
+                    return dict.len() as u64;
+                }
+                let (c_lo, c_hi) = (c_lo as u64, (c_hi - 1) as u64);
+                for i in 0..self.n_slots {
+                    if bm_get(&self.live, i) && bm_get(&self.valid, i) {
+                        let c = pack_get(codes, *bits, i);
+                        if c >= c_lo && c <= c_hi {
+                            out.push(i as u32);
+                        }
+                    }
+                }
+                dict.len() as u64
+            }
+            Enc::Rle { runs } => {
+                // One compare per run, then bitmap-filtered slot emission.
+                let mut start = 0usize;
+                for (d, n) in runs {
+                    let end = start + *n as usize;
+                    if !d.is_null() && in_range(d) {
+                        for i in start..end {
+                            if bm_get(&self.live, i) && bm_get(&self.valid, i) {
+                                out.push(i as u32);
+                            }
+                        }
+                    }
+                    start = end;
+                }
+                runs.len() as u64
+            }
+        }
+    }
+
+    /// All live slot offsets (NULL values included) — the unbounded scan.
+    fn live_slots(&self, out: &mut Vec<u32>) {
+        for i in 0..self.n_slots {
+            if bm_get(&self.live, i) {
+                out.push(i as u32);
+            }
+        }
+    }
+
+    /// Materialize values at ascending `offsets` into `out` (Null for
+    /// slots whose value is NULL). One pass regardless of encoding.
+    fn gather(&self, offsets: &[u32], out: &mut Vec<Datum>) {
+        match &self.enc {
+            Enc::Plain(vals) => {
+                for &i in offsets {
+                    let i = i as usize;
+                    if bm_get(&self.valid, i) {
+                        out.push(vals[i].clone());
+                    } else {
+                        out.push(Datum::Null);
+                    }
+                }
+            }
+            Enc::PackedInt { base, bits, words } => {
+                for &i in offsets {
+                    let i = i as usize;
+                    if bm_get(&self.valid, i) {
+                        out.push(Datum::Int(base.wrapping_add(pack_get(words, *bits, i) as i64)));
+                    } else {
+                        out.push(Datum::Null);
+                    }
+                }
+            }
+            Enc::Dict { dict, bits, codes } => {
+                for &i in offsets {
+                    let i = i as usize;
+                    if bm_get(&self.valid, i) {
+                        out.push(dict[pack_get(codes, *bits, i) as usize].clone());
+                    } else {
+                        out.push(Datum::Null);
+                    }
+                }
+            }
+            Enc::Rle { runs } => {
+                let mut run = 0usize;
+                let mut run_start = 0usize;
+                let mut run_end = runs.first().map(|(_, n)| *n as usize).unwrap_or(0);
+                for &i in offsets {
+                    let i = i as usize;
+                    while i >= run_end {
+                        run += 1;
+                        run_start = run_end;
+                        run_end = run_start + runs[run].1 as usize;
+                    }
+                    let _ = run_start;
+                    if bm_get(&self.valid, i) {
+                        out.push(runs[run].0.clone());
+                    } else {
+                        out.push(Datum::Null);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-column segment store. Rowid `r` lives in segment `r / SEG_ROWS`
+/// at slot `r % SEG_ROWS`; heap rowids are dense and append-only, so the
+/// tail segment is the only mutable one in the common case.
+pub struct ColumnStore {
+    column: String,
+    segments: Vec<Segment>,
+}
+
+/// Observability summary of one column store (for storage_report).
+#[derive(Debug, Clone)]
+pub struct ColumnarInfo {
+    pub column: String,
+    pub segments: u64,
+    pub encoded_bytes: u64,
+    pub raw_bytes: u64,
+    /// Segment counts per encoding, e.g. `"packed-int:3 plain:1"`.
+    pub encodings: String,
+}
+
+impl ColumnStore {
+    pub fn new(column: &str) -> ColumnStore {
+        ColumnStore { column: column.to_string(), segments: Vec::new() }
+    }
+
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    pub fn n_segments(&self) -> u64 {
+        self.segments.len() as u64
+    }
+
+    /// Rowids covered so far (dense from 0).
+    fn coverage(&self) -> u64 {
+        match self.segments.last() {
+            None => 0,
+            Some(tail) => ((self.segments.len() - 1) * SEG_ROWS + tail.n_slots) as u64,
+        }
+    }
+
+    fn push_slot(&mut self, value: Datum, live: bool) {
+        if self.segments.last().map(|s| s.n_slots >= SEG_ROWS).unwrap_or(true) {
+            if let Some(tail) = self.segments.last_mut() {
+                tail.seal();
+            }
+            self.segments.push(Segment::new());
+        }
+        let seg = self.segments.last_mut().unwrap();
+        let slot = seg.n_slots;
+        let valid = live && !value.is_null();
+        bm_set(&mut seg.live, slot, live);
+        bm_set(&mut seg.valid, slot, valid);
+        if valid {
+            seg.widen_zone(&value);
+        }
+        match &mut seg.enc {
+            Enc::Plain(vals) => vals.push(value),
+            _ => unreachable!("tail segment is always plain"),
+        }
+        seg.n_slots += 1;
+    }
+
+    /// Record a freshly inserted row. Rowids arrive in increasing order
+    /// (the heap allocates densely); gaps — rowids never seen because the
+    /// store was built mid-stream — are filled as dead slots.
+    pub fn append(&mut self, rowid: RowId, value: Datum) {
+        while self.coverage() < rowid {
+            self.push_slot(Datum::Null, false);
+        }
+        if self.coverage() == rowid {
+            self.push_slot(value, true);
+        } else {
+            // Re-insert into an already covered rowid (shouldn't happen
+            // with a dense heap, but stay correct): treat as update.
+            self.set(rowid, value);
+        }
+    }
+
+    /// Update the value of an existing row.
+    pub fn set(&mut self, rowid: RowId, value: Datum) {
+        if rowid >= self.coverage() {
+            self.append(rowid, value);
+            return;
+        }
+        let seg_no = rowid as usize / SEG_ROWS;
+        let slot = rowid as usize % SEG_ROWS;
+        let seg = &mut self.segments[seg_no];
+        let mut plain = seg.to_plain();
+        bm_set(&mut seg.live, slot, true);
+        bm_set(&mut seg.valid, slot, !value.is_null());
+        plain[slot] = value;
+        seg.recompute_zone(&plain);
+        let was_sealed = seg.sealed;
+        seg.sealed = false;
+        seg.enc = Enc::Plain(plain);
+        if was_sealed {
+            seg.seal();
+        }
+    }
+
+    /// Mark a row dead. Values stay in place; the zone map is left as a
+    /// (conservative) superset, so no re-encode is needed.
+    pub fn delete(&mut self, rowid: RowId) {
+        if rowid >= self.coverage() {
+            return;
+        }
+        let seg_no = rowid as usize / SEG_ROWS;
+        let slot = rowid as usize % SEG_ROWS;
+        let seg = &mut self.segments[seg_no];
+        bm_set(&mut seg.live, slot, false);
+        bm_set(&mut seg.valid, slot, false);
+    }
+
+    /// Zone-map test for one segment against a total_cmp bound range.
+    pub fn zone_prunes(
+        &self,
+        seg: u64,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+    ) -> bool {
+        self.segments[seg as usize].zone_prunes(lo, lo_inc, hi, hi_inc)
+    }
+
+    /// Vectorized bound kernel over one segment: ascending slot offsets of
+    /// live non-NULL values inside the range. Returns decode count.
+    pub fn select_segment(
+        &self,
+        seg: u64,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+        out: &mut Vec<u32>,
+    ) -> u64 {
+        self.segments[seg as usize].select(lo, lo_inc, hi, hi_inc, out)
+    }
+
+    /// All live slots of one segment (unbounded scan path).
+    pub fn live_slots(&self, seg: u64, out: &mut Vec<u32>) {
+        self.segments[seg as usize].live_slots(out);
+    }
+
+    /// Materialize this column's values at the given segment offsets.
+    pub fn gather(&self, seg: u64, offsets: &[u32], out: &mut Vec<Datum>) {
+        self.segments[seg as usize].gather(offsets, out);
+    }
+
+    pub fn info(&self) -> ColumnarInfo {
+        let mut encoded = 0u64;
+        let mut raw = 0u64;
+        let mut counts: Vec<(&'static str, u64)> = Vec::new();
+        for seg in &self.segments {
+            encoded += seg.enc.bytes() + 2 * BM_WORDS as u64 * 8;
+            let plain = seg.to_plain();
+            for (i, d) in plain.iter().enumerate() {
+                if bm_get(&seg.live, i) {
+                    raw += d.width() as u64;
+                }
+            }
+            let name = seg.enc.name();
+            match counts.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((name, 1)),
+            }
+        }
+        let encodings = counts
+            .iter()
+            .map(|(n, c)| format!("{n}:{c}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        ColumnarInfo {
+            column: self.column.clone(),
+            segments: self.segments.len() as u64,
+            encoded_bytes: encoded,
+            raw_bytes: raw,
+            encodings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_select(
+        vals: &[(Datum, bool)], // (value, live)
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+    ) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (i, (d, live)) in vals.iter().enumerate() {
+            if !*live || d.is_null() {
+                continue;
+            }
+            let mut ok = true;
+            if let Some(l) = lo {
+                match d.total_cmp(l) {
+                    Ordering::Less => ok = false,
+                    Ordering::Equal if !lo_inc => ok = false,
+                    _ => {}
+                }
+            }
+            if let Some(h) = hi {
+                match d.total_cmp(h) {
+                    Ordering::Greater => ok = false,
+                    Ordering::Equal if !hi_inc => ok = false,
+                    _ => {}
+                }
+            }
+            if ok {
+                out.push(i as u32);
+            }
+        }
+        out
+    }
+
+    fn store_select(
+        store: &ColumnStore,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+    ) -> Vec<u32> {
+        let mut out = Vec::new();
+        for seg in 0..store.n_segments() {
+            let mut offs = Vec::new();
+            if !store.zone_prunes(seg, lo, lo_inc, hi, hi_inc) {
+                store.select_segment(seg, lo, lo_inc, hi, hi_inc, &mut offs);
+            }
+            out.extend(offs.iter().map(|&o| seg as u32 * SEG_ROWS as u32 + o));
+        }
+        out
+    }
+
+    fn mix(seed: u64) -> u64 {
+        let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn packed_int_roundtrip_and_select() {
+        let mut store = ColumnStore::new("a");
+        let mut vals = Vec::new();
+        for i in 0..(SEG_ROWS as u64 * 2 + 100) {
+            let v = (mix(i) % 1000) as i64 + 500;
+            store.append(i, Datum::Int(v));
+            vals.push((Datum::Int(v), true));
+        }
+        // first two segments sealed as packed-int
+        assert!(store.info().encodings.contains("packed-int"));
+        for (lo, li, hi, hi_i) in [
+            (Some(Datum::Int(700)), true, Some(Datum::Int(900)), true),
+            (Some(Datum::Int(700)), false, None, true),
+            (None, true, Some(Datum::Float(750.5)), true),
+            (Some(Datum::Float(649.5)), true, Some(Datum::Int(651)), false),
+        ] {
+            let got = store_select(&store, lo.as_ref(), li, hi.as_ref(), hi_i);
+            let want = naive_select(&vals, lo.as_ref(), li, hi.as_ref(), hi_i);
+            assert_eq!(got, want, "bounds {lo:?} {li} {hi:?} {hi_i}");
+        }
+        // gather round-trips
+        let offs: Vec<u32> = (0..64).collect();
+        let mut out = Vec::new();
+        store.gather(0, &offs, &mut out);
+        for (o, d) in offs.iter().zip(&out) {
+            assert_eq!(*d, vals[*o as usize].0);
+        }
+    }
+
+    #[test]
+    fn dict_and_rle_roundtrip() {
+        let mut dict_store = ColumnStore::new("c");
+        let mut rle_store = ColumnStore::new("r");
+        let cats = ["alpha", "beta", "gamma", "delta"];
+        let mut dict_vals = Vec::new();
+        for i in 0..(SEG_ROWS as u64 + 10) {
+            let d = Datum::Text(cats[(mix(i) % 19 % 4) as usize].to_string());
+            dict_store.append(i, d.clone());
+            dict_vals.push((d, true));
+            rle_store.append(i, Datum::Int((i / 2048) as i64));
+        }
+        assert!(dict_store.info().encodings.contains("dict"));
+        assert!(rle_store.info().encodings.contains("rle"));
+        let lo = Datum::Text("beta".into());
+        let got = store_select(&dict_store, Some(&lo), true, Some(&lo), true);
+        let want = naive_select(&dict_vals, Some(&lo), true, Some(&lo), true);
+        assert_eq!(got, want);
+        // RLE gather
+        let offs: Vec<u32> = vec![0, 1, 2047, 2048, 4095];
+        let mut out = Vec::new();
+        rle_store.gather(0, &offs, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                Datum::Int(0),
+                Datum::Int(0),
+                Datum::Int(0),
+                Datum::Int(1),
+                Datum::Int(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn zone_maps_prune_disjoint_segments() {
+        let mut store = ColumnStore::new("a");
+        for i in 0..(SEG_ROWS as u64 * 3) {
+            store.append(i, Datum::Int(i as i64));
+        }
+        let lo = Datum::Int(SEG_ROWS as i64 * 2 + 5);
+        let mut pruned = 0;
+        for seg in 0..store.n_segments() {
+            if store.zone_prunes(seg, Some(&lo), true, None, true) {
+                pruned += 1;
+            }
+        }
+        assert_eq!(pruned, 2);
+    }
+
+    #[test]
+    fn dml_maintenance_updates_and_deletes() {
+        let mut store = ColumnStore::new("a");
+        for i in 0..(SEG_ROWS as u64 + 50) {
+            store.append(i, Datum::Int(i as i64 % 100));
+        }
+        // update inside the sealed segment widens its zone map
+        store.set(10, Datum::Int(100_000));
+        let hit = store_select(&store, Some(&Datum::Int(100_000)), true, None, true);
+        assert_eq!(hit, vec![10]);
+        // delete removes the row from kernels
+        store.delete(10);
+        let hit = store_select(&store, Some(&Datum::Int(100_000)), true, None, true);
+        assert!(hit.is_empty());
+        // NULL update: excluded from bounded kernels, present in live_slots
+        store.set(20, Datum::Null);
+        let hit = store_select(&store, Some(&Datum::Int(20)), true, Some(&Datum::Int(20)), true);
+        assert!(!hit.contains(&20));
+        let mut live = Vec::new();
+        store.live_slots(0, &mut live);
+        assert!(live.contains(&20));
+        assert!(!live.contains(&10));
+        // gaps appended as dead slots
+        let mut store2 = ColumnStore::new("g");
+        store2.append(5, Datum::Int(7));
+        let mut live2 = Vec::new();
+        store2.live_slots(0, &mut live2);
+        assert_eq!(live2, vec![5]);
+    }
+
+    #[test]
+    fn mixed_type_segments_stay_plain_and_correct() {
+        let mut store = ColumnStore::new("m");
+        let mut vals = Vec::new();
+        for i in 0..(SEG_ROWS as u64 + 7) {
+            let d = match mix(i) % 4 {
+                0 => Datum::Int(i as i64),
+                1 => Datum::Float(i as f64 / 3.0),
+                2 => Datum::Text(format!("s{}", mix(i) % 50)),
+                _ => Datum::Null,
+            };
+            store.append(i, d.clone());
+            vals.push((d, true));
+        }
+        let lo = Datum::Int(1000);
+        let hi = Datum::Text("s3".into());
+        let got = store_select(&store, Some(&lo), true, Some(&hi), false);
+        let want = naive_select(&vals, Some(&lo), true, Some(&hi), false);
+        assert_eq!(got, want);
+    }
+}

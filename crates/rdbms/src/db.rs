@@ -6,9 +6,13 @@
 //! honouring the paper's "no changes to the RDBMS code" constraint (§3).
 
 use crate::btree::SecondaryIndex;
+use crate::columnar::{ColumnStore, ColumnarInfo, SEG_ROWS};
 use crate::datum::{ColType, Datum};
 use crate::error::{DbError, DbResult};
-use crate::exec::{ExecLimits, ExecSnapshot, ExecStats, Executor, Row, TableSource};
+use crate::exec::{
+    ColumnarMeta, ExecLimits, ExecSnapshot, ExecStats, Executor, IndexOnlyProbe, Row, SegScan,
+    TableSource,
+};
 use crate::expr::{bind, Scope};
 use crate::func::{FuncRegistry, ScalarFn};
 use crate::heap::{Heap, RowId};
@@ -45,6 +49,10 @@ struct Table {
     heap: Heap,
     /// Secondary indexes over live columns, maintained by every DML path.
     indexes: Vec<SecondaryIndex>,
+    /// Columnar segment stores over promoted columns, maintained by every
+    /// DML path alongside the indexes. The heap stays the source of truth;
+    /// these are derived read-path accelerators.
+    columnar: Vec<ColumnStore>,
 }
 
 /// Observability summary of one secondary index.
@@ -197,6 +205,7 @@ impl Database {
                 schema: TableSchema::new(cols),
                 heap: Heap::new(self.pager.clone()),
                 indexes: Vec::new(),
+                columnar: Vec::new(),
             })),
         );
         Ok(())
@@ -228,6 +237,7 @@ impl Database {
         let mut t = t.write();
         t.schema.drop_column(name)?;
         t.indexes.retain(|ix| ix.column() != name);
+        t.columnar.retain(|cs| cs.column() != name);
         Ok(())
     }
 
@@ -281,6 +291,54 @@ impl Database {
         Ok(())
     }
 
+    // ---- columnar segment stores ----
+
+    /// Build a columnar segment store over one live column by a single
+    /// heap scan — the materializer calls this right after promoting the
+    /// column, and every DML path maintains the store incrementally from
+    /// then on. Idempotent: rebuilding an existing store is a no-op.
+    pub fn build_columnar(&self, table: &str, column: &str) -> DbResult<()> {
+        let t = self.table(table)?;
+        let mut t = t.write();
+        if t.columnar.iter().any(|cs| cs.column() == column) {
+            return Ok(());
+        }
+        let slot = t
+            .schema
+            .live_columns()
+            .find(|(_, c)| c.name == column)
+            .map(|(i, _)| i)
+            .ok_or_else(|| DbError::NotFound(format!("column {column} in {table}")))?;
+        let mut wanted = vec![false; t.schema.arity()];
+        wanted[slot] = true;
+        let mut store = ColumnStore::new(column);
+        t.heap.scan(|rowid, bytes| {
+            let mut full = tuple::decode_tuple_partial(&t.schema, &bytes, &wanted)?;
+            store.append(rowid, std::mem::replace(&mut full[slot], Datum::Null));
+            Ok(true)
+        })?;
+        t.columnar.push(store);
+        Ok(())
+    }
+
+    /// Drop the columnar store over one column (the demotion path);
+    /// returns whether one existed.
+    pub fn drop_columnar(&self, table: &str, column: &str) -> DbResult<bool> {
+        let t = self.table(table)?;
+        let mut t = t.write();
+        let before = t.columnar.len();
+        t.columnar.retain(|cs| cs.column() != column);
+        Ok(t.columnar.len() != before)
+    }
+
+    /// Per-column-store observability: segment count, encoded vs raw
+    /// bytes, encoding mix (for storage_report).
+    pub fn columnar_infos(&self, table: &str) -> DbResult<Vec<ColumnarInfo>> {
+        let t = self.table(table)?;
+        let t = t.read();
+        Ok(t.columnar.iter().map(|cs| cs.info()).collect())
+    }
+
     /// `DROP INDEX` (scoped to one table).
     pub fn drop_index(&self, table: &str, name: &str) -> DbResult<()> {
         let t = self.table(table)?;
@@ -303,7 +361,7 @@ impl Database {
                 name: ix.name().to_string(),
                 column: ix.column().to_string(),
                 key_count: ix.key_count(),
-                pages: ix.pages_used() as u64,
+                pages: ix.pages_used(),
                 bytes: ix.bytes_used(),
             })
             .collect())
@@ -361,6 +419,7 @@ impl Database {
             let bytes = tuple::encode_tuple(&t.schema, &full)?;
             let rowid = t.heap.insert(&bytes)?;
             index_insert(&mut t, rowid, &full, &self.exec_stats)?;
+            columnar_append(&mut t, rowid, &full);
             count += 1;
         }
         Ok(count)
@@ -403,6 +462,7 @@ impl Database {
             let bytes = tuple::encode_tuple(&t.schema, &full)?;
             let rowid = t.heap.insert(&bytes)?;
             index_insert(&mut t, rowid, &full, &self.exec_stats)?;
+            columnar_append(&mut t, rowid, &full);
             count += 1;
         }
         Ok(count)
@@ -466,6 +526,25 @@ impl Database {
             self.exec_stats
                 .index_maintenance_ops
                 .fetch_add(ops, std::sync::atomic::Ordering::Relaxed);
+        }
+        // Columnar upkeep: only stores whose column was assigned re-encode.
+        if !t.columnar.is_empty() {
+            let assigned: Vec<&str> = assignments.iter().map(|(n, _)| *n).collect();
+            let slots: Vec<Option<usize>> = t
+                .columnar
+                .iter()
+                .map(|cs| {
+                    assigned
+                        .iter()
+                        .any(|a| *a == cs.column())
+                        .then(|| t.schema.index_of(cs.column()))
+                        .flatten()
+                })
+                .collect();
+            for (cs, slot) in t.columnar.iter_mut().zip(slots) {
+                let Some(slot) = slot else { continue };
+                cs.set(rowid, full[slot].clone());
+            }
         }
         Ok(())
     }
@@ -693,6 +772,9 @@ impl Database {
             let rowid = rowid as RowId;
             if t.heap.delete(rowid)? {
                 n += 1;
+                for cs in &mut t.columnar {
+                    cs.delete(rowid);
+                }
                 for (k, pos) in live_pos.iter().enumerate() {
                     let Some(pos) = pos else { continue };
                     let key = &row[*pos];
@@ -739,6 +821,19 @@ fn index_insert(t: &mut Table, rowid: RowId, full: &[Datum], stats: &ExecStats) 
     Ok(())
 }
 
+/// Mirror a freshly inserted row into every columnar store on the table.
+fn columnar_append(t: &mut Table, rowid: RowId, full: &[Datum]) {
+    if t.columnar.is_empty() {
+        return;
+    }
+    let slots: Vec<Option<usize>> =
+        t.columnar.iter().map(|cs| t.schema.index_of(cs.column())).collect();
+    for (cs, slot) in t.columnar.iter_mut().zip(slots) {
+        let value = slot.map(|i| full[i].clone()).unwrap_or(Datum::Null);
+        cs.append(rowid, value);
+    }
+}
+
 /// Coerce a datum for storage into a column of the given type; only safe,
 /// lossless-ish coercions are applied implicitly (ints into float columns);
 /// everything else must match or be NULL.
@@ -775,6 +870,12 @@ impl CatalogView for Database {
         let Ok(t) = self.table(name) else { return Vec::new() };
         let t = t.read();
         t.indexes.iter().map(|ix| ix.column().to_string()).collect()
+    }
+
+    fn columnar_columns(&self, name: &str) -> Vec<String> {
+        let Ok(t) = self.table(name) else { return Vec::new() };
+        let t = t.read();
+        t.columnar.iter().map(|cs| cs.column().to_string()).collect()
     }
 }
 
@@ -816,7 +917,9 @@ impl TableSource for Database {
                 w
             }
         };
-        t.heap.scan_range(start, end, |rowid, bytes| {
+        let mut fetched = 0u64;
+        let res = t.heap.scan_range(start, end, |rowid, bytes| {
+            fetched += 1;
             let mut full = tuple::decode_tuple_partial(&t.schema, &bytes, &wanted)?;
             let mut row: Row = Vec::with_capacity(live.len() + 1);
             for &i in &live {
@@ -824,7 +927,13 @@ impl TableSource for Database {
             }
             row.push(Datum::Int(rowid as i64));
             f(row)
-        })
+        });
+        if fetched > 0 {
+            self.exec_stats
+                .heap_fetches
+                .fetch_add(fetched, std::sync::atomic::Ordering::Relaxed);
+        }
+        res
     }
 
     fn index_lookup(
@@ -867,8 +976,10 @@ impl TableSource for Database {
                 w
             }
         };
+        let mut fetched = 0u64;
         for &rowid in rowids {
             let Some(bytes) = t.heap.get(rowid)? else { continue };
+            fetched += 1;
             let mut full = tuple::decode_tuple_partial(&t.schema, &bytes, &wanted)?;
             let mut row: Row = Vec::with_capacity(live.len() + 1);
             for &i in &live {
@@ -879,6 +990,157 @@ impl TableSource for Database {
                 break;
             }
         }
+        if fetched > 0 {
+            self.exec_stats
+                .heap_fetches
+                .fetch_add(fetched, std::sync::atomic::Ordering::Relaxed);
+        }
         Ok(())
+    }
+
+    fn columnar_meta(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        bound_column: Option<&str>,
+    ) -> DbResult<Option<ColumnarMeta>> {
+        let t = self.table(table)?;
+        let t = t.read();
+        if t.columnar.is_empty() {
+            return Ok(None);
+        }
+        // Wildcard scans can't be reconstructed from column stores.
+        let Some(names) = needed else { return Ok(None) };
+        for n in names {
+            if n != "_rowid" && !t.columnar.iter().any(|cs| cs.column() == n) {
+                return Ok(None);
+            }
+        }
+        if let Some(bc) = bound_column {
+            if !t.columnar.iter().any(|cs| cs.column() == bc) {
+                return Ok(None);
+            }
+        }
+        // Stores advance in lockstep with the heap, so any one's segment
+        // count covers every live rowid.
+        let n_segments =
+            t.columnar.iter().map(|cs| cs.n_segments()).max().unwrap_or(0) as usize;
+        Ok(Some(ColumnarMeta { n_segments, seg_rows: SEG_ROWS }))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn columnar_scan_segment(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        bound_column: Option<&str>,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+        segment: usize,
+    ) -> DbResult<Option<SegScan>> {
+        let t = self.table(table)?;
+        let t = t.read();
+        let Some(names) = needed else { return Ok(None) };
+        let seg = segment as u64;
+        // Per live column, the store to gather from (needed columns only).
+        let live: Vec<&str> = t.schema.live_columns().map(|(_, c)| c.name.as_str()).collect();
+        let mut stores: Vec<Option<&ColumnStore>> = Vec::with_capacity(live.len());
+        for cname in &live {
+            if names.iter().any(|n| n == cname) {
+                match t.columnar.iter().find(|cs| cs.column() == *cname) {
+                    Some(cs) => stores.push(Some(cs)),
+                    None => return Ok(None),
+                }
+            } else {
+                stores.push(None);
+            }
+        }
+        let bound_store = match bound_column {
+            Some(bc) => match t.columnar.iter().find(|cs| cs.column() == bc) {
+                Some(cs) => Some(cs),
+                None => return Ok(None),
+            },
+            None => None,
+        };
+        // Liveness authority: every store carries the same live bitmap.
+        let Some(any_store) = bound_store.or_else(|| t.columnar.first()) else {
+            return Ok(None);
+        };
+        let mut scan = SegScan::default();
+        if seg >= any_store.n_segments() {
+            return Ok(Some(scan));
+        }
+        let bounded = lo.is_some() || hi.is_some();
+        if let (Some(bs), true) = (bound_store, bounded) {
+            if bs.zone_prunes(seg, lo, lo_inc, hi, hi_inc) {
+                scan.pruned = true;
+                return Ok(Some(scan));
+            }
+        }
+        let mut offsets: Vec<u32> = Vec::new();
+        match (bound_store, bounded) {
+            (Some(bs), true) => {
+                scan.decoded += bs.select_segment(seg, lo, lo_inc, hi, hi_inc, &mut offsets);
+            }
+            _ => any_store.live_slots(seg, &mut offsets),
+        }
+        if offsets.is_empty() {
+            return Ok(Some(scan));
+        }
+        let n_live = live.len();
+        let base = segment * SEG_ROWS;
+        let mut rows: Vec<Row> = offsets
+            .iter()
+            .map(|&o| {
+                let mut r: Row = vec![Datum::Null; n_live + 1];
+                r[n_live] = Datum::Int((base + o as usize) as i64);
+                r
+            })
+            .collect();
+        let mut colbuf: Vec<Datum> = Vec::new();
+        for (li, st) in stores.iter().enumerate() {
+            let Some(st) = st else { continue };
+            colbuf.clear();
+            st.gather(seg, &offsets, &mut colbuf);
+            scan.decoded += offsets.len() as u64;
+            for (r, v) in rows.iter_mut().zip(colbuf.drain(..)) {
+                r[li] = v;
+            }
+        }
+        scan.rows = rows;
+        Ok(Some(scan))
+    }
+
+    fn index_only_probe(
+        &self,
+        table: &str,
+        column: &str,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+        cap: Option<u64>,
+    ) -> DbResult<Option<IndexOnlyProbe>> {
+        // An unbounded probe would miss NULL-key rows (never indexed);
+        // the planner only emits bounded probes, but stay defensive.
+        if lo.is_none() && hi.is_none() {
+            return Ok(None);
+        }
+        let t = self.table(table)?;
+        let t = t.read();
+        let Some(ix) = t.indexes.iter().find(|ix| ix.column() == column) else {
+            return Ok(None);
+        };
+        let mut entries =
+            ix.lookup_range_entries(lo, lo_inc, hi, hi_inc, cap.map(|c| c as usize))?;
+        // Heap scans emit in ascending rowid order; match it.
+        entries.sort_unstable_by_key(|(_, r)| *r);
+        let live: Vec<&str> = t.schema.live_columns().map(|(_, c)| c.name.as_str()).collect();
+        let Some(key_slot) = live.iter().position(|n| *n == column) else {
+            return Ok(None);
+        };
+        Ok(Some(IndexOnlyProbe { entries, n_live_cols: live.len(), key_slot }))
     }
 }

@@ -82,6 +82,7 @@ pub trait TableSource: Sync {
     /// probe would have surfaced first. Callers may only pass `Some` when
     /// every matching row is known to survive the residual filter
     /// (`Plan::IndexScan::exact_bounds`).
+    #[allow(clippy::too_many_arguments)]
     fn index_lookup(
         &self,
         table: &str,
@@ -110,6 +111,97 @@ pub trait TableSource: Sync {
         let _ = (table, needed, rowids, f);
         Err(DbError::Eval("source does not support rowid fetch".into()))
     }
+
+    /// Whether `table` can answer a scan entirely from column-store
+    /// segments: every column in `needed` (ignoring `_rowid`) has segments,
+    /// and `bound_column`, when given, does too. `None` (the default, and
+    /// the answer whenever coverage is incomplete) sends the executor back
+    /// to the heap — covering sources without segments and the window where
+    /// stores were dropped (demotion) between planning and execution.
+    fn columnar_meta(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        bound_column: Option<&str>,
+    ) -> DbResult<Option<ColumnarMeta>> {
+        let _ = (table, needed, bound_column);
+        Ok(None)
+    }
+
+    /// Scan one segment of `table`'s column stores: rows shaped exactly like
+    /// [`TableSource::scan_table`] rows (live columns..., rowid), in rowid
+    /// order, restricted to live slots whose `bound_column` value falls in
+    /// the given bounds (a `total_cmp` superset of SQL-comparison matches,
+    /// like [`TableSource::index_lookup`]). Sources returning `Some` from
+    /// [`TableSource::columnar_meta`] must override this.
+    #[allow(clippy::too_many_arguments)]
+    fn columnar_scan_segment(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        bound_column: Option<&str>,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+        segment: usize,
+    ) -> DbResult<Option<SegScan>> {
+        let _ = (table, needed, bound_column, lo, lo_inc, hi, hi_inc, segment);
+        Ok(None)
+    }
+
+    /// Probe a secondary index on `table`.`column` and return the matching
+    /// (key, rowid) entries themselves — a covering probe that needs no
+    /// heap fetch. Entries are sorted by rowid (heap scan order). `cap`
+    /// has [`TableSource::index_lookup`] semantics: only legal under
+    /// `exact_bounds`, keeps the entries of the `cap` smallest rowids.
+    #[allow(clippy::too_many_arguments)]
+    fn index_only_probe(
+        &self,
+        table: &str,
+        column: &str,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+        cap: Option<u64>,
+    ) -> DbResult<Option<IndexOnlyProbe>> {
+        let _ = (table, column, lo, lo_inc, hi, hi_inc, cap);
+        Ok(None)
+    }
+}
+
+/// Answer from [`TableSource::columnar_meta`]: how the executor should cut
+/// a columnar scan into segment-sized morsels.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnarMeta {
+    /// Number of segments covering the table's rowid space.
+    pub n_segments: usize,
+    /// Slots per segment (`columnar::SEG_ROWS` for the heap database).
+    pub seg_rows: usize,
+}
+
+/// One segment's worth of columnar scan output.
+#[derive(Debug, Default)]
+pub struct SegScan {
+    /// Candidate rows in rowid order, heap-scan shaped.
+    pub rows: Vec<Row>,
+    /// Values the segment kernels actually decoded (selection-vector
+    /// cardinality × gathered columns) — the vectorization metric.
+    pub decoded: u64,
+    /// True when the bound column's zone map excluded the whole segment.
+    pub pruned: bool,
+}
+
+/// Answer from [`TableSource::index_only_probe`].
+#[derive(Debug)]
+pub struct IndexOnlyProbe {
+    /// Matching (key, rowid) pairs, sorted by rowid.
+    pub entries: Vec<(Datum, u64)>,
+    /// Width of the table's live-column prefix in scan-row shape.
+    pub n_live_cols: usize,
+    /// Scan-row slot of the indexed column.
+    pub key_slot: usize,
 }
 
 /// Which execution engine `Executor::run` drives.
@@ -196,6 +288,18 @@ pub struct ExecStats {
     rows_per_morsel: [AtomicU64; EXEC_HIST_BUCKETS],
     rows_per_morsel_count: AtomicU64,
     rows_per_morsel_sum: AtomicU64,
+    /// Columnar segment-scan executions taken instead of a heap scan.
+    pub columnar_scans: AtomicU64,
+    /// Segments skipped outright because their zone map excluded the bounds.
+    pub segments_pruned: AtomicU64,
+    /// Covering index-only scan executions (zero heap page reads).
+    pub index_only_scans: AtomicU64,
+    /// Rows materialized from heap pages (scans + rowid fetches) — the
+    /// quantity a covering scan avoids; benches assert it stays flat.
+    pub heap_fetches: AtomicU64,
+    decoded_per_block: [AtomicU64; EXEC_HIST_BUCKETS],
+    decoded_per_block_count: AtomicU64,
+    decoded_per_block_sum: AtomicU64,
     /// Blocks delivered to the streaming engine's root accumulator.
     pub blocks_emitted: AtomicU64,
     /// Streams terminated before the child was exhausted (LIMIT satisfied).
@@ -232,6 +336,14 @@ impl ExecStats {
         self.peak_resident_rows.fetch_max(rows, Ordering::Relaxed);
     }
 
+    /// Record one columnar block/segment that decoded `values` values.
+    pub fn record_decoded(&self, values: u64) {
+        let b = (64 - values.leading_zeros()).min(16) as usize;
+        self.decoded_per_block[b].fetch_add(1, Ordering::Relaxed);
+        self.decoded_per_block_count.fetch_add(1, Ordering::Relaxed);
+        self.decoded_per_block_sum.fetch_add(values, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> ExecSnapshot {
         let mut buckets = [0u64; EXEC_HIST_BUCKETS];
         for (out, b) in buckets.iter_mut().zip(&self.rows_per_morsel) {
@@ -239,6 +351,10 @@ impl ExecStats {
         }
         let mut block_buckets = [0u64; EXEC_HIST_BUCKETS];
         for (out, b) in block_buckets.iter_mut().zip(&self.rows_per_block) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        let mut decoded_buckets = [0u64; EXEC_HIST_BUCKETS];
+        for (out, b) in decoded_buckets.iter_mut().zip(&self.decoded_per_block) {
             *out = b.load(Ordering::Relaxed);
         }
         ExecSnapshot {
@@ -252,6 +368,13 @@ impl ExecStats {
             rows_per_morsel: buckets,
             rows_per_morsel_count: self.rows_per_morsel_count.load(Ordering::Relaxed),
             rows_per_morsel_sum: self.rows_per_morsel_sum.load(Ordering::Relaxed),
+            columnar_scans: self.columnar_scans.load(Ordering::Relaxed),
+            segments_pruned: self.segments_pruned.load(Ordering::Relaxed),
+            index_only_scans: self.index_only_scans.load(Ordering::Relaxed),
+            heap_fetches: self.heap_fetches.load(Ordering::Relaxed),
+            decoded_per_block: decoded_buckets,
+            decoded_per_block_count: self.decoded_per_block_count.load(Ordering::Relaxed),
+            decoded_per_block_sum: self.decoded_per_block_sum.load(Ordering::Relaxed),
             blocks_emitted: self.blocks_emitted.load(Ordering::Relaxed),
             early_stops: self.early_stops.load(Ordering::Relaxed),
             peak_resident_rows: self.peak_resident_rows.load(Ordering::Relaxed),
@@ -274,6 +397,13 @@ pub struct ExecSnapshot {
     pub rows_per_morsel: [u64; EXEC_HIST_BUCKETS],
     pub rows_per_morsel_count: u64,
     pub rows_per_morsel_sum: u64,
+    pub columnar_scans: u64,
+    pub segments_pruned: u64,
+    pub index_only_scans: u64,
+    pub heap_fetches: u64,
+    pub decoded_per_block: [u64; EXEC_HIST_BUCKETS],
+    pub decoded_per_block_count: u64,
+    pub decoded_per_block_sum: u64,
     pub blocks_emitted: u64,
     pub early_stops: u64,
     pub peak_resident_rows: u64,
@@ -409,6 +539,132 @@ impl<'a> Executor<'a> {
                     }
                     Ok(true)
                 })?;
+                Ok(out)
+            }
+            Plan::ColumnarScan {
+                table,
+                binding,
+                column,
+                lo,
+                lo_inc,
+                hi,
+                hi_inc,
+                filter,
+                needed,
+                est_rows,
+                exact_bounds,
+            } => {
+                let meta =
+                    self.source.columnar_meta(table, needed.as_deref(), column.as_deref())?;
+                let Some(meta) = meta else {
+                    // Segments vanished (demotion) or never existed here:
+                    // degrade to the equivalent sequential scan.
+                    let fallback = Plan::SeqScan {
+                        table: table.clone(),
+                        binding: binding.clone(),
+                        filter: filter.clone(),
+                        needed: needed.clone(),
+                        est_rows: *est_rows,
+                    };
+                    return self.run_materialize(&fallback);
+                };
+                if let Some(st) = self.stats {
+                    st.columnar_scans.fetch_add(1, Ordering::Relaxed);
+                }
+                let mut out = Vec::new();
+                let mut ctx = EvalCtx::new();
+                for seg in 0..meta.n_segments {
+                    let scan = self
+                        .source
+                        .columnar_scan_segment(
+                            table,
+                            needed.as_deref(),
+                            column.as_deref(),
+                            lo.as_ref(),
+                            *lo_inc,
+                            hi.as_ref(),
+                            *hi_inc,
+                            seg,
+                        )?
+                        .ok_or_else(|| {
+                            DbError::Eval("column store vanished mid-scan".into())
+                        })?;
+                    if let Some(st) = self.stats {
+                        if scan.pruned {
+                            st.segments_pruned.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            st.record_decoded(scan.decoded);
+                        }
+                    }
+                    for row in scan.rows {
+                        let keep = match filter {
+                            Some(f) if !*exact_bounds => {
+                                ctx.reset();
+                                f.eval_bool_ctx(&row, &mut ctx)?
+                            }
+                            _ => true,
+                        };
+                        if keep {
+                            out.push(row);
+                            self.check_limit(out.len())?;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Plan::IndexOnlyScan {
+                table,
+                binding,
+                column,
+                lo,
+                lo_inc,
+                hi,
+                hi_inc,
+                filter,
+                needed,
+                est_rows,
+                exact_bounds,
+            } => {
+                let probe = self.source.index_only_probe(
+                    table,
+                    column,
+                    lo.as_ref(),
+                    *lo_inc,
+                    hi.as_ref(),
+                    *hi_inc,
+                    None, // the materializing engine never pushes LIMIT down
+                )?;
+                let Some(probe) = probe else {
+                    let fallback = Plan::SeqScan {
+                        table: table.clone(),
+                        binding: binding.clone(),
+                        filter: filter.clone(),
+                        needed: needed.clone(),
+                        est_rows: *est_rows,
+                    };
+                    return self.run_materialize(&fallback);
+                };
+                if let Some(st) = self.stats {
+                    st.index_only_scans.fetch_add(1, Ordering::Relaxed);
+                }
+                let mut out = Vec::new();
+                let mut ctx = EvalCtx::new();
+                for (key, rowid) in probe.entries {
+                    let mut row: Row = vec![Datum::Null; probe.n_live_cols + 1];
+                    row[probe.key_slot] = key;
+                    row[probe.n_live_cols] = Datum::Int(rowid as i64);
+                    let keep = match filter {
+                        Some(f) if !*exact_bounds => {
+                            ctx.reset();
+                            f.eval_bool_ctx(&row, &mut ctx)?
+                        }
+                        _ => true,
+                    };
+                    if keep {
+                        out.push(row);
+                        self.check_limit(out.len())?;
+                    }
+                }
                 Ok(out)
             }
             Plan::Filter { input, predicate, .. } => {
@@ -577,7 +833,10 @@ impl<'a> Executor<'a> {
         let max_rows = self.limits.max_intermediate_rows;
         let stats = self.stats;
 
-        let worker = |_wid: usize| -> Result<Vec<(u64, Vec<Row>)>, (u64, DbError)> {
+        // One worker's output: (morsel index, rows) chunks, or the failing
+        // morsel's index paired with its error (lowest-morsel-wins).
+        type WorkerResult = Result<Vec<(u64, Vec<Row>)>, (u64, DbError)>;
+        let worker = |_wid: usize| -> WorkerResult {
             let mut ctx = EvalCtx::new();
             let mut chunks: Vec<(u64, Vec<Row>)> = Vec::new();
             loop {

@@ -32,6 +32,7 @@
 pub mod agg;
 pub mod block;
 pub mod btree;
+pub mod columnar;
 pub mod datum;
 pub mod db;
 pub mod error;
@@ -49,6 +50,7 @@ pub mod stats;
 pub mod tuple;
 
 pub use btree::SecondaryIndex;
+pub use columnar::{ColumnStore, ColumnarInfo};
 pub use datum::{ColType, Datum};
 pub use db::{Database, QueryResult};
 pub use error::{DbError, DbResult};

@@ -68,6 +68,43 @@ pub enum Plan {
         /// changing results.
         exact_bounds: bool,
     },
+    /// Columnar segment scan over a table whose referenced columns all have
+    /// column-store segments. Emits the same row shape as `SeqScan`
+    /// (non-`needed` columns as Null, trailing `_rowid`), in rowid order,
+    /// so results are byte-identical. `column` names the segment store whose
+    /// vectorized kernel pre-filters by `lo`/`hi` (`total_cmp` superset
+    /// bounds, like `IndexScan`); `None` means no sargable bound and the
+    /// scan only skips dead slots. `filter` is the FULL predicate,
+    /// re-applied per block unless `exact_bounds`.
+    ColumnarScan {
+        table: String,
+        binding: String,
+        column: Option<String>,
+        lo: Option<Datum>,
+        lo_inc: bool,
+        hi: Option<Datum>,
+        hi_inc: bool,
+        filter: Option<PhysExpr>,
+        needed: Option<Vec<String>>,
+        est_rows: f64,
+        exact_bounds: bool,
+    },
+    /// Covering index-only scan: the query touches only the indexed column
+    /// (plus `_rowid`), so the B-tree probe alone answers it with zero heap
+    /// page reads. Same bound/filter semantics as `IndexScan`.
+    IndexOnlyScan {
+        table: String,
+        binding: String,
+        column: String,
+        lo: Option<Datum>,
+        lo_inc: bool,
+        hi: Option<Datum>,
+        hi_inc: bool,
+        filter: Option<PhysExpr>,
+        needed: Option<Vec<String>>,
+        est_rows: f64,
+        exact_bounds: bool,
+    },
     Filter {
         input: Box<Plan>,
         predicate: PhysExpr,
@@ -151,6 +188,8 @@ impl Plan {
         match self {
             Plan::SeqScan { est_rows, .. }
             | Plan::IndexScan { est_rows, .. }
+            | Plan::ColumnarScan { est_rows, .. }
+            | Plan::IndexOnlyScan { est_rows, .. }
             | Plan::Filter { est_rows, .. }
             | Plan::Project { est_rows, .. }
             | Plan::HashJoin { est_rows, .. }
@@ -171,6 +210,8 @@ impl Plan {
         match self {
             Plan::SeqScan { .. } => "Seq Scan",
             Plan::IndexScan { .. } => "Index Scan",
+            Plan::ColumnarScan { .. } => "Columnar Scan",
+            Plan::IndexOnlyScan { .. } => "Index Only Scan",
             Plan::Filter { .. } => "Filter",
             Plan::Project { .. } => "Project",
             Plan::HashJoin { .. } => "Hash Join",
@@ -221,6 +262,38 @@ impl Plan {
                     }
                     let _ = write!(cond, "{column} {} {h:?}", if *hi_inc { "<=" } else { "<" });
                 }
+                if !cond.is_empty() {
+                    let _ = writeln!(out, "{pad}      Index Cond: {cond}");
+                }
+                if let Some(f) = filter {
+                    let _ = writeln!(out, "{pad}      Filter: {f:?}");
+                }
+            }
+            Plan::ColumnarScan { table, binding, column, lo, lo_inc, hi, hi_inc, filter, est_rows, .. } => {
+                let alias = if binding != table { format!(" {binding}") } else { String::new() };
+                let _ = writeln!(
+                    out,
+                    "{pad}{arrow}Columnar Scan on {table}{alias}  (rows={})",
+                    fmt_rows(*est_rows)
+                );
+                if let Some(c) = column {
+                    let cond = range_cond(c, lo, *lo_inc, hi, *hi_inc);
+                    if !cond.is_empty() {
+                        let _ = writeln!(out, "{pad}      Segment Cond: {cond}");
+                    }
+                }
+                if let Some(f) = filter {
+                    let _ = writeln!(out, "{pad}      Filter: {f:?}");
+                }
+            }
+            Plan::IndexOnlyScan { table, binding, column, lo, lo_inc, hi, hi_inc, filter, est_rows, .. } => {
+                let alias = if binding != table { format!(" {binding}") } else { String::new() };
+                let _ = writeln!(
+                    out,
+                    "{pad}{arrow}Index Only Scan using {table}_{column} on {table}{alias}  (rows={})",
+                    fmt_rows(*est_rows)
+                );
+                let cond = range_cond(column, lo, *lo_inc, hi, *hi_inc);
                 if !cond.is_empty() {
                     let _ = writeln!(out, "{pad}      Index Cond: {cond}");
                 }
@@ -333,11 +406,35 @@ impl Plan {
             | Plan::Unique { input, .. }
             | Plan::HashDistinct { input, .. }
             | Plan::Limit { input, .. } => input.collect_joins(out),
-            Plan::SeqScan { .. } | Plan::IndexScan { .. } | Plan::Values { .. } => {}
+            Plan::SeqScan { .. }
+            | Plan::IndexScan { .. }
+            | Plan::ColumnarScan { .. }
+            | Plan::IndexOnlyScan { .. }
+            | Plan::Values { .. } => {}
         }
     }
 }
 
 fn fmt_rows(r: f64) -> String {
     format!("{}", r.round().max(1.0) as u64)
+}
+
+fn range_cond(
+    column: &str,
+    lo: &Option<Datum>,
+    lo_inc: bool,
+    hi: &Option<Datum>,
+    hi_inc: bool,
+) -> String {
+    let mut cond = String::new();
+    if let Some(l) = lo {
+        let _ = write!(cond, "{column} {} {l:?}", if lo_inc { ">=" } else { ">" });
+    }
+    if let Some(h) = hi {
+        if !cond.is_empty() {
+            cond.push_str(" AND ");
+        }
+        let _ = write!(cond, "{column} {} {h:?}", if hi_inc { "<=" } else { "<" });
+    }
+    cond
 }

@@ -56,6 +56,12 @@ pub trait CatalogView {
         let _ = name;
         Vec::new()
     }
+    /// Live columns of `name` backed by a columnar segment store,
+    /// candidates for the columnar access path. Default: none.
+    fn columnar_columns(&self, name: &str) -> Vec<String> {
+        let _ = name;
+        Vec::new()
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -461,67 +467,170 @@ impl<'a> Planner<'a> {
             needed: needed_vec.clone(),
             est_rows: rows,
         };
-        if !bound.is_empty() && !force_scan() {
-            let indexed = self.catalog.indexed_columns(table);
-            if !indexed.is_empty() {
-                let mut per_col: HashMap<usize, (IdxBound, Vec<PhysExpr>)> = HashMap::new();
-                for f in &bound {
-                    let Some((slot, lo, lo_inc, hi, hi_inc)) = sargable(f) else { continue };
-                    let Some(Some(name)) = col_names.get(slot) else { continue };
-                    if !indexed.iter().any(|c| c == name) {
+        // Sargable bounds per stored column, shared by the index-scan,
+        // index-only, and columnar access paths below.
+        let mut per_col: HashMap<usize, (IdxBound, Vec<PhysExpr>)> = HashMap::new();
+        if !force_scan() {
+            for f in &bound {
+                let Some((slot, lo, lo_inc, hi, hi_inc)) = sargable(f) else { continue };
+                if !matches!(col_names.get(slot), Some(Some(_))) {
+                    continue;
+                }
+                let e = per_col.entry(slot).or_default();
+                e.0.tighten(lo, lo_inc, hi, hi_inc);
+                e.1.push(f.clone());
+            }
+        }
+        // each column's match fraction is the joint selectivity of its own
+        // sargable conjuncts (range pairs included)
+        let col_bounds: Vec<(usize, IdxBound, f64, usize)> = per_col
+            .into_iter()
+            .map(|(slot, (b, clauses))| {
+                let n_clauses = clauses.len();
+                let s =
+                    conjoin_phys(clauses).map(|p| sel_ctx.selectivity(&p)).unwrap_or(1.0);
+                (slot, b, s, n_clauses)
+            })
+            .collect();
+        // Exact when a column's sargable clauses are the entire predicate
+        // AND both bounds land in one type class: then the total_cmp key
+        // range equals the SQL match set and the residual filter can
+        // reject nothing, so a LIMIT may cap the probe.
+        let exact_for = |b: &IdxBound, n_clauses: usize| {
+            n_clauses == bound.len()
+                && match (exactness_class(b.lo.as_ref()), exactness_class(b.hi.as_ref())) {
+                    (Some(a), Some(c)) => a == c,
+                    _ => false,
+                }
+        };
+        let best_for = |eligible: &dyn Fn(&str) -> bool| {
+            col_bounds
+                .iter()
+                .filter(|(slot, ..)| matches!(&col_names[*slot], Some(n) if eligible(n)))
+                .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+        };
+
+        let indexed =
+            if force_scan() { Vec::new() } else { self.catalog.indexed_columns(table) };
+        if let Some((slot, b, bound_sel, n_clauses)) =
+            best_for(&|n| indexed.iter().any(|c| c == n))
+        {
+            let matched = (meta.n_rows * bound_sel).max(1.0);
+            let index_cost = meta.n_rows.max(2.0).log2() * CPU_OPERATOR_COST
+                + matched.min(meta.n_pages.max(1.0)) * RANDOM_PAGE_COST
+                + matched * CPU_TUPLE_COST
+                + matched * bound.len() as f64 * CPU_OPERATOR_COST;
+            if index_cost < plan_cost {
+                let column = col_names[*slot].clone().unwrap();
+                plan = Plan::IndexScan {
+                    table: table.to_string(),
+                    binding: binding.to_string(),
+                    column,
+                    lo: b.lo.clone(),
+                    lo_inc: b.lo_inc,
+                    hi: b.hi.clone(),
+                    hi_inc: b.hi_inc,
+                    filter: filter.clone(),
+                    needed: needed_vec.clone(),
+                    est_rows: rows,
+                    exact_bounds: exact_for(b, *n_clauses),
+                };
+                plan_cost = index_cost;
+            }
+        }
+
+        let columnar_on = !force_scan() && columnar_enabled();
+
+        // ---- covering index-only scan: the B-tree's (key, rowid) entries
+        // answer the query without any heap page fetch. Requires a sargable
+        // bound on the key: index entries omit NULL keys, and the bound
+        // rejects those same rows on the heap path, keeping both paths
+        // row-identical.
+        if columnar_on {
+            if let Some(nv) = &needed_vec {
+                for (slot, b, bound_sel, n_clauses) in &col_bounds {
+                    let Some(Some(name)) = col_names.get(*slot) else { continue };
+                    if !indexed.iter().any(|c| c == name)
+                        || !nv.iter().all(|n| n == name || n == "_rowid")
+                        || (b.lo.is_none() && b.hi.is_none())
+                    {
                         continue;
                     }
-                    let e = per_col.entry(slot).or_default();
-                    e.0.tighten(lo, lo_inc, hi, hi_inc);
-                    e.1.push(f.clone());
-                }
-                // each column's match fraction is the joint selectivity of
-                // its own sargable conjuncts (range pairs included)
-                let best = per_col
-                    .into_iter()
-                    .map(|(slot, (b, clauses))| {
-                        let n_clauses = clauses.len();
-                        let s = conjoin_phys(clauses)
-                            .map(|p| sel_ctx.selectivity(&p))
-                            .unwrap_or(1.0);
-                        (slot, b, s, n_clauses)
-                    })
-                    .min_by(|a, b| {
-                        a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal)
-                    });
-                if let Some((slot, b, bound_sel, n_clauses)) = best {
                     let matched = (meta.n_rows * bound_sel).max(1.0);
-                    let index_cost = meta.n_rows.max(2.0).log2() * CPU_OPERATOR_COST
-                        + matched.min(meta.n_pages.max(1.0)) * RANDOM_PAGE_COST
+                    // no RANDOM_PAGE_COST term: the probe never leaves the
+                    // B-tree
+                    let io_cost = meta.n_rows.max(2.0).log2() * CPU_OPERATOR_COST
                         + matched * CPU_TUPLE_COST
                         + matched * bound.len() as f64 * CPU_OPERATOR_COST;
-                    if index_cost < plan_cost {
-                        let column = col_names[slot].clone().unwrap();
-                        // Exact when this column's sargable clauses are the
-                        // entire predicate AND both bounds land in one type
-                        // class: then the total_cmp key range equals the
-                        // SQL match set and the residual filter can reject
-                        // nothing, so a LIMIT may cap the probe.
-                        let exact_bounds = n_clauses == bound.len()
-                            && match (exactness_class(b.lo.as_ref()), exactness_class(b.hi.as_ref()))
-                            {
-                                (Some(a), Some(c)) => a == c,
-                                _ => false,
-                            };
-                        plan = Plan::IndexScan {
+                    if io_cost < plan_cost {
+                        plan = Plan::IndexOnlyScan {
+                            table: table.to_string(),
+                            binding: binding.to_string(),
+                            column: name.clone(),
+                            lo: b.lo.clone(),
+                            lo_inc: b.lo_inc,
+                            hi: b.hi.clone(),
+                            hi_inc: b.hi_inc,
+                            filter: filter.clone(),
+                            needed: needed_vec.clone(),
+                            est_rows: rows,
+                            exact_bounds: exact_for(b, *n_clauses),
+                        };
+                        plan_cost = io_cost;
+                    }
+                }
+            }
+        }
+
+        // ---- columnar scan: every referenced column has a segment store,
+        // so the scan decodes only those columns (a fraction of the heap's
+        // page footprint) and pushes the best sargable bound into the
+        // vectorized kernels, with zone maps skipping whole segments.
+        if columnar_on {
+            if let Some(nv) = &needed_vec {
+                let stored = self.catalog.columnar_columns(table);
+                if !stored.is_empty()
+                    && nv.iter().all(|n| n == "_rowid" || stored.iter().any(|c| c == n))
+                {
+                    let n_live = meta.schema.live_columns().count().max(1) as f64;
+                    let frac = (nv.len() as f64 / n_live).clamp(1.0 / n_live, 1.0);
+                    let best = best_for(&|n| stored.iter().any(|c| c == n));
+                    // zone-map pruning discounts the page term by the bound
+                    // selectivity, floored so a scan never looks free
+                    let prune = best.map(|(_, _, s, _)| s.max(0.1)).unwrap_or(1.0);
+                    let col_cost = meta.n_pages * SEQ_PAGE_COST * frac * 0.25 * prune
+                        + meta.n_rows * CPU_TUPLE_COST * 0.25
+                        + rows * CPU_TUPLE_COST
+                        + meta.n_rows * bound.len() as f64 * CPU_OPERATOR_COST * 0.25;
+                    if col_cost < plan_cost {
+                        let exact_bounds = match best {
+                            Some((_, b, _, n_clauses)) => exact_for(b, *n_clauses),
+                            None => bound.is_empty(),
+                        };
+                        let (column, lo, lo_inc, hi, hi_inc) = match best {
+                            Some((slot, b, _, _)) => (
+                                col_names[*slot].clone(),
+                                b.lo.clone(),
+                                b.lo_inc,
+                                b.hi.clone(),
+                                b.hi_inc,
+                            ),
+                            None => (None, None, true, None, true),
+                        };
+                        plan = Plan::ColumnarScan {
                             table: table.to_string(),
                             binding: binding.to_string(),
                             column,
-                            lo: b.lo,
-                            lo_inc: b.lo_inc,
-                            hi: b.hi,
-                            hi_inc: b.hi_inc,
+                            lo,
+                            lo_inc,
+                            hi,
+                            hi_inc,
                             filter,
                             needed: needed_vec,
                             est_rows: rows,
                             exact_bounds,
                         };
-                        plan_cost = index_cost;
+                        plan_cost = col_cost;
                     }
                 }
             }
@@ -1040,7 +1149,11 @@ fn memoize_scan_pipelines(plan: &mut Plan, funcs: &FuncRegistry) {
             memoize_scan_pipelines(left, funcs);
             memoize_scan_pipelines(right, funcs);
         }
-        Plan::SeqScan { .. } | Plan::IndexScan { .. } | Plan::Values { .. } => {}
+        Plan::SeqScan { .. }
+        | Plan::IndexScan { .. }
+        | Plan::ColumnarScan { .. }
+        | Plan::IndexOnlyScan { .. }
+        | Plan::Values { .. } => {}
     }
 }
 
@@ -1050,11 +1163,15 @@ fn memoize_scan_pipelines(plan: &mut Plan, funcs: &FuncRegistry) {
 /// `Filter(SeqScan)`, `Project(SeqScan)`, `Project(Filter(SeqScan))`.
 fn pipeline_exprs_mut(plan: &mut Plan) -> Option<Vec<&mut PhysExpr>> {
     match plan {
-        Plan::SeqScan { filter, .. } | Plan::IndexScan { filter, .. } => {
-            Some(filter.iter_mut().collect())
-        }
+        Plan::SeqScan { filter, .. }
+        | Plan::IndexScan { filter, .. }
+        | Plan::ColumnarScan { filter, .. }
+        | Plan::IndexOnlyScan { filter, .. } => Some(filter.iter_mut().collect()),
         Plan::Filter { input, predicate, .. } => match input.as_mut() {
-            Plan::SeqScan { filter, .. } | Plan::IndexScan { filter, .. } => {
+            Plan::SeqScan { filter, .. }
+            | Plan::IndexScan { filter, .. }
+            | Plan::ColumnarScan { filter, .. }
+            | Plan::IndexOnlyScan { filter, .. } => {
                 let mut v: Vec<&mut PhysExpr> = filter.iter_mut().collect();
                 v.push(predicate);
                 Some(v)
@@ -1064,11 +1181,15 @@ fn pipeline_exprs_mut(plan: &mut Plan) -> Option<Vec<&mut PhysExpr>> {
         Plan::Project { input, exprs, .. } => {
             let mut v: Vec<&mut PhysExpr> = Vec::new();
             match input.as_mut() {
-                Plan::SeqScan { filter, .. } | Plan::IndexScan { filter, .. } => {
-                    v.extend(filter.iter_mut())
-                }
+                Plan::SeqScan { filter, .. }
+                | Plan::IndexScan { filter, .. }
+                | Plan::ColumnarScan { filter, .. }
+                | Plan::IndexOnlyScan { filter, .. } => v.extend(filter.iter_mut()),
                 Plan::Filter { input: finput, predicate, .. } => match finput.as_mut() {
-                    Plan::SeqScan { filter, .. } | Plan::IndexScan { filter, .. } => {
+                    Plan::SeqScan { filter, .. }
+                    | Plan::IndexScan { filter, .. }
+                    | Plan::ColumnarScan { filter, .. }
+                    | Plan::IndexOnlyScan { filter, .. } => {
                         v.extend(filter.iter_mut());
                         v.push(predicate);
                     }
@@ -1188,9 +1309,17 @@ fn force_scan() -> bool {
     std::env::var("SINEW_FORCE_SCAN").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
 }
 
+/// `SINEW_COLUMNAR` gates the columnar and index-only access paths —
+/// default on; empty/`0` falls back to the heap paths (the oracle side of
+/// the columnar differential tests). Read fresh per plan so tests can
+/// toggle it at runtime.
+pub(crate) fn columnar_enabled() -> bool {
+    std::env::var("SINEW_COLUMNAR").map(|v| !v.is_empty() && v != "0").unwrap_or(true)
+}
+
 /// Accumulated key bounds for one indexed column, intersected across the
 /// sargable conjuncts that mention it.
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct IdxBound {
     lo: Option<Datum>,
     lo_inc: bool,
@@ -1254,10 +1383,13 @@ fn exactness_class(d: Option<&Datum>) -> Option<u8> {
     }
 }
 
+/// One sargable conjunct's contribution: `(scan slot, lo, lo_inc, hi, hi_inc)`.
+type SargBounds = (usize, Option<Datum>, bool, Option<Datum>, bool);
+
 /// Key bounds a conjunct contributes if it is a sargable comparison —
 /// `col <op> literal` (either side) or a non-negated BETWEEN with literal
-/// bounds. Returns `(scan slot, lo, lo_inc, hi, hi_inc)`.
-fn sargable(e: &PhysExpr) -> Option<(usize, Option<Datum>, bool, Option<Datum>, bool)> {
+/// bounds.
+fn sargable(e: &PhysExpr) -> Option<SargBounds> {
     match e {
         PhysExpr::Binary { op, left, right } => {
             let (slot, d, op) = match (left.as_ref(), right.as_ref()) {

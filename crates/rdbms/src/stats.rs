@@ -214,7 +214,7 @@ mod tests {
     #[test]
     fn mcv_catches_heavy_hitters() {
         let mut vals: Vec<Datum> = vec![Datum::Text("hot".into()); 500];
-        vals.extend((0..500).map(|i| Datum::Int(i)));
+        vals.extend((0..500).map(Datum::Int));
         let stats = collect(vals);
         let sel = stats.eq_selectivity(&Datum::Text("hot".into()));
         assert!((sel - 0.5).abs() < 0.02, "hot value sel {sel}");

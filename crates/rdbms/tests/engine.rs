@@ -267,8 +267,8 @@ fn stats_change_plan_shapes() {
         (0..20_000).map(|i| vec![Datum::Int(i), Datum::Int(i % 7)]).collect();
     db.insert_rows("big", &rows).unwrap();
 
-    let mut config = PlannerConfig::default();
-    config.work_mem = 64 * 1024; // small work_mem so 20k distinct ints overflow
+    // small work_mem so 20k distinct ints overflow
+    let config = PlannerConfig { work_mem: 64 * 1024, ..Default::default() };
     db.set_planner_config(config);
 
     // No stats: default 200-distinct estimate → hashed
@@ -405,8 +405,8 @@ fn merge_join_chosen_for_large_inputs() {
     db.insert_rows("r", &rows).unwrap();
     db.execute("ANALYZE l").unwrap();
     db.execute("ANALYZE r").unwrap();
-    let mut config = PlannerConfig::default();
-    config.work_mem = 32 * 1024; // hash table cannot fit
+    // hash table cannot fit
+    let config = PlannerConfig { work_mem: 32 * 1024, ..Default::default() };
     db.set_planner_config(config);
     let r = db.execute("EXPLAIN SELECT COUNT(*) FROM l, r WHERE l.k = r.k").unwrap();
     let text: String =

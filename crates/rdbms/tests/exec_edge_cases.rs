@@ -28,8 +28,7 @@ fn null_keys_never_join_hash_and_merge() {
     let hash = db.execute(sql).unwrap();
     assert_eq!(hash.rows, vec![vec![Datum::Text("a".into()), Datum::Text("x".into())]]);
     // force merge join
-    let mut pc = PlannerConfig::default();
-    pc.work_mem = 1;
+    let pc = PlannerConfig { work_mem: 1, ..Default::default() };
     db.set_planner_config(pc);
     let plan = db.execute(&format!("EXPLAIN {sql}")).unwrap();
     let text: String =
@@ -47,8 +46,7 @@ fn duplicate_keys_cross_product_within_group() {
     );
     let sql = "SELECT COUNT(*) FROM l, r WHERE l.k = r.k";
     assert_eq!(db.execute(sql).unwrap().scalar(), Some(&Datum::Int(6)));
-    let mut pc = PlannerConfig::default();
-    pc.work_mem = 1;
+    let pc = PlannerConfig { work_mem: 1, ..Default::default() };
     db.set_planner_config(pc);
     assert_eq!(db.execute(sql).unwrap().scalar(), Some(&Datum::Int(6)));
 }

@@ -9,8 +9,7 @@ fn explain(db: &Database, sql: &str) -> String {
 }
 
 fn small_work_mem(db: &Database) {
-    let mut pc = PlannerConfig::default();
-    pc.work_mem = 32 * 1024;
+    let pc = PlannerConfig { work_mem: 32 * 1024, ..Default::default() };
     db.set_planner_config(pc);
 }
 

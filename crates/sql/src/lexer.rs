@@ -16,6 +16,10 @@ pub enum TokenKind {
     /// `'...'` string literal with escapes resolved.
     Str(String),
     Int(i64),
+    /// Integer literal whose magnitude exceeds `i64::MAX`. Kept distinct
+    /// from `Float` so the parser's unary-minus fold can recognize
+    /// `-9223372036854775808` as `i64::MIN`.
+    BigInt(u64),
     Float(f64),
     // punctuation & operators
     Comma,
@@ -257,10 +261,13 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 } else {
                     match text.parse::<i64>() {
                         Ok(v) => TokenKind::Int(v),
-                        Err(_) => TokenKind::Float(text.parse().map_err(|_| LexError {
-                            message: format!("invalid number {text}"),
-                            offset: start,
-                        })?),
+                        Err(_) => match text.parse::<u64>() {
+                            Ok(v) => TokenKind::BigInt(v),
+                            Err(_) => TokenKind::Float(text.parse().map_err(|_| LexError {
+                                message: format!("invalid number {text}"),
+                                offset: start,
+                            })?),
+                        },
                     }
                 };
                 tokens.push(Token { kind, offset: start });

@@ -517,6 +517,14 @@ impl Parser {
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
         if self.eat(&TokenKind::Minus) {
+            // `-9223372036854775808` lexes as Minus + BigInt because the
+            // magnitude alone overflows i64; fold it back to i64::MIN here
+            if let TokenKind::BigInt(v) = *self.peek_kind() {
+                if v == i64::MAX as u64 + 1 {
+                    self.bump();
+                    return Ok(Expr::Literal(Literal::Int(i64::MIN)));
+                }
+            }
             let inner = self.unary()?;
             // fold literal negation so `-5` is a literal, not an expression
             return Ok(match inner {
@@ -536,6 +544,12 @@ impl Parser {
             TokenKind::Int(i) => {
                 self.bump();
                 Ok(Expr::Literal(Literal::Int(i)))
+            }
+            // an unnegated out-of-range integer keeps the old degrade-to-
+            // float behaviour
+            TokenKind::BigInt(v) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Float(v as f64)))
             }
             TokenKind::Float(f) => {
                 self.bump();

@@ -18,8 +18,7 @@ fn arb_doc() -> impl Strategy<Value = Value> {
         (0u8..40).prop_map(|x| Value::Float(x as f64 / 4.0)),
     ];
     prop::collection::btree_map("[kmnp]", scalar.clone(), 0..4).prop_flat_map(move |top| {
-        let top_pairs: Vec<(String, Value)> =
-            top.into_iter().map(|(k, v)| (k, v)).collect();
+        let top_pairs: Vec<(String, Value)> = top.into_iter().collect();
         prop::collection::btree_map("[xy]", scalar.clone(), 0..3).prop_map(move |nested| {
             let mut pairs = top_pairs.clone();
             if !nested.is_empty() {

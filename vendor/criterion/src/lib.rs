@@ -1,0 +1,125 @@
+//! Minimal offline stand-in for the `criterion` API surface used by this
+//! workspace's benches: groups, `bench_function`/`bench_with_input`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//! Reports a simple best-of-N wall-clock time per benchmark instead of
+//! criterion's statistical analysis.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u32 = 2;
+const MEASURE_RUNS: u32 = 5;
+
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.to_string() }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        let mut bench = |b: &mut Bencher| f(b, input);
+        run_bench(&full, &mut bench);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{name}/{param}") }
+    }
+
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId { label: param.to_string() }
+    }
+}
+
+pub struct Bencher {
+    best_ns: u128,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        for _ in 0..MEASURE_RUNS {
+            let t = Instant::now();
+            black_box(f());
+            let ns = t.elapsed().as_nanos();
+            self.best_ns = self.best_ns.min(ns);
+        }
+    }
+}
+
+fn run_bench(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { best_ns: u128::MAX };
+    f(&mut b);
+    if b.best_ns == u128::MAX {
+        println!("{name}: no measurement");
+    } else {
+        println!("{name}: best {:.3} ms", b.best_ns as f64 / 1e6);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

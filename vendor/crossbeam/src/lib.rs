@@ -1,0 +1,15 @@
+//! Minimal std-backed stand-in for the `crossbeam::channel` API surface
+//! used by this workspace (bounded channels with timeout receives), so the
+//! build has no network dependency.
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Bounded channel: sends block when `cap` messages are in flight.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}

@@ -1,0 +1,73 @@
+//! Collection strategies: `vec` and `btree_map` with size ranges.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Clone> Clone for VecStrategy<S> {
+    fn clone(&self) -> Self {
+        VecStrategy { element: self.element.clone(), size: self.size.clone() }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.in_range(&self.size);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+impl<K: Clone, V: Clone> Clone for BTreeMapStrategy<K, V> {
+    fn clone(&self) -> Self {
+        BTreeMapStrategy {
+            key: self.key.clone(),
+            value: self.value.clone(),
+            size: self.size.clone(),
+        }
+    }
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let n = rng.in_range(&self.size);
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            out.insert(self.key.generate(rng), self.value.generate(rng));
+        }
+        out
+    }
+}
+
+pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    BTreeMapStrategy { key, value, size }
+}

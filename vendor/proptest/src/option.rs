@@ -1,0 +1,31 @@
+//! `option::of`: generate `None` a quarter of the time, like proptest's
+//! default weighting.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Clone> Clone for OptionStrategy<S> {
+    fn clone(&self) -> Self {
+        OptionStrategy { inner: self.inner.clone() }
+    }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,249 @@
+//! Generator for the small regex subset the workspace's tests use as
+//! string strategies: literals, `.`, character classes with ranges,
+//! groups with alternation, and the `{n}`, `{n,m}`, `*`, `+`, `?`
+//! quantifiers. Unbounded quantifiers are capped at 8 repetitions.
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    Any,
+    /// Inclusive char ranges (single chars are degenerate ranges).
+    Class(Vec<(char, char)>),
+    /// Alternatives, each a sequence.
+    Group(Vec<Vec<Node>>),
+    Rep(Box<Node>, u32, u32),
+}
+
+/// A char for `.`: mostly printable ASCII with a sprinkle of tabs,
+/// newlines, quotes, and multi-byte code points so escaping paths get
+/// exercised.
+pub(crate) fn any_char(rng: &mut TestRng) -> char {
+    const SPICE: &[char] = &[
+        '\t', '\n', '\r', '\u{1}', '"', '\\', '\'', '\u{7f}', 'é', 'λ', '中', '🦀',
+    ];
+    if rng.below(10) == 0 {
+        SPICE[rng.below(SPICE.len() as u64) as usize]
+    } else {
+        char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl Parser<'_> {
+    fn fail(&self, what: &str) -> ! {
+        panic!("unsupported regex {:?}: {what}", self.pattern);
+    }
+
+    fn escape(&mut self) -> char {
+        match self.chars.next() {
+            Some('t') => '\t',
+            Some('n') => '\n',
+            Some('r') => '\r',
+            Some('0') => '\0',
+            Some(c) => c,
+            None => self.fail("trailing backslash"),
+        }
+    }
+
+    fn class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.chars.next() {
+                None => self.fail("unterminated class"),
+                Some(']') => break,
+                Some('\\') => self.escape(),
+                Some(c) => c,
+            };
+            if self.chars.peek() == Some(&'-') {
+                self.chars.next();
+                match self.chars.peek() {
+                    Some(&']') => {
+                        // trailing '-' is a literal
+                        ranges.push((c, c));
+                        ranges.push(('-', '-'));
+                    }
+                    Some(_) => {
+                        let hi = match self.chars.next() {
+                            Some('\\') => self.escape(),
+                            Some(h) => h,
+                            None => self.fail("unterminated class range"),
+                        };
+                        ranges.push((c, hi));
+                    }
+                    None => self.fail("unterminated class"),
+                }
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn quantifier(&mut self, node: Node) -> Node {
+        match self.chars.peek() {
+            Some('{') => {
+                self.chars.next();
+                let mut min = String::new();
+                let mut max = String::new();
+                let mut in_max = false;
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(',') => in_max = true,
+                        Some(d) if d.is_ascii_digit() => {
+                            if in_max {
+                                max.push(d)
+                            } else {
+                                min.push(d)
+                            }
+                        }
+                        _ => self.fail("bad {} quantifier"),
+                    }
+                }
+                let lo: u32 = min.parse().unwrap_or(0);
+                let hi: u32 = if !in_max {
+                    lo
+                } else {
+                    max.parse().unwrap_or(lo + UNBOUNDED_CAP)
+                };
+                Node::Rep(Box::new(node), lo, hi)
+            }
+            Some('*') => {
+                self.chars.next();
+                Node::Rep(Box::new(node), 0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Rep(Box::new(node), 1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                self.chars.next();
+                Node::Rep(Box::new(node), 0, 1)
+            }
+            _ => node,
+        }
+    }
+
+    /// Parse alternatives until end of input or an unbalanced ')'.
+    fn alternatives(&mut self, in_group: bool) -> Vec<Vec<Node>> {
+        let mut alts = vec![Vec::new()];
+        loop {
+            match self.chars.peek() {
+                None => {
+                    if in_group {
+                        self.fail("unterminated group");
+                    }
+                    break;
+                }
+                Some(&')') => {
+                    if in_group {
+                        self.chars.next();
+                        break;
+                    }
+                    self.fail("unbalanced )");
+                }
+                Some(&'|') => {
+                    self.chars.next();
+                    alts.push(Vec::new());
+                }
+                Some(_) => {
+                    let atom = match self.chars.next().unwrap() {
+                        '.' => Node::Any,
+                        '[' => self.class(),
+                        '(' => Node::Group(self.alternatives(true)),
+                        '\\' => Node::Lit(self.escape()),
+                        c @ ('{' | '}' | '*' | '+' | '?') => {
+                            let _ = c;
+                            self.fail("dangling quantifier")
+                        }
+                        c => Node::Lit(c),
+                    };
+                    let node = self.quantifier(atom);
+                    alts.last_mut().unwrap().push(node);
+                }
+            }
+        }
+        alts
+    }
+}
+
+fn generate_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Any => out.push(any_char(rng)),
+        Node::Class(ranges) => {
+            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+            let span = hi as u32 - lo as u32 + 1;
+            let c = char::from_u32(lo as u32 + rng.below(span as u64) as u32)
+                .unwrap_or(lo);
+            out.push(c);
+        }
+        Node::Group(alts) => {
+            let seq = &alts[rng.below(alts.len() as u64) as usize];
+            for n in seq {
+                generate_node(n, rng, out);
+            }
+        }
+        Node::Rep(inner, lo, hi) => {
+            let n = if hi > lo {
+                lo + rng.below((*hi - *lo + 1) as u64) as u32
+            } else {
+                *lo
+            };
+            for _ in 0..n {
+                generate_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generate one string matching `pattern` (within the supported subset).
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser { chars: pattern.chars().peekable(), pattern };
+    let alts = parser.alternatives(false);
+    let mut out = String::new();
+    let seq = &alts[rng.below(alts.len() as u64) as usize];
+    for node in seq {
+        generate_node(node, rng, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_from_the_workspace_generate_matching_strings() {
+        let mut rng = TestRng::from_name("regex");
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+
+            let dotted = generate("[a-z]{1,4}\\.[a-z]{1,4}(\\.[a-z]{1,4})?", &mut rng);
+            let parts: Vec<&str> = dotted.split('.').collect();
+            assert!(parts.len() == 2 || parts.len() == 3, "{dotted}");
+
+            let ws = generate("[ \\t\\n\\r]{0,4}", &mut rng);
+            assert!(ws.chars().all(|c| " \t\n\r".contains(c)));
+
+            let any = generate(".{0,60}", &mut rng);
+            assert!(any.chars().count() <= 60);
+
+            let k = generate("[kmnp]", &mut rng);
+            assert!("kmnp".contains(&k));
+        }
+    }
+}

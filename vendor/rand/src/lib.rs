@@ -1,0 +1,158 @@
+//! Minimal offline stand-in for the `rand` 0.8 API surface used by this
+//! workspace: `StdRng::seed_from_u64`, `gen_range` over integer and float
+//! ranges, `gen::<f64>()`, and `gen_bool`. The generator is splitmix64 —
+//! deterministic per seed, which is all the callers rely on (they never
+//! assert specific values, only self-consistency).
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform in [0, 1).
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One uniform-sampling impl per primitive; `SampleRange` is a single
+/// blanket impl over this so integer-literal inference at `gen_range`
+/// call sites resolves the same way it does with the real crate.
+pub trait SampleUniform: Sized {
+    fn sample_between<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
+        -> Self;
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "empty range in gen_range");
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(lo: f64, hi: f64, _inclusive: bool, rng: &mut R) -> f64 {
+        assert!(lo < hi, "empty range in gen_range");
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_between(lo, hi, true, rng)
+    }
+}
+
+/// The `Standard` distribution subset backing `Rng::gen::<T>()`.
+pub trait Standard: Sized {
+    fn gen_std<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn gen_std<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for u64 {
+    fn gen_std<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn gen_std<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::gen_std(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 stream.
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x: i64 = a.gen_range(-50..50i64);
+            assert_eq!(x, b.gen_range(-50..50i64));
+            assert!((-50..50).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let f = c.gen_range(-90.0..90.0);
+            assert!((-90.0..90.0).contains(&f));
+            let u: f64 = c.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}
