@@ -839,6 +839,18 @@ impl StorageReport {
         );
         let _ = writeln!(
             out,
+            "wal: {} appends, {} commits, {} fsyncs, {} checkpoints, {} B written; \
+             {} recoveries ({} pages replayed)",
+            e.wal_appends,
+            e.wal_commits,
+            e.wal_fsyncs,
+            e.wal_checkpoints,
+            e.wal_bytes,
+            e.wal_recoveries,
+            e.wal_recovered_pages
+        );
+        let _ = writeln!(
+            out,
             "background: {} active workers, {} steps, {} errors",
             m.background_workers_active, m.background_steps, m.background_errors
         );
@@ -1032,6 +1044,22 @@ impl StorageReport {
                         "decoded_per_block_sum".to_string(),
                         Value::Int(self.exec.decoded_per_block_sum as i64),
                     ),
+                    ("wal_appends".to_string(), Value::Int(self.exec.wal_appends as i64)),
+                    ("wal_commits".to_string(), Value::Int(self.exec.wal_commits as i64)),
+                    ("wal_fsyncs".to_string(), Value::Int(self.exec.wal_fsyncs as i64)),
+                    (
+                        "wal_checkpoints".to_string(),
+                        Value::Int(self.exec.wal_checkpoints as i64),
+                    ),
+                    (
+                        "wal_recoveries".to_string(),
+                        Value::Int(self.exec.wal_recoveries as i64),
+                    ),
+                    (
+                        "wal_recovered_pages".to_string(),
+                        Value::Int(self.exec.wal_recovered_pages as i64),
+                    ),
+                    ("wal_bytes".to_string(), Value::Int(self.exec.wal_bytes as i64)),
                 ]),
             ),
             ("metrics".to_string(), Value::Object(self.metrics.json_fields())),

@@ -111,7 +111,7 @@ impl SecondaryIndex {
             return Ok(());
         }
         if self.leaves.is_empty() {
-            let page = self.pager.alloc_raw()?;
+            let page = self.pager.alloc_raw_unlogged()?;
             write_leaf(&self.pager, page, &[(key.clone(), rowid)])?;
             self.leaves.push(LeafMeta {
                 page,
@@ -141,7 +141,7 @@ impl SecondaryIndex {
         let upper: Vec<(Datum, RowId)> = entries.split_off(mid);
         write_leaf(&self.pager, self.leaves[li].page, &entries)?;
         self.refresh_meta(li, &entries);
-        let new_page = self.pager.alloc_raw()?;
+        let new_page = self.pager.alloc_raw_unlogged()?;
         write_leaf(&self.pager, new_page, &upper)?;
         self.leaves.insert(
             li + 1,
@@ -223,7 +223,7 @@ impl SecondaryIndex {
     }
 
     fn flush_run(&mut self, run: &mut Vec<(Datum, RowId)>) -> DbResult<()> {
-        let page = self.pager.alloc_raw()?;
+        let page = self.pager.alloc_raw_unlogged()?;
         write_leaf(&self.pager, page, run)?;
         self.leaves.push(LeafMeta {
             page,
@@ -447,7 +447,9 @@ fn write_leaf(pager: &Pager, page: PageId, entries: &[(Datum, RowId)]) -> DbResu
         buf.extend_from_slice(&rowid.to_le_bytes());
     }
     debug_assert!(buf.len() <= PAGE_SIZE);
-    pager.with_page_mut(page, |pg| {
+    // Unlogged: index leaves are derived state, rebuilt from the heap by
+    // recovery instead of replayed from the WAL.
+    pager.with_page_mut_unlogged(page, |pg| {
         pg[..buf.len()].copy_from_slice(&buf);
     })
 }

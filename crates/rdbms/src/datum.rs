@@ -102,8 +102,8 @@ impl Datum {
             (Bool(a), Bool(b)) => Some(a.cmp(b)),
             (Int(a), Int(b)) => Some(a.cmp(b)),
             (Float(a), Float(b)) => a.partial_cmp(b),
-            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
-            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Int(a), Float(b)) => cmp_int_f64(*a, *b),
+            (Float(a), Int(b)) => cmp_int_f64(*b, *a).map(Ordering::reverse),
             (Text(a), Text(b)) => Some(a.cmp(b)),
             (Bytea(a), Bytea(b)) => Some(a.cmp(b)),
             (Array(a), Array(b)) => {
@@ -137,8 +137,8 @@ impl Datum {
         match (self, other) {
             (Null, Null) => Ordering::Equal,
             (Float(a), Float(b)) => a.total_cmp(b),
-            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
-            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Int(a), Float(b)) => total_cmp_int_f64(*a, *b),
+            (Float(a), Int(b)) => total_cmp_int_f64(*b, *a).reverse(),
             _ => match rank(self).cmp(&rank(other)) {
                 Ordering::Equal => self.sql_cmp(other).unwrap_or(Ordering::Equal),
                 r => r,
@@ -154,7 +154,14 @@ impl Datum {
             Datum::Bool(b) => GroupKey::Bool(*b),
             Datum::Int(i) => GroupKey::Int(*i),
             Datum::Float(f) => {
-                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                // Strict upper bound: 2^63 itself is representable as f64
+                // but not as i64, and `as` would saturate it to i64::MAX —
+                // making Float(2^63) group (and disagree with the exact
+                // comparison) with Int(i64::MAX).
+                if f.fract() == 0.0
+                    && *f >= i64::MIN as f64
+                    && *f < 9_223_372_036_854_775_808.0
+                {
                     GroupKey::Int(*f as i64)
                 } else {
                     GroupKey::Float((f + 0.0).to_bits())
@@ -224,6 +231,46 @@ impl Datum {
                 format!("{{{}}}", inner.join(","))
             }
         }
+    }
+}
+
+/// Exact comparison of an i64 against an f64. Casting the int to f64
+/// first loses precision for |i| ≥ 2^53 (e.g. 9007199254740993 as f64
+/// rounds to 9007199254740992.0, wrongly comparing Equal), so instead
+/// the float is range-checked against i64's span and then compared via
+/// its floor — both sides exact. NaN yields None.
+fn cmp_int_f64(a: i64, b: f64) -> Option<Ordering> {
+    if b.is_nan() {
+        return None;
+    }
+    // 2^63 is exactly representable as f64, so these boundary tests are
+    // themselves exact; every i64 lies in [-2^63, 2^63).
+    if b >= 9_223_372_036_854_775_808.0 {
+        return Some(Ordering::Less);
+    }
+    if b < -9_223_372_036_854_775_808.0 {
+        return Some(Ordering::Greater);
+    }
+    // In range, floor(b) is an integral f64 in [-2^63, 2^63), which
+    // converts to i64 without rounding.
+    let fl = b.floor();
+    match a.cmp(&(fl as i64)) {
+        // a equals the floor: any fractional tail makes b strictly larger.
+        Ordering::Equal if b > fl => Some(Ordering::Less),
+        o => Some(o),
+    }
+}
+
+/// Total-order variant for sorting: NaN sorts by its sign bit (matching
+/// `f64::total_cmp`), and a mathematically-Equal pair falls back to the
+/// bit-level float order so `Int(0)` vs `Float(-0.0)` stays consistent
+/// with how pure floats sort.
+fn total_cmp_int_f64(a: i64, b: f64) -> Ordering {
+    match cmp_int_f64(a, b) {
+        Some(Ordering::Equal) => (a as f64).total_cmp(&b),
+        Some(o) => o,
+        None if b.is_sign_negative() => Ordering::Greater,
+        None => Ordering::Less,
     }
 }
 

@@ -22,9 +22,10 @@ use crate::planner::{CatalogView, Planner, PlannerConfig, TableMeta};
 use crate::schema::TableSchema;
 use crate::stats::{ColumnCollector, TableStats};
 use crate::tuple;
-use parking_lot::RwLock;
+use crate::wal::{self, Wal, WalConfig};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -74,6 +75,11 @@ pub struct Database {
     planner_config: RwLock<PlannerConfig>,
     limits: RwLock<ExecLimits>,
     exec_stats: ExecStats,
+    /// Write-ahead log (file-backed databases with `SINEW_WAL` on).
+    wal: Option<Arc<Wal>>,
+    /// Serializes mutating statements when the WAL is on, so each commit
+    /// record's captured page images belong to exactly one statement.
+    write_lock: Mutex<()>,
 }
 
 impl Database {
@@ -84,12 +90,49 @@ impl Database {
 
     /// File-backed database with an LRU buffer pool of `pool_pages` 8 KiB
     /// frames, optionally with simulated per-miss I/O latency.
+    ///
+    /// With the WAL enabled (the default; `SINEW_WAL=0` opts out), an
+    /// existing log at `<path>.wal` is recovered — committed statements
+    /// are replayed, the torn tail is discarded — and a fresh log is
+    /// started. Without a log (or with the WAL off) the data file is
+    /// truncated, matching the pre-WAL behaviour.
     pub fn open(path: &Path, pool_pages: usize, io_delay: Option<Duration>) -> DbResult<Database> {
-        let mut pager = Pager::open(path, pool_pages)?;
-        if let Some(d) = io_delay {
-            pager = pager.with_io_delay(d);
+        Database::open_with_wal(path, pool_pages, io_delay, WalConfig::from_env())
+    }
+
+    /// [`Database::open`] with an explicit WAL configuration (tests use
+    /// this to force recovery semantics regardless of the environment).
+    pub fn open_with_wal(
+        path: &Path,
+        pool_pages: usize,
+        io_delay: Option<Duration>,
+        cfg: WalConfig,
+    ) -> DbResult<Database> {
+        if !cfg.enabled {
+            let mut pager = Pager::open(path, pool_pages)?;
+            if let Some(d) = io_delay {
+                pager = pager.with_io_delay(d);
+            }
+            return Ok(Database::with_pager(pager));
         }
-        Ok(Database::with_pager(pager))
+        let wal_path = wal_path_for(path);
+        match Wal::read(&wal_path)? {
+            Some(contents) => {
+                Database::recover(path, &wal_path, pool_pages, io_delay, cfg, contents)
+            }
+            None => {
+                let mut pager = Pager::open(path, pool_pages)?.with_wal_mode(true);
+                if let Some(d) = io_delay {
+                    pager = pager.with_io_delay(d);
+                }
+                let mut db = Database::with_pager(pager);
+                let snapshot = db.wal_snapshot();
+                let wal = Arc::new(Wal::create(&wal_path, cfg, &snapshot)?);
+                db.pager.set_wal(wal.clone());
+                db.wal = Some(wal);
+                Ok(db)
+            }
+        }
     }
 
     fn with_pager(pager: Pager) -> Database {
@@ -101,9 +144,278 @@ impl Database {
             planner_config: RwLock::new(PlannerConfig::default()),
             limits: RwLock::new(ExecLimits::default()),
             exec_stats: ExecStats::default(),
+            wal: None,
+            write_lock: Mutex::new(()),
         }
     }
 
+    /// Rebuild the database from the data file plus the log's committed
+    /// history: write committed page images into the data file, replay
+    /// metadata (checkpoint snapshot, then per-commit deltas), rebuild
+    /// derived structures (B-tree indexes, columnar stores) from the
+    /// recovered heaps, and start a fresh log from a new checkpoint.
+    fn recover(
+        path: &Path,
+        wal_path: &Path,
+        pool_pages: usize,
+        io_delay: Option<Duration>,
+        cfg: WalConfig,
+        contents: wal::WalContents,
+    ) -> DbResult<Database> {
+        struct RecTable {
+            schema: TableSchema,
+            index_defs: Vec<(String, String)>,
+            columnar_cols: Vec<String>,
+            /// Heap directory records in log order: the checkpoint's full
+            /// snapshot (if the table predates it) then each commit's delta.
+            heap_chunks: Vec<Vec<u8>>,
+        }
+        type TableMeta = (TableSchema, Vec<(String, String)>, Vec<String>, Vec<u8>);
+        fn read_table_meta(r: &mut wal::Reader) -> DbResult<TableMeta> {
+            let schema = TableSchema::wal_decode(r)?;
+            let n_idx = r.u32()? as usize;
+            let mut index_defs = Vec::with_capacity(n_idx);
+            for _ in 0..n_idx {
+                let name = r.str()?.to_string();
+                let column = r.str()?.to_string();
+                index_defs.push((name, column));
+            }
+            let n_cs = r.u32()? as usize;
+            let mut columnar_cols = Vec::with_capacity(n_cs);
+            for _ in 0..n_cs {
+                columnar_cols.push(r.str()?.to_string());
+            }
+            let heap_bytes = r.bytes()?.to_vec();
+            Ok((schema, index_defs, columnar_cols, heap_bytes))
+        }
+
+        // Phase 1: metadata — checkpoint snapshot, then commit deltas.
+        let mut tables: std::collections::BTreeMap<String, RecTable> = Default::default();
+        let mut r = wal::Reader::new(&contents.checkpoint);
+        let mut n_pages = r.u64()?;
+        let n_tables = r.u32()? as usize;
+        for _ in 0..n_tables {
+            let name = r.str()?.to_string();
+            let (schema, index_defs, columnar_cols, heap_bytes) = read_table_meta(&mut r)?;
+            tables.insert(
+                name,
+                RecTable { schema, index_defs, columnar_cols, heap_chunks: vec![heap_bytes] },
+            );
+        }
+        for commit in &contents.commits {
+            let mut r = wal::Reader::new(&commit.meta);
+            n_pages = r.u64()?;
+            match r.u8()? {
+                WAL_OP_TABLE => {
+                    let name = r.str()?.to_string();
+                    let (schema, index_defs, columnar_cols, heap_bytes) =
+                        read_table_meta(&mut r)?;
+                    let entry = tables.entry(name).or_insert_with(|| RecTable {
+                        schema: TableSchema::default(),
+                        index_defs: Vec::new(),
+                        columnar_cols: Vec::new(),
+                        heap_chunks: Vec::new(),
+                    });
+                    entry.schema = schema;
+                    entry.index_defs = index_defs;
+                    entry.columnar_cols = columnar_cols;
+                    entry.heap_chunks.push(heap_bytes);
+                }
+                WAL_OP_DROP => {
+                    let name = r.str()?;
+                    tables.remove(name);
+                }
+                op => return Err(DbError::Io(format!("wal: unknown commit op {op}"))),
+            }
+        }
+
+        // Phase 2: data file — committed page images, in log order (later
+        // statements overwrite earlier images of the same page).
+        let mut recovered_pages = 0u64;
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut file = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(path)?;
+            for commit in &contents.commits {
+                for (id, image) in &commit.pages {
+                    file.seek(SeekFrom::Start(id * crate::page::PAGE_SIZE as u64))?;
+                    file.write_all(image)?;
+                    recovered_pages += 1;
+                }
+            }
+            let want = n_pages * crate::page::PAGE_SIZE as u64;
+            if file.metadata()?.len() < want {
+                file.set_len(want)?;
+            }
+            file.sync_all()?;
+        }
+
+        // Phase 3: reconstruct tables over the recovered data file, then
+        // rebuild derived structures from the heaps (their pages are
+        // unlogged; the heap is the source of truth).
+        let mut pager = Pager::open_existing(path, pool_pages, n_pages)?.with_wal_mode(true);
+        if let Some(d) = io_delay {
+            pager = pager.with_io_delay(d);
+        }
+        let mut db = Database::with_pager(pager);
+        type Rebuild = (String, Vec<(String, String)>, Vec<String>);
+        let mut rebuilds: Vec<Rebuild> = Vec::new();
+        for (name, rec) in tables {
+            let mut heap = Heap::new(db.pager.clone());
+            for chunk in &rec.heap_chunks {
+                heap.wal_apply(&mut wal::Reader::new(chunk))?;
+            }
+            heap.set_wal_track(true);
+            db.tables.write().insert(
+                name.clone(),
+                Arc::new(RwLock::new(Table {
+                    schema: rec.schema,
+                    heap,
+                    indexes: Vec::new(),
+                    columnar: Vec::new(),
+                })),
+            );
+            rebuilds.push((name, rec.index_defs, rec.columnar_cols));
+        }
+        for (name, index_defs, columnar_cols) in rebuilds {
+            for (iname, column) in index_defs {
+                db.create_index(&name, &iname, &column, true)?;
+            }
+            for column in columnar_cols {
+                db.build_columnar(&name, &column)?;
+            }
+        }
+
+        // Phase 4: fresh log seeded from the recovered state.
+        let snapshot = db.wal_snapshot();
+        let new_wal = Wal::create(wal_path, cfg, &snapshot)?;
+        new_wal.stats.recoveries.store(1, std::sync::atomic::Ordering::Relaxed);
+        new_wal
+            .stats
+            .recovered_pages
+            .store(recovered_pages, std::sync::atomic::Ordering::Relaxed);
+        let new_wal = Arc::new(new_wal);
+        db.pager.set_wal(new_wal.clone());
+        db.wal = Some(new_wal);
+        Ok(db)
+    }
+
+
+    // ---- write-ahead log plumbing ----
+
+    /// Statement-serialization guard: held across every mutating
+    /// statement when the WAL is on, so the pager's uncommitted-image set
+    /// belongs to exactly one statement at its commit point. No-op
+    /// (None) without a WAL — concurrency behaviour is then unchanged.
+    fn write_guard(&self) -> Option<MutexGuard<'_, ()>> {
+        self.wal.as_ref().map(|_| self.write_lock.lock())
+    }
+
+    fn wal_enabled(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Commit one statement against `table` (still holding its write
+    /// lock): drain the pager's uncommitted page images and the heap's
+    /// directory delta, snapshot the table's schema/index/columnar
+    /// definitions, and append it all to the log as one commit unit.
+    fn wal_commit_table(&self, name: &str, t: &mut Table) -> DbResult<()> {
+        let Some(w) = &self.wal else { return Ok(()) };
+        let mut meta = Vec::new();
+        wal::put_u64(&mut meta, self.pager.n_pages());
+        meta.push(WAL_OP_TABLE);
+        wal::put_str(&mut meta, name);
+        t.schema.wal_encode(&mut meta);
+        wal::put_u32(&mut meta, t.indexes.len() as u32);
+        for ix in &t.indexes {
+            wal::put_str(&mut meta, ix.name());
+            wal::put_str(&mut meta, ix.column());
+        }
+        wal::put_u32(&mut meta, t.columnar.len() as u32);
+        for cs in &t.columnar {
+            wal::put_str(&mut meta, cs.column());
+        }
+        let mut heap_bytes = Vec::new();
+        t.heap.wal_drain_delta(&mut heap_bytes);
+        wal::put_bytes(&mut meta, &heap_bytes);
+        let pages = self.pager.take_uncommitted_images();
+        w.commit(&pages, &meta)?;
+        // A statement bigger than the pool overflowed it (no-steal pins);
+        // now that the images are logged, evict back down to capacity.
+        self.pager.shrink_to_capacity()
+    }
+
+    /// Commit a DROP TABLE statement.
+    fn wal_commit_drop(&self, name: &str) -> DbResult<()> {
+        let Some(w) = &self.wal else { return Ok(()) };
+        let mut meta = Vec::new();
+        wal::put_u64(&mut meta, self.pager.n_pages());
+        meta.push(WAL_OP_DROP);
+        wal::put_str(&mut meta, name);
+        let pages = self.pager.take_uncommitted_images();
+        w.commit(&pages, &meta)
+    }
+
+    /// Full-metadata snapshot for checkpoint records: global page count
+    /// plus every table's schema, index/columnar definitions, and full
+    /// heap directory. Tables in sorted order for determinism.
+    fn wal_snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        wal::put_u64(&mut out, self.pager.n_pages());
+        let tables = self.tables.read();
+        let mut names: Vec<&String> = tables.keys().collect();
+        names.sort();
+        wal::put_u32(&mut out, names.len() as u32);
+        for name in names {
+            let t = tables[name.as_str()].read();
+            wal::put_str(&mut out, name);
+            t.schema.wal_encode(&mut out);
+            wal::put_u32(&mut out, t.indexes.len() as u32);
+            for ix in &t.indexes {
+                wal::put_str(&mut out, ix.name());
+                wal::put_str(&mut out, ix.column());
+            }
+            wal::put_u32(&mut out, t.columnar.len() as u32);
+            for cs in &t.columnar {
+                wal::put_str(&mut out, cs.column());
+            }
+            let mut heap_bytes = Vec::new();
+            t.heap.wal_encode_full(&mut heap_bytes);
+            wal::put_bytes(&mut out, &heap_bytes);
+        }
+        out
+    }
+
+    /// Checkpoint: flush + fsync the data file, then atomically restart
+    /// the log from a fresh full-metadata snapshot. After this the old
+    /// log history is unnecessary (every committed page image is in the
+    /// data file) and the log is at its minimum size.
+    pub fn checkpoint(&self) -> DbResult<()> {
+        let _g = self.write_guard();
+        self.checkpoint_locked()
+    }
+
+    fn checkpoint_locked(&self) -> DbResult<()> {
+        let Some(w) = &self.wal else { return Ok(()) };
+        w.sync()?;
+        self.pager.flush_and_sync()?;
+        let snapshot = self.wal_snapshot();
+        w.reset_with_checkpoint(&snapshot)
+    }
+
+    /// Auto-checkpoint once the log outgrows its configured bound.
+    /// Callers must hold the write guard (and no table locks).
+    fn wal_maybe_checkpoint(&self) -> DbResult<()> {
+        let Some(w) = &self.wal else { return Ok(()) };
+        if w.bytes() > w.config().checkpoint_bytes {
+            self.checkpoint_locked()?;
+        }
+        Ok(())
+    }
 
     /// Handle to one table's lock (map lock held only momentarily, so
     /// long scans of one table never block DDL or writes on another —
@@ -144,7 +456,18 @@ impl Database {
 
     /// Scan-parallelism counters (morsels, workers, serial/parallel scans).
     pub fn exec_stats(&self) -> ExecSnapshot {
-        self.exec_stats.snapshot()
+        let mut snap = self.exec_stats.snapshot();
+        if let Some(w) = &self.wal {
+            use std::sync::atomic::Ordering::Relaxed;
+            snap.wal_appends = w.stats.appends.load(Relaxed);
+            snap.wal_commits = w.stats.commits.load(Relaxed);
+            snap.wal_fsyncs = w.stats.fsyncs.load(Relaxed);
+            snap.wal_checkpoints = w.stats.checkpoints.load(Relaxed);
+            snap.wal_recoveries = w.stats.recoveries.load(Relaxed);
+            snap.wal_recovered_pages = w.stats.recovered_pages.load(Relaxed);
+            snap.wal_bytes = w.stats.bytes_written.load(Relaxed);
+        }
+        snap
     }
 
     pub fn functions(&self) -> &FuncRegistry {
@@ -187,58 +510,77 @@ impl Database {
     // ---- DDL ----
 
     pub fn create_table(&self, name: &str, cols: Vec<(String, ColType)>) -> DbResult<()> {
-        let mut tables = self.tables.write();
-        if tables.contains_key(name) {
-            return Err(DbError::Schema(format!("table {name} already exists")));
-        }
-        {
-            let mut seen = std::collections::HashSet::new();
-            for (c, _) in &cols {
-                if !seen.insert(c.clone()) {
-                    return Err(DbError::Schema(format!("duplicate column {c}")));
+        let _g = self.write_guard();
+        let arc = {
+            let mut tables = self.tables.write();
+            if tables.contains_key(name) {
+                return Err(DbError::Schema(format!("table {name} already exists")));
+            }
+            {
+                let mut seen = std::collections::HashSet::new();
+                for (c, _) in &cols {
+                    if !seen.insert(c.clone()) {
+                        return Err(DbError::Schema(format!("duplicate column {c}")));
+                    }
                 }
             }
-        }
-        tables.insert(
-            name.to_string(),
-            Arc::new(RwLock::new(Table {
+            let mut heap = Heap::new(self.pager.clone());
+            heap.set_wal_track(self.wal_enabled());
+            let arc = Arc::new(RwLock::new(Table {
                 schema: TableSchema::new(cols),
-                heap: Heap::new(self.pager.clone()),
+                heap,
                 indexes: Vec::new(),
                 columnar: Vec::new(),
-            })),
-        );
+            }));
+            tables.insert(name.to_string(), arc.clone());
+            arc
+        };
+        if self.wal_enabled() {
+            self.wal_commit_table(name, &mut arc.write())?;
+            self.wal_maybe_checkpoint()?;
+        }
         Ok(())
     }
 
     pub fn drop_table(&self, name: &str) -> DbResult<()> {
+        let _g = self.write_guard();
         self.tables
             .write()
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| DbError::NotFound(format!("table {name}")))?;
         self.stats.write().remove(name);
+        self.wal_commit_drop(name)?;
+        self.wal_maybe_checkpoint()?;
         Ok(())
     }
 
     /// `ALTER TABLE ADD COLUMN` — existing rows read the column as NULL.
     /// This is how Sinew's materializer creates physical columns.
     pub fn add_column(&self, table: &str, name: &str, ty: ColType) -> DbResult<()> {
+        let _g = self.write_guard();
         let t = self.table(table)?;
-        let mut t = t.write();
-        t.schema.add_column(name, ty)?;
-        Ok(())
+        {
+            let mut t = t.write();
+            t.schema.add_column(name, ty)?;
+            self.wal_commit_table(table, &mut t)?;
+        }
+        self.wal_maybe_checkpoint()
     }
 
     /// `ALTER TABLE DROP COLUMN` — the slot is kept, the name is freed
     /// (Sinew's dematerialization path). Indexes on the column go with it.
     pub fn drop_column(&self, table: &str, name: &str) -> DbResult<()> {
+        let _g = self.write_guard();
         let t = self.table(table)?;
-        let mut t = t.write();
-        t.schema.drop_column(name)?;
-        t.indexes.retain(|ix| ix.column() != name);
-        t.columnar.retain(|cs| cs.column() != name);
-        Ok(())
+        {
+            let mut t = t.write();
+            t.schema.drop_column(name)?;
+            t.indexes.retain(|ix| ix.column() != name);
+            t.columnar.retain(|cs| cs.column() != name);
+            self.wal_commit_table(table, &mut t)?;
+        }
+        self.wal_maybe_checkpoint()
     }
 
     // ---- secondary indexes ----
@@ -248,6 +590,7 @@ impl Database {
     /// populated table); without it they are inserted one at a time (kept
     /// for the bench comparison the paper-style harness runs).
     pub fn create_index(&self, table: &str, name: &str, column: &str, bulk: bool) -> DbResult<()> {
+        let _g = self.write_guard();
         let t = self.table(table)?;
         let mut t = t.write();
         if t.indexes.iter().any(|ix| ix.name() == name) {
@@ -288,7 +631,11 @@ impl Database {
             .index_build_rows
             .fetch_add(built, std::sync::atomic::Ordering::Relaxed);
         t.indexes.push(index);
-        Ok(())
+        // Index pages are unlogged (rebuilt on recovery); the commit
+        // records the index *definition* so recovery knows to rebuild it.
+        self.wal_commit_table(table, &mut t)?;
+        drop(t);
+        self.wal_maybe_checkpoint()
     }
 
     // ---- columnar segment stores ----
@@ -298,6 +645,7 @@ impl Database {
     /// column, and every DML path maintains the store incrementally from
     /// then on. Idempotent: rebuilding an existing store is a no-op.
     pub fn build_columnar(&self, table: &str, column: &str) -> DbResult<()> {
+        let _g = self.write_guard();
         let t = self.table(table)?;
         let mut t = t.write();
         if t.columnar.iter().any(|cs| cs.column() == column) {
@@ -318,17 +666,28 @@ impl Database {
             Ok(true)
         })?;
         t.columnar.push(store);
-        Ok(())
+        // Columnar stores live in memory (rebuilt on recovery); the
+        // commit records which columns have one.
+        self.wal_commit_table(table, &mut t)?;
+        drop(t);
+        self.wal_maybe_checkpoint()
     }
 
     /// Drop the columnar store over one column (the demotion path);
     /// returns whether one existed.
     pub fn drop_columnar(&self, table: &str, column: &str) -> DbResult<bool> {
+        let _g = self.write_guard();
         let t = self.table(table)?;
         let mut t = t.write();
         let before = t.columnar.len();
         t.columnar.retain(|cs| cs.column() != column);
-        Ok(t.columnar.len() != before)
+        let dropped = t.columnar.len() != before;
+        if dropped {
+            self.wal_commit_table(table, &mut t)?;
+            drop(t);
+            self.wal_maybe_checkpoint()?;
+        }
+        Ok(dropped)
     }
 
     /// Per-column-store observability: segment count, encoded vs raw
@@ -341,6 +700,7 @@ impl Database {
 
     /// `DROP INDEX` (scoped to one table).
     pub fn drop_index(&self, table: &str, name: &str) -> DbResult<()> {
+        let _g = self.write_guard();
         let t = self.table(table)?;
         let mut t = t.write();
         let before = t.indexes.len();
@@ -348,7 +708,9 @@ impl Database {
         if t.indexes.len() == before {
             return Err(DbError::NotFound(format!("index {name} on {table}")));
         }
-        Ok(())
+        self.wal_commit_table(table, &mut t)?;
+        drop(t);
+        self.wal_maybe_checkpoint()
     }
 
     /// Per-index observability: key count, page count, bytes.
@@ -399,6 +761,7 @@ impl Database {
     /// Bulk insert. Rows are given over the table's **live** columns, in
     /// live-column order; values are coerced to column types when safe.
     pub fn insert_rows(&self, table: &str, rows: &[Vec<Datum>]) -> DbResult<u64> {
+        let _g = self.write_guard();
         let t = self.table(table)?;
         let mut t = t.write();
         let live: Vec<usize> = t.schema.live_columns().map(|(i, _)| i).collect();
@@ -422,6 +785,9 @@ impl Database {
             columnar_append(&mut t, rowid, &full);
             count += 1;
         }
+        self.wal_commit_table(table, &mut t)?;
+        drop(t);
+        self.wal_maybe_checkpoint()?;
         Ok(count)
     }
 
@@ -435,6 +801,7 @@ impl Database {
         cols: &[&str],
         rows: &[Vec<Datum>],
     ) -> DbResult<u64> {
+        let _g = self.write_guard();
         let t = self.table(table)?;
         let mut t = t.write();
         let arity = t.schema.arity();
@@ -465,6 +832,9 @@ impl Database {
             columnar_append(&mut t, rowid, &full);
             count += 1;
         }
+        self.wal_commit_table(table, &mut t)?;
+        drop(t);
+        self.wal_maybe_checkpoint()?;
         Ok(count)
     }
 
@@ -485,8 +855,26 @@ impl Database {
         rowid: RowId,
         assignments: &[(&str, Datum)],
     ) -> DbResult<()> {
+        let _g = self.write_guard();
         let t = self.table(table)?;
-        let mut t = t.write();
+        {
+            let mut t = t.write();
+            self.update_row_locked(&mut t, rowid, table, assignments)?;
+            self.wal_commit_table(table, &mut t)?;
+        }
+        self.wal_maybe_checkpoint()
+    }
+
+    /// The body of [`Database::update_row`], already holding the table
+    /// write lock — shared with SQL UPDATE so a multi-row statement is
+    /// one WAL commit unit, not one per row.
+    fn update_row_locked(
+        &self,
+        t: &mut Table,
+        rowid: RowId,
+        table: &str,
+        assignments: &[(&str, Datum)],
+    ) -> DbResult<()> {
         let Some(bytes) = t.heap.get(rowid)? else {
             return Err(DbError::NotFound(format!("row {rowid} in {table}")));
         };
@@ -494,7 +882,7 @@ impl Database {
         // Snapshot indexed values before the assignments land: the heap
         // keeps the rowid stable across updates (even jumbo relocation),
         // so index maintenance is needed only where the key value changed.
-        let slots = indexed_slots(&t);
+        let slots = indexed_slots(t);
         let old_keys: Vec<Option<Datum>> =
             slots.iter().map(|s| s.map(|i| full[i].clone())).collect();
         for (name, value) in assignments {
@@ -732,13 +1120,21 @@ impl Database {
             }
             updates.push((rowid as RowId, vals));
         }
-        // Phase 2: apply row-by-row (each row update is atomic).
+        // Phase 2: apply row-by-row (each row update is atomic); the
+        // whole statement is one WAL commit unit.
         let n = updates.len() as u64;
-        for (rowid, vals) in updates {
-            let refs: Vec<(&str, Datum)> =
-                vals.iter().map(|(c, d)| (c.as_str(), d.clone())).collect();
-            self.update_row(&upd.table, rowid, &refs)?;
+        let _g = self.write_guard();
+        {
+            let t = self.table(&upd.table)?;
+            let mut t = t.write();
+            for (rowid, vals) in updates {
+                let refs: Vec<(&str, Datum)> =
+                    vals.iter().map(|(c, d)| (c.as_str(), d.clone())).collect();
+                self.update_row_locked(&mut t, rowid, &upd.table, &refs)?;
+            }
+            self.wal_commit_table(&upd.table, &mut t)?;
         }
+        self.wal_maybe_checkpoint()?;
         Ok(QueryResult { affected: n, ..Default::default() })
     }
 
@@ -751,6 +1147,7 @@ impl Database {
         let matched = exec.run(&plan)?;
         let rowid_idx = scope.len() - 1;
         let mut n = 0;
+        let _g = self.write_guard();
         let t = self.table(&del.table)?;
         let mut t = t.write();
         // The matched rows are this table's live columns + rowid
@@ -789,8 +1186,22 @@ impl Database {
                 .index_maintenance_ops
                 .fetch_add(ops, std::sync::atomic::Ordering::Relaxed);
         }
+        self.wal_commit_table(&del.table, &mut t)?;
+        drop(t);
+        self.wal_maybe_checkpoint()?;
         Ok(QueryResult { affected: n, ..Default::default() })
     }
+}
+
+/// Commit-record ops: upsert one table's metadata, or drop a table.
+const WAL_OP_TABLE: u8 = 1;
+const WAL_OP_DROP: u8 = 2;
+
+/// The log lives next to the data file as `<data-file>.wal`.
+fn wal_path_for(path: &Path) -> PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(".wal");
+    PathBuf::from(s)
 }
 
 /// Physical schema slot of each index's column, in index order (`None` only

@@ -381,6 +381,13 @@ impl ExecStats {
             rows_per_block: block_buckets,
             rows_per_block_count: self.rows_per_block_count.load(Ordering::Relaxed),
             rows_per_block_sum: self.rows_per_block_sum.load(Ordering::Relaxed),
+            wal_appends: 0,
+            wal_commits: 0,
+            wal_fsyncs: 0,
+            wal_checkpoints: 0,
+            wal_recoveries: 0,
+            wal_recovered_pages: 0,
+            wal_bytes: 0,
         }
     }
 }
@@ -410,6 +417,15 @@ pub struct ExecSnapshot {
     pub rows_per_block: [u64; EXEC_HIST_BUCKETS],
     pub rows_per_block_count: u64,
     pub rows_per_block_sum: u64,
+    /// WAL counters, overlaid by `Database::exec_stats` from the log's
+    /// own stats (zero when no WAL is attached).
+    pub wal_appends: u64,
+    pub wal_commits: u64,
+    pub wal_fsyncs: u64,
+    pub wal_checkpoints: u64,
+    pub wal_recoveries: u64,
+    pub wal_recovered_pages: u64,
+    pub wal_bytes: u64,
 }
 
 /// A scan→filter→project plan prefix, decomposed for the parallel path

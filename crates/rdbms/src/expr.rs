@@ -559,24 +559,31 @@ fn eval_binary(
 fn numeric_op(op: BinaryOp, l: &Datum, r: &Datum) -> DbResult<Datum> {
     use BinaryOp::*;
     match (l, r) {
-        (Datum::Int(a), Datum::Int(b)) => Ok(match op {
-            Add => Datum::Int(a.wrapping_add(*b)),
-            Sub => Datum::Int(a.wrapping_sub(*b)),
-            Mul => Datum::Int(a.wrapping_mul(*b)),
-            Div => {
-                if *b == 0 {
-                    return Err(DbError::Eval("division by zero".into()));
+        (Datum::Int(a), Datum::Int(b)) => {
+            // Checked throughout, like SUM's promotion in agg.rs: silent
+            // wrapping would return a well-typed wrong answer. checked_div
+            // and checked_rem also cover the i64::MIN / -1 overflow.
+            let overflow =
+                || DbError::Eval(format!("integer overflow in {} {op:?} {}", l, r));
+            Ok(match op {
+                Add => Datum::Int(a.checked_add(*b).ok_or_else(overflow)?),
+                Sub => Datum::Int(a.checked_sub(*b).ok_or_else(overflow)?),
+                Mul => Datum::Int(a.checked_mul(*b).ok_or_else(overflow)?),
+                Div => {
+                    if *b == 0 {
+                        return Err(DbError::Eval("division by zero".into()));
+                    }
+                    Datum::Int(a.checked_div(*b).ok_or_else(overflow)?)
                 }
-                Datum::Int(a.wrapping_div(*b))
-            }
-            Mod => {
-                if *b == 0 {
-                    return Err(DbError::Eval("division by zero".into()));
+                Mod => {
+                    if *b == 0 {
+                        return Err(DbError::Eval("division by zero".into()));
+                    }
+                    Datum::Int(a.checked_rem(*b).ok_or_else(overflow)?)
                 }
-                Datum::Int(a.wrapping_rem(*b))
-            }
-            _ => unreachable!(),
-        }),
+                _ => unreachable!(),
+            })
+        }
         _ => {
             let (a, b) = match (l.as_f64(), r.as_f64()) {
                 (Some(a), Some(b)) => (a, b),

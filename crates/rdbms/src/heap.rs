@@ -13,6 +13,7 @@
 use crate::error::{DbError, DbResult};
 use crate::page::{self, MAX_INLINE_TUPLE, PAGE_SIZE};
 use crate::pager::{PageId, Pager};
+use crate::wal;
 use std::sync::Arc;
 
 pub type RowId = u64;
@@ -41,6 +42,12 @@ pub struct Heap {
     /// walk over every page. In-place overwrites need no adjustment:
     /// `page::overwrite` only succeeds at identical length.
     live: u64,
+    /// WAL delta tracking: when on, every mutation records the rowids it
+    /// touched and the data pages it appended, drained per statement into
+    /// the commit record's metadata delta.
+    wal_track: bool,
+    wal_touched: Vec<RowId>,
+    wal_new_pages: Vec<PageId>,
 }
 
 impl Heap {
@@ -53,7 +60,16 @@ impl Heap {
             jumbo_pages: 0,
             free_hints: Vec::new(),
             live: 0,
+            wal_track: false,
+            wal_touched: Vec::new(),
+            wal_new_pages: Vec::new(),
         }
+    }
+
+    /// Turn on WAL delta tracking (file-backed databases with the log
+    /// enabled). Off by default: in-memory heaps pay nothing.
+    pub fn set_wal_track(&mut self, on: bool) {
+        self.wal_track = on;
     }
 
     pub fn len(&self) -> u64 {
@@ -107,6 +123,9 @@ impl Heap {
         let rowid = self.rows.len() as RowId;
         self.rows.push(Some(loc));
         self.live_rows += 1;
+        if self.wal_track {
+            self.wal_touched.push(rowid);
+        }
         Ok(rowid)
     }
 
@@ -141,6 +160,9 @@ impl Heap {
         }
         let id = self.pager.alloc()?;
         self.pages.push(id);
+        if self.wal_track {
+            self.wal_new_pages.push(id);
+        }
         let slot = self
             .pager
             .with_page_mut(id, |pg| page::insert(pg, bytes))?
@@ -210,6 +232,9 @@ impl Heap {
         self.release(&loc)?;
         let new_loc = self.place(bytes)?;
         self.rows[rowid as usize] = Some(new_loc);
+        if self.wal_track {
+            self.wal_touched.push(rowid);
+        }
         Ok(())
     }
 
@@ -222,6 +247,9 @@ impl Heap {
         };
         self.release(&loc)?;
         self.live_rows -= 1;
+        if self.wal_track {
+            self.wal_touched.push(rowid);
+        }
         Ok(true)
     }
 
@@ -273,6 +301,152 @@ impl Heap {
         }
         Ok(())
     }
+
+    // ---- WAL metadata codecs ----
+    //
+    // The WAL logs page *images*; what a page image cannot restore is the
+    // in-memory row directory (rowid → Loc), page list, and free-space
+    // hints. These codecs serialize exactly that: a full snapshot for
+    // checkpoint records (tag 0) and a per-statement delta for commit
+    // records (tag 1). Kept inside heap.rs so `Loc` stays private.
+
+    const WAL_FULL: u8 = 0;
+    const WAL_DELTA: u8 = 1;
+
+    /// Serialize the complete directory (checkpoint snapshots).
+    pub fn wal_encode_full(&self, out: &mut Vec<u8>) {
+        out.push(Self::WAL_FULL);
+        wal::put_u64(out, self.rows.len() as u64);
+        for loc in &self.rows {
+            put_loc(out, loc.as_ref());
+        }
+        wal::put_u32(out, self.pages.len() as u32);
+        for &p in &self.pages {
+            wal::put_u64(out, p);
+        }
+        self.encode_tail(out);
+    }
+
+    /// Serialize and clear the changes recorded since the last drain
+    /// (commit-record deltas). Rowids are deduplicated; each encodes its
+    /// *final* post-statement Loc.
+    pub fn wal_drain_delta(&mut self, out: &mut Vec<u8>) {
+        out.push(Self::WAL_DELTA);
+        let mut touched = std::mem::take(&mut self.wal_touched);
+        touched.sort_unstable();
+        touched.dedup();
+        wal::put_u32(out, touched.len() as u32);
+        for rowid in touched {
+            wal::put_u64(out, rowid);
+            put_loc(out, self.rows.get(rowid as usize).and_then(|l| l.as_ref()));
+        }
+        let new_pages = std::mem::take(&mut self.wal_new_pages);
+        wal::put_u32(out, new_pages.len() as u32);
+        for p in new_pages {
+            wal::put_u64(out, p);
+        }
+        self.encode_tail(out);
+    }
+
+    /// Shared trailer: free hints + absolute scalars. Scalars are logged
+    /// absolutely (24 bytes) rather than re-derived on replay — in
+    /// particular `jumbo_pages` counts abandoned chains, which the final
+    /// Locs alone cannot reconstruct.
+    fn encode_tail(&self, out: &mut Vec<u8>) {
+        wal::put_u32(out, self.free_hints.len() as u32);
+        for &p in &self.free_hints {
+            wal::put_u64(out, p);
+        }
+        wal::put_u64(out, self.live_rows);
+        wal::put_u64(out, self.live);
+        wal::put_u64(out, self.jumbo_pages);
+    }
+
+    /// Apply one encoded record (full or delta) during recovery. Records
+    /// must be applied in log order onto a heap created by [`Heap::new`].
+    pub fn wal_apply(&mut self, r: &mut wal::Reader) -> DbResult<()> {
+        match r.u8()? {
+            Self::WAL_FULL => {
+                let n = r.u64()? as usize;
+                self.rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    self.rows.push(read_loc(r)?);
+                }
+                let np = r.u32()? as usize;
+                self.pages = Vec::with_capacity(np);
+                for _ in 0..np {
+                    self.pages.push(r.u64()?);
+                }
+            }
+            Self::WAL_DELTA => {
+                let n = r.u32()? as usize;
+                for _ in 0..n {
+                    let rowid = r.u64()? as usize;
+                    let loc = read_loc(r)?;
+                    if rowid >= self.rows.len() {
+                        self.rows.resize(rowid + 1, None);
+                    }
+                    self.rows[rowid] = loc;
+                }
+                let np = r.u32()? as usize;
+                for _ in 0..np {
+                    self.pages.push(r.u64()?);
+                }
+            }
+            t => return Err(DbError::Io(format!("wal: unknown heap record tag {t}"))),
+        }
+        let nh = r.u32()? as usize;
+        self.free_hints = Vec::with_capacity(nh);
+        for _ in 0..nh {
+            self.free_hints.push(r.u64()?);
+        }
+        self.live_rows = r.u64()?;
+        self.live = r.u64()?;
+        self.jumbo_pages = r.u64()?;
+        Ok(())
+    }
+}
+
+fn put_loc(out: &mut Vec<u8>, loc: Option<&Loc>) {
+    match loc {
+        None => out.push(0),
+        Some(Loc::Slot { page, slot, len }) => {
+            out.push(1);
+            wal::put_u64(out, *page);
+            wal::put_u32(out, *slot as u32);
+            wal::put_u32(out, *len);
+        }
+        Some(Loc::Jumbo { pages, len }) => {
+            out.push(2);
+            wal::put_u32(out, pages.len() as u32);
+            for &p in pages {
+                wal::put_u64(out, p);
+            }
+            wal::put_u32(out, *len);
+        }
+    }
+}
+
+fn read_loc(r: &mut wal::Reader) -> DbResult<Option<Loc>> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => {
+            let page = r.u64()?;
+            let slot = r.u32()? as u16;
+            let len = r.u32()?;
+            Some(Loc::Slot { page, slot, len })
+        }
+        2 => {
+            let n = r.u32()? as usize;
+            let mut pages = Vec::with_capacity(n);
+            for _ in 0..n {
+                pages.push(r.u64()?);
+            }
+            let len = r.u32()?;
+            Some(Loc::Jumbo { pages, len })
+        }
+        t => return Err(DbError::Io(format!("wal: unknown loc tag {t}"))),
+    })
 }
 
 #[cfg(test)]

@@ -48,6 +48,7 @@ pub mod schema;
 pub mod selectivity;
 pub mod stats;
 pub mod tuple;
+pub mod wal;
 
 pub use btree::SecondaryIndex;
 pub use columnar::{ColumnStore, ColumnarInfo};
@@ -60,3 +61,4 @@ pub use func::ScalarFn;
 pub use heap::RowId;
 pub use planner::PlannerConfig;
 pub use selectivity::Defaults;
+pub use wal::{Wal, WalConfig};

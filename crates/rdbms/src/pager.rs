@@ -14,12 +14,14 @@
 
 use crate::error::{DbError, DbResult};
 use crate::page::{self, PAGE_SIZE};
+use crate::wal::Wal;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 pub type PageId = u64;
@@ -43,8 +45,18 @@ struct Frame {
     data: Box<[u8]>,
     /// Only mutated under the write lock; readers never look at it.
     dirty: bool,
+    /// Dirtied by a statement whose WAL commit hasn't happened yet. Such
+    /// frames are pinned against eviction (a *no-steal* policy): the data
+    /// file must never see a page image that isn't in the log first.
+    uncommitted: bool,
     /// LRU tick of last access. Atomic so shared-lock readers can bump it.
     last_used: AtomicU64,
+}
+
+impl Frame {
+    fn new(data: Box<[u8]>, dirty: bool, uncommitted: bool, tick: u64) -> Frame {
+        Frame { data, dirty, uncommitted, last_used: AtomicU64::new(tick) }
+    }
 }
 
 struct Inner {
@@ -64,6 +76,14 @@ pub struct Pager {
     tick: AtomicU64,
     stats: IoStats,
     io_delay: Option<Duration>,
+    /// When true, mutations mark frames `uncommitted` until the owning
+    /// statement's WAL commit drains them via
+    /// [`Pager::take_uncommitted_images`].
+    wal_mode: bool,
+    /// Under group commit a frame's covering commit record may still be
+    /// unsynced when the frame comes up for eviction; write-back forces
+    /// the log down first so the data file never runs ahead of it.
+    wal_hook: OnceLock<Arc<Wal>>,
 }
 
 impl Pager {
@@ -79,6 +99,8 @@ impl Pager {
             tick: AtomicU64::new(0),
             stats: IoStats::default(),
             io_delay: None,
+            wal_mode: false,
+            wal_hook: OnceLock::new(),
         }
     }
 
@@ -100,6 +122,29 @@ impl Pager {
             tick: AtomicU64::new(0),
             stats: IoStats::default(),
             io_delay: None,
+            wal_mode: false,
+            wal_hook: OnceLock::new(),
+        })
+    }
+
+    /// File-backed pager over an **existing** data file (the recovery
+    /// path): nothing is truncated, and the first `n_pages` pages of the
+    /// file are addressable immediately.
+    pub fn open_existing(path: &Path, pool_pages: usize, n_pages: u64) -> DbResult<Pager> {
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        Ok(Pager {
+            inner: RwLock::new(Inner {
+                file: Some(file),
+                frames: HashMap::new(),
+                n_pages,
+                capacity: pool_pages.max(8),
+            }),
+            tick: AtomicU64::new(0),
+            stats: IoStats::default(),
+            io_delay: None,
+            wal_mode: false,
+            wal_hook: OnceLock::new(),
         })
     }
 
@@ -109,32 +154,48 @@ impl Pager {
         self
     }
 
+    /// Enable WAL discipline: mutated frames are held as `uncommitted`
+    /// (never evicted) until drained at the statement's commit point.
+    pub fn with_wal_mode(mut self, on: bool) -> Pager {
+        self.wal_mode = on;
+        self
+    }
+
+    /// Attach the log so write-back can force any group-commit backlog to
+    /// disk before a page image reaches the data file. Set once, right
+    /// after the WAL is opened; a second call is ignored.
+    pub fn set_wal(&self, wal: Arc<Wal>) {
+        let _ = self.wal_hook.set(wal);
+    }
+
     /// Allocate a fresh, zeroed, page-initialized page.
     pub fn alloc(&self) -> DbResult<PageId> {
-        let mut inner = self.inner.write();
-        let id = inner.n_pages;
-        inner.n_pages += 1;
-        let mut data = vec![0u8; PAGE_SIZE].into_boxed_slice();
-        page::init(&mut data);
-        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        self.make_room(&mut inner)?;
-        inner
-            .frames
-            .insert(id, Frame { data, dirty: true, last_used: AtomicU64::new(tick) });
-        Ok(id)
+        self.alloc_inner(true, self.wal_mode)
     }
 
     /// Allocate a raw (uninitialized-layout) page for jumbo chains.
     pub fn alloc_raw(&self) -> DbResult<PageId> {
+        self.alloc_inner(false, self.wal_mode)
+    }
+
+    /// Allocate a raw page *outside* the WAL: used for derived structures
+    /// (B-tree leaves) that recovery rebuilds from the heap instead of
+    /// replaying, so their churn never bloats the log.
+    pub fn alloc_raw_unlogged(&self) -> DbResult<PageId> {
+        self.alloc_inner(false, false)
+    }
+
+    fn alloc_inner(&self, init: bool, uncommitted: bool) -> DbResult<PageId> {
         let mut inner = self.inner.write();
         let id = inner.n_pages;
         inner.n_pages += 1;
-        let data = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        let mut data = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        if init {
+            page::init(&mut data);
+        }
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         self.make_room(&mut inner)?;
-        inner
-            .frames
-            .insert(id, Frame { data, dirty: true, last_used: AtomicU64::new(tick) });
+        inner.frames.insert(id, Frame::new(data, true, uncommitted, tick));
         Ok(id)
     }
 
@@ -163,15 +224,53 @@ impl Pager {
         Ok(f(&frame.data))
     }
 
-    /// Write access to a page; marks it dirty.
+    /// Write access to a page; marks it dirty (and, under WAL discipline,
+    /// uncommitted until the statement's commit point drains it).
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> DbResult<R> {
+        self.with_page_mut_inner(id, self.wal_mode, f)
+    }
+
+    /// Write access *outside* the WAL, for derived structures (B-tree
+    /// leaves) that recovery rebuilds rather than replays.
+    pub fn with_page_mut_unlogged<R>(
+        &self,
+        id: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> DbResult<R> {
+        self.with_page_mut_inner(id, false, f)
+    }
+
+    fn with_page_mut_inner<R>(
+        &self,
+        id: PageId,
+        uncommitted: bool,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> DbResult<R> {
         let mut inner = self.inner.write();
         self.fault_in(&mut inner, id)?;
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let frame = inner.frames.get_mut(&id).expect("faulted in");
         *frame.last_used.get_mut() = tick;
         frame.dirty = true;
+        frame.uncommitted |= uncommitted;
         Ok(f(&mut frame.data))
+    }
+
+    /// Drain the images of every uncommitted frame (sorted by page id for
+    /// deterministic logs) and clear their flags — the statement commit
+    /// point. The frames stay dirty and resident; once their images are
+    /// in the log they become evictable again.
+    pub fn take_uncommitted_images(&self) -> Vec<(PageId, Box<[u8]>)> {
+        let mut inner = self.inner.write();
+        let mut out: Vec<(PageId, Box<[u8]>)> = Vec::new();
+        for (id, fr) in inner.frames.iter_mut() {
+            if fr.uncommitted {
+                fr.uncommitted = false;
+                out.push((*id, fr.data.clone()));
+            }
+        }
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
     }
 
     pub fn n_pages(&self) -> u64 {
@@ -210,6 +309,25 @@ impl Pager {
         }
         if let Some(f) = &mut inner.file {
             f.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Write back all dirty frames and `fsync` the data file — the
+    /// checkpoint barrier: after this returns, the log's history before
+    /// the checkpoint is no longer needed.
+    pub fn flush_and_sync(&self) -> DbResult<()> {
+        let mut inner = self.inner.write();
+        if inner.file.is_none() {
+            return Ok(());
+        }
+        let ids: Vec<PageId> =
+            inner.frames.iter().filter(|(_, fr)| fr.dirty).map(|(id, _)| *id).collect();
+        for id in ids {
+            self.write_back(&mut inner, id)?;
+        }
+        if let Some(f) = &mut inner.file {
+            f.sync_all()?;
         }
         Ok(())
     }
@@ -253,21 +371,47 @@ impl Pager {
         }
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         self.make_room(inner)?;
-        inner
-            .frames
-            .insert(id, Frame { data, dirty: false, last_used: AtomicU64::new(tick) });
+        inner.frames.insert(id, Frame::new(data, false, false, tick));
         Ok(())
     }
 
     fn make_room(&self, inner: &mut Inner) -> DbResult<()> {
         while inner.frames.len() >= inner.capacity {
+            // No-steal: uncommitted frames are pinned (their images must
+            // reach the WAL before the data file may see them). If every
+            // frame is pinned the pool temporarily exceeds capacity; the
+            // statement's commit point unpins them all.
             let victim = inner
                 .frames
                 .iter()
+                .filter(|(_, fr)| !fr.uncommitted)
                 .min_by_key(|(_, fr)| fr.last_used.load(Ordering::Relaxed))
-                .map(|(id, _)| *id)
-                .expect("pool nonempty");
+                .map(|(id, _)| *id);
+            let Some(victim) = victim else { return Ok(()) };
             self.write_back(inner, victim)?;
+            inner.frames.remove(&victim);
+        }
+        Ok(())
+    }
+
+    /// Evict LRU frames until the pool is back within capacity — the
+    /// counterpart to the no-steal overflow: a statement that dirtied more
+    /// pages than the pool holds calls this right after its WAL commit
+    /// unpins them.
+    pub fn shrink_to_capacity(&self) -> DbResult<()> {
+        let mut inner = self.inner.write();
+        if inner.file.is_none() {
+            return Ok(());
+        }
+        while inner.frames.len() > inner.capacity {
+            let victim = inner
+                .frames
+                .iter()
+                .filter(|(_, fr)| !fr.uncommitted)
+                .min_by_key(|(_, fr)| fr.last_used.load(Ordering::Relaxed))
+                .map(|(id, _)| *id);
+            let Some(victim) = victim else { return Ok(()) };
+            self.write_back(&mut inner, victim)?;
             inner.frames.remove(&victim);
         }
         Ok(())
@@ -277,6 +421,12 @@ impl Pager {
         let dirty = inner.frames.get(&id).map(|fr| fr.dirty).unwrap_or(false);
         if !dirty {
             return Ok(());
+        }
+        // WAL-before-data: the commit covering this image may still sit in
+        // the group-commit window; force it down before the page goes out.
+        // (No-op when nothing is unsynced, so the common case is free.)
+        if let Some(w) = self.wal_hook.get() {
+            w.sync()?;
         }
         let data_ptr: Box<[u8]> = inner.frames.get(&id).unwrap().data.clone();
         let Some(file) = &mut inner.file else {

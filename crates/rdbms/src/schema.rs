@@ -2,6 +2,7 @@
 
 use crate::datum::ColType;
 use crate::error::{DbError, DbResult};
+use crate::wal;
 
 /// One column of a table.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +71,55 @@ impl TableSchema {
         self.columns[idx].name = format!("..dropped.{idx}");
         Ok(idx)
     }
+
+    // ---- WAL metadata codec ----
+    //
+    // Schemas are small (tens of columns), so commit records carry the
+    // full schema rather than a delta.
+
+    pub fn wal_encode(&self, out: &mut Vec<u8>) {
+        wal::put_u32(out, self.columns.len() as u32);
+        for c in &self.columns {
+            wal::put_str(out, &c.name);
+            out.push(coltype_tag(c.ty));
+            out.push(c.dropped as u8);
+        }
+    }
+
+    pub fn wal_decode(r: &mut wal::Reader) -> DbResult<TableSchema> {
+        let n = r.u32()? as usize;
+        let mut columns = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?.to_string();
+            let ty = coltype_from_tag(r.u8()?)?;
+            let dropped = r.u8()? != 0;
+            columns.push(ColumnDef { name, ty, dropped });
+        }
+        Ok(TableSchema { columns })
+    }
+}
+
+fn coltype_tag(ty: ColType) -> u8 {
+    match ty {
+        ColType::Bool => 0,
+        ColType::Int => 1,
+        ColType::Float => 2,
+        ColType::Text => 3,
+        ColType::Bytea => 4,
+        ColType::Array => 5,
+    }
+}
+
+fn coltype_from_tag(tag: u8) -> DbResult<ColType> {
+    Ok(match tag {
+        0 => ColType::Bool,
+        1 => ColType::Int,
+        2 => ColType::Float,
+        3 => ColType::Text,
+        4 => ColType::Bytea,
+        5 => ColType::Array,
+        t => return Err(DbError::Io(format!("wal: unknown coltype tag {t}"))),
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,305 @@
+//! Crash-recovery tests for the write-ahead log.
+//!
+//! The harness runs a deterministic statement workload in a **child
+//! process** (this same test binary, re-executed with `--exact
+//! crash_child`), kills it mid-flight — either at a precise WAL append
+//! via `SINEW_WAL_CRASH_AFTER` fault injection (which half-writes a
+//! frame, deterministically producing a torn tail) or with a raw
+//! `SIGKILL` at a fuzzed moment — then reopens the database and asserts
+//! the recovered state is identical to the state after some *statement
+//! prefix* of a differential oracle replaying the identical workload
+//! in memory. Heap contents, B-tree probes, and columnar-path
+//! aggregates must all land on the same prefix together.
+
+use sinew_rdbms::{ColType, Database, WalConfig};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+
+// ---- the shared workload ----
+
+enum Stmt {
+    Sql(String),
+    AddColumn(&'static str, &'static str, ColType),
+    BuildColumnar(&'static str, &'static str),
+    DropTable(&'static str),
+}
+
+/// Multi-row INSERT with an explicit column list, so it stays valid
+/// after later ADD COLUMNs.
+fn insert_t(start: i64, count: i64) -> Stmt {
+    let vals: Vec<String> = (start..start + count)
+        .map(|i| format!("({i}, 's-{i}', {}.5)", i / 2))
+        .collect();
+    Stmt::Sql(format!("INSERT INTO t (a, b, c) VALUES {}", vals.join(", ")))
+}
+
+fn insert_u(start: i64, count: i64) -> Stmt {
+    let vals: Vec<String> =
+        (start..start + count).map(|i| format!("({i}, 'u-{i}')")).collect();
+    Stmt::Sql(format!("INSERT INTO u (k, v) VALUES {}", vals.join(", ")))
+}
+
+/// One entry = one WAL commit unit. Recovery must land exactly on one of
+/// these boundaries, never between.
+fn workload() -> Vec<Stmt> {
+    use Stmt::*;
+    vec![
+        Sql("CREATE TABLE t (a int, b text, c float)".into()),
+        insert_t(0, 400),
+        insert_t(400, 400),
+        Sql("CREATE INDEX idx_t_a ON t (a)".into()),
+        Sql("UPDATE t SET b = 'upd-one' WHERE a % 7 = 3".into()),
+        Sql("DELETE FROM t WHERE a % 11 = 5".into()),
+        insert_t(800, 400),
+        BuildColumnar("t", "a"),
+        Sql("UPDATE t SET c = 2.5 WHERE a % 5 = 0".into()),
+        Sql("CREATE TABLE u (k int, v text)".into()),
+        insert_u(0, 200),
+        AddColumn("t", "d", ColType::Int),
+        Sql("UPDATE t SET d = a * 2 WHERE a < 100".into()),
+        Sql("DELETE FROM u WHERE k % 2 = 0".into()),
+        insert_t(1200, 400),
+        DropTable("u"),
+        Sql("UPDATE t SET b = 'upd-two' WHERE a % 13 = 1".into()),
+        insert_t(1600, 400),
+        Sql("DELETE FROM t WHERE a % 17 = 2".into()),
+        insert_t(2000, 400),
+    ]
+}
+
+fn apply(db: &Database, stmt: &Stmt) {
+    match stmt {
+        Stmt::Sql(sql) => {
+            db.execute(sql).unwrap();
+        }
+        Stmt::AddColumn(t, c, ty) => db.add_column(t, c, *ty).unwrap(),
+        Stmt::BuildColumnar(t, c) => db.build_columnar(t, c).unwrap(),
+        Stmt::DropTable(t) => db.drop_table(t).unwrap(),
+    }
+}
+
+/// Logical fingerprint of the whole database: full ordered contents of
+/// both tables, an index-probe, a columnar-eligible aggregate, and the
+/// index/columnar catalog. Two states with equal fingerprints answer
+/// every workload query identically.
+fn fingerprint(db: &Database) -> String {
+    let mut out = String::new();
+    for (table, order) in [("t", "a"), ("u", "k")] {
+        match db.execute(&format!("SELECT * FROM {table} ORDER BY {order}")) {
+            Ok(r) => {
+                out.push_str(&format!("{table}: {:?} rows={:?}\n", r.columns, r.rows));
+            }
+            Err(_) => out.push_str(&format!("{table}: absent\n")),
+        }
+    }
+    if let Ok(r) = db.execute("SELECT b FROM t WHERE a = 517") {
+        out.push_str(&format!("probe: {:?}\n", r.rows));
+    }
+    if let Ok(r) = db.execute("SELECT COUNT(*), SUM(a) FROM t WHERE a % 3 = 0") {
+        out.push_str(&format!("agg: {:?}\n", r.rows));
+    }
+    if let Ok(infos) = db.index_infos("t") {
+        let defs: Vec<(String, String, u64)> =
+            infos.into_iter().map(|i| (i.name, i.column, i.key_count)).collect();
+        out.push_str(&format!("indexes: {defs:?}\n"));
+    }
+    if let Ok(infos) = db.columnar_infos("t") {
+        let mut cols: Vec<String> = infos.into_iter().map(|i| i.column).collect();
+        cols.sort();
+        out.push_str(&format!("columnar: {cols:?}\n"));
+    }
+    out
+}
+
+/// Oracle: fingerprints after every statement prefix (index 0 = empty
+/// database), from an in-memory replay of the identical workload.
+fn oracle_prefixes() -> Vec<String> {
+    let db = Database::in_memory();
+    let mut out = vec![fingerprint(&db)];
+    for stmt in workload() {
+        apply(&db, &stmt);
+        out.push(fingerprint(&db));
+    }
+    out
+}
+
+fn assert_is_prefix(recovered: &str, prefixes: &[String], ctx: &str) {
+    let k = prefixes.iter().position(|p| p == recovered);
+    assert!(
+        k.is_some(),
+        "{ctx}: recovered state matches no statement prefix of the oracle;\n\
+         recovered:\n{recovered}\nlast oracle prefix:\n{}",
+        prefixes.last().unwrap()
+    );
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sinew-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn forced_wal() -> WalConfig {
+    // Force the WAL on regardless of the SINEW_WAL env the suite runs
+    // under (CI runs the whole suite with SINEW_WAL=0 too).
+    WalConfig { enabled: true, ..WalConfig::from_env() }
+}
+
+fn reopen(dir: &Path) -> Database {
+    Database::open_with_wal(&dir.join("t.db"), 32, None, forced_wal()).unwrap()
+}
+
+// ---- child-process entry point ----
+
+/// Not a real test: the re-exec target. A no-op unless the parent set
+/// `SINEW_CRASH_DIR`, in which case it runs the workload against that
+/// directory until it finishes — or until fault injection / the parent's
+/// SIGKILL stops it mid-statement.
+#[test]
+fn crash_child() {
+    let Ok(dir) = std::env::var("SINEW_CRASH_DIR") else { return };
+    let mut cfg = WalConfig::from_env();
+    cfg.enabled = true;
+    let db =
+        Database::open_with_wal(&Path::new(&dir).join("t.db"), 32, None, cfg).unwrap();
+    for stmt in workload() {
+        apply(&db, &stmt);
+    }
+}
+
+fn spawn_child(dir: &Path, extra_env: &[(&str, String)]) -> std::process::Child {
+    let mut cmd = Command::new(std::env::current_exe().unwrap());
+    cmd.args(["crash_child", "--exact", "--nocapture"])
+        .env("SINEW_CRASH_DIR", dir)
+        .env_remove("SINEW_WAL")
+        .env_remove("SINEW_WAL_CRASH_AFTER")
+        .env_remove("SINEW_WAL_GROUP_COMMIT")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    cmd.spawn().unwrap()
+}
+
+// ---- the tests ----
+
+#[test]
+fn clean_reopen_recovers_full_state() {
+    let dir = test_dir("clean");
+    {
+        let db = reopen(&dir);
+        for stmt in workload() {
+            apply(&db, &stmt);
+        }
+        // Dropped without flush or checkpoint: everything must come back
+        // from the log alone.
+    }
+    let db = reopen(&dir);
+    assert_eq!(fingerprint(&db), *oracle_prefixes().last().unwrap());
+    let snap = db.exec_stats();
+    assert_eq!(snap.wal_recoveries, 1);
+    assert!(snap.wal_recovered_pages > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_tail_recovery_lands_on_statement_boundary() {
+    let prefixes = oracle_prefixes();
+    // Fault injection half-writes the n-th appended frame and aborts;
+    // the sweep covers the checkpoint frame, early page frames, commit
+    // frames, and appends deep into the workload.
+    for crash_after in [1u64, 2, 3, 5, 9, 17, 33, 65, 129, 257] {
+        let dir = test_dir(&format!("torn-{crash_after}"));
+        let status = spawn_child(
+            &dir,
+            &[("SINEW_WAL_CRASH_AFTER", crash_after.to_string())],
+        )
+        .wait()
+        .unwrap();
+        let db = reopen(&dir);
+        if status.success() {
+            // The sweep ran past the workload's total append count: the
+            // child finished cleanly, so recovery must yield it all.
+            assert_eq!(
+                fingerprint(&db),
+                *prefixes.last().unwrap(),
+                "crash_after={crash_after}: clean run must recover in full"
+            );
+        } else {
+            assert_is_prefix(
+                &fingerprint(&db),
+                &prefixes,
+                &format!("crash_after={crash_after}"),
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn kill9_fuzz_recovers_to_statement_boundary() {
+    let prefixes = oracle_prefixes();
+    let iters: u64 = std::env::var("SINEW_CRASH_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+    for i in 0..iters {
+        let dir = test_dir(&format!("kill9-{i}"));
+        // Alternate group-commit windows so some runs have committed-but-
+        // unsynced statements in flight when the SIGKILL lands.
+        let gc = if i % 2 == 0 { "1" } else { "4" };
+        let mut child = spawn_child(&dir, &[("SINEW_WAL_GROUP_COMMIT", gc.to_string())]);
+        // Deterministic but varied kill points across iterations.
+        std::thread::sleep(Duration::from_millis(5 + (i * 37) % 120));
+        child.kill().ok(); // SIGKILL: no destructors, no flush
+        let _ = child.wait();
+        let db = reopen(&dir);
+        assert_is_prefix(&fingerprint(&db), &prefixes, &format!("kill9 iter {i} gc={gc}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn recovery_is_idempotent_across_repeated_reopens() {
+    // Reopening without new writes must converge: same contents, and the
+    // second reopen recovers from the checkpoint the first one laid down.
+    let dir = test_dir("idem");
+    {
+        let db = reopen(&dir);
+        for stmt in workload().into_iter().take(8) {
+            apply(&db, &stmt);
+        }
+    }
+    let fp1 = {
+        let db = reopen(&dir);
+        fingerprint(&db)
+    };
+    let fp2 = {
+        let db = reopen(&dir);
+        fingerprint(&db)
+    };
+    assert_eq!(fp1, fp2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_then_crash_recovers_post_checkpoint_commits() {
+    let dir = test_dir("ckpt");
+    let stmts = workload();
+    {
+        let db = reopen(&dir);
+        for stmt in stmts.iter().take(10) {
+            apply(&db, stmt);
+        }
+        db.checkpoint().unwrap();
+        for stmt in stmts.iter().skip(10) {
+            apply(&db, stmt);
+        }
+    }
+    let db = reopen(&dir);
+    assert_eq!(fingerprint(&db), *oracle_prefixes().last().unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,312 @@
+//! Regression coverage for scalar semantics: exact Int↔Float comparison
+//! (no lossy i64→f64 cast), checked integer arithmetic, and the LIKE
+//! matcher's escape/multi-byte handling — each pinned against a naive
+//! reference or a concrete miscomparison that the old code got wrong.
+
+use proptest::prelude::*;
+use sinew_rdbms::expr::like_match;
+use sinew_rdbms::{Database, Datum, DbError};
+use std::cmp::Ordering;
+
+// ---- exact Int ↔ Float comparison ----
+//
+// 2^53 + 1 is the first integer that f64 cannot represent: the old
+// `(*a as f64).partial_cmp(b)` rounded it to 2^53 and declared it equal
+// to Float(2^53). The fixed comparison must see through the rounding.
+
+#[test]
+fn int_float_comparison_is_exact_beyond_2_53() {
+    let big = 9_007_199_254_740_993i64; // 2^53 + 1
+    let below = 9_007_199_254_740_992.0f64; // 2^53
+    assert_eq!(Datum::Int(big).sql_cmp(&Datum::Float(below)), Some(Ordering::Greater));
+    assert_eq!(Datum::Float(below).sql_cmp(&Datum::Int(big)), Some(Ordering::Less));
+    assert_eq!(Datum::Int(big).sql_eq(&Datum::Float(below)), Some(false));
+    // Exactly representable values still compare equal.
+    assert_eq!(
+        Datum::Int(big - 1).sql_cmp(&Datum::Float(below)),
+        Some(Ordering::Equal)
+    );
+}
+
+#[test]
+fn int_float_comparison_near_i64_extremes() {
+    // 2^63 as a float is out of i64 range: strictly greater than any Int,
+    // even i64::MAX (the old cast saturated and said Equal).
+    let two_63 = 9_223_372_036_854_775_808.0f64;
+    assert_eq!(
+        Datum::Int(i64::MAX).sql_cmp(&Datum::Float(two_63)),
+        Some(Ordering::Less)
+    );
+    // -2^63 is exactly i64::MIN.
+    assert_eq!(
+        Datum::Int(i64::MIN).sql_cmp(&Datum::Float(-two_63)),
+        Some(Ordering::Equal)
+    );
+    assert_eq!(
+        Datum::Int(i64::MIN).sql_cmp(&Datum::Float(f64::NEG_INFINITY)),
+        Some(Ordering::Greater)
+    );
+    assert_eq!(Datum::Int(0).sql_cmp(&Datum::Float(f64::NAN)), None);
+    // Fractional tails break ties in the right direction.
+    assert_eq!(
+        Datum::Int(5).sql_cmp(&Datum::Float(5.5)),
+        Some(Ordering::Less)
+    );
+    assert_eq!(
+        Datum::Int(-5).sql_cmp(&Datum::Float(-5.5)),
+        Some(Ordering::Greater)
+    );
+}
+
+#[test]
+fn group_key_rejects_2_63_float() {
+    // Float(2^63) is integral but outside i64: it must NOT group with
+    // Int(i64::MAX) (the saturating `as` cast would have made it).
+    let f = Datum::Float(9_223_372_036_854_775_808.0);
+    assert_ne!(f.group_key(), Datum::Int(i64::MAX).group_key());
+    // ... while integral floats inside the range still unify with ints.
+    assert_eq!(Datum::Float(42.0).group_key(), Datum::Int(42).group_key());
+}
+
+#[test]
+fn total_cmp_stays_total_across_large_mixed_numerics() {
+    // Sorting a mixed column spanning the 2^53 boundary must be stable
+    // and strict-weak; a lossy comparison makes "equal" intransitive.
+    let mut v = vec![
+        Datum::Int(9_007_199_254_740_993),
+        Datum::Float(9_007_199_254_740_992.0),
+        Datum::Int(9_007_199_254_740_992),
+        Datum::Float(9_007_199_254_740_994.0),
+        Datum::Float(f64::NAN),
+        Datum::Float(-f64::NAN),
+        Datum::Int(i64::MIN),
+        Datum::Float(-0.0),
+        Datum::Int(0),
+    ];
+    v.sort_by(|a, b| a.total_cmp(b));
+    for w in v.windows(2) {
+        assert_ne!(w[0].total_cmp(&w[1]), Ordering::Greater, "{w:?} out of order");
+    }
+    // The 2^53+1 int lands strictly between the 2^53 values (Int and
+    // Float compare equal there, so either may neighbour it) and the
+    // 2^53+2 float.
+    let pos993 = v
+        .iter()
+        .position(|d| *d == Datum::Int(9_007_199_254_740_993))
+        .unwrap();
+    assert!(
+        v[pos993 - 1] == Datum::Float(9_007_199_254_740_992.0)
+            || v[pos993 - 1] == Datum::Int(9_007_199_254_740_992),
+        "below 2^53+1: {:?}",
+        v[pos993 - 1]
+    );
+    assert_eq!(v[pos993 + 1], Datum::Float(9_007_199_254_740_994.0));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The exact comparison agrees with arbitrary-precision ground truth
+    /// (f64 → rational via i128 scaling of the mantissa is overkill; a
+    /// string-free check via f64 bounds does the job: compare against the
+    /// two neighbouring representable floats of `a`).
+    #[test]
+    fn exact_cmp_matches_wide_float_arithmetic(a in any::<i64>(), b in any::<f64>()) {
+        let got = Datum::Int(a).sql_cmp(&Datum::Float(b));
+        if b.is_nan() {
+            prop_assert_eq!(got, None);
+        } else {
+            // Ground truth via 128-bit comparison: every f64 with |b| < 2^127
+            // is exactly representable as (mantissa × 2^exp); instead of
+            // decomposing, compare in two monotone steps that are each exact.
+            let truth = if b >= 9_223_372_036_854_775_808.0 {
+                Ordering::Less
+            } else if b < -9_223_372_036_854_775_808.0 {
+                Ordering::Greater
+            } else {
+                let fl = b.floor();
+                let fi = fl as i64;
+                match a.cmp(&fi) {
+                    Ordering::Equal if b > fl => Ordering::Less,
+                    o => o,
+                }
+            };
+            prop_assert_eq!(got, Some(truth));
+        }
+    }
+
+    /// Antisymmetry between the two mixed arms.
+    #[test]
+    fn mixed_cmp_antisymmetric(a in any::<i64>(), b in any::<f64>()) {
+        let ab = Datum::Int(a).sql_cmp(&Datum::Float(b));
+        let ba = Datum::Float(b).sql_cmp(&Datum::Int(a));
+        prop_assert_eq!(ab, ba.map(Ordering::reverse));
+    }
+}
+
+// ---- checked integer arithmetic ----
+
+#[test]
+fn integer_overflow_is_an_error_not_a_wrap() {
+    let db = Database::in_memory();
+    for sql in [
+        "SELECT 9223372036854775807 + 1",
+        "SELECT -9223372036854775807 - 2",
+        "SELECT 4611686018427387904 * 2",
+    ] {
+        let err = db.execute(sql).unwrap_err();
+        assert!(
+            matches!(&err, DbError::Eval(m) if m.contains("overflow")),
+            "{sql}: expected overflow error, got {err:?}"
+        );
+    }
+    // i64::MIN / -1 and % -1 overflow too (no literal for i64::MIN, so
+    // feed it through a table).
+    db.execute("CREATE TABLE o (v int)").unwrap();
+    db.insert_rows("o", &[vec![Datum::Int(i64::MIN)]]).unwrap();
+    for sql in ["SELECT v / -1 FROM o", "SELECT v % -1 FROM o"] {
+        let err = db.execute(sql).unwrap_err();
+        assert!(
+            matches!(&err, DbError::Eval(m) if m.contains("overflow")),
+            "{sql}: expected overflow error, got {err:?}"
+        );
+    }
+    // In-range arithmetic is untouched.
+    let r = db.execute("SELECT 9223372036854775806 + 1").unwrap();
+    assert_eq!(r.scalar(), Some(&Datum::Int(i64::MAX)));
+    // Division by zero keeps its own message.
+    let err = db.execute("SELECT 1 / 0").unwrap_err();
+    assert!(matches!(&err, DbError::Eval(m) if m.contains("division by zero")));
+}
+
+#[test]
+fn lossy_float_literal_comparison_fixed_end_to_end() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE big (v int)").unwrap();
+    db.insert_rows(
+        "big",
+        &[
+            vec![Datum::Int(9_007_199_254_740_992)],
+            vec![Datum::Int(9_007_199_254_740_993)],
+        ],
+    )
+    .unwrap();
+    // The float literal is exactly 2^53; only the first row matches.
+    let r = db
+        .execute("SELECT COUNT(*) FROM big WHERE v = 9007199254740992.0")
+        .unwrap();
+    assert_eq!(r.scalar(), Some(&Datum::Int(1)));
+}
+
+// ---- columnar zone maps stay supersets under the exact comparison ----
+
+#[test]
+fn zone_maps_remain_supersets_across_2_53_boundary() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE z (v int)").unwrap();
+    // > 1 segment (SEG_ROWS = 4096) of values straddling 2^53 so segment
+    // min/max bounds sit in the lossy region.
+    let base = 9_007_199_254_740_992i64 - 3000;
+    let rows: Vec<Vec<Datum>> = (0..6000).map(|i| vec![Datum::Int(base + i)]).collect();
+    db.insert_rows("z", &rows).unwrap();
+    db.build_columnar("z", "v").unwrap();
+    for probe in [
+        base,
+        base + 2999,
+        base + 3000, // 2^53 exactly
+        base + 3001, // 2^53 + 1: unrepresentable as f64
+        base + 5999,
+    ] {
+        let r = db
+            .execute(&format!("SELECT COUNT(*) FROM z WHERE v = {probe}"))
+            .unwrap();
+        // Pruning must never drop the segment that holds the match.
+        assert_eq!(r.scalar(), Some(&Datum::Int(1)), "probe {probe}");
+    }
+    // A float probe between representable neighbours matches exactly one
+    // row under exact semantics (2^53 + 1 rounds to 2^53 in the literal).
+    let r = db
+        .execute("SELECT COUNT(*) FROM z WHERE v = 9007199254740992.0")
+        .unwrap();
+    assert_eq!(r.scalar(), Some(&Datum::Int(1)));
+}
+
+// ---- LIKE matcher ----
+
+#[test]
+fn like_escapes_and_literals() {
+    // Escaped wildcards match literally.
+    assert!(like_match("100%", "100\\%"));
+    assert!(!like_match("1000", "100\\%"));
+    assert!(like_match("a_b", "a\\_b"));
+    assert!(!like_match("axb", "a\\_b"));
+    // Escaped backslash.
+    assert!(like_match("a\\b", "a\\\\b"));
+    // A trailing backslash (nothing to escape) matches itself.
+    assert!(like_match("ab\\", "ab\\"));
+    assert!(!like_match("ab", "ab\\"));
+    // Escape before a non-wildcard is just that char.
+    assert!(like_match("abc", "a\\bc"));
+}
+
+#[test]
+fn like_multibyte_chars() {
+    // `_` consumes one *char*, not one byte.
+    assert!(like_match("héllo", "h_llo"));
+    assert!(like_match("日本語", "___"));
+    assert!(!like_match("日本語", "____"));
+    assert!(like_match("naïve", "na%ve"));
+    assert!(like_match("crème brûlée", "%brûlée"));
+    assert!(like_match("😀😀", "😀%"));
+}
+
+#[test]
+fn like_wildcard_basics() {
+    assert!(like_match("", "%"));
+    assert!(like_match("abc", "%"));
+    assert!(!like_match("", "_"));
+    assert!(like_match("abc", "a%c"));
+    assert!(like_match("ac", "a%c"));
+    assert!(!like_match("ab", "a%c"));
+    assert!(like_match("abcbc", "a%bc"));
+    // Multiple %s with backtracking.
+    assert!(like_match("xaybzc", "%a%b%c%"));
+}
+
+/// Naive reference matcher: straightforward recursion over char slices,
+/// obviously correct, exponential in the worst case — inputs stay small.
+fn like_ref(s: &[char], p: &[char]) -> bool {
+    match p.first() {
+        None => s.is_empty(),
+        Some('\\') if p.len() > 1 => match s.first() {
+            Some(c) if *c == p[1] => like_ref(&s[1..], &p[2..]),
+            _ => false,
+        },
+        Some('%') => {
+            (0..=s.len()).any(|k| like_ref(&s[k..], &p[1..]))
+        }
+        Some('_') => !s.is_empty() && like_ref(&s[1..], &p[1..]),
+        Some(c) => match s.first() {
+            Some(sc) if sc == c => like_ref(&s[1..], &p[1..]),
+            _ => false,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn like_matches_reference(
+        s in "[abé%_\\\\]{0,8}",
+        p in "[abé%_\\\\]{0,6}",
+    ) {
+        let sc: Vec<char> = s.chars().collect();
+        let pc: Vec<char> = p.chars().collect();
+        prop_assert_eq!(
+            like_match(&s, &p),
+            like_ref(&sc, &pc),
+            "s={:?} p={:?}", s, p
+        );
+    }
+}
