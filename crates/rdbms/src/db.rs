@@ -121,6 +121,22 @@ impl Database {
                 Database::recover(path, &wal_path, pool_pages, io_delay, cfg, contents)
             }
             None => {
+                // No (valid) log. A fresh database starts here — but a
+                // *non-empty* data file whose log is missing or invalid
+                // means the log was lost (deleted, torn at creation,
+                // never made durable): truncating the data file now
+                // would silently destroy fully-synced committed data.
+                // Fail loudly instead; `SINEW_WAL=0` keeps the legacy
+                // truncate-on-open behaviour for scratch files.
+                if std::fs::metadata(path).map(|m| m.len() > 0).unwrap_or(false) {
+                    return Err(DbError::Io(format!(
+                        "wal: data file {} is non-empty but its log {} is missing or \
+                         invalid; refusing to truncate (delete the data file to start \
+                         fresh, or open with SINEW_WAL=0)",
+                        path.display(),
+                        wal_path.display()
+                    )));
+                }
                 let mut pager = Pager::open(path, pool_pages)?.with_wal_mode(true);
                 if let Some(d) = io_delay {
                     pager = pager.with_io_delay(d);
@@ -291,6 +307,10 @@ impl Database {
         }
 
         // Phase 4: fresh log seeded from the recovered state.
+        // `Wal::create` replaces the old log atomically (temp + rename +
+        // dir fsync): a crash anywhere in this phase leaves the old log
+        // intact and the next open simply recovers again — recovery
+        // itself is re-runnable under kill -9.
         let snapshot = db.wal_snapshot();
         let new_wal = Wal::create(wal_path, cfg, &snapshot)?;
         new_wal.stats.recoveries.store(1, std::sync::atomic::Ordering::Relaxed);
@@ -347,6 +367,30 @@ impl Database {
         // A statement bigger than the pool overflowed it (no-steal pins);
         // now that the images are logged, evict back down to capacity.
         self.pager.shrink_to_capacity()
+    }
+
+    /// Finish a mutating statement whose body may have errored mid-way.
+    /// A failed statement is *not* rolled back — the rows it already
+    /// touched are real in memory — so its page images and heap delta
+    /// must still reach the log as this statement's own commit unit.
+    /// Left uncommitted, they would be silently folded into the NEXT
+    /// statement's commit record (possibly for a different table) and
+    /// their no-steal pins would hold the pool over capacity until then.
+    /// A statement that failed before touching anything appends nothing.
+    /// The statement's own error wins over a commit error.
+    fn wal_finish_statement<R>(
+        &self,
+        name: &str,
+        t: &mut Table,
+        res: DbResult<R>,
+    ) -> DbResult<R> {
+        if res.is_err() && !self.pager.has_uncommitted() && !t.heap.wal_has_delta() {
+            return res;
+        }
+        match self.wal_commit_table(name, t) {
+            Ok(()) => res,
+            Err(commit_err) => res.and(Err(commit_err)),
+        }
     }
 
     /// Commit a DROP TABLE statement.
@@ -767,25 +811,28 @@ impl Database {
         let live: Vec<usize> = t.schema.live_columns().map(|(i, _)| i).collect();
         let arity = t.schema.arity();
         let mut count = 0;
-        for row in rows {
-            if row.len() != live.len() {
-                return Err(DbError::Schema(format!(
-                    "expected {} values, got {}",
-                    live.len(),
-                    row.len()
-                )));
+        let res = (|| -> DbResult<()> {
+            for row in rows {
+                if row.len() != live.len() {
+                    return Err(DbError::Schema(format!(
+                        "expected {} values, got {}",
+                        live.len(),
+                        row.len()
+                    )));
+                }
+                let mut full = vec![Datum::Null; arity];
+                for (value, &slot) in row.iter().zip(&live) {
+                    full[slot] = coerce_for_column(value, t.schema.columns[slot].ty)?;
+                }
+                let bytes = tuple::encode_tuple(&t.schema, &full)?;
+                let rowid = t.heap.insert(&bytes)?;
+                index_insert(&mut t, rowid, &full, &self.exec_stats)?;
+                columnar_append(&mut t, rowid, &full);
+                count += 1;
             }
-            let mut full = vec![Datum::Null; arity];
-            for (value, &slot) in row.iter().zip(&live) {
-                full[slot] = coerce_for_column(value, t.schema.columns[slot].ty)?;
-            }
-            let bytes = tuple::encode_tuple(&t.schema, &full)?;
-            let rowid = t.heap.insert(&bytes)?;
-            index_insert(&mut t, rowid, &full, &self.exec_stats)?;
-            columnar_append(&mut t, rowid, &full);
-            count += 1;
-        }
-        self.wal_commit_table(table, &mut t)?;
+            Ok(())
+        })();
+        self.wal_finish_statement(table, &mut t, res)?;
         drop(t);
         self.wal_maybe_checkpoint()?;
         Ok(count)
@@ -814,25 +861,28 @@ impl Database {
             })
             .collect::<DbResult<_>>()?;
         let mut count = 0;
-        for row in rows {
-            if row.len() != slots.len() {
-                return Err(DbError::Schema(format!(
-                    "expected {} values, got {}",
-                    slots.len(),
-                    row.len()
-                )));
+        let res = (|| -> DbResult<()> {
+            for row in rows {
+                if row.len() != slots.len() {
+                    return Err(DbError::Schema(format!(
+                        "expected {} values, got {}",
+                        slots.len(),
+                        row.len()
+                    )));
+                }
+                let mut full = vec![Datum::Null; arity];
+                for (value, &slot) in row.iter().zip(&slots) {
+                    full[slot] = coerce_for_column(value, t.schema.columns[slot].ty)?;
+                }
+                let bytes = tuple::encode_tuple(&t.schema, &full)?;
+                let rowid = t.heap.insert(&bytes)?;
+                index_insert(&mut t, rowid, &full, &self.exec_stats)?;
+                columnar_append(&mut t, rowid, &full);
+                count += 1;
             }
-            let mut full = vec![Datum::Null; arity];
-            for (value, &slot) in row.iter().zip(&slots) {
-                full[slot] = coerce_for_column(value, t.schema.columns[slot].ty)?;
-            }
-            let bytes = tuple::encode_tuple(&t.schema, &full)?;
-            let rowid = t.heap.insert(&bytes)?;
-            index_insert(&mut t, rowid, &full, &self.exec_stats)?;
-            columnar_append(&mut t, rowid, &full);
-            count += 1;
-        }
-        self.wal_commit_table(table, &mut t)?;
+            Ok(())
+        })();
+        self.wal_finish_statement(table, &mut t, res)?;
         drop(t);
         self.wal_maybe_checkpoint()?;
         Ok(count)
@@ -859,8 +909,8 @@ impl Database {
         let t = self.table(table)?;
         {
             let mut t = t.write();
-            self.update_row_locked(&mut t, rowid, table, assignments)?;
-            self.wal_commit_table(table, &mut t)?;
+            let res = self.update_row_locked(&mut t, rowid, table, assignments);
+            self.wal_finish_statement(table, &mut t, res)?;
         }
         self.wal_maybe_checkpoint()
     }
@@ -1127,12 +1177,15 @@ impl Database {
         {
             let t = self.table(&upd.table)?;
             let mut t = t.write();
-            for (rowid, vals) in updates {
-                let refs: Vec<(&str, Datum)> =
-                    vals.iter().map(|(c, d)| (c.as_str(), d.clone())).collect();
-                self.update_row_locked(&mut t, rowid, &upd.table, &refs)?;
-            }
-            self.wal_commit_table(&upd.table, &mut t)?;
+            let res = (|| -> DbResult<()> {
+                for (rowid, vals) in updates {
+                    let refs: Vec<(&str, Datum)> =
+                        vals.iter().map(|(c, d)| (c.as_str(), d.clone())).collect();
+                    self.update_row_locked(&mut t, rowid, &upd.table, &refs)?;
+                }
+                Ok(())
+            })();
+            self.wal_finish_statement(&upd.table, &mut t, res)?;
         }
         self.wal_maybe_checkpoint()?;
         Ok(QueryResult { affected: n, ..Default::default() })
@@ -1162,31 +1215,34 @@ impl Database {
                 .collect()
         };
         let mut ops = 0u64;
-        for row in &matched {
-            let Datum::Int(rowid) = row[rowid_idx] else {
-                return Err(DbError::Eval("scan did not produce a rowid".into()));
-            };
-            let rowid = rowid as RowId;
-            if t.heap.delete(rowid)? {
-                n += 1;
-                for cs in &mut t.columnar {
-                    cs.delete(rowid);
-                }
-                for (k, pos) in live_pos.iter().enumerate() {
-                    let Some(pos) = pos else { continue };
-                    let key = &row[*pos];
-                    if !key.is_null() && t.indexes[k].remove(key, rowid)? {
-                        ops += 1;
+        let res = (|| -> DbResult<()> {
+            for row in &matched {
+                let Datum::Int(rowid) = row[rowid_idx] else {
+                    return Err(DbError::Eval("scan did not produce a rowid".into()));
+                };
+                let rowid = rowid as RowId;
+                if t.heap.delete(rowid)? {
+                    n += 1;
+                    for cs in &mut t.columnar {
+                        cs.delete(rowid);
+                    }
+                    for (k, pos) in live_pos.iter().enumerate() {
+                        let Some(pos) = pos else { continue };
+                        let key = &row[*pos];
+                        if !key.is_null() && t.indexes[k].remove(key, rowid)? {
+                            ops += 1;
+                        }
                     }
                 }
             }
-        }
+            Ok(())
+        })();
         if ops > 0 {
             self.exec_stats
                 .index_maintenance_ops
                 .fetch_add(ops, std::sync::atomic::Ordering::Relaxed);
         }
-        self.wal_commit_table(&del.table, &mut t)?;
+        self.wal_finish_statement(&del.table, &mut t, res)?;
         drop(t);
         self.wal_maybe_checkpoint()?;
         Ok(QueryResult { affected: n, ..Default::default() })

@@ -327,6 +327,13 @@ impl Heap {
         self.encode_tail(out);
     }
 
+    /// Whether mutations were recorded since the last drain — an errored
+    /// statement checks this to decide if partial effects need their own
+    /// WAL commit unit.
+    pub fn wal_has_delta(&self) -> bool {
+        !self.wal_touched.is_empty() || !self.wal_new_pages.is_empty()
+    }
+
     /// Serialize and clear the changes recorded since the last drain
     /// (commit-record deltas). Rowids are deduplicated; each encodes its
     /// *final* post-statement Loc.

@@ -273,6 +273,12 @@ impl Pager {
         out
     }
 
+    /// Whether any frame carries changes not yet drained to a WAL commit
+    /// — i.e. an errored statement left partial effects behind.
+    pub fn has_uncommitted(&self) -> bool {
+        self.inner.read().frames.values().any(|fr| fr.uncommitted)
+    }
+
     pub fn n_pages(&self) -> u64 {
         self.inner.read().n_pages
     }
@@ -333,13 +339,20 @@ impl Pager {
     }
 
     /// Drop every clean frame and write back + drop dirty ones: simulates a
-    /// cold cache for benchmarking.
+    /// cold cache for benchmarking. Uncommitted frames are skipped — the
+    /// no-steal pin holds here too: an image whose statement hasn't
+    /// committed must never reach the data file ahead of the WAL.
     pub fn evict_all(&self) -> DbResult<()> {
         let mut inner = self.inner.write();
         if inner.file.is_none() {
             return Ok(()); // memory mode: nothing to evict to
         }
-        let ids: Vec<PageId> = inner.frames.keys().copied().collect();
+        let ids: Vec<PageId> = inner
+            .frames
+            .iter()
+            .filter(|(_, fr)| !fr.uncommitted)
+            .map(|(id, _)| *id)
+            .collect();
         for id in ids {
             self.write_back(&mut inner, id)?;
             inner.frames.remove(&id);
@@ -504,6 +517,32 @@ mod tests {
         p.flush().unwrap();
         let len = std::fs::metadata(&path).unwrap().len();
         assert!(len >= PAGE_SIZE as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evict_all_honours_no_steal_pin() {
+        let dir = std::env::temp_dir().join(format!("sinew-pager-ns-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = Pager::open(&dir.join("t.db"), 64).unwrap().with_wal_mode(true);
+        let id = p.alloc().unwrap();
+        p.with_page_mut(id, |pg| {
+            page::insert(pg, b"pinned").unwrap();
+        })
+        .unwrap();
+        assert!(p.has_uncommitted());
+        // The image never reached a WAL commit: eviction must skip it —
+        // no write to the data file, frame stays resident.
+        p.evict_all().unwrap();
+        assert_eq!(p.stats().disk_writes, 0);
+        p.with_page(id, |_| ()).unwrap();
+        assert_eq!(p.stats().disk_reads, 0, "served from the pinned frame");
+        // Draining at the commit point unpins; eviction then writes back.
+        let images = p.take_uncommitted_images();
+        assert_eq!(images.len(), 1);
+        assert!(!p.has_uncommitted());
+        p.evict_all().unwrap();
+        assert_eq!(p.stats().disk_writes, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

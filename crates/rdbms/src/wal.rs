@@ -261,13 +261,31 @@ pub struct WalContents {
     pub commits: Vec<WalCommit>,
 }
 
+/// Durably create or replace a directory entry: fsync the parent so a
+/// rename/create of the log itself survives power failure — without
+/// this the new inode's dentry (and every commit fdatasync'd into it)
+/// can vanish, or the log can disappear entirely out from under a
+/// fully-synced data file.
+fn sync_parent_dir(path: &Path) -> DbResult<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()?;
+    Ok(())
+}
+
 impl Wal {
-    /// Create (or truncate) the log and seed it with a checkpoint
-    /// snapshot. This is both the fresh-database path (empty snapshot)
-    /// and the tail of every checkpoint pass.
+    /// Create the log and seed it with a checkpoint snapshot — both the
+    /// fresh-database path (empty snapshot) and the tail of recovery.
+    /// The seed is written to a temp file, synced, then renamed over
+    /// `path` and the directory fsync'd, so a crash at any instant
+    /// leaves either the old log or a complete new one — never an
+    /// empty/torn log next to a data file that still needs it.
     pub fn create(path: &Path, cfg: WalConfig, snapshot: &[u8]) -> DbResult<Wal> {
+        let tmp = path.with_extension("wal-tmp");
         let file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&tmp)?;
         let wal = Wal {
             path: path.to_path_buf(),
             cfg,
@@ -281,6 +299,8 @@ impl Wal {
             inner.file.write_all(&buf)?;
             inner.bytes += buf.len() as u64;
             inner.file.sync_data()?;
+            std::fs::rename(&tmp, path)?;
+            sync_parent_dir(path)?;
             wal.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
             wal.stats.bytes_written.fetch_add(buf.len() as u64, Ordering::Relaxed);
         }
@@ -349,6 +369,7 @@ impl Wal {
         file.write_all(&buf)?;
         file.sync_data()?;
         std::fs::rename(&tmp, &self.path)?;
+        sync_parent_dir(&self.path)?;
         // The renamed handle stays valid (same inode); swap it in.
         inner.file = file;
         inner.bytes = buf.len() as u64;
@@ -529,10 +550,15 @@ mod tests {
         let dir = tmpdir("reset");
         let path = dir.join("t.wal");
         let wal = Wal::create(&path, WalConfig::default(), b"old").unwrap();
+        // Creation goes through temp+rename; the temp must be gone and
+        // the final path present.
+        assert!(path.exists());
+        assert!(!path.with_extension("wal-tmp").exists());
         wal.commit(&[(1, image(1))], b"m").unwrap();
         let before = wal.bytes();
         wal.reset_with_checkpoint(b"new-snapshot").unwrap();
         assert!(wal.bytes() < before);
+        assert!(!path.with_extension("wal-tmp").exists());
         // Log still appendable after the swap and reads back cleanly.
         wal.commit(&[], b"after").unwrap();
         let c = Wal::read(&path).unwrap().unwrap();

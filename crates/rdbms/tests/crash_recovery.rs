@@ -285,6 +285,69 @@ fn recovery_is_idempotent_across_repeated_reopens() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A non-empty data file whose log is missing or invalid must never be
+/// truncated on open — that is fully-synced committed data whose log was
+/// lost, and wiping it would turn a recoverable situation into silent
+/// total data loss. The open must fail loudly and leave the file alone.
+#[test]
+fn lost_log_next_to_nonempty_data_file_refuses_to_open() {
+    let dir = test_dir("lostlog");
+    let data = dir.join("t.db");
+    let wal = dir.join("t.db.wal");
+    {
+        let db = reopen(&dir);
+        for stmt in workload().into_iter().take(3) {
+            apply(&db, &stmt);
+        }
+        // Checkpoint pushes committed pages into the data file and syncs.
+        db.checkpoint().unwrap();
+    }
+    let data_len = std::fs::metadata(&data).unwrap().len();
+    assert!(data_len > 0, "checkpoint must have written pages");
+    // Log deleted out from under the data file.
+    std::fs::remove_file(&wal).unwrap();
+    assert!(Database::open_with_wal(&data, 32, None, forced_wal()).is_err());
+    // Log present but holding no valid checkpoint frame.
+    std::fs::write(&wal, b"garbage, not a wal").unwrap();
+    assert!(Database::open_with_wal(&data, 32, None, forced_wal()).is_err());
+    // Both refusals left the data file untouched.
+    assert_eq!(std::fs::metadata(&data).unwrap().len(), data_len);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Statements are not rolled back: one that errors mid-way leaves its
+/// already-applied rows in place. Those partial effects must be durable
+/// as that statement's *own* WAL commit unit — never silently folded
+/// into the next statement's commit record (possibly for another table).
+/// Recovery must reproduce exactly the post-error in-memory state.
+#[test]
+fn errored_statement_commits_partial_effects_as_own_unit() {
+    use sinew_rdbms::Datum;
+    let dir = test_dir("stmt-err");
+    let live_fp = {
+        let db = reopen(&dir);
+        db.execute("CREATE TABLE t (a int, b text, c float)").unwrap();
+        db.execute("CREATE TABLE u (k int, v text)").unwrap();
+        // Row 3 fails coercion (text into an int column) after rows 1–2
+        // already hit the heap.
+        let bad = vec![
+            vec![Datum::Int(1), Datum::Text("x".into()), Datum::Float(0.5)],
+            vec![Datum::Int(2), Datum::Text("y".into()), Datum::Float(1.5)],
+            vec![Datum::Text("no".into()), Datum::Text("z".into()), Datum::Float(2.5)],
+        ];
+        assert!(db.insert_rows("t", &bad).is_err());
+        // A commit on an unrelated table right after: before the fix the
+        // errored statement's page images rode along in this record.
+        db.execute("INSERT INTO u (k, v) VALUES (7, 'seven')").unwrap();
+        fingerprint(&db)
+    };
+    let db = reopen(&dir);
+    assert_eq!(fingerprint(&db), live_fp);
+    let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.scalar(), Some(&sinew_rdbms::Datum::Int(2)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn checkpoint_then_crash_recovers_post_checkpoint_commits() {
     let dir = test_dir("ckpt");
