@@ -839,6 +839,15 @@ impl StorageReport {
         );
         let _ = writeln!(
             out,
+            "kernels: {} values decoded batched, {} dict code rewrites, \
+             {} rle runs skipped, {} selection fast-path words",
+            e.values_decoded_batched,
+            e.dict_code_rewrites,
+            e.rle_runs_skipped,
+            e.selection_fastpath_hits
+        );
+        let _ = writeln!(
+            out,
             "wal: {} appends, {} commits, {} fsyncs, {} checkpoints, {} B written; \
              {} recoveries ({} pages replayed)",
             e.wal_appends,
@@ -1043,6 +1052,22 @@ impl StorageReport {
                     (
                         "decoded_per_block_sum".to_string(),
                         Value::Int(self.exec.decoded_per_block_sum as i64),
+                    ),
+                    (
+                        "values_decoded_batched".to_string(),
+                        Value::Int(self.exec.values_decoded_batched as i64),
+                    ),
+                    (
+                        "dict_code_rewrites".to_string(),
+                        Value::Int(self.exec.dict_code_rewrites as i64),
+                    ),
+                    (
+                        "rle_runs_skipped".to_string(),
+                        Value::Int(self.exec.rle_runs_skipped as i64),
+                    ),
+                    (
+                        "selection_fastpath_hits".to_string(),
+                        Value::Int(self.exec.selection_fastpath_hits as i64),
                     ),
                     ("wal_appends".to_string(), Value::Int(self.exec.wal_appends as i64)),
                     ("wal_commits".to_string(), Value::Int(self.exec.wal_commits as i64)),

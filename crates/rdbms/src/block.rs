@@ -227,6 +227,7 @@ pub(crate) fn build_op<'x, 'a: 'x>(
             filter,
             needed,
             exact_bounds,
+            bounds_cover_filter,
             ..
         } => Box::new(ColumnarScanOp {
             exec,
@@ -239,6 +240,7 @@ pub(crate) fn build_op<'x, 'a: 'x>(
             filter: filter.as_ref(),
             needed: needed.as_deref(),
             exact_bounds: *exact_bounds,
+            bounds_cover: *bounds_cover_filter,
             pending: VecDeque::new(),
             state: ColumnarState::Init,
         }),
@@ -687,9 +689,9 @@ enum ColumnarState<'x, 'a> {
 /// (ramping 1, 2, 4, … workers, stitched in segment order), so output is
 /// byte-identical to the heap scan at any thread count and a LIMIT skips
 /// the waves it never reaches.
-/// One segment's scan output: gathered rows, decoded-value count, and
-/// whether the zone map pruned the segment outright.
-type SegScanResult = Result<(Vec<Row>, u64, bool), DbError>;
+/// One segment's scan output with the residual filter already applied:
+/// surviving rows plus the segment's kernel/pruned/exact stats.
+type SegScanResult = Result<crate::exec::SegScan, DbError>;
 
 struct ColumnarScanOp<'x, 'a> {
     exec: &'x Executor<'a>,
@@ -702,13 +704,17 @@ struct ColumnarScanOp<'x, 'a> {
     filter: Option<&'x PhysExpr>,
     needed: Option<&'x [String]>,
     exact_bounds: bool,
+    /// Planner proof that the bound literals cover the whole predicate in
+    /// one exactness class; combined with a segment's `exact` flag it
+    /// skips the residual filter for that segment.
+    bounds_cover: bool,
     pending: VecDeque<Row>,
     state: ColumnarState<'x, 'a>,
 }
 
 impl ColumnarScanOp<'_, '_> {
     /// Scan one segment and apply the residual filter, returning the
-    /// surviving rows plus the decoded-values / pruned stats.
+    /// surviving rows plus the kernel / pruned stats.
     fn scan_segment(&self, seg: usize) -> SegScanResult {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.exec
@@ -725,7 +731,7 @@ impl ColumnarScanOp<'_, '_> {
                 )?
                 .ok_or_else(|| DbError::Eval("column store vanished mid-scan".into()))
         }));
-        let scan = match result {
+        let mut scan = match result {
             Ok(Ok(s)) => s,
             Ok(Err(e)) => return Err(e),
             Err(payload) => {
@@ -735,19 +741,20 @@ impl ColumnarScanOp<'_, '_> {
                 )))
             }
         };
-        let rows = match self.filter {
-            Some(f) if !self.exact_bounds && !scan.rows.is_empty() => {
+        let skip_residual = self.exact_bounds || (self.bounds_cover && scan.exact);
+        if let Some(f) = self.filter {
+            if !skip_residual && !scan.rows.is_empty() {
                 let mut ctx = EvalCtx::new();
                 f.begin_block();
                 let keep = f.filter_block(&scan.rows, None, &mut ctx);
                 f.end_block();
                 let keep = keep?;
-                let mut rows = scan.rows;
-                keep.iter().map(|&i| std::mem::take(&mut rows[i as usize])).collect()
+                let mut rows = std::mem::take(&mut scan.rows);
+                scan.rows =
+                    keep.iter().map(|&i| std::mem::take(&mut rows[i as usize])).collect();
             }
-            _ => scan.rows,
-        };
-        Ok((rows, scan.decoded, scan.pruned))
+        }
+        Ok(scan)
     }
 
     fn run_wave(&mut self) -> DbResult<()> {
@@ -781,15 +788,16 @@ impl ColumnarScanOp<'_, '_> {
         }
         // Results are in segment order; the lowest failing segment wins.
         for r in results {
-            let (rows, decoded, pruned) = r?;
+            let scan = r?;
             if let Some(st) = self.exec.stats {
-                if pruned {
+                if scan.pruned {
                     st.segments_pruned.fetch_add(1, Ordering::Relaxed);
                 } else {
-                    st.record_decoded(decoded);
+                    st.record_decoded(scan.kernel.decoded);
+                    st.record_kernels(&scan.kernel);
                 }
             }
-            self.pending.extend(rows);
+            self.pending.extend(scan.rows);
             self.exec.check_limit(self.pending.len())?;
         }
         let done = next_seg + k >= n_segments;

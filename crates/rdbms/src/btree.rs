@@ -254,6 +254,18 @@ impl SecondaryIndex {
         hi_inc: bool,
         cap: Option<usize>,
     ) -> DbResult<Vec<RowId>> {
+        // SQL treats the zero family {Float(-0.0), Int(0), Float(0.0)} as a
+        // single value, but tree entries are ordered by `total_cmp`, which
+        // places -0.0 strictly below 0.0 (with Int(0) tied to both). A zero
+        // endpoint must therefore be widened to the family edge matching its
+        // inclusivity, or the probe would split the family: an inclusive lo
+        // becomes -0.0 (admit every zero), an exclusive lo becomes 0.0
+        // (reject every zero), and symmetrically for hi.
+        let zero = |d: &&Datum| matches!(d, Datum::Int(0)) || matches!(d, Datum::Float(f) if *f == 0.0);
+        let lo_w = lo.filter(zero).map(|_| Datum::Float(if lo_inc { -0.0 } else { 0.0 }));
+        let lo = lo_w.as_ref().or(lo);
+        let hi_w = hi.filter(zero).map(|_| Datum::Float(if hi_inc { 0.0 } else { -0.0 }));
+        let hi = hi_w.as_ref().or(hi);
         let below_lo = |k: &Datum| match lo {
             Some(b) => match k.total_cmp(b) {
                 Ordering::Less => true,
@@ -347,6 +359,12 @@ impl SecondaryIndex {
         hi_inc: bool,
         cap: Option<usize>,
     ) -> DbResult<Vec<(Datum, RowId)>> {
+        // Zero-family endpoint widening — see `lookup_range` for the proof.
+        let zero = |d: &&Datum| matches!(d, Datum::Int(0)) || matches!(d, Datum::Float(f) if *f == 0.0);
+        let lo_w = lo.filter(zero).map(|_| Datum::Float(if lo_inc { -0.0 } else { 0.0 }));
+        let lo = lo_w.as_ref().or(lo);
+        let hi_w = hi.filter(zero).map(|_| Datum::Float(if hi_inc { 0.0 } else { -0.0 }));
+        let hi = hi_w.as_ref().or(hi);
         let below_lo = |k: &Datum| match lo {
             Some(b) => match k.total_cmp(b) {
                 Ordering::Less => true,

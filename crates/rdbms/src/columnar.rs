@@ -16,12 +16,19 @@
 //!
 //! The heap remains the source of truth: stores are rebuilt from a heap
 //! scan at promotion time and maintained incrementally by every DML path.
-//! Kernels use `Datum::total_cmp` bounds — the same superset semantics as
-//! the B-tree — so the executor re-applies the full predicate as a
-//! residual filter unless the planner proved the bounds exact.
+//! Kernels use `Datum::key_cmp` bounds — SQL comparison where it is
+//! defined, total-order fallback across types — so kernel output is a
+//! superset of the SQL match set and the executor re-applies the full
+//! predicate as a residual filter unless the planner proved the bounds
+//! exact (or the per-segment exactness proof of
+//! [`ColumnStore::segment_value_class`] holds).
+//!
+//! The word-parallel batch primitives live in [`crate::kernels`]; the
+//! scalar per-slot loops kept here double as the `SINEW_SIMD=0` oracle.
 
 use crate::datum::Datum;
 use crate::heap::RowId;
+use crate::kernels::{self, pack_get, pack_mask, pack_push, KernelStats, LANES};
 use std::cmp::Ordering;
 
 /// Rowids covered by one segment. Chosen so a segment's working set fits
@@ -41,49 +48,6 @@ fn bm_set(bm: &mut [u64], i: usize, v: bool) {
         bm[i >> 6] |= 1u64 << (i & 63);
     } else {
         bm[i >> 6] &= !(1u64 << (i & 63));
-    }
-}
-
-#[inline]
-fn pack_mask(bits: u32) -> u64 {
-    if bits >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << bits) - 1
-    }
-}
-
-/// Read the `i`-th `bits`-wide value from a packed word array.
-#[inline]
-fn pack_get(words: &[u64], bits: u32, i: usize) -> u64 {
-    if bits == 0 {
-        return 0;
-    }
-    let start = i * bits as usize;
-    let w = start >> 6;
-    let off = (start & 63) as u32;
-    let mut v = words[w] >> off;
-    if off + bits > 64 {
-        v |= words[w + 1] << (64 - off);
-    }
-    v & pack_mask(bits)
-}
-
-/// Append value `v` (already masked to `bits`) at position `i`; positions
-/// must be written in order starting from 0.
-fn pack_push(words: &mut Vec<u64>, bits: u32, i: usize, v: u64) {
-    if bits == 0 {
-        return;
-    }
-    let start = i * bits as usize;
-    let w = start >> 6;
-    let off = (start & 63) as u32;
-    if w == words.len() {
-        words.push(0);
-    }
-    words[w] |= v << off;
-    if off + bits > 64 {
-        words.push(v >> (64 - off));
     }
 }
 
@@ -131,12 +95,17 @@ struct Segment {
     live: Vec<u64>,
     valid: Vec<u64>,
     enc: Enc,
-    /// Zone map over live, non-NULL values (total_cmp order). Kept as a
-    /// superset on delete, so pruning stays conservative without
-    /// re-encoding.
+    /// Zone map over live, non-NULL values (total_cmp order). Deletes
+    /// leave it a conservative superset until enough of the segment dies
+    /// to trigger a re-seal (see `reseal_at`).
     min: Option<Datum>,
     max: Option<Datum>,
     sealed: bool,
+    /// Live-count threshold below which a delete re-seals the segment
+    /// (re-encoding and recomputing the zone map over the survivors).
+    /// Set to half the live count at seal time, so the O(SEG_ROWS)
+    /// re-encode amortizes to O(1) per delete.
+    reseal_at: usize,
 }
 
 impl Segment {
@@ -149,7 +118,12 @@ impl Segment {
             min: None,
             max: None,
             sealed: false,
+            reseal_at: 0,
         }
+    }
+
+    fn live_count(&self) -> usize {
+        self.live.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     fn widen_zone(&mut self, d: &Datum) {
@@ -226,10 +200,17 @@ impl Segment {
             _ => return, // already encoded
         };
         debug_assert_eq!(plain.len(), self.n_slots);
-        // Count runs (dead slots participate as their stored Null).
+        self.reseal_at = self.live_count() / 2;
+        // Count runs (dead slots participate as their stored Null). Two
+        // values merge into one run only when they are the same variant
+        // AND the same bits: `==` alone would merge `-0.0` with `0.0`
+        // (losing the sign bit) but not catch `Null == Null`; `total_cmp`
+        // alone would merge `Int(5)` with `Float(5.0)` and gather would
+        // then resurrect the wrong variant.
+        let same = |a: &Datum, b: &Datum| a == b && a.total_cmp(b) == Ordering::Equal;
         let mut runs = 1usize;
         for w in plain.windows(2) {
-            if w[0].total_cmp(&w[1]) != Ordering::Equal {
+            if !same(&w[0], &w[1]) {
                 runs += 1;
             }
         }
@@ -238,7 +219,7 @@ impl Segment {
             for (i, d) in plain.iter().enumerate() {
                 let norm = if bm_get(&self.valid, i) { d.clone() } else { Datum::Null };
                 match rle.last_mut() {
-                    Some((last, n)) if last.total_cmp(&norm) == Ordering::Equal => *n += 1,
+                    Some((last, n)) if same(last, &norm) => *n += 1,
                     _ => rle.push((norm, 1)),
                 }
             }
@@ -319,7 +300,9 @@ impl Segment {
     }
 
     /// True when the zone map proves no live value can fall in the bound
-    /// range (total_cmp semantics).
+    /// range (`key_cmp` semantics — min/max are maintained in total_cmp
+    /// order, which differs from key order only on `-0.0`/`0.0`/`Int(0)`
+    /// ties; those are `key_cmp`-Equal, so the pruning test stays safe).
     fn zone_prunes(
         &self,
         lo: Option<&Datum>,
@@ -332,14 +315,14 @@ impl Segment {
             return lo.is_some() || hi.is_some();
         };
         if let Some(h) = hi {
-            match h.total_cmp(min) {
+            match h.key_cmp(min) {
                 Ordering::Less => return true,
                 Ordering::Equal if !hi_inc => return true,
                 _ => {}
             }
         }
         if let Some(l) = lo {
-            match l.total_cmp(max) {
+            match l.key_cmp(max) {
                 Ordering::Greater => return true,
                 Ordering::Equal if !lo_inc => return true,
                 _ => {}
@@ -349,8 +332,11 @@ impl Segment {
     }
 
     /// Emit slot offsets of live, non-NULL values inside the bound range
-    /// (ascending). Returns the number of value-level decodes performed —
-    /// the vectorized kernels touch far fewer than one per slot.
+    /// (ascending), under `key_cmp` semantics. Kernel engagement is
+    /// charged to `stats`; the batched paths touch far fewer than one
+    /// decode per slot. `SINEW_SIMD=0` routes to the scalar per-slot
+    /// loops, which produce byte-identical output (the differential
+    /// oracle).
     fn select(
         &self,
         lo: Option<&Datum>,
@@ -358,17 +344,19 @@ impl Segment {
         hi: Option<&Datum>,
         hi_inc: bool,
         out: &mut Vec<u32>,
-    ) -> u64 {
+        stats: &mut KernelStats,
+    ) {
+        let batched = kernels::batched_enabled();
         let in_range = |d: &Datum| -> bool {
             if let Some(l) = lo {
-                match d.total_cmp(l) {
+                match d.key_cmp(l) {
                     Ordering::Less => return false,
                     Ordering::Equal if !lo_inc => return false,
                     _ => {}
                 }
             }
             if let Some(h) = hi {
-                match d.total_cmp(h) {
+                match d.key_cmp(h) {
                     Ordering::Greater => return false,
                     Ordering::Equal if !hi_inc => return false,
                     _ => {}
@@ -378,62 +366,56 @@ impl Segment {
         };
         match &self.enc {
             Enc::Plain(vals) => {
-                let mut decoded = 0u64;
-                for (i, d) in vals.iter().enumerate() {
-                    if bm_get(&self.live, i) && bm_get(&self.valid, i) {
-                        decoded += 1;
-                        if in_range(d) {
-                            out.push(i as u32);
+                if batched {
+                    // Walk live&valid a bitmap word at a time so all-dead
+                    // words (common after heavy deletes) skip in O(1).
+                    for blk in 0..self.n_slots.div_ceil(LANES) {
+                        let mut lv = self.live[blk] & self.valid[blk];
+                        let tail = self.n_slots - blk * LANES;
+                        if tail < LANES {
+                            lv &= (1u64 << tail) - 1;
                         }
-                    }
-                }
-                decoded
-            }
-            Enc::PackedInt { base, bits, words } => {
-                // Int-vs-Float comparisons in total_cmp go through f64, so
-                // the exact integer translation below is only valid inside
-                // the f64-exact range (|x| <= 2^53). Outside it — or for
-                // non-finite bounds — fall back to per-slot total_cmp so
-                // `exact_bounds` (residual-skip) stays correct.
-                let float_bound_unsafe = {
-                    let dom_lo = *base as i128;
-                    let dom_hi = *base as i128 + pack_mask(*bits) as i128;
-                    let exact = |d: Option<&Datum>| match d {
-                        Some(Datum::Float(f)) => f.is_finite() && f.abs() <= 9.0e15,
-                        _ => true,
-                    };
-                    let any_float = matches!(lo, Some(Datum::Float(_)))
-                        || matches!(hi, Some(Datum::Float(_)));
-                    any_float
-                        && !(exact(lo)
-                            && exact(hi)
-                            && dom_lo >= -(1i128 << 53)
-                            && dom_hi <= 1i128 << 53)
-                };
-                if float_bound_unsafe {
-                    let mut decoded = 0u64;
-                    for i in 0..self.n_slots {
-                        if bm_get(&self.live, i) && bm_get(&self.valid, i) {
-                            decoded += 1;
-                            let d =
-                                Datum::Int(base.wrapping_add(pack_get(words, *bits, i) as i64));
-                            if in_range(&d) {
+                        if lv == 0 {
+                            stats.fastpath_words += 1;
+                            continue;
+                        }
+                        while lv != 0 {
+                            let i = blk * LANES + lv.trailing_zeros() as usize;
+                            lv &= lv - 1;
+                            stats.decoded += 1;
+                            if in_range(&vals[i]) {
                                 out.push(i as u32);
                             }
                         }
                     }
-                    return decoded;
+                } else {
+                    for (i, d) in vals.iter().enumerate() {
+                        if bm_get(&self.live, i) && bm_get(&self.valid, i) {
+                            stats.decoded += 1;
+                            if in_range(d) {
+                                out.push(i as u32);
+                            }
+                        }
+                    }
                 }
+            }
+            Enc::PackedInt { base, bits, words } => {
                 // Translate each bound into an inclusive integer bound
                 // once, then the inner loop is integer compares on packed
-                // words. In total_cmp order ints sit numerically among
-                // floats, above Null/Bool, below Text/Bytea/Array — so a
-                // non-numeric bound covers all ints or none.
+                // words. In key_cmp order ints sit numerically among
+                // floats (exactly — `cmp_int_f64` is precise at every
+                // magnitude), above Null/Bool, below Text/Bytea/Array — so
+                // every bound maps to an integer cut or to all/none.
                 enum IntBound {
                     At(i128),
                     AllPass,
                     NonePass,
                 }
+                // 2^63 as f64 (exact). Floats at or beyond ±2^63 compare
+                // strictly outside every i64, and must not reach the
+                // `as i128` casts below: those saturate, and the
+                // subsequent `v - base` could then overflow i128.
+                const F64_I64_SPAN: f64 = 9_223_372_036_854_775_808.0;
                 // Smallest integer satisfying the lower bound.
                 let lo_b = match lo {
                     None => IntBound::AllPass,
@@ -441,9 +423,18 @@ impl Segment {
                         IntBound::At(*v as i128 + if lo_inc { 0 } else { 1 })
                     }
                     Some(Datum::Float(f)) => {
-                        if f.is_nan() || *f == f64::INFINITY {
-                            IntBound::NonePass // bound above every int
-                        } else if *f == f64::NEG_INFINITY {
+                        if f.is_nan() {
+                            // key_cmp falls back to total order for NaN:
+                            // negative NaN sits below every number,
+                            // positive NaN above.
+                            if f.is_sign_negative() {
+                                IntBound::AllPass
+                            } else {
+                                IntBound::NonePass
+                            }
+                        } else if *f >= F64_I64_SPAN {
+                            IntBound::NonePass // bound above every i64
+                        } else if *f < -F64_I64_SPAN {
                             IntBound::AllPass
                         } else if f.fract() == 0.0 {
                             IntBound::At(*f as i128 + if lo_inc { 0 } else { 1 })
@@ -463,10 +454,16 @@ impl Segment {
                         IntBound::At(*v as i128 - if hi_inc { 0 } else { 1 })
                     }
                     Some(Datum::Float(f)) => {
-                        if f.is_nan() || *f == f64::INFINITY {
+                        if f.is_nan() {
+                            if f.is_sign_negative() {
+                                IntBound::NonePass
+                            } else {
+                                IntBound::AllPass
+                            }
+                        } else if *f >= F64_I64_SPAN {
                             IntBound::AllPass
-                        } else if *f == f64::NEG_INFINITY {
-                            IntBound::NonePass // bound below every int
+                        } else if *f < -F64_I64_SPAN {
+                            IntBound::NonePass // bound below every i64
                         } else if f.fract() == 0.0 {
                             IntBound::At(*f as i128 - if hi_inc { 0 } else { 1 })
                         } else {
@@ -480,69 +477,128 @@ impl Segment {
                 };
                 let full = pack_mask(*bits) as i128;
                 let p_lo = match lo_b {
-                    IntBound::NonePass => return 0,
+                    IntBound::NonePass => return,
                     IntBound::AllPass => 0i128,
                     IntBound::At(v) => (v - *base as i128).max(0),
                 };
                 let p_hi = match hi_b {
-                    IntBound::NonePass => return 0,
+                    IntBound::NonePass => return,
                     IntBound::AllPass => full,
                     IntBound::At(v) => (v - *base as i128).min(full),
                 };
                 if p_lo > p_hi {
-                    return 0;
+                    return;
                 }
                 let (p_lo, p_hi) = (p_lo as u64, p_hi as u64);
-                let mut decoded = 0u64;
-                for i in 0..self.n_slots {
-                    if bm_get(&self.live, i) && bm_get(&self.valid, i) {
-                        decoded += 1;
-                        let v = pack_get(words, *bits, i);
-                        if v >= p_lo && v <= p_hi {
-                            out.push(i as u32);
+                if batched {
+                    kernels::select_packed(
+                        words,
+                        *bits,
+                        self.n_slots,
+                        &self.live,
+                        &self.valid,
+                        p_lo,
+                        p_hi,
+                        out,
+                        stats,
+                    );
+                } else {
+                    for i in 0..self.n_slots {
+                        if bm_get(&self.live, i) && bm_get(&self.valid, i) {
+                            stats.decoded += 1;
+                            let v = pack_get(words, *bits, i);
+                            if v >= p_lo && v <= p_hi {
+                                out.push(i as u32);
+                            }
                         }
                     }
                 }
-                decoded
             }
             Enc::Dict { dict, bits, codes } => {
-                // Dictionary is total_cmp-sorted: qualifying codes form a
-                // contiguous range, found once, then the slot loop is a
-                // pair of integer compares per code.
+                // Predicate rewriting: the dictionary is total_cmp-sorted
+                // (key-order for the all-text dictionaries seal() builds),
+                // so the predicate evaluates once against the dictionary
+                // into a contiguous code range and the slot scan never
+                // materializes a Datum.
+                stats.dict_rewrites += 1;
+                stats.decoded += dict.len() as u64;
                 let c_lo = match lo {
                     None => 0usize,
                     Some(l) => dict.partition_point(|d| {
-                        matches!(d.total_cmp(l), Ordering::Less)
-                            || (!lo_inc && d.total_cmp(l) == Ordering::Equal)
+                        matches!(d.key_cmp(l), Ordering::Less)
+                            || (!lo_inc && d.key_cmp(l) == Ordering::Equal)
                     }),
                 };
                 let c_hi = match hi {
                     None => dict.len(),
                     Some(h) => dict.partition_point(|d| {
-                        matches!(d.total_cmp(h), Ordering::Less)
-                            || (hi_inc && d.total_cmp(h) == Ordering::Equal)
+                        matches!(d.key_cmp(h), Ordering::Less)
+                            || (hi_inc && d.key_cmp(h) == Ordering::Equal)
                     }),
                 };
                 if c_lo >= c_hi {
-                    return dict.len() as u64;
+                    return;
                 }
                 let (c_lo, c_hi) = (c_lo as u64, (c_hi - 1) as u64);
-                for i in 0..self.n_slots {
-                    if bm_get(&self.live, i) && bm_get(&self.valid, i) {
-                        let c = pack_get(codes, *bits, i);
-                        if c >= c_lo && c <= c_hi {
-                            out.push(i as u32);
+                if batched {
+                    kernels::select_packed(
+                        codes,
+                        *bits,
+                        self.n_slots,
+                        &self.live,
+                        &self.valid,
+                        c_lo,
+                        c_hi,
+                        out,
+                        stats,
+                    );
+                } else {
+                    for i in 0..self.n_slots {
+                        if bm_get(&self.live, i) && bm_get(&self.valid, i) {
+                            let c = pack_get(codes, *bits, i);
+                            if c >= c_lo && c <= c_hi {
+                                out.push(i as u32);
+                            }
                         }
                     }
                 }
-                dict.len() as u64
             }
             Enc::Rle { runs } => {
-                // One compare per run, then bitmap-filtered slot emission.
+                // Run-level evaluation: one predicate compare per run;
+                // rejected (or NULL) runs skip all their slots in O(1),
+                // matching runs emit via bitmap words.
                 let mut start = 0usize;
                 for (d, n) in runs {
                     let end = start + *n as usize;
-                    if !d.is_null() && in_range(d) {
+                    stats.decoded += 1;
+                    if d.is_null() || !in_range(d) {
+                        stats.rle_runs_skipped += 1;
+                        start = end;
+                        continue;
+                    }
+                    if batched {
+                        let mut blk = start / LANES;
+                        while blk * LANES < end {
+                            let word_base = blk * LANES;
+                            let mut m = self.live[blk] & self.valid[blk];
+                            if word_base < start {
+                                m &= u64::MAX << (start - word_base);
+                            }
+                            if end - word_base < LANES {
+                                m &= (1u64 << (end - word_base)) - 1;
+                            }
+                            if m == u64::MAX {
+                                // Whole word live, valid and in-run: pure
+                                // emission with no per-slot masking.
+                                stats.fastpath_words += 1;
+                            }
+                            while m != 0 {
+                                out.push((word_base + m.trailing_zeros() as usize) as u32);
+                                m &= m - 1;
+                            }
+                            blk += 1;
+                        }
+                    } else {
                         for i in start..end {
                             if bm_get(&self.live, i) && bm_get(&self.valid, i) {
                                 out.push(i as u32);
@@ -551,23 +607,32 @@ impl Segment {
                     }
                     start = end;
                 }
-                runs.len() as u64
             }
         }
     }
 
     /// All live slot offsets (NULL values included) — the unbounded scan.
+    /// Word-at-a-time: all-dead bitmap words skip without slot iteration.
     fn live_slots(&self, out: &mut Vec<u32>) {
-        for i in 0..self.n_slots {
-            if bm_get(&self.live, i) {
-                out.push(i as u32);
+        for blk in 0..self.n_slots.div_ceil(LANES) {
+            let mut m = self.live[blk];
+            let tail = self.n_slots - blk * LANES;
+            if tail < LANES {
+                m &= (1u64 << tail) - 1;
+            }
+            let base = (blk * LANES) as u32;
+            while m != 0 {
+                out.push(base + m.trailing_zeros());
+                m &= m - 1;
             }
         }
     }
 
     /// Materialize values at ascending `offsets` into `out` (Null for
-    /// slots whose value is NULL). One pass regardless of encoding.
-    fn gather(&self, offsets: &[u32], out: &mut Vec<Datum>) {
+    /// slots whose value is NULL). One pass regardless of encoding; packed
+    /// encodings decode dense offset runs a 64-block at a time.
+    fn gather(&self, offsets: &[u32], out: &mut Vec<Datum>, stats: &mut KernelStats) {
+        let batched = kernels::batched_enabled();
         match &self.enc {
             Enc::Plain(vals) => {
                 for &i in offsets {
@@ -580,37 +645,60 @@ impl Segment {
                 }
             }
             Enc::PackedInt { base, bits, words } => {
-                for &i in offsets {
-                    let i = i as usize;
-                    if bm_get(&self.valid, i) {
-                        out.push(Datum::Int(base.wrapping_add(pack_get(words, *bits, i) as i64)));
-                    } else {
-                        out.push(Datum::Null);
+                if batched {
+                    out.reserve(offsets.len());
+                    kernels::gather_codes(words, *bits, offsets, stats, |k, v| {
+                        let i = offsets[k] as usize;
+                        out.push(if bm_get(&self.valid, i) {
+                            Datum::Int(base.wrapping_add(v as i64))
+                        } else {
+                            Datum::Null
+                        });
+                    });
+                } else {
+                    for &i in offsets {
+                        let i = i as usize;
+                        if bm_get(&self.valid, i) {
+                            out.push(Datum::Int(
+                                base.wrapping_add(pack_get(words, *bits, i) as i64),
+                            ));
+                        } else {
+                            out.push(Datum::Null);
+                        }
                     }
                 }
             }
             Enc::Dict { dict, bits, codes } => {
-                for &i in offsets {
-                    let i = i as usize;
-                    if bm_get(&self.valid, i) {
-                        out.push(dict[pack_get(codes, *bits, i) as usize].clone());
-                    } else {
-                        out.push(Datum::Null);
+                if batched {
+                    out.reserve(offsets.len());
+                    kernels::gather_codes(codes, *bits, offsets, stats, |k, c| {
+                        let i = offsets[k] as usize;
+                        out.push(if bm_get(&self.valid, i) {
+                            dict[c as usize].clone()
+                        } else {
+                            Datum::Null
+                        });
+                    });
+                } else {
+                    for &i in offsets {
+                        let i = i as usize;
+                        if bm_get(&self.valid, i) {
+                            out.push(dict[pack_get(codes, *bits, i) as usize].clone());
+                        } else {
+                            out.push(Datum::Null);
+                        }
                     }
                 }
             }
             Enc::Rle { runs } => {
                 let mut run = 0usize;
-                let mut run_start = 0usize;
                 let mut run_end = runs.first().map(|(_, n)| *n as usize).unwrap_or(0);
                 for &i in offsets {
                     let i = i as usize;
                     while i >= run_end {
                         run += 1;
-                        run_start = run_end;
-                        run_end = run_start + runs[run].1 as usize;
+                        run_end += runs[run].1 as usize;
                     }
-                    let _ = run_start;
                     if bm_get(&self.valid, i) {
                         out.push(runs[run].0.clone());
                     } else {
@@ -722,8 +810,11 @@ impl ColumnStore {
         }
     }
 
-    /// Mark a row dead. Values stay in place; the zone map is left as a
-    /// (conservative) superset, so no re-encode is needed.
+    /// Mark a row dead. Values stay in place and the zone map is left as
+    /// a (conservative) superset — until the sealed segment's live count
+    /// halves, at which point the segment re-seals: the zone map is
+    /// recomputed over the survivors (deletes only shrink the value set,
+    /// so stale zones prune poorly) and the encoding re-picked.
     pub fn delete(&mut self, rowid: RowId) {
         if rowid >= self.coverage() {
             return;
@@ -733,9 +824,16 @@ impl ColumnStore {
         let seg = &mut self.segments[seg_no];
         bm_set(&mut seg.live, slot, false);
         bm_set(&mut seg.valid, slot, false);
+        if seg.sealed && seg.live_count() < seg.reseal_at {
+            let plain = seg.to_plain();
+            seg.recompute_zone(&plain);
+            seg.enc = Enc::Plain(plain);
+            seg.sealed = false;
+            seg.seal();
+        }
     }
 
-    /// Zone-map test for one segment against a total_cmp bound range.
+    /// Zone-map test for one segment against a `key_cmp` bound range.
     pub fn zone_prunes(
         &self,
         seg: u64,
@@ -748,7 +846,8 @@ impl ColumnStore {
     }
 
     /// Vectorized bound kernel over one segment: ascending slot offsets of
-    /// live non-NULL values inside the range. Returns decode count.
+    /// live non-NULL values inside the range (`key_cmp` semantics).
+    /// Returns the kernel engagement counters for this call.
     pub fn select_segment(
         &self,
         seg: u64,
@@ -757,8 +856,10 @@ impl ColumnStore {
         hi: Option<&Datum>,
         hi_inc: bool,
         out: &mut Vec<u32>,
-    ) -> u64 {
-        self.segments[seg as usize].select(lo, lo_inc, hi, hi_inc, out)
+    ) -> KernelStats {
+        let mut stats = KernelStats::default();
+        self.segments[seg as usize].select(lo, lo_inc, hi, hi_inc, out, &mut stats);
+        stats
     }
 
     /// All live slots of one segment (unbounded scan path).
@@ -767,8 +868,29 @@ impl ColumnStore {
     }
 
     /// Materialize this column's values at the given segment offsets.
-    pub fn gather(&self, seg: u64, offsets: &[u32], out: &mut Vec<Datum>) {
-        self.segments[seg as usize].gather(offsets, out);
+    pub fn gather(&self, seg: u64, offsets: &[u32], out: &mut Vec<Datum>, stats: &mut KernelStats) {
+        self.segments[seg as usize].gather(offsets, out, stats);
+    }
+
+    /// Exactness class shared by every live non-NULL value of one segment,
+    /// proved by its zone map: when `min` and `max` land in the same
+    /// [`Datum::exactness_class`], every value between them in total order
+    /// is in that class too (a value of another class sitting between two
+    /// same-class endpoints would contradict the class ordering; a NaN in
+    /// the segment would itself be the min or max and has no class). For
+    /// such segments, kernel emission under `key_cmp` with bounds of the
+    /// same class equals the SQL match set exactly, so the executor can
+    /// skip the residual filter even when the planner couldn't prove
+    /// exactness globally.
+    pub fn segment_value_class(&self, seg: u64) -> Option<u8> {
+        let s = &self.segments[seg as usize];
+        match (&s.min, &s.max) {
+            (Some(mn), Some(mx)) => match (mn.exactness_class(), mx.exactness_class()) {
+                (Some(a), Some(b)) if a == b => Some(a),
+                _ => None,
+            },
+            _ => None,
+        }
     }
 
     pub fn info(&self) -> ColumnarInfo {
@@ -807,6 +929,23 @@ impl ColumnStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes SINEW_SIMD mutation within this module; the knob is
+    /// process-global and read fresh per kernel call.
+    static SIMD_ENV: Mutex<()> = Mutex::new(());
+
+    fn with_simd<R>(mode: &str, f: impl FnOnce() -> R) -> R {
+        let _g = SIMD_ENV.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::env::var("SINEW_SIMD").ok();
+        std::env::set_var("SINEW_SIMD", mode);
+        let r = f();
+        match prev {
+            Some(v) => std::env::set_var("SINEW_SIMD", v),
+            None => std::env::remove_var("SINEW_SIMD"),
+        }
+        r
+    }
 
     fn naive_select(
         vals: &[(Datum, bool)], // (value, live)
@@ -822,14 +961,14 @@ mod tests {
             }
             let mut ok = true;
             if let Some(l) = lo {
-                match d.total_cmp(l) {
+                match d.key_cmp(l) {
                     Ordering::Less => ok = false,
                     Ordering::Equal if !lo_inc => ok = false,
                     _ => {}
                 }
             }
             if let Some(h) = hi {
-                match d.total_cmp(h) {
+                match d.key_cmp(h) {
                     Ordering::Greater => ok = false,
                     Ordering::Equal if !hi_inc => ok = false,
                     _ => {}
@@ -842,7 +981,7 @@ mod tests {
         out
     }
 
-    fn store_select(
+    fn store_select_raw(
         store: &ColumnStore,
         lo: Option<&Datum>,
         lo_inc: bool,
@@ -858,6 +997,21 @@ mod tests {
             out.extend(offs.iter().map(|&o| seg as u32 * SEG_ROWS as u32 + o));
         }
         out
+    }
+
+    /// Run the kernel under both SINEW_SIMD settings, assert they agree,
+    /// and return the (shared) result.
+    fn store_select(
+        store: &ColumnStore,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+    ) -> Vec<u32> {
+        let scalar = with_simd("0", || store_select_raw(store, lo, lo_inc, hi, hi_inc));
+        let batched = with_simd("1", || store_select_raw(store, lo, lo_inc, hi, hi_inc));
+        assert_eq!(scalar, batched, "scalar and batched kernels diverged");
+        batched
     }
 
     fn mix(seed: u64) -> u64 {
@@ -888,12 +1042,16 @@ mod tests {
             let want = naive_select(&vals, lo.as_ref(), li, hi.as_ref(), hi_i);
             assert_eq!(got, want, "bounds {lo:?} {li} {hi:?} {hi_i}");
         }
-        // gather round-trips
+        // gather round-trips identically under both kernel modes
         let offs: Vec<u32> = (0..64).collect();
-        let mut out = Vec::new();
-        store.gather(0, &offs, &mut out);
-        for (o, d) in offs.iter().zip(&out) {
-            assert_eq!(*d, vals[*o as usize].0);
+        for mode in ["0", "1"] {
+            let mut out = Vec::new();
+            let mut st = KernelStats::default();
+            with_simd(mode, || store.gather(0, &offs, &mut out, &mut st));
+            for (o, d) in offs.iter().zip(&out) {
+                assert_eq!(*d, vals[*o as usize].0);
+            }
+            assert_eq!(st.batched > 0, mode == "1", "dense gather should batch iff enabled");
         }
     }
 
@@ -918,7 +1076,7 @@ mod tests {
         // RLE gather
         let offs: Vec<u32> = vec![0, 1, 2047, 2048, 4095];
         let mut out = Vec::new();
-        rle_store.gather(0, &offs, &mut out);
+        rle_store.gather(0, &offs, &mut out, &mut KernelStats::default());
         assert_eq!(
             out,
             vec![
@@ -996,5 +1154,190 @@ mod tests {
         let got = store_select(&store, Some(&lo), true, Some(&hi), false);
         let want = naive_select(&vals, Some(&lo), true, Some(&hi), false);
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn delete_reseal_tightens_zone_and_prunes() {
+        let mut store = ColumnStore::new("a");
+        // 100 outlier rows stretch the zone; the rest sit under 50.
+        for i in 0..(SEG_ROWS as u64 + 10) {
+            let v = if i < 100 { 1_000_000 + i as i64 } else { i as i64 % 50 };
+            store.append(i, Datum::Int(v));
+        }
+        let probe = Datum::Int(500_000);
+        assert!(!store.zone_prunes(0, Some(&probe), true, None, true));
+        // Killing the outliers alone leaves the stale (superset) zone.
+        for i in 0..100u64 {
+            store.delete(i);
+        }
+        assert!(
+            !store.zone_prunes(0, Some(&probe), true, None, true),
+            "zone must stay a conservative superset before the re-seal threshold"
+        );
+        // Dropping below half the sealed live count triggers the re-seal:
+        // zone recomputed over survivors (all < 50), probe now prunes.
+        for i in 100..(SEG_ROWS as u64 * 3 / 5) {
+            store.delete(i);
+        }
+        assert!(
+            store.zone_prunes(0, Some(&probe), true, None, true),
+            "re-seal must tighten the zone map over the survivors"
+        );
+        // Survivors still select correctly after the re-encode.
+        let vals: Vec<(Datum, bool)> = (0..(SEG_ROWS as u64 + 10))
+            .map(|i| {
+                let v = if i < 100 { 1_000_000 + i as i64 } else { i as i64 % 50 };
+                (Datum::Int(v), i >= SEG_ROWS as u64 * 3 / 5)
+            })
+            .collect();
+        let got = store_select(&store, Some(&Datum::Int(10)), true, Some(&Datum::Int(20)), true);
+        let want = naive_select(&vals, Some(&Datum::Int(10)), true, Some(&Datum::Int(20)), true);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn kernel_counters_engage_per_encoding() {
+        // Packed-int: batched decode + all-dead word skip.
+        let mut packed = ColumnStore::new("p");
+        for i in 0..(SEG_ROWS as u64 + 10) {
+            packed.append(i, Datum::Int((mix(i) % 1000) as i64));
+        }
+        for i in 128..192u64 {
+            packed.delete(i); // one fully dead bitmap word
+        }
+        with_simd("1", || {
+            let mut offs = Vec::new();
+            let st = packed.select_segment(
+                0,
+                Some(&Datum::Int(100)),
+                true,
+                Some(&Datum::Int(900)),
+                true,
+                &mut offs,
+            );
+            assert!(st.batched > 0, "packed select must use the 64-wide path");
+            assert!(st.fastpath_words > 0, "dead word must be skipped wholesale");
+            let mut out = Vec::new();
+            let mut gst = KernelStats::default();
+            packed.gather(0, &offs, &mut out, &mut gst);
+            assert!(gst.batched > 0, "dense gather must decode whole blocks");
+        });
+        with_simd("0", || {
+            let mut offs = Vec::new();
+            let st = packed.select_segment(
+                0,
+                Some(&Datum::Int(100)),
+                true,
+                Some(&Datum::Int(900)),
+                true,
+                &mut offs,
+            );
+            assert_eq!(st.batched, 0, "SINEW_SIMD=0 must stay on the scalar path");
+        });
+        // Dict: predicate rewritten to a code range.
+        let mut dict = ColumnStore::new("d");
+        let cats = ["alpha", "beta", "gamma", "delta"];
+        for i in 0..(SEG_ROWS as u64 + 10) {
+            dict.append(i, Datum::Text(cats[(mix(i) % 4) as usize].into()));
+        }
+        let b = Datum::Text("beta".into());
+        let mut offs = Vec::new();
+        let st = dict.select_segment(0, Some(&b), true, Some(&b), true, &mut offs);
+        assert_eq!(st.dict_rewrites, 1);
+        // Rle: non-matching runs skipped at run level.
+        let mut rle = ColumnStore::new("r");
+        for i in 0..(SEG_ROWS as u64 + 10) {
+            rle.append(i, Datum::Int((i / 1024) as i64));
+        }
+        let mut offs = Vec::new();
+        let st =
+            rle.select_segment(0, Some(&Datum::Int(2)), true, Some(&Datum::Int(2)), true, &mut offs);
+        assert!(st.rle_runs_skipped >= 3, "rejected runs must skip without slot work");
+        assert_eq!(offs.len(), 1024);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(48))]
+        #[test]
+        fn proptest_kernels_match_naive_both_modes(
+            seed in proptest::arbitrary::any::<u64>(),
+            shape in 0u8..6,
+            lo_pick in 0usize..20,
+            hi_pick in 0usize..20,
+            lo_inc in proptest::arbitrary::any::<bool>(),
+            hi_inc in proptest::arbitrary::any::<bool>(),
+            churn in 0u8..3,
+        ) {
+            let cats = ["alpha", "beta", "gamma", "delta"];
+            let mk = |i: u64| -> Datum {
+                let r = mix(seed ^ i);
+                match shape {
+                    0 => Datum::Int((r % 1000) as i64 - 500), // packed (zero-straddling)
+                    1 => Datum::Int(r as i64),                // too wide: stays plain
+                    2 => Datum::Text(cats[(r % 4) as usize].into()), // dict
+                    3 => Datum::Int((i / 512) as i64),        // rle
+                    4 => match r % 5 {
+                        // mixed: plain with NULLs, ±0.0 ties, text
+                        0 => Datum::Null,
+                        1 => Datum::Int((r % 100) as i64 - 50),
+                        2 => Datum::Float((r % 800) as f64 / 8.0 - 50.0),
+                        3 => Datum::Float(-0.0),
+                        _ => Datum::Text(format!("s{}", r % 7)),
+                    },
+                    _ => Datum::Float((r % 2000) as f64 / 16.0 - 60.0), // plain floats
+                }
+            };
+            let n = SEG_ROWS as u64 + 1 + mix(seed ^ 0xbeef) % 300;
+            let mut vals: Vec<(Datum, bool)> = Vec::new();
+            let mut store = ColumnStore::new("x");
+            for i in 0..n {
+                let d = mk(i);
+                store.append(i, d.clone());
+                vals.push((d, true));
+            }
+            if churn > 0 {
+                for i in 0..n {
+                    let r = mix(seed ^ 0xdead ^ i);
+                    if r.is_multiple_of(4) {
+                        store.delete(i);
+                        vals[i as usize].1 = false;
+                    } else if churn > 1 && r.is_multiple_of(17) {
+                        let nv = Datum::Int((r % 50) as i64);
+                        store.set(i, nv.clone());
+                        vals[i as usize].0 = nv;
+                    }
+                }
+            }
+            // Bound pool stresses the translation edges: ±0.0/Int(0) ties,
+            // floats beyond the i64 span, signed NaNs, infinities, extreme
+            // ints, cross-type bounds.
+            let pool: [Datum; 19] = [
+                Datum::Int(0), Datum::Float(0.0), Datum::Float(-0.0),
+                Datum::Int(5), Datum::Float(4.5), Datum::Float(-250.25),
+                Datum::Float(-1.0e300), Datum::Float(1.0e300),
+                Datum::Float(f64::NAN), Datum::Float(-f64::NAN),
+                Datum::Float(f64::INFINITY), Datum::Float(f64::NEG_INFINITY),
+                Datum::Int(i64::MIN), Datum::Int(i64::MAX),
+                Datum::Text("beta".into()), Datum::Text("s3".into()),
+                Datum::Null, Datum::Bool(true), Datum::Int(300),
+            ];
+            let lo = if lo_pick == 0 { None } else { Some(pool[lo_pick - 1].clone()) };
+            let hi = if hi_pick == 0 { None } else { Some(pool[hi_pick - 1].clone()) };
+            // store_select asserts scalar == batched internally.
+            let got = store_select(&store, lo.as_ref(), lo_inc, hi.as_ref(), hi_inc);
+            let want = naive_select(&vals, lo.as_ref(), lo_inc, hi.as_ref(), hi_inc);
+            proptest::prop_assert_eq!(&got, &want);
+            // Gather differential: selected offsets must round-trip the
+            // stored value exactly (variant- and bit-faithful) both ways.
+            let seg0: Vec<u32> = got.iter().copied().filter(|&o| (o as usize) < SEG_ROWS).collect();
+            for mode in ["0", "1"] {
+                let mut out = Vec::new();
+                let mut st = KernelStats::default();
+                with_simd(mode, || store.gather(0, &seg0, &mut out, &mut st));
+                for (o, d) in seg0.iter().zip(&out) {
+                    proptest::prop_assert_eq!(d, &vals[*o as usize].0);
+                }
+            }
+        }
     }
 }

@@ -146,6 +146,34 @@ impl Datum {
         }
     }
 
+    /// Comparison the columnar kernels and zone maps use for bound
+    /// ranges: SQL semantics wherever SQL defines an order (so numeric
+    /// ties like `-0.0 = 0.0` and `Int(5) = Float(5.0)` compare Equal,
+    /// exactly as the residual filter would decide), falling back to
+    /// [`Datum::total_cmp`]'s type-rank order where SQL yields NULL.
+    /// Within one [`Datum::exactness_class`] this *is* SQL comparison,
+    /// which is what lets the planner skip the residual filter; across
+    /// classes it is a deterministic superset order like the B-tree's.
+    pub fn key_cmp(&self, other: &Datum) -> Ordering {
+        self.sql_cmp(other).unwrap_or_else(|| self.total_cmp(other))
+    }
+
+    /// Type class for `exact_bounds` / residual-skip proofs: values of one
+    /// class compare identically under [`Datum::key_cmp`] and SQL, and a
+    /// `total_cmp` range with both endpoints in one class contains only
+    /// values of that class (Bool < numeric < Text in rank order; ±∞ and
+    /// NaN are excluded from the numeric class because no finite-bounded
+    /// range can contain them and they break the order/SQL agreement).
+    pub fn exactness_class(&self) -> Option<u8> {
+        match self {
+            Datum::Bool(_) => Some(0),
+            Datum::Int(_) => Some(1),
+            Datum::Float(f) if f.is_finite() => Some(1),
+            Datum::Text(_) => Some(2),
+            _ => None,
+        }
+    }
+
     /// A hashable grouping key (Float bit-normalized so `-0.0 == 0.0`
     /// groups; integral floats group with equal ints).
     pub fn group_key(&self) -> GroupKey {

@@ -1549,7 +1549,18 @@ impl TableSource for Database {
         let mut offsets: Vec<u32> = Vec::new();
         match (bound_store, bounded) {
             (Some(bs), true) => {
-                scan.decoded += bs.select_segment(seg, lo, lo_inc, hi, hi_inc, &mut offsets);
+                scan.kernel.merge(&bs.select_segment(seg, lo, lo_inc, hi, hi_inc, &mut offsets));
+                // Per-segment exactness: the zone map proves every live
+                // value shares the class of every present bound, so kernel
+                // emission equals the SQL match set for this segment and
+                // the executor may skip the residual filter when the plan
+                // says the bounds cover the whole predicate.
+                scan.exact = match bs.segment_value_class(seg) {
+                    Some(cls) => [lo, hi].into_iter().flatten().all(|d| {
+                        d.exactness_class() == Some(cls)
+                    }),
+                    None => false,
+                };
             }
             _ => any_store.live_slots(seg, &mut offsets),
         }
@@ -1570,8 +1581,8 @@ impl TableSource for Database {
         for (li, st) in stores.iter().enumerate() {
             let Some(st) = st else { continue };
             colbuf.clear();
-            st.gather(seg, &offsets, &mut colbuf);
-            scan.decoded += offsets.len() as u64;
+            st.gather(seg, &offsets, &mut colbuf, &mut scan.kernel);
+            scan.kernel.decoded += offsets.len() as u64;
             for (r, v) in rows.iter_mut().zip(colbuf.drain(..)) {
                 r[li] = v;
             }

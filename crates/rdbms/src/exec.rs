@@ -186,11 +186,16 @@ pub struct ColumnarMeta {
 pub struct SegScan {
     /// Candidate rows in rowid order, heap-scan shaped.
     pub rows: Vec<Row>,
-    /// Values the segment kernels actually decoded (selection-vector
-    /// cardinality × gathered columns) — the vectorization metric.
-    pub decoded: u64,
+    /// Kernel engagement for this segment (decodes, batched decodes,
+    /// fastpath words, dictionary rewrites, RLE run skips).
+    pub kernel: crate::kernels::KernelStats,
     /// True when the bound column's zone map excluded the whole segment.
     pub pruned: bool,
+    /// True when the segment's zone map proves every live value shares the
+    /// exactness class of all present bounds, so kernel emission equals
+    /// the SQL match set and the residual filter may be skipped whenever
+    /// the planner marked the plan `bounds_cover_filter`.
+    pub exact: bool,
 }
 
 /// Answer from [`TableSource::index_only_probe`].
@@ -311,6 +316,16 @@ pub struct ExecStats {
     rows_per_block: [AtomicU64; EXEC_HIST_BUCKETS],
     rows_per_block_count: AtomicU64,
     rows_per_block_sum: AtomicU64,
+    /// Values decoded through the 64-wide batched kernel paths (vs the
+    /// scalar per-slot loops `SINEW_SIMD=0` forces).
+    pub values_decoded_batched: AtomicU64,
+    /// Predicates rewritten to packed dictionary-code ranges.
+    pub dict_code_rewrites: AtomicU64,
+    /// RLE runs rejected with a single run-level compare.
+    pub rle_runs_skipped: AtomicU64,
+    /// Whole 64-slot bitmap words handled by a selection fast path
+    /// (all-dead skip, all-match emit) without per-slot work.
+    pub selection_fastpath_hits: AtomicU64,
 }
 
 impl ExecStats {
@@ -342,6 +357,14 @@ impl ExecStats {
         self.decoded_per_block[b].fetch_add(1, Ordering::Relaxed);
         self.decoded_per_block_count.fetch_add(1, Ordering::Relaxed);
         self.decoded_per_block_sum.fetch_add(values, Ordering::Relaxed);
+    }
+
+    /// Fold one segment's kernel engagement counters into the globals.
+    pub fn record_kernels(&self, k: &crate::kernels::KernelStats) {
+        self.values_decoded_batched.fetch_add(k.batched, Ordering::Relaxed);
+        self.dict_code_rewrites.fetch_add(k.dict_rewrites, Ordering::Relaxed);
+        self.rle_runs_skipped.fetch_add(k.rle_runs_skipped, Ordering::Relaxed);
+        self.selection_fastpath_hits.fetch_add(k.fastpath_words, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> ExecSnapshot {
@@ -381,6 +404,10 @@ impl ExecStats {
             rows_per_block: block_buckets,
             rows_per_block_count: self.rows_per_block_count.load(Ordering::Relaxed),
             rows_per_block_sum: self.rows_per_block_sum.load(Ordering::Relaxed),
+            values_decoded_batched: self.values_decoded_batched.load(Ordering::Relaxed),
+            dict_code_rewrites: self.dict_code_rewrites.load(Ordering::Relaxed),
+            rle_runs_skipped: self.rle_runs_skipped.load(Ordering::Relaxed),
+            selection_fastpath_hits: self.selection_fastpath_hits.load(Ordering::Relaxed),
             wal_appends: 0,
             wal_commits: 0,
             wal_fsyncs: 0,
@@ -417,6 +444,11 @@ pub struct ExecSnapshot {
     pub rows_per_block: [u64; EXEC_HIST_BUCKETS],
     pub rows_per_block_count: u64,
     pub rows_per_block_sum: u64,
+    /// Kernel engagement counters (see [`crate::kernels::KernelStats`]).
+    pub values_decoded_batched: u64,
+    pub dict_code_rewrites: u64,
+    pub rle_runs_skipped: u64,
+    pub selection_fastpath_hits: u64,
     /// WAL counters, overlaid by `Database::exec_stats` from the log's
     /// own stats (zero when no WAL is attached).
     pub wal_appends: u64,
@@ -569,6 +601,7 @@ impl<'a> Executor<'a> {
                 needed,
                 est_rows,
                 exact_bounds,
+                bounds_cover_filter,
             } => {
                 let meta =
                     self.source.columnar_meta(table, needed.as_deref(), column.as_deref())?;
@@ -609,12 +642,15 @@ impl<'a> Executor<'a> {
                         if scan.pruned {
                             st.segments_pruned.fetch_add(1, Ordering::Relaxed);
                         } else {
-                            st.record_decoded(scan.decoded);
+                            st.record_decoded(scan.kernel.decoded);
+                            st.record_kernels(&scan.kernel);
                         }
                     }
+                    let skip_residual =
+                        *exact_bounds || (*bounds_cover_filter && scan.exact);
                     for row in scan.rows {
                         let keep = match filter {
-                            Some(f) if !*exact_bounds => {
+                            Some(f) if !skip_residual => {
                                 ctx.reset();
                                 f.eval_bool_ctx(&row, &mut ctx)?
                             }

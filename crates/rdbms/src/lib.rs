@@ -40,6 +40,7 @@ pub mod exec;
 pub mod expr;
 pub mod func;
 pub mod heap;
+pub mod kernels;
 pub mod page;
 pub mod pager;
 pub mod plan;
@@ -59,6 +60,7 @@ pub use block::{BlockOperator, RowBlock};
 pub use exec::{ExecLimits, ExecMode, ExecSnapshot, EXEC_HIST_BUCKETS};
 pub use func::ScalarFn;
 pub use heap::RowId;
+pub use kernels::KernelStats;
 pub use planner::PlannerConfig;
 pub use selectivity::Defaults;
 pub use wal::{Wal, WalConfig};

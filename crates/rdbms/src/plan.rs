@@ -72,7 +72,7 @@ pub enum Plan {
     /// column-store segments. Emits the same row shape as `SeqScan`
     /// (non-`needed` columns as Null, trailing `_rowid`), in rowid order,
     /// so results are byte-identical. `column` names the segment store whose
-    /// vectorized kernel pre-filters by `lo`/`hi` (`total_cmp` superset
+    /// vectorized kernel pre-filters by `lo`/`hi` (`key_cmp` superset
     /// bounds, like `IndexScan`); `None` means no sargable bound and the
     /// scan only skips dead slots. `filter` is the FULL predicate,
     /// re-applied per block unless `exact_bounds`.
@@ -88,6 +88,13 @@ pub enum Plan {
         needed: Option<Vec<String>>,
         est_rows: f64,
         exact_bounds: bool,
+        /// Weaker cousin of `exact_bounds`: every conjunct was consumed as
+        /// a bound on `column` and all bound literals share one exactness
+        /// class, but the planner couldn't prove the *stored values* stay
+        /// in that class. Segments whose zone map proves a matching value
+        /// class ([`crate::ColumnStore::segment_value_class`]) may then
+        /// skip the residual filter per segment.
+        bounds_cover_filter: bool,
     },
     /// Covering index-only scan: the query touches only the indexed column
     /// (plus `_rowid`), so the B-tree probe alone answers it with zero heap

@@ -468,36 +468,63 @@ impl<'a> Planner<'a> {
             est_rows: rows,
         };
         // Sargable bounds per stored column, shared by the index-scan,
-        // index-only, and columnar access paths below.
-        let mut per_col: HashMap<usize, (IdxBound, Vec<PhysExpr>)> = HashMap::new();
+        // index-only, and columnar access paths below. Alongside the
+        // intersected bound we track whether every contributing clause's
+        // literals sit in one exactness class (`uniform`): a clause whose
+        // literal is class-less (NaN) or of a different class than the
+        // others can reject rows the merged bound range admits — e.g.
+        // `a > 'x' AND a > 5`: tighten keeps the text bound, but the
+        // dropped numeric clause fails every text row — so such columns
+        // must never be marked exact.
+        #[derive(Default)]
+        struct ColSarg {
+            b: IdxBound,
+            clauses: Vec<PhysExpr>,
+            class: Option<u8>,
+            uniform: bool,
+        }
+        let mut per_col: HashMap<usize, ColSarg> = HashMap::new();
         if !force_scan() {
             for f in &bound {
                 let Some((slot, lo, lo_inc, hi, hi_inc)) = sargable(f) else { continue };
                 if !matches!(col_names.get(slot), Some(Some(_))) {
                     continue;
                 }
+                let cls = match (exactness_class(lo.as_ref()), exactness_class(hi.as_ref())) {
+                    (Some(a), Some(c)) if a == c => Some(a),
+                    (Some(a), None) if hi.is_none() => Some(a),
+                    (None, Some(c)) if lo.is_none() => Some(c),
+                    _ => None,
+                };
                 let e = per_col.entry(slot).or_default();
-                e.0.tighten(lo, lo_inc, hi, hi_inc);
-                e.1.push(f.clone());
+                if e.clauses.is_empty() {
+                    e.class = cls;
+                    e.uniform = true;
+                }
+                e.uniform = e.uniform && cls.is_some() && cls == e.class;
+                e.b.tighten(lo, lo_inc, hi, hi_inc);
+                e.clauses.push(f.clone());
             }
         }
         // each column's match fraction is the joint selectivity of its own
         // sargable conjuncts (range pairs included)
-        let col_bounds: Vec<(usize, IdxBound, f64, usize)> = per_col
+        let col_bounds: Vec<(usize, IdxBound, f64, usize, bool)> = per_col
             .into_iter()
-            .map(|(slot, (b, clauses))| {
-                let n_clauses = clauses.len();
+            .map(|(slot, cs)| {
+                let n_clauses = cs.clauses.len();
                 let s =
-                    conjoin_phys(clauses).map(|p| sel_ctx.selectivity(&p)).unwrap_or(1.0);
-                (slot, b, s, n_clauses)
+                    conjoin_phys(cs.clauses).map(|p| sel_ctx.selectivity(&p)).unwrap_or(1.0);
+                (slot, cs.b, s, n_clauses, cs.uniform)
             })
             .collect();
-        // Exact when a column's sargable clauses are the entire predicate
-        // AND both bounds land in one type class: then the total_cmp key
-        // range equals the SQL match set and the residual filter can
-        // reject nothing, so a LIMIT may cap the probe.
-        let exact_for = |b: &IdxBound, n_clauses: usize| {
-            n_clauses == bound.len()
+        // Exact when a column's sargable clauses are the entire predicate,
+        // every clause literal shares one type class, AND both merged
+        // bounds land in that class: then the key range equals the SQL
+        // match set and the residual filter can reject nothing, so a
+        // LIMIT may cap the probe.
+        let exact_for = |b: &IdxBound, n_clauses: usize, uniform: bool| {
+            uniform
+                && n_clauses == bound.len()
                 && match (exactness_class(b.lo.as_ref()), exactness_class(b.hi.as_ref())) {
                     (Some(a), Some(c)) => a == c,
                     _ => false,
@@ -512,7 +539,7 @@ impl<'a> Planner<'a> {
 
         let indexed =
             if force_scan() { Vec::new() } else { self.catalog.indexed_columns(table) };
-        if let Some((slot, b, bound_sel, n_clauses)) =
+        if let Some((slot, b, bound_sel, n_clauses, uniform)) =
             best_for(&|n| indexed.iter().any(|c| c == n))
         {
             let matched = (meta.n_rows * bound_sel).max(1.0);
@@ -533,7 +560,7 @@ impl<'a> Planner<'a> {
                     filter: filter.clone(),
                     needed: needed_vec.clone(),
                     est_rows: rows,
-                    exact_bounds: exact_for(b, *n_clauses),
+                    exact_bounds: exact_for(b, *n_clauses, *uniform),
                 };
                 plan_cost = index_cost;
             }
@@ -548,7 +575,7 @@ impl<'a> Planner<'a> {
         // row-identical.
         if columnar_on {
             if let Some(nv) = &needed_vec {
-                for (slot, b, bound_sel, n_clauses) in &col_bounds {
+                for (slot, b, bound_sel, n_clauses, uniform) in &col_bounds {
                     let Some(Some(name)) = col_names.get(*slot) else { continue };
                     if !indexed.iter().any(|c| c == name)
                         || !nv.iter().all(|n| n == name || n == "_rowid")
@@ -574,7 +601,7 @@ impl<'a> Planner<'a> {
                             filter: filter.clone(),
                             needed: needed_vec.clone(),
                             est_rows: rows,
-                            exact_bounds: exact_for(b, *n_clauses),
+                            exact_bounds: exact_for(b, *n_clauses, *uniform),
                         };
                         plan_cost = io_cost;
                     }
@@ -597,18 +624,31 @@ impl<'a> Planner<'a> {
                     let best = best_for(&|n| stored.iter().any(|c| c == n));
                     // zone-map pruning discounts the page term by the bound
                     // selectivity, floored so a scan never looks free
-                    let prune = best.map(|(_, _, s, _)| s.max(0.1)).unwrap_or(1.0);
+                    let prune = best.map(|(_, _, s, _, _)| s.max(0.1)).unwrap_or(1.0);
                     let col_cost = meta.n_pages * SEQ_PAGE_COST * frac * 0.25 * prune
                         + meta.n_rows * CPU_TUPLE_COST * 0.25
                         + rows * CPU_TUPLE_COST
                         + meta.n_rows * bound.len() as f64 * CPU_OPERATOR_COST * 0.25;
                     if col_cost < plan_cost {
                         let exact_bounds = match best {
-                            Some((_, b, _, n_clauses)) => exact_for(b, *n_clauses),
+                            Some((_, b, _, n_clauses, uniform)) => {
+                                exact_for(b, *n_clauses, *uniform)
+                            }
+                            None => bound.is_empty(),
+                        };
+                        // The predicate is fully covered by same-class
+                        // bound literals even when the merged endpoints
+                        // couldn't prove exactness (one-sided ranges):
+                        // segments whose zone map pins the stored values
+                        // to that class may skip the residual per segment.
+                        let bounds_cover_filter = match best {
+                            Some((_, _, _, n_clauses, uniform)) => {
+                                *uniform && *n_clauses == bound.len()
+                            }
                             None => bound.is_empty(),
                         };
                         let (column, lo, lo_inc, hi, hi_inc) = match best {
-                            Some((slot, b, _, _)) => (
+                            Some((slot, b, _, _, _)) => (
                                 col_names[*slot].clone(),
                                 b.lo.clone(),
                                 b.lo_inc,
@@ -629,6 +669,7 @@ impl<'a> Planner<'a> {
                             needed: needed_vec,
                             est_rows: rows,
                             exact_bounds,
+                            bounds_cover_filter,
                         };
                         plan_cost = col_cost;
                     }
@@ -1328,6 +1369,11 @@ struct IdxBound {
 }
 
 impl IdxBound {
+    /// Intersect with another clause's bounds. `key_cmp` picks the tighter
+    /// endpoint: within one exactness class it IS the SQL order, so the
+    /// merged range equals the clause intersection (the `Equal` arm makes
+    /// `a >= 0 AND a > -0.0` correctly exclusive — total_cmp would call
+    /// those endpoints distinct and keep the wrong inclusivity).
     fn tighten(&mut self, lo: Option<Datum>, lo_inc: bool, hi: Option<Datum>, hi_inc: bool) {
         if self.lo.is_none() && self.hi.is_none() {
             self.lo_inc = true;
@@ -1339,7 +1385,7 @@ impl IdxBound {
                     self.lo = Some(l);
                     self.lo_inc = lo_inc;
                 }
-                Some(cur) => match l.total_cmp(cur) {
+                Some(cur) => match l.key_cmp(cur) {
                     std::cmp::Ordering::Greater => {
                         self.lo = Some(l);
                         self.lo_inc = lo_inc;
@@ -1355,7 +1401,7 @@ impl IdxBound {
                     self.hi = Some(h);
                     self.hi_inc = hi_inc;
                 }
-                Some(cur) => match h.total_cmp(cur) {
+                Some(cur) => match h.key_cmp(cur) {
                     std::cmp::Ordering::Less => {
                         self.hi = Some(h);
                         self.hi_inc = hi_inc;
@@ -1368,19 +1414,12 @@ impl IdxBound {
     }
 }
 
-/// Type class of a bound datum for `exact_bounds` purposes. Within one
-/// class, `Datum::total_cmp` order coincides with SQL comparison over the
-/// keys the range can contain (Bool < numeric < Text in total_cmp rank, so
-/// a two-sided same-class range only ever contains keys of that class).
-/// Non-finite floats are excluded: NaN breaks the order/SQL agreement.
+/// Type class of a bound datum for `exact_bounds` purposes (see
+/// [`Datum::exactness_class`]): within one class, key order coincides with
+/// SQL comparison over the keys the range can contain, so a two-sided
+/// same-class range only ever contains keys of that class.
 fn exactness_class(d: Option<&Datum>) -> Option<u8> {
-    match d? {
-        Datum::Bool(_) => Some(0),
-        Datum::Int(_) => Some(1),
-        Datum::Float(f) if f.is_finite() => Some(1),
-        Datum::Text(_) => Some(2),
-        _ => None,
-    }
+    d.and_then(Datum::exactness_class)
 }
 
 /// One sargable conjunct's contribution: `(scan slot, lo, lo_inc, hi, hi_inc)`.

@@ -21,11 +21,19 @@ const T_ROWS: u64 = 2_000;
 const S_ROWS: u64 = 300;
 
 fn build_db() -> Database {
+    build_db_sized(T_ROWS)
+}
+
+/// Like [`build_db`] but with a chosen `t` row count. The SIMD crossing
+/// uses 6 000 rows so `t` spans a *sealed* columnar segment (4 096 slots)
+/// plus an unsealed tail — sealed segments are where the packed/dict/rle
+/// encodings and therefore the batched kernels live.
+fn build_db_sized(t_rows: u64) -> Database {
     let db = Database::in_memory();
     db.execute("CREATE TABLE t (a int, b int, c text, d float)").unwrap();
     db.execute("CREATE TABLE s (k int, v text)").unwrap();
     let mut stmt = String::new();
-    for i in 0..T_ROWS {
+    for i in 0..t_rows {
         let h = mix(i);
         if stmt.is_empty() {
             stmt.push_str("INSERT INTO t VALUES ");
@@ -41,6 +49,9 @@ fn build_db() -> Database {
             db.execute(&stmt).unwrap();
             stmt.clear();
         }
+    }
+    if !stmt.is_empty() {
+        db.execute(&stmt).unwrap();
     }
     let mut stmt = String::new();
     for i in 0..S_ROWS {
@@ -302,6 +313,121 @@ fn columnar_paths_actually_engage() {
     }
     if let Some(v) = prev_force {
         std::env::set_var("SINEW_FORCE_SCAN", v);
+    }
+}
+
+/// Workload for the SIMD differential: the columnar workload over a table
+/// large enough to hold a sealed segment, so the batched kernels actually
+/// run. Two phases of results: fresh stores, then post-DML stores (holes
+/// in the liveness bitmap exercise the masked kernel paths).
+fn run_kernel_workload(limits: ExecLimits) -> Vec<Vec<Vec<Datum>>> {
+    let db = build_db_sized(6_000);
+    for col in ["a", "b", "c", "d"] {
+        db.build_columnar("t", col).unwrap();
+    }
+    for col in ["k", "v"] {
+        db.build_columnar("s", col).unwrap();
+    }
+    db.set_exec_limits(limits);
+    let mut out = Vec::new();
+    for q in QUERIES {
+        out.push(db.execute(q).unwrap_or_else(|e| panic!("{q}: {e}")).rows);
+    }
+    for m in MUTATIONS {
+        db.execute(m).unwrap();
+    }
+    for q in QUERIES {
+        out.push(db.execute(q).unwrap_or_else(|e| panic!("{q} (post-DML): {e}")).rows);
+    }
+    out
+}
+
+/// `SINEW_SIMD=0` forces the per-slot scalar kernels, which are the oracle
+/// for the batched word-parallel paths: the whole workload must come back
+/// byte-identical under both knob values, across engines and block sizes.
+/// A vacuity guard then checks the batched counters move only under
+/// `SINEW_SIMD=1`, and the dictionary-code rewrite fires on a text range.
+#[test]
+fn batched_kernels_match_scalar_byte_identically() {
+    let _g = COLUMNAR_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev_col = std::env::var("SINEW_COLUMNAR").ok();
+    let prev_simd = std::env::var("SINEW_SIMD").ok();
+    let prev_force = std::env::var("SINEW_FORCE_SCAN").ok();
+    std::env::set_var("SINEW_COLUMNAR", "1");
+    std::env::remove_var("SINEW_FORCE_SCAN");
+
+    std::env::set_var("SINEW_SIMD", "0");
+    let oracle = run_kernel_workload(ExecLimits {
+        mode: ExecMode::Materialize,
+        exec_threads: 1,
+        ..ExecLimits::default()
+    });
+
+    std::env::set_var("SINEW_SIMD", "1");
+    let mut configs = vec![ExecLimits {
+        mode: ExecMode::Materialize,
+        exec_threads: 1,
+        ..ExecLimits::default()
+    }];
+    for (threads, block_rows) in [(1usize, 3usize), (1, 1024), (4, 1024)] {
+        configs.push(ExecLimits {
+            mode: ExecMode::Streaming,
+            exec_threads: threads,
+            block_rows,
+            ..ExecLimits::default()
+        });
+    }
+    for limits in configs {
+        let got = run_kernel_workload(limits);
+        assert_eq!(got.len(), oracle.len());
+        for (i, (g, o)) in got.iter().zip(&oracle).enumerate() {
+            let q = QUERIES[i % QUERIES.len()];
+            let phase = if i < QUERIES.len() { "pre" } else { "post" };
+            assert_eq!(
+                g, o,
+                "query {q:?} ({phase}-DML) diverged from the scalar kernels under \
+                 mode={:?} block_rows={} threads={}",
+                limits.mode, limits.block_rows, limits.exec_threads
+            );
+        }
+    }
+
+    // Vacuity guard: batched decode engages only when the knob allows it.
+    // `b` and `c` are unindexed, so their range predicates must take the
+    // columnar scan; `c` is low-cardinality text, so its sealed segment is
+    // dictionary-encoded and the predicate rewrites to a code range.
+    for (mode, expect) in [("0", false), ("1", true)] {
+        std::env::set_var("SINEW_SIMD", mode);
+        let db = build_db_sized(6_000);
+        for col in ["a", "b", "c", "d"] {
+            db.build_columnar("t", col).unwrap();
+        }
+        let before = db.exec_stats();
+        db.execute("SELECT b FROM t WHERE b > 10 AND b < 40").unwrap();
+        db.execute("SELECT c FROM t WHERE c >= 'w1' AND c <= 'w5'").unwrap();
+        let after = db.exec_stats();
+        assert_eq!(
+            after.values_decoded_batched > before.values_decoded_batched,
+            expect,
+            "SINEW_SIMD={mode}: values_decoded_batched moved from {} to {}",
+            before.values_decoded_batched,
+            after.values_decoded_batched
+        );
+        if expect {
+            assert!(
+                after.dict_code_rewrites > before.dict_code_rewrites,
+                "text range over a dict segment never rewrote to a code range"
+            );
+        }
+    }
+
+    for (name, prev) in
+        [("SINEW_COLUMNAR", prev_col), ("SINEW_SIMD", prev_simd), ("SINEW_FORCE_SCAN", prev_force)]
+    {
+        match prev {
+            Some(v) => std::env::set_var(name, v),
+            None => std::env::remove_var(name),
+        }
     }
 }
 
