@@ -1,0 +1,89 @@
+//! Criterion benchmarks for the morsel-parallel pipeline breakers
+//! (DESIGN.md §15): the partitioned hash join and the parallel
+//! pre-aggregation at 1/2/4/8 worker threads, plus both against their
+//! serial operators (`SINEW_PARALLEL_JOIN=0` / `SINEW_PARALLEL_AGG=0`).
+//!
+//! The canonical snapshot for these numbers is `results/BENCH_PR9.json`,
+//! written by `cargo run --release -p sinew-bench --bin pr9_parallel_join`
+//! at the full 1M-row scale; this bench runs at 200k rows so criterion's
+//! sampling stays tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinew_rdbms::{Database, Datum, ExecLimits, ExecMode};
+use std::hint::black_box;
+
+/// splitmix64 — deterministic data without depending on a rand crate.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+const FACT_ROWS: u64 = 200_000;
+const DIM_ROWS: u64 = 20_000;
+const GROUPS: u64 = 5_000;
+
+const JOIN_Q: &str = "SELECT COUNT(*), SUM(d.w), SUM(f.v) FROM f JOIN d ON f.k = d.k";
+const AGG_Q: &str = "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v) FROM f GROUP BY g";
+
+fn build() -> Database {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE f (k int, g int, v int)").unwrap();
+    db.execute("CREATE TABLE d (k int, w int)").unwrap();
+    let fact: Vec<Vec<Datum>> = (0..FACT_ROWS)
+        .map(|i| {
+            let h = mix(i);
+            vec![
+                Datum::Int((h % DIM_ROWS) as i64),
+                Datum::Int((h % GROUPS) as i64),
+                Datum::Int((h % 1_000) as i64),
+            ]
+        })
+        .collect();
+    db.insert_rows("f", &fact).unwrap();
+    let dim: Vec<Vec<Datum>> = (0..DIM_ROWS)
+        .map(|i| vec![Datum::Int(i as i64), Datum::Int((mix(i ^ 0xd1b5) % 500) as i64)])
+        .collect();
+    db.insert_rows("d", &dim).unwrap();
+    db.execute("ANALYZE f").unwrap();
+    db.execute("ANALYZE d").unwrap();
+    db
+}
+
+fn with_threads(db: &Database, threads: usize) {
+    db.set_exec_limits(ExecLimits {
+        mode: ExecMode::Streaming,
+        exec_threads: threads,
+        ..ExecLimits::default()
+    });
+}
+
+fn bench_breaker(c: &mut Criterion, name: &str, knob: &str, sql: &str) {
+    let db = build();
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    std::env::set_var(knob, "0");
+    with_threads(&db, 1);
+    g.bench_function("serial", |b| b.iter(|| black_box(db.execute(sql).unwrap().rows.len())));
+    std::env::set_var(knob, "1");
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            with_threads(&db, t);
+            b.iter(|| black_box(db.execute(sql).unwrap().rows.len()))
+        });
+    }
+    std::env::remove_var(knob);
+    g.finish();
+}
+
+fn bench_parallel_join(c: &mut Criterion) {
+    bench_breaker(c, "parallel_hash_join", "SINEW_PARALLEL_JOIN", JOIN_Q);
+}
+
+fn bench_parallel_agg(c: &mut Criterion) {
+    bench_breaker(c, "parallel_hash_agg", "SINEW_PARALLEL_AGG", AGG_Q);
+}
+
+criterion_group!(benches, bench_parallel_join, bench_parallel_agg);
+criterion_main!(benches);

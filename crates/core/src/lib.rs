@@ -353,7 +353,8 @@ impl Sinew {
         let stmt =
             sinew_sql::parse_statement(sql).map_err(|e| DbError::Parse(e.to_string()))?;
         let rewritten = rewriter::rewrite_statement(self, &stmt)?;
-        let explained = sinew_sql::Statement::Explain(Box::new(rewritten));
+        let explained =
+            sinew_sql::Statement::Explain { analyze: false, inner: Box::new(rewritten) };
         let r = self.db.execute_statement(&explained)?;
         Ok(r.rows.iter().map(|row| row[0].display_text()).collect::<Vec<_>>().join("\n"))
     }

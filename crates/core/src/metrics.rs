@@ -848,6 +848,16 @@ impl StorageReport {
         );
         let _ = writeln!(
             out,
+            "parallel breakers: {} join build rows, {} join partitions, \
+             {} agg partition merges, {} parallel sorts; {} explain runs",
+            e.join_build_rows,
+            e.join_partitions,
+            e.agg_partition_merges,
+            e.parallel_sorts,
+            e.explain_runs
+        );
+        let _ = writeln!(
+            out,
             "wal: {} appends, {} commits, {} fsyncs, {} checkpoints, {} B written; \
              {} recoveries ({} pages replayed)",
             e.wal_appends,
@@ -1069,6 +1079,23 @@ impl StorageReport {
                         "selection_fastpath_hits".to_string(),
                         Value::Int(self.exec.selection_fastpath_hits as i64),
                     ),
+                    (
+                        "join_build_rows".to_string(),
+                        Value::Int(self.exec.join_build_rows as i64),
+                    ),
+                    (
+                        "join_partitions".to_string(),
+                        Value::Int(self.exec.join_partitions as i64),
+                    ),
+                    (
+                        "agg_partition_merges".to_string(),
+                        Value::Int(self.exec.agg_partition_merges as i64),
+                    ),
+                    (
+                        "parallel_sorts".to_string(),
+                        Value::Int(self.exec.parallel_sorts as i64),
+                    ),
+                    ("explain_runs".to_string(), Value::Int(self.exec.explain_runs as i64)),
                     ("wal_appends".to_string(), Value::Int(self.exec.wal_appends as i64)),
                     ("wal_commits".to_string(), Value::Int(self.exec.wal_commits as i64)),
                     ("wal_fsyncs".to_string(), Value::Int(self.exec.wal_fsyncs as i64)),

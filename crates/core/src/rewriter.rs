@@ -95,9 +95,10 @@ pub fn rewrite_statement(sinew: &Sinew, stmt: &Statement) -> DbResult<Statement>
             sinew.metrics().queries_rewritten.inc();
             rewrite_delete(sinew, del)
         }
-        Statement::Explain(inner) => Ok(Statement::Explain(Box::new(rewrite_statement(
-            sinew, inner,
-        )?))),
+        Statement::Explain { analyze, inner } => Ok(Statement::Explain {
+            analyze: *analyze,
+            inner: Box::new(rewrite_statement(sinew, inner)?),
+        }),
         Statement::Insert(ins) if is_collection(sinew, &ins.table) => Err(DbError::Schema(
             "INSERT into a Sinew collection is not supported; use the JSON loader".into(),
         )),

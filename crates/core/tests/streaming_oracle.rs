@@ -122,3 +122,96 @@ fn epoch_bumps_between_statements_are_observed() {
     let after = sinew.query("SELECT tag, num FROM events WHERE num > 480").unwrap().rows;
     assert_eq!(before, after, "materialization changed query results");
 }
+
+/// PR 9 crossing at the Sinew layer: joins and aggregates over *virtual*
+/// columns (extraction UDFs), then over *promoted* columns (after the
+/// analyzer materializes them), must be byte-identical between the serial
+/// operators (SINEW_PARALLEL_JOIN=0 / SINEW_PARALLEL_AGG=0) and the
+/// morsel-parallel breakers at every thread count.
+#[test]
+fn parallel_breakers_match_serial_over_virtual_and_promoted_columns() {
+    let prev_join = std::env::var("SINEW_PARALLEL_JOIN").ok();
+    let prev_agg = std::env::var("SINEW_PARALLEL_AGG").ok();
+
+    let sinew = build();
+    sinew.create_collection("dims").unwrap();
+    let mut jsonl = String::new();
+    for i in 0..400u64 {
+        let h = mix(i ^ 0xd1a5);
+        jsonl.push_str(&format!(
+            "{{\"key\": {}, \"boost\": {}, \"label\": \"l{}\"}}\n",
+            (h % 500) as i64,
+            (h % 97) as i64,
+            h % 6
+        ));
+    }
+    sinew.load_jsonl("dims", &jsonl).unwrap();
+
+    let queries = [
+        "SELECT e.num, e.tag, d.label FROM events e, dims d \
+         WHERE e.num = d.key AND e.num < 60",
+        "SELECT e.tag, COUNT(*), SUM(d.boost) FROM events e, dims d \
+         WHERE e.num = d.key GROUP BY e.tag HAVING COUNT(*) > 3 ORDER BY e.tag",
+        "SELECT d.label, COUNT(*) FROM events e, dims d \
+         WHERE e.num = d.key AND e.extra IS NOT NULL \
+         GROUP BY d.label ORDER BY d.label",
+        "SELECT e.num, d.boost FROM events e, dims d \
+         WHERE e.num = d.key ORDER BY d.boost DESC, e.num LIMIT 25",
+    ];
+    let run = |threads: usize| -> Vec<Vec<Vec<Datum>>> {
+        sinew.db().set_exec_limits(ExecLimits {
+            mode: ExecMode::Streaming,
+            exec_threads: threads,
+            block_rows: 256,
+            ..ExecLimits::default()
+        });
+        queries
+            .iter()
+            .map(|q| sinew.query(q).unwrap_or_else(|e| panic!("{q}: {e}")).rows)
+            .collect()
+    };
+
+    let mut phases: Vec<(&str, Vec<Vec<Vec<Datum>>>)> = Vec::new();
+    for promoted in [false, true] {
+        if promoted {
+            let policy = AnalyzerPolicy {
+                density_threshold: 0.5,
+                cardinality_threshold: 10,
+                sample_rows: 5_000,
+            };
+            sinew.run_analyzer("events", &policy).unwrap();
+            sinew.materialize_until_clean("events").unwrap();
+            sinew.run_analyzer("dims", &policy).unwrap();
+            sinew.materialize_until_clean("dims").unwrap();
+        }
+        let phase = if promoted { "promoted" } else { "virtual" };
+        std::env::set_var("SINEW_PARALLEL_JOIN", "0");
+        std::env::set_var("SINEW_PARALLEL_AGG", "0");
+        let serial = run(1);
+        assert!(serial.iter().any(|r| !r.is_empty()), "{phase}: workload returned nothing");
+        std::env::set_var("SINEW_PARALLEL_JOIN", "1");
+        std::env::set_var("SINEW_PARALLEL_AGG", "1");
+        for threads in [1usize, 4] {
+            let got = run(threads);
+            for (i, (g, o)) in got.iter().zip(&serial).enumerate() {
+                assert_eq!(
+                    g, o,
+                    "query {:?} over {phase} columns diverged at threads={threads}",
+                    queries[i]
+                );
+            }
+        }
+        phases.push((phase, serial));
+    }
+    // Promotion itself must not change results either.
+    assert_eq!(phases[0].1, phases[1].1, "promotion changed query results");
+
+    match prev_join {
+        Some(v) => std::env::set_var("SINEW_PARALLEL_JOIN", v),
+        None => std::env::remove_var("SINEW_PARALLEL_JOIN"),
+    }
+    match prev_agg {
+        Some(v) => std::env::set_var("SINEW_PARALLEL_AGG", v),
+        None => std::env::remove_var("SINEW_PARALLEL_AGG"),
+    }
+}

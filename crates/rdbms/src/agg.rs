@@ -133,6 +133,59 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Can this accumulator be folded into another with [`merge`] without
+    /// changing the result vs feeding the rows serially? True for counts
+    /// and min/max always, and for SUM/AVG while the sum stayed integral
+    /// (integer addition is associative; float addition is not, so a
+    /// float-mode partial sum must fall back to serial accumulation).
+    /// DISTINCT accumulators never merge: `seen` holds canonical keys, and
+    /// cross-partial dedup order would be lost.
+    pub fn merge_is_exact(&self) -> bool {
+        self.seen.is_none()
+            && (!matches!(self.kind, AggKind::Sum | AggKind::Avg) || !self.float_mode)
+    }
+
+    /// Fold a partial accumulator for a *later* input range into `self`.
+    /// Exact (identical to serial `update` over the concatenated input)
+    /// whenever both sides report [`merge_is_exact`]; the only inexact
+    /// escape is i64 sum overflow at merge time, which promotes to float
+    /// exactly like serial overflow does.
+    pub fn merge(&mut self, later: &Accumulator) {
+        debug_assert_eq!(self.kind, later.kind);
+        debug_assert!(self.seen.is_none() && later.seen.is_none());
+        match self.kind {
+            AggKind::CountStar | AggKind::Count => self.count += later.count,
+            AggKind::Sum | AggKind::Avg => {
+                self.count += later.count;
+                match self.sum_i.checked_add(later.sum_i) {
+                    Some(s) => self.sum_i = s,
+                    None => {
+                        self.float_mode = true;
+                        self.sum_f = self.sum_i as f64 + later.sum_i as f64;
+                    }
+                }
+            }
+            AggKind::Min | AggKind::Max => {
+                if let Some(v) = &later.extreme {
+                    // `later` covers rows after `self`'s: a tie keeps
+                    // `self`'s value, matching serial first-wins picks.
+                    let better = match &self.extreme {
+                        None => true,
+                        Some(cur) => {
+                            let ord = v.total_cmp(cur);
+                            (self.kind == AggKind::Min && ord == std::cmp::Ordering::Less)
+                                || (self.kind == AggKind::Max
+                                    && ord == std::cmp::Ordering::Greater)
+                        }
+                    };
+                    if better {
+                        self.extreme = Some(v.clone());
+                    }
+                }
+            }
+        }
+    }
+
     /// Final value of the aggregate (SQL semantics: SUM/MIN/MAX over an
     /// empty input yield NULL; COUNT yields 0).
     pub fn finish(&self) -> Datum {
@@ -224,6 +277,32 @@ mod tests {
     fn avg_basic() {
         let vals = [Datum::Int(2), Datum::Int(4)];
         assert_eq!(run(AggKind::Avg, false, &vals), Datum::Float(3.0));
+    }
+
+    #[test]
+    fn merged_partials_match_serial() {
+        let vals: Vec<Datum> = (0..100).map(|i| Datum::Int(i * 7 - 50)).collect();
+        for kind in [AggKind::Count, AggKind::Sum, AggKind::Avg, AggKind::Min, AggKind::Max] {
+            let serial = run(kind, false, &vals);
+            let mut left = Accumulator::new(kind, false);
+            let mut right = Accumulator::new(kind, false);
+            for v in &vals[..37] {
+                left.update(v).unwrap();
+            }
+            for v in &vals[37..] {
+                right.update(v).unwrap();
+            }
+            assert!(left.merge_is_exact() && right.merge_is_exact());
+            left.merge(&right);
+            assert_eq!(left.finish(), serial, "{kind:?}");
+        }
+        // float partials refuse exact merge
+        let mut f = Accumulator::new(AggKind::Sum, false);
+        f.update(&Datum::Float(1.5)).unwrap();
+        assert!(!f.merge_is_exact());
+        // distinct partials refuse merge
+        let d = Accumulator::new(AggKind::Count, true);
+        assert!(!d.merge_is_exact());
     }
 
     #[test]

@@ -17,10 +17,24 @@
 //! (`SINEW_EXEC_MODE=materialize`, `Executor::run_materialize`) at every
 //! block size and thread count: scans emit rows in row-id order, parallel
 //! waves are stitched in morsel order, float accumulation order equals
-//! input order, and hash-based operators use the same per-instance
-//! `HashMap` semantics as the oracle. The equivalence suite
-//! (`tests/exec_equivalence.rs`, `crates/core/tests/streaming_oracle.rs`)
-//! enforces this over a seeded random workload.
+//! input order, and hash aggregation emits groups in first-occurrence
+//! (input) order — the same order the oracle produces. The equivalence
+//! suite (`tests/exec_equivalence.rs`,
+//! `crates/core/tests/streaming_oracle.rs`) enforces this over a seeded
+//! random workload.
+//!
+//! Since PR 9 the pipeline *breakers* parallelize too (DESIGN.md §15):
+//! the hash-join build side is partitioned over P = next_pow2(threads)
+//! private hash tables and the probe runs wave-parallel over buffered
+//! probe rows; hash aggregation pre-aggregates thread-locally per morsel
+//! and merges partition-wise (falling back, stickily, to the serial fold
+//! the moment a float sum appears, because float addition is not
+//! associative); sort runs per-chunk run sorts plus a k-way merge whose
+//! global-index tiebreak reproduces the serial stable sort exactly.
+//! `SINEW_PARALLEL_JOIN=0` / `SINEW_PARALLEL_AGG=0` restore the serial
+//! operators for differential testing (the AGG knob also covers the
+//! parallel sort). `EXPLAIN ANALYZE` wraps every operator in an
+//! [`AnalyzeOp`] that counts rows/blocks/wall time per plan node.
 //!
 //! Resource governance: `max_intermediate_rows` is charged wherever rows
 //! actually accumulate — the root accumulator, breaker buffers, join
@@ -31,14 +45,16 @@
 use crate::datum::{Datum, GroupKey};
 use crate::error::{DbError, DbResult};
 use crate::exec::{
-    feed_accs, finish_group, new_acc, panic_message, rows_equal, sort_rows, ExecStats, Executor,
-    Row, ScanPipeline,
+    cmp_sort_keys, eval_sort_keys, feed_accs, finish_group, new_acc, panic_message, rows_equal,
+    sort_rows, ExecStats, Executor, Row, ScanPipeline,
 };
 use crate::expr::{EvalCtx, PhysExpr};
 use crate::agg::Accumulator;
-use crate::plan::{AggSpec, Plan, SortKey};
+use crate::plan::{AggSpec, NodeActuals, Plan, SortKey};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// A batch of rows flowing between operators. `sel`, when present, lists
 /// the indices of `rows` that are logically in the block (a selection
@@ -137,7 +153,19 @@ pub trait BlockOperator {
 /// final result. Charges `max_intermediate_rows` per block as the result
 /// accumulates and tracks block/early-stop/resident metrics.
 pub(crate) fn run_streaming(exec: &Executor<'_>, plan: &Plan) -> DbResult<Vec<Row>> {
-    let mut op = build_op(exec, plan, None)?;
+    run_streaming_with(exec, plan, None)
+}
+
+/// [`run_streaming`] with optional `EXPLAIN ANALYZE` instrumentation:
+/// when `az` is set, every plan node's operator is wrapped in an
+/// [`AnalyzeOp`] and `az` collects per-node actual rows/blocks/ns in the
+/// same pre-order the plan renderer walks.
+pub(crate) fn run_streaming_with(
+    exec: &Executor<'_>,
+    plan: &Plan,
+    az: Option<&AnalyzeCtx>,
+) -> DbResult<Vec<Row>> {
+    let mut op = build_node(exec, plan, None, az)?;
     let mut out: Vec<Row> = Vec::new();
     let result = (|| -> DbResult<()> {
         op.open()?;
@@ -163,15 +191,22 @@ pub(crate) fn run_streaming(exec: &Executor<'_>, plan: &Plan) -> DbResult<Vec<Ro
 /// bound on the rows the parent will consume (LIMIT pushdown); it flows
 /// through row-preserving operators (Project) down to index scans, which
 /// may bound their B-tree probe when the plan's bounds are exact.
-pub(crate) fn build_op<'x, 'a: 'x>(
+///
+/// `az`, when present, registers one [`NodeActuals`] slot per plan node
+/// (pre-order: node, then left child, then right — matching
+/// `Plan::explain_analyze`'s walk) and wraps each operator in an
+/// [`AnalyzeOp`]. Scan-pipeline fusion is disabled under analyze so the
+/// operator tree stays 1:1 with the plan tree.
+pub(crate) fn build_node<'x, 'a: 'x>(
     exec: &'x Executor<'a>,
     plan: &'x Plan,
     cap: Option<u64>,
+    az: Option<&'x AnalyzeCtx>,
 ) -> DbResult<Box<dyn BlockOperator + 'x>> {
     // The scan→filter→project prefix goes to the morsel-parallel operator
     // when the pool and the table are big enough — same gating as the
     // materializing engine's `try_parallel_pipeline`.
-    if exec.limits.exec_threads.max(1) > 1 {
+    if az.is_none() && exec.limits.exec_threads.max(1) > 1 {
         if let Some(pipe) = Executor::scan_pipeline(plan) {
             if let Some(high) = exec.source.high_water(pipe.table)? {
                 if let Some(op) = ParallelScanOp::try_new(exec, pipe, high) {
@@ -180,7 +215,8 @@ pub(crate) fn build_op<'x, 'a: 'x>(
             }
         }
     }
-    Ok(match plan {
+    let node_id = az.map(AnalyzeCtx::register);
+    let op: Box<dyn BlockOperator + 'x> = match plan {
         Plan::SeqScan { table, filter, needed, .. } => Box::new(SeqScanOp::new(
             exec,
             table,
@@ -272,37 +308,37 @@ pub(crate) fn build_op<'x, 'a: 'x>(
             state: IndexOnlyState::Init,
         }),
         Plan::Filter { input, predicate, .. } => Box::new(FilterOp {
-            child: build_op(exec, input, None)?,
+            child: build_node(exec, input, None, az)?,
             predicate,
             ctx: EvalCtx::new(),
         }),
         Plan::Project { input, exprs, .. } => Box::new(ProjectOp {
-            child: build_op(exec, input, cap)?,
+            child: build_node(exec, input, cap, az)?,
             exprs,
             ctx: EvalCtx::new(),
         }),
         Plan::Limit { input, n } => Box::new(LimitOp {
-            child: build_op(exec, input, Some(cap.unwrap_or(u64::MAX).min(*n)))?,
+            child: build_node(exec, input, Some(cap.unwrap_or(u64::MAX).min(*n)), az)?,
             remaining: *n,
             stats: exec.stats,
         }),
         Plan::Sort { input, keys, .. } => Box::new(SortOp {
             exec,
-            child: build_op(exec, input, None)?,
+            child: build_node(exec, input, None, az)?,
             keys,
             buf: None,
             pos: 0,
         }),
         Plan::HashAggregate { input, groups, aggs, .. } => Box::new(HashAggOp {
             exec,
-            child: build_op(exec, input, None)?,
+            child: build_node(exec, input, None, az)?,
             groups,
             aggs,
             out: None,
             pos: 0,
         }),
         Plan::GroupAggregate { input, groups, aggs, .. } => Box::new(GroupAggOp {
-            child: build_op(exec, input, None)?,
+            child: build_node(exec, input, None, az)?,
             exec,
             groups,
             aggs,
@@ -312,19 +348,19 @@ pub(crate) fn build_op<'x, 'a: 'x>(
             emitted_any: false,
         }),
         Plan::Unique { input, .. } => Box::new(UniqueOp {
-            child: build_op(exec, input, None)?,
+            child: build_node(exec, input, None, az)?,
             last: None,
         }),
         Plan::HashDistinct { input, .. } => Box::new(HashDistinctOp {
             exec,
-            child: build_op(exec, input, None)?,
+            child: build_node(exec, input, None, az)?,
             seen: HashSet::new(),
         }),
         Plan::HashJoin { left, right, left_key, right_key, residual, left_outer, .. } => {
             Box::new(HashJoinOp {
                 exec,
-                left: build_op(exec, left, None)?,
-                right: build_op(exec, right, None)?,
+                left: build_node(exec, left, None, az)?,
+                right: build_node(exec, right, None, az)?,
                 left_key,
                 right_key,
                 residual: residual.as_ref(),
@@ -332,14 +368,15 @@ pub(crate) fn build_op<'x, 'a: 'x>(
                 built: None,
                 emitted: 0,
                 pending: VecDeque::new(),
+                pbuf: Vec::new(),
                 left_done: false,
             })
         }
         Plan::MergeJoin { left, right, left_key, right_key, residual, .. } => {
             Box::new(MergeJoinOp {
                 exec,
-                left: build_op(exec, left, None)?,
-                right: build_op(exec, right, None)?,
+                left: build_node(exec, left, None, az)?,
+                right: build_node(exec, right, None, az)?,
                 left_key,
                 right_key,
                 residual: residual.as_ref(),
@@ -350,8 +387,8 @@ pub(crate) fn build_op<'x, 'a: 'x>(
         Plan::NestedLoop { left, right, predicate, left_outer, .. } => {
             Box::new(NestedLoopOp {
                 exec,
-                left: build_op(exec, left, None)?,
-                right: build_op(exec, right, None)?,
+                left: build_node(exec, left, None, az)?,
+                right: build_node(exec, right, None, az)?,
                 predicate: predicate.as_ref(),
                 left_outer: *left_outer,
                 right_rows: None,
@@ -365,6 +402,10 @@ pub(crate) fn build_op<'x, 'a: 'x>(
             rows,
             pos: 0,
         }),
+    };
+    Ok(match (node_id, az) {
+        (Some(id), Some(az)) => Box::new(AnalyzeOp { id, az, inner: op }),
+        _ => op,
     })
 }
 
@@ -398,6 +439,180 @@ fn chunk_from(buf: &mut [Row], pos: &mut usize, n: usize) -> Option<RowBlock> {
     }
     *pos = end;
     Some(RowBlock::from_rows(out))
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-breaker infrastructure (DESIGN.md §15)
+
+fn env_knob(name: &str) -> bool {
+    std::env::var(name).map(|v| !v.is_empty() && v != "0").unwrap_or(true)
+}
+
+/// `SINEW_PARALLEL_JOIN=0` restores the serial hash-join build and probe.
+pub(crate) fn parallel_join_enabled() -> bool {
+    env_knob("SINEW_PARALLEL_JOIN")
+}
+
+/// `SINEW_PARALLEL_AGG=0` restores the serial hash aggregation *and* the
+/// serial sort (the sort breaker rides the aggregation knob).
+pub(crate) fn parallel_agg_enabled() -> bool {
+    env_knob("SINEW_PARALLEL_AGG")
+}
+
+/// Below this many buffered rows a breaker stays serial: thread spawn
+/// would cost more than the work saved.
+const MIN_PARALLEL_ROWS: usize = 1024;
+
+/// Per-worker morsel size for the buffered probe/pre-aggregation waves.
+const BREAKER_MORSEL: usize = 512;
+
+/// Number of build/merge partitions for `threads` workers.
+fn partition_count(threads: usize) -> usize {
+    threads.max(1).next_power_of_two().min(64)
+}
+
+/// Deterministic key → partition routing. One instance per operator: the
+/// build and probe phases of the same join must agree on the routing, but
+/// the routing itself need not be stable across operator instances — only
+/// the stitched output order is, and that never depends on which
+/// partition a key landed in.
+struct Partitioner {
+    hasher: std::collections::hash_map::RandomState,
+    mask: u64,
+}
+
+impl Partitioner {
+    fn new(partitions: usize) -> Partitioner {
+        debug_assert!(partitions.is_power_of_two());
+        Partitioner { hasher: Default::default(), mask: partitions as u64 - 1 }
+    }
+
+    fn of<K: std::hash::Hash + ?Sized>(&self, key: &K) -> usize {
+        use std::hash::BuildHasher;
+        (self.hasher.hash_one(key) & self.mask) as usize
+    }
+}
+
+/// A boxed unit of parallel work for [`run_tasks`].
+type Task<'env, R> = Box<dyn FnOnce() -> DbResult<R> + Send + 'env>;
+
+/// One sort run entry: the evaluated sort keys plus the row's global
+/// index, the tiebreaker that makes the parallel sort exactly stable.
+type SortRun = Vec<(Vec<Datum>, u64)>;
+
+/// Run one scoped worker per task and return results in task order.
+/// Callers propagate the first error in task order, so a failing parallel
+/// wave reports the same (earliest-input) error the serial path would;
+/// worker panics surface as clean `DbError::Eval`s like the parallel scan.
+fn run_tasks<'env, R: Send + 'env>(tasks: Vec<Task<'env, R>>) -> Vec<DbResult<R>> {
+    let mut results = Vec::with_capacity(tasks.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = tasks
+            .into_iter()
+            .map(|task| {
+                s.spawn(move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).unwrap_or_else(
+                        |payload| {
+                            Err(DbError::Eval(format!(
+                                "parallel worker panicked: {}",
+                                panic_message(payload.as_ref())
+                            )))
+                        },
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(match h.join() {
+                Ok(r) => r,
+                Err(payload) => Err(DbError::Eval(format!(
+                    "parallel worker panicked: {}",
+                    panic_message(payload.as_ref())
+                ))),
+            });
+        }
+    });
+    results
+}
+
+/// Split `rows` into `workers` contiguous chunks of roughly equal size
+/// (at least one row each). Chunk boundaries never affect output — each
+/// parallel breaker stitches per-chunk results back in chunk order.
+fn even_chunks(rows: &[Row], workers: usize) -> Vec<&[Row]> {
+    let per = rows.len().div_ceil(workers.max(1)).max(1);
+    rows.chunks(per).collect()
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE instrumentation
+
+/// Collects per-plan-node actuals during an `EXPLAIN ANALYZE` run. Node
+/// ids are assigned by `build_node` in pre-order (node, left, right) —
+/// the exact walk `Plan::explain_analyze` uses to render, so slot `i`
+/// always describes the `i`-th rendered plan line.
+pub(crate) struct AnalyzeCtx {
+    nodes: RefCell<Vec<NodeActuals>>,
+}
+
+impl AnalyzeCtx {
+    pub(crate) fn new() -> AnalyzeCtx {
+        AnalyzeCtx { nodes: RefCell::new(Vec::new()) }
+    }
+
+    fn register(&self) -> usize {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(NodeActuals::default());
+        nodes.len() - 1
+    }
+
+    fn record(&self, id: usize, rows: u64, blocks: u64, ns: u64) {
+        let mut nodes = self.nodes.borrow_mut();
+        let slot = &mut nodes[id];
+        slot.rows += rows;
+        slot.blocks += blocks;
+        slot.ns += ns;
+    }
+
+    pub(crate) fn take_nodes(self) -> Vec<NodeActuals> {
+        self.nodes.into_inner()
+    }
+}
+
+/// Wraps one operator during `EXPLAIN ANALYZE`: counts emitted rows and
+/// blocks, and accumulates wall time spent inside `open`/`next_block` —
+/// inclusive of children, Postgres-style.
+struct AnalyzeOp<'x> {
+    id: usize,
+    az: &'x AnalyzeCtx,
+    inner: Box<dyn BlockOperator + 'x>,
+}
+
+impl BlockOperator for AnalyzeOp<'_> {
+    fn open(&mut self) -> DbResult<()> {
+        let start = Instant::now();
+        let result = self.inner.open();
+        self.az.record(self.id, 0, 0, start.elapsed().as_nanos() as u64);
+        result
+    }
+
+    fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
+        let start = Instant::now();
+        let result = self.inner.next_block();
+        let ns = start.elapsed().as_nanos() as u64;
+        match &result {
+            Ok(Some(block)) => self.az.record(self.id, block.len() as u64, 1, ns),
+            _ => self.az.record(self.id, 0, 0, ns),
+        }
+        result
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+    }
+
+    fn resident_rows(&self) -> u64 {
+        self.inner.resident_rows()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1212,6 +1427,77 @@ struct SortOp<'x, 'a> {
     pos: usize,
 }
 
+impl SortOp<'_, '_> {
+    /// Sort the drained buffer: serial [`sort_rows`] when small or the
+    /// parallel knob is off; otherwise per-chunk run sorts on scoped
+    /// workers followed by a k-way merge. Runs and merge both compare
+    /// (sort keys, original index) — a total order whose result is
+    /// exactly the serial *stable* sort at any thread count.
+    fn sort_buffer(&self, rows: &mut Vec<Row>) -> DbResult<()> {
+        let threads = self.exec.limits.exec_threads.max(1);
+        if !parallel_agg_enabled() || threads <= 1 || rows.len() < MIN_PARALLEL_ROWS {
+            return sort_rows(rows, self.keys);
+        }
+        let keys = self.keys;
+        let chunks = even_chunks(rows, threads);
+        let mut tasks: Vec<Task<'_, SortRun>> = Vec::with_capacity(chunks.len());
+        let mut base = 0u64;
+        for chunk in chunks {
+            let start = base;
+            base += chunk.len() as u64;
+            tasks.push(Box::new(move || {
+                let mut run = Vec::with_capacity(chunk.len());
+                for (i, row) in chunk.iter().enumerate() {
+                    // Workers eval keys in row order, so a failing wave's
+                    // first-in-chunk-order error is the serial error.
+                    run.push((eval_sort_keys(row, keys)?, start + i as u64));
+                }
+                run.sort_by(|(ka, ia), (kb, ib)| cmp_sort_keys(ka, kb, keys).then(ia.cmp(ib)));
+                Ok(run)
+            }));
+        }
+        let mut runs = Vec::with_capacity(threads);
+        for r in run_tasks(tasks) {
+            runs.push(r?);
+        }
+        if let Some(st) = self.exec.stats {
+            st.parallel_sorts.fetch_add(1, Ordering::Relaxed);
+        }
+        // K-way merge: k ≤ threads is small, so a linear scan over the
+        // run heads beats a heap.
+        let mut cursors = vec![0usize; runs.len()];
+        let mut order: Vec<u64> = Vec::with_capacity(rows.len());
+        loop {
+            let mut best: Option<usize> = None;
+            for (r, run) in runs.iter().enumerate() {
+                let Some(head) = run.get(cursors[r]) else { continue };
+                best = match best {
+                    None => Some(r),
+                    Some(b) => {
+                        let bh = &runs[b][cursors[b]];
+                        if cmp_sort_keys(&head.0, &bh.0, keys).then(head.1.cmp(&bh.1))
+                            == std::cmp::Ordering::Less
+                        {
+                            Some(r)
+                        } else {
+                            Some(b)
+                        }
+                    }
+                };
+            }
+            let Some(b) = best else { break };
+            order.push(runs[b][cursors[b]].1);
+            cursors[b] += 1;
+        }
+        let mut sorted = Vec::with_capacity(rows.len());
+        for &idx in &order {
+            sorted.push(std::mem::take(&mut rows[idx as usize]));
+        }
+        *rows = sorted;
+        Ok(())
+    }
+}
+
 impl BlockOperator for SortOp<'_, '_> {
     fn open(&mut self) -> DbResult<()> {
         self.child.open()
@@ -1220,7 +1506,7 @@ impl BlockOperator for SortOp<'_, '_> {
     fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
         if self.buf.is_none() {
             let mut rows = drain_child(self.exec, self.child.as_mut())?;
-            sort_rows(&mut rows, self.keys)?;
+            self.sort_buffer(&mut rows)?;
             self.buf = Some(rows);
             self.pos = 0;
         }
@@ -1243,9 +1529,79 @@ impl BlockOperator for SortOp<'_, '_> {
     }
 }
 
-/// Hash aggregation: streams its input (only group state is resident),
-/// then emits the finished groups in the hash map's iteration order —
-/// identical semantics to the oracle, which is equally unordered.
+/// First-occurrence-ordered aggregation table: groups are emitted in the
+/// order their first input row arrived — the same deterministic order the
+/// materializing oracle and the parallel pre-aggregation path produce.
+struct AggTable {
+    index: HashMap<Vec<GroupKey>, usize>,
+    entries: Vec<(Row, Vec<Accumulator>)>,
+}
+
+impl AggTable {
+    fn new() -> AggTable {
+        AggTable { index: HashMap::new(), entries: Vec::new() }
+    }
+
+    fn feed(&mut self, groups: &[PhysExpr], aggs: &[AggSpec], row: &Row) -> DbResult<()> {
+        let mut key_vals = Vec::with_capacity(groups.len());
+        for g in groups {
+            key_vals.push(g.eval(row)?);
+        }
+        let key: Vec<GroupKey> = key_vals.iter().map(Datum::group_key).collect();
+        let index = &mut self.index;
+        let entries = &mut self.entries;
+        let slot = *index.entry(key).or_insert_with(|| {
+            entries.push((key_vals.clone(), aggs.iter().map(new_acc).collect()));
+            entries.len() - 1
+        });
+        feed_accs(&mut self.entries[slot].1, aggs, row)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// One partition of the parallel aggregation's global state. Entries keep
+/// the `(chunk_seq << 32) | local_idx` rank of the group's first
+/// occurrence, so concatenating all partitions and sorting by rank
+/// recovers global first-occurrence order regardless of which partition
+/// a key hashed into.
+#[derive(Default)]
+struct AggPart {
+    index: HashMap<Vec<GroupKey>, usize>,
+    entries: Vec<(u64, Vec<GroupKey>, Row, Vec<Accumulator>)>,
+}
+
+/// One chunk's pre-aggregated output: `(partition, key, key values,
+/// accumulators)` in chunk-first-occurrence order, plus whether every
+/// accumulator may be merged exactly (no float sums, no DISTINCT).
+type LocalAggEntries = Vec<(usize, Vec<GroupKey>, Row, Vec<Accumulator>)>;
+type LocalAgg = (LocalAggEntries, bool);
+
+/// Collapse partitioned state back into one first-occurrence-ordered
+/// table (used both when the input is exhausted and when a float sum
+/// forces the sticky serial fallback).
+fn collapse_agg_parts(parts: Vec<AggPart>) -> AggTable {
+    let mut all: Vec<(u64, Vec<GroupKey>, Row, Vec<Accumulator>)> = Vec::new();
+    for part in parts {
+        all.extend(part.entries);
+    }
+    all.sort_by_key(|e| e.0);
+    let mut table = AggTable::new();
+    for (_, key, key_vals, accs) in all {
+        table.index.insert(key, table.entries.len());
+        table.entries.push((key_vals, accs));
+    }
+    table
+}
+
+/// Hash aggregation: streams its input (only group state plus at most one
+/// wave of buffered rows is resident), then emits the finished groups in
+/// first-occurrence order. With threads and the `SINEW_PARALLEL_AGG` knob,
+/// buffered rows pre-aggregate thread-locally per chunk and merge
+/// partition-wise; the serial fold is byte-identical and handles DISTINCT
+/// and float sums (whose addition order must equal input order).
 struct HashAggOp<'x, 'a> {
     exec: &'x Executor<'a>,
     child: Box<dyn BlockOperator + 'x>,
@@ -1255,6 +1611,188 @@ struct HashAggOp<'x, 'a> {
     pos: usize,
 }
 
+impl HashAggOp<'_, '_> {
+    fn fold_input(&mut self) -> DbResult<Vec<(Row, Vec<Accumulator>)>> {
+        let threads = self.exec.limits.exec_threads.max(1);
+        let can_parallel =
+            parallel_agg_enabled() && threads > 1 && self.aggs.iter().all(|a| !a.distinct);
+        if can_parallel {
+            self.fold_parallel(threads)
+        } else {
+            self.fold_serial_from(AggTable::new(), Vec::new())
+        }
+    }
+
+    /// The serial fold: feed `pending` rows (already pulled from the
+    /// child by a parallel attempt), then drain the rest of the child.
+    fn fold_serial_from(
+        &mut self,
+        mut table: AggTable,
+        pending: Vec<Row>,
+    ) -> DbResult<Vec<(Row, Vec<Accumulator>)>> {
+        let groups = self.groups;
+        let aggs = self.aggs;
+        for row in &pending {
+            table.feed(groups, aggs, row)?;
+        }
+        while let Some(block) = self.child.next_block()? {
+            let table_ref = &mut table;
+            block.for_each_row(|row| table_ref.feed(groups, aggs, row))?;
+            self.exec.check_limit(table.len())?;
+            if let Some(st) = self.exec.stats {
+                st.note_resident(table.len() as u64 + self.child.resident_rows());
+            }
+        }
+        Ok(table.entries)
+    }
+
+    /// Partitioned parallel pre-aggregation (DESIGN.md §15): buffer up to
+    /// one wave of input rows, pre-aggregate the wave's chunks on scoped
+    /// workers, then merge each chunk table into P per-partition global
+    /// tables in parallel (each partition is owned by exactly one merge
+    /// task, so no locks). Exact merging requires associativity — the
+    /// first chunk whose accumulators report inexact (a float SUM/AVG
+    /// appeared) aborts the wave and falls back, stickily, to the serial
+    /// fold seeded with the exact pre-wave state plus the wave's raw rows.
+    fn fold_parallel(&mut self, threads: usize) -> DbResult<Vec<(Row, Vec<Accumulator>)>> {
+        let p = partition_count(threads);
+        let partitioner = Partitioner::new(p);
+        let groups = self.groups;
+        let aggs = self.aggs;
+        let mut parts: Vec<AggPart> = (0..p).map(|_| AggPart::default()).collect();
+        let mut groups_held = 0usize;
+        let mut buf: Vec<Row> = Vec::new();
+        let mut chunk_seq = 0u64;
+        let wave_target = threads * BREAKER_MORSEL;
+        let mut input_done = false;
+        while !input_done || !buf.is_empty() {
+            if !input_done {
+                match self.child.next_block()? {
+                    Some(block) => buf.extend(block.take_rows()),
+                    None => input_done = true,
+                }
+            }
+            self.exec.check_limit(groups_held + buf.len())?;
+            if let Some(st) = self.exec.stats {
+                st.note_resident(
+                    (groups_held + buf.len()) as u64 + self.child.resident_rows(),
+                );
+            }
+            if buf.len() < wave_target && !input_done {
+                continue;
+            }
+            if buf.is_empty() {
+                break;
+            }
+            if buf.len() < MIN_PARALLEL_ROWS {
+                // Tiny tail: not worth a wave. Finish serially from the
+                // exact merged state.
+                return self.fold_serial_from(collapse_agg_parts(parts), std::mem::take(&mut buf));
+            }
+
+            // Phase 1: thread-local pre-aggregation, one chunk per worker.
+            let chunks = even_chunks(&buf, threads);
+            let n_chunks = chunks.len();
+            let partitioner_ref = &partitioner;
+            let mut tasks: Vec<Box<dyn FnOnce() -> DbResult<LocalAgg> + Send + '_>> =
+                Vec::with_capacity(n_chunks);
+            for chunk in chunks {
+                tasks.push(Box::new(move || {
+                    let mut table = AggTable::new();
+                    for row in chunk {
+                        table.feed(groups, aggs, row)?;
+                    }
+                    let exact = table
+                        .entries
+                        .iter()
+                        .all(|(_, accs)| accs.iter().all(Accumulator::merge_is_exact));
+                    // Re-key entries with their partition; `index` keys
+                    // are recovered positionally via drain.
+                    let mut keys: Vec<Option<Vec<GroupKey>>> = vec![None; table.entries.len()];
+                    for (key, slot) in table.index.drain() {
+                        keys[slot] = Some(key);
+                    }
+                    let local = table
+                        .entries
+                        .into_iter()
+                        .zip(keys)
+                        .map(|((key_vals, accs), key)| {
+                            let key = key.expect("every entry is indexed");
+                            (partitioner_ref.of(&key), key, key_vals, accs)
+                        })
+                        .collect();
+                    Ok((local, exact))
+                }));
+            }
+            let mut locals: Vec<LocalAggEntries> = Vec::with_capacity(n_chunks);
+            let mut all_exact = true;
+            for r in run_tasks(tasks) {
+                let (local, exact) = r?;
+                all_exact &= exact;
+                locals.push(local);
+            }
+            if !all_exact {
+                // A float sum appeared: its addition order matters, so
+                // discard the wave's pre-aggregates and refold this
+                // wave's raw rows (and everything after) serially. The
+                // pre-wave partition state is exact, i.e. identical to
+                // the serial table over the prior rows.
+                return self.fold_serial_from(collapse_agg_parts(parts), std::mem::take(&mut buf));
+            }
+
+            // Phase 2: partition-wise merge — task `pi` owns `parts[pi]`
+            // and walks the chunk tables in chunk order, so within a
+            // group accumulators merge in input order.
+            let locals_ref = &locals;
+            let base_seq = chunk_seq;
+            let mut merge_tasks: Vec<Box<dyn FnOnce() -> DbResult<()> + Send + '_>> =
+                Vec::with_capacity(p);
+            for (pi, part) in parts.iter_mut().enumerate() {
+                merge_tasks.push(Box::new(move || {
+                    for (ci, local) in locals_ref.iter().enumerate() {
+                        for (li, (lp, key, key_vals, accs)) in local.iter().enumerate() {
+                            if *lp != pi {
+                                continue;
+                            }
+                            match part.index.get(key) {
+                                Some(&slot) => {
+                                    for (dst, src) in
+                                        part.entries[slot].3.iter_mut().zip(accs)
+                                    {
+                                        dst.merge(src);
+                                    }
+                                }
+                                None => {
+                                    let rank = ((base_seq + ci as u64) << 32) | li as u64;
+                                    part.index.insert(key.clone(), part.entries.len());
+                                    part.entries.push((
+                                        rank,
+                                        key.clone(),
+                                        key_vals.clone(),
+                                        accs.clone(),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    Ok(())
+                }));
+            }
+            for r in run_tasks(merge_tasks) {
+                r?;
+            }
+            if let Some(st) = self.exec.stats {
+                st.agg_partition_merges.fetch_add(p as u64, Ordering::Relaxed);
+            }
+            chunk_seq += n_chunks as u64;
+            groups_held = parts.iter().map(|part| part.entries.len()).sum();
+            buf.clear();
+            self.exec.check_limit(groups_held)?;
+        }
+        Ok(collapse_agg_parts(parts).entries)
+    }
+}
+
 impl BlockOperator for HashAggOp<'_, '_> {
     fn open(&mut self) -> DbResult<()> {
         self.child.open()
@@ -1262,33 +1800,14 @@ impl BlockOperator for HashAggOp<'_, '_> {
 
     fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
         if self.out.is_none() {
-            let mut table: HashMap<Vec<GroupKey>, (Row, Vec<Accumulator>)> = HashMap::new();
-            let groups = self.groups;
-            let aggs = self.aggs;
-            while let Some(block) = self.child.next_block()? {
-                block.for_each_row(|row| {
-                    let mut key_vals = Vec::with_capacity(groups.len());
-                    for g in groups {
-                        key_vals.push(g.eval(row)?);
-                    }
-                    let key: Vec<GroupKey> = key_vals.iter().map(Datum::group_key).collect();
-                    let entry = table.entry(key).or_insert_with(|| {
-                        (key_vals.clone(), aggs.iter().map(new_acc).collect())
-                    });
-                    feed_accs(&mut entry.1, aggs, row)
-                })?;
-                self.exec.check_limit(table.len())?;
-                if let Some(st) = self.exec.stats {
-                    st.note_resident(table.len() as u64 + self.child.resident_rows());
-                }
-            }
-            let mut out: Vec<Row> = Vec::with_capacity(table.len());
-            if groups.is_empty() && table.is_empty() {
+            let entries = self.fold_input()?;
+            let mut out: Vec<Row> = Vec::with_capacity(entries.len());
+            if self.groups.is_empty() && entries.is_empty() {
                 // Scalar aggregate over empty input still yields one row.
-                let accs: Vec<Accumulator> = aggs.iter().map(new_acc).collect();
+                let accs: Vec<Accumulator> = self.aggs.iter().map(new_acc).collect();
                 out.push(finish_group(Vec::new(), &accs));
             } else {
-                for (_, (key_vals, accs)) in table {
+                for (key_vals, accs) in entries {
                     out.push(finish_group(key_vals, &accs));
                 }
             }
@@ -1347,10 +1866,15 @@ impl BlockOperator for GroupAggOp<'_, '_> {
                         for g in groups {
                             key_vals.push(g.eval(row)?);
                         }
+                        // `key_cmp`, not `total_cmp`: group boundaries
+                        // must match the hash aggregate's canonical
+                        // `group_key` exactly (`1` groups with `1.0`,
+                        // `2^53+1` does not group with `2^53.0`) so plan
+                        // choice never changes the result.
                         let same = current.as_ref().is_some_and(|(k, _)| {
                             k.iter()
                                 .zip(&key_vals)
-                                .all(|(a, b)| a.total_cmp(b) == std::cmp::Ordering::Equal)
+                                .all(|(a, b)| a.key_cmp(b) == std::cmp::Ordering::Equal)
                         });
                         if !same {
                             if let Some((k, accs)) = current.take() {
@@ -1395,13 +1919,98 @@ impl BlockOperator for GroupAggOp<'_, '_> {
 // ---------------------------------------------------------------------------
 // Joins
 
-/// Drained build side of a hash join: buffered rows, the key → row-index
-/// map, and the build-side column count (for left-outer NULL padding).
-type BuiltSide = (Vec<Row>, HashMap<GroupKey, Vec<usize>>, usize);
+/// Drained build side of a hash join. `Serial` is the single-map oracle
+/// structure; `Partitioned` splits the key → row-index map across P
+/// private per-partition tables (DESIGN.md §15). Lookups are equivalent:
+/// every key lives in exactly one partition and per-key index lists are
+/// in build-row order under both layouts.
+enum BuiltSide {
+    Serial {
+        rows: Vec<Row>,
+        table: HashMap<GroupKey, Vec<usize>>,
+        width: usize,
+    },
+    Partitioned {
+        rows: Vec<Row>,
+        partitioner: Partitioner,
+        tables: Vec<HashMap<GroupKey, Vec<usize>>>,
+        width: usize,
+    },
+}
+
+impl BuiltSide {
+    fn rows(&self) -> &[Row] {
+        match self {
+            BuiltSide::Serial { rows, .. } | BuiltSide::Partitioned { rows, .. } => rows,
+        }
+    }
+
+    fn width(&self) -> usize {
+        match self {
+            BuiltSide::Serial { width, .. } | BuiltSide::Partitioned { width, .. } => *width,
+        }
+    }
+
+    fn get(&self, k: &GroupKey) -> Option<&[usize]> {
+        match self {
+            BuiltSide::Serial { table, .. } => table.get(k).map(Vec::as_slice),
+            BuiltSide::Partitioned { partitioner, tables, .. } => {
+                tables[partitioner.of(k)].get(k).map(Vec::as_slice)
+            }
+        }
+    }
+}
+
+/// Probe one left row against the built side, appending matches (and the
+/// left-outer pad) to `pending` in build-row order — the shared inner
+/// loop of the serial probe path and the parallel path's tiny-tail flush.
+#[allow(clippy::too_many_arguments)]
+fn probe_one(
+    built: &BuiltSide,
+    left_key: &PhysExpr,
+    residual: Option<&PhysExpr>,
+    left_outer: bool,
+    exec: &Executor<'_>,
+    emitted: &mut u64,
+    pending: &mut VecDeque<Row>,
+    lrow: &Row,
+) -> DbResult<()> {
+    let k = left_key.eval(lrow)?;
+    let mut matched = false;
+    if !k.is_null() {
+        if let Some(idxs) = built.get(&k.group_key()) {
+            for &i in idxs {
+                let mut joined = lrow.clone();
+                joined.extend(built.rows()[i].iter().cloned());
+                let keep = match residual {
+                    Some(r) => r.eval_bool(&joined)?,
+                    None => true,
+                };
+                if keep {
+                    matched = true;
+                    pending.push_back(joined);
+                    *emitted += 1;
+                    exec.check_limit(*emitted as usize)?;
+                }
+            }
+        }
+    }
+    if left_outer && !matched {
+        let mut joined = lrow.clone();
+        joined.extend(std::iter::repeat_n(Datum::Null, built.width()));
+        pending.push_back(joined);
+        *emitted += 1;
+        exec.check_limit(*emitted as usize)?;
+    }
+    Ok(())
+}
 
 /// Hash join: the build (right) side is a pipeline breaker, the probe
 /// (left) side streams. Join output beyond a block is buffered briefly in
-/// `pending` and emitted in block-sized chunks.
+/// `pending` and emitted in block-sized chunks. With threads and the
+/// `SINEW_PARALLEL_JOIN` knob the build is partitioned and probe rows are
+/// buffered into waves probed by scoped workers, with per-chunk outputs
+/// stitched back in chunk order — byte-identical to the serial probe.
 struct HashJoinOp<'x, 'a> {
     exec: &'x Executor<'a>,
     left: Box<dyn BlockOperator + 'x>,
@@ -1415,7 +2024,191 @@ struct HashJoinOp<'x, 'a> {
     /// oracle's `out.len()`.
     emitted: u64,
     pending: VecDeque<Row>,
+    /// Probe rows buffered for the next parallel wave.
+    pbuf: Vec<Row>,
     left_done: bool,
+}
+
+impl HashJoinOp<'_, '_> {
+    /// Drain the right child and build the hash side. With the parallel
+    /// knob and threads: evaluate build keys chunk-parallel (phase A),
+    /// scatter `(key, row index)` pairs to their partitions serially in
+    /// row order (phase B — preserves per-key index order), then build
+    /// each partition's private map, in parallel when the build side is
+    /// big enough to pay for the spawns (phase C).
+    fn build_side(&mut self) -> DbResult<BuiltSide> {
+        let right_rows = drain_child(self.exec, self.right.as_mut())?;
+        let width = right_rows.first().map(Vec::len).unwrap_or(0);
+        if let Some(st) = self.exec.stats {
+            st.join_build_rows.fetch_add(right_rows.len() as u64, Ordering::Relaxed);
+        }
+        let threads = self.exec.limits.exec_threads.max(1);
+        if !parallel_join_enabled() || threads <= 1 {
+            let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+            for (i, row) in right_rows.iter().enumerate() {
+                let k = self.right_key.eval(row)?;
+                if k.is_null() {
+                    continue; // NULL never joins
+                }
+                table.entry(k.group_key()).or_default().push(i);
+            }
+            return Ok(BuiltSide::Serial { rows: right_rows, table, width });
+        }
+        let p = partition_count(threads);
+        let partitioner = Partitioner::new(p);
+        let parallel_phases = right_rows.len() >= MIN_PARALLEL_ROWS;
+        // Phase A: build-key evaluation (NULL keys never join → None).
+        let right_key = self.right_key;
+        let keys: Vec<Option<GroupKey>> = if parallel_phases {
+            let chunks = even_chunks(&right_rows, threads);
+            let mut tasks: Vec<Task<'_, Vec<Option<GroupKey>>>> = Vec::with_capacity(chunks.len());
+            for chunk in chunks {
+                tasks.push(Box::new(move || {
+                    chunk
+                        .iter()
+                        .map(|row| {
+                            let k = right_key.eval(row)?;
+                            Ok((!k.is_null()).then(|| k.group_key()))
+                        })
+                        .collect()
+                }));
+            }
+            let mut keys = Vec::with_capacity(right_rows.len());
+            for r in run_tasks(tasks) {
+                keys.extend(r?);
+            }
+            keys
+        } else {
+            let mut keys = Vec::with_capacity(right_rows.len());
+            for row in &right_rows {
+                let k = right_key.eval(row)?;
+                keys.push((!k.is_null()).then(|| k.group_key()));
+            }
+            keys
+        };
+        // Phase B: scatter in row order, so each partition's per-key
+        // index lists stay ascending like the serial table's.
+        let mut buckets: Vec<Vec<(GroupKey, usize)>> = (0..p).map(|_| Vec::new()).collect();
+        for (i, k) in keys.into_iter().enumerate() {
+            if let Some(k) = k {
+                buckets[partitioner.of(&k)].push((k, i));
+            }
+        }
+        // Phase C: private per-partition builds.
+        let build_bucket = |bucket: Vec<(GroupKey, usize)>| {
+            let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+            for (k, i) in bucket {
+                table.entry(k).or_default().push(i);
+            }
+            table
+        };
+        let tables: Vec<HashMap<GroupKey, Vec<usize>>> = if parallel_phases {
+            let mut tasks: Vec<Task<'_, HashMap<GroupKey, Vec<usize>>>> = Vec::with_capacity(p);
+            for bucket in buckets {
+                tasks.push(Box::new(move || Ok(build_bucket(bucket))));
+            }
+            let mut tables = Vec::with_capacity(p);
+            for r in run_tasks(tasks) {
+                tables.push(r?);
+            }
+            tables
+        } else {
+            buckets.into_iter().map(build_bucket).collect()
+        };
+        if let Some(st) = self.exec.stats {
+            st.join_partitions.fetch_add(p as u64, Ordering::Relaxed);
+        }
+        Ok(BuiltSide::Partitioned { rows: right_rows, partitioner, tables, width })
+    }
+
+    /// Probe the buffered wave. Big waves split into per-worker chunks
+    /// whose outputs are stitched back in chunk order; row-cap accounting
+    /// goes through a shared budget like the parallel scan's (the error
+    /// is identical, though *which* worker trips it first is not
+    /// deterministic — only the failure case differs in timing). Tiny
+    /// tails probe serially.
+    fn probe_wave(&mut self) -> DbResult<()> {
+        let buf = std::mem::take(&mut self.pbuf);
+        let built = self.built.as_ref().expect("probe runs after build");
+        let threads = self.exec.limits.exec_threads.max(1);
+        if buf.len() < MIN_PARALLEL_ROWS {
+            let emitted = &mut self.emitted;
+            let pending = &mut self.pending;
+            for lrow in &buf {
+                probe_one(
+                    built,
+                    self.left_key,
+                    self.residual,
+                    self.left_outer,
+                    self.exec,
+                    emitted,
+                    pending,
+                    lrow,
+                )?;
+            }
+            return Ok(());
+        }
+        let chunks = even_chunks(&buf, threads);
+        let budget = AtomicU64::new(self.emitted);
+        let budget_ref = &budget;
+        let max_rows = self.exec.limits.max_intermediate_rows;
+        let left_key = self.left_key;
+        let residual = self.residual;
+        let left_outer = self.left_outer;
+        let mut tasks: Vec<Box<dyn FnOnce() -> DbResult<Vec<Row>> + Send + '_>> =
+            Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            tasks.push(Box::new(move || {
+                let mut out: Vec<Row> = Vec::new();
+                for lrow in chunk {
+                    let k = left_key.eval(lrow)?;
+                    let mut matched = false;
+                    if !k.is_null() {
+                        if let Some(idxs) = built.get(&k.group_key()) {
+                            for &i in idxs {
+                                let mut joined = lrow.clone();
+                                joined.extend(built.rows()[i].iter().cloned());
+                                let keep = match residual {
+                                    Some(r) => r.eval_bool(&joined)?,
+                                    None => true,
+                                };
+                                if keep {
+                                    matched = true;
+                                    if budget_ref.fetch_add(1, Ordering::Relaxed) + 1 > max_rows
+                                    {
+                                        return Err(DbError::ResourceExhausted(format!(
+                                            "intermediate result exceeded {max_rows} rows"
+                                        )));
+                                    }
+                                    out.push(joined);
+                                }
+                            }
+                        }
+                    }
+                    if left_outer && !matched {
+                        let mut joined = lrow.clone();
+                        joined.extend(std::iter::repeat_n(Datum::Null, built.width()));
+                        if budget_ref.fetch_add(1, Ordering::Relaxed) + 1 > max_rows {
+                            return Err(DbError::ResourceExhausted(format!(
+                                "intermediate result exceeded {max_rows} rows"
+                            )));
+                        }
+                        out.push(joined);
+                    }
+                }
+                Ok(out)
+            }));
+        }
+        let results = run_tasks(tasks);
+        // Stitch in chunk order; the lowest failing chunk wins, matching
+        // the serial path's earliest-row error.
+        for r in results {
+            let rows = r?;
+            self.emitted += rows.len() as u64;
+            self.pending.extend(rows);
+        }
+        Ok(())
+    }
 }
 
 impl BlockOperator for HashJoinOp<'_, '_> {
@@ -1426,61 +2219,41 @@ impl BlockOperator for HashJoinOp<'_, '_> {
 
     fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
         if self.built.is_none() {
-            let right_rows = drain_child(self.exec, self.right.as_mut())?;
-            let right_width = right_rows.first().map(Vec::len).unwrap_or(0);
-            let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
-            for (i, row) in right_rows.iter().enumerate() {
-                let k = self.right_key.eval(row)?;
-                if k.is_null() {
-                    continue; // NULL never joins
-                }
-                table.entry(k.group_key()).or_default().push(i);
-            }
-            self.built = Some((right_rows, table, right_width));
+            self.built = Some(self.build_side()?);
         }
         let block_rows = self.exec.limits.block_rows.max(1);
-        while self.pending.len() < block_rows && !self.left_done {
-            let Some(block) = self.left.next_block()? else {
-                self.left_done = true;
-                break;
-            };
-            let (right_rows, table, right_width) = self.built.as_ref().unwrap();
-            let left_key = self.left_key;
-            let residual = self.residual;
-            let left_outer = self.left_outer;
-            let exec = self.exec;
-            let emitted = &mut self.emitted;
-            let pending = &mut self.pending;
-            block.for_each_row(|lrow| {
-                let k = left_key.eval(lrow)?;
-                let mut matched = false;
-                if !k.is_null() {
-                    if let Some(idxs) = table.get(&k.group_key()) {
-                        for &i in idxs {
-                            let mut joined = lrow.clone();
-                            joined.extend(right_rows[i].iter().cloned());
-                            let keep = match residual {
-                                Some(r) => r.eval_bool(&joined)?,
-                                None => true,
-                            };
-                            if keep {
-                                matched = true;
-                                pending.push_back(joined);
-                                *emitted += 1;
-                                exec.check_limit(*emitted as usize)?;
-                            }
-                        }
-                    }
+        let parallel_probe =
+            matches!(self.built, Some(BuiltSide::Partitioned { .. }));
+        if parallel_probe {
+            let wave_target = self.exec.limits.exec_threads.max(1) * BREAKER_MORSEL;
+            while self.pending.len() < block_rows && !self.left_done {
+                match self.left.next_block()? {
+                    Some(block) => self.pbuf.extend(block.take_rows()),
+                    None => self.left_done = true,
                 }
-                if left_outer && !matched {
-                    let mut joined = lrow.clone();
-                    joined.extend(std::iter::repeat_n(Datum::Null, *right_width));
-                    pending.push_back(joined);
-                    *emitted += 1;
-                    exec.check_limit(*emitted as usize)?;
+                if self.pbuf.len() >= wave_target || (self.left_done && !self.pbuf.is_empty()) {
+                    self.probe_wave()?;
                 }
-                Ok(())
-            })?;
+            }
+        } else {
+            while self.pending.len() < block_rows && !self.left_done {
+                let Some(block) = self.left.next_block()? else {
+                    self.left_done = true;
+                    break;
+                };
+                let built = self.built.as_ref().unwrap();
+                let left_key = self.left_key;
+                let residual = self.residual;
+                let left_outer = self.left_outer;
+                let exec = self.exec;
+                let emitted = &mut self.emitted;
+                let pending = &mut self.pending;
+                block.for_each_row(|lrow| {
+                    probe_one(
+                        built, left_key, residual, left_outer, exec, emitted, pending, lrow,
+                    )
+                })?;
+            }
         }
         if self.pending.is_empty() {
             return Ok(None);
@@ -1495,12 +2268,14 @@ impl BlockOperator for HashJoinOp<'_, '_> {
         self.right.close();
         self.built = None;
         self.pending.clear();
+        self.pbuf.clear();
     }
 
     fn resident_rows(&self) -> u64 {
-        let built = self.built.as_ref().map(|(r, _, _)| r.len() as u64).unwrap_or(0);
+        let built = self.built.as_ref().map(|b| b.rows().len() as u64).unwrap_or(0);
         built
             + self.pending.len() as u64
+            + self.pbuf.len() as u64
             + self.left.resident_rows()
             + self.right.resident_rows()
     }

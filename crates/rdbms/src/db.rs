@@ -1069,10 +1069,28 @@ impl Database {
             Statement::Insert(ins) => self.run_insert(ins),
             Statement::Update(upd) => self.run_update(upd),
             Statement::Delete(del) => self.run_delete(del),
-            Statement::Explain(inner) => match &**inner {
+            Statement::Explain { analyze, inner } => match &**inner {
                 Statement::Select(sel) => {
+                    self.exec_stats
+                        .explain_runs
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let planned = self.plan(sel)?;
-                    let text = planned.plan.explain();
+                    let text = if *analyze {
+                        // EXPLAIN ANALYZE actually runs the query
+                        // (discarding its rows) through the streaming
+                        // engine with per-node instrumentation; the
+                        // materializing oracle has no operator tree to
+                        // instrument, so the mode knob is overridden.
+                        let mut limits = *self.limits.read();
+                        limits.mode = crate::exec::ExecMode::Streaming;
+                        let exec =
+                            Executor { source: self, limits, stats: Some(&self.exec_stats) };
+                        let az = crate::block::AnalyzeCtx::new();
+                        crate::block::run_streaming_with(&exec, &planned.plan, Some(&az))?;
+                        planned.plan.explain_analyze(&az.take_nodes())
+                    } else {
+                        planned.plan.explain()
+                    };
                     Ok(QueryResult {
                         columns: vec!["QUERY PLAN".to_string()],
                         rows: text

@@ -326,6 +326,16 @@ pub struct ExecStats {
     /// Whole 64-slot bitmap words handled by a selection fast path
     /// (all-dead skip, all-match emit) without per-slot work.
     pub selection_fastpath_hits: AtomicU64,
+    /// Rows hashed into partitioned hash-join build tables.
+    pub join_build_rows: AtomicU64,
+    /// Partitions created across partitioned hash-join builds.
+    pub join_partitions: AtomicU64,
+    /// Partition-merge tasks run by parallel hash aggregation.
+    pub agg_partition_merges: AtomicU64,
+    /// Sorts executed through the parallel run-sort + k-way-merge path.
+    pub parallel_sorts: AtomicU64,
+    /// EXPLAIN / EXPLAIN ANALYZE statements executed.
+    pub explain_runs: AtomicU64,
 }
 
 impl ExecStats {
@@ -408,6 +418,11 @@ impl ExecStats {
             dict_code_rewrites: self.dict_code_rewrites.load(Ordering::Relaxed),
             rle_runs_skipped: self.rle_runs_skipped.load(Ordering::Relaxed),
             selection_fastpath_hits: self.selection_fastpath_hits.load(Ordering::Relaxed),
+            join_build_rows: self.join_build_rows.load(Ordering::Relaxed),
+            join_partitions: self.join_partitions.load(Ordering::Relaxed),
+            agg_partition_merges: self.agg_partition_merges.load(Ordering::Relaxed),
+            parallel_sorts: self.parallel_sorts.load(Ordering::Relaxed),
+            explain_runs: self.explain_runs.load(Ordering::Relaxed),
             wal_appends: 0,
             wal_commits: 0,
             wal_fsyncs: 0,
@@ -449,6 +464,12 @@ pub struct ExecSnapshot {
     pub dict_code_rewrites: u64,
     pub rle_runs_skipped: u64,
     pub selection_fastpath_hits: u64,
+    /// Parallel join/aggregation engagement counters (DESIGN.md §15).
+    pub join_build_rows: u64,
+    pub join_partitions: u64,
+    pub agg_partition_merges: u64,
+    pub parallel_sorts: u64,
+    pub explain_runs: u64,
     /// WAL counters, overlaid by `Database::exec_stats` from the log's
     /// own stats (zero when no WAL is attached).
     pub wal_appends: u64,
@@ -1111,18 +1132,24 @@ impl<'a> Executor<'a> {
                 ri += 1;
                 continue;
             }
-            match lk.total_cmp(rk) {
+            // Equi-join keys compare with `key_cmp` — the exact Int↔Float
+            // semantics (`cmp_int_f64`) — so `1 = 1.0` and `0 = -0.0` join
+            // and `2^53+1` does NOT collapse onto `2^53.0`, matching the
+            // canonical `Datum::group_key` the hash join hashes. SQL-equal
+            // keys are adjacent in the sorted input, so the cluster scan
+            // below still sees each match group contiguously.
+            match lk.key_cmp(rk) {
                 std::cmp::Ordering::Less => li += 1,
                 std::cmp::Ordering::Greater => ri += 1,
                 std::cmp::Ordering::Equal => {
                     // group of equal keys on both sides
                     let le = (li..left_rows.len())
-                        .take_while(|&i| lkeys[i].total_cmp(lk) == std::cmp::Ordering::Equal)
+                        .take_while(|&i| lkeys[i].key_cmp(lk) == std::cmp::Ordering::Equal)
                         .last()
                         .unwrap()
                         + 1;
                     let re = (ri..right_rows.len())
-                        .take_while(|&i| rkeys[i].total_cmp(rk) == std::cmp::Ordering::Equal)
+                        .take_while(|&i| rkeys[i].key_cmp(rk) == std::cmp::Ordering::Equal)
                         .last()
                         .unwrap()
                         + 1;
@@ -1190,34 +1217,32 @@ impl<'a> Executor<'a> {
         aggs: &[AggSpec],
     ) -> DbResult<Vec<Row>> {
         let rows = self.run_materialize(input)?;
-        let mut table: HashMap<Vec<GroupKey>, (Row, Vec<Accumulator>)> = HashMap::new();
+        // Groups are emitted in first-occurrence (input) order — not the
+        // hash map's per-instance iteration order — so the serial, the
+        // parallel-partitioned, and the streaming aggregate all produce
+        // one deterministic order at any thread count (DESIGN.md §15).
+        let mut index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+        let mut entries: Vec<(Row, Vec<Accumulator>)> = Vec::new();
         for row in &rows {
             let mut key_vals = Vec::with_capacity(groups.len());
             for g in groups {
                 key_vals.push(g.eval(row)?);
             }
             let key: Vec<GroupKey> = key_vals.iter().map(Datum::group_key).collect();
-            let entry = table.entry(key).or_insert_with(|| {
-                (key_vals.clone(), aggs.iter().map(new_acc).collect())
+            let slot = *index.entry(key).or_insert_with(|| {
+                entries.push((key_vals.clone(), aggs.iter().map(new_acc).collect()));
+                entries.len() - 1
             });
-            feed_accs(&mut entry.1, aggs, row)?;
+            feed_accs(&mut entries[slot].1, aggs, row)?;
         }
         // Scalar aggregate over empty input still yields one row.
-        if groups.is_empty() && table.is_empty() {
+        if groups.is_empty() && entries.is_empty() {
             let accs: Vec<Accumulator> = aggs.iter().map(new_acc).collect();
-            let mut row = Vec::new();
-            for a in &accs {
-                row.push(a.finish());
-            }
-            return Ok(vec![row]);
+            return Ok(vec![finish_group(Vec::new(), &accs)]);
         }
-        let mut out = Vec::with_capacity(table.len());
-        for (_, (key_vals, accs)) in table {
-            let mut row = key_vals;
-            for a in &accs {
-                row.push(a.finish());
-            }
-            out.push(row);
+        let mut out = Vec::with_capacity(entries.len());
+        for (key_vals, accs) in entries {
+            out.push(finish_group(key_vals, &accs));
         }
         Ok(out)
     }
@@ -1236,8 +1261,11 @@ impl<'a> Executor<'a> {
             for g in groups {
                 key_vals.push(g.eval(row)?);
             }
+            // Group keys compare with the exact Int↔Float semantics so a
+            // GroupAggregate plan groups `1` with `1.0` exactly like the
+            // hash aggregate's canonical `group_key` does.
             let same = current.as_ref().is_some_and(|(k, _)| {
-                k.iter().zip(&key_vals).all(|(a, b)| a.total_cmp(b) == std::cmp::Ordering::Equal)
+                k.iter().zip(&key_vals).all(|(a, b)| a.key_cmp(b) == std::cmp::Ordering::Equal)
             });
             if !same {
                 if let Some((k, accs)) = current.take() {
@@ -1290,9 +1318,37 @@ pub(crate) fn finish_group(mut key: Vec<Datum>, accs: &[Accumulator]) -> Row {
     key
 }
 
+/// Row equality for sort-based DISTINCT (`Unique`): uses `key_cmp` so the
+/// sorted path dedupes `1` against `1.0` exactly like `HashDistinct`'s
+/// canonical `group_key` — the result of DISTINCT must not depend on
+/// which physical operator the planner picked.
 pub(crate) fn rows_equal(a: &[Datum], b: &[Datum]) -> bool {
     a.len() == b.len()
-        && a.iter().zip(b).all(|(x, y)| x.total_cmp(y) == std::cmp::Ordering::Equal)
+        && a.iter().zip(b).all(|(x, y)| x.key_cmp(y) == std::cmp::Ordering::Equal)
+}
+
+/// Compare two precomputed sort-key vectors under the given ORDER BY spec
+/// (NULLs first via `total_cmp`, per-key DESC reversal). Shared by the
+/// serial sort, the parallel run-sort, and the k-way merge so every path
+/// orders rows identically.
+pub(crate) fn cmp_sort_keys(ka: &[Datum], kb: &[Datum], keys: &[SortKey]) -> std::cmp::Ordering {
+    for (i, key) in keys.iter().enumerate() {
+        let ord = ka[i].total_cmp(&kb[i]);
+        let ord = if key.desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Evaluate the sort keys for one row.
+pub(crate) fn eval_sort_keys(row: &[Datum], keys: &[SortKey]) -> DbResult<Vec<Datum>> {
+    let mut kv = Vec::with_capacity(keys.len());
+    for k in keys {
+        kv.push(k.expr.eval(row)?);
+    }
+    Ok(kv)
 }
 
 /// Sort rows by the given keys (NULLs first, stable).
@@ -1300,22 +1356,9 @@ pub fn sort_rows(rows: &mut [Row], keys: &[SortKey]) -> DbResult<()> {
     // Precompute key values to avoid re-evaluating during comparisons.
     let mut decorated: Vec<(Vec<Datum>, Row)> = Vec::with_capacity(rows.len());
     for row in rows.iter() {
-        let mut kv = Vec::with_capacity(keys.len());
-        for k in keys {
-            kv.push(k.expr.eval(row)?);
-        }
-        decorated.push((kv, row.clone()));
+        decorated.push((eval_sort_keys(row, keys)?, row.clone()));
     }
-    decorated.sort_by(|(ka, _), (kb, _)| {
-        for (i, key) in keys.iter().enumerate() {
-            let ord = ka[i].total_cmp(&kb[i]);
-            let ord = if key.desc { ord.reverse() } else { ord };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
-        }
-        std::cmp::Ordering::Equal
-    });
+    decorated.sort_by(|(ka, _), (kb, _)| cmp_sort_keys(ka, kb, keys));
     for (slot, (_, row)) in rows.iter_mut().zip(decorated) {
         *slot = row;
     }

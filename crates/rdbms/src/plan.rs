@@ -190,6 +190,16 @@ pub enum Plan {
     },
 }
 
+/// Actual per-operator execution totals collected by `EXPLAIN ANALYZE`:
+/// rows/blocks the operator emitted and wall time spent inside its
+/// `next_block` calls (inclusive of children, Postgres-style).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NodeActuals {
+    pub rows: u64,
+    pub blocks: u64,
+    pub ns: u64,
+}
+
 impl Plan {
     pub fn est_rows(&self) -> f64 {
         match self {
@@ -237,17 +247,42 @@ impl Plan {
     /// Render the EXPLAIN tree.
     pub fn explain(&self) -> String {
         let mut out = String::new();
-        self.explain_into(&mut out, 0);
+        self.explain_into(&mut out, 0, &mut [].iter());
         out
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize) {
+    /// Render the EXPLAIN ANALYZE tree: the estimated plan annotated with
+    /// the actuals the streaming engine collected, one entry per node in
+    /// the same pre-order (node, left, right) walk `build_node` uses.
+    pub fn explain_analyze(&self, actuals: &[NodeActuals]) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0, &mut actuals.iter());
+        out
+    }
+
+    fn explain_into(
+        &self,
+        out: &mut String,
+        depth: usize,
+        acts: &mut std::slice::Iter<'_, NodeActuals>,
+    ) {
         let pad = "  ".repeat(depth);
         let arrow = if depth == 0 { "" } else { "->  " };
+        // One annotation per node, consumed in pre-order; empty for plain
+        // EXPLAIN (the iterator over an empty slice yields nothing).
+        let act = match acts.next() {
+            Some(a) => format!(
+                "  (actual rows={} blocks={} time={:.3}ms)",
+                a.rows,
+                a.blocks,
+                a.ns as f64 / 1e6
+            ),
+            None => String::new(),
+        };
         match self {
             Plan::SeqScan { table, binding, filter, est_rows, .. } => {
                 let alias = if binding != table { format!(" {binding}") } else { String::new() };
-                let _ = writeln!(out, "{pad}{arrow}Seq Scan on {table}{alias}  (rows={})", fmt_rows(*est_rows));
+                let _ = writeln!(out, "{pad}{arrow}Seq Scan on {table}{alias}  (rows={}){act}", fmt_rows(*est_rows));
                 if let Some(f) = filter {
                     let _ = writeln!(out, "{pad}      Filter: {f:?}");
                 }
@@ -256,7 +291,7 @@ impl Plan {
                 let alias = if binding != table { format!(" {binding}") } else { String::new() };
                 let _ = writeln!(
                     out,
-                    "{pad}{arrow}Index Scan using {table}_{column} on {table}{alias}  (rows={})",
+                    "{pad}{arrow}Index Scan using {table}_{column} on {table}{alias}  (rows={}){act}",
                     fmt_rows(*est_rows)
                 );
                 let mut cond = String::new();
@@ -280,7 +315,7 @@ impl Plan {
                 let alias = if binding != table { format!(" {binding}") } else { String::new() };
                 let _ = writeln!(
                     out,
-                    "{pad}{arrow}Columnar Scan on {table}{alias}  (rows={})",
+                    "{pad}{arrow}Columnar Scan on {table}{alias}  (rows={}){act}",
                     fmt_rows(*est_rows)
                 );
                 if let Some(c) = column {
@@ -297,7 +332,7 @@ impl Plan {
                 let alias = if binding != table { format!(" {binding}") } else { String::new() };
                 let _ = writeln!(
                     out,
-                    "{pad}{arrow}Index Only Scan using {table}_{column} on {table}{alias}  (rows={})",
+                    "{pad}{arrow}Index Only Scan using {table}_{column} on {table}{alias}  (rows={}){act}",
                     fmt_rows(*est_rows)
                 );
                 let cond = range_cond(column, lo, *lo_inc, hi, *hi_inc);
@@ -309,37 +344,37 @@ impl Plan {
                 }
             }
             Plan::Filter { input, predicate, est_rows } => {
-                let _ = writeln!(out, "{pad}{arrow}Filter  (rows={})", fmt_rows(*est_rows));
+                let _ = writeln!(out, "{pad}{arrow}Filter  (rows={}){act}", fmt_rows(*est_rows));
                 let _ = writeln!(out, "{pad}      Cond: {predicate:?}");
-                input.explain_into(out, depth + 1);
+                input.explain_into(out, depth + 1, acts);
             }
             Plan::Project { input, est_rows, .. } => {
-                let _ = writeln!(out, "{pad}{arrow}Project  (rows={})", fmt_rows(*est_rows));
-                input.explain_into(out, depth + 1);
+                let _ = writeln!(out, "{pad}{arrow}Project  (rows={}){act}", fmt_rows(*est_rows));
+                input.explain_into(out, depth + 1, acts);
             }
             Plan::HashJoin { left, right, left_key, right_key, est_rows, left_outer, .. } => {
                 let outer = if *left_outer { "Left " } else { "" };
                 let _ = writeln!(
                     out,
-                    "{pad}{arrow}{outer}Hash Join  (rows={})  Cond: {left_key:?} = {right_key:?}",
+                    "{pad}{arrow}{outer}Hash Join  (rows={}){act}  Cond: {left_key:?} = {right_key:?}",
                     fmt_rows(*est_rows)
                 );
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
+                left.explain_into(out, depth + 1, acts);
+                right.explain_into(out, depth + 1, acts);
             }
             Plan::MergeJoin { left, right, left_key, right_key, est_rows, .. } => {
                 let _ = writeln!(
                     out,
-                    "{pad}{arrow}Merge Join  (rows={})  Cond: {left_key:?} = {right_key:?}",
+                    "{pad}{arrow}Merge Join  (rows={}){act}  Cond: {left_key:?} = {right_key:?}",
                     fmt_rows(*est_rows)
                 );
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
+                left.explain_into(out, depth + 1, acts);
+                right.explain_into(out, depth + 1, acts);
             }
             Plan::NestedLoop { left, right, est_rows, .. } => {
-                let _ = writeln!(out, "{pad}{arrow}Nested Loop  (rows={})", fmt_rows(*est_rows));
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
+                let _ = writeln!(out, "{pad}{arrow}Nested Loop  (rows={}){act}", fmt_rows(*est_rows));
+                left.explain_into(out, depth + 1, acts);
+                right.explain_into(out, depth + 1, acts);
             }
             Plan::Sort { input, keys, est_rows } => {
                 let keystr: Vec<String> = keys
@@ -348,34 +383,34 @@ impl Plan {
                     .collect();
                 let _ = writeln!(
                     out,
-                    "{pad}{arrow}Sort  (rows={})  Key: {}",
+                    "{pad}{arrow}Sort  (rows={}){act}  Key: {}",
                     fmt_rows(*est_rows),
                     keystr.join(", ")
                 );
-                input.explain_into(out, depth + 1);
+                input.explain_into(out, depth + 1, acts);
             }
             Plan::HashAggregate { input, est_rows, .. } => {
-                let _ = writeln!(out, "{pad}{arrow}HashAggregate  (rows={})", fmt_rows(*est_rows));
-                input.explain_into(out, depth + 1);
+                let _ = writeln!(out, "{pad}{arrow}HashAggregate  (rows={}){act}", fmt_rows(*est_rows));
+                input.explain_into(out, depth + 1, acts);
             }
             Plan::GroupAggregate { input, est_rows, .. } => {
-                let _ = writeln!(out, "{pad}{arrow}GroupAggregate  (rows={})", fmt_rows(*est_rows));
-                input.explain_into(out, depth + 1);
+                let _ = writeln!(out, "{pad}{arrow}GroupAggregate  (rows={}){act}", fmt_rows(*est_rows));
+                input.explain_into(out, depth + 1, acts);
             }
             Plan::Unique { input, est_rows } => {
-                let _ = writeln!(out, "{pad}{arrow}Unique  (rows={})", fmt_rows(*est_rows));
-                input.explain_into(out, depth + 1);
+                let _ = writeln!(out, "{pad}{arrow}Unique  (rows={}){act}", fmt_rows(*est_rows));
+                input.explain_into(out, depth + 1, acts);
             }
             Plan::HashDistinct { input, est_rows } => {
-                let _ = writeln!(out, "{pad}{arrow}HashAggregate  (rows={})", fmt_rows(*est_rows));
-                input.explain_into(out, depth + 1);
+                let _ = writeln!(out, "{pad}{arrow}HashAggregate  (rows={}){act}", fmt_rows(*est_rows));
+                input.explain_into(out, depth + 1, acts);
             }
             Plan::Limit { input, n } => {
-                let _ = writeln!(out, "{pad}{arrow}Limit  (n={n})");
-                input.explain_into(out, depth + 1);
+                let _ = writeln!(out, "{pad}{arrow}Limit  (n={n}){act}");
+                input.explain_into(out, depth + 1, acts);
             }
             Plan::Values { rows } => {
-                let _ = writeln!(out, "{pad}{arrow}Values  (rows={})", rows.len());
+                let _ = writeln!(out, "{pad}{arrow}Values  (rows={}){act}", rows.len());
             }
         }
     }

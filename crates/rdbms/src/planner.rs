@@ -148,8 +148,10 @@ impl<'a> Planner<'a> {
                 }
             }
         }
-        if rels.len() > 10 {
-            return Err(DbError::Eval("too many relations in join (max 10)".into()));
+        // Hard cap comes from the u32 relation bitmasks below; within it,
+        // `order_joins` picks exhaustive DP or greedy by relation count.
+        if rels.len() > 31 {
+            return Err(DbError::Eval("too many relations in join (max 31)".into()));
         }
 
         // ---- 2. Predicate pool ----
@@ -705,7 +707,9 @@ impl<'a> Planner<'a> {
         32.0
     }
 
-    /// Dynamic-programming join ordering over left-deep trees.
+    /// Join ordering over left-deep trees: exhaustive dynamic programming
+    /// up to 10 relations, bounded greedy beyond (the DP is O(2^n · n),
+    /// and pre-PR 9 anything wider simply errored out).
     fn order_joins(
         &self,
         base: Vec<Candidate>,
@@ -714,6 +718,9 @@ impl<'a> Planner<'a> {
         let n = base.len();
         if n == 1 {
             return Ok(base.into_iter().next().unwrap());
+        }
+        if n > 10 {
+            return self.order_joins_greedy(base, multi);
         }
         let full: u32 = (1 << n) - 1;
         let mut best: HashMap<u32, Candidate> = HashMap::new();
@@ -753,6 +760,63 @@ impl<'a> Planner<'a> {
         }
         best.remove(&full)
             .ok_or_else(|| DbError::Eval("join ordering failed to cover all relations".into()))
+    }
+
+    /// Greedy left-deep ordering for wide joins (> 10 relations): start
+    /// from the smallest base relation, then repeatedly extend with the
+    /// cheapest next join, preferring *connected* extensions (ones that
+    /// make at least one join conjunct evaluable) over cross joins, and
+    /// the lowest relation index on cost ties. O(n²) `make_join` calls —
+    /// no optimality guarantee, but an 11-to-31-table chain now plans
+    /// instead of erroring.
+    fn order_joins_greedy(
+        &self,
+        base: Vec<Candidate>,
+        multi: &[(u32, Expr)],
+    ) -> DbResult<Candidate> {
+        let n = base.len();
+        let start = (0..n)
+            .min_by(|&a, &b| {
+                base[a]
+                    .rows
+                    .total_cmp(&base[b].rows)
+                    .then(base[a].cost.total_cmp(&base[b].cost))
+            })
+            .expect("at least two relations");
+        let mut mask: u32 = 1 << start;
+        let full: u32 = (1 << n) - 1;
+        let mut current = base[start].clone();
+        while mask != full {
+            let mut pick: Option<(usize, Candidate, bool)> = None;
+            for (j, right) in base.iter().enumerate() {
+                let bit = 1u32 << j;
+                if mask & bit != 0 {
+                    continue;
+                }
+                let new_mask = mask | bit;
+                let now: Vec<&Expr> = multi
+                    .iter()
+                    .filter(|(m, _)| m & new_mask == *m && m & bit != 0)
+                    .map(|(_, e)| e)
+                    .collect();
+                let connected = !now.is_empty();
+                let cand = self.make_join(&current, right, &now)?;
+                let better = match &pick {
+                    None => true,
+                    Some((_, prev, prev_connected)) => {
+                        (connected && !prev_connected)
+                            || (connected == *prev_connected && cand.cost < prev.cost)
+                    }
+                };
+                if better {
+                    pick = Some((j, cand, connected));
+                }
+            }
+            let (j, cand, _) = pick.expect("some relation is still unjoined");
+            mask |= 1 << j;
+            current = cand;
+        }
+        Ok(current)
     }
 
     fn make_join(

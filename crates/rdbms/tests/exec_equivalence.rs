@@ -7,7 +7,7 @@
 //! so their output order is defined (HashAggregate iteration order is
 //! per-instance hash order, in both engines).
 
-use sinew_rdbms::{Database, Datum, ExecLimits, ExecMode};
+use sinew_rdbms::{Database, Datum, ExecLimits, ExecMode, PlannerConfig};
 
 /// splitmix64 — deterministic data without depending on a rand crate.
 fn mix(mut x: u64) -> u64 {
@@ -509,5 +509,301 @@ fn limit_pushdown_into_index_probe_is_exact() {
     );
     if let Some(v) = prev_force {
         std::env::set_var("SINEW_FORCE_SCAN", v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PR 9: morsel-parallel pipeline breakers (partitioned hash join, partitioned
+// hash aggregation, parallel sort) must be byte-identical to the serial
+// operators at every knob setting, thread count, and block size.
+// ---------------------------------------------------------------------------
+
+const U_ROWS: u64 = 1_500;
+
+/// Three-table join workload db: the `t`/`s` pair from [`build_db`] plus a
+/// `u` fact table keyed into `t.a`, with every join/group column promoted to
+/// a columnar segment store (the rdbms-level notion of a promoted column) so
+/// the parallel breakers sit downstream of columnar scans too.
+fn build_join_db() -> Database {
+    let db = build_db();
+    db.execute("CREATE TABLE u (g int, w float, tag text)").unwrap();
+    let mut stmt = String::new();
+    for i in 0..U_ROWS {
+        let h = mix(i ^ 0x5eed_cafe);
+        if stmt.is_empty() {
+            stmt.push_str("INSERT INTO u VALUES ");
+        } else {
+            stmt.push(',');
+        }
+        let g = (h % 1000) as i64;
+        let w = (h % 4099) as f64 / 3.0;
+        stmt.push_str(&format!("({g}, {w:.6}, 'g{}')", h % 5));
+        if i % 500 == 499 {
+            db.execute(&stmt).unwrap();
+            stmt.clear();
+        }
+    }
+    if !stmt.is_empty() {
+        db.execute(&stmt).unwrap();
+    }
+    db.execute("CREATE INDEX idx_u_g ON u (g)").unwrap();
+    db.execute("ANALYZE u").unwrap();
+    for col in ["a", "b", "c", "d"] {
+        db.build_columnar("t", col).unwrap();
+    }
+    for col in ["k", "v"] {
+        db.build_columnar("s", col).unwrap();
+    }
+    for col in ["g", "w", "tag"] {
+        db.build_columnar("u", col).unwrap();
+    }
+    db
+}
+
+/// Inner joins, left joins with residual ON conjuncts, GROUP BY + HAVING
+/// over join results, three-way joins, join-fed sorts, DISTINCT aggregates
+/// (which must *not* engage the parallel pre-aggregation), and joins whose
+/// inputs are promoted (columnar) columns. Join output order is morsel
+/// order, which the parallel probe stitches back exactly, so only the
+/// aggregate/sort queries pin order with ORDER BY.
+const JOIN_AGG_QUERIES: &[&str] = &[
+    "SELECT t.a, t.c, s.v FROM t JOIN s ON t.b = s.k WHERE t.a < 200",
+    "SELECT t.a, s.v, u.w FROM t JOIN s ON t.b = s.k JOIN u ON u.g = t.a WHERE t.a < 120",
+    "SELECT t.a, s.v FROM t LEFT JOIN s ON t.b = s.k AND s.v = 'v3' WHERE t.a % 5 = 0",
+    "SELECT s.k, COUNT(*), SUM(t.a) FROM t JOIN s ON t.b = s.k \
+     GROUP BY s.k HAVING COUNT(*) > 50 ORDER BY s.k",
+    "SELECT t.c, COUNT(*), AVG(u.w) FROM t JOIN u ON u.g = t.a \
+     GROUP BY t.c HAVING AVG(u.w) > 100.0 ORDER BY t.c",
+    "SELECT u.tag, MIN(t.d), MAX(t.d) FROM u LEFT JOIN t ON t.a = u.g \
+     GROUP BY u.tag ORDER BY u.tag",
+    "SELECT t.b, COUNT(*) FROM t LEFT JOIN s ON t.b = s.k \
+     GROUP BY t.b HAVING COUNT(*) >= 2 ORDER BY t.b",
+    "SELECT t.a, t.d FROM t JOIN u ON u.g = t.a ORDER BY t.d DESC, t.a LIMIT 40",
+    "SELECT c, COUNT(DISTINCT b) FROM t GROUP BY c ORDER BY c",
+    "SELECT COUNT(*), SUM(u.w), MIN(t.a) FROM t JOIN u ON u.g = t.a WHERE t.c LIKE 'w1%'",
+];
+
+fn run_join_workload(limits: ExecLimits) -> Vec<Vec<Vec<Datum>>> {
+    let db = build_join_db();
+    db.set_exec_limits(limits);
+    let mut out = Vec::new();
+    for q in JOIN_AGG_QUERIES {
+        out.push(db.execute(q).unwrap_or_else(|e| panic!("{q}: {e}")).rows);
+    }
+    for m in MUTATIONS {
+        db.execute(m).unwrap();
+    }
+    db.execute("DELETE FROM u WHERE g % 13 = 3").unwrap();
+    for q in JOIN_AGG_QUERIES {
+        out.push(db.execute(q).unwrap_or_else(|e| panic!("{q} (post-DML): {e}")).rows);
+    }
+    out
+}
+
+fn set_knob(name: &str, val: Option<&str>) {
+    match val {
+        Some(v) => std::env::set_var(name, v),
+        None => std::env::remove_var(name),
+    }
+}
+
+/// The crossing: serial oracle (both knobs off, materializing engine, one
+/// thread) against every combination of SINEW_PARALLEL_JOIN x
+/// SINEW_PARALLEL_AGG x threads x block_rows {1,1024}, with the
+/// fully-parallel corner swept at 1/2/4/8 threads. Byte-identical
+/// everywhere, pre- and post-DML, over promoted columns.
+#[test]
+fn parallel_breakers_match_serial_byte_identically() {
+    let _g = COLUMNAR_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev_join = std::env::var("SINEW_PARALLEL_JOIN").ok();
+    let prev_agg = std::env::var("SINEW_PARALLEL_AGG").ok();
+    let prev_col = std::env::var("SINEW_COLUMNAR").ok();
+    std::env::set_var("SINEW_COLUMNAR", "1");
+
+    std::env::set_var("SINEW_PARALLEL_JOIN", "0");
+    std::env::set_var("SINEW_PARALLEL_AGG", "0");
+    let oracle = run_join_workload(ExecLimits {
+        mode: ExecMode::Materialize,
+        exec_threads: 1,
+        ..ExecLimits::default()
+    });
+    assert!(oracle.iter().any(|r| !r.is_empty()), "join workload returned nothing");
+
+    for join_knob in ["0", "1"] {
+        for agg_knob in ["0", "1"] {
+            std::env::set_var("SINEW_PARALLEL_JOIN", join_knob);
+            std::env::set_var("SINEW_PARALLEL_AGG", agg_knob);
+            // 2 and 8 threads ride only the fully-parallel corner — odd
+            // partition counts and thread > partition cases are covered
+            // without doubling the whole cross.
+            let threads_axis: &[usize] =
+                if join_knob == "1" && agg_knob == "1" { &[1, 2, 4, 8] } else { &[1, 4] };
+            for &threads in threads_axis {
+                for block_rows in [1usize, 1024] {
+                    let limits = ExecLimits {
+                        mode: ExecMode::Streaming,
+                        exec_threads: threads,
+                        block_rows,
+                        ..ExecLimits::default()
+                    };
+                    let got = run_join_workload(limits);
+                    assert_eq!(got.len(), oracle.len());
+                    for (i, (g, o)) in got.iter().zip(&oracle).enumerate() {
+                        let q = JOIN_AGG_QUERIES[i % JOIN_AGG_QUERIES.len()];
+                        let phase = if i < JOIN_AGG_QUERIES.len() { "pre" } else { "post" };
+                        assert_eq!(
+                            g, o,
+                            "query {q:?} ({phase}-DML) diverged under join={join_knob} \
+                             agg={agg_knob} block_rows={block_rows} threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    set_knob("SINEW_PARALLEL_JOIN", prev_join.as_deref());
+    set_knob("SINEW_PARALLEL_AGG", prev_agg.as_deref());
+    set_knob("SINEW_COLUMNAR", prev_col.as_deref());
+}
+
+/// Guard against the crossing passing vacuously: with the knobs at their
+/// defaults and four worker threads, the partitioned build, the parallel
+/// pre-aggregation merge, and the parallel sort must all actually run (the
+/// workload tables clear the MIN_PARALLEL_ROWS floor); with the knobs off
+/// they must not.
+#[test]
+fn parallel_breakers_actually_engage() {
+    let _g = COLUMNAR_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev_join = std::env::var("SINEW_PARALLEL_JOIN").ok();
+    let prev_agg = std::env::var("SINEW_PARALLEL_AGG").ok();
+    std::env::remove_var("SINEW_PARALLEL_JOIN");
+    std::env::remove_var("SINEW_PARALLEL_AGG");
+
+    let db = build_db();
+    db.set_exec_limits(ExecLimits {
+        mode: ExecMode::Streaming,
+        exec_threads: 4,
+        block_rows: 1024,
+        ..ExecLimits::default()
+    });
+
+    let before = db.exec_stats();
+    db.execute("SELECT COUNT(*) FROM t JOIN s ON t.b = s.k").unwrap();
+    // int-only aggregate: exact under reordering, so the pre-aggregation
+    // waves never fall back to the serial path
+    db.execute("SELECT c, COUNT(*), SUM(a) FROM t GROUP BY c ORDER BY c").unwrap();
+    db.execute("SELECT a, b, c FROM t ORDER BY c, a DESC, d").unwrap();
+    let r = db.execute("EXPLAIN ANALYZE SELECT COUNT(*) FROM t JOIN s ON t.b = s.k").unwrap();
+    let text =
+        r.rows.iter().map(|row| row[0].display_text()).collect::<Vec<_>>().join("\n");
+    assert!(text.contains("(actual rows="), "EXPLAIN ANALYZE carried no actuals: {text}");
+    let after = db.exec_stats();
+    assert!(after.join_build_rows > before.join_build_rows, "join build never counted");
+    assert!(after.join_partitions > before.join_partitions, "partitioned build never engaged");
+    assert!(
+        after.agg_partition_merges > before.agg_partition_merges,
+        "parallel pre-aggregation never engaged"
+    );
+    assert!(after.parallel_sorts > before.parallel_sorts, "parallel sort never engaged");
+    assert!(after.explain_runs > before.explain_runs, "explain run not counted");
+
+    // Knobs off: the same queries must stay on the serial operators.
+    std::env::set_var("SINEW_PARALLEL_JOIN", "0");
+    std::env::set_var("SINEW_PARALLEL_AGG", "0");
+    let before = db.exec_stats();
+    db.execute("SELECT COUNT(*) FROM t JOIN s ON t.b = s.k").unwrap();
+    db.execute("SELECT c, COUNT(*), SUM(a) FROM t GROUP BY c ORDER BY c").unwrap();
+    db.execute("SELECT a, b, c FROM t ORDER BY c, a DESC, d").unwrap();
+    let after = db.exec_stats();
+    assert!(after.join_build_rows > before.join_build_rows, "serial build still counts rows");
+    assert_eq!(after.join_partitions, before.join_partitions, "knob=0 still partitioned");
+    assert_eq!(
+        after.agg_partition_merges, before.agg_partition_merges,
+        "knob=0 still pre-aggregated in parallel"
+    );
+    assert_eq!(after.parallel_sorts, before.parallel_sorts, "knob=0 still sorted in parallel");
+
+    set_knob("SINEW_PARALLEL_JOIN", prev_join.as_deref());
+    set_knob("SINEW_PARALLEL_AGG", prev_agg.as_deref());
+}
+
+/// Equi-join and group keys must use exact Int/Float comparison: 2^53 + 1
+/// is not representable as f64, so it must not match 2^53.0 even though
+/// casting it to f64 yields exactly that value. Runs over both join
+/// algorithms (hash, and merge via a starved work_mem) and both engines.
+#[test]
+fn int_float_join_and_group_keys_are_exact() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE bi (x int)").unwrap();
+    db.execute("CREATE TABLE bf (y float)").unwrap();
+    // 2^53 = 9007199254740992: the edge of f64's exact-integer range.
+    db.execute(
+        "INSERT INTO bi VALUES (9007199254740991), (9007199254740992), (9007199254740993), (1), (2)",
+    )
+    .unwrap();
+    db.execute("INSERT INTO bf VALUES (9007199254740991.0), (9007199254740992.0), (1.0), (3.0)")
+        .unwrap();
+    db.execute("ANALYZE bi").unwrap();
+    db.execute("ANALYZE bf").unwrap();
+
+    let expect = vec![
+        vec![Datum::Int(1)],
+        vec![Datum::Int(9_007_199_254_740_991)],
+        vec![Datum::Int(9_007_199_254_740_992)],
+    ];
+    for work_mem in [None, Some(64usize)] {
+        if let Some(wm) = work_mem {
+            // starve the hash build so the planner switches to merge join
+            db.set_planner_config(PlannerConfig { work_mem: wm, ..Default::default() });
+        }
+        for mode in [ExecMode::Materialize, ExecMode::Streaming] {
+            for threads in [1usize, 4] {
+                db.set_exec_limits(ExecLimits {
+                    mode,
+                    exec_threads: threads,
+                    block_rows: 2,
+                    ..ExecLimits::default()
+                });
+                let r = db
+                    .execute("SELECT bi.x FROM bi JOIN bf ON bi.x = bf.y ORDER BY bi.x")
+                    .unwrap();
+                assert_eq!(
+                    r.rows, expect,
+                    "inexact join keys under work_mem={work_mem:?} mode={mode:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    // Group keys: COALESCE over a nullable int and a float column yields
+    // mixed Int/Float keys in one grouping column. Int(2^53) groups with
+    // Float(2^53.0) (numerically equal); Int(2^53 + 1) must stay its own
+    // group.
+    db.execute("CREATE TABLE m (x int, y float)").unwrap();
+    db.execute(
+        "INSERT INTO m VALUES (9007199254740993, 0.0), (NULL, 9007199254740992.0), \
+         (9007199254740992, 0.0), (NULL, 1.0), (1, 0.0)",
+    )
+    .unwrap();
+    for mode in [ExecMode::Materialize, ExecMode::Streaming] {
+        for threads in [1usize, 4] {
+            db.set_exec_limits(ExecLimits {
+                mode,
+                exec_threads: threads,
+                block_rows: 2,
+                ..ExecLimits::default()
+            });
+            let r = db
+                .execute(
+                    "SELECT COUNT(*) FROM m GROUP BY COALESCE(x, y) ORDER BY COALESCE(x, y)",
+                )
+                .unwrap();
+            assert_eq!(
+                r.rows,
+                vec![vec![Datum::Int(2)], vec![Datum::Int(2)], vec![Datum::Int(1)]],
+                "inexact group keys under mode={mode:?} threads={threads}"
+            );
+        }
     }
 }

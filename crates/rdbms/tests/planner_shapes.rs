@@ -186,3 +186,129 @@ fn explain_estimates_vs_reality_for_opaque_udfs() {
     let plan = explain(&db, "SELECT COUNT(*) FROM t WHERE v = 5");
     assert!(plan.contains("rows=1)") || plan.contains("rows=1 "), "stats estimate ~1: {plan}");
 }
+
+/// Beyond the 10-relation DP horizon the planner must fall back to the
+/// bounded greedy join order instead of refusing the query (PR 9): an
+/// 11-table chain both plans and executes.
+#[test]
+fn eleven_table_join_chain_plans_via_greedy_fallback() {
+    let db = Database::in_memory();
+    for i in 1..=11 {
+        db.execute(&format!("CREATE TABLE c{i} (x int, y int)")).unwrap();
+        let rows: Vec<Vec<Datum>> =
+            (0..10).map(|v| vec![Datum::Int(v), Datum::Int(v * i)]).collect();
+        db.insert_rows(&format!("c{i}"), &rows).unwrap();
+        db.execute(&format!("ANALYZE c{i}")).unwrap();
+    }
+    let from: Vec<String> = (1..=11).map(|i| format!("c{i}")).collect();
+    let preds: Vec<String> = (1..11).map(|i| format!("c{}.x = c{}.x", i, i + 1)).collect();
+    let sql = format!(
+        "SELECT COUNT(*) FROM {} WHERE {}",
+        from.join(", "),
+        preds.join(" AND ")
+    );
+    let plan = explain(&db, &sql);
+    let joins = plan.matches("Join").count() + plan.matches("Nested Loop").count();
+    assert!(joins >= 10, "expected a 10-join tree, got: {plan}");
+    // x is a 0..9 key in every table, so the chain matches exactly 10 rows
+    let r = db.execute(&sql).unwrap();
+    assert_eq!(r.scalar(), Some(&Datum::Int(10)), "{plan}");
+}
+
+/// EXPLAIN ANALYZE must annotate *every* plan node with its observed
+/// actuals — rows, blocks, wall time — next to the estimates, across every
+/// node type the planner can emit.
+#[test]
+fn explain_analyze_annotates_every_node_type() {
+    let prev_col = std::env::var("SINEW_COLUMNAR").ok();
+    std::env::set_var("SINEW_COLUMNAR", "1");
+
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE ea (k int, v int, tag text)").unwrap();
+    let rows: Vec<Vec<Datum>> = (0..20_000)
+        .map(|i| vec![Datum::Int(i), Datum::Int(i % 7), Datum::Text(format!("t{}", i % 3))])
+        .collect();
+    db.insert_rows("ea", &rows).unwrap();
+    db.execute("CREATE TABLE dim (k int, name text)").unwrap();
+    let rows: Vec<Vec<Datum>> =
+        (0..200).map(|i| vec![Datum::Int(i), Datum::Text(format!("n{i}"))]).collect();
+    db.insert_rows("dim", &rows).unwrap();
+    db.execute("CREATE INDEX idx_ea_k ON ea (k)").unwrap();
+    db.execute("ANALYZE ea").unwrap();
+    db.execute("ANALYZE dim").unwrap();
+    // v columnar (k stays heap + index so the range probe picks Index Scan
+    // and the covered point probe picks Index Only Scan)
+    db.build_columnar("ea", "v").unwrap();
+
+    let analyze = |sql: &str| -> String {
+        let r = db.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+        r.rows.iter().map(|row| row[0].display_text()).collect::<Vec<_>>().join("\n")
+    };
+
+    // One query per planner shape; small work_mem flips the second half to
+    // the sort-based operators.
+    let queries: &[&str] = &[
+        "SELECT v FROM ea WHERE v = 3 LIMIT 5",
+        "SELECT tag FROM ea WHERE k BETWEEN 10 AND 20",
+        "SELECT k FROM ea WHERE k = 123",
+        "SELECT v, COUNT(*) FROM ea GROUP BY v ORDER BY v",
+        "SELECT DISTINCT tag FROM ea",
+        "SELECT COUNT(*) FROM ea JOIN dim ON ea.k = dim.k",
+        "SELECT COUNT(*) FROM ea, dim WHERE ea.v < dim.k AND dim.k < 2",
+        "SELECT 1 + 2, 'const'",
+    ];
+    let mut plans = String::new();
+    for q in queries {
+        let text = analyze(q);
+        for line in text.lines() {
+            if line.contains("(rows=") || line.contains("(n=") {
+                assert!(
+                    line.contains("(actual rows="),
+                    "node line missing actuals for {q:?}: {line}\nfull plan:\n{text}"
+                );
+            }
+        }
+        plans.push_str(&text);
+        plans.push('\n');
+    }
+    // Starved work_mem: merge join, sort + group-aggregate, sort + unique.
+    small_work_mem(&db);
+    for q in &[
+        "SELECT COUNT(*) FROM ea a1, ea a2 WHERE a1.k = a2.k",
+        "SELECT k, SUM(v) FROM ea GROUP BY k",
+        "SELECT DISTINCT k FROM ea",
+    ] {
+        let text = analyze(q);
+        for line in text.lines() {
+            if line.contains("(rows=") || line.contains("(n=") {
+                assert!(line.contains("(actual rows="), "missing actuals: {line}\n{text}");
+            }
+        }
+        plans.push_str(&text);
+        plans.push('\n');
+    }
+    for node in [
+        "Seq Scan", "Index Scan", "Index Only Scan", "Columnar Scan", "Sort",
+        "HashAggregate", "GroupAggregate", "Unique", "Hash Join", "Merge Join",
+        "Nested Loop", "Limit", "Values",
+    ] {
+        assert!(plans.contains(node), "workload never produced a {node} node:\n{plans}");
+    }
+
+    // Actual rows are the real row counts: the root of a query returning N
+    // rows must report actual rows=N.
+    let text = analyze("SELECT tag FROM ea WHERE k BETWEEN 10 AND 20");
+    let root = text.lines().next().unwrap();
+    let actual: u64 = root
+        .split("actual rows=")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable root line: {root}"));
+    assert_eq!(actual, 11, "root actuals wrong: {text}");
+
+    match prev_col {
+        Some(v) => std::env::set_var("SINEW_COLUMNAR", v),
+        None => std::env::remove_var("SINEW_COLUMNAR"),
+    }
+}

@@ -16,9 +16,11 @@ pub enum Statement {
     Delete(Delete),
     CreateTable(CreateTable),
     CreateIndex(CreateIndex),
-    /// `EXPLAIN <select>` — prints the chosen plan (used by the Table 2
-    /// experiment to show virtual-vs-physical plan differences).
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] <select>` — prints the chosen plan (used by the
+    /// Table 2 experiment to show virtual-vs-physical plan differences).
+    /// With `analyze: true` the statement is also executed and the plan is
+    /// annotated with actual per-operator rows/blocks/time.
+    Explain { analyze: bool, inner: Box<Statement> },
     /// `ANALYZE <table>` — collect optimizer statistics.
     Analyze(String),
 }

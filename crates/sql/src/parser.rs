@@ -101,6 +101,12 @@ impl Parser {
         matches!(self.peek_kind(), TokenKind::Ident(s) if s == kw)
     }
 
+    /// Peek `n` tokens past the cursor for a keyword.
+    fn peek_kw_at(&self, n: usize, kw: &str) -> bool {
+        matches!(self.tokens.get(self.pos + n).map(|t| &t.kind),
+                 Some(TokenKind::Ident(s)) if s == kw)
+    }
+
     fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
         if self.eat_kw(kw) {
             Ok(())
@@ -140,6 +146,11 @@ impl Parser {
         }
     }
 
+    /// Keywords that can begin a statement — the lookahead set for the
+    /// `EXPLAIN ANALYZE <stmt>` vs `EXPLAIN ANALYZE <table>` ambiguity.
+    const STATEMENT_KEYWORDS: [&'static str; 7] =
+        ["select", "insert", "update", "delete", "create", "explain", "analyze"];
+
     fn statement(&mut self) -> Result<Statement, ParseError> {
         if self.peek_kw("select") {
             Ok(Statement::Select(self.select()?))
@@ -156,8 +167,16 @@ impl Parser {
                 self.create_table()
             }
         } else if self.eat_kw("explain") {
+            // `EXPLAIN ANALYZE <stmt>` runs the statement and reports actual
+            // cardinalities; `EXPLAIN ANALYZE t` (next token is not a
+            // statement keyword) stays an EXPLAIN of the ANALYZE statement.
+            let analyze = self.peek_kw("analyze")
+                && Self::STATEMENT_KEYWORDS.iter().any(|kw| self.peek_kw_at(1, kw));
+            if analyze {
+                self.bump();
+            }
             let inner = self.statement()?;
-            Ok(Statement::Explain(Box::new(inner)))
+            Ok(Statement::Explain { analyze, inner: Box::new(inner) })
         } else if self.eat_kw("analyze") {
             let table = self.ident()?;
             Ok(Statement::Analyze(table))
@@ -837,12 +856,21 @@ mod tests {
     fn explain_and_analyze() {
         assert!(matches!(
             parse_statement("EXPLAIN SELECT * FROM t").unwrap(),
-            Statement::Explain(_)
+            Statement::Explain { analyze: false, .. }
         ));
         assert!(matches!(
             parse_statement("ANALYZE t").unwrap(),
             Statement::Analyze(t) if t == "t"
         ));
+        // EXPLAIN ANALYZE <stmt> sets the analyze flag …
+        let s = parse_statement("EXPLAIN ANALYZE SELECT * FROM t").unwrap();
+        let Statement::Explain { analyze: true, inner } = s else { panic!("{s:?}") };
+        assert!(matches!(*inner, Statement::Select(_)));
+        // … while `EXPLAIN ANALYZE t` stays an EXPLAIN of the ANALYZE
+        // statement (the next token is not a statement keyword).
+        let s = parse_statement("EXPLAIN ANALYZE t").unwrap();
+        let Statement::Explain { analyze: false, inner } = s else { panic!("{s:?}") };
+        assert!(matches!(*inner, Statement::Analyze(t) if t == "t"));
     }
 
     #[test]

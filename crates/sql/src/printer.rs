@@ -44,7 +44,13 @@ impl fmt::Display for Statement {
             Statement::Delete(s) => s.fmt(f),
             Statement::CreateTable(s) => s.fmt(f),
             Statement::CreateIndex(s) => s.fmt(f),
-            Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
+            Statement::Explain { analyze, inner } => {
+                if *analyze {
+                    write!(f, "EXPLAIN ANALYZE {inner}")
+                } else {
+                    write!(f, "EXPLAIN {inner}")
+                }
+            }
             Statement::Analyze(t) => {
                 f.write_str("ANALYZE ")?;
                 ident(f, t)
@@ -327,6 +333,8 @@ mod tests {
             "CREATE INDEX idx_t_a ON t (a)",
             r#"CREATE INDEX IF NOT EXISTS i ON t ("user.id")"#,
             "EXPLAIN SELECT * FROM t",
+            "EXPLAIN ANALYZE SELECT * FROM t",
+            "EXPLAIN ANALYZE t",
             "ANALYZE t",
             "SELECT * FROM a JOIN b ON (a.x = b.x) LEFT JOIN c ON (b.y = c.y)",
         ] {
