@@ -1,0 +1,174 @@
+//! PR10 snapshot harness — MVCC snapshot reads vs the legacy single-writer
+//! lock path.
+//!
+//! One 100k-row table per engine; the main thread runs full-scan
+//! aggregating readers for a fixed window while 0 / 1 / 4 writer threads
+//! hammer single-row autocommit UPDATEs. Under the legacy path every
+//! reader serializes behind the table lock the writers hold; under MVCC
+//! readers scan a snapshot and never block. Every reader scan is checked
+//! for a torn read (COUNT must never move — updates preserve row count),
+//! and with writers present the MVCC run must actually retain versions.
+//!
+//! Writes the `mvcc_readers` section of `results/BENCH_PR10.json`
+//! (override via `SINEW_BENCH_SNAPSHOT`) and enforces the PR10
+//! no-regression floor: single-threaded (0-writer) MVCC reader throughput
+//! must stay within 25% of the legacy lock path.
+
+use sinew_bench::{record_snapshot, HarnessConfig, TablePrinter};
+use sinew_rdbms::{Database, Datum};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// splitmix64 — deterministic data without depending on a rand crate.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+const ROWS: u64 = 100_000;
+const READ_Q: &str = "SELECT SUM(v), COUNT(*) FROM f WHERE g < 800";
+
+fn build(mvcc: bool) -> Arc<Database> {
+    let db = Arc::new(Database::in_memory_mvcc(mvcc));
+    db.execute("CREATE TABLE f (id int, g int, v int)").unwrap();
+    let mut chunk: Vec<Vec<Datum>> = Vec::with_capacity(20_000);
+    for i in 0..ROWS {
+        let h = mix(i);
+        chunk.push(vec![
+            Datum::Int(i as i64),
+            Datum::Int((h % 1_000) as i64),
+            Datum::Int((h % 97) as i64),
+        ]);
+        if chunk.len() == 20_000 {
+            db.insert_rows("f", &chunk).unwrap();
+            chunk.clear();
+        }
+    }
+    if !chunk.is_empty() {
+        db.insert_rows("f", &chunk).unwrap();
+    }
+    db.execute("ANALYZE f").unwrap();
+    db
+}
+
+/// Reader throughput (scans/s) over `window` with `writers` update threads
+/// running. Returns (scans_per_sec, writes_done).
+fn measure(
+    db: &Arc<Database>,
+    writers: usize,
+    window: Duration,
+    expect_count: &Datum,
+) -> (f64, u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for w in 0..writers {
+        let db = db.clone();
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut n = 0u64;
+            let mut i = w as u64;
+            while !stop.load(Ordering::Relaxed) {
+                let id = mix(i) % ROWS;
+                db.execute(&format!("UPDATE f SET v = v + 1 WHERE id = {id}")).unwrap();
+                i += 1;
+                n += 1;
+            }
+            n
+        }));
+    }
+    let start = Instant::now();
+    let mut scans = 0u64;
+    while start.elapsed() < window {
+        let r = db.execute(READ_Q).unwrap();
+        assert_eq!(
+            &r.rows[0][1], expect_count,
+            "torn read: COUNT moved under concurrent UPDATEs"
+        );
+        scans += 1;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let writes: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    (scans as f64 / elapsed, writes)
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    if std::env::var_os("SINEW_BENCH_SNAPSHOT").is_none() {
+        std::env::set_var("SINEW_BENCH_SNAPSHOT", "results/BENCH_PR10.json");
+    }
+    let host_cores =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let window = Duration::from_millis(300u64.saturating_mul(cfg.reps as u64).max(900));
+
+    println!(
+        "=== PR10 — snapshot readers vs legacy lock path, {ROWS}-row scan under \
+         0/1/4 writers ({host_cores} host cores) ===\n"
+    );
+
+    let table = TablePrinter::new(
+        &["Engine", "0 wr (scan/s)", "1 wr (scan/s)", "4 wr (scan/s)", "writes/s @4"],
+        &[10, 14, 14, 14, 12],
+    );
+    let mut fields: Vec<(&str, f64)> = vec![("rows", ROWS as f64), ("host_cores", host_cores as f64)];
+    let mut results: Vec<(bool, Vec<f64>)> = Vec::new();
+    for mvcc in [false, true] {
+        let db = build(mvcc);
+        // Updates are count-preserving, so the matching-row count is the
+        // torn-read canary for every scan that follows.
+        let expect_count = db.execute(READ_Q).unwrap().rows[0][1].clone();
+        let mut rates = Vec::new();
+        let mut w4_rate = 0.0;
+        for writers in [0usize, 1, 4] {
+            let (rate, writes) = measure(&db, writers, window, &expect_count);
+            rates.push(rate);
+            if writers == 4 {
+                w4_rate = writes as f64 / window.as_secs_f64();
+            }
+        }
+        if mvcc {
+            let stats = db.exec_stats();
+            assert!(
+                stats.versions_created > 0,
+                "MVCC run with writers never retained a version — snapshots never engaged"
+            );
+        }
+        let label = if mvcc { "mvcc" } else { "legacy" };
+        table.row(&[
+            label.into(),
+            format!("{:.0}", rates[0]),
+            format!("{:.0}", rates[1]),
+            format!("{:.0}", rates[2]),
+            format!("{w4_rate:.0}"),
+        ]);
+        for (i, writers) in [0usize, 1, 4].iter().enumerate() {
+            fields.push((
+                match (mvcc, writers) {
+                    (false, 0) => "legacy_w0_scans_per_s",
+                    (false, 1) => "legacy_w1_scans_per_s",
+                    (false, _) => "legacy_w4_scans_per_s",
+                    (true, 0) => "mvcc_w0_scans_per_s",
+                    (true, 1) => "mvcc_w1_scans_per_s",
+                    (true, _) => "mvcc_w4_scans_per_s",
+                },
+                rates[i],
+            ));
+        }
+        results.push((mvcc, rates));
+    }
+
+    let legacy0 = results[0].1[0];
+    let mvcc0 = results[1].1[0];
+    let ratio = mvcc0 / legacy0;
+    fields.push(("single_thread_ratio", ratio));
+    record_snapshot("mvcc_readers", &fields);
+
+    println!("\nsingle-threaded MVCC/legacy reader ratio: {ratio:.2}x (floor 0.75x)");
+    assert!(
+        ratio >= 0.75,
+        "single-threaded no-regression floor: MVCC readers at {ratio:.2}x of legacy"
+    );
+}

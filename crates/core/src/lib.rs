@@ -124,6 +124,9 @@ impl Sinew {
         let metrics = Arc::new(Metrics::new());
         let plans = Arc::new(PlanCache::with_metrics(metrics.clone()));
         udfs::install(&db, &catalog, &plans, &rowid_sets, &metrics);
+        // Version reclamation for quiescent periods; holds only a Weak on
+        // the database, so it dies with the last strong reference.
+        background::spawn_vacuum(&db, &metrics);
         Sinew {
             db,
             catalog,

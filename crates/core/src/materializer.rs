@@ -17,7 +17,7 @@
 use crate::catalog::AttrId;
 use crate::extract;
 use crate::Sinew;
-use sinew_rdbms::{Datum, DbError, DbResult};
+use sinew_rdbms::{Datum, DbError, DbResult, Txn};
 use std::collections::HashSet;
 
 /// How much work one step may do.
@@ -133,75 +133,144 @@ fn step_locked(
 
     let key = (table.to_string(), attr);
     let high_water = db.high_water(table)?;
-    let MoveCursor { pos: mut cursor, mut stranded } =
+    let MoveCursor { pos: start_pos, stranded: start_stranded } =
         sinew.cursors().lock().get(&key).copied().unwrap_or_default();
 
-    let mut examined = 0u64;
-    while cursor < high_water && examined < budget.rows {
-        let rowid = cursor;
-        cursor += 1;
-        examined += 1;
-        let Some(row) = db.get_row(table, rowid)? else { continue };
-        // Owner document: the materialized parent's column when it holds a
-        // value for this row, else the reservoir. `None` when neither side
-        // holds usable document bytes.
-        let owner: Option<(&str, usize, &Vec<u8>)> = match parent_idx {
-            Some(i) if !row[i].is_null() => match &row[i] {
-                Datum::Bytea(b) => {
-                    Some((source.parent_column.as_deref().unwrap_or("data"), source.skip, b))
-                }
-                _ => None,
-            },
-            _ => match &row[data_idx] {
-                Datum::Bytea(b) => Some(("data", 0usize, b)),
-                _ => None,
-            },
-        };
-        if materializing {
-            // owner document → physical column; no document, nothing to move
-            let Some((owner_name, owner_skip, bytes)) = owner else { continue };
-            let Some(value) = extract::extract_attr(cat, bytes, &name, attr)? else {
-                continue;
-            };
-            let cleaned = extract::remove_attr(cat, bytes, &name, owner_skip, attr)?;
-            let col_is_null = col_idx.map(|i| row[i].is_null()).unwrap_or(true);
-            if col_is_null {
-                db.update_row(
-                    table,
-                    rowid,
-                    &[(&st.column_name, value), (owner_name, Datum::Bytea(cleaned))],
-                )?;
-            } else {
-                // the column was already set (e.g. by an UPDATE that ran
-                // while dirty): the owner's copy is stale — drop it only
-                db.update_row(table, rowid, &[(owner_name, Datum::Bytea(cleaned))])?;
-            }
-            report.values_moved += 1;
-            m.materializer_values_materialized.inc();
-        } else {
-            // physical column → owner document (dematerialization)
-            let Some(i) = col_idx else { continue };
-            if row[i].is_null() {
-                continue;
-            }
-            let Some((owner_name, owner_skip, bytes)) = owner else {
-                // the value exists only in the column and there is no
-                // document to restore it into: dropping the column now
-                // would destroy it — count it and keep going
-                stranded += 1;
-                continue;
-            };
-            let restored = extract::set_attr(cat, bytes, &name, owner_skip, attr, &row[i])?;
-            db.update_row(
-                table,
-                rowid,
-                &[(&st.column_name, Datum::Null), (owner_name, Datum::Bytea(restored))],
-            )?;
-            report.values_moved += 1;
-            m.materializer_values_dematerialized.inc();
-        }
+    // One budgeted batch of row moves. Through `txn` (MVCC) every move in
+    // the batch becomes visible atomically at COMMIT, so a snapshot reader
+    // sees each value on exactly one side of the COALESCE — never a
+    // half-applied step. Without MVCC each move is its own atomic
+    // `update_row`, as before.
+    struct Batch {
+        cursor: u64,
+        stranded: u64,
+        examined: u64,
+        materialized: u64,
+        dematerialized: u64,
     }
+    let run_batch = |txn: &mut Option<Txn>| -> DbResult<Batch> {
+        let mut b = Batch {
+            cursor: start_pos,
+            stranded: start_stranded,
+            examined: 0,
+            materialized: 0,
+            dematerialized: 0,
+        };
+        while b.cursor < high_water && b.examined < budget.rows {
+            let rowid = b.cursor;
+            b.cursor += 1;
+            b.examined += 1;
+            let row = match txn.as_ref() {
+                Some(x) => db.txn_get_row(x, table, rowid)?,
+                None => db.get_row(table, rowid)?,
+            };
+            let Some(row) = row else { continue };
+            // Owner document: the materialized parent's column when it
+            // holds a value for this row, else the reservoir. `None` when
+            // neither side holds usable document bytes.
+            let owner: Option<(&str, usize, &Vec<u8>)> = match parent_idx {
+                Some(i) if !row[i].is_null() => match &row[i] {
+                    Datum::Bytea(b) => {
+                        Some((source.parent_column.as_deref().unwrap_or("data"), source.skip, b))
+                    }
+                    _ => None,
+                },
+                _ => match &row[data_idx] {
+                    Datum::Bytea(b) => Some(("data", 0usize, b)),
+                    _ => None,
+                },
+            };
+            if materializing {
+                // owner document → physical column; no document, nothing
+                // to move
+                let Some((owner_name, owner_skip, bytes)) = owner else { continue };
+                let Some(value) = extract::extract_attr(cat, bytes, &name, attr)? else {
+                    continue;
+                };
+                let cleaned = extract::remove_attr(cat, bytes, &name, owner_skip, attr)?;
+                let col_is_null = col_idx.map(|i| row[i].is_null()).unwrap_or(true);
+                let assigns: Vec<(&str, Datum)> = if col_is_null {
+                    vec![(st.column_name.as_str(), value), (owner_name, Datum::Bytea(cleaned))]
+                } else {
+                    // the column was already set (e.g. by an UPDATE that
+                    // ran while dirty): the owner's copy is stale — drop
+                    // it only
+                    vec![(owner_name, Datum::Bytea(cleaned))]
+                };
+                match txn.as_mut() {
+                    Some(x) => db.txn_update_row(x, table, rowid, &assigns)?,
+                    None => db.update_row(table, rowid, &assigns)?,
+                }
+                b.materialized += 1;
+            } else {
+                // physical column → owner document (dematerialization)
+                let Some(i) = col_idx else { continue };
+                if row[i].is_null() {
+                    continue;
+                }
+                let Some((owner_name, owner_skip, bytes)) = owner else {
+                    // the value exists only in the column and there is no
+                    // document to restore it into: dropping the column now
+                    // would destroy it — count it and keep going
+                    b.stranded += 1;
+                    continue;
+                };
+                let restored = extract::set_attr(cat, bytes, &name, owner_skip, attr, &row[i])?;
+                let assigns: Vec<(&str, Datum)> = vec![
+                    (st.column_name.as_str(), Datum::Null),
+                    (owner_name, Datum::Bytea(restored)),
+                ];
+                match txn.as_mut() {
+                    Some(x) => db.txn_update_row(x, table, rowid, &assigns)?,
+                    None => db.update_row(table, rowid, &assigns)?,
+                }
+                b.dematerialized += 1;
+            }
+        }
+        Ok(b)
+    };
+
+    // Under MVCC the step is an ordinary transaction racing foreground
+    // writers under first-writer-wins: a conflict aborts *us*, never the
+    // foreground statement. Roll back, keep the saved cursor (it only
+    // advances after COMMIT), and retry the same batch — bounded here so a
+    // hot row hands the step back to the caller instead of spinning under
+    // the load latch.
+    const CONFLICT_RETRIES: usize = 4;
+    let mut attempts = 0;
+    let b = loop {
+        let mut txn = if db.mvcc_enabled() { Some(db.begin_txn()?) } else { None };
+        let out = match run_batch(&mut txn) {
+            Ok(b) => match txn.take().map(|x| db.commit_txn(x)).transpose() {
+                Ok(_) => Ok(b),
+                Err(e) => Err(e),
+            },
+            Err(e) => {
+                if let Some(x) = txn.take() {
+                    let _ = db.rollback_txn(x);
+                }
+                Err(e)
+            }
+        };
+        match out {
+            Ok(b) => break b,
+            Err(DbError::Conflict(_)) => {
+                m.materializer_txn_conflicts.inc();
+                attempts += 1;
+                if attempts >= CONFLICT_RETRIES {
+                    m.materializer_steps.inc();
+                    return Ok(report);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    let (cursor, stranded) = (b.cursor, b.stranded);
+    let examined = b.examined;
+    report.values_moved = b.materialized + b.dematerialized;
     report.rows_scanned = examined;
+    m.materializer_values_materialized.add(b.materialized);
+    m.materializer_values_dematerialized.add(b.dematerialized);
     m.materializer_steps.inc();
     m.materializer_rows_scanned.add(examined);
     m.materializer_step_rows.record(examined);

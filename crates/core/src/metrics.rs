@@ -221,6 +221,10 @@ pub struct Metrics {
     /// Columnar segment stores built when a promotion pass completed
     /// (dematerialization drops them together with the column).
     pub materializer_columnar_built: Counter,
+    /// Transactional steps aborted by a first-writer-wins conflict with a
+    /// foreground writer (the batch rolled back and was retried from the
+    /// saved cursor).
+    pub materializer_txn_conflicts: Counter,
     /// Distribution of rows examined per step.
     pub materializer_step_rows: Histogram,
 
@@ -241,6 +245,9 @@ pub struct Metrics {
     pub background_steps: Counter,
     /// Background step errors (table dropped, transient failures).
     pub background_errors: Counter,
+    /// Version-reclamation passes run by the background vacuum thread
+    /// (`SINEW_VACUUM_INTERVAL_MS`).
+    pub background_vacuum_passes: Counter,
 }
 
 impl Metrics {
@@ -279,6 +286,7 @@ impl Metrics {
             materializer_rows_stranded: self.materializer_rows_stranded.get(),
             materializer_indexes_created: self.materializer_indexes_created.get(),
             materializer_columnar_built: self.materializer_columnar_built.get(),
+            materializer_txn_conflicts: self.materializer_txn_conflicts.get(),
             materializer_step_rows_mean: self.materializer_step_rows.mean(),
             analyzer_runs: self.analyzer_runs.get(),
             analyzer_rows_sampled: self.analyzer_rows_sampled.get(),
@@ -287,6 +295,7 @@ impl Metrics {
             background_workers_active: self.background_workers_active.get(),
             background_steps: self.background_steps.get(),
             background_errors: self.background_errors.get(),
+            background_vacuum_passes: self.background_vacuum_passes.get(),
         }
     }
 }
@@ -322,6 +331,7 @@ pub struct MetricsSnapshot {
     pub materializer_rows_stranded: u64,
     pub materializer_indexes_created: u64,
     pub materializer_columnar_built: u64,
+    pub materializer_txn_conflicts: u64,
     pub materializer_step_rows_mean: f64,
     pub analyzer_runs: u64,
     pub analyzer_rows_sampled: u64,
@@ -330,6 +340,7 @@ pub struct MetricsSnapshot {
     pub background_workers_active: u64,
     pub background_steps: u64,
     pub background_errors: u64,
+    pub background_vacuum_passes: u64,
 }
 
 impl MetricsSnapshot {
@@ -391,6 +402,7 @@ impl MetricsSnapshot {
             ("materializer_rows_stranded".into(), i(self.materializer_rows_stranded)),
             ("materializer_indexes_created".into(), i(self.materializer_indexes_created)),
             ("materializer_columnar_built".into(), i(self.materializer_columnar_built)),
+            ("materializer_txn_conflicts".into(), i(self.materializer_txn_conflicts)),
             ("analyzer_runs".into(), i(self.analyzer_runs)),
             ("analyzer_rows_sampled".into(), i(self.analyzer_rows_sampled)),
             ("analyzer_materialize_decisions".into(), i(self.analyzer_materialize_decisions)),
@@ -401,6 +413,7 @@ impl MetricsSnapshot {
             ("background_workers_active".into(), i(self.background_workers_active)),
             ("background_steps".into(), i(self.background_steps)),
             ("background_errors".into(), i(self.background_errors)),
+            ("background_vacuum_passes".into(), i(self.background_vacuum_passes)),
         ]
     }
 }
@@ -524,6 +537,25 @@ pub struct StorageReport {
 const REPORT_SAMPLE_ROWS: u64 = 10_000;
 
 pub(crate) fn storage_report(sinew: &Sinew, table: &str) -> DbResult<StorageReport> {
+    // The report takes many independent short locks (catalog state, heap
+    // scan, index stats, columnar stats); a promotion or demotion landing
+    // between two of them would mix pre- and post-movement states in one
+    // report. Pin the catalog epoch instead of the locks: if the schema
+    // moved while we were collecting, collect again. Bounded retries — a
+    // continuously-churning materializer should degrade to a best-effort
+    // report, not an unbounded introspection loop.
+    let cat = sinew.catalog();
+    for _ in 0..3 {
+        let epoch = cat.epoch();
+        let report = storage_report_once(sinew, table)?;
+        if cat.epoch() == epoch {
+            return Ok(report);
+        }
+    }
+    storage_report_once(sinew, table)
+}
+
+fn storage_report_once(sinew: &Sinew, table: &str) -> DbResult<StorageReport> {
     let db = sinew.db();
     let cat = sinew.catalog();
     if !cat.is_collection(table) {
@@ -722,7 +754,8 @@ impl StorageReport {
         let _ = writeln!(
             out,
             "materializer: {} steps, {} rows scanned; moved {} →col, {} →doc; \
-             passes {} completed, {} deferred ({} rows stranded); {} auto-indexes",
+             passes {} completed, {} deferred ({} rows stranded); {} auto-indexes; \
+             {} txn conflicts",
             m.materializer_steps,
             m.materializer_rows_scanned,
             m.materializer_values_materialized,
@@ -730,7 +763,8 @@ impl StorageReport {
             m.materializer_passes_completed,
             m.materializer_passes_deferred,
             m.materializer_rows_stranded,
-            m.materializer_indexes_created
+            m.materializer_indexes_created,
+            m.materializer_txn_conflicts
         );
         let _ = writeln!(
             out,
@@ -870,8 +904,24 @@ impl StorageReport {
         );
         let _ = writeln!(
             out,
-            "background: {} active workers, {} steps, {} errors",
-            m.background_workers_active, m.background_steps, m.background_errors
+            "mvcc: txns {} begun / {} committed / {} aborted, {} write conflicts; \
+             versions {} created / {} vacuumed; {} live snapshots (oldest {} ms)",
+            e.txns_begun,
+            e.txns_committed,
+            e.txns_aborted,
+            e.write_conflicts,
+            e.versions_created,
+            e.versions_vacuumed,
+            e.live_snapshots,
+            e.oldest_snapshot_age_ms
+        );
+        let _ = writeln!(
+            out,
+            "background: {} active workers, {} steps, {} errors, {} vacuum passes",
+            m.background_workers_active,
+            m.background_steps,
+            m.background_errors,
+            m.background_vacuum_passes
         );
         out
     }
@@ -1112,6 +1162,32 @@ impl StorageReport {
                         Value::Int(self.exec.wal_recovered_pages as i64),
                     ),
                     ("wal_bytes".to_string(), Value::Int(self.exec.wal_bytes as i64)),
+                    ("txns_begun".to_string(), Value::Int(self.exec.txns_begun as i64)),
+                    (
+                        "txns_committed".to_string(),
+                        Value::Int(self.exec.txns_committed as i64),
+                    ),
+                    ("txns_aborted".to_string(), Value::Int(self.exec.txns_aborted as i64)),
+                    (
+                        "write_conflicts".to_string(),
+                        Value::Int(self.exec.write_conflicts as i64),
+                    ),
+                    (
+                        "versions_created".to_string(),
+                        Value::Int(self.exec.versions_created as i64),
+                    ),
+                    (
+                        "versions_vacuumed".to_string(),
+                        Value::Int(self.exec.versions_vacuumed as i64),
+                    ),
+                    (
+                        "oldest_snapshot_age_ms".to_string(),
+                        Value::Int(self.exec.oldest_snapshot_age_ms as i64),
+                    ),
+                    (
+                        "live_snapshots".to_string(),
+                        Value::Int(self.exec.live_snapshots as i64),
+                    ),
                 ]),
             ),
             ("metrics".to_string(), Value::Object(self.metrics.json_fields())),

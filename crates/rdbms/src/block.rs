@@ -278,6 +278,8 @@ pub(crate) fn build_node<'x, 'a: 'x>(
             exact_bounds: *exact_bounds,
             bounds_cover: *bounds_cover_filter,
             pending: VecDeque::new(),
+            emitted: 0,
+            skip: 0,
             state: ColumnarState::Init,
         }),
         Plan::IndexOnlyScan {
@@ -905,8 +907,9 @@ enum ColumnarState<'x, 'a> {
 /// byte-identical to the heap scan at any thread count and a LIMIT skips
 /// the waves it never reaches.
 /// One segment's scan output with the residual filter already applied:
-/// surviving rows plus the segment's kernel/pruned/exact stats.
-type SegScanResult = Result<crate::exec::SegScan, DbError>;
+/// surviving rows plus the segment's kernel/pruned/exact stats. `None`
+/// means the column store was demoted mid-scan.
+type SegScanResult = Result<Option<crate::exec::SegScan>, DbError>;
 
 struct ColumnarScanOp<'x, 'a> {
     exec: &'x Executor<'a>,
@@ -924,6 +927,12 @@ struct ColumnarScanOp<'x, 'a> {
     /// skips the residual filter for that segment.
     bounds_cover: bool,
     pending: VecDeque<Row>,
+    /// Rows already handed downstream — the resume point if a mid-scan
+    /// demotion forces a restart from the heap.
+    emitted: u64,
+    /// Rows the fallback scan must drop before producing output (set to
+    /// `emitted` when a mid-scan demotion triggers the restart).
+    skip: u64,
     state: ColumnarState<'x, 'a>,
 }
 
@@ -932,22 +941,20 @@ impl ColumnarScanOp<'_, '_> {
     /// surviving rows plus the kernel / pruned stats.
     fn scan_segment(&self, seg: usize) -> SegScanResult {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.exec
-                .source
-                .columnar_scan_segment(
-                    self.table,
-                    self.needed,
-                    self.column,
-                    self.lo,
-                    self.lo_inc,
-                    self.hi,
-                    self.hi_inc,
-                    seg,
-                )?
-                .ok_or_else(|| DbError::Eval("column store vanished mid-scan".into()))
+            self.exec.source.columnar_scan_segment(
+                self.table,
+                self.needed,
+                self.column,
+                self.lo,
+                self.lo_inc,
+                self.hi,
+                self.hi_inc,
+                seg,
+            )
         }));
         let mut scan = match result {
-            Ok(Ok(s)) => s,
+            Ok(Ok(Some(s))) => s,
+            Ok(Ok(None)) => return Ok(None),
             Ok(Err(e)) => return Err(e),
             Err(payload) => {
                 return Err(DbError::Eval(format!(
@@ -969,7 +976,7 @@ impl ColumnarScanOp<'_, '_> {
                     keep.iter().map(|&i| std::mem::take(&mut rows[i as usize])).collect();
             }
         }
-        Ok(scan)
+        Ok(Some(scan))
     }
 
     fn run_wave(&mut self) -> DbResult<()> {
@@ -1003,7 +1010,19 @@ impl ColumnarScanOp<'_, '_> {
         }
         // Results are in segment order; the lowest failing segment wins.
         for r in results {
-            let scan = r?;
+            let Some(scan) = r? else {
+                // The store was demoted mid-scan. The heap is authoritative
+                // and produces the identical row sequence, so restart as a
+                // sequential scan and skip what already left this operator;
+                // buffered-but-unemitted rows are simply reproduced.
+                self.pending.clear();
+                self.skip = self.emitted;
+                let mut op =
+                    SeqScanOp::new(self.exec, self.table, self.filter, self.needed);
+                op.open()?;
+                self.state = ColumnarState::Fallback(op);
+                return Ok(());
+            };
             if let Some(st) = self.exec.stats {
                 if scan.pruned {
                     st.segments_pruned.fetch_add(1, Ordering::Relaxed);
@@ -1055,19 +1074,30 @@ impl BlockOperator for ColumnarScanOp<'_, '_> {
     }
 
     fn next_block(&mut self) -> DbResult<Option<RowBlock>> {
-        if let ColumnarState::Fallback(op) = &mut self.state {
-            return op.next_block();
-        }
         let block_rows = self.exec.limits.block_rows.max(1);
-        while matches!(self.state, ColumnarState::Scanning { .. })
-            && self.pending.len() < block_rows
-        {
-            self.run_wave()?;
+        loop {
+            if self.pending.len() >= block_rows {
+                break;
+            }
+            if matches!(self.state, ColumnarState::Scanning { .. }) {
+                self.run_wave()?;
+                continue;
+            }
+            let ColumnarState::Fallback(op) = &mut self.state else { break };
+            let Some(block) = op.next_block()? else { break };
+            for row in block.take_rows() {
+                if self.skip > 0 {
+                    self.skip -= 1;
+                } else {
+                    self.pending.push_back(row);
+                }
+            }
         }
         if self.pending.is_empty() {
             return Ok(None);
         }
         let n = self.pending.len().min(block_rows);
+        self.emitted += n as u64;
         let out: Vec<Row> = self.pending.drain(..n).collect();
         Ok(Some(RowBlock::from_rows(out)))
     }

@@ -30,6 +30,7 @@ use crate::datum::Datum;
 use crate::heap::RowId;
 use crate::kernels::{self, pack_get, pack_mask, pack_push, KernelStats, LANES};
 use std::cmp::Ordering;
+use std::collections::HashMap;
 
 /// Rowids covered by one segment. Chosen so a segment's working set fits
 /// comfortably in L2 while still amortizing per-segment overheads.
@@ -716,6 +717,31 @@ impl Segment {
 pub struct ColumnStore {
     column: String,
     segments: Vec<Segment>,
+    /// MVCC creation timestamps, per segment per slot (absent / 0 = visible
+    /// to every snapshot). Only Retain-mode inserts tag; eager writes leave
+    /// no trace, so serial workloads never allocate these.
+    tags: HashMap<u64, Vec<u64>>,
+    /// Deferred Retain-mode mutations: the store keeps showing the old
+    /// value/liveness to registered snapshots; vacuum applies an op once
+    /// the horizon passes its timestamp. While any op is pending, readers
+    /// at or past its timestamp (including the latest-committed view) fall
+    /// back to the heap — see [`ColumnStore::usable_for`].
+    pending: Vec<PendingOp>,
+    max_tag_ts: u64,
+    /// Readers older than this cannot use the store at all (it was rebuilt
+    /// from a heap scan that already includes younger versions).
+    floor: u64,
+}
+
+struct PendingOp {
+    ts: u64,
+    rowid: RowId,
+    op: PendingKind,
+}
+
+enum PendingKind {
+    Set(Datum),
+    Delete,
 }
 
 /// Observability summary of one column store (for storage_report).
@@ -731,7 +757,108 @@ pub struct ColumnarInfo {
 
 impl ColumnStore {
     pub fn new(column: &str) -> ColumnStore {
-        ColumnStore { column: column.to_string(), segments: Vec::new() }
+        ColumnStore {
+            column: column.to_string(),
+            segments: Vec::new(),
+            tags: HashMap::new(),
+            pending: Vec::new(),
+            max_tag_ts: 0,
+            floor: 0,
+        }
+    }
+
+    // ---- MVCC maintenance ----
+
+    /// Stamp the store's visibility floor after a rebuild: the heap scan
+    /// that produced it reflects commits up to (at least) `ts`, so older
+    /// snapshots must not read it.
+    pub fn set_floor(&mut self, ts: u64) {
+        self.floor = ts;
+    }
+
+    /// May a reader with this read timestamp use the store? False when the
+    /// store was rebuilt past the reader, or when a deferred mutation the
+    /// reader should observe has not been applied yet (the caller then
+    /// falls back to the heap scan path).
+    pub fn usable_for(&self, read_ts: u64) -> bool {
+        read_ts >= self.floor && self.pending.iter().all(|p| read_ts < p.ts)
+    }
+
+    /// Retain-mode insert: append and tag the slot with its creation
+    /// timestamp so older snapshots filter it out of kernel output.
+    pub fn append_tagged(&mut self, rowid: RowId, value: Datum, ts: u64) {
+        self.append(rowid, value);
+        let seg = rowid as usize / SEG_ROWS;
+        let slot = rowid as usize % SEG_ROWS;
+        let tags = self.tags.entry(seg as u64).or_default();
+        if tags.len() <= slot {
+            tags.resize(slot + 1, 0);
+        }
+        tags[slot] = ts;
+        self.max_tag_ts = self.max_tag_ts.max(ts);
+    }
+
+    /// Defer an update until the snapshot horizon passes `ts`.
+    pub fn pending_set(&mut self, rowid: RowId, value: Datum, ts: u64) {
+        self.pending.push(PendingOp { ts, rowid, op: PendingKind::Set(value) });
+    }
+
+    /// Defer a delete until the snapshot horizon passes `ts`.
+    pub fn pending_delete(&mut self, rowid: RowId, ts: u64) {
+        self.pending.push(PendingOp { ts, rowid, op: PendingKind::Delete });
+    }
+
+    /// Drop slot offsets whose creation timestamp is after the reader's
+    /// snapshot. Kernel emission is a superset filtered here, so sealed
+    /// segment payloads stay immutable under concurrent inserts.
+    pub fn filter_visible(&self, seg: u64, read_ts: u64, offs: &mut Vec<u32>) {
+        if read_ts >= self.max_tag_ts {
+            return;
+        }
+        let Some(tags) = self.tags.get(&seg) else {
+            return;
+        };
+        offs.retain(|&o| tags.get(o as usize).is_none_or(|&t| t <= read_ts));
+    }
+
+    /// Apply deferred mutations whose timestamp has passed the snapshot
+    /// horizon (`None` = no live snapshot, everything applies) and drop
+    /// tags nobody can still be below. Returns the ops applied.
+    pub fn vacuum(&mut self, horizon: Option<u64>) -> u64 {
+        let ready = |ts: u64| horizon.is_none_or(|h| ts <= h);
+        let mut applied = 0u64;
+        if self.pending.iter().any(|p| ready(p.ts)) {
+            let mut apply = Vec::new();
+            let mut keep = Vec::new();
+            for p in self.pending.drain(..) {
+                if ready(p.ts) {
+                    apply.push(p);
+                } else {
+                    keep.push(p);
+                }
+            }
+            self.pending = keep;
+            // Same-row ops must land in commit order.
+            apply.sort_by_key(|p| p.ts);
+            applied = apply.len() as u64;
+            for p in apply {
+                match p.op {
+                    PendingKind::Set(v) => self.set(p.rowid, v),
+                    PendingKind::Delete => self.delete(p.rowid),
+                }
+            }
+        }
+        if !self.tags.is_empty() && horizon.is_none_or(|h| h >= self.max_tag_ts) {
+            self.tags.clear();
+            self.max_tag_ts = 0;
+        }
+        applied
+    }
+
+    /// No pending mutations and no visibility tags — vacuum has nothing
+    /// to do here (the cheap pre-check before taking a write lock).
+    pub fn mvcc_clean(&self) -> bool {
+        self.pending.is_empty() && self.tags.is_empty()
     }
 
     pub fn column(&self) -> &str {

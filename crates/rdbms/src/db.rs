@@ -22,10 +22,12 @@ use crate::planner::{CatalogView, Planner, PlannerConfig, TableMeta};
 use crate::schema::TableSchema;
 use crate::stats::{ColumnCollector, TableStats};
 use crate::tuple;
+use crate::txn::{TxnManager, Vis, WriteMode, NO_END, TXN_BASE};
 use crate::wal::{self, Wal, WalConfig};
-use parking_lot::{Mutex, MutexGuard, RwLock};
-use std::collections::HashMap;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -54,6 +56,26 @@ struct Table {
     /// DML path alongside the indexes. The heap stays the source of truth;
     /// these are derived read-path accelerators.
     columnar: Vec<ColumnStore>,
+    /// Deferred reclamation from Retain-mode writes, each stamped with the
+    /// commit timestamp that superseded it. Vacuum drains items once every
+    /// snapshot older than their timestamp has been released. While any
+    /// garbage (or version chain) exists, index probes are distrusted and
+    /// readers fall back to visibility-checked scans.
+    garbage: Vec<GarbageItem>,
+}
+
+struct GarbageItem {
+    ts: u64,
+    g: Garbage,
+}
+
+enum Garbage {
+    /// Pop the oldest retained version off this row's chain.
+    Chain(RowId),
+    /// Physically free a retained (tombstoned) row.
+    Row(RowId),
+    /// Remove a superseded index entry.
+    IndexEntry { column: String, key: Datum, rowid: RowId },
 }
 
 /// Observability summary of one secondary index.
@@ -77,15 +99,49 @@ pub struct Database {
     exec_stats: ExecStats,
     /// Write-ahead log (file-backed databases with `SINEW_WAL` on).
     wal: Option<Arc<Wal>>,
-    /// Serializes mutating statements when the WAL is on, so each commit
-    /// record's captured page images belong to exactly one statement.
-    write_lock: Mutex<()>,
+    /// WAL write token: serializes mutating *commit units* when the WAL is
+    /// on, so each commit record's captured page images belong to exactly
+    /// one unit. Autocommit statements hold it for the statement; an open
+    /// transaction that has written holds it from its first write until
+    /// COMMIT/ROLLBACK (a plain scoped mutex cannot span statements, hence
+    /// an owner id + condvar). `None` = free.
+    wal_owner: Mutex<Option<u64>>,
+    wal_owner_cv: Condvar,
+    /// Distinct owner ids for statement-scoped token holders (transaction
+    /// holders use their marker, which is >= TXN_BASE and cannot collide).
+    stmt_ids: AtomicU64,
+    /// MVCC transaction manager: commit timestamps + snapshot registry.
+    manager: TxnManager,
+    /// Snapshot isolation on (`SINEW_MVCC`, default on). Off = the legacy
+    /// single-writer differential oracle: no snapshots, no version chains,
+    /// BEGIN/COMMIT/ROLLBACK rejected.
+    mvcc: bool,
 }
 
 impl Database {
-    /// Fully in-memory database (tests, small experiments).
+    /// Fully in-memory database (tests, small experiments). MVCC follows
+    /// `SINEW_MVCC` (default on).
     pub fn in_memory() -> Database {
         Database::with_pager(Pager::in_memory())
+    }
+
+    /// In-memory database with MVCC explicitly on/off, ignoring the
+    /// environment — the differential-oracle harnesses use this to pin
+    /// both sides of a comparison.
+    pub fn in_memory_mvcc(on: bool) -> Database {
+        let mut db = Database::with_pager(Pager::in_memory());
+        db.mvcc = on;
+        db
+    }
+
+    /// Is snapshot isolation active (vs the legacy single-writer oracle)?
+    pub fn mvcc_enabled(&self) -> bool {
+        self.mvcc
+    }
+
+    /// The transaction manager (tests / metrics overlays).
+    pub fn txn_manager(&self) -> &TxnManager {
+        &self.manager
     }
 
     /// File-backed database with an LRU buffer pool of `pool_pages` 8 KiB
@@ -152,6 +208,7 @@ impl Database {
     }
 
     fn with_pager(pager: Pager) -> Database {
+        let mvcc = std::env::var("SINEW_MVCC").map(|v| v != "0").unwrap_or(true);
         Database {
             pager: Arc::new(pager),
             tables: RwLock::new(HashMap::new()),
@@ -161,7 +218,11 @@ impl Database {
             limits: RwLock::new(ExecLimits::default()),
             exec_stats: ExecStats::default(),
             wal: None,
-            write_lock: Mutex::new(()),
+            wal_owner: Mutex::new(None),
+            wal_owner_cv: Condvar::new(),
+            stmt_ids: AtomicU64::new(1),
+            manager: TxnManager::new(),
+            mvcc,
         }
     }
 
@@ -218,30 +279,36 @@ impl Database {
                 RecTable { schema, index_defs, columnar_cols, heap_chunks: vec![heap_bytes] },
             );
         }
+        let mut max_commit_ts = 0u64;
         for commit in &contents.commits {
             let mut r = wal::Reader::new(&commit.meta);
             n_pages = r.u64()?;
-            match r.u8()? {
-                WAL_OP_TABLE => {
-                    let name = r.str()?.to_string();
-                    let (schema, index_defs, columnar_cols, heap_bytes) =
-                        read_table_meta(&mut r)?;
-                    let entry = tables.entry(name).or_insert_with(|| RecTable {
-                        schema: TableSchema::default(),
-                        index_defs: Vec::new(),
-                        columnar_cols: Vec::new(),
-                        heap_chunks: Vec::new(),
-                    });
-                    entry.schema = schema;
-                    entry.index_defs = index_defs;
-                    entry.columnar_cols = columnar_cols;
-                    entry.heap_chunks.push(heap_bytes);
+            // Commit timestamp (MVCC version horizon); a transaction's
+            // record carries one op per touched table, so ops loop.
+            max_commit_ts = max_commit_ts.max(r.u64()?);
+            while !r.is_empty() {
+                match r.u8()? {
+                    WAL_OP_TABLE => {
+                        let name = r.str()?.to_string();
+                        let (schema, index_defs, columnar_cols, heap_bytes) =
+                            read_table_meta(&mut r)?;
+                        let entry = tables.entry(name).or_insert_with(|| RecTable {
+                            schema: TableSchema::default(),
+                            index_defs: Vec::new(),
+                            columnar_cols: Vec::new(),
+                            heap_chunks: Vec::new(),
+                        });
+                        entry.schema = schema;
+                        entry.index_defs = index_defs;
+                        entry.columnar_cols = columnar_cols;
+                        entry.heap_chunks.push(heap_bytes);
+                    }
+                    WAL_OP_DROP => {
+                        let name = r.str()?.to_string();
+                        tables.remove(&name);
+                    }
+                    op => return Err(DbError::Io(format!("wal: unknown commit op {op}"))),
                 }
-                WAL_OP_DROP => {
-                    let name = r.str()?;
-                    tables.remove(name);
-                }
-                op => return Err(DbError::Io(format!("wal: unknown commit op {op}"))),
             }
         }
 
@@ -285,6 +352,10 @@ impl Database {
             for chunk in &rec.heap_chunks {
                 heap.wal_apply(&mut wal::Reader::new(chunk))?;
             }
+            // The log encodes only the committed view: every recovered row
+            // is committed, uncommitted versions are gone. Reset version
+            // state accordingly (all rows committed at timestamp 0).
+            heap.set_mvcc(db.mvcc);
             heap.set_wal_track(true);
             db.tables.write().insert(
                 name.clone(),
@@ -293,10 +364,14 @@ impl Database {
                     heap,
                     indexes: Vec::new(),
                     columnar: Vec::new(),
+                    garbage: Vec::new(),
                 })),
             );
             rebuilds.push((name, rec.index_defs, rec.columnar_cols));
         }
+        // Fast-forward the commit clock past every recovered timestamp so
+        // post-recovery commits stay monotone against the logged history.
+        db.manager.seed(max_commit_ts);
         for (name, index_defs, columnar_cols) in rebuilds {
             for (iname, column) in index_defs {
                 db.create_index(&name, &iname, &column, true)?;
@@ -327,12 +402,52 @@ impl Database {
 
     // ---- write-ahead log plumbing ----
 
+    /// Block until the WAL write token is free (or already ours), then
+    /// take it. Re-entrant per owner id.
+    fn token_acquire(&self, id: u64) {
+        let mut o = self.wal_owner.lock();
+        while o.is_some() && *o != Some(id) {
+            o = self.wal_owner_cv.wait(o);
+        }
+        *o = Some(id);
+    }
+
+    fn token_release(&self, id: u64) {
+        let mut o = self.wal_owner.lock();
+        debug_assert_eq!(*o, Some(id));
+        *o = None;
+        drop(o);
+        self.wal_owner_cv.notify_all();
+    }
+
     /// Statement-serialization guard: held across every mutating
     /// statement when the WAL is on, so the pager's uncommitted-image set
-    /// belongs to exactly one statement at its commit point. No-op
+    /// belongs to exactly one commit unit at its commit point. No-op
     /// (None) without a WAL — concurrency behaviour is then unchanged.
-    fn write_guard(&self) -> Option<MutexGuard<'_, ()>> {
-        self.wal.as_ref().map(|_| self.write_lock.lock())
+    fn write_guard(&self) -> Option<WalToken<'_>> {
+        self.wal.as_ref()?;
+        let id = self.stmt_ids.fetch_add(1, Relaxed);
+        self.token_acquire(id);
+        Some(WalToken { db: self, id })
+    }
+
+    /// A writing transaction takes the token at its *first* write and
+    /// keeps it until COMMIT/ROLLBACK (its page images must not leak into
+    /// another unit's commit record). Re-entrant across the transaction's
+    /// own statements.
+    fn txn_wal_enter(&self, txn: &mut Txn) {
+        if self.wal.is_some() && !txn.holds_wal_token {
+            self.token_acquire(txn.marker);
+            txn.holds_wal_token = true;
+        }
+    }
+
+    /// Allocate a commit timestamp for one autocommit statement (or DDL).
+    /// The returned guard publishes it on drop, even on error paths, so
+    /// later timestamps are never blocked from becoming visible.
+    fn begin_stmt_write(&self) -> (crate::txn::WriteTicket, TicketGuard<'_>) {
+        let tk = self.manager.start_write();
+        (tk, TicketGuard { mgr: &self.manager, ts: tk.ts })
     }
 
     fn wal_enabled(&self) -> bool {
@@ -343,30 +458,39 @@ impl Database {
     /// lock): drain the pager's uncommitted page images and the heap's
     /// directory delta, snapshot the table's schema/index/columnar
     /// definitions, and append it all to the log as one commit unit.
-    fn wal_commit_table(&self, name: &str, t: &mut Table) -> DbResult<()> {
+    fn wal_commit_table(&self, name: &str, t: &mut Table, ts: u64) -> DbResult<()> {
         let Some(w) = &self.wal else { return Ok(()) };
         let mut meta = Vec::new();
         wal::put_u64(&mut meta, self.pager.n_pages());
-        meta.push(WAL_OP_TABLE);
-        wal::put_str(&mut meta, name);
-        t.schema.wal_encode(&mut meta);
-        wal::put_u32(&mut meta, t.indexes.len() as u32);
-        for ix in &t.indexes {
-            wal::put_str(&mut meta, ix.name());
-            wal::put_str(&mut meta, ix.column());
-        }
-        wal::put_u32(&mut meta, t.columnar.len() as u32);
-        for cs in &t.columnar {
-            wal::put_str(&mut meta, cs.column());
-        }
-        let mut heap_bytes = Vec::new();
-        t.heap.wal_drain_delta(&mut heap_bytes);
-        wal::put_bytes(&mut meta, &heap_bytes);
+        wal::put_u64(&mut meta, ts);
+        Self::wal_table_op(&mut meta, name, t);
         let pages = self.pager.take_uncommitted_images();
         w.commit(&pages, &meta)?;
         // A statement bigger than the pool overflowed it (no-steal pins);
         // now that the images are logged, evict back down to capacity.
         self.pager.shrink_to_capacity()
+    }
+
+    /// Append one table's metadata op (schema, index/columnar defs, heap
+    /// directory delta) to a commit record body. A transaction's commit
+    /// appends one op per touched table into a *single* record, so a crash
+    /// can never surface half a transaction.
+    fn wal_table_op(meta: &mut Vec<u8>, name: &str, t: &mut Table) {
+        meta.push(WAL_OP_TABLE);
+        wal::put_str(meta, name);
+        t.schema.wal_encode(meta);
+        wal::put_u32(meta, t.indexes.len() as u32);
+        for ix in &t.indexes {
+            wal::put_str(meta, ix.name());
+            wal::put_str(meta, ix.column());
+        }
+        wal::put_u32(meta, t.columnar.len() as u32);
+        for cs in &t.columnar {
+            wal::put_str(meta, cs.column());
+        }
+        let mut heap_bytes = Vec::new();
+        t.heap.wal_drain_delta(&mut heap_bytes);
+        wal::put_bytes(meta, &heap_bytes);
     }
 
     /// Finish a mutating statement whose body may have errored mid-way.
@@ -383,21 +507,23 @@ impl Database {
         name: &str,
         t: &mut Table,
         res: DbResult<R>,
+        ts: u64,
     ) -> DbResult<R> {
         if res.is_err() && !self.pager.has_uncommitted() && !t.heap.wal_has_delta() {
             return res;
         }
-        match self.wal_commit_table(name, t) {
+        match self.wal_commit_table(name, t, ts) {
             Ok(()) => res,
             Err(commit_err) => res.and(Err(commit_err)),
         }
     }
 
     /// Commit a DROP TABLE statement.
-    fn wal_commit_drop(&self, name: &str) -> DbResult<()> {
+    fn wal_commit_drop(&self, name: &str, ts: u64) -> DbResult<()> {
         let Some(w) = &self.wal else { return Ok(()) };
         let mut meta = Vec::new();
         wal::put_u64(&mut meta, self.pager.n_pages());
+        wal::put_u64(&mut meta, ts);
         meta.push(WAL_OP_DROP);
         wal::put_str(&mut meta, name);
         let pages = self.pager.take_uncommitted_images();
@@ -501,6 +627,8 @@ impl Database {
     /// Scan-parallelism counters (morsels, workers, serial/parallel scans).
     pub fn exec_stats(&self) -> ExecSnapshot {
         let mut snap = self.exec_stats.snapshot();
+        snap.oldest_snapshot_age_ms = self.manager.oldest_snapshot_age_ms();
+        snap.live_snapshots = self.manager.live_snapshots();
         if let Some(w) = &self.wal {
             use std::sync::atomic::Ordering::Relaxed;
             snap.wal_appends = w.stats.appends.load(Relaxed);
@@ -569,18 +697,21 @@ impl Database {
                 }
             }
             let mut heap = Heap::new(self.pager.clone());
+            heap.set_mvcc(self.mvcc);
             heap.set_wal_track(self.wal_enabled());
             let arc = Arc::new(RwLock::new(Table {
                 schema: TableSchema::new(cols),
                 heap,
                 indexes: Vec::new(),
                 columnar: Vec::new(),
+                garbage: Vec::new(),
             }));
             tables.insert(name.to_string(), arc.clone());
             arc
         };
         if self.wal_enabled() {
-            self.wal_commit_table(name, &mut arc.write())?;
+            let (tk, _tg) = self.begin_stmt_write();
+            self.wal_commit_table(name, &mut arc.write(), tk.ts)?;
             self.wal_maybe_checkpoint()?;
         }
         Ok(())
@@ -594,7 +725,8 @@ impl Database {
             .map(|_| ())
             .ok_or_else(|| DbError::NotFound(format!("table {name}")))?;
         self.stats.write().remove(name);
-        self.wal_commit_drop(name)?;
+        let (tk, _tg) = self.begin_stmt_write();
+        self.wal_commit_drop(name, tk.ts)?;
         self.wal_maybe_checkpoint()?;
         Ok(())
     }
@@ -607,7 +739,8 @@ impl Database {
         {
             let mut t = t.write();
             t.schema.add_column(name, ty)?;
-            self.wal_commit_table(table, &mut t)?;
+            let (tk, _tg) = self.begin_stmt_write();
+            self.wal_commit_table(table, &mut t, tk.ts)?;
         }
         self.wal_maybe_checkpoint()
     }
@@ -622,7 +755,8 @@ impl Database {
             t.schema.drop_column(name)?;
             t.indexes.retain(|ix| ix.column() != name);
             t.columnar.retain(|cs| cs.column() != name);
-            self.wal_commit_table(table, &mut t)?;
+            let (tk, _tg) = self.begin_stmt_write();
+            self.wal_commit_table(table, &mut t, tk.ts)?;
         }
         self.wal_maybe_checkpoint()
     }
@@ -677,7 +811,8 @@ impl Database {
         t.indexes.push(index);
         // Index pages are unlogged (rebuilt on recovery); the commit
         // records the index *definition* so recovery knows to rebuild it.
-        self.wal_commit_table(table, &mut t)?;
+        let (tk, _tg) = self.begin_stmt_write();
+        self.wal_commit_table(table, &mut t, tk.ts)?;
         drop(t);
         self.wal_maybe_checkpoint()
     }
@@ -709,10 +844,17 @@ impl Database {
             store.append(rowid, std::mem::replace(&mut full[slot], Datum::Null));
             Ok(true)
         })?;
+        // The scan above reflects the latest-committed state, which may be
+        // younger than a registered snapshot: stamp a conservative floor so
+        // older readers fall back to the heap instead of seeing the future.
+        if self.mvcc {
+            store.set_floor(self.manager.current_floor());
+        }
         t.columnar.push(store);
         // Columnar stores live in memory (rebuilt on recovery); the
         // commit records which columns have one.
-        self.wal_commit_table(table, &mut t)?;
+        let (tk, _tg) = self.begin_stmt_write();
+        self.wal_commit_table(table, &mut t, tk.ts)?;
         drop(t);
         self.wal_maybe_checkpoint()
     }
@@ -727,7 +869,8 @@ impl Database {
         t.columnar.retain(|cs| cs.column() != column);
         let dropped = t.columnar.len() != before;
         if dropped {
-            self.wal_commit_table(table, &mut t)?;
+            let (tk, _tg) = self.begin_stmt_write();
+            self.wal_commit_table(table, &mut t, tk.ts)?;
             drop(t);
             self.wal_maybe_checkpoint()?;
         }
@@ -752,7 +895,8 @@ impl Database {
         if t.indexes.len() == before {
             return Err(DbError::NotFound(format!("index {name} on {table}")));
         }
-        self.wal_commit_table(table, &mut t)?;
+        let (tk, _tg) = self.begin_stmt_write();
+        self.wal_commit_table(table, &mut t, tk.ts)?;
         drop(t);
         self.wal_maybe_checkpoint()
     }
@@ -810,6 +954,8 @@ impl Database {
         let mut t = t.write();
         let live: Vec<usize> = t.schema.live_columns().map(|(i, _)| i).collect();
         let arity = t.schema.arity();
+        let (tk, _tg) = self.begin_stmt_write();
+        let retain = tk.mode == WriteMode::Retain;
         let mut count = 0;
         let res = (|| -> DbResult<()> {
             for row in rows {
@@ -826,13 +972,19 @@ impl Database {
                 }
                 let bytes = tuple::encode_tuple(&t.schema, &full)?;
                 let rowid = t.heap.insert(&bytes)?;
+                if retain {
+                    // Live snapshots must not see this row: stamp its birth.
+                    t.heap.mark_begin(rowid, tk.ts);
+                    columnar_append_tagged(&mut t, rowid, &full, tk.ts);
+                } else {
+                    columnar_append(&mut t, rowid, &full);
+                }
                 index_insert(&mut t, rowid, &full, &self.exec_stats)?;
-                columnar_append(&mut t, rowid, &full);
                 count += 1;
             }
             Ok(())
         })();
-        self.wal_finish_statement(table, &mut t, res)?;
+        self.wal_finish_statement(table, &mut t, res, tk.ts)?;
         drop(t);
         self.wal_maybe_checkpoint()?;
         Ok(count)
@@ -860,6 +1012,8 @@ impl Database {
                     .ok_or_else(|| DbError::NotFound(format!("column {c}")))
             })
             .collect::<DbResult<_>>()?;
+        let (tk, _tg) = self.begin_stmt_write();
+        let retain = tk.mode == WriteMode::Retain;
         let mut count = 0;
         let res = (|| -> DbResult<()> {
             for row in rows {
@@ -876,13 +1030,18 @@ impl Database {
                 }
                 let bytes = tuple::encode_tuple(&t.schema, &full)?;
                 let rowid = t.heap.insert(&bytes)?;
+                if retain {
+                    t.heap.mark_begin(rowid, tk.ts);
+                    columnar_append_tagged(&mut t, rowid, &full, tk.ts);
+                } else {
+                    columnar_append(&mut t, rowid, &full);
+                }
                 index_insert(&mut t, rowid, &full, &self.exec_stats)?;
-                columnar_append(&mut t, rowid, &full);
                 count += 1;
             }
             Ok(())
         })();
-        self.wal_finish_statement(table, &mut t, res)?;
+        self.wal_finish_statement(table, &mut t, res, tk.ts)?;
         drop(t);
         self.wal_maybe_checkpoint()?;
         Ok(count)
@@ -909,22 +1068,55 @@ impl Database {
         let t = self.table(table)?;
         {
             let mut t = t.write();
-            let res = self.update_row_locked(&mut t, rowid, table, assignments);
-            self.wal_finish_statement(table, &mut t, res)?;
+            let (tk, _tg) = self.begin_stmt_write();
+            let retain = (tk.mode == WriteMode::Retain).then_some(tk.ts);
+            let res = self.update_row_locked(&mut t, rowid, table, assignments, retain);
+            self.wal_finish_statement(table, &mut t, res, tk.ts)?;
         }
         self.wal_maybe_checkpoint()
     }
 
+    /// First-writer-wins conflict check for row `rowid` before a write by
+    /// `marker` (0 for an autocommit statement) reading at `read_ts`.
+    /// A row carrying another in-flight transaction's marker, or (for a
+    /// transaction) a committed version newer than its snapshot, conflicts.
+    fn check_conflict(
+        &self,
+        heap: &crate::heap::Heap,
+        rowid: RowId,
+        marker: u64,
+        read_ts: u64,
+    ) -> DbResult<()> {
+        let (b, e) = heap.version_meta(rowid);
+        let is_marker = |v: u64| v >= TXN_BASE && v != NO_END;
+        let foreign = (is_marker(b) && b != marker) || (is_marker(e) && e != marker);
+        let stale = marker != 0
+            && ((!is_marker(b) && b > read_ts)
+                || (!is_marker(e) && e != NO_END && e > read_ts));
+        if foreign || stale {
+            self.exec_stats.write_conflicts.fetch_add(1, Relaxed);
+            return Err(DbError::Conflict(format!("row {rowid} was modified concurrently")));
+        }
+        Ok(())
+    }
+
     /// The body of [`Database::update_row`], already holding the table
     /// write lock — shared with SQL UPDATE so a multi-row statement is
-    /// one WAL commit unit, not one per row.
+    /// one WAL commit unit, not one per row. With `retain: Some(ts)` a
+    /// live snapshot exists, so the old version is chained (visible until
+    /// `ts`) and old index keys / columnar slots are queued as timestamped
+    /// garbage instead of being destroyed in place.
     fn update_row_locked(
         &self,
         t: &mut Table,
         rowid: RowId,
         table: &str,
         assignments: &[(&str, Datum)],
+        retain: Option<u64>,
     ) -> DbResult<()> {
+        if retain.is_some() {
+            self.check_conflict(&t.heap, rowid, 0, 0)?;
+        }
         let Some(bytes) = t.heap.get(rowid)? else {
             return Err(DbError::NotFound(format!("row {rowid} in {table}")));
         };
@@ -943,7 +1135,14 @@ impl Database {
             full[idx] = coerce_for_column(value, t.schema.columns[idx].ty)?;
         }
         let new_bytes = tuple::encode_tuple(&t.schema, &full)?;
-        t.heap.update(rowid, &new_bytes)?;
+        if let Some(ts) = retain {
+            t.heap.update_versioned(rowid, &new_bytes, ts)?;
+            // Exactly one surviving chain entry was added for this row.
+            t.garbage.push(GarbageItem { ts, g: Garbage::Chain(rowid) });
+            self.exec_stats.versions_created.fetch_add(1, Relaxed);
+        } else {
+            t.heap.update(rowid, &new_bytes)?;
+        }
         let mut ops = 0u64;
         for (k, slot) in slots.into_iter().enumerate() {
             let (Some(slot), Some(old)) = (slot, &old_keys[k]) else { continue };
@@ -952,8 +1151,18 @@ impl Database {
                 continue;
             }
             if !old.is_null() {
-                t.indexes[k].remove(old, rowid)?;
-                ops += 1;
+                if let Some(ts) = retain {
+                    // Snapshot readers may still probe the old key; queue
+                    // its removal behind the vacuum horizon instead.
+                    let column = t.indexes[k].column().to_string();
+                    t.garbage.push(GarbageItem {
+                        ts,
+                        g: Garbage::IndexEntry { column, key: old.clone(), rowid },
+                    });
+                } else {
+                    t.indexes[k].remove(old, rowid)?;
+                    ops += 1;
+                }
             }
             if !new.is_null() {
                 t.indexes[k].insert(new, rowid)?;
@@ -981,10 +1190,110 @@ impl Database {
                 .collect();
             for (cs, slot) in t.columnar.iter_mut().zip(slots) {
                 let Some(slot) = slot else { continue };
-                cs.set(rowid, full[slot].clone());
+                if let Some(ts) = retain {
+                    cs.pending_set(rowid, full[slot].clone(), ts);
+                } else {
+                    cs.set(rowid, full[slot].clone());
+                }
             }
         }
         Ok(())
+    }
+
+    /// Transaction-private single-row update: version the row under the
+    /// transaction's marker and defer all index/columnar maintenance to
+    /// COMMIT. First-writer-wins: touching a row already written by a
+    /// concurrent transaction (or committed past our snapshot) errors.
+    fn txn_update_row_locked(
+        &self,
+        t: &mut Table,
+        txn: &mut Txn,
+        table: &str,
+        rowid: RowId,
+        assignments: &[(&str, Datum)],
+    ) -> DbResult<()> {
+        self.check_conflict(&t.heap, rowid, txn.marker, txn.read_ts)?;
+        let vis = Vis { read_ts: txn.read_ts, marker: txn.marker };
+        let Some(bytes) = t.heap.get_vis(rowid, vis)? else {
+            return Err(DbError::NotFound(format!("row {rowid} in {table}")));
+        };
+        let mut full = tuple::decode_tuple(&t.schema, &bytes)?;
+        for (name, value) in assignments {
+            let idx = t
+                .schema
+                .index_of(name)
+                .ok_or_else(|| DbError::NotFound(format!("column {name}")))?;
+            full[idx] = coerce_for_column(value, t.schema.columns[idx].ty)?;
+        }
+        let new_bytes = tuple::encode_tuple(&t.schema, &full)?;
+        t.heap.update_versioned(rowid, &new_bytes, txn.marker)?;
+        txn.log.push((table.to_string(), rowid, TxnOp::Upd));
+        txn.touch(table, rowid).updated = true;
+        self.exec_stats.versions_created.fetch_add(1, Relaxed);
+        Ok(())
+    }
+
+    /// Update one row inside an open transaction (the materializer's
+    /// data-movement primitive when it runs its steps transactionally).
+    pub fn txn_update_row(
+        &self,
+        txn: &mut Txn,
+        table: &str,
+        rowid: RowId,
+        assignments: &[(&str, Datum)],
+    ) -> DbResult<()> {
+        self.txn_wal_enter(txn);
+        let t = self.table(table)?;
+        let mut t = t.write();
+        self.txn_update_row_locked(&mut t, txn, table, rowid, assignments)
+    }
+
+    /// Read one row (live columns) as the transaction sees it — its own
+    /// uncommitted writes included.
+    pub fn txn_get_row(&self, txn: &Txn, table: &str, rowid: RowId) -> DbResult<Option<Row>> {
+        let t = self.table(table)?;
+        let t = t.read();
+        let vis = Vis { read_ts: txn.read_ts, marker: txn.marker };
+        let Some(bytes) = t.heap.get_vis(rowid, vis)? else { return Ok(None) };
+        let full = tuple::decode_tuple(&t.schema, &bytes)?;
+        Ok(Some(t.schema.live_columns().map(|(i, _)| full[i].clone()).collect()))
+    }
+
+    /// Insert rows inside an open transaction: rows land in the heap
+    /// stamped with the transaction's marker (invisible to everyone else)
+    /// and index/columnar placement waits for COMMIT.
+    pub fn txn_insert_rows(
+        &self,
+        txn: &mut Txn,
+        table: &str,
+        rows: &[Vec<Datum>],
+    ) -> DbResult<u64> {
+        self.txn_wal_enter(txn);
+        let t = self.table(table)?;
+        let mut t = t.write();
+        let live: Vec<usize> = t.schema.live_columns().map(|(i, _)| i).collect();
+        let arity = t.schema.arity();
+        let mut count = 0;
+        for row in rows {
+            if row.len() != live.len() {
+                return Err(DbError::Schema(format!(
+                    "expected {} values, got {}",
+                    live.len(),
+                    row.len()
+                )));
+            }
+            let mut full = vec![Datum::Null; arity];
+            for (value, &slot) in row.iter().zip(&live) {
+                full[slot] = coerce_for_column(value, t.schema.columns[slot].ty)?;
+            }
+            let bytes = tuple::encode_tuple(&t.schema, &full)?;
+            let rowid = t.heap.insert(&bytes)?;
+            t.heap.mark_begin(rowid, txn.marker);
+            txn.log.push((table.to_string(), rowid, TxnOp::Ins));
+            txn.touch(table, rowid).inserted = true;
+            count += 1;
+        }
+        Ok(count)
     }
 
     /// Stream all rows (live columns + trailing rowid). Used by ANALYZE,
@@ -1050,8 +1359,40 @@ impl Database {
 
     pub fn execute_statement(&self, stmt: &sinew_sql::Statement) -> DbResult<QueryResult> {
         use sinew_sql::Statement;
+        if matches!(stmt, Statement::Begin | Statement::Commit | Statement::Rollback) {
+            return Err(DbError::Eval(
+                "transactions require a session (Database::session)".into(),
+            ));
+        }
+        self.execute_statement_in(stmt, None)
+    }
+
+    /// Execute one statement, optionally inside an open transaction.
+    /// DDL cannot run transactionally (it commits immediately and is not
+    /// versioned — DESIGN.md §16 limitations).
+    fn execute_statement_in(
+        &self,
+        stmt: &sinew_sql::Statement,
+        txn: Option<&mut Txn>,
+    ) -> DbResult<QueryResult> {
+        use sinew_sql::Statement;
+        if txn.is_some()
+            && matches!(stmt, Statement::CreateTable(_) | Statement::CreateIndex(_))
+        {
+            return Err(DbError::Eval(
+                "DDL is not supported inside a transaction".into(),
+            ));
+        }
         match stmt {
-            Statement::Select(sel) => self.run_select(sel),
+            Statement::Begin | Statement::Commit | Statement::Rollback => Err(DbError::Eval(
+                "transaction control cannot nest inside a statement".into(),
+            )),
+            Statement::Select(sel) => match txn {
+                Some(x) => {
+                    self.run_select_vis(sel, Vis { read_ts: x.read_ts, marker: x.marker })
+                }
+                None => self.run_select(sel),
+            },
             Statement::CreateTable(ct) => {
                 let cols: Vec<(String, ColType)> =
                     ct.columns.iter().map(|(n, t)| (n.clone(), (*t).into())).collect();
@@ -1066,9 +1407,9 @@ impl Database {
                     other => other.map(|_| QueryResult::default()),
                 }
             }
-            Statement::Insert(ins) => self.run_insert(ins),
-            Statement::Update(upd) => self.run_update(upd),
-            Statement::Delete(del) => self.run_delete(del),
+            Statement::Insert(ins) => self.run_insert(ins, txn),
+            Statement::Update(upd) => self.run_update(upd, txn),
+            Statement::Delete(del) => self.run_delete(del, txn),
             Statement::Explain { analyze, inner } => match &**inner {
                 Statement::Select(sel) => {
                     self.exec_stats
@@ -1117,14 +1458,41 @@ impl Database {
     }
 
     fn run_select(&self, sel: &sinew_sql::Select) -> DbResult<QueryResult> {
+        if !self.mvcc {
+            let planned = self.plan(sel)?;
+            let limits = *self.limits.read();
+            let exec = Executor { source: self, limits, stats: Some(&self.exec_stats) };
+            let rows = exec.run(&planned.plan)?;
+            return Ok(QueryResult { columns: planned.columns, rows, affected: 0 });
+        }
+        // Register a snapshot so concurrent committers retain (rather
+        // than destroy) the versions this query is reading — readers
+        // never block writers and vice versa.
+        let read_ts = self.manager.begin_snapshot();
+        let res = self.run_select_vis(sel, Vis::snapshot(read_ts));
+        if self.manager.release_snapshot(read_ts) {
+            // We were the horizon; some retained garbage may be ripe.
+            let _ = self.vacuum();
+        }
+        res
+    }
+
+    /// Run a SELECT at a fixed visibility (a registered snapshot's, or an
+    /// open transaction's — the latter sees its own uncommitted writes).
+    fn run_select_vis(&self, sel: &sinew_sql::Select, vis: Vis) -> DbResult<QueryResult> {
         let planned = self.plan(sel)?;
         let limits = *self.limits.read();
-        let exec = Executor { source: self, limits, stats: Some(&self.exec_stats) };
+        let src = SnapSource { db: self, vis };
+        let exec = Executor { source: &src, limits, stats: Some(&self.exec_stats) };
         let rows = exec.run(&planned.plan)?;
         Ok(QueryResult { columns: planned.columns, rows, affected: 0 })
     }
 
-    fn run_insert(&self, ins: &sinew_sql::Insert) -> DbResult<QueryResult> {
+    fn run_insert(
+        &self,
+        ins: &sinew_sql::Insert,
+        txn: Option<&mut Txn>,
+    ) -> DbResult<QueryResult> {
         let schema = self.schema(&ins.table)?;
         let live: Vec<(usize, String, ColType)> = schema
             .live_columns()
@@ -1159,11 +1527,18 @@ impl Database {
             }
             rows.push(row);
         }
-        let n = self.insert_rows(&ins.table, &rows)?;
+        let n = match txn {
+            Some(x) => self.txn_insert_rows(x, &ins.table, &rows)?,
+            None => self.insert_rows(&ins.table, &rows)?,
+        };
         Ok(QueryResult { affected: n, ..Default::default() })
     }
 
-    fn run_update(&self, upd: &sinew_sql::Update) -> DbResult<QueryResult> {
+    fn run_update(
+        &self,
+        upd: &sinew_sql::Update,
+        txn: Option<&mut Txn>,
+    ) -> DbResult<QueryResult> {
         let planner =
             Planner::new(self, &self.funcs).with_config(self.planner_config.read().clone());
         let (plan, scope) = planner.plan_modify_scan(&upd.table, upd.filter.as_ref())?;
@@ -1172,10 +1547,17 @@ impl Database {
             .iter()
             .map(|(col, e)| Ok((col.clone(), bind(e, &scope, &self.funcs)?)))
             .collect::<DbResult<_>>()?;
-        // Phase 1: evaluate new values against matching rows.
+        // Phase 1: evaluate new values against matching rows. A
+        // transaction scans through its own visibility (it must see its
+        // earlier uncommitted writes); autocommit reads latest-committed.
         let limits = *self.limits.read();
-        let exec = Executor { source: self, limits, stats: Some(&self.exec_stats) };
-        let matched = exec.run(&plan)?;
+        let matched = match txn.as_deref() {
+            Some(x) => {
+                let src = SnapSource { db: self, vis: Vis { read_ts: x.read_ts, marker: x.marker } };
+                Executor { source: &src, limits, stats: Some(&self.exec_stats) }.run(&plan)?
+            }
+            None => Executor { source: self, limits, stats: Some(&self.exec_stats) }.run(&plan)?,
+        };
         let rowid_idx = scope.len() - 1;
         let mut updates: Vec<(RowId, Vec<(String, Datum)>)> = Vec::with_capacity(matched.len());
         for row in &matched {
@@ -1188,39 +1570,84 @@ impl Database {
             }
             updates.push((rowid as RowId, vals));
         }
-        // Phase 2: apply row-by-row (each row update is atomic); the
-        // whole statement is one WAL commit unit.
         let n = updates.len() as u64;
+        if let Some(x) = txn {
+            // Phase 2 (transactional): version rows under the marker.
+            self.txn_wal_enter(x);
+            let t = self.table(&upd.table)?;
+            let mut t = t.write();
+            for (rowid, vals) in updates {
+                let refs: Vec<(&str, Datum)> =
+                    vals.iter().map(|(c, d)| (c.as_str(), d.clone())).collect();
+                self.txn_update_row_locked(&mut t, x, &upd.table, rowid, &refs)?;
+            }
+            return Ok(QueryResult { affected: n, ..Default::default() });
+        }
+        // Phase 2 (autocommit): apply row-by-row; the whole statement is
+        // one WAL commit unit.
         let _g = self.write_guard();
         {
             let t = self.table(&upd.table)?;
             let mut t = t.write();
+            let (tk, _tg) = self.begin_stmt_write();
+            let retain = (tk.mode == WriteMode::Retain).then_some(tk.ts);
             let res = (|| -> DbResult<()> {
                 for (rowid, vals) in updates {
                     let refs: Vec<(&str, Datum)> =
                         vals.iter().map(|(c, d)| (c.as_str(), d.clone())).collect();
-                    self.update_row_locked(&mut t, rowid, &upd.table, &refs)?;
+                    self.update_row_locked(&mut t, rowid, &upd.table, &refs, retain)?;
                 }
                 Ok(())
             })();
-            self.wal_finish_statement(&upd.table, &mut t, res)?;
+            self.wal_finish_statement(&upd.table, &mut t, res, tk.ts)?;
         }
         self.wal_maybe_checkpoint()?;
         Ok(QueryResult { affected: n, ..Default::default() })
     }
 
-    fn run_delete(&self, del: &sinew_sql::Delete) -> DbResult<QueryResult> {
+    fn run_delete(
+        &self,
+        del: &sinew_sql::Delete,
+        txn: Option<&mut Txn>,
+    ) -> DbResult<QueryResult> {
         let planner =
             Planner::new(self, &self.funcs).with_config(self.planner_config.read().clone());
         let (plan, scope) = planner.plan_modify_scan(&del.table, del.filter.as_ref())?;
         let limits = *self.limits.read();
-        let exec = Executor { source: self, limits, stats: Some(&self.exec_stats) };
-        let matched = exec.run(&plan)?;
+        let matched = match txn.as_deref() {
+            Some(x) => {
+                let src = SnapSource { db: self, vis: Vis { read_ts: x.read_ts, marker: x.marker } };
+                Executor { source: &src, limits, stats: Some(&self.exec_stats) }.run(&plan)?
+            }
+            None => Executor { source: self, limits, stats: Some(&self.exec_stats) }.run(&plan)?,
+        };
         let rowid_idx = scope.len() - 1;
         let mut n = 0;
+        if let Some(x) = txn {
+            // Transactional: tombstone under the marker; index/columnar
+            // maintenance and reclamation wait for COMMIT.
+            self.txn_wal_enter(x);
+            let t = self.table(&del.table)?;
+            let mut t = t.write();
+            for row in &matched {
+                let Datum::Int(rowid) = row[rowid_idx] else {
+                    return Err(DbError::Eval("scan did not produce a rowid".into()));
+                };
+                let rowid = rowid as RowId;
+                self.check_conflict(&t.heap, rowid, x.marker, x.read_ts)?;
+                if t.heap.delete_mark(rowid, x.marker)? {
+                    n += 1;
+                    x.log.push((del.table.clone(), rowid, TxnOp::Del));
+                    x.touch(&del.table, rowid).deleted = true;
+                }
+            }
+            return Ok(QueryResult { affected: n, ..Default::default() });
+        }
         let _g = self.write_guard();
         let t = self.table(&del.table)?;
         let mut t = t.write();
+        let (tk, _tg) = self.begin_stmt_write();
+        let retain = tk.mode == WriteMode::Retain;
         // The matched rows are this table's live columns + rowid
         // (plan_modify_scan decodes everything), so the old key of each
         // index is right there at its live position.
@@ -1239,7 +1666,30 @@ impl Database {
                     return Err(DbError::Eval("scan did not produce a rowid".into()));
                 };
                 let rowid = rowid as RowId;
-                if t.heap.delete(rowid)? {
+                if retain {
+                    // Tombstone at ts; the slot, index keys, and columnar
+                    // entries stay readable for older snapshots and are
+                    // reclaimed by vacuum once the horizon passes ts.
+                    self.check_conflict(&t.heap, rowid, 0, 0)?;
+                    if t.heap.delete_mark(rowid, tk.ts)? {
+                        n += 1;
+                        for cs in &mut t.columnar {
+                            cs.pending_delete(rowid, tk.ts);
+                        }
+                        for (k, pos) in live_pos.iter().enumerate() {
+                            let Some(pos) = pos else { continue };
+                            let key = &row[*pos];
+                            if !key.is_null() {
+                                let column = t.indexes[k].column().to_string();
+                                t.garbage.push(GarbageItem {
+                                    ts: tk.ts,
+                                    g: Garbage::IndexEntry { column, key: key.clone(), rowid },
+                                });
+                            }
+                        }
+                        t.garbage.push(GarbageItem { ts: tk.ts, g: Garbage::Row(rowid) });
+                    }
+                } else if t.heap.delete(rowid)? {
                     n += 1;
                     for cs in &mut t.columnar {
                         cs.delete(rowid);
@@ -1260,10 +1710,531 @@ impl Database {
                 .index_maintenance_ops
                 .fetch_add(ops, std::sync::atomic::Ordering::Relaxed);
         }
-        self.wal_finish_statement(&del.table, &mut t, res)?;
+        self.wal_finish_statement(&del.table, &mut t, res, tk.ts)?;
         drop(t);
         self.wal_maybe_checkpoint()?;
         Ok(QueryResult { affected: n, ..Default::default() })
+    }
+
+    // ---- transactions ----
+
+    /// Open an explicit snapshot transaction. The returned handle must be
+    /// resolved with [`Database::commit_txn`] or [`Database::rollback_txn`]
+    /// (dropping it unresolved pins the vacuum horizon forever) — SQL
+    /// callers should go through [`Database::session`], which guarantees
+    /// resolution.
+    pub fn begin_txn(&self) -> DbResult<Txn> {
+        if !self.mvcc {
+            return Err(DbError::Eval(
+                "transactions require MVCC (set SINEW_MVCC=1)".into(),
+            ));
+        }
+        // A transaction's snapshot must include every commit that finished
+        // before BEGIN: updating through a stale frontier would trip
+        // first-writer-wins against writes the scan simply hadn't seen
+        // yet. Plain reads keep the non-blocking stale-frontier snapshot.
+        let read_ts = self.manager.begin_snapshot_fresh();
+        let marker = self.manager.marker();
+        self.exec_stats.txns_begun.fetch_add(1, Relaxed);
+        Ok(Txn {
+            marker,
+            read_ts,
+            log: Vec::new(),
+            rowmap: HashMap::new(),
+            holds_wal_token: false,
+        })
+    }
+
+    /// Commit: stamp every row the transaction touched with one commit
+    /// timestamp (making them all visible atomically), perform the
+    /// deferred index/columnar maintenance, and write the whole
+    /// transaction as a single WAL commit record.
+    pub fn commit_txn(&self, mut txn: Txn) -> DbResult<()> {
+        let rowmap = std::mem::take(&mut txn.rowmap);
+        if rowmap.is_empty() {
+            // Read-only (or never wrote): nothing to publish.
+            if txn.holds_wal_token {
+                self.token_release(txn.marker);
+            }
+            let advanced = self.manager.release_snapshot(txn.read_ts);
+            self.exec_stats.txns_committed.fetch_add(1, Relaxed);
+            if advanced {
+                let _ = self.vacuum();
+            }
+            return Ok(());
+        }
+        // Release our own snapshot BEFORE taking the commit timestamp: a
+        // transaction running with no other live snapshot then commits
+        // Eager and leaves zero retained garbage behind.
+        let advanced = self.manager.release_snapshot(txn.read_ts);
+        let tk = self.manager.start_write();
+        let ticket = TicketGuard { mgr: &self.manager, ts: tk.ts };
+        let retain = tk.mode == WriteMode::Retain;
+        let mut names: Vec<&String> = rowmap.keys().collect();
+        names.sort();
+        let mut reclaimed = 0u64;
+        let res = (|| -> DbResult<()> {
+            let mut ops = Vec::new();
+            for name in &names {
+                let Ok(handle) = self.table(name) else { continue };
+                let mut t = handle.write();
+                for (&rowid, st) in &rowmap[name.as_str()] {
+                    self.commit_row(&mut t, rowid, st, txn.marker, tk.ts, retain, &mut reclaimed)?;
+                }
+                if self.wal_enabled() {
+                    Self::wal_table_op(&mut ops, name, &mut t);
+                }
+            }
+            if let Some(w) = &self.wal {
+                // One record for the whole transaction: recovery either
+                // replays all of it or none of it.
+                let mut meta = Vec::new();
+                wal::put_u64(&mut meta, self.pager.n_pages());
+                wal::put_u64(&mut meta, tk.ts);
+                meta.extend_from_slice(&ops);
+                let pages = self.pager.take_uncommitted_images();
+                w.commit(&pages, &meta)?;
+                self.pager.shrink_to_capacity()?;
+            }
+            Ok(())
+        })();
+        drop(ticket); // publish the commit timestamp
+        if txn.holds_wal_token {
+            self.token_release(txn.marker);
+        }
+        if reclaimed > 0 {
+            self.exec_stats.versions_vacuumed.fetch_add(reclaimed, Relaxed);
+        }
+        self.exec_stats.txns_committed.fetch_add(1, Relaxed);
+        if let Some(w) = &self.wal {
+            if w.bytes() > w.config().checkpoint_bytes {
+                self.checkpoint()?;
+            }
+        }
+        let _ = advanced;
+        let _ = self.vacuum();
+        res
+    }
+
+    /// Publish one transaction-touched row at COMMIT: rewrite its marker
+    /// stamps to the commit timestamp and perform the index/columnar
+    /// maintenance that was deferred while the row was private.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_row(
+        &self,
+        t: &mut Table,
+        rowid: RowId,
+        st: &RowState,
+        marker: u64,
+        ts: u64,
+        retain: bool,
+        reclaimed: &mut u64,
+    ) -> DbResult<()> {
+        // Pre-transaction image (for old index keys) — must be taken
+        // before patch_commit rewrites the marker stamps.
+        let old_bytes =
+            if st.inserted { None } else { t.heap.pretxn_bytes(rowid, marker)? };
+        *reclaimed += t.heap.patch_commit(rowid, marker, ts)?;
+        if st.inserted {
+            if st.deleted {
+                // Born and died inside the transaction: the slot was
+                // never visible to anyone; reclaim it outright.
+                t.heap.physical_delete_retained(rowid)?;
+                return Ok(());
+            }
+            let Some(bytes) = t.heap.get(rowid)? else { return Ok(()) };
+            let full = tuple::decode_tuple(&t.schema, &bytes)?;
+            index_insert(t, rowid, &full, &self.exec_stats)?;
+            if retain {
+                columnar_append_tagged(t, rowid, &full, ts);
+            } else {
+                columnar_append(t, rowid, &full);
+            }
+            return Ok(());
+        }
+        if st.deleted {
+            if let Some(old) = &old_bytes {
+                let full = tuple::decode_tuple(&t.schema, old)?;
+                let slots = indexed_slots(t);
+                for (k, slot) in slots.into_iter().enumerate() {
+                    let Some(slot) = slot else { continue };
+                    let key = &full[slot];
+                    if key.is_null() {
+                        continue;
+                    }
+                    if retain {
+                        let column = t.indexes[k].column().to_string();
+                        t.garbage.push(GarbageItem {
+                            ts,
+                            g: Garbage::IndexEntry { column, key: key.clone(), rowid },
+                        });
+                    } else {
+                        t.indexes[k].remove(key, rowid)?;
+                    }
+                }
+            }
+            if retain {
+                for cs in &mut t.columnar {
+                    cs.pending_delete(rowid, ts);
+                }
+                t.garbage.push(GarbageItem { ts, g: Garbage::Row(rowid) });
+                if st.updated {
+                    // patch_commit left exactly one surviving chain entry
+                    // (the pre-transaction version, now ending at ts).
+                    t.garbage.push(GarbageItem { ts, g: Garbage::Chain(rowid) });
+                }
+            } else {
+                for cs in &mut t.columnar {
+                    cs.delete(rowid);
+                }
+                t.heap.physical_delete_retained(rowid)?;
+                while t.heap.vacuum_chain_tail(rowid)? {
+                    *reclaimed += 1;
+                }
+            }
+            return Ok(());
+        }
+        if st.updated {
+            let Some(new_bytes) = t.heap.get(rowid)? else { return Ok(()) };
+            let new_full = tuple::decode_tuple(&t.schema, &new_bytes)?;
+            let old_full = match &old_bytes {
+                Some(b) => Some(tuple::decode_tuple(&t.schema, b)?),
+                None => None,
+            };
+            let slots = indexed_slots(t);
+            let mut ops = 0u64;
+            for (k, slot) in slots.into_iter().enumerate() {
+                let Some(slot) = slot else { continue };
+                let new = &new_full[slot];
+                if let Some(old) = old_full.as_ref().map(|f| &f[slot]) {
+                    if old.total_cmp(new) == std::cmp::Ordering::Equal {
+                        continue;
+                    }
+                    if !old.is_null() {
+                        if retain {
+                            let column = t.indexes[k].column().to_string();
+                            t.garbage.push(GarbageItem {
+                                ts,
+                                g: Garbage::IndexEntry { column, key: old.clone(), rowid },
+                            });
+                        } else {
+                            t.indexes[k].remove(old, rowid)?;
+                            ops += 1;
+                        }
+                    }
+                }
+                if !new.is_null() {
+                    t.indexes[k].insert(new, rowid)?;
+                    ops += 1;
+                }
+            }
+            if ops > 0 {
+                self.exec_stats.index_maintenance_ops.fetch_add(ops, Relaxed);
+            }
+            // Columnar: we don't track which columns the transaction
+            // changed, so every store gets the final value.
+            let col_slots: Vec<Option<usize>> =
+                t.columnar.iter().map(|cs| t.schema.index_of(cs.column())).collect();
+            for (cs, slot) in t.columnar.iter_mut().zip(col_slots) {
+                let Some(slot) = slot else { continue };
+                if retain {
+                    cs.pending_set(rowid, new_full[slot].clone(), ts);
+                } else {
+                    cs.set(rowid, new_full[slot].clone());
+                }
+            }
+            if retain {
+                if old_bytes.is_some() {
+                    t.garbage.push(GarbageItem { ts, g: Garbage::Chain(rowid) });
+                }
+            } else {
+                while t.heap.vacuum_chain_tail(rowid)? {
+                    *reclaimed += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Roll back: undo the transaction's heap writes in reverse order and
+    /// discard its page images (they never reached the log, and after the
+    /// undos the pages again hold content reconstructible from history).
+    pub fn rollback_txn(&self, mut txn: Txn) -> DbResult<()> {
+        let log = std::mem::take(&mut txn.log);
+        let res = (|| -> DbResult<()> {
+            for (name, rowid, op) in log.into_iter().rev() {
+                let Ok(handle) = self.table(&name) else { continue };
+                let mut t = handle.write();
+                match op {
+                    TxnOp::Ins => t.heap.undo_insert(rowid)?,
+                    TxnOp::Upd => t.heap.undo_update(rowid)?,
+                    TxnOp::Del => t.heap.undo_delete(rowid)?,
+                }
+            }
+            Ok(())
+        })();
+        if txn.holds_wal_token {
+            let _ = self.pager.take_uncommitted_images();
+            self.pager.shrink_to_capacity()?;
+            self.token_release(txn.marker);
+        }
+        let advanced = self.manager.release_snapshot(txn.read_ts);
+        self.exec_stats.txns_aborted.fetch_add(1, Relaxed);
+        if advanced {
+            let _ = self.vacuum();
+        }
+        res
+    }
+
+    /// Reclaim retained versions, tombstoned rows, stale index keys, and
+    /// columnar pendings whose timestamps have passed behind the oldest
+    /// live snapshot. Best-effort: if a writer holds the WAL token the
+    /// pass is skipped (garbage stays queued for the next opportunity).
+    pub fn vacuum(&self) -> DbResult<u64> {
+        if !self.mvcc {
+            return Ok(0);
+        }
+        let Ok(_g) = self.try_write_guard() else { return Ok(0) };
+        // Reclaim only behind BOTH the oldest live snapshot and the
+        // published frontier: garbage stamped with a committed-but-not-yet
+        // -published timestamp is still needed, because the next snapshot
+        // will register below it.
+        let floor = self
+            .manager
+            .horizon()
+            .unwrap_or(u64::MAX)
+            .min(self.manager.last_visible());
+        let ready = |ts: u64| ts <= floor;
+        let mut reclaimed = 0u64;
+        for name in self.table_names() {
+            let Ok(handle) = self.table(&name) else { continue };
+            {
+                let t = handle.read();
+                if t.garbage.is_empty() && t.columnar.iter().all(|cs| cs.mvcc_clean()) {
+                    continue;
+                }
+            }
+            // Don't stall behind long scans holding the read lock; the
+            // garbage keeps.
+            let Some(mut t) = handle.try_write() else { continue };
+            let items = std::mem::take(&mut t.garbage);
+            let mut keep = Vec::with_capacity(items.len());
+            let mut touched = false;
+            for item in items {
+                if !ready(item.ts) {
+                    keep.push(item);
+                    continue;
+                }
+                touched = true;
+                match item.g {
+                    Garbage::Chain(rowid) => {
+                        if t.heap.vacuum_chain_tail(rowid)? {
+                            reclaimed += 1;
+                        }
+                    }
+                    Garbage::Row(rowid) => {
+                        if t.heap.physical_delete_retained(rowid)? {
+                            reclaimed += 1;
+                        }
+                    }
+                    Garbage::IndexEntry { column, key, rowid } => {
+                        if let Some(k) =
+                            t.indexes.iter().position(|ix| ix.column() == column)
+                        {
+                            t.indexes[k].remove(&key, rowid)?;
+                        }
+                    }
+                }
+            }
+            t.garbage = keep;
+            for cs in &mut t.columnar {
+                if cs.vacuum(Some(floor)) > 0 {
+                    touched = true;
+                }
+            }
+            if touched && self.wal_enabled() {
+                let ts = self.manager.last_visible();
+                self.wal_finish_statement(&name, &mut t, Ok(()), ts)?;
+            }
+        }
+        if reclaimed > 0 {
+            self.exec_stats.versions_vacuumed.fetch_add(reclaimed, Relaxed);
+        }
+        Ok(reclaimed)
+    }
+
+    /// Non-blocking [`Database::write_guard`]: `Err` means another writer
+    /// holds the WAL token right now.
+    fn try_write_guard(&self) -> Result<Option<WalToken<'_>>, ()> {
+        if self.wal.is_none() {
+            return Ok(None);
+        }
+        let id = self.stmt_ids.fetch_add(1, Relaxed);
+        let mut o = self.wal_owner.lock();
+        if o.is_some() {
+            return Err(());
+        }
+        *o = Some(id);
+        drop(o);
+        Ok(Some(WalToken { db: self, id }))
+    }
+
+    /// Open a SQL session: the unit that owns an (optional) open
+    /// transaction. `BEGIN`/`COMMIT`/`ROLLBACK` only work here.
+    pub fn session(&self) -> Session<'_> {
+        Session { db: self, txn: None, aborted: false }
+    }
+
+    /// Snapshot-frontier introspection: `(published, handed_out)` write
+    /// timestamps. A growing gap means a write ticket is stuck in flight.
+    pub fn txn_frontier(&self) -> (u64, u64) {
+        (self.manager.last_visible(), self.manager.current_floor())
+    }
+}
+
+/// RAII holder of the WAL serialization token (see
+/// [`Database::write_guard`]).
+struct WalToken<'a> {
+    db: &'a Database,
+    id: u64,
+}
+
+impl Drop for WalToken<'_> {
+    fn drop(&mut self) {
+        self.db.token_release(self.id);
+    }
+}
+
+/// Publishes a statement's commit timestamp on drop — even on error
+/// paths, so later timestamps are never blocked from becoming visible.
+struct TicketGuard<'a> {
+    mgr: &'a TxnManager,
+    ts: u64,
+}
+
+impl Drop for TicketGuard<'_> {
+    fn drop(&mut self) {
+        self.mgr.finish_write(self.ts);
+    }
+}
+
+/// Which operations a transaction performed on one row, accumulated
+/// across its statements; drives the deferred maintenance at COMMIT.
+#[derive(Default, Clone, Copy)]
+struct RowState {
+    inserted: bool,
+    updated: bool,
+    deleted: bool,
+}
+
+/// One undoable heap write, for ROLLBACK (applied in reverse order).
+enum TxnOp {
+    Ins,
+    Upd,
+    Del,
+}
+
+/// An open snapshot transaction. Reads see the database as of `read_ts`
+/// plus this transaction's own writes (stamped with `marker`); writes
+/// stay invisible to everyone else until COMMIT.
+pub struct Txn {
+    marker: u64,
+    read_ts: u64,
+    log: Vec<(String, RowId, TxnOp)>,
+    rowmap: HashMap<String, BTreeMap<RowId, RowState>>,
+    holds_wal_token: bool,
+}
+
+impl Txn {
+    fn touch(&mut self, table: &str, rowid: RowId) -> &mut RowState {
+        self.rowmap.entry(table.to_string()).or_default().entry(rowid).or_default()
+    }
+}
+
+/// A connection-like wrapper owning at most one open transaction.
+/// Dropping the session rolls back anything still open. A serialization
+/// conflict auto-rolls-back (first-writer-wins leaves the loser nothing
+/// to salvage) and leaves the session in an aborted state: further
+/// statements fail until COMMIT (which reports the abort) or ROLLBACK
+/// ends the transaction block — a statement after a mid-transaction
+/// conflict must NOT silently run as autocommit.
+pub struct Session<'a> {
+    db: &'a Database,
+    txn: Option<Txn>,
+    aborted: bool,
+}
+
+impl Session<'_> {
+    pub fn execute(&mut self, sql: &str) -> DbResult<QueryResult> {
+        let stmt = sinew_sql::parse_statement(sql).map_err(|e| DbError::Parse(e.to_string()))?;
+        self.execute_statement(&stmt)
+    }
+
+    pub fn execute_statement(&mut self, stmt: &sinew_sql::Statement) -> DbResult<QueryResult> {
+        use sinew_sql::Statement;
+        match stmt {
+            Statement::Begin => {
+                if self.txn.is_some() || self.aborted {
+                    return Err(DbError::Eval("already in a transaction".into()));
+                }
+                self.txn = Some(self.db.begin_txn()?);
+                Ok(QueryResult::default())
+            }
+            Statement::Commit => {
+                if self.aborted {
+                    self.aborted = false;
+                    return Err(DbError::Conflict(
+                        "transaction was aborted by a serialization conflict; \
+                         its writes were rolled back"
+                            .into(),
+                    ));
+                }
+                match self.txn.take() {
+                    Some(txn) => self.db.commit_txn(txn).map(|_| QueryResult::default()),
+                    None => Err(DbError::Eval("no transaction in progress".into())),
+                }
+            }
+            Statement::Rollback => {
+                if self.aborted {
+                    self.aborted = false;
+                    return Ok(QueryResult::default());
+                }
+                match self.txn.take() {
+                    Some(txn) => self.db.rollback_txn(txn).map(|_| QueryResult::default()),
+                    None => Err(DbError::Eval("no transaction in progress".into())),
+                }
+            }
+            other => {
+                if self.aborted {
+                    return Err(DbError::Eval(
+                        "current transaction is aborted, commands ignored \
+                         until end of transaction block"
+                            .into(),
+                    ));
+                }
+                let res = self.db.execute_statement_in(other, self.txn.as_mut());
+                if matches!(res, Err(DbError::Conflict(_))) {
+                    if let Some(txn) = self.txn.take() {
+                        let _ = self.db.rollback_txn(txn);
+                        self.aborted = true;
+                    }
+                }
+                res
+            }
+        }
+    }
+
+    /// Whether a transaction is currently open.
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        if let Some(txn) = self.txn.take() {
+            let _ = self.db.rollback_txn(txn);
+        }
     }
 }
 
@@ -1319,6 +2290,20 @@ fn columnar_append(t: &mut Table, rowid: RowId, full: &[Datum]) {
     }
 }
 
+/// Like [`columnar_append`], but tags the row with its birth timestamp so
+/// snapshots older than `ts` skip it ([`ColumnStore::filter_visible`]).
+fn columnar_append_tagged(t: &mut Table, rowid: RowId, full: &[Datum], ts: u64) {
+    if t.columnar.is_empty() {
+        return;
+    }
+    let slots: Vec<Option<usize>> =
+        t.columnar.iter().map(|cs| t.schema.index_of(cs.column())).collect();
+    for (cs, slot) in t.columnar.iter_mut().zip(slots) {
+        let value = slot.map(|i| full[i].clone()).unwrap_or(Datum::Null);
+        cs.append_tagged(rowid, value, ts);
+    }
+}
+
 /// Coerce a datum for storage into a column of the given type; only safe,
 /// lossless-ish coercions are applied implicitly (ints into float columns);
 /// everything else must match or be NULL.
@@ -1364,26 +2349,23 @@ impl CatalogView for Database {
     }
 }
 
-impl TableSource for Database {
-    fn scan_table(
-        &self,
-        table: &str,
-        needed: Option<&[String]>,
-        f: &mut dyn FnMut(Row) -> DbResult<bool>,
-    ) -> DbResult<()> {
-        self.scan_table_range(table, needed, 0, u64::MAX, f)
-    }
+/// A table source pinned to one visibility: a registered snapshot's, or an
+/// open transaction's (which additionally sees its own marker-stamped
+/// writes). `Database` itself implements [`TableSource`] at latest-committed
+/// visibility; this wrapper is how SELECTs become non-blocking readers.
+pub(crate) struct SnapSource<'a> {
+    pub(crate) db: &'a Database,
+    pub(crate) vis: Vis,
+}
 
-    fn high_water(&self, table: &str) -> DbResult<Option<u64>> {
-        Ok(Some(Database::high_water(self, table)?))
-    }
-
-    fn scan_table_range(
+impl Database {
+    fn scan_table_range_vis(
         &self,
         table: &str,
         needed: Option<&[String]>,
         start: u64,
         end: u64,
+        vis: Vis,
         f: &mut dyn FnMut(Row) -> DbResult<bool>,
     ) -> DbResult<()> {
         let t = self.table(table)?;
@@ -1403,7 +2385,7 @@ impl TableSource for Database {
             }
         };
         let mut fetched = 0u64;
-        let res = t.heap.scan_range(start, end, |rowid, bytes| {
+        let res = t.heap.scan_range_vis(start, end, vis, |rowid, bytes| {
             fetched += 1;
             let mut full = tuple::decode_tuple_partial(&t.schema, &bytes, &wanted)?;
             let mut row: Row = Vec::with_capacity(live.len() + 1);
@@ -1421,7 +2403,8 @@ impl TableSource for Database {
         res
     }
 
-    fn index_lookup(
+    #[allow(clippy::too_many_arguments)]
+    fn index_lookup_vis(
         &self,
         table: &str,
         column: &str,
@@ -1430,20 +2413,29 @@ impl TableSource for Database {
         hi: Option<&Datum>,
         hi_inc: bool,
         cap: Option<u64>,
+        vis: Vis,
     ) -> DbResult<Option<Vec<u64>>> {
         let t = self.table(table)?;
         let t = t.read();
+        // Indexes cover only latest-committed rows and may still carry
+        // queued-for-vacuum keys. Any version activity (or garbage) makes
+        // them untrustworthy for this reader: fall back to the seq scan,
+        // which resolves visibility per row.
+        if !t.heap.vis_quiet(vis) || !t.garbage.is_empty() {
+            return Ok(None);
+        }
         let Some(ix) = t.indexes.iter().find(|ix| ix.column() == column) else {
             return Ok(None);
         };
         ix.lookup_range(lo, lo_inc, hi, hi_inc, cap.map(|c| c as usize)).map(Some)
     }
 
-    fn fetch_rows(
+    fn fetch_rows_vis(
         &self,
         table: &str,
         needed: Option<&[String]>,
         rowids: &[u64],
+        vis: Vis,
         f: &mut dyn FnMut(Row) -> DbResult<bool>,
     ) -> DbResult<()> {
         let t = self.table(table)?;
@@ -1463,7 +2455,7 @@ impl TableSource for Database {
         };
         let mut fetched = 0u64;
         for &rowid in rowids {
-            let Some(bytes) = t.heap.get(rowid)? else { continue };
+            let Some(bytes) = t.heap.get_vis(rowid, vis)? else { continue };
             fetched += 1;
             let mut full = tuple::decode_tuple_partial(&t.schema, &bytes, &wanted)?;
             let mut row: Row = Vec::with_capacity(live.len() + 1);
@@ -1483,15 +2475,30 @@ impl TableSource for Database {
         Ok(())
     }
 
-    fn columnar_meta(
+    /// Column stores hold latest-committed data plus insert tags and a
+    /// rebuild floor. A reader older than the floor, or newer than a
+    /// not-yet-applied pending op, cannot use them; neither can a
+    /// transaction whose own heap writes are absent from the store.
+    fn columnar_usable(&self, t: &Table, vis: Vis) -> bool {
+        if self.mvcc && vis.marker != 0 && t.heap.needs_vis() {
+            return false;
+        }
+        t.columnar.iter().all(|cs| cs.usable_for(vis.read_ts))
+    }
+
+    fn columnar_meta_vis(
         &self,
         table: &str,
         needed: Option<&[String]>,
         bound_column: Option<&str>,
+        vis: Vis,
     ) -> DbResult<Option<ColumnarMeta>> {
         let t = self.table(table)?;
         let t = t.read();
         if t.columnar.is_empty() {
+            return Ok(None);
+        }
+        if !self.columnar_usable(&t, vis) {
             return Ok(None);
         }
         // Wildcard scans can't be reconstructed from column stores.
@@ -1514,7 +2521,7 @@ impl TableSource for Database {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn columnar_scan_segment(
+    fn columnar_scan_segment_vis(
         &self,
         table: &str,
         needed: Option<&[String]>,
@@ -1524,9 +2531,13 @@ impl TableSource for Database {
         hi: Option<&Datum>,
         hi_inc: bool,
         segment: usize,
+        vis: Vis,
     ) -> DbResult<Option<SegScan>> {
         let t = self.table(table)?;
         let t = t.read();
+        if !self.columnar_usable(&t, vis) {
+            return Ok(None);
+        }
         let Some(names) = needed else { return Ok(None) };
         let seg = segment as u64;
         // Per live column, the store to gather from (needed columns only).
@@ -1582,6 +2593,9 @@ impl TableSource for Database {
             }
             _ => any_store.live_slots(seg, &mut offsets),
         }
+        // Drop rows born after this reader's snapshot (tags are mirrored
+        // across a table's stores, so any one store can filter).
+        any_store.filter_visible(seg, vis.read_ts, &mut offsets);
         if offsets.is_empty() {
             return Ok(Some(scan));
         }
@@ -1609,7 +2623,8 @@ impl TableSource for Database {
         Ok(Some(scan))
     }
 
-    fn index_only_probe(
+    #[allow(clippy::too_many_arguments)]
+    fn index_only_probe_vis(
         &self,
         table: &str,
         column: &str,
@@ -1618,6 +2633,7 @@ impl TableSource for Database {
         hi: Option<&Datum>,
         hi_inc: bool,
         cap: Option<u64>,
+        vis: Vis,
     ) -> DbResult<Option<IndexOnlyProbe>> {
         // An unbounded probe would miss NULL-key rows (never indexed);
         // the planner only emits bounded probes, but stay defensive.
@@ -1626,6 +2642,11 @@ impl TableSource for Database {
         }
         let t = self.table(table)?;
         let t = t.read();
+        // Same trust rule as index_lookup_vis: any version activity or
+        // queued index garbage disqualifies an index-only answer.
+        if !t.heap.vis_quiet(vis) || !t.garbage.is_empty() {
+            return Ok(None);
+        }
         let Some(ix) = t.indexes.iter().find(|ix| ix.column() == column) else {
             return Ok(None);
         };
@@ -1638,5 +2659,197 @@ impl TableSource for Database {
             return Ok(None);
         };
         Ok(Some(IndexOnlyProbe { entries, n_live_cols: live.len(), key_slot }))
+    }
+}
+
+impl TableSource for Database {
+    fn scan_table(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        f: &mut dyn FnMut(Row) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        self.scan_table_range_vis(table, needed, 0, u64::MAX, Vis::LATEST, f)
+    }
+
+    fn high_water(&self, table: &str) -> DbResult<Option<u64>> {
+        Ok(Some(Database::high_water(self, table)?))
+    }
+
+    fn scan_table_range(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        start: u64,
+        end: u64,
+        f: &mut dyn FnMut(Row) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        self.scan_table_range_vis(table, needed, start, end, Vis::LATEST, f)
+    }
+
+    fn index_lookup(
+        &self,
+        table: &str,
+        column: &str,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+        cap: Option<u64>,
+    ) -> DbResult<Option<Vec<u64>>> {
+        self.index_lookup_vis(table, column, lo, lo_inc, hi, hi_inc, cap, Vis::LATEST)
+    }
+
+    fn fetch_rows(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        rowids: &[u64],
+        f: &mut dyn FnMut(Row) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        self.fetch_rows_vis(table, needed, rowids, Vis::LATEST, f)
+    }
+
+    fn columnar_meta(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        bound_column: Option<&str>,
+    ) -> DbResult<Option<ColumnarMeta>> {
+        self.columnar_meta_vis(table, needed, bound_column, Vis::LATEST)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn columnar_scan_segment(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        bound_column: Option<&str>,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+        segment: usize,
+    ) -> DbResult<Option<SegScan>> {
+        self.columnar_scan_segment_vis(
+            table,
+            needed,
+            bound_column,
+            lo,
+            lo_inc,
+            hi,
+            hi_inc,
+            segment,
+            Vis::LATEST,
+        )
+    }
+
+    fn index_only_probe(
+        &self,
+        table: &str,
+        column: &str,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+        cap: Option<u64>,
+    ) -> DbResult<Option<IndexOnlyProbe>> {
+        self.index_only_probe_vis(table, column, lo, lo_inc, hi, hi_inc, cap, Vis::LATEST)
+    }
+}
+
+impl TableSource for SnapSource<'_> {
+    fn scan_table(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        f: &mut dyn FnMut(Row) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        self.db.scan_table_range_vis(table, needed, 0, u64::MAX, self.vis, f)
+    }
+
+    fn high_water(&self, table: &str) -> DbResult<Option<u64>> {
+        Ok(Some(Database::high_water(self.db, table)?))
+    }
+
+    fn scan_table_range(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        start: u64,
+        end: u64,
+        f: &mut dyn FnMut(Row) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        self.db.scan_table_range_vis(table, needed, start, end, self.vis, f)
+    }
+
+    fn index_lookup(
+        &self,
+        table: &str,
+        column: &str,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+        cap: Option<u64>,
+    ) -> DbResult<Option<Vec<u64>>> {
+        self.db.index_lookup_vis(table, column, lo, lo_inc, hi, hi_inc, cap, self.vis)
+    }
+
+    fn fetch_rows(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        rowids: &[u64],
+        f: &mut dyn FnMut(Row) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        self.db.fetch_rows_vis(table, needed, rowids, self.vis, f)
+    }
+
+    fn columnar_meta(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        bound_column: Option<&str>,
+    ) -> DbResult<Option<ColumnarMeta>> {
+        self.db.columnar_meta_vis(table, needed, bound_column, self.vis)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn columnar_scan_segment(
+        &self,
+        table: &str,
+        needed: Option<&[String]>,
+        bound_column: Option<&str>,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+        segment: usize,
+    ) -> DbResult<Option<SegScan>> {
+        self.db.columnar_scan_segment_vis(
+            table,
+            needed,
+            bound_column,
+            lo,
+            lo_inc,
+            hi,
+            hi_inc,
+            segment,
+            self.vis,
+        )
+    }
+
+    fn index_only_probe(
+        &self,
+        table: &str,
+        column: &str,
+        lo: Option<&Datum>,
+        lo_inc: bool,
+        hi: Option<&Datum>,
+        hi_inc: bool,
+        cap: Option<u64>,
+    ) -> DbResult<Option<IndexOnlyProbe>> {
+        self.db.index_only_probe_vis(table, column, lo, lo_inc, hi, hi_inc, cap, self.vis)
     }
 }

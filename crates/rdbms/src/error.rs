@@ -25,6 +25,9 @@ pub enum DbError {
     /// Resource exhaustion (e.g. simulated disk-space limits for the EAV
     /// baseline's runaway self-joins, paper §6.4/6.5).
     ResourceExhausted(String),
+    /// First-writer-wins write-write conflict under MVCC: the statement's
+    /// transaction must roll back and retry (DESIGN.md §16).
+    Conflict(String),
 }
 
 impl fmt::Display for DbError {
@@ -39,6 +42,7 @@ impl fmt::Display for DbError {
             }
             DbError::Io(m) => write!(f, "io error: {m}"),
             DbError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            DbError::Conflict(m) => write!(f, "serialization conflict: {m}"),
         }
     }
 }

@@ -336,6 +336,18 @@ pub struct ExecStats {
     pub parallel_sorts: AtomicU64,
     /// EXPLAIN / EXPLAIN ANALYZE statements executed.
     pub explain_runs: AtomicU64,
+    /// Explicit transactions opened with BEGIN (DESIGN.md §16).
+    pub txns_begun: AtomicU64,
+    /// Explicit transactions that reached COMMIT successfully.
+    pub txns_committed: AtomicU64,
+    /// Explicit transactions rolled back (user ROLLBACK or conflict abort).
+    pub txns_aborted: AtomicU64,
+    /// First-writer-wins write-write conflicts detected.
+    pub write_conflicts: AtomicU64,
+    /// Superseded row versions retained for concurrent snapshots.
+    pub versions_created: AtomicU64,
+    /// Retained versions / garbage items reclaimed by vacuum.
+    pub versions_vacuumed: AtomicU64,
 }
 
 impl ExecStats {
@@ -423,6 +435,14 @@ impl ExecStats {
             agg_partition_merges: self.agg_partition_merges.load(Ordering::Relaxed),
             parallel_sorts: self.parallel_sorts.load(Ordering::Relaxed),
             explain_runs: self.explain_runs.load(Ordering::Relaxed),
+            txns_begun: self.txns_begun.load(Ordering::Relaxed),
+            txns_committed: self.txns_committed.load(Ordering::Relaxed),
+            txns_aborted: self.txns_aborted.load(Ordering::Relaxed),
+            write_conflicts: self.write_conflicts.load(Ordering::Relaxed),
+            versions_created: self.versions_created.load(Ordering::Relaxed),
+            versions_vacuumed: self.versions_vacuumed.load(Ordering::Relaxed),
+            oldest_snapshot_age_ms: 0,
+            live_snapshots: 0,
             wal_appends: 0,
             wal_commits: 0,
             wal_fsyncs: 0,
@@ -470,6 +490,18 @@ pub struct ExecSnapshot {
     pub agg_partition_merges: u64,
     pub parallel_sorts: u64,
     pub explain_runs: u64,
+    /// MVCC transaction counters (DESIGN.md §16).
+    pub txns_begun: u64,
+    pub txns_committed: u64,
+    pub txns_aborted: u64,
+    pub write_conflicts: u64,
+    pub versions_created: u64,
+    pub versions_vacuumed: u64,
+    /// Age of the oldest registered read snapshot (vacuum lag), overlaid
+    /// by `Database::exec_stats` from the transaction manager.
+    pub oldest_snapshot_age_ms: u64,
+    /// Read snapshots currently registered, overlaid like the age.
+    pub live_snapshots: u64,
     /// WAL counters, overlaid by `Database::exec_stats` from the log's
     /// own stats (zero when no WAL is attached).
     pub wal_appends: u64,
@@ -644,21 +676,29 @@ impl<'a> Executor<'a> {
                 let mut out = Vec::new();
                 let mut ctx = EvalCtx::new();
                 for seg in 0..meta.n_segments {
-                    let scan = self
-                        .source
-                        .columnar_scan_segment(
-                            table,
-                            needed.as_deref(),
-                            column.as_deref(),
-                            lo.as_ref(),
-                            *lo_inc,
-                            hi.as_ref(),
-                            *hi_inc,
-                            seg,
-                        )?
-                        .ok_or_else(|| {
-                            DbError::Eval("column store vanished mid-scan".into())
-                        })?;
+                    let scan = self.source.columnar_scan_segment(
+                        table,
+                        needed.as_deref(),
+                        column.as_deref(),
+                        lo.as_ref(),
+                        *lo_inc,
+                        hi.as_ref(),
+                        *hi_inc,
+                        seg,
+                    )?;
+                    let Some(scan) = scan else {
+                        // Demoted mid-scan: nothing has escaped this
+                        // operator, so rerun as the equivalent sequential
+                        // scan (the heap is authoritative).
+                        let fallback = Plan::SeqScan {
+                            table: table.clone(),
+                            binding: binding.clone(),
+                            filter: filter.clone(),
+                            needed: needed.clone(),
+                            est_rows: *est_rows,
+                        };
+                        return self.run_materialize(&fallback);
+                    };
                     if let Some(st) = self.stats {
                         if scan.pruned {
                             st.segments_pruned.fetch_add(1, Ordering::Relaxed);

@@ -13,7 +13,9 @@
 use crate::error::{DbError, DbResult};
 use crate::page::{self, MAX_INLINE_TUPLE, PAGE_SIZE};
 use crate::pager::{PageId, Pager};
+use crate::txn::{Vis, NO_END, TXN_BASE};
 use crate::wal;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 pub type RowId = u64;
@@ -24,10 +26,35 @@ enum Loc {
     Jumbo { pages: Vec<PageId>, len: u32 },
 }
 
+/// A superseded row version retained for snapshot readers: its payload
+/// stays at `loc` until vacuum reclaims it.
+#[derive(Debug)]
+struct OldVersion {
+    begin: u64,
+    end: u64,
+    loc: Loc,
+}
+
 /// One table's tuple storage.
 pub struct Heap {
     pager: Arc<Pager>,
     rows: Vec<Option<Loc>>,
+    /// MVCC version headers, parallel to `rows` (empty when MVCC is off):
+    /// `(begin_ts, end_ts)` of the *newest* version of each row.
+    vmeta: Vec<(u64, u64)>,
+    /// Superseded versions per row id, newest-first. Only Retain-mode and
+    /// in-transaction writes chain; eager writes stay destructive.
+    chains: HashMap<RowId, Vec<OldVersion>>,
+    mvcc: bool,
+    /// Row ids whose newest header carries an uncommitted marker.
+    n_marker: u64,
+    /// Row ids with a committed delete retained for old snapshots
+    /// (physical reclamation pending vacuum).
+    n_ended: u64,
+    /// Highest committed begin timestamp ever stamped: scans with
+    /// `read_ts >= max_begin` and no chains/markers/retained deletes can
+    /// skip all per-row visibility checks (the serial fast path).
+    max_begin: u64,
     /// Data pages in allocation order (jumbo pages excluded).
     pages: Vec<PageId>,
     live_rows: u64,
@@ -55,6 +82,12 @@ impl Heap {
         Heap {
             pager,
             rows: Vec::new(),
+            vmeta: Vec::new(),
+            chains: HashMap::new(),
+            mvcc: false,
+            n_marker: 0,
+            n_ended: 0,
+            max_begin: 0,
             pages: Vec::new(),
             live_rows: 0,
             jumbo_pages: 0,
@@ -122,6 +155,11 @@ impl Heap {
         let loc = self.place(bytes)?;
         let rowid = self.rows.len() as RowId;
         self.rows.push(Some(loc));
+        if self.mvcc {
+            // Born at timestamp 0 (visible to everyone) until the writer
+            // stamps it; eager writes never stamp — see `mark_begin`.
+            self.vmeta.push((0, NO_END));
+        }
         self.live_rows += 1;
         if self.wal_track {
             self.wal_touched.push(rowid);
@@ -187,10 +225,22 @@ impl Heap {
     }
 
     pub fn get(&self, rowid: RowId) -> DbResult<Option<Vec<u8>>> {
-        let Some(Some(loc)) = self.rows.get(rowid as usize) else {
-            return Ok(None);
-        };
-        Ok(Some(self.fetch(loc)?))
+        self.get_vis(rowid, Vis::LATEST)
+    }
+
+    /// Fetch the version of `rowid` visible to `vis` (resolving through the
+    /// chain when the newest version is too young or marker-stamped).
+    pub fn get_vis(&self, rowid: RowId, vis: Vis) -> DbResult<Option<Vec<u8>>> {
+        if self.fast_path_ok(vis) {
+            let Some(Some(loc)) = self.rows.get(rowid as usize) else {
+                return Ok(None);
+            };
+            return Ok(Some(self.fetch(loc)?));
+        }
+        match self.resolve_vis(rowid as usize, vis) {
+            Some(loc) => Ok(Some(self.fetch(loc)?)),
+            None => Ok(None),
+        }
     }
 
     fn fetch(&self, loc: &Loc) -> DbResult<Vec<u8>> {
@@ -287,19 +337,346 @@ impl Heap {
         &self,
         start: RowId,
         end: RowId,
+        f: impl FnMut(RowId, Vec<u8>) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        self.scan_range_vis(start, end, Vis::LATEST, f)
+    }
+
+    /// Visibility-filtered range scan. With no versions outstanding this is
+    /// the zero-overhead legacy loop; otherwise each row resolves against
+    /// `vis` through its version chain.
+    pub fn scan_range_vis(
+        &self,
+        start: RowId,
+        end: RowId,
+        vis: Vis,
         mut f: impl FnMut(RowId, Vec<u8>) -> DbResult<bool>,
     ) -> DbResult<()> {
         let lo = (start as usize).min(self.rows.len());
         let hi = (end as usize).min(self.rows.len());
-        for (off, loc) in self.rows[lo..hi].iter().enumerate() {
-            if let Some(loc) = loc {
+        if self.fast_path_ok(vis) {
+            for (off, loc) in self.rows[lo..hi].iter().enumerate() {
+                if let Some(loc) = loc {
+                    let bytes = self.fetch(loc)?;
+                    if !f((lo + off) as RowId, bytes)? {
+                        break;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        for rowid in lo..hi {
+            if let Some(loc) = self.resolve_vis(rowid, vis) {
                 let bytes = self.fetch(loc)?;
-                if !f((lo + off) as RowId, bytes)? {
+                if !f(rowid as RowId, bytes)? {
                     break;
                 }
             }
         }
         Ok(())
+    }
+
+    // ---- MVCC version management ----
+    //
+    // Version headers live in `vmeta` (parallel to `rows`); superseded
+    // versions chain in `chains`, newest-first. Eager-mode writes bypass
+    // all of this (they mutate via the legacy `update`/`delete` above,
+    // which is correct because the TxnManager guarantees no snapshot
+    // coexists with an eager statement). Only Retain-mode statements and
+    // explicit transactions stamp timestamps and chain versions.
+
+    /// Enable/disable version tracking. Resets all version state: callers
+    /// do this at open/recovery time, never with versions outstanding.
+    pub fn set_mvcc(&mut self, on: bool) {
+        self.mvcc = on;
+        self.reset_versions();
+    }
+
+    /// Drop all version state, treating every present row as committed at
+    /// timestamp 0 (recovery replays only committed images).
+    pub fn reset_versions(&mut self) {
+        self.vmeta = if self.mvcc { vec![(0, NO_END); self.rows.len()] } else { Vec::new() };
+        self.chains.clear();
+        self.n_marker = 0;
+        self.n_ended = 0;
+        self.max_begin = 0;
+    }
+
+    /// Any state a plain latest-committed scan cannot ignore?
+    pub fn needs_vis(&self) -> bool {
+        self.mvcc && (!self.chains.is_empty() || self.n_marker > 0 || self.n_ended > 0)
+    }
+
+    /// Can `vis` scan the raw row directory without per-row checks?
+    /// Requires no chains/markers/retained deletes *and* a read timestamp
+    /// past every stamped begin (a younger snapshot must not see rows
+    /// committed after it registered).
+    #[inline]
+    fn fast_path_ok(&self, vis: Vis) -> bool {
+        !self.needs_vis() && vis.read_ts >= self.max_begin
+    }
+
+    /// `(begin, end)` of the newest version of `rowid`.
+    pub fn version_meta(&self, rowid: RowId) -> (u64, u64) {
+        self.vmeta.get(rowid as usize).copied().unwrap_or((0, NO_END))
+    }
+
+    /// Is the heap entirely version-quiet from `vis`'s point of view — no
+    /// chains, markers, or retained deletes, and nothing committed past its
+    /// read timestamp? Index probes are only trusted in this state; any
+    /// version activity sends readers back to visibility-checked scans.
+    pub fn vis_quiet(&self, vis: Vis) -> bool {
+        self.fast_path_ok(vis)
+    }
+
+    /// Retained (superseded) versions currently chained under `rowid`.
+    pub fn chain_len(&self, rowid: RowId) -> usize {
+        self.chains.get(&rowid).map_or(0, |c| c.len())
+    }
+
+    /// Walk newest-version header then the chain for the version `vis` sees.
+    fn resolve_vis(&self, rowid: usize, vis: Vis) -> Option<&Loc> {
+        let loc = self.rows.get(rowid)?.as_ref()?;
+        let (begin, end) = self.vmeta.get(rowid).copied().unwrap_or((0, NO_END));
+        if vis.sees_begin(begin) {
+            if vis.sees_end(end) {
+                return None;
+            }
+            return Some(loc);
+        }
+        for v in self.chains.get(&(rowid as RowId))? {
+            if vis.sees(v.begin, v.end) {
+                return Some(&v.loc);
+            }
+        }
+        None
+    }
+
+    fn is_marker(ts: u64) -> bool {
+        ts >= TXN_BASE && ts != NO_END
+    }
+
+    fn meta_flags(m: (u64, u64)) -> (bool, bool) {
+        let marker = Self::is_marker(m.0) || Self::is_marker(m.1);
+        let ended = m.1 != NO_END && !Self::is_marker(m.1);
+        (marker, ended)
+    }
+
+    /// All vmeta mutations funnel here so the marker/ended counters and
+    /// `max_begin` stay exact.
+    fn set_meta(&mut self, rowid: usize, new: (u64, u64)) {
+        let old = self.vmeta[rowid];
+        let (om, oe) = Self::meta_flags(old);
+        let (nm, ne) = Self::meta_flags(new);
+        if om != nm {
+            if nm { self.n_marker += 1 } else { self.n_marker -= 1 }
+        }
+        if oe != ne {
+            if ne { self.n_ended += 1 } else { self.n_ended -= 1 }
+        }
+        if !Self::is_marker(new.0) && new.0 > self.max_begin {
+            self.max_begin = new.0;
+        }
+        self.vmeta[rowid] = new;
+    }
+
+    /// Stamp a freshly inserted row's begin timestamp (real commit ts for
+    /// Retain statements, marker for transactions). Eager inserts skip
+    /// this: begin 0 is already correct for every future snapshot.
+    pub fn mark_begin(&mut self, rowid: RowId, ts: u64) {
+        self.set_meta(rowid as usize, (ts, NO_END));
+    }
+
+    /// Install a new version at a fresh location, chaining the old one for
+    /// snapshot readers. The row id is stable; the superseded bytes stay
+    /// until vacuum.
+    pub fn update_versioned(&mut self, rowid: RowId, bytes: &[u8], ts: u64) -> DbResult<()> {
+        let Some(Some(old_loc)) = self.rows.get(rowid as usize).cloned() else {
+            return Err(DbError::NotFound(format!("row {rowid}")));
+        };
+        let (old_begin, _) = self.vmeta[rowid as usize];
+        let new_loc = self.place(bytes)?;
+        self.chains
+            .entry(rowid)
+            .or_default()
+            .insert(0, OldVersion { begin: old_begin, end: ts, loc: old_loc });
+        self.rows[rowid as usize] = Some(new_loc);
+        self.set_meta(rowid as usize, (ts, NO_END));
+        if self.wal_track {
+            self.wal_touched.push(rowid);
+        }
+        Ok(())
+    }
+
+    /// Logical delete: stamp the end timestamp, keep the bytes for older
+    /// snapshots. Physical reclamation happens at vacuum.
+    pub fn delete_mark(&mut self, rowid: RowId, ts: u64) -> DbResult<bool> {
+        let Some(Some(_)) = self.rows.get(rowid as usize) else {
+            return Ok(false);
+        };
+        let (begin, end) = self.vmeta[rowid as usize];
+        if end != NO_END {
+            // Already dead (a racing delete won); don't double-count.
+            return Ok(false);
+        }
+        self.set_meta(rowid as usize, (begin, ts));
+        self.live_rows -= 1;
+        if self.wal_track {
+            self.wal_touched.push(rowid);
+        }
+        Ok(true)
+    }
+
+    /// Rollback of an in-transaction insert: the row never existed.
+    pub fn undo_insert(&mut self, rowid: RowId) -> DbResult<()> {
+        if let Some(loc) = self.rows.get_mut(rowid as usize).and_then(Option::take) {
+            self.release(&loc)?;
+            self.live_rows -= 1;
+            self.set_meta(rowid as usize, (0, NO_END));
+            if self.wal_track {
+                self.wal_touched.push(rowid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Rollback of an in-transaction update: pop the newest chained
+    /// version back into place and free the uncommitted one.
+    pub fn undo_update(&mut self, rowid: RowId) -> DbResult<()> {
+        let old = {
+            let chain = self
+                .chains
+                .get_mut(&rowid)
+                .ok_or_else(|| DbError::Io(format!("undo: row {rowid} has no chain")))?;
+            let old = chain.remove(0);
+            if chain.is_empty() {
+                self.chains.remove(&rowid);
+            }
+            old
+        };
+        if let Some(cur) = self.rows.get_mut(rowid as usize).and_then(Option::take) {
+            self.release(&cur)?;
+        }
+        self.rows[rowid as usize] = Some(old.loc);
+        self.set_meta(rowid as usize, (old.begin, NO_END));
+        if self.wal_track {
+            self.wal_touched.push(rowid);
+        }
+        Ok(())
+    }
+
+    /// Rollback of an in-transaction delete: clear the end marker.
+    pub fn undo_delete(&mut self, rowid: RowId) -> DbResult<()> {
+        let (begin, _) = self.vmeta[rowid as usize];
+        self.set_meta(rowid as usize, (begin, NO_END));
+        self.live_rows += 1;
+        if self.wal_track {
+            self.wal_touched.push(rowid);
+        }
+        Ok(())
+    }
+
+    /// COMMIT: rewrite this row's marker timestamps to the real commit
+    /// timestamp, in the newest header and throughout the chain. Versions
+    /// both born and dead inside the transaction (begin == end == marker)
+    /// were never visible to anyone and are freed immediately; returns how
+    /// many were.
+    pub fn patch_commit(&mut self, rowid: RowId, marker: u64, commit_ts: u64) -> DbResult<u64> {
+        let (b, e) = self.vmeta[rowid as usize];
+        let nb = if b == marker { commit_ts } else { b };
+        let ne = if e == marker { commit_ts } else { e };
+        self.set_meta(rowid as usize, (nb, ne));
+        let mut freed = 0u64;
+        if let Some(mut chain) = self.chains.remove(&rowid) {
+            let mut kept = Vec::with_capacity(chain.len());
+            for mut v in chain.drain(..) {
+                if v.begin == marker && v.end == marker {
+                    self.release(&v.loc)?;
+                    freed += 1;
+                    continue;
+                }
+                if v.begin == marker {
+                    v.begin = commit_ts;
+                }
+                if v.end == marker {
+                    v.end = commit_ts;
+                }
+                kept.push(v);
+            }
+            if !kept.is_empty() {
+                self.chains.insert(rowid, kept);
+            }
+        }
+        Ok(freed)
+    }
+
+    /// Bytes of the committed version this transaction superseded (the
+    /// deepest chain entry it ended), or the current bytes when the
+    /// transaction only delete-marked the row. Callers use this at COMMIT
+    /// to compute old index keys; never called for self-inserted rows.
+    pub fn pretxn_bytes(&self, rowid: RowId, marker: u64) -> DbResult<Option<Vec<u8>>> {
+        if let Some(chain) = self.chains.get(&rowid) {
+            let mut pre: Option<&OldVersion> = None;
+            for v in chain {
+                // Entries this transaction chained form a newest-first
+                // prefix, each with end == marker.
+                if v.end != marker {
+                    break;
+                }
+                pre = Some(v);
+            }
+            if let Some(v) = pre {
+                return self.fetch(&v.loc).map(Some);
+            }
+        }
+        let Some(Some(loc)) = self.rows.get(rowid as usize) else {
+            return Ok(None);
+        };
+        self.fetch(loc).map(Some)
+    }
+
+    /// Vacuum: physically remove a row whose committed delete has passed
+    /// the snapshot horizon (`live_rows` was already decremented at
+    /// delete-mark time). Also used at COMMIT to cancel a row the
+    /// transaction both inserted and deleted.
+    pub fn physical_delete_retained(&mut self, rowid: RowId) -> DbResult<bool> {
+        let Some(loc) = self.rows.get_mut(rowid as usize).and_then(Option::take) else {
+            return Ok(false);
+        };
+        self.release(&loc)?;
+        self.set_meta(rowid as usize, (0, NO_END));
+        if self.wal_track {
+            self.wal_touched.push(rowid);
+        }
+        Ok(true)
+    }
+
+    /// Vacuum: free the oldest retained version of `rowid` (chains are
+    /// newest-first, so the tail).
+    pub fn vacuum_chain_tail(&mut self, rowid: RowId) -> DbResult<bool> {
+        let Some(chain) = self.chains.get_mut(&rowid) else {
+            return Ok(false);
+        };
+        let Some(old) = chain.pop() else {
+            return Ok(false);
+        };
+        if chain.is_empty() {
+            self.chains.remove(&rowid);
+        }
+        self.release(&old.loc)?;
+        Ok(true)
+    }
+
+    /// Is the newest version of `rowid` visible in the latest-committed
+    /// view? (False for marker-stamped rows and retained deletes.) WAL
+    /// records encode only this committed view: recovery must not
+    /// resurrect retained-deleted rows or uncommitted versions.
+    fn committed_visible(&self, rowid: usize) -> bool {
+        if !self.mvcc {
+            return true;
+        }
+        let (b, e) = self.vmeta.get(rowid).copied().unwrap_or((0, NO_END));
+        !Self::is_marker(b) && (e == NO_END || Self::is_marker(e))
     }
 
     // ---- WAL metadata codecs ----
@@ -317,8 +694,9 @@ impl Heap {
     pub fn wal_encode_full(&self, out: &mut Vec<u8>) {
         out.push(Self::WAL_FULL);
         wal::put_u64(out, self.rows.len() as u64);
-        for loc in &self.rows {
-            put_loc(out, loc.as_ref());
+        for (rowid, loc) in self.rows.iter().enumerate() {
+            let committed = if self.committed_visible(rowid) { loc.as_ref() } else { None };
+            put_loc(out, committed);
         }
         wal::put_u32(out, self.pages.len() as u32);
         for &p in &self.pages {
@@ -345,7 +723,12 @@ impl Heap {
         wal::put_u32(out, touched.len() as u32);
         for rowid in touched {
             wal::put_u64(out, rowid);
-            put_loc(out, self.rows.get(rowid as usize).and_then(|l| l.as_ref()));
+            let loc = if self.committed_visible(rowid as usize) {
+                self.rows.get(rowid as usize).and_then(|l| l.as_ref())
+            } else {
+                None
+            };
+            put_loc(out, loc);
         }
         let new_pages = std::mem::take(&mut self.wal_new_pages);
         wal::put_u32(out, new_pages.len() as u32);

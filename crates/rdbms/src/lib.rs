@@ -49,12 +49,13 @@ pub mod schema;
 pub mod selectivity;
 pub mod stats;
 pub mod tuple;
+pub mod txn;
 pub mod wal;
 
 pub use btree::SecondaryIndex;
 pub use columnar::{ColumnStore, ColumnarInfo};
 pub use datum::{ColType, Datum};
-pub use db::{Database, QueryResult};
+pub use db::{Database, QueryResult, Session, Txn};
 pub use error::{DbError, DbResult};
 pub use block::{BlockOperator, RowBlock};
 pub use exec::{ExecLimits, ExecMode, ExecSnapshot, EXEC_HIST_BUCKETS};
@@ -63,4 +64,5 @@ pub use heap::RowId;
 pub use kernels::KernelStats;
 pub use planner::PlannerConfig;
 pub use selectivity::Defaults;
+pub use txn::{TxnManager, Vis, WriteMode, NO_END, READ_LATEST, TXN_BASE};
 pub use wal::{Wal, WalConfig};

@@ -73,6 +73,11 @@ pub struct PlannerConfig {
     /// analyzer: gives `extract_key(data, k) = const` predicates a real
     /// equality selectivity instead of the opaque-UDF default.
     pub key_ndistinct: HashMap<String, f64>,
+    /// Partial join orders kept per round when ordering joins wider than
+    /// the 10-relation DP horizon. Width 1 degenerates to the purely
+    /// greedy fallback; wider beams trade `O(width · n²)` planning work
+    /// for routing around locally-attractive joins that explode later.
+    pub join_beam_width: usize,
 }
 
 impl Default for PlannerConfig {
@@ -81,6 +86,7 @@ impl Default for PlannerConfig {
             work_mem: 4 * 1024 * 1024,
             defaults: Defaults::default(),
             key_ndistinct: HashMap::new(),
+            join_beam_width: 8,
         }
     }
 }
@@ -89,6 +95,10 @@ impl Default for PlannerConfig {
 pub struct PlannedQuery {
     pub plan: Plan,
     pub columns: Vec<String>,
+    /// Estimated cost of the join-order root this plan was built on
+    /// (0 for single-relation and constant queries) — lets tests and
+    /// tooling compare orderings without re-deriving costs from EXPLAIN.
+    pub cost: f64,
 }
 
 pub struct Planner<'a> {
@@ -273,7 +283,7 @@ impl<'a> Planner<'a> {
             let pred = bind(f, &scope, self.funcs)?;
             plan = Plan::Filter { input: Box::new(plan), predicate: pred, est_rows: 1.0 };
         }
-        Ok(PlannedQuery { plan, columns: names })
+        Ok(PlannedQuery { plan, columns: names, cost: 0.0 })
     }
 
     /// Simplified path for LEFT JOIN queries: FROM order is kept, hash
@@ -708,8 +718,9 @@ impl<'a> Planner<'a> {
     }
 
     /// Join ordering over left-deep trees: exhaustive dynamic programming
-    /// up to 10 relations, bounded greedy beyond (the DP is O(2^n · n),
-    /// and pre-PR 9 anything wider simply errored out).
+    /// up to 10 relations, bounded beam search beyond (the DP is
+    /// O(2^n · n), and pre-PR 9 anything wider simply errored out);
+    /// `join_beam_width: 1` selects the purely greedy fallback.
     fn order_joins(
         &self,
         base: Vec<Candidate>,
@@ -720,7 +731,11 @@ impl<'a> Planner<'a> {
             return Ok(base.into_iter().next().unwrap());
         }
         if n > 10 {
-            return self.order_joins_greedy(base, multi);
+            return if self.config.join_beam_width <= 1 {
+                self.order_joins_greedy(base, multi)
+            } else {
+                self.order_joins_beam(base, multi)
+            };
         }
         let full: u32 = (1 << n) - 1;
         let mut best: HashMap<u32, Candidate> = HashMap::new();
@@ -817,6 +832,76 @@ impl<'a> Planner<'a> {
             current = cand;
         }
         Ok(current)
+    }
+
+    /// Bounded beam search over left-deep trees for wide joins (> 10
+    /// relations): the greedy fallback generalized to carry the
+    /// `join_beam_width` cheapest partial orders per round instead of one,
+    /// so a join that looks cheap now but explodes the intermediate later
+    /// can be routed around. Extensions that make a join conjunct
+    /// evaluable are preferred per partial order (cross joins only when
+    /// nothing connects), matching the greedy policy. O(width · n²)
+    /// `make_join` calls.
+    fn order_joins_beam(
+        &self,
+        base: Vec<Candidate>,
+        multi: &[(u32, Expr)],
+    ) -> DbResult<Candidate> {
+        let n = base.len();
+        let width = self.config.join_beam_width;
+        let full: u32 = (1 << n) - 1;
+        // Seed with every relation as its own partial order; the first
+        // truncation keeps the `width` smallest starts (same criterion as
+        // the greedy start, kept plural).
+        let mut beam: Vec<(u32, Candidate)> =
+            base.iter().enumerate().map(|(i, c)| (1 << i, c.clone())).collect();
+        beam.sort_by(|(_, a), (_, b)| {
+            a.rows.total_cmp(&b.rows).then(a.cost.total_cmp(&b.cost))
+        });
+        beam.truncate(width);
+        for _round in 1..n {
+            let mut next: Vec<(u32, Candidate)> = Vec::new();
+            for (mask, left) in &beam {
+                let mut connected_exts: Vec<(u32, Candidate)> = Vec::new();
+                let mut cross_exts: Vec<(u32, Candidate)> = Vec::new();
+                for (j, right) in base.iter().enumerate() {
+                    let bit = 1u32 << j;
+                    if mask & bit != 0 {
+                        continue;
+                    }
+                    let new_mask = mask | bit;
+                    let now: Vec<&Expr> = multi
+                        .iter()
+                        .filter(|(m, _)| m & new_mask == *m && m & bit != 0)
+                        .map(|(_, e)| e)
+                        .collect();
+                    let cand = self.make_join(left, right, &now)?;
+                    if now.is_empty() {
+                        cross_exts.push((new_mask, cand));
+                    } else {
+                        connected_exts.push((new_mask, cand));
+                    }
+                }
+                next.extend(if connected_exts.is_empty() {
+                    cross_exts
+                } else {
+                    connected_exts
+                });
+            }
+            // Same cover, keep the cheaper order; then keep the `width`
+            // cheapest covers overall.
+            next.sort_by(|(ma, a), (mb, b)| {
+                ma.cmp(mb).then(a.cost.total_cmp(&b.cost))
+            });
+            next.dedup_by_key(|(m, _)| *m);
+            next.sort_by(|(_, a), (_, b)| a.cost.total_cmp(&b.cost));
+            next.truncate(width);
+            beam = next;
+        }
+        beam.into_iter()
+            .find(|(m, _)| *m == full)
+            .map(|(_, c)| c)
+            .ok_or_else(|| DbError::Eval("join ordering failed to cover all relations".into()))
     }
 
     fn make_join(
@@ -958,6 +1043,7 @@ impl<'a> Planner<'a> {
     /// Everything after the join tree: aggregation, HAVING, projection,
     /// DISTINCT, ORDER BY, LIMIT.
     fn finish_select(&self, sel: &Select, mut cand: Candidate) -> DbResult<PlannedQuery> {
+        let cost = cand.cost;
         // ---- aggregate extraction ----
         let mut agg_calls: Vec<(AggKind, bool, Option<Expr>)> = Vec::new();
         let mut items: Vec<(Expr, Option<String>)> = Vec::new();
@@ -1203,7 +1289,7 @@ impl<'a> Planner<'a> {
 
         memoize_scan_pipelines(&mut plan, self.funcs);
 
-        Ok(PlannedQuery { plan, columns: out_names })
+        Ok(PlannedQuery { plan, columns: out_names, cost })
     }
 
     /// Plan the scan side of UPDATE/DELETE: scan with bound filter; the

@@ -170,9 +170,18 @@ fn crash_child() {
 }
 
 fn spawn_child(dir: &Path, extra_env: &[(&str, String)]) -> std::process::Child {
+    spawn_child_target("crash_child", "SINEW_CRASH_DIR", dir, extra_env)
+}
+
+fn spawn_child_target(
+    target: &str,
+    dir_var: &str,
+    dir: &Path,
+    extra_env: &[(&str, String)],
+) -> std::process::Child {
     let mut cmd = Command::new(std::env::current_exe().unwrap());
-    cmd.args(["crash_child", "--exact", "--nocapture"])
-        .env("SINEW_CRASH_DIR", dir)
+    cmd.args([target, "--exact", "--nocapture"])
+        .env(dir_var, dir)
         .env_remove("SINEW_WAL")
         .env_remove("SINEW_WAL_CRASH_AFTER")
         .env_remove("SINEW_WAL_GROUP_COMMIT")
@@ -258,6 +267,98 @@ fn kill9_fuzz_recovers_to_statement_boundary() {
         let _ = child.wait();
         let db = reopen(&dir);
         assert_is_prefix(&fingerprint(&db), &prefixes, &format!("kill9 iter {i} gc={gc}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Accounts in the transactional crash workload (committed setup inserts
+/// them all at balance 100 in one statement).
+const TXN_ACCTS: i64 = 100;
+
+/// Re-exec target for the mid-transaction kill fuzz: after a committed
+/// setup, every round is one explicit transaction — an INSERT of a new
+/// account at balance 50 plus ten +5 UPDATEs — so each committed round
+/// raises the total balance by exactly 100. A SIGKILL lands somewhere in
+/// an open transaction (or inside COMMIT itself).
+#[test]
+fn crash_child_txn() {
+    let Ok(dir) = std::env::var("SINEW_TXN_CRASH_DIR") else { return };
+    let mut cfg = WalConfig::from_env();
+    cfg.enabled = true;
+    let db =
+        Database::open_with_wal(&Path::new(&dir).join("t.db"), 32, None, cfg).unwrap();
+    db.execute("CREATE TABLE acct (id int, bal int)").unwrap();
+    let vals: Vec<String> = (0..TXN_ACCTS).map(|i| format!("({i}, 100)")).collect();
+    db.execute(&format!("INSERT INTO acct VALUES {}", vals.join(", "))).unwrap();
+    let mut s = db.session();
+    for r in 0i64.. {
+        s.execute("BEGIN").unwrap();
+        s.execute(&format!("INSERT INTO acct VALUES ({}, 50)", 1_000 + r)).unwrap();
+        for j in 0..10 {
+            let id = (r * 7 + j * 13) % TXN_ACCTS;
+            s.execute(&format!("UPDATE acct SET bal = bal + 5 WHERE id = {id}"))
+                .unwrap();
+        }
+        s.execute("COMMIT").unwrap();
+    }
+}
+
+/// SIGKILL mid-transaction: recovery must land on a committed-transaction
+/// boundary, dropping every uncommitted version — a transaction is one WAL
+/// commit record, so a partially-applied round can never come back. The
+/// balance invariant (total = 10 000 + 100 × committed rounds) breaks if
+/// even one uncommitted INSERT or UPDATE survives recovery.
+#[test]
+fn kill9_mid_transaction_drops_uncommitted_versions() {
+    if !Database::in_memory().mvcc_enabled() {
+        return; // explicit transactions require MVCC
+    }
+    let iters: u64 = std::env::var("SINEW_CRASH_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    for i in 0..iters {
+        let dir = test_dir(&format!("txnkill-{i}"));
+        let gc = if i % 2 == 0 { "1" } else { "4" };
+        let mut child = spawn_child_target(
+            "crash_child_txn",
+            "SINEW_TXN_CRASH_DIR",
+            &dir,
+            &[("SINEW_WAL_GROUP_COMMIT", gc.to_string())],
+        );
+        std::thread::sleep(Duration::from_millis(30 + (i * 41) % 150));
+        child.kill().ok();
+        let _ = child.wait();
+        let db = reopen(&dir);
+        let ctx = format!("txnkill iter {i} gc={gc}");
+        let Ok(base) = db.execute("SELECT COUNT(*) FROM acct WHERE id < 1000") else {
+            continue; // killed before CREATE TABLE committed
+        };
+        let sinew_rdbms::Datum::Int(n_base) = base.rows[0][0] else {
+            panic!("{ctx}: COUNT did not return an int")
+        };
+        if n_base == 0 {
+            continue; // killed before the setup INSERT committed
+        }
+        assert_eq!(n_base, TXN_ACCTS, "{ctx}: setup INSERT is one commit unit");
+        let check = |db: &Database, when: &str| {
+            let r = db
+                .execute("SELECT COUNT(*) FROM acct WHERE id >= 1000")
+                .unwrap();
+            let sinew_rdbms::Datum::Int(k) = r.rows[0][0] else { panic!() };
+            let r = db.execute("SELECT SUM(bal), COUNT(*) FROM acct").unwrap();
+            assert_eq!(
+                r.rows[0][0],
+                sinew_rdbms::Datum::Int(TXN_ACCTS * 100 + 100 * k),
+                "{ctx} ({when}): balance total off for {k} committed rounds — \
+                 an uncommitted version survived recovery"
+            );
+            assert_eq!(r.rows[0][1], sinew_rdbms::Datum::Int(TXN_ACCTS + k));
+        };
+        check(&db, "after recovery");
+        // Reclamation over the recovered heap must not disturb visibility.
+        db.vacuum().unwrap();
+        check(&db, "after vacuum");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -29,7 +29,12 @@ fn build_db() -> Database {
 /// plus an unsealed tail — sealed segments are where the packed/dict/rle
 /// encodings and therefore the batched kernels live.
 fn build_db_sized(t_rows: u64) -> Database {
-    let db = Database::in_memory();
+    populate(Database::in_memory(), t_rows)
+}
+
+/// Load the seeded workload tables into an already-constructed database
+/// (lets the MVCC differential pick the concurrency path explicitly).
+fn populate(db: Database, t_rows: u64) -> Database {
     db.execute("CREATE TABLE t (a int, b int, c text, d float)").unwrap();
     db.execute("CREATE TABLE s (k int, v text)").unwrap();
     let mut stmt = String::new();
@@ -169,6 +174,48 @@ fn streaming_matches_materialize_at_all_block_sizes_and_thread_counts() {
                 "query {q:?} ({phase}-DML) diverged under mode={:?} block_rows={} threads={}",
                 limits.mode, limits.block_rows, limits.exec_threads
             );
+        }
+    }
+}
+
+/// The MVCC snapshot engine and the legacy single-writer lock path are
+/// differential oracles for each other: the full 29-query workload must be
+/// byte-identical pre- and post-DML on both, and also when the DML runs as
+/// one explicit transaction instead of autocommit statements.
+#[test]
+fn mvcc_and_legacy_lock_paths_match_byte_identically() {
+    let run = |mvcc: bool, in_txn: bool| -> Vec<Vec<Vec<Datum>>> {
+        let db = populate(Database::in_memory_mvcc(mvcc), T_ROWS);
+        let mut out = Vec::new();
+        for q in QUERIES {
+            out.push(db.execute(q).unwrap_or_else(|e| panic!("{q}: {e}")).rows);
+        }
+        if in_txn {
+            let mut s = db.session();
+            s.execute("BEGIN").unwrap();
+            for m in MUTATIONS {
+                s.execute(m).unwrap();
+            }
+            s.execute("COMMIT").unwrap();
+        } else {
+            for m in MUTATIONS {
+                db.execute(m).unwrap();
+            }
+        }
+        for q in QUERIES {
+            out.push(db.execute(q).unwrap_or_else(|e| panic!("{q} (post-DML): {e}")).rows);
+        }
+        out
+    };
+    let legacy = run(false, false);
+    for (label, got) in
+        [("mvcc autocommit", run(true, false)), ("mvcc explicit txn", run(true, true))]
+    {
+        assert_eq!(got.len(), legacy.len());
+        for (i, (g, o)) in got.iter().zip(&legacy).enumerate() {
+            let q = QUERIES[i % QUERIES.len()];
+            let phase = if i < QUERIES.len() { "pre" } else { "post" };
+            assert_eq!(g, o, "query {q:?} ({phase}-DML) diverged under {label}");
         }
     }
 }

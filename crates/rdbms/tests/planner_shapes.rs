@@ -312,3 +312,91 @@ fn explain_analyze_annotates_every_node_type() {
         None => std::env::remove_var("SINEW_COLUMNAR"),
     }
 }
+
+/// Past the 10-relation DP horizon a beam search orders the join. The
+/// star query here sets two traps the one-step-lookahead greedy order
+/// (beam width 1) walks into: a one-row decoy dimension captures its
+/// smallest-relation start, and the selective-but-expensive-to-scan
+/// `dbig` dimension always costs more *this step* than joining one more
+/// cheap dimension, so greedy defers it to the very end and every
+/// intermediate stays fact-sized. The beam keeps the pay-early order
+/// alive one round, sees the intermediate collapse, and must come out
+/// strictly cheaper.
+#[test]
+fn twelve_table_star_beam_beats_greedy() {
+    use sinew_rdbms::func::FuncRegistry;
+    use sinew_rdbms::planner::Planner;
+
+    let db = Database::in_memory();
+    // Fact table: 3000 rows; k joins the 9 small dims, kd the decoy,
+    // kb is a 3000-distinct key into dbig.
+    db.execute("CREATE TABLE f (k int, kb int, kd int)").unwrap();
+    let rows: Vec<Vec<Datum>> = (0..3000)
+        .map(|v| vec![Datum::Int(v % 10), Datum::Int(v), Datum::Int(7)])
+        .collect();
+    db.insert_rows("f", &rows).unwrap();
+    // Decoy: one row, joining it filters nothing.
+    db.execute("CREATE TABLE decoy (x int)").unwrap();
+    db.insert_rows("decoy", &[vec![Datum::Int(7)]]).unwrap();
+    // Nine interchangeable small dimensions: 10 rows, join keeps rows flat.
+    for i in 1..=9 {
+        db.execute(&format!("CREATE TABLE d{i} (x int)")).unwrap();
+        let rows: Vec<Vec<Datum>> = (0..10).map(|v| vec![Datum::Int(v)]).collect();
+        db.insert_rows(&format!("d{i}"), &rows).unwrap();
+    }
+    // The trap dimension: 3000 rows to scan, but its filtered single row
+    // joined on a 3000-distinct key crushes the intermediate.
+    db.execute("CREATE TABLE dbig (x int, y int)").unwrap();
+    let rows: Vec<Vec<Datum>> =
+        (0..3000).map(|v| vec![Datum::Int(v), Datum::Int(v)]).collect();
+    db.insert_rows("dbig", &rows).unwrap();
+    for t in ["f", "decoy", "dbig"]
+        .iter()
+        .map(|s| s.to_string())
+        .chain((1..=9).map(|i| format!("d{i}")))
+    {
+        db.execute(&format!("ANALYZE {t}")).unwrap();
+    }
+
+    let from: Vec<String> = ["f", "decoy"]
+        .iter()
+        .map(|s| s.to_string())
+        .chain((1..=9).map(|i| format!("d{i}")))
+        .chain(std::iter::once("dbig".to_string()))
+        .collect();
+    let preds: Vec<String> = (1..=9)
+        .map(|i| format!("f.k = d{i}.x"))
+        .chain([
+            "f.kd = decoy.x".to_string(),
+            "f.kb = dbig.x".to_string(),
+            "dbig.y = 0".to_string(),
+        ])
+        .collect();
+    let sql = format!(
+        "SELECT COUNT(*) FROM {} WHERE {}",
+        from.join(", "),
+        preds.join(" AND ")
+    );
+
+    let cost_of = |width: usize| -> f64 {
+        let funcs = FuncRegistry::default();
+        let stmt = sinew_sql::parse_statement(&sql).unwrap();
+        let sinew_sql::Statement::Select(sel) = stmt else { panic!("not a select") };
+        Planner::new(&db, &funcs)
+            .with_config(PlannerConfig { join_beam_width: width, ..Default::default() })
+            .plan_select(&sel)
+            .unwrap()
+            .cost
+    };
+    let greedy = cost_of(1);
+    let beam = cost_of(8);
+    assert!(
+        beam < greedy,
+        "beam ({beam:.1}) should beat greedy ({greedy:.1}) on the star"
+    );
+
+    // Both orders compute the same answer: only the kb = 0 fact row
+    // survives the dbig join, and it matches every other dimension once.
+    let r = db.execute(&sql).unwrap();
+    assert_eq!(r.scalar(), Some(&Datum::Int(1)));
+}

@@ -23,6 +23,12 @@ pub enum Statement {
     Explain { analyze: bool, inner: Box<Statement> },
     /// `ANALYZE <table>` — collect optimizer statistics.
     Analyze(String),
+    /// `BEGIN [TRANSACTION|WORK]` — open a snapshot transaction.
+    Begin,
+    /// `COMMIT [TRANSACTION|WORK]` — publish the open transaction.
+    Commit,
+    /// `ROLLBACK [TRANSACTION|WORK]` — discard the open transaction.
+    Rollback,
 }
 
 /// `SELECT` in full generality for this dialect.

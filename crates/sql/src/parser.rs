@@ -148,8 +148,10 @@ impl Parser {
 
     /// Keywords that can begin a statement — the lookahead set for the
     /// `EXPLAIN ANALYZE <stmt>` vs `EXPLAIN ANALYZE <table>` ambiguity.
-    const STATEMENT_KEYWORDS: [&'static str; 7] =
-        ["select", "insert", "update", "delete", "create", "explain", "analyze"];
+    const STATEMENT_KEYWORDS: [&'static str; 10] = [
+        "select", "insert", "update", "delete", "create", "explain", "analyze", "begin",
+        "commit", "rollback",
+    ];
 
     fn statement(&mut self) -> Result<Statement, ParseError> {
         if self.peek_kw("select") {
@@ -180,8 +182,27 @@ impl Parser {
         } else if self.eat_kw("analyze") {
             let table = self.ident()?;
             Ok(Statement::Analyze(table))
+        } else if self.eat_kw("begin") {
+            self.txn_noise_word();
+            Ok(Statement::Begin)
+        } else if self.eat_kw("commit") {
+            self.txn_noise_word();
+            Ok(Statement::Commit)
+        } else if self.eat_kw("rollback") {
+            self.txn_noise_word();
+            Ok(Statement::Rollback)
         } else {
-            self.err("expected SELECT, INSERT, UPDATE, DELETE, CREATE, EXPLAIN or ANALYZE")
+            self.err(
+                "expected SELECT, INSERT, UPDATE, DELETE, CREATE, EXPLAIN, ANALYZE, \
+                 BEGIN, COMMIT or ROLLBACK",
+            )
+        }
+    }
+
+    /// Optional `TRANSACTION`/`WORK` after BEGIN/COMMIT/ROLLBACK.
+    fn txn_noise_word(&mut self) {
+        if !self.eat_kw("transaction") {
+            self.eat_kw("work");
         }
     }
 

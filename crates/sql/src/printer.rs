@@ -55,6 +55,9 @@ impl fmt::Display for Statement {
                 f.write_str("ANALYZE ")?;
                 ident(f, t)
             }
+            Statement::Begin => f.write_str("BEGIN"),
+            Statement::Commit => f.write_str("COMMIT"),
+            Statement::Rollback => f.write_str("ROLLBACK"),
         }
     }
 }

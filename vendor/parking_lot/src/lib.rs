@@ -28,6 +28,14 @@ impl<T: ?Sized> RwLock<T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
     }
 
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
     }
@@ -53,5 +61,29 @@ impl<T: ?Sized> Mutex<T> {
 
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Condition variable paired with [`Mutex`]. The `wait` signature is the
+/// std one (guard in, guard out) rather than parking_lot's `&mut` form,
+/// since the guards here *are* std guards.
+#[derive(Default, Debug)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one()
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all()
     }
 }
